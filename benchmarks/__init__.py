@@ -1,0 +1,1 @@
+"""Benchmark harness: one module per experiment in EXPERIMENTS.md (E1-E9)."""

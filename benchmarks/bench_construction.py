@@ -1,0 +1,90 @@
+"""E3 (Section 3.2): cost of Convert-2D-Be-String as the image grows.
+
+The algorithm is sort-dominated (O(n log n) time, O(n) space ignoring the
+sort).  The benchmark times the faithful parallel-array entry point across a
+sweep of object counts; the report lists the measured time per object, which
+should stay nearly flat (it grows only with the log factor), and compares a
+pre-sorted emission (the O(n) part alone) against the full encoder.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import format_table
+from repro.core.construct import build_axis_string, convert_2d_be_string
+from repro.core.symbols import BoundaryKind
+from repro.datasets.synthetic import SceneParameters, random_picture
+
+OBJECT_COUNTS = (16, 64, 256, 1024, 4096)
+
+
+def _picture_arrays(object_count):
+    parameters = SceneParameters(
+        object_count=object_count,
+        width=10_000.0,
+        height=10_000.0,
+        maximum_size=50.0,
+        alignment_probability=0.2,
+        grid=100.0,
+        labels=tuple(f"obj{index:05d}" for index in range(object_count)),
+    )
+    picture = random_picture(object_count, parameters)
+    return (
+        [icon.identifier for icon in picture.icons],
+        [icon.mbr.x_begin for icon in picture.icons],
+        [icon.mbr.x_end for icon in picture.icons],
+        [icon.mbr.y_begin for icon in picture.icons],
+        [icon.mbr.y_end for icon in picture.icons],
+        picture.width,
+        picture.height,
+    )
+
+
+@pytest.mark.benchmark(group="E3-construction")
+@pytest.mark.parametrize("object_count", [64, 1024])
+def test_convert_2d_be_string_cost(benchmark, object_count):
+    identifiers, xb, xe, yb, ye, width, height = _picture_arrays(object_count)
+    bestring = benchmark(
+        convert_2d_be_string, object_count, identifiers, xb, xe, yb, ye, width, height
+    )
+    assert bestring.count_objects() == object_count
+
+
+@pytest.mark.benchmark(group="E3-construction")
+def test_construction_scaling_report(benchmark, write_report):
+    rows = []
+    for object_count in OBJECT_COUNTS:
+        identifiers, xb, xe, yb, ye, width, height = _picture_arrays(object_count)
+        started = time.perf_counter()
+        convert_2d_be_string(object_count, identifiers, xb, xe, yb, ye, width, height)
+        elapsed = time.perf_counter() - started
+        rows.append(
+            [
+                object_count,
+                f"{elapsed * 1000:.2f}",
+                f"{elapsed * 1e6 / object_count:.2f}",
+            ]
+        )
+    headers = ["objects", "total ms", "us per object"]
+    write_report(
+        "E3_construction",
+        [
+            "E3 -- Convert-2D-Be-String cost (random scenes, both axes)",
+            "",
+            *format_table(headers, rows),
+            "",
+            "paper: O(n log n) dominated by sorting; the per-object cost should stay",
+            "nearly flat across two orders of magnitude of n.",
+        ],
+    )
+
+    # Time the emission-only path (already sorted records) for the largest n.
+    identifiers, xb, xe, yb, ye, width, height = _picture_arrays(OBJECT_COUNTS[-1])
+    records = sorted(
+        [(coordinate, identifier, BoundaryKind.BEGIN) for coordinate, identifier in zip(xb, identifiers)]
+        + [(coordinate, identifier, BoundaryKind.END) for coordinate, identifier in zip(xe, identifiers)],
+        key=lambda record: (record[0], record[1], record[2] is BoundaryKind.END),
+    )
+    axis = benchmark(build_axis_string, records, width)
+    assert axis.boundary_count == 2 * OBJECT_COUNTS[-1]

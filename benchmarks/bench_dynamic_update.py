@@ -1,0 +1,128 @@
+"""E7 (Section 3.2): dynamic insert/delete vs full re-encoding.
+
+The paper stores the BE-string together with its MBR coordinates so that a new
+object can be located by binary search and spliced in, and a dropped object
+removed directly.  The benchmark compares maintaining an
+:class:`~repro.core.editing.IndexedBEString` (binary-search insert + linear
+emission without sorting) against re-running ``Convert-2D-Be-String`` from
+scratch after every change, across database-image sizes.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import format_table
+from repro.core.construct import encode_picture
+from repro.core.editing import IndexedBEString
+from repro.datasets.synthetic import SceneParameters, random_picture
+from repro.geometry.rectangle import Rectangle
+
+OBJECT_COUNTS = (64, 256, 1024)
+
+
+def _large_picture(object_count, seed=0):
+    parameters = SceneParameters(
+        object_count=object_count,
+        width=10_000.0,
+        height=10_000.0,
+        maximum_size=60.0,
+        alignment_probability=0.2,
+        grid=100.0,
+        labels=tuple(f"obj{index:05d}" for index in range(object_count)),
+    )
+    return random_picture(seed, parameters)
+
+
+def _new_object(index):
+    return (f"new{index:03d}", Rectangle(5.0 + index, 7.0 + index, 25.0 + index, 27.0 + index))
+
+
+@pytest.mark.benchmark(group="E7-dynamic-update")
+@pytest.mark.parametrize("object_count", [256, 1024])
+def test_indexed_insert_cost(benchmark, object_count):
+    picture = _large_picture(object_count)
+    indexed = IndexedBEString.from_picture(picture)
+    counter = {"next": 0}
+
+    def insert_one():
+        index = counter["next"]
+        counter["next"] += 1
+        identifier, mbr = _new_object(index)
+        indexed.insert(f"{identifier}-{index}", mbr)
+
+    benchmark.pedantic(insert_one, rounds=50, iterations=1)
+    assert len(indexed) > object_count
+
+
+@pytest.mark.benchmark(group="E7-dynamic-update")
+@pytest.mark.parametrize("object_count", [256])
+def test_full_reencode_cost(benchmark, object_count):
+    picture = _large_picture(object_count)
+    identifier, mbr = _new_object(0)
+    grown = picture.add_icon(identifier, mbr)
+    bestring = benchmark(encode_picture, grown)
+    assert bestring.count_objects() == object_count + 1
+
+
+@pytest.mark.benchmark(group="E7-dynamic-update")
+def test_dynamic_update_report(benchmark, write_report):
+    rows = []
+    for object_count in OBJECT_COUNTS:
+        picture = _large_picture(object_count)
+
+        # Indexed path: insert one object, emit the string.
+        indexed = IndexedBEString.from_picture(picture)
+        identifier, mbr = _new_object(1)
+        started = time.perf_counter()
+        indexed.insert(identifier, mbr)
+        indexed_insert_ms = (time.perf_counter() - started) * 1000
+        started = time.perf_counter()
+        indexed.to_bestring()
+        emit_ms = (time.perf_counter() - started) * 1000
+
+        # Re-encoding path: rebuild the picture and run Algorithm 1 again.
+        started = time.perf_counter()
+        grown = picture.add_icon(identifier, mbr)
+        encode_picture(grown)
+        reencode_ms = (time.perf_counter() - started) * 1000
+
+        # Deletion via the index.
+        started = time.perf_counter()
+        indexed.remove(identifier)
+        remove_ms = (time.perf_counter() - started) * 1000
+
+        rows.append(
+            [
+                object_count,
+                f"{indexed_insert_ms:.3f}",
+                f"{remove_ms:.3f}",
+                f"{emit_ms:.3f}",
+                f"{reencode_ms:.3f}",
+            ]
+        )
+    headers = [
+        "objects",
+        "indexed insert ms",
+        "indexed remove ms",
+        "emit string ms",
+        "full re-encode ms",
+    ]
+    write_report(
+        "E7_dynamic_update",
+        [
+            "E7 -- maintaining a stored BE-string vs re-encoding the whole image",
+            "",
+            *format_table(headers, rows),
+            "",
+            "paper: because the BE-string is ordered data saved with its MBR coordinates,",
+            "a new object is placed by binary search and a dropped object removed directly;",
+            "no per-update sort of all boundaries is needed.",
+        ],
+    )
+
+    # Benchmark the emit step (linear, no sorting of unsorted data).
+    picture = _large_picture(OBJECT_COUNTS[-1])
+    indexed = IndexedBEString.from_picture(picture)
+    bestring = benchmark(indexed.to_bestring)
+    assert bestring.count_objects() == OBJECT_COUNTS[-1]

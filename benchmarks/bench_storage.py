@@ -1,0 +1,98 @@
+"""E2 (Section 3.1): storage comparison across the 2-D string family.
+
+Reproduces the paper's storage argument: a 2D BE-string needs between
+``2n + 1`` and ``4n + 1`` symbols per axis regardless of how objects overlap,
+while the cutting-based G- and C-strings generate extra sub-objects (up to
+O(n^2) for the C-string's staircase worst case).  The report tabulates total
+storage units per representation for three layout families and a sweep of
+object counts.
+"""
+
+import pytest
+
+from benchmarks.conftest import format_table
+from repro.baselines.b_string import encode_b_string
+from repro.baselines.c_string import encode_c_string
+from repro.baselines.g_string import encode_g_string
+from repro.baselines.twod_string import encode_2d_string
+from repro.core.construct import encode_picture, storage_symbol_bounds
+from repro.datasets.synthetic import (
+    SceneParameters,
+    random_picture,
+    stacked_picture,
+    staircase_picture,
+)
+
+OBJECT_COUNTS = (2, 4, 8, 16, 32, 64)
+
+
+def _storage_row(label, picture):
+    n = len(picture)
+    return [
+        label,
+        n,
+        encode_2d_string(picture).storage_units,
+        encode_g_string(picture).storage_units,
+        encode_c_string(picture).storage_units,
+        encode_b_string(picture).storage_units,
+        encode_picture(picture).total_symbols,
+    ]
+
+
+@pytest.fixture(scope="module")
+def storage_table():
+    rows = []
+    for n in OBJECT_COUNTS:
+        random_scene = random_picture(
+            n, SceneParameters(object_count=n, alignment_probability=0.3)
+        )
+        rows.append(_storage_row("random", random_scene))
+        rows.append(_storage_row("staircase", staircase_picture(n)))
+        rows.append(_storage_row("stacked", stacked_picture(n)))
+    return rows
+
+
+@pytest.mark.benchmark(group="E2-storage")
+def test_storage_comparison(benchmark, storage_table, write_report):
+    # Time the BE-string encoder on the largest random scene of the sweep.
+    largest = random_picture(
+        OBJECT_COUNTS[-1],
+        SceneParameters(object_count=OBJECT_COUNTS[-1], alignment_probability=0.3),
+    )
+    benchmark(encode_picture, largest)
+
+    headers = ["layout", "n", "2D-string", "G-string", "C-string", "B-string", "BE-string"]
+    table = format_table(headers, storage_table)
+    write_report(
+        "E2_storage",
+        [
+            "E2 -- storage units per image (both axes, symbols + operators / segments)",
+            "",
+            *table,
+            "",
+            "paper: BE-string is O(n) (2n+1 .. 4n+1 per axis); C-string degenerates to",
+            "O(n^2) cut objects on overlapping layouts; G-string cuts at least as much.",
+        ],
+    )
+
+    # Shape assertions: BE storage within bounds and linear; cut-based storage
+    # grows super-linearly on the staircase layout.
+    for row in storage_table:
+        layout, n = row[0], row[1]
+        be_total = row[6]
+        lower, upper = storage_symbol_bounds(n)
+        assert 2 * lower <= be_total <= 2 * upper
+        if layout == "staircase" and n >= 16:
+            assert row[4] > be_total  # C-string needs more storage than BE
+            assert row[3] >= row[4]  # G-string needs at least as much as C
+
+
+@pytest.mark.benchmark(group="E2-storage")
+@pytest.mark.parametrize("object_count", [8, 64])
+def test_be_string_encoding_cost_by_size(benchmark, object_count):
+    picture = random_picture(
+        object_count, SceneParameters(object_count=object_count, alignment_probability=0.3)
+    )
+    bestring = benchmark(encode_picture, picture)
+    lower, upper = storage_symbol_bounds(object_count)
+    assert lower <= len(bestring.x) <= upper

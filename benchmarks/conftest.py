@@ -1,0 +1,47 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark module regenerates one experiment from EXPERIMENTS.md (E1-E9).
+Besides the pytest-benchmark timing table, each module writes a plain-text
+report with the rows/series the experiment compares into
+``benchmarks/results/<experiment>.txt`` so the numbers survive the run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+#: Directory the textual experiment reports are written into.
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    """Directory for experiment report files (created on demand)."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def write_report(results_dir):
+    """Write (or overwrite) one experiment report file and echo it to stdout."""
+
+    def _write(experiment_id: str, lines) -> Path:
+        text = "\n".join(lines) + "\n"
+        path = results_dir / f"{experiment_id}.txt"
+        path.write_text(text, encoding="utf-8")
+        print(f"\n[{experiment_id}] report written to {path}\n{text}")
+        return path
+
+    return _write
+
+
+def format_table(headers, rows) -> list:
+    """Format a list-of-lists as fixed-width text lines (headers + rows)."""
+    table = [[str(cell) for cell in row] for row in [headers] + list(rows)]
+    widths = [max(len(row[column]) for row in table) for column in range(len(headers))]
+    return [
+        "  ".join(cell.ljust(widths[column]) for column, cell in enumerate(row))
+        for row in table
+    ]

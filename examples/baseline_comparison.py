@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""Compare the 2D BE-string against the 2-D string family baselines.
+
+Reproduces, on one synthetic workload, the two comparisons the paper makes in
+Sections 2-4:
+
+* **storage** -- symbols/segments needed per image by 2-D strings, 2D G-, C-,
+  B- and BE-strings as the number of objects (and their overlap) grows, and
+* **similarity cost and quality** -- the O(mn) modified-LCS evaluation versus
+  the O(n^2)-pairs + maximum-clique type-1 similarity, both asked to rank the
+  same small database for the same query.
+
+Run with:  python examples/baseline_comparison.py
+"""
+
+import time
+
+from repro.baselines.b_string import encode_b_string
+from repro.baselines.c_string import encode_c_string
+from repro.baselines.g_string import encode_g_string
+from repro.baselines.twod_string import encode_2d_string
+from repro.baselines.type_similarity import SimilarityType, type_similarity
+from repro.core.construct import encode_picture
+from repro.core.similarity import similarity_between_pictures
+from repro.datasets.synthetic import SceneParameters, random_picture, staircase_picture
+from repro.datasets.corpus import planted_retrieval_corpus
+
+
+def storage_comparison() -> None:
+    print("=== Storage: total symbols / segments per image ===")
+    print(f"{'scene':<18}{'n':>4}{'2D-str':>8}{'G-str':>8}{'C-str':>8}{'B-str':>8}{'BE-str':>8}")
+    scenes = [
+        ("random (sparse)", random_picture(1, SceneParameters(object_count=8, alignment_probability=0.1))),
+        ("random (aligned)", random_picture(2, SceneParameters(object_count=8, alignment_probability=0.8))),
+        ("staircase n=8", staircase_picture(8)),
+        ("staircase n=16", staircase_picture(16)),
+    ]
+    for name, picture in scenes:
+        print(
+            f"{name:<18}{len(picture):>4}"
+            f"{encode_2d_string(picture).storage_units:>8}"
+            f"{encode_g_string(picture).storage_units:>8}"
+            f"{encode_c_string(picture).storage_units:>8}"
+            f"{encode_b_string(picture).storage_units:>8}"
+            f"{encode_picture(picture).total_symbols:>8}"
+        )
+    print()
+
+
+def similarity_comparison() -> None:
+    print("=== Similarity: modified LCS vs type-1 clique on the same query ===")
+    corpus = planted_retrieval_corpus(seed=23, base_scene_count=1, distractors_per_scene=5)
+    query = corpus.queries[0]
+    database = corpus.database_pictures
+
+    started = time.perf_counter()
+    lcs_ranked = sorted(
+        ((picture.name, similarity_between_pictures(query, picture).score) for picture in database),
+        key=lambda item: -item[1],
+    )
+    lcs_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    clique_ranked = sorted(
+        (
+            (picture.name, type_similarity(query, picture, SimilarityType.TYPE_1).similarity)
+            for picture in database
+        ),
+        key=lambda item: -item[1],
+    )
+    clique_seconds = time.perf_counter() - started
+
+    print(f"{'rank':<6}{'modified LCS':<38}{'type-1 clique':<38}")
+    for rank, (lcs_entry, clique_entry) in enumerate(zip(lcs_ranked[:5], clique_ranked[:5]), start=1):
+        print(
+            f"{rank:<6}"
+            f"{lcs_entry[0][:28]:<30}{lcs_entry[1]:<8.3f}"
+            f"{clique_entry[0][:28]:<30}{clique_entry[1]:<8d}"
+        )
+    print()
+    print(f"wall time: modified LCS {lcs_seconds * 1000:.1f} ms, "
+          f"clique baseline {clique_seconds * 1000:.1f} ms "
+          f"({clique_seconds / max(lcs_seconds, 1e-9):.1f}x slower)")
+    print()
+
+
+def main() -> None:
+    storage_comparison()
+    similarity_comparison()
+    print("The BE-string stays linear in the object count (between 2n+1 and 4n+1")
+    print("symbols per axis) while the cutting-based variants grow with overlap,")
+    print("and the LCS evaluation reproduces the clique ranking at a fraction of")
+    print("the cost.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Rotation / reflection retrieval by string reversal only (Section 4).
+
+A landscape scene is planted in the database only as rotated and mirrored
+copies.  A plain similarity query ranks those copies poorly because the axis
+strings no longer line up; the transformation-invariant query -- which expands
+the query into its six string-reversal variants, exactly as the paper
+describes, with no spatial-operator conversion -- retrieves every copy with a
+full-score match and reports which transformation matched.
+
+Run with:  python examples/rotation_invariant_search.py
+"""
+
+from repro.core.transforms import Transformation
+from repro.datasets.scenes import landscape_scene, office_scene
+from repro.datasets.synthetic import SceneParameters, random_pictures
+from repro.datasets.transforms_gen import transformed_variants
+from repro.retrieval.system import RetrievalSystem
+
+
+def main() -> None:
+    base = landscape_scene(0)
+    variants = transformed_variants(
+        base,
+        include=(
+            Transformation.ROTATE_90,
+            Transformation.ROTATE_180,
+            Transformation.REFLECT_Y,
+        ),
+    )
+    distractors = random_pictures(
+        10, seed=4, parameters=SceneParameters(object_count=8)
+    ) + [office_scene(variant) for variant in range(3)]
+
+    system = RetrievalSystem.from_pictures(list(variants.values()) + distractors)
+    print(f"database: {len(system)} images "
+          f"(3 transformed copies of the query scene + {len(distractors)} distractors)")
+    print()
+
+    print("=== Plain query (no transformation invariance) ===")
+    for result in system.search(base, limit=5, use_filters=False):
+        print(" ", result.describe())
+    print()
+
+    print("=== Transformation-invariant query (string reversal only) ===")
+    for result in system.search(base, limit=5, invariant=True, use_filters=False):
+        print(" ", result.describe())
+    print()
+
+    print("Note how each planted copy now scores 1.000 and the result reports")
+    print("which rotation/reflection of the query matched it.")
+
+
+if __name__ == "__main__":
+    main()

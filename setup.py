@@ -1,0 +1,10 @@
+"""Setup script for the 2D BE-string reproduction package.
+
+A classic setuptools layout (setup.py + setup.cfg) is used instead of a
+PEP 621 pyproject so that ``pip install -e .`` works in fully offline
+environments (no build isolation, no wheel package required).
+"""
+
+from setuptools import setup
+
+setup()

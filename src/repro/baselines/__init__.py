@@ -1,0 +1,55 @@
+"""Baselines: the 2-D string family the paper compares against.
+
+Section 2 of the paper reviews four prior representations and their shared
+similarity machinery; all of them are implemented here so the benchmarks can
+reproduce the comparisons:
+
+* :mod:`~repro.baselines.twod_string` -- Chang et al.'s original 2-D strings
+  (symbolic projection with ``<``/``=`` operators).
+* :mod:`~repro.baselines.g_string` -- the 2D G-string, which cuts every object
+  at every MBR boundary crossing it.
+* :mod:`~repro.baselines.c_string` -- the 2D C-string, which minimises cutting
+  but still produces O(n^2) cut objects in the worst case.
+* :mod:`~repro.baselines.b_string` -- the 2D B-string, which drops cutting and
+  keeps begin/end symbols joined by the ``=`` operator.
+* :mod:`~repro.baselines.type_similarity` + :mod:`~repro.baselines.clique` --
+  the type-0/1/2 similarity used by all of the above: build a pairwise
+  relation compatibility graph and find its maximum complete subgraph.
+* :mod:`~repro.baselines.lcs_plain` -- the textbook LCS and an explicit
+  "dummy-aware" variant, ablations of the paper's two LCS modifications.
+"""
+
+from repro.baselines.b_string import BString2D, encode_b_string
+from repro.baselines.c_string import CString2D, encode_c_string
+from repro.baselines.clique import greedy_clique, maximum_clique
+from repro.baselines.cutting import cut_interval, g_string_cuts, c_string_cuts
+from repro.baselines.g_string import GString2D, encode_g_string
+from repro.baselines.lcs_plain import classic_lcs_length, classic_lcs_string, dummy_aware_lcs_length
+from repro.baselines.twod_string import TwoDString, encode_2d_string
+from repro.baselines.type_similarity import (
+    SimilarityType,
+    type_similarity,
+    type_similarity_all,
+)
+
+__all__ = [
+    "BString2D",
+    "encode_b_string",
+    "CString2D",
+    "encode_c_string",
+    "greedy_clique",
+    "maximum_clique",
+    "cut_interval",
+    "g_string_cuts",
+    "c_string_cuts",
+    "GString2D",
+    "encode_g_string",
+    "classic_lcs_length",
+    "classic_lcs_string",
+    "dummy_aware_lcs_length",
+    "TwoDString",
+    "encode_2d_string",
+    "SimilarityType",
+    "type_similarity",
+    "type_similarity_all",
+]

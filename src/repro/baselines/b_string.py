@@ -1,0 +1,114 @@
+"""The 2D B-string (Lee, Yang & Chen 1992).
+
+The B-string drops cutting entirely: each object contributes its begin and end
+boundary symbols, and the single spatial operator ``=`` marks two boundaries
+whose projections are *identical*.  The paper's 2D BE-string is the dual: it
+marks *distinct* projections with a dummy object and needs no operator at all.
+
+Because the two models carry the same ordinal information, the B-string is the
+closest baseline; the reproduction provides it both for the storage comparison
+(E2) and as the representation the clique-based type-i similarity baseline
+(E4/E9) runs on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.symbols import BoundaryKind
+from repro.iconic.picture import SymbolicPicture
+
+
+@dataclass(frozen=True)
+class BBoundary:
+    """One boundary symbol of a B-string axis."""
+
+    identifier: str
+    kind: BoundaryKind
+
+    @property
+    def symbol(self) -> str:
+        """Text symbol, e.g. ``A.b`` / ``A.e``."""
+        return f"{self.identifier}.{self.kind.value}"
+
+
+@dataclass(frozen=True)
+class AxisBString:
+    """One axis of a 2D B-string: boundary symbols joined by optional ``=``.
+
+    ``operators[i]`` is ``"="`` when boundaries ``i`` and ``i + 1`` project to
+    the same coordinate and ``""`` (no operator) otherwise.
+    """
+
+    boundaries: Tuple[BBoundary, ...]
+    operators: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if self.boundaries and len(self.operators) != len(self.boundaries) - 1:
+            raise ValueError("a B-string needs one operator slot between boundaries")
+
+    @property
+    def storage_units(self) -> int:
+        """Boundary symbols plus explicit ``=`` operators (benchmark E2)."""
+        return len(self.boundaries) + sum(1 for operator in self.operators if operator == "=")
+
+    def to_text(self) -> str:
+        """Linear text form, e.g. ``"A.b A.e = C.b B.b"``."""
+        if not self.boundaries:
+            return ""
+        parts: List[str] = [self.boundaries[0].symbol]
+        for operator, boundary in zip(self.operators, self.boundaries[1:]):
+            if operator:
+                parts.append(operator)
+            parts.append(boundary.symbol)
+        return " ".join(parts)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.to_text()
+
+
+@dataclass(frozen=True)
+class BString2D:
+    """The 2D B-string of a picture."""
+
+    x: AxisBString
+    y: AxisBString
+    name: str = ""
+
+    @property
+    def storage_units(self) -> int:
+        """Total storage units across both axes."""
+        return self.x.storage_units + self.y.storage_units
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"({self.x.to_text()}, {self.y.to_text()})"
+
+
+def _axis_b_string(records: Sequence[Tuple[float, str, BoundaryKind]]) -> AxisBString:
+    ordered = sorted(
+        records, key=lambda record: (record[0], record[1], record[2] is BoundaryKind.END)
+    )
+    boundaries = tuple(
+        BBoundary(identifier=identifier, kind=kind) for _, identifier, kind in ordered
+    )
+    operators = tuple(
+        "=" if left[0] == right[0] else ""
+        for left, right in zip(ordered, ordered[1:])
+    )
+    return AxisBString(boundaries=boundaries, operators=operators)
+
+
+def encode_b_string(picture: SymbolicPicture) -> BString2D:
+    """Encode a symbolic picture as a 2D B-string."""
+    x_records: List[Tuple[float, str, BoundaryKind]] = []
+    y_records: List[Tuple[float, str, BoundaryKind]] = []
+    for icon in picture.icons:
+        identifier = icon.identifier
+        x_records.append((icon.mbr.x_begin, identifier, BoundaryKind.BEGIN))
+        x_records.append((icon.mbr.x_end, identifier, BoundaryKind.END))
+        y_records.append((icon.mbr.y_begin, identifier, BoundaryKind.BEGIN))
+        y_records.append((icon.mbr.y_end, identifier, BoundaryKind.END))
+    return BString2D(
+        x=_axis_b_string(x_records), y=_axis_b_string(y_records), name=picture.name
+    )

@@ -1,0 +1,76 @@
+"""Maximum complete subgraph (maximum clique) search.
+
+The 2-D string family's type-0/1/2 similarity reduces to finding the maximum
+complete subgraph of a compatibility graph -- an NP-complete problem, which is
+exactly the cost the paper's LCS-based evaluation avoids.  Benchmark E4
+measures this cost directly, so the implementation is an exact
+branch-and-bound (Bron--Kerbosch with pivoting, tracking the best clique) plus
+a cheap greedy heuristic for comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Set, Tuple
+
+#: A graph is an adjacency mapping ``vertex -> set of neighbours``.
+Graph = Dict[Hashable, Set[Hashable]]
+
+
+def build_graph(vertices: Iterable[Hashable], edges: Iterable[Tuple[Hashable, Hashable]]) -> Graph:
+    """Build an undirected adjacency mapping from vertices and edge pairs."""
+    graph: Graph = {vertex: set() for vertex in vertices}
+    for first, second in edges:
+        if first == second:
+            continue
+        if first not in graph or second not in graph:
+            raise ValueError(f"edge ({first!r}, {second!r}) references an unknown vertex")
+        graph[first].add(second)
+        graph[second].add(first)
+    return graph
+
+
+def maximum_clique(graph: Graph) -> FrozenSet[Hashable]:
+    """Exact maximum clique via Bron--Kerbosch with pivoting.
+
+    Exponential in the worst case -- intentionally so, since this is the
+    baseline cost the paper's O(mn) LCS evaluation is compared against.
+    """
+    best: Set[Hashable] = set()
+
+    def expand(candidate: Set[Hashable], allowed: Set[Hashable], excluded: Set[Hashable]) -> None:
+        nonlocal best
+        if not allowed and not excluded:
+            if len(candidate) > len(best):
+                best = set(candidate)
+            return
+        if len(candidate) + len(allowed) <= len(best):
+            return  # bound: cannot beat the best clique found so far
+        pivot_pool = allowed | excluded
+        pivot = max(pivot_pool, key=lambda vertex: len(graph[vertex] & allowed))
+        for vertex in list(allowed - graph[pivot]):
+            neighbours = graph[vertex]
+            expand(candidate | {vertex}, allowed & neighbours, excluded & neighbours)
+            allowed.remove(vertex)
+            excluded.add(vertex)
+
+    expand(set(), set(graph), set())
+    return frozenset(best)
+
+
+def greedy_clique(graph: Graph) -> FrozenSet[Hashable]:
+    """Greedy heuristic clique: repeatedly add the highest-degree compatible vertex.
+
+    Used only as a fast lower bound / comparison point; the baselines' actual
+    similarity definition requires the exact maximum.
+    """
+    clique: Set[Hashable] = set()
+    candidates = sorted(graph, key=lambda vertex: len(graph[vertex]), reverse=True)
+    for vertex in candidates:
+        if all(vertex in graph[member] for member in clique):
+            clique.add(vertex)
+    return frozenset(clique)
+
+
+def clique_number(graph: Graph) -> int:
+    """Size of the maximum clique."""
+    return len(maximum_clique(graph))

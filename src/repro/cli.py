@@ -1,0 +1,228 @@
+"""Command-line interface of the reproduction.
+
+A thin front-end over the library for the workflows a user of the paper's
+system would script:
+
+``python -m repro.cli encode <scene.json>``
+    Encode a scene file (the JSON form of a symbolic picture) and print its
+    2D BE-string.
+
+``python -m repro.cli build <database.json> <scene.json> [...]``
+    Encode one or more scene files into a database file.
+
+``python -m repro.cli search <database.json> <query-scene.json> [--invariant] [--top K]``
+    Run a similarity query against a stored database.
+
+``python -m repro.cli relations <database.json> "<predicate query>"``
+    Run a relation-predicate query ("monitor above desk and ...").
+
+``python -m repro.cli show <database.json> <image-id>``
+    ASCII-render one stored image.
+
+``python -m repro.cli demo``
+    Build a small synthetic database in a temporary directory and run an
+    example query end to end (no input files needed).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.core.construct import encode_picture
+from repro.iconic.ascii_art import render_ascii
+from repro.index.database import ImageDatabase
+from repro.index.storage import (
+    StorageError,
+    load_database,
+    picture_from_json_text,
+    save_database,
+)
+from repro.retrieval.predicates import PredicateError
+from repro.retrieval.system import RetrievalSystem
+
+
+class CliError(RuntimeError):
+    """Raised for user-facing CLI failures (bad paths, malformed files)."""
+
+
+def _load_picture(path: str):
+    try:
+        return picture_from_json_text(Path(path).read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        raise CliError(f"scene file not found: {path}") from None
+    except (StorageError, ValueError, KeyError) as error:
+        raise CliError(f"malformed scene file {path}: {error}") from error
+
+
+def _load_system(path: str) -> RetrievalSystem:
+    try:
+        database = load_database(path)
+    except FileNotFoundError:
+        raise CliError(f"database file not found: {path}") from None
+    except StorageError as error:
+        raise CliError(f"malformed database file {path}: {error}") from error
+    system = RetrievalSystem()
+    for record in database:
+        system.add_picture(record.picture, record.image_id)
+    return system
+
+
+# ----------------------------------------------------------------------
+# Sub-command implementations (each returns a process exit code)
+# ----------------------------------------------------------------------
+def _command_encode(arguments: argparse.Namespace) -> int:
+    picture = _load_picture(arguments.scene)
+    bestring = encode_picture(picture)
+    print(f"picture: {picture.name or arguments.scene} "
+          f"({len(picture)} objects, {picture.width:g}x{picture.height:g})")
+    print("x:", bestring.x.to_text())
+    print("y:", bestring.y.to_text())
+    print(f"storage: {bestring.total_symbols} symbols")
+    return 0
+
+
+def _command_build(arguments: argparse.Namespace) -> int:
+    database = ImageDatabase(name=Path(arguments.database).stem)
+    for index, scene_path in enumerate(arguments.scenes):
+        picture = _load_picture(scene_path)
+        image_id = picture.name or f"image-{index:04d}"
+        database.add_picture(picture, image_id)
+    save_database(database, arguments.database)
+    print(f"wrote {len(database)} images "
+          f"({database.total_objects()} objects, {database.total_storage_symbols()} symbols) "
+          f"to {arguments.database}")
+    return 0
+
+
+def _command_search(arguments: argparse.Namespace) -> int:
+    system = _load_system(arguments.database)
+    query = _load_picture(arguments.query)
+    results = system.search(
+        query, limit=arguments.top, invariant=arguments.invariant, use_filters=not arguments.no_filters
+    )
+    if not results:
+        print("no matching images")
+        return 1
+    for result in results:
+        print(result.describe())
+    return 0
+
+
+def _command_relations(arguments: argparse.Namespace) -> int:
+    system = _load_system(arguments.database)
+    try:
+        matches = system.search_by_relations(arguments.query, limit=arguments.top)
+    except PredicateError as error:
+        raise CliError(str(error)) from error
+    if not matches:
+        print("no matching images")
+        return 1
+    for match in matches:
+        print(match.describe())
+    return 0
+
+
+def _command_show(arguments: argparse.Namespace) -> int:
+    system = _load_system(arguments.database)
+    try:
+        print(system.show(arguments.image_id, columns=arguments.columns, rows=arguments.rows))
+    except KeyError:
+        raise CliError(f"no image {arguments.image_id!r} in {arguments.database}") from None
+    return 0
+
+
+def _command_demo(arguments: argparse.Namespace) -> int:
+    from repro.datasets.scenes import landscape_scene, office_scene, traffic_scene
+
+    pictures = (
+        [office_scene(variant) for variant in range(3)]
+        + [traffic_scene(variant) for variant in range(3)]
+        + [landscape_scene(variant) for variant in range(3)]
+    )
+    system = RetrievalSystem.from_pictures(pictures)
+    target = arguments.output or str(Path(tempfile.mkdtemp(prefix="repro-demo-")) / "demo-db.json")
+    system.save(target)
+    print(f"built a demo database of {len(system)} themed scenes at {target}")
+    print()
+    query = office_scene(0)
+    print("query: the canonical office scene; top 3 similarity matches:")
+    for result in system.search(query, limit=3):
+        print(" ", result.describe())
+    print()
+    print('relation query: "monitor above desk and phone right-of monitor"')
+    for match in system.search_by_relations(
+        "monitor above desk and phone right-of monitor", limit=3
+    ):
+        print(" ", match.describe())
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Argument parsing
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    """Build the CLI argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="2D BE-string image indexing and similarity retrieval (Wang, ICDCS 2001)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    encode = subparsers.add_parser("encode", help="encode a scene file as a 2D BE-string")
+    encode.add_argument("scene", help="path to a scene JSON file")
+    encode.set_defaults(handler=_command_encode)
+
+    build = subparsers.add_parser("build", help="build a database file from scene files")
+    build.add_argument("database", help="output database JSON path")
+    build.add_argument("scenes", nargs="+", help="scene JSON files to index")
+    build.set_defaults(handler=_command_build)
+
+    search = subparsers.add_parser("search", help="similarity query against a database")
+    search.add_argument("database", help="database JSON path")
+    search.add_argument("query", help="query scene JSON path")
+    search.add_argument("--top", type=int, default=10, help="number of results (default 10)")
+    search.add_argument(
+        "--invariant", action="store_true", help="also match rotations and reflections"
+    )
+    search.add_argument(
+        "--no-filters", action="store_true", help="score every image (skip candidate pruning)"
+    )
+    search.set_defaults(handler=_command_search)
+
+    relations = subparsers.add_parser("relations", help="relation-predicate query")
+    relations.add_argument("database", help="database JSON path")
+    relations.add_argument("query", help='predicate query, e.g. "car left-of tree"')
+    relations.add_argument("--top", type=int, default=10, help="number of results (default 10)")
+    relations.set_defaults(handler=_command_relations)
+
+    show = subparsers.add_parser("show", help="ASCII-render a stored image")
+    show.add_argument("database", help="database JSON path")
+    show.add_argument("image_id", help="id of the stored image")
+    show.add_argument("--columns", type=int, default=60)
+    show.add_argument("--rows", type=int, default=20)
+    show.set_defaults(handler=_command_show)
+
+    demo = subparsers.add_parser("demo", help="build and query a synthetic demo database")
+    demo.add_argument("--output", help="where to write the demo database JSON")
+    demo.set_defaults(handler=_command_demo)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    arguments = parser.parse_args(argv)
+    try:
+        return arguments.handler(arguments)
+    except CliError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests of main()
+    sys.exit(main())

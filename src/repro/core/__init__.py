@@ -1,0 +1,81 @@
+"""The paper's primary contribution: the 2D BE-string spatial relation model.
+
+Public surface:
+
+* :mod:`~repro.core.symbols` -- boundary symbols and the dummy object ``E``.
+* :mod:`~repro.core.bestring` -- per-axis BE-strings and the 2-D pair.
+* :mod:`~repro.core.construct` -- Algorithm 1 (``Convert-2D-Be-String``) plus
+  the idiomatic :func:`~repro.core.construct.encode_picture` entry point.
+* :mod:`~repro.core.lcs` -- Algorithms 2 and 3 (modified LCS length and LCS
+  string reconstruction).
+* :mod:`~repro.core.similarity` -- the similarity evaluation process built on
+  the modified LCS (Section 4).
+* :mod:`~repro.core.transforms` -- retrieval of rotations and reflections by
+  string reversal/swap only (Section 4 / conclusions).
+* :mod:`~repro.core.editing` -- dynamic insert/delete of objects in a stored
+  BE-string via binary search (Section 3.2).
+* :mod:`~repro.core.reasoning` -- recovery of pairwise spatial relations from
+  a BE-string, used to check the paper's key LCS soundness claim.
+"""
+
+from repro.core.bestring import AxisBEString, BEString2D
+from repro.core.construct import convert_2d_be_string, encode_picture
+from repro.core.editing import IndexedBEString
+from repro.core.errors import BEStringError, EncodingError, SimilarityError
+from repro.core.lcs import (
+    be_lcs_length,
+    be_lcs_string,
+    be_lcs_table,
+    print_2d_be_lcs,
+)
+from repro.core.reasoning import axis_relation, pairwise_relations_from_bestring
+from repro.core.similarity import (
+    AxisSimilarity,
+    SimilarityPolicy,
+    SimilarityResult,
+    similarity,
+    similarity_between_pictures,
+)
+from repro.core.symbols import BoundaryKind, Symbol
+from repro.core.transforms import (
+    Transformation,
+    all_transformations,
+    reflect_x,
+    reflect_y,
+    rotate90,
+    rotate180,
+    rotate270,
+    transform,
+)
+
+__all__ = [
+    "AxisBEString",
+    "BEString2D",
+    "convert_2d_be_string",
+    "encode_picture",
+    "IndexedBEString",
+    "BEStringError",
+    "EncodingError",
+    "SimilarityError",
+    "be_lcs_length",
+    "be_lcs_string",
+    "be_lcs_table",
+    "print_2d_be_lcs",
+    "axis_relation",
+    "pairwise_relations_from_bestring",
+    "AxisSimilarity",
+    "SimilarityPolicy",
+    "SimilarityResult",
+    "similarity",
+    "similarity_between_pictures",
+    "BoundaryKind",
+    "Symbol",
+    "Transformation",
+    "all_transformations",
+    "reflect_x",
+    "reflect_y",
+    "rotate90",
+    "rotate180",
+    "rotate270",
+    "transform",
+]

@@ -1,0 +1,15 @@
+"""Exception hierarchy of the 2D BE-string core."""
+
+from __future__ import annotations
+
+
+class BEStringError(ValueError):
+    """Base class for all 2D BE-string model errors."""
+
+
+class EncodingError(BEStringError):
+    """Raised when a picture cannot be encoded or a string fails validation."""
+
+
+class SimilarityError(BEStringError):
+    """Raised when a similarity evaluation is requested on invalid inputs."""

@@ -1,0 +1,192 @@
+"""Spatial reasoning over 2D BE-strings.
+
+The central soundness argument of the paper's similarity evaluation is:
+
+    "The LCS string implies that, in query image and database image, all the
+    spatial relationships of every two objects in LCS string are the same."
+
+That argument works because a BE-string preserves the *ordinal* positions of
+every begin/end boundary: two boundary symbols separated by at least one dummy
+object project to distinct coordinates, while adjacent boundary symbols
+project to the same coordinate.  This module recovers those ordinal positions
+and re-derives the Allen relations (and full 2-D relations) between any two
+objects directly from the strings -- which is exactly the information the 2-D
+string family stores via spatial operators.
+
+The property-based tests use these functions to verify both that reasoning
+from a BE-string agrees with the geometric ground truth, and that the paper's
+LCS soundness claim holds on the fully matched objects.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.bestring import AxisBEString, BEString2D
+from repro.core.errors import BEStringError
+from repro.geometry.allen import AllenRelation, allen_relation
+from repro.geometry.interval import Interval
+from repro.geometry.relations import SpatialRelation
+
+
+def boundary_ranks(axis: AxisBEString) -> Dict[str, Interval]:
+    """Ordinal interval of every object on one axis.
+
+    Walking the string left to right, a counter increases every time a dummy
+    object is crossed; boundary symbols between the same pair of dummies share
+    the counter value, i.e. project to the same coordinate.  Each object's
+    ordinal interval is ``[rank(begin), rank(end)]``.
+    """
+    rank = 0
+    begins: Dict[str, int] = {}
+    ends: Dict[str, int] = {}
+    for symbol in axis.symbols:
+        if symbol.is_dummy:
+            rank += 1
+            continue
+        assert symbol.identifier is not None
+        if symbol.is_begin:
+            if symbol.identifier in begins:
+                raise BEStringError(
+                    f"object {symbol.identifier!r} has two begin boundaries"
+                )
+            begins[symbol.identifier] = rank
+        else:
+            if symbol.identifier in ends:
+                raise BEStringError(
+                    f"object {symbol.identifier!r} has two end boundaries"
+                )
+            ends[symbol.identifier] = rank
+    if set(begins) != set(ends):
+        unbalanced = set(begins) ^ set(ends)
+        raise BEStringError(f"objects with unbalanced boundaries: {sorted(unbalanced)}")
+    return {
+        identifier: Interval(float(begins[identifier]), float(ends[identifier]))
+        for identifier in begins
+    }
+
+
+def axis_relation(axis: AxisBEString, first: str, second: str) -> AllenRelation:
+    """Allen relation between two objects' projections, inferred from the string."""
+    ranks = boundary_ranks(axis)
+    try:
+        a = ranks[first]
+        b = ranks[second]
+    except KeyError as missing:
+        raise BEStringError(f"object {missing.args[0]!r} is not on this axis") from None
+    return allen_relation(a, b)
+
+
+def pairwise_relations_from_bestring(
+    bestring: BEString2D, identifiers: Optional[Iterable[str]] = None
+) -> Dict[Tuple[str, str], SpatialRelation]:
+    """Full 2-D spatial relation for every unordered pair of objects.
+
+    ``identifiers`` restricts the computation to a subset (e.g. the fully
+    matched objects of an LCS); by default all objects of the string are used.
+    Pairs are keyed by their identifiers in sorted order.
+    """
+    x_ranks = boundary_ranks(bestring.x)
+    y_ranks = boundary_ranks(bestring.y)
+    if identifiers is None:
+        selected: List[str] = sorted(set(x_ranks) & set(y_ranks))
+    else:
+        selected = sorted(set(identifiers))
+        missing = [name for name in selected if name not in x_ranks or name not in y_ranks]
+        if missing:
+            raise BEStringError(f"objects not present in the BE-string: {missing}")
+    relations: Dict[Tuple[str, str], SpatialRelation] = {}
+    for i, first in enumerate(selected):
+        for second in selected[i + 1 :]:
+            relations[(first, second)] = SpatialRelation(
+                x=allen_relation(x_ranks[first], x_ranks[second]),
+                y=allen_relation(y_ranks[first], y_ranks[second]),
+            )
+    return relations
+
+
+def relations_agree(
+    query: BEString2D, database: BEString2D, identifiers: Iterable[str]
+) -> bool:
+    """True when every pairwise relation among ``identifiers`` is identical.
+
+    This is the machine-checkable form of the paper's LCS soundness claim: for
+    the objects fully matched by the modified LCS, the relation of every pair
+    must be the same in the query image and the database image.
+    """
+    names = sorted(set(identifiers))
+    query_relations = pairwise_relations_from_bestring(query, names)
+    database_relations = pairwise_relations_from_bestring(database, names)
+    return query_relations == database_relations
+
+
+def relations_compatible(
+    query: BEString2D, database: BEString2D, identifiers: Iterable[str]
+) -> bool:
+    """True when no boundary ordering is *inverted* between the two images.
+
+    This is the provable form of the paper's LCS soundness claim.  The LCS
+    preserves the relative order of every matched boundary symbol, so for any
+    two fully matched objects a boundary that lies strictly before another in
+    the query can never lie strictly after it in the database image -- but a
+    coincidence (equal projection) in one image may correspond to a strict
+    ordering in the other, because the dummy object separating the two
+    boundaries need not itself be part of the LCS.  :func:`relations_agree`
+    checks the stronger exact-relation property, which holds whenever the
+    matched objects have identical geometry (full matches and sub-scenes).
+    """
+    names = sorted(set(identifiers))
+    query_x = boundary_ranks(query.x)
+    query_y = boundary_ranks(query.y)
+    database_x = boundary_ranks(database.x)
+    database_y = boundary_ranks(database.y)
+    missing = [
+        name
+        for name in names
+        if name not in query_x or name not in query_y
+        or name not in database_x or name not in database_y
+    ]
+    if missing:
+        raise BEStringError(f"objects not present in both BE-strings: {missing}")
+
+    def sign(value: float) -> int:
+        if value > 0:
+            return 1
+        if value < 0:
+            return -1
+        return 0
+
+    def inverted(query_ranks, database_ranks, first: str, second: str) -> bool:
+        query_values = (query_ranks[first].begin, query_ranks[first].end)
+        database_values = (database_ranks[first].begin, database_ranks[first].end)
+        other_query = (query_ranks[second].begin, query_ranks[second].end)
+        other_database = (database_ranks[second].begin, database_ranks[second].end)
+        for i in range(2):
+            for j in range(2):
+                query_sign = sign(query_values[i] - other_query[j])
+                database_sign = sign(database_values[i] - other_database[j])
+                if query_sign * database_sign < 0:
+                    return True
+        return False
+
+    for index, first in enumerate(names):
+        for second in names[index + 1 :]:
+            if inverted(query_x, database_x, first, second):
+                return False
+            if inverted(query_y, database_y, first, second):
+                return False
+    return True
+
+
+def disagreeing_pairs(
+    query: BEString2D, database: BEString2D, identifiers: Iterable[str]
+) -> List[Tuple[str, str]]:
+    """The pairs among ``identifiers`` whose relations differ (diagnostics)."""
+    names = sorted(set(identifiers))
+    query_relations = pairwise_relations_from_bestring(query, names)
+    database_relations = pairwise_relations_from_bestring(database, names)
+    return [
+        pair
+        for pair in query_relations
+        if query_relations[pair] != database_relations[pair]
+    ]

@@ -1,0 +1,145 @@
+"""Symbols of the 2D BE-string alphabet.
+
+A 2D BE-string is a sequence over exactly two kinds of symbol:
+
+* **boundary symbols** -- the begin (``b``) or end (``e``) boundary of one
+  icon object's MBR projection, written ``A.b`` / ``A.e`` in text form, and
+* the **dummy object** ``E`` -- "not a real object in the original image; it
+  can be specified as any size of space" (Section 3.1).  A dummy between two
+  boundary symbols states that their projections are *distinct*; its absence
+  states they coincide.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+from repro.core.errors import EncodingError
+
+#: Text form of the dummy object, as in the paper.
+DUMMY_TEXT = "E"
+
+
+class BoundaryKind(Enum):
+    """Whether a boundary symbol is the begin or the end of an MBR projection."""
+
+    BEGIN = "b"
+    END = "e"
+
+    @property
+    def opposite(self) -> "BoundaryKind":
+        """The other boundary kind (begin <-> end)."""
+        return BoundaryKind.END if self is BoundaryKind.BEGIN else BoundaryKind.BEGIN
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True, order=True)
+class Symbol:
+    """One symbol of a 2D BE-string.
+
+    ``identifier`` and ``kind`` are both ``None`` for the dummy object and both
+    set for a boundary symbol.  Symbols are immutable and hashable so they can
+    be compared directly inside the LCS dynamic program and used as index keys.
+    """
+
+    identifier: Optional[str] = None
+    kind: Optional[BoundaryKind] = None
+
+    def __post_init__(self) -> None:
+        if (self.identifier is None) != (self.kind is None):
+            raise EncodingError(
+                "a symbol is either a dummy (no identifier, no kind) or a "
+                "boundary symbol (both identifier and kind)"
+            )
+        if self.identifier is not None and not self.identifier:
+            raise EncodingError("boundary symbols need a non-empty identifier")
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def dummy(cls) -> "Symbol":
+        """The dummy object ``E``."""
+        return _DUMMY
+
+    @classmethod
+    def begin(cls, identifier: str) -> "Symbol":
+        """The begin boundary of ``identifier``."""
+        return cls(identifier=identifier, kind=BoundaryKind.BEGIN)
+
+    @classmethod
+    def end(cls, identifier: str) -> "Symbol":
+        """The end boundary of ``identifier``."""
+        return cls(identifier=identifier, kind=BoundaryKind.END)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def is_dummy(self) -> bool:
+        """True for the dummy object ``E``."""
+        return self.identifier is None
+
+    @property
+    def is_boundary(self) -> bool:
+        """True for a begin/end boundary symbol."""
+        return self.identifier is not None
+
+    @property
+    def is_begin(self) -> bool:
+        """True for a begin boundary symbol."""
+        return self.kind is BoundaryKind.BEGIN
+
+    @property
+    def is_end(self) -> bool:
+        """True for an end boundary symbol."""
+        return self.kind is BoundaryKind.END
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+    def swapped(self) -> "Symbol":
+        """Begin becomes end and vice versa; the dummy is unchanged.
+
+        This is the symbol-level operation behind the paper's "reverse the
+        string" treatment of rotations and reflections: mirroring an axis maps
+        each begin boundary onto the corresponding end boundary.
+        """
+        if self.is_dummy:
+            return self
+        assert self.kind is not None
+        return Symbol(identifier=self.identifier, kind=self.kind.opposite)
+
+    # ------------------------------------------------------------------
+    # Text form
+    # ------------------------------------------------------------------
+    def to_text(self) -> str:
+        """``E`` for the dummy, ``<identifier>.<b|e>`` for boundaries."""
+        if self.is_dummy:
+            return DUMMY_TEXT
+        assert self.kind is not None
+        return f"{self.identifier}.{self.kind.value}"
+
+    @classmethod
+    def from_text(cls, token: str) -> "Symbol":
+        """Parse a single symbol token produced by :meth:`to_text`."""
+        if token == DUMMY_TEXT:
+            return cls.dummy()
+        if "." not in token:
+            raise EncodingError(f"malformed boundary symbol token {token!r}")
+        identifier, _, kind_text = token.rpartition(".")
+        try:
+            kind = BoundaryKind(kind_text)
+        except ValueError:
+            raise EncodingError(f"unknown boundary kind in token {token!r}") from None
+        return cls(identifier=identifier, kind=kind)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.to_text()
+
+
+_DUMMY = Symbol()

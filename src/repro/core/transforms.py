@@ -1,0 +1,150 @@
+"""Retrieval of linear transformations by string manipulation only.
+
+Section 4 / the conclusions of the paper claim that retrieving the 90, 180 and
+270 degree clockwise rotations and the x-/y-axis reflections of an image
+represented by a 2D BE-string "only need to reverse the string then apply the
+similarity retrieval", with no conversion of spatial operators.
+
+Mirroring one axis of an image maps coordinate ``c`` to ``extent - c``; at the
+string level that is exactly
+:meth:`~repro.core.bestring.AxisBEString.reversed_swapped` (reverse the symbol
+order and swap begin/end boundaries).  Rotations additionally exchange the two
+axis strings.  The geometric transforms on
+:class:`~repro.iconic.picture.SymbolicPicture` are the ground truth these
+string-level transforms are validated against in the test suite.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Dict, Iterable, List, Tuple
+
+from repro.core.bestring import BEString2D
+
+
+class Transformation(Enum):
+    """The linear transformations the paper retrieves by string reversal."""
+
+    IDENTITY = "identity"
+    ROTATE_90 = "rotate90"
+    ROTATE_180 = "rotate180"
+    ROTATE_270 = "rotate270"
+    REFLECT_X = "reflect_x"
+    REFLECT_Y = "reflect_y"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+def reflect_y(bestring: BEString2D) -> BEString2D:
+    """Reflection across the y-axis (horizontal mirror).
+
+    The x-projection order reverses with begin/end swapped; the y-string is
+    untouched.
+    """
+    return BEString2D(bestring.x.reversed_swapped(), bestring.y, bestring.name)
+
+
+def reflect_x(bestring: BEString2D) -> BEString2D:
+    """Reflection across the x-axis (vertical mirror)."""
+    return BEString2D(bestring.x, bestring.y.reversed_swapped(), bestring.name)
+
+
+def rotate90(bestring: BEString2D) -> BEString2D:
+    """90 degree clockwise rotation.
+
+    A point ``(x, y)`` maps to ``(H - y, x)``: the new x-string is the
+    reversed-and-swapped old y-string and the new y-string is the old
+    x-string unchanged.
+    """
+    return BEString2D(bestring.y.reversed_swapped(), bestring.x, bestring.name)
+
+
+def rotate180(bestring: BEString2D) -> BEString2D:
+    """180 degree rotation: both axes reversed and swapped."""
+    return BEString2D(
+        bestring.x.reversed_swapped(), bestring.y.reversed_swapped(), bestring.name
+    )
+
+
+def rotate270(bestring: BEString2D) -> BEString2D:
+    """270 degree clockwise rotation (90 counter-clockwise)."""
+    return BEString2D(bestring.y, bestring.x.reversed_swapped(), bestring.name)
+
+
+_TRANSFORM_FUNCTIONS = {
+    Transformation.IDENTITY: lambda bestring: bestring,
+    Transformation.ROTATE_90: rotate90,
+    Transformation.ROTATE_180: rotate180,
+    Transformation.ROTATE_270: rotate270,
+    Transformation.REFLECT_X: reflect_x,
+    Transformation.REFLECT_Y: reflect_y,
+}
+
+#: The transformation that undoes each transformation.
+INVERSE_TRANSFORMATION = {
+    Transformation.IDENTITY: Transformation.IDENTITY,
+    Transformation.ROTATE_90: Transformation.ROTATE_270,
+    Transformation.ROTATE_180: Transformation.ROTATE_180,
+    Transformation.ROTATE_270: Transformation.ROTATE_90,
+    Transformation.REFLECT_X: Transformation.REFLECT_X,
+    Transformation.REFLECT_Y: Transformation.REFLECT_Y,
+}
+
+
+def transform(bestring: BEString2D, transformation: Transformation) -> BEString2D:
+    """Apply a named transformation to a 2D BE-string."""
+    return _TRANSFORM_FUNCTIONS[transformation](bestring)
+
+
+def all_transformations(
+    bestring: BEString2D,
+    include: Iterable[Transformation] = tuple(Transformation),
+) -> Dict[Transformation, BEString2D]:
+    """All requested transformed variants of a 2D BE-string.
+
+    Used by the transformation-invariant retrieval mode: the query is expanded
+    into its variants and the best-scoring variant is reported.
+    """
+    return {transformation: transform(bestring, transformation) for transformation in include}
+
+
+def compose(first: Transformation, second: Transformation) -> List[Transformation]:
+    """Transformations equivalent to applying ``first`` then ``second``.
+
+    The six paper transformations do not form a closed group (the full
+    dihedral group of the square has eight elements; the two diagonal
+    reflections are not retrievable by axis reversal alone), so composition
+    may fall outside the set.  The function returns the list of equivalent
+    in-set transformations -- empty when the composition is one of the two
+    diagonal reflections.
+    """
+    rotations = {
+        Transformation.IDENTITY: 0,
+        Transformation.ROTATE_90: 1,
+        Transformation.ROTATE_180: 2,
+        Transformation.ROTATE_270: 3,
+    }
+    if first in rotations and second in rotations:
+        total = (rotations[first] + rotations[second]) % 4
+        for name, quarter_turns in rotations.items():
+            if quarter_turns == total:
+                return [name]
+    reflections = (Transformation.REFLECT_X, Transformation.REFLECT_Y)
+    if first in reflections and second in reflections:
+        if first == second:
+            return [Transformation.IDENTITY]
+        return [Transformation.ROTATE_180]
+    pair = {first, second}
+    if pair == {Transformation.IDENTITY, first} or pair == {Transformation.IDENTITY, second}:
+        other = second if first is Transformation.IDENTITY else first
+        return [other]
+    if Transformation.ROTATE_180 in pair and pair & set(reflections):
+        other = (pair - {Transformation.ROTATE_180}).pop()
+        flipped = (
+            Transformation.REFLECT_Y
+            if other is Transformation.REFLECT_X
+            else Transformation.REFLECT_X
+        )
+        return [flipped]
+    return []

@@ -1,0 +1,50 @@
+"""Synthetic workloads.
+
+The paper's demonstration system used an in-house image collection that was
+never published, so the reproduction generates synthetic symbolic scenes that
+exercise the same code paths (icons + MBRs in, BE-strings and rankings out):
+
+* :mod:`~repro.datasets.synthetic` -- seeded random scene generators,
+  including the aligned / staircase layouts used for best- and worst-case
+  storage experiments.
+* :mod:`~repro.datasets.scenes` -- deterministic themed scenes (office,
+  traffic, landscape) built from the icon vocabularies, used by the examples.
+* :mod:`~repro.datasets.transforms_gen` -- transformed, perturbed, partial and
+  scrambled variants of a base scene.
+* :mod:`~repro.datasets.corpus` -- labelled corpora with relevance ground
+  truth for the retrieval-quality experiments (E5, E6, E9).
+"""
+
+from repro.datasets.corpus import Corpus, planted_retrieval_corpus, transformation_corpus
+from repro.datasets.scenes import landscape_scene, office_scene, traffic_scene
+from repro.datasets.synthetic import (
+    SceneParameters,
+    aligned_picture,
+    random_picture,
+    random_pictures,
+    staircase_picture,
+)
+from repro.datasets.transforms_gen import (
+    partial_variant,
+    perturbed_variant,
+    scrambled_variant,
+    transformed_variants,
+)
+
+__all__ = [
+    "Corpus",
+    "planted_retrieval_corpus",
+    "transformation_corpus",
+    "landscape_scene",
+    "office_scene",
+    "traffic_scene",
+    "SceneParameters",
+    "aligned_picture",
+    "random_picture",
+    "random_pictures",
+    "staircase_picture",
+    "partial_variant",
+    "perturbed_variant",
+    "scrambled_variant",
+    "transformed_variants",
+]

@@ -1,0 +1,176 @@
+"""Labelled retrieval corpora with relevance ground truth.
+
+A :class:`Corpus` is a list of database pictures, a list of query pictures,
+and for each query the set of database image ids considered relevant.  Two
+builders produce the corpora the quality experiments need:
+
+* :func:`planted_retrieval_corpus` (E5, E9) -- for each of a set of base
+  scenes, the corpus contains the scene itself, a perturbed copy and a partial
+  copy (all relevant to that scene's query), a scrambled copy and unrelated
+  random scenes (not relevant).  Queries are partial views of each base scene,
+  reproducing the paper's "query targets and/or spatial relationships are not
+  certain" setting.
+* :func:`transformation_corpus` (E6) -- each base scene is planted in exactly
+  one transformed orientation among distractors; the query is the original
+  scene and the transformed copy is its only relevant image.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.transforms import Transformation
+from repro.datasets.scenes import landscape_scene, office_scene, traffic_scene
+from repro.datasets.synthetic import SceneParameters, random_picture
+from repro.datasets.transforms_gen import (
+    partial_variant,
+    perturbed_variant,
+    scrambled_variant,
+    transformed_variants,
+)
+from repro.iconic.picture import SymbolicPicture
+
+
+@dataclass
+class Corpus:
+    """Database pictures, query pictures and per-query relevance sets."""
+
+    name: str
+    database_pictures: List[SymbolicPicture] = field(default_factory=list)
+    queries: List[SymbolicPicture] = field(default_factory=list)
+    relevance: Dict[str, Set[str]] = field(default_factory=dict)
+
+    def relevant_to(self, query_name: str) -> Set[str]:
+        """Ids of the database images relevant to ``query_name``."""
+        return set(self.relevance.get(query_name, set()))
+
+    @property
+    def database_ids(self) -> List[str]:
+        """Names of all database pictures."""
+        return [picture.name for picture in self.database_pictures]
+
+    def validate(self) -> None:
+        """Check that every relevance entry points at existing pictures."""
+        database_ids = set(self.database_ids)
+        query_ids = {query.name for query in self.queries}
+        for query_name, relevant in self.relevance.items():
+            if query_name not in query_ids:
+                raise ValueError(f"relevance refers to unknown query {query_name!r}")
+            missing = relevant - database_ids
+            if missing:
+                raise ValueError(
+                    f"relevance of query {query_name!r} refers to unknown images "
+                    f"{sorted(missing)}"
+                )
+
+    def summary(self) -> Dict[str, int]:
+        """Sizes used in benchmark reports."""
+        return {
+            "database_images": len(self.database_pictures),
+            "queries": len(self.queries),
+            "relevant_pairs": sum(len(value) for value in self.relevance.values()),
+        }
+
+
+_BASE_SCENES = (office_scene, traffic_scene, landscape_scene)
+
+
+def _base_scene(index: int, variant: int = 0) -> SymbolicPicture:
+    builder = _BASE_SCENES[index % len(_BASE_SCENES)]
+    scene = builder(variant=variant)
+    return scene.renamed(f"{scene.name}-base{index:02d}")
+
+
+def planted_retrieval_corpus(
+    seed: int = 0,
+    base_scene_count: int = 3,
+    distractors_per_scene: int = 6,
+    query_keep_fraction: float = 0.6,
+    distractor_parameters: Optional[SceneParameters] = None,
+) -> Corpus:
+    """Corpus with planted full, perturbed, partial and scrambled copies.
+
+    For base scene ``i`` the database receives:
+
+    * the scene itself (relevant),
+    * a perturbed copy (relevant),
+    * a partial copy containing roughly 75% of the icons (relevant),
+    * a scrambled copy -- same icons, random layout (NOT relevant), and
+    * ``distractors_per_scene`` unrelated random scenes (NOT relevant).
+
+    The query for scene ``i`` keeps ``query_keep_fraction`` of its icons, so
+    both the query and some relevant images are partial -- the exact setting
+    the paper's LCS evaluation is designed for.
+    """
+    if not (0.0 < query_keep_fraction <= 1.0):
+        raise ValueError("query_keep_fraction must lie in (0, 1]")
+    rng = random.Random(seed)
+    corpus = Corpus(name=f"planted-{base_scene_count}x{distractors_per_scene}")
+    distractor_parameters = distractor_parameters or SceneParameters(object_count=8)
+    for index in range(base_scene_count):
+        base = _base_scene(index)
+        perturbed = perturbed_variant(base, seed=rng.randint(0, 2**31), amount=0.04)
+        partial_keep = max(2, int(round(len(base) * 0.75)))
+        partial = partial_variant(base, keep=partial_keep, seed=rng.randint(0, 2**31))
+        scrambled = scrambled_variant(base, seed=rng.randint(0, 2**31))
+        corpus.database_pictures.extend([base, perturbed, partial, scrambled])
+        relevant = {base.name, perturbed.name, partial.name}
+        for distractor_index in range(distractors_per_scene):
+            distractor = random_picture(
+                rng,
+                distractor_parameters,
+                name=f"distractor-{index:02d}-{distractor_index:02d}",
+            )
+            corpus.database_pictures.append(distractor)
+        query_keep = max(2, int(round(len(base) * query_keep_fraction)))
+        query = partial_variant(
+            base, keep=query_keep, seed=rng.randint(0, 2**31), name=f"query-{index:02d}"
+        )
+        corpus.queries.append(query)
+        corpus.relevance[query.name] = relevant
+    corpus.validate()
+    return corpus
+
+
+def transformation_corpus(
+    seed: int = 0,
+    base_scene_count: int = 6,
+    distractors_per_scene: int = 4,
+    transformations: Sequence[Transformation] = (
+        Transformation.ROTATE_90,
+        Transformation.ROTATE_180,
+        Transformation.ROTATE_270,
+        Transformation.REFLECT_X,
+        Transformation.REFLECT_Y,
+    ),
+    distractor_parameters: Optional[SceneParameters] = None,
+) -> Corpus:
+    """Corpus in which each relevant image is a *transformed* copy of its query.
+
+    Scene ``i`` is planted only as transformation ``transformations[i % k]``;
+    the query is the untransformed scene.  A retrieval method that cannot
+    search over rotations/reflections scores near zero here, while the paper's
+    string-reversal retrieval recovers every planted copy.
+    """
+    rng = random.Random(seed)
+    corpus = Corpus(name=f"transformed-{base_scene_count}x{distractors_per_scene}")
+    distractor_parameters = distractor_parameters or SceneParameters(object_count=8)
+    for index in range(base_scene_count):
+        base = _base_scene(index, variant=index)
+        transformation = transformations[index % len(transformations)]
+        planted = transformed_variants(base, include=(transformation,))[transformation]
+        corpus.database_pictures.append(planted)
+        for distractor_index in range(distractors_per_scene):
+            distractor = random_picture(
+                rng,
+                distractor_parameters,
+                name=f"distractor-{index:02d}-{distractor_index:02d}",
+            )
+            corpus.database_pictures.append(distractor)
+        query = base.renamed(f"query-{index:02d}")
+        corpus.queries.append(query)
+        corpus.relevance[query.name] = {planted.name}
+    corpus.validate()
+    return corpus

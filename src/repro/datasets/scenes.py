@@ -1,0 +1,150 @@
+"""Deterministic themed scenes used by the examples and the quality benchmarks.
+
+Each builder returns a small, human-interpretable scene from one of the icon
+vocabularies ("find all images in which the monitor is on the desk and the
+phone is to its right" is the kind of query the 2-D string literature
+motivates).  A ``variant`` index produces structured variations of the base
+layout: icons shifted, swapped or resized while keeping the scene plausible,
+which gives the retrieval-quality experiments a controlled mix of identical,
+similar and dissimilar database images.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from repro.geometry.rectangle import Rectangle
+from repro.iconic.picture import SymbolicPicture
+
+_Objects = List[Tuple[str, Rectangle]]
+
+
+def _jitter(rng: random.Random, amount: float) -> float:
+    return rng.uniform(-amount, amount)
+
+
+def _shift(mbr: Rectangle, dx: float, dy: float, width: float, height: float) -> Rectangle:
+    """Translate an MBR and clamp it back into the frame."""
+    dx = min(max(dx, -mbr.x_begin), width - mbr.x_end)
+    dy = min(max(dy, -mbr.y_begin), height - mbr.y_end)
+    return mbr.translate(dx, dy)
+
+
+def office_scene(variant: int = 0, name: str = "") -> SymbolicPicture:
+    """An office desk scene: desk, chair, monitor, keyboard, phone, lamp, shelf.
+
+    ``variant`` 0 is the canonical layout; higher variants jitter positions
+    (keeping the qualitative arrangement) and variants that are multiples of 5
+    additionally swap the phone and the lamp, changing some spatial relations.
+    """
+    width, height = 120.0, 90.0
+    rng = random.Random(1000 + variant)
+    amount = 0.0 if variant == 0 else 3.0
+    desk = Rectangle(20.0, 20.0, 100.0, 45.0)
+    chair = Rectangle(45.0, 5.0, 70.0, 20.0)
+    monitor = Rectangle(50.0, 45.0, 75.0, 65.0)
+    keyboard = Rectangle(52.0, 38.0, 72.0, 43.0)
+    phone = Rectangle(80.0, 45.0, 92.0, 55.0)
+    lamp = Rectangle(25.0, 45.0, 35.0, 70.0)
+    bookshelf = Rectangle(102.0, 20.0, 118.0, 85.0)
+    plant = Rectangle(5.0, 20.0, 15.0, 40.0)
+    if variant and variant % 5 == 0:
+        phone, lamp = (
+            Rectangle(25.0, 45.0, 37.0, 55.0),
+            Rectangle(80.0, 45.0, 90.0, 70.0),
+        )
+    objects: _Objects = []
+    for label, mbr in [
+        ("desk", desk),
+        ("chair", chair),
+        ("monitor", monitor),
+        ("keyboard", keyboard),
+        ("phone", phone),
+        ("lamp", lamp),
+        ("bookshelf", bookshelf),
+        ("plant", plant),
+    ]:
+        shifted = _shift(mbr, _jitter(rng, amount), _jitter(rng, amount), width, height)
+        objects.append((label, shifted))
+    return SymbolicPicture.build(
+        width=width, height=height, objects=objects, name=name or f"office-{variant:03d}"
+    )
+
+
+def traffic_scene(variant: int = 0, name: str = "") -> SymbolicPicture:
+    """A street scene: road-side buildings, vehicles, a crossing and a light.
+
+    Variants jitter vehicle positions; variants that are multiples of 4 move
+    the bus to the opposite side of the car, flipping their left/right
+    relation.
+    """
+    width, height = 160.0, 100.0
+    rng = random.Random(2000 + variant)
+    amount = 0.0 if variant == 0 else 4.0
+    building_left = Rectangle(0.0, 60.0, 40.0, 100.0)
+    building_right = Rectangle(120.0, 60.0, 160.0, 100.0)
+    crosswalk = Rectangle(70.0, 20.0, 90.0, 60.0)
+    traffic_light = Rectangle(92.0, 55.0, 98.0, 80.0)
+    car = Rectangle(20.0, 25.0, 45.0, 40.0)
+    bus = Rectangle(100.0, 22.0, 140.0, 45.0)
+    bicycle = Rectangle(55.0, 25.0, 65.0, 35.0)
+    pedestrian = Rectangle(75.0, 40.0, 82.0, 55.0)
+    if variant and variant % 4 == 0:
+        car, bus = (
+            Rectangle(100.0, 25.0, 125.0, 40.0),
+            Rectangle(10.0, 22.0, 50.0, 45.0),
+        )
+    objects: _Objects = []
+    for label, mbr in [
+        ("building", building_left),
+        ("building", building_right),
+        ("crosswalk", crosswalk),
+        ("traffic_light", traffic_light),
+        ("car", car),
+        ("bus", bus),
+        ("bicycle", bicycle),
+        ("pedestrian", pedestrian),
+    ]:
+        shifted = _shift(mbr, _jitter(rng, amount), _jitter(rng, amount), width, height)
+        objects.append((label, shifted))
+    return SymbolicPicture.build(
+        width=width, height=height, objects=objects, name=name or f"traffic-{variant:03d}"
+    )
+
+
+def landscape_scene(variant: int = 0, name: str = "") -> SymbolicPicture:
+    """A landscape: sun and cloud above a mountain, lake, house and trees.
+
+    Variants jitter element positions; variants that are multiples of 3 put
+    the sun behind the cloud (overlapping MBRs) instead of beside it.
+    """
+    width, height = 150.0, 100.0
+    rng = random.Random(3000 + variant)
+    amount = 0.0 if variant == 0 else 3.5
+    sun = Rectangle(10.0, 75.0, 30.0, 95.0)
+    cloud = Rectangle(50.0, 78.0, 90.0, 92.0)
+    mountain = Rectangle(80.0, 30.0, 150.0, 80.0)
+    lake = Rectangle(10.0, 5.0, 70.0, 25.0)
+    house = Rectangle(30.0, 30.0, 55.0, 50.0)
+    tree_one = Rectangle(60.0, 28.0, 72.0, 55.0)
+    tree_two = Rectangle(5.0, 30.0, 17.0, 52.0)
+    bird = Rectangle(95.0, 85.0, 102.0, 90.0)
+    if variant and variant % 3 == 0:
+        sun = Rectangle(55.0, 80.0, 75.0, 98.0)
+    objects: _Objects = []
+    for label, mbr in [
+        ("sun", sun),
+        ("cloud", cloud),
+        ("mountain", mountain),
+        ("lake", lake),
+        ("house", house),
+        ("tree", tree_one),
+        ("tree", tree_two),
+        ("bird", bird),
+    ]:
+        shifted = _shift(mbr, _jitter(rng, amount), _jitter(rng, amount), width, height)
+        objects.append((label, shifted))
+    return SymbolicPicture.build(
+        width=width, height=height, objects=objects, name=name or f"landscape-{variant:03d}"
+    )

@@ -1,0 +1,256 @@
+"""Seeded random scene generators.
+
+All generators take an explicit seed (or a ``random.Random`` instance) so that
+tests and benchmarks are reproducible run to run.  Three layout families cover
+the regimes the paper's complexity claims distinguish:
+
+* :func:`random_picture` -- independent random MBRs with a configurable
+  probability of boundary alignment (alignment creates the coincident
+  projections where the BE-string saves dummies and the B-string spends ``=``
+  operators);
+* :func:`aligned_picture` -- a tiling whose boundaries all coincide with grid
+  lines (the BE-string's best case);
+* :func:`staircase_picture` -- a chain of partially overlapping objects (the
+  C-string's quadratic-cut worst case).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.geometry.rectangle import Rectangle
+from repro.iconic.picture import SymbolicPicture
+
+#: Default label pool when the caller does not supply one: generic icon names.
+DEFAULT_LABELS: Tuple[str, ...] = tuple(f"icon{index:02d}" for index in range(40))
+
+RandomSource = Union[int, random.Random, None]
+
+
+def _rng(seed: RandomSource) -> random.Random:
+    if isinstance(seed, random.Random):
+        return seed
+    return random.Random(seed)
+
+
+@dataclass(frozen=True)
+class SceneParameters:
+    """Parameters of the random scene generator."""
+
+    width: float = 100.0
+    height: float = 100.0
+    object_count: int = 8
+    minimum_size: float = 4.0
+    maximum_size: float = 30.0
+    #: Probability that each generated boundary snaps to an integer grid line,
+    #: which creates coincident projections across objects.
+    alignment_probability: float = 0.25
+    #: Grid pitch used when snapping boundaries.
+    grid: float = 10.0
+    labels: Tuple[str, ...] = DEFAULT_LABELS
+    #: How labels are assigned to the generated objects: ``"cyclic"`` walks the
+    #: label pool in order (every scene of the same size uses the same label
+    #: multiset), ``"random"`` samples labels independently per object (scenes
+    #: share only some labels -- the regime where label-based candidate
+    #: filtering has something to prune).
+    label_choice: str = "cyclic"
+
+    def __post_init__(self) -> None:
+        if self.object_count < 0:
+            raise ValueError("object_count must be non-negative")
+        if self.minimum_size <= 0 or self.maximum_size < self.minimum_size:
+            raise ValueError("sizes must satisfy 0 < minimum_size <= maximum_size")
+        if not (0.0 <= self.alignment_probability <= 1.0):
+            raise ValueError("alignment_probability must lie in [0, 1]")
+        if self.maximum_size > min(self.width, self.height):
+            raise ValueError("maximum_size must fit inside the frame")
+        if self.object_count > 0 and not self.labels:
+            raise ValueError("at least one label is required")
+        if self.label_choice not in ("cyclic", "random"):
+            raise ValueError("label_choice must be 'cyclic' or 'random'")
+
+
+def _maybe_snap(value: float, parameters: SceneParameters, rng: random.Random) -> float:
+    if rng.random() < parameters.alignment_probability:
+        return round(value / parameters.grid) * parameters.grid
+    return round(value, 2)
+
+
+def random_picture(
+    seed: RandomSource = 0,
+    parameters: Optional[SceneParameters] = None,
+    name: str = "",
+) -> SymbolicPicture:
+    """Generate one random scene."""
+    parameters = parameters or SceneParameters()
+    rng = _rng(seed)
+    objects: List[Tuple[str, Rectangle]] = []
+    for index in range(parameters.object_count):
+        if parameters.label_choice == "random":
+            label = rng.choice(parameters.labels)
+        else:
+            label = parameters.labels[index % len(parameters.labels)]
+        width = rng.uniform(parameters.minimum_size, parameters.maximum_size)
+        height = rng.uniform(parameters.minimum_size, parameters.maximum_size)
+        x_begin = rng.uniform(0.0, parameters.width - width)
+        y_begin = rng.uniform(0.0, parameters.height - height)
+        x_begin = _maybe_snap(x_begin, parameters, rng)
+        y_begin = _maybe_snap(y_begin, parameters, rng)
+        x_end = _maybe_snap(min(parameters.width, x_begin + width), parameters, rng)
+        y_end = _maybe_snap(min(parameters.height, y_begin + height), parameters, rng)
+        x_end = max(x_end, x_begin + 1.0)
+        y_end = max(y_end, y_begin + 1.0)
+        x_end = min(x_end, parameters.width)
+        y_end = min(y_end, parameters.height)
+        x_begin = min(x_begin, x_end - 0.5) if x_end - 0.5 > 0 else x_begin
+        y_begin = min(y_begin, y_end - 0.5) if y_end - 0.5 > 0 else y_begin
+        x_begin = max(0.0, x_begin)
+        y_begin = max(0.0, y_begin)
+        objects.append((label, Rectangle(x_begin, y_begin, x_end, y_end)))
+    return SymbolicPicture.build(
+        width=parameters.width,
+        height=parameters.height,
+        objects=objects,
+        name=name or f"random-{parameters.object_count}",
+    )
+
+
+def random_pictures(
+    count: int,
+    seed: RandomSource = 0,
+    parameters: Optional[SceneParameters] = None,
+    name_prefix: str = "image",
+) -> List[SymbolicPicture]:
+    """Generate a list of random scenes with distinct names."""
+    rng = _rng(seed)
+    parameters = parameters or SceneParameters()
+    return [
+        random_picture(rng, parameters, name=f"{name_prefix}-{index:04d}")
+        for index in range(count)
+    ]
+
+
+def aligned_picture(
+    object_count: int,
+    width: float = 100.0,
+    height: float = 100.0,
+    labels: Sequence[str] = DEFAULT_LABELS,
+    name: str = "",
+) -> SymbolicPicture:
+    """A tiling whose boundaries all coincide: the BE-string's best case.
+
+    Objects are laid out in a row of equal-width tiles spanning the full
+    height, so consecutive x-boundaries coincide pairwise and the y-boundaries
+    all coincide with the frame edges: no dummy object is ever needed.
+    """
+    if object_count < 1:
+        raise ValueError("aligned_picture needs at least one object")
+    tile_width = width / object_count
+    objects: List[Tuple[str, Rectangle]] = []
+    for index in range(object_count):
+        label = labels[index % len(labels)]
+        x_begin = index * tile_width
+        x_end = width if index == object_count - 1 else (index + 1) * tile_width
+        objects.append((label, Rectangle(x_begin, 0.0, x_end, height)))
+    return SymbolicPicture.build(
+        width=width, height=height, objects=objects, name=name or f"aligned-{object_count}"
+    )
+
+
+def stacked_picture(
+    object_count: int,
+    width: float = 100.0,
+    height: float = 100.0,
+    labels: Sequence[str] = DEFAULT_LABELS,
+    name: str = "",
+) -> SymbolicPicture:
+    """Objects all spanning the entire frame: the BE-string's best case.
+
+    Every begin boundary projects to the image origin and every end boundary
+    to the image extent, so each axis needs only the ``2n`` boundary symbols
+    plus a single dummy between the begin and end groups -- the paper's
+    ``2n + 1`` best-case storage.
+    """
+    if object_count < 1:
+        raise ValueError("stacked_picture needs at least one object")
+    objects: List[Tuple[str, Rectangle]] = [
+        (labels[index % len(labels)], Rectangle(0.0, 0.0, width, height))
+        for index in range(object_count)
+    ]
+    return SymbolicPicture.build(
+        width=width, height=height, objects=objects, name=name or f"stacked-{object_count}"
+    )
+
+
+def staircase_picture(
+    object_count: int,
+    width: float = 100.0,
+    height: float = 100.0,
+    labels: Sequence[str] = DEFAULT_LABELS,
+    name: str = "",
+) -> SymbolicPicture:
+    """A chain of partially overlapping objects: the C-string's worst case.
+
+    Object ``i`` spans from ``i * step`` to the right edge of the frame on
+    both axes, so every earlier object's end boundary falls inside every later
+    object, producing O(n^2) C-string cuts while the BE-string still needs
+    only O(n) symbols.
+    """
+    if object_count < 1:
+        raise ValueError("staircase_picture needs at least one object")
+    step_x = width / (object_count + 1)
+    step_y = height / (object_count + 1)
+    objects: List[Tuple[str, Rectangle]] = []
+    for index in range(object_count):
+        label = labels[index % len(labels)]
+        objects.append(
+            (
+                label,
+                Rectangle(
+                    index * step_x,
+                    index * step_y,
+                    width - (object_count - index - 1) * step_x * 0.5,
+                    height - (object_count - index - 1) * step_y * 0.5,
+                ),
+            )
+        )
+    return SymbolicPicture.build(
+        width=width,
+        height=height,
+        objects=objects,
+        name=name or f"staircase-{object_count}",
+    )
+
+
+def distinct_boundaries_picture(
+    object_count: int,
+    width: float = 1000.0,
+    height: float = 1000.0,
+    labels: Sequence[str] = DEFAULT_LABELS,
+    name: str = "",
+) -> SymbolicPicture:
+    """Disjoint objects with all-distinct projections and free space at edges.
+
+    This is the BE-string's worst case: every gap needs a dummy, giving the
+    full ``4n + 1`` symbols per axis.
+    """
+    if object_count < 1:
+        raise ValueError("distinct_boundaries_picture needs at least one object")
+    slot_x = width / (2 * object_count + 1)
+    slot_y = height / (2 * object_count + 1)
+    objects: List[Tuple[str, Rectangle]] = []
+    for index in range(object_count):
+        label = labels[index % len(labels)]
+        x_begin = (2 * index + 0.5) * slot_x
+        y_begin = (2 * index + 0.5) * slot_y
+        objects.append(
+            (label, Rectangle(x_begin, y_begin, x_begin + slot_x, y_begin + slot_y))
+        )
+    return SymbolicPicture.build(
+        width=width,
+        height=height,
+        objects=objects,
+        name=name or f"distinct-{object_count}",
+    )

@@ -1,0 +1,124 @@
+"""Variant generators: transformed, perturbed, partial and scrambled scenes.
+
+The retrieval-quality experiments need database images standing in controlled
+relationships to a query scene:
+
+* :func:`transformed_variants` -- the six geometric transforms of a scene
+  (what experiment E6 plants and must retrieve via string reversal);
+* :func:`perturbed_variant` -- icons nudged without changing the frame, which
+  typically preserves most but not all pairwise relations (a "similar" image);
+* :func:`partial_variant` -- a subset of the icons (a "partial match", the
+  uncertain-query case of Section 4);
+* :func:`scrambled_variant` -- the same icon multiset at random positions (a
+  hard negative: matching icon sets, different spatial structure).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.core.transforms import Transformation
+from repro.geometry.rectangle import Rectangle
+from repro.iconic.picture import SymbolicPicture
+
+RandomSource = Union[int, random.Random, None]
+
+
+def _rng(seed: RandomSource) -> random.Random:
+    if isinstance(seed, random.Random):
+        return seed
+    return random.Random(seed)
+
+
+_GEOMETRIC_TRANSFORMS = {
+    Transformation.IDENTITY: lambda picture: picture,
+    Transformation.ROTATE_90: SymbolicPicture.rotate90,
+    Transformation.ROTATE_180: SymbolicPicture.rotate180,
+    Transformation.ROTATE_270: SymbolicPicture.rotate270,
+    Transformation.REFLECT_X: SymbolicPicture.reflect_x,
+    Transformation.REFLECT_Y: SymbolicPicture.reflect_y,
+}
+
+
+def transformed_variants(
+    picture: SymbolicPicture,
+    include: Sequence[Transformation] = tuple(Transformation),
+) -> Dict[Transformation, SymbolicPicture]:
+    """Geometrically transformed copies of a picture, named per transformation."""
+    variants: Dict[Transformation, SymbolicPicture] = {}
+    for transformation in include:
+        transformed = _GEOMETRIC_TRANSFORMS[transformation](picture)
+        variants[transformation] = transformed.renamed(
+            f"{picture.name}-{transformation.value}" if picture.name else transformation.value
+        )
+    return variants
+
+
+def perturbed_variant(
+    picture: SymbolicPicture,
+    seed: RandomSource = 0,
+    amount: float = 0.05,
+    name: str = "",
+) -> SymbolicPicture:
+    """Nudge every icon by up to ``amount`` of the frame size (clamped inside)."""
+    rng = _rng(seed)
+    max_dx = amount * picture.width
+    max_dy = amount * picture.height
+    objects = []
+    for icon in picture.icons:
+        dx = rng.uniform(-max_dx, max_dx)
+        dy = rng.uniform(-max_dy, max_dy)
+        dx = min(max(dx, -icon.mbr.x_begin), picture.width - icon.mbr.x_end)
+        dy = min(max(dy, -icon.mbr.y_begin), picture.height - icon.mbr.y_end)
+        objects.append((icon.label, icon.mbr.translate(dx, dy)))
+    return SymbolicPicture.build(
+        width=picture.width,
+        height=picture.height,
+        objects=objects,
+        name=name or f"{picture.name}-perturbed",
+    )
+
+
+def partial_variant(
+    picture: SymbolicPicture,
+    keep: int,
+    seed: RandomSource = 0,
+    name: str = "",
+) -> SymbolicPicture:
+    """Keep only ``keep`` randomly chosen icons of the picture."""
+    if keep < 1 or keep > len(picture):
+        raise ValueError(f"keep must be between 1 and {len(picture)}")
+    rng = _rng(seed)
+    identifiers = list(picture.identifiers)
+    rng.shuffle(identifiers)
+    subset = picture.subset(identifiers[:keep])
+    return subset.renamed(name or f"{picture.name}-partial{keep}")
+
+
+def scrambled_variant(
+    picture: SymbolicPicture,
+    seed: RandomSource = 0,
+    name: str = "",
+) -> SymbolicPicture:
+    """Same icons (labels and sizes), positions drawn uniformly at random.
+
+    A hard negative for retrieval: it passes any label-based filter but its
+    spatial relations are unrelated to the original.
+    """
+    rng = _rng(seed)
+    objects = []
+    for icon in picture.icons:
+        width = min(icon.mbr.width, picture.width)
+        height = min(icon.mbr.height, picture.height)
+        x_begin = rng.uniform(0.0, picture.width - width)
+        y_begin = rng.uniform(0.0, picture.height - height)
+        objects.append(
+            (icon.label, Rectangle(x_begin, y_begin, x_begin + width, y_begin + height))
+        )
+    return SymbolicPicture.build(
+        width=picture.width,
+        height=picture.height,
+        objects=objects,
+        name=name or f"{picture.name}-scrambled",
+    )

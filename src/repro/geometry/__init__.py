@@ -1,0 +1,43 @@
+"""Geometric substrate for the 2D BE-string reproduction.
+
+The paper's spatial-relation model consumes only icon identifiers plus their
+minimum bounding rectangles (MBRs).  This subpackage provides the geometric
+vocabulary every other layer builds on:
+
+* :class:`~repro.geometry.point.Point` -- an integer/float 2-D point.
+* :class:`~repro.geometry.interval.Interval` -- a closed 1-D interval, the
+  projection of an MBR on one axis.
+* :class:`~repro.geometry.rectangle.Rectangle` -- an axis-aligned MBR with
+  intersection/union/containment/transform operations.
+* :mod:`~repro.geometry.allen` -- Allen's thirteen interval relations, which
+  are exactly the relations the 2-D string family's spatial operators encode.
+* :mod:`~repro.geometry.relations` -- 2-D spatial relation categories built
+  from per-axis Allen relations, plus the coarse directional relations used by
+  the type-0/1/2 similarity baselines.
+"""
+
+from repro.geometry.allen import AllenRelation, allen_relation, inverse_relation
+from repro.geometry.interval import Interval
+from repro.geometry.point import Point
+from repro.geometry.rectangle import Rectangle
+from repro.geometry.relations import (
+    DirectionalRelation,
+    SpatialRelation,
+    TopologicalClass,
+    directional_relation,
+    spatial_relation,
+)
+
+__all__ = [
+    "AllenRelation",
+    "allen_relation",
+    "inverse_relation",
+    "Interval",
+    "Point",
+    "Rectangle",
+    "DirectionalRelation",
+    "SpatialRelation",
+    "TopologicalClass",
+    "directional_relation",
+    "spatial_relation",
+]

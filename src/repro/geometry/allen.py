@@ -1,0 +1,142 @@
+"""Allen's thirteen interval relations.
+
+The spatial operators of the 2-D string family (``<``, ``=``, ``|``, ``%``,
+``[``, ``]``, ``/`` ...) are a re-coding of Allen's interval algebra applied to
+MBR projections.  The reproduction uses the full thirteen-relation vocabulary
+in the baselines (type-0/1/2 similarity) and in the reasoning layer that
+recovers pairwise relations from a 2D BE-string.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from repro.geometry.interval import Interval
+
+
+class AllenRelation(Enum):
+    """The thirteen mutually exclusive, jointly exhaustive interval relations.
+
+    Naming follows Allen (1983).  ``a RELATION b`` reads left to right, e.g.
+    ``AllenRelation.BEFORE`` means interval *a* ends strictly before *b*
+    begins.
+    """
+
+    BEFORE = "<"
+    MEETS = "m"
+    OVERLAPS = "o"
+    STARTS = "s"
+    DURING = "d"
+    FINISHES = "f"
+    EQUALS = "="
+    FINISHED_BY = "fi"
+    CONTAINS = "di"
+    STARTED_BY = "si"
+    OVERLAPPED_BY = "oi"
+    MET_BY = "mi"
+    AFTER = ">"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Inverse (converse) of each relation: if ``a R b`` then ``b inverse(R) a``.
+_INVERSES = {
+    AllenRelation.BEFORE: AllenRelation.AFTER,
+    AllenRelation.AFTER: AllenRelation.BEFORE,
+    AllenRelation.MEETS: AllenRelation.MET_BY,
+    AllenRelation.MET_BY: AllenRelation.MEETS,
+    AllenRelation.OVERLAPS: AllenRelation.OVERLAPPED_BY,
+    AllenRelation.OVERLAPPED_BY: AllenRelation.OVERLAPS,
+    AllenRelation.STARTS: AllenRelation.STARTED_BY,
+    AllenRelation.STARTED_BY: AllenRelation.STARTS,
+    AllenRelation.DURING: AllenRelation.CONTAINS,
+    AllenRelation.CONTAINS: AllenRelation.DURING,
+    AllenRelation.FINISHES: AllenRelation.FINISHED_BY,
+    AllenRelation.FINISHED_BY: AllenRelation.FINISHES,
+    AllenRelation.EQUALS: AllenRelation.EQUALS,
+}
+
+#: Relations in which the two intervals share at least one point.
+OVERLAPPING_RELATIONS = frozenset(
+    {
+        AllenRelation.MEETS,
+        AllenRelation.MET_BY,
+        AllenRelation.OVERLAPS,
+        AllenRelation.OVERLAPPED_BY,
+        AllenRelation.STARTS,
+        AllenRelation.STARTED_BY,
+        AllenRelation.DURING,
+        AllenRelation.CONTAINS,
+        AllenRelation.FINISHES,
+        AllenRelation.FINISHED_BY,
+        AllenRelation.EQUALS,
+    }
+)
+
+#: Relations in which the interiors of the intervals intersect.  These are the
+#: "local" relations of the 2D G-string (set R_l); the remaining relations are
+#: "global" (set R_g: disjoint, adjoining, or identical boundaries).
+LOCAL_RELATIONS = frozenset(
+    {
+        AllenRelation.OVERLAPS,
+        AllenRelation.OVERLAPPED_BY,
+        AllenRelation.STARTS,
+        AllenRelation.STARTED_BY,
+        AllenRelation.DURING,
+        AllenRelation.CONTAINS,
+        AllenRelation.FINISHES,
+        AllenRelation.FINISHED_BY,
+        AllenRelation.EQUALS,
+    }
+)
+
+
+def inverse_relation(relation: AllenRelation) -> AllenRelation:
+    """Return the converse relation (swap the two operands)."""
+    return _INVERSES[relation]
+
+
+def allen_relation(a: Interval, b: Interval) -> AllenRelation:
+    """Classify the relation between two closed intervals.
+
+    The classification is exact on the boundary values, which matches how the
+    2-D string family compares *projected boundary coordinates* rather than
+    areas.
+    """
+    if a.end < b.begin:
+        return AllenRelation.BEFORE
+    if b.end < a.begin:
+        return AllenRelation.AFTER
+    if a.end == b.begin and a.begin < b.begin:
+        return AllenRelation.MEETS
+    if b.end == a.begin and b.begin < a.begin:
+        return AllenRelation.MET_BY
+    if a.begin == b.begin and a.end == b.end:
+        return AllenRelation.EQUALS
+    if a.begin == b.begin:
+        return AllenRelation.STARTS if a.end < b.end else AllenRelation.STARTED_BY
+    if a.end == b.end:
+        return AllenRelation.FINISHES if a.begin > b.begin else AllenRelation.FINISHED_BY
+    if b.begin < a.begin and a.end < b.end:
+        return AllenRelation.DURING
+    if a.begin < b.begin and b.end < a.end:
+        return AllenRelation.CONTAINS
+    if a.begin < b.begin:
+        return AllenRelation.OVERLAPS
+    return AllenRelation.OVERLAPPED_BY
+
+
+def is_local(relation: AllenRelation) -> bool:
+    """True when the relation belongs to the G-string local set ``R_l``."""
+    return relation in LOCAL_RELATIONS
+
+
+def is_global(relation: AllenRelation) -> bool:
+    """True when the relation belongs to the G-string global set ``R_g``."""
+    return relation not in LOCAL_RELATIONS
+
+
+def shares_point(relation: AllenRelation) -> bool:
+    """True when the two intervals share at least one point."""
+    return relation in OVERLAPPING_RELATIONS

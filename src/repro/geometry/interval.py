@@ -1,0 +1,127 @@
+"""Closed 1-D intervals: the axis projections of minimum bounding rectangles.
+
+Every representation in the 2-D string family (and the paper's 2D BE-string)
+works on the *begin* and *end* boundaries of each object's MBR projected onto
+the x- and y-axes.  :class:`Interval` is that projection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Tuple
+
+
+@dataclass(frozen=True, order=True)
+class Interval:
+    """A closed interval ``[begin, end]`` with ``begin <= end``."""
+
+    begin: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.begin > self.end:
+            raise ValueError(
+                f"Interval begin {self.begin!r} must not exceed end {self.end!r}"
+            )
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def length(self) -> float:
+        """Length of the interval (``end - begin``)."""
+        return self.end - self.begin
+
+    @property
+    def midpoint(self) -> float:
+        """Arithmetic midpoint of the interval."""
+        return (self.begin + self.end) / 2.0
+
+    @property
+    def is_degenerate(self) -> bool:
+        """True when the interval is a single point."""
+        return self.begin == self.end
+
+    def __iter__(self) -> Iterator[float]:
+        yield self.begin
+        yield self.end
+
+    def as_tuple(self) -> Tuple[float, float]:
+        """Return ``(begin, end)``."""
+        return (self.begin, self.end)
+
+    # ------------------------------------------------------------------
+    # Predicates
+    # ------------------------------------------------------------------
+    def contains_point(self, value: float) -> bool:
+        """True when ``begin <= value <= end``."""
+        return self.begin <= value <= self.end
+
+    def contains(self, other: "Interval") -> bool:
+        """True when ``other`` lies entirely within this interval."""
+        return self.begin <= other.begin and other.end <= self.end
+
+    def strictly_contains(self, other: "Interval") -> bool:
+        """True when ``other`` lies strictly inside this interval."""
+        return self.begin < other.begin and other.end < self.end
+
+    def overlaps(self, other: "Interval") -> bool:
+        """True when the two closed intervals share at least one point."""
+        return self.begin <= other.end and other.begin <= self.end
+
+    def strictly_overlaps(self, other: "Interval") -> bool:
+        """True when the interiors of the intervals intersect."""
+        return self.begin < other.end and other.begin < self.end
+
+    def touches(self, other: "Interval") -> bool:
+        """True when the intervals share exactly a boundary point."""
+        return self.end == other.begin or other.end == self.begin
+
+    def disjoint_from(self, other: "Interval") -> bool:
+        """True when the closed intervals share no point at all."""
+        return not self.overlaps(other)
+
+    # ------------------------------------------------------------------
+    # Combinations
+    # ------------------------------------------------------------------
+    def intersection(self, other: "Interval") -> Optional["Interval"]:
+        """The overlapping sub-interval, or ``None`` if disjoint."""
+        begin = max(self.begin, other.begin)
+        end = min(self.end, other.end)
+        if begin > end:
+            return None
+        return Interval(begin, end)
+
+    def union_hull(self, other: "Interval") -> "Interval":
+        """Smallest interval covering both operands (their convex hull)."""
+        return Interval(min(self.begin, other.begin), max(self.end, other.end))
+
+    def translate(self, delta: float) -> "Interval":
+        """Shift both boundaries by ``delta``."""
+        return Interval(self.begin + delta, self.end + delta)
+
+    def scale(self, factor: float) -> "Interval":
+        """Scale both boundaries about the origin by a non-negative factor."""
+        if factor < 0:
+            raise ValueError("scale factor must be non-negative")
+        return Interval(self.begin * factor, self.end * factor)
+
+    def reflect(self, extent: float) -> "Interval":
+        """Reflect inside ``[0, extent]`` (mirror about ``extent / 2``).
+
+        This is exactly the boundary arithmetic needed when an image of width
+        ``extent`` is mirrored: the begin boundary of each object becomes
+        ``extent - end`` and vice versa.
+        """
+        return Interval(extent - self.end, extent - self.begin)
+
+    def clamp(self, low: float, high: float) -> "Interval":
+        """Clip the interval to ``[low, high]``."""
+        if low > high:
+            raise ValueError("clamp bounds must satisfy low <= high")
+        begin = min(max(self.begin, low), high)
+        end = min(max(self.end, low), high)
+        return Interval(begin, end)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Interval({self.begin:g}, {self.end:g})"

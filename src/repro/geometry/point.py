@@ -1,0 +1,74 @@
+"""A minimal 2-D point type used throughout the geometry substrate."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+
+@dataclass(frozen=True, order=True)
+class Point:
+    """An immutable 2-D point.
+
+    Coordinates are stored as floats but integer inputs are preserved exactly
+    (``float`` holds all 32-bit integers losslessly), which is all the paper's
+    pixel-grid scenes require.
+    """
+
+    x: float
+    y: float
+
+    def __iter__(self) -> Iterator[float]:
+        yield self.x
+        yield self.y
+
+    def as_tuple(self) -> Tuple[float, float]:
+        """Return ``(x, y)`` as a plain tuple."""
+        return (self.x, self.y)
+
+    def translate(self, dx: float, dy: float) -> "Point":
+        """Return a new point shifted by ``(dx, dy)``."""
+        return Point(self.x + dx, self.y + dy)
+
+    def scale(self, factor_x: float, factor_y: float | None = None) -> "Point":
+        """Return a new point scaled about the origin.
+
+        When ``factor_y`` is omitted the same factor is applied to both axes.
+        """
+        if factor_y is None:
+            factor_y = factor_x
+        return Point(self.x * factor_x, self.y * factor_y)
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance to ``other``."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def manhattan_distance_to(self, other: "Point") -> float:
+        """Manhattan (L1) distance to ``other``."""
+        return abs(self.x - other.x) + abs(self.y - other.y)
+
+    def reflect_x(self, axis_y: float = 0.0) -> "Point":
+        """Reflect across the horizontal line ``y = axis_y``."""
+        return Point(self.x, 2.0 * axis_y - self.y)
+
+    def reflect_y(self, axis_x: float = 0.0) -> "Point":
+        """Reflect across the vertical line ``x = axis_x``."""
+        return Point(2.0 * axis_x - self.x, self.y)
+
+    def rotate90(self, width: float, height: float) -> "Point":
+        """Rotate 90 degrees clockwise inside a ``width x height`` frame.
+
+        The frame convention matches the paper's image frames: the point stays
+        inside the rotated frame (which is ``height x width``).
+        """
+        return Point(height - self.y, self.x)
+
+    def __add__(self, other: "Point") -> "Point":
+        return Point(self.x + other.x, self.y + other.y)
+
+    def __sub__(self, other: "Point") -> "Point":
+        return Point(self.x - other.x, self.y - other.y)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Point({self.x:g}, {self.y:g})"

@@ -1,0 +1,136 @@
+"""2-D spatial relations between MBRs.
+
+A pair of MBRs is fully characterised (up to metric detail) by the pair of
+Allen relations between their x- and y-projections -- 13 x 13 = 169 categories.
+The 2-D string family's type-0/1/2 similarity definitions are coarsenings of
+these categories; this module provides both the fine-grained
+:class:`SpatialRelation` and the coarse :class:`DirectionalRelation` /
+:class:`TopologicalClass` views the baselines need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.geometry.allen import (
+    AllenRelation,
+    allen_relation,
+    inverse_relation,
+    shares_point,
+)
+from repro.geometry.rectangle import Rectangle
+
+
+class DirectionalRelation(Enum):
+    """Coarse ordering of two MBRs along one axis.
+
+    ``BEFORE``/``AFTER`` mean the projections are disjoint (possibly
+    adjoining); ``SAME`` means the projections share interior or boundary in a
+    way that prevents a strict ordering.  This is the granularity of the
+    original 2-D string operators ``<`` and ``=``.
+    """
+
+    BEFORE = "<"
+    SAME = "="
+    AFTER = ">"
+
+
+class TopologicalClass(Enum):
+    """Topological classification of two MBRs in the plane."""
+
+    DISJOINT = "disjoint"
+    TOUCHING = "touching"
+    OVERLAPPING = "overlapping"
+    CONTAINS = "contains"
+    INSIDE = "inside"
+    EQUAL = "equal"
+
+
+@dataclass(frozen=True)
+class SpatialRelation:
+    """The exact pair of Allen relations between two MBR projections."""
+
+    x: AllenRelation
+    y: AllenRelation
+
+    def inverse(self) -> "SpatialRelation":
+        """Relation with the two rectangles swapped."""
+        return SpatialRelation(inverse_relation(self.x), inverse_relation(self.y))
+
+    @property
+    def topology(self) -> TopologicalClass:
+        """Coarse topological class implied by the two axis relations."""
+        x_shares = shares_point(self.x)
+        y_shares = shares_point(self.y)
+        if not (x_shares and y_shares):
+            return TopologicalClass.DISJOINT
+        if self.x == AllenRelation.EQUALS and self.y == AllenRelation.EQUALS:
+            return TopologicalClass.EQUAL
+        containing_x = self.x in (
+            AllenRelation.CONTAINS,
+            AllenRelation.STARTED_BY,
+            AllenRelation.FINISHED_BY,
+            AllenRelation.EQUALS,
+        )
+        containing_y = self.y in (
+            AllenRelation.CONTAINS,
+            AllenRelation.STARTED_BY,
+            AllenRelation.FINISHED_BY,
+            AllenRelation.EQUALS,
+        )
+        inside_x = self.x in (
+            AllenRelation.DURING,
+            AllenRelation.STARTS,
+            AllenRelation.FINISHES,
+            AllenRelation.EQUALS,
+        )
+        inside_y = self.y in (
+            AllenRelation.DURING,
+            AllenRelation.STARTS,
+            AllenRelation.FINISHES,
+            AllenRelation.EQUALS,
+        )
+        if containing_x and containing_y:
+            return TopologicalClass.CONTAINS
+        if inside_x and inside_y:
+            return TopologicalClass.INSIDE
+        touching_x = self.x in (AllenRelation.MEETS, AllenRelation.MET_BY)
+        touching_y = self.y in (AllenRelation.MEETS, AllenRelation.MET_BY)
+        if touching_x or touching_y:
+            return TopologicalClass.TOUCHING
+        return TopologicalClass.OVERLAPPING
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"(x:{self.x.value}, y:{self.y.value})"
+
+
+def spatial_relation(a: Rectangle, b: Rectangle) -> SpatialRelation:
+    """Compute the exact 2-D spatial relation between two MBRs."""
+    return SpatialRelation(
+        allen_relation(a.x_interval, b.x_interval),
+        allen_relation(a.y_interval, b.y_interval),
+    )
+
+
+def directional_relation(a_begin: float, a_end: float, b_begin: float, b_end: float) -> DirectionalRelation:
+    """Coarse 1-D ordering used by the original 2-D string operators.
+
+    The original 2-D string compares objects by a reference point (in practice
+    the projection extent); ``a < b`` when *a* lies entirely before *b*,
+    ``a > b`` when entirely after, otherwise ``=``.
+    """
+    if a_end < b_begin:
+        return DirectionalRelation.BEFORE
+    if b_end < a_begin:
+        return DirectionalRelation.AFTER
+    return DirectionalRelation.SAME
+
+
+def directional_relation_between(a: Rectangle, b: Rectangle, axis: str) -> DirectionalRelation:
+    """Coarse directional relation between two MBRs along ``"x"`` or ``"y"``."""
+    if axis == "x":
+        return directional_relation(a.x_begin, a.x_end, b.x_begin, b.x_end)
+    if axis == "y":
+        return directional_relation(a.y_begin, a.y_end, b.y_begin, b.y_end)
+    raise ValueError(f"axis must be 'x' or 'y', got {axis!r}")

@@ -1,0 +1,26 @@
+"""Iconic (symbolic) image substrate.
+
+The paper assumes that "we have abstracted all objects and their MBR
+coordinates from that image" before encoding.  This subpackage supplies that
+abstraction layer:
+
+* :class:`~repro.iconic.vocabulary.IconVocabulary` -- the closed set of icon
+  classes (labels) a database works with.
+* :class:`~repro.iconic.icon.IconObject` -- one recognised icon: a label plus
+  its MBR, optionally disambiguated by an instance index.
+* :class:`~repro.iconic.picture.SymbolicPicture` -- the symbolic image: frame
+  size plus a collection of icons, with geometric transforms and pairwise
+  relation queries.
+* :class:`~repro.iconic.raster.LabeledRaster` -- a numpy label grid with
+  connected-component extraction, so examples can go from "pixels" to a
+  symbolic picture without any external imaging dependency.
+* :mod:`~repro.iconic.ascii_art` -- terminal rendering of symbolic pictures
+  (the reproduction's stand-in for the paper's visual demonstration system).
+"""
+
+from repro.iconic.icon import IconObject
+from repro.iconic.picture import SymbolicPicture
+from repro.iconic.raster import LabeledRaster
+from repro.iconic.vocabulary import IconVocabulary
+
+__all__ = ["IconObject", "SymbolicPicture", "LabeledRaster", "IconVocabulary"]

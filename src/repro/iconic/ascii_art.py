@@ -1,0 +1,46 @@
+"""Terminal rendering of symbolic pictures.
+
+The paper's Section 5 demonstrates a *visualised* retrieval system.  The
+reproduction is headless, so this module provides the equivalent affordance in
+a terminal: a scaled character grid in which each icon is drawn as a box of
+its symbol's first character, plus a legend.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.iconic.picture import SymbolicPicture
+
+
+def render_ascii(picture: SymbolicPicture, columns: int = 60, rows: int = 24) -> str:
+    """Render a picture as ASCII art.
+
+    The frame is scaled to ``columns x rows`` characters; each icon paints its
+    MBR with the first character of its identifier (later icons overpaint
+    earlier ones).  A legend mapping characters to identifiers follows the
+    grid.
+    """
+    if columns < 4 or rows < 4:
+        raise ValueError("ascii rendering needs at least a 4x4 character grid")
+    grid: List[List[str]] = [["." for _ in range(columns)] for _ in range(rows)]
+    legend: Dict[str, str] = {}
+    for icon in picture.icons:
+        char = icon.identifier[0].upper()
+        legend.setdefault(char, icon.identifier)
+        col0 = int(icon.mbr.x_begin / picture.width * (columns - 1))
+        col1 = int(icon.mbr.x_end / picture.width * (columns - 1))
+        row0 = int((1.0 - icon.mbr.y_end / picture.height) * (rows - 1))
+        row1 = int((1.0 - icon.mbr.y_begin / picture.height) * (rows - 1))
+        for row in range(max(0, row0), min(rows, row1 + 1)):
+            for col in range(max(0, col0), min(columns, col1 + 1)):
+                grid[row][col] = char
+    border = "+" + "-" * columns + "+"
+    lines = [border]
+    lines.extend("|" + "".join(row) + "|" for row in grid)
+    lines.append(border)
+    if legend:
+        lines.append("legend: " + ", ".join(f"{char}={name}" for char, name in sorted(legend.items())))
+    if picture.name:
+        lines.append(f"picture: {picture.name}")
+    return "\n".join(lines)

@@ -1,0 +1,197 @@
+"""Icon vocabularies: the closed symbol set ``V`` of the 2-D string family.
+
+Chang's 2-D string is defined "over V and A" where ``V`` is the set of icon
+symbols.  A vocabulary maps human-readable labels (``"desk"``, ``"car"``) to
+compact single-token symbols and back, and provides the themed vocabularies
+used by the synthetic datasets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+
+class VocabularyError(ValueError):
+    """Raised when a label or symbol is not part of the vocabulary."""
+
+
+@dataclass
+class IconVocabulary:
+    """A bidirectional mapping between icon labels and short symbols.
+
+    Symbols are generated deterministically from insertion order (``A``,
+    ``B``, ..., ``Z``, ``A1``, ``B1``, ...) unless explicitly provided, so a
+    vocabulary built from the same label list is always identical -- a property
+    the storage layer relies on when round-tripping databases.
+    """
+
+    _label_to_symbol: Dict[str, str] = field(default_factory=dict)
+    _symbol_to_label: Dict[str, str] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_labels(cls, labels: Iterable[str]) -> "IconVocabulary":
+        """Build a vocabulary from an iterable of unique labels."""
+        vocabulary = cls()
+        for label in labels:
+            vocabulary.add(label)
+        return vocabulary
+
+    @classmethod
+    def from_mapping(cls, mapping: Dict[str, str]) -> "IconVocabulary":
+        """Build a vocabulary from an explicit ``label -> symbol`` mapping."""
+        vocabulary = cls()
+        for label, symbol in mapping.items():
+            vocabulary.add(label, symbol)
+        return vocabulary
+
+    def add(self, label: str, symbol: Optional[str] = None) -> str:
+        """Register ``label`` and return its symbol.
+
+        Re-adding an existing label returns the existing symbol; supplying a
+        conflicting explicit symbol raises :class:`VocabularyError`.
+        """
+        if not label:
+            raise VocabularyError("icon labels must be non-empty strings")
+        if label in self._label_to_symbol:
+            existing = self._label_to_symbol[label]
+            if symbol is not None and symbol != existing:
+                raise VocabularyError(
+                    f"label {label!r} already mapped to symbol {existing!r}"
+                )
+            return existing
+        if symbol is None:
+            symbol = self._next_symbol()
+        if not symbol:
+            raise VocabularyError("icon symbols must be non-empty strings")
+        if symbol in self._symbol_to_label:
+            raise VocabularyError(
+                f"symbol {symbol!r} already mapped to label "
+                f"{self._symbol_to_label[symbol]!r}"
+            )
+        self._label_to_symbol[label] = symbol
+        self._symbol_to_label[symbol] = label
+        return symbol
+
+    def _next_symbol(self) -> str:
+        index = len(self._label_to_symbol)
+        letter = chr(ord("A") + index % 26)
+        suffix = index // 26
+        candidate = letter if suffix == 0 else f"{letter}{suffix}"
+        while candidate in self._symbol_to_label:
+            index += 1
+            letter = chr(ord("A") + index % 26)
+            suffix = index // 26
+            candidate = letter if suffix == 0 else f"{letter}{suffix}"
+        return candidate
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def symbol_for(self, label: str) -> str:
+        """Return the symbol registered for ``label``."""
+        try:
+            return self._label_to_symbol[label]
+        except KeyError:
+            raise VocabularyError(f"unknown icon label {label!r}") from None
+
+    def label_for(self, symbol: str) -> str:
+        """Return the label registered for ``symbol``."""
+        try:
+            return self._symbol_to_label[symbol]
+        except KeyError:
+            raise VocabularyError(f"unknown icon symbol {symbol!r}") from None
+
+    def __contains__(self, label: str) -> bool:
+        return label in self._label_to_symbol
+
+    def __len__(self) -> int:
+        return len(self._label_to_symbol)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._label_to_symbol)
+
+    @property
+    def labels(self) -> List[str]:
+        """Labels in insertion order."""
+        return list(self._label_to_symbol)
+
+    @property
+    def symbols(self) -> List[str]:
+        """Symbols in insertion order."""
+        return list(self._label_to_symbol.values())
+
+    def items(self) -> Iterable[Tuple[str, str]]:
+        """``(label, symbol)`` pairs in insertion order."""
+        return self._label_to_symbol.items()
+
+    def to_mapping(self) -> Dict[str, str]:
+        """Plain ``label -> symbol`` dictionary (a copy)."""
+        return dict(self._label_to_symbol)
+
+
+# ----------------------------------------------------------------------
+# Themed vocabularies used by the synthetic datasets and the examples.
+# ----------------------------------------------------------------------
+OFFICE_LABELS = (
+    "desk",
+    "chair",
+    "monitor",
+    "keyboard",
+    "phone",
+    "lamp",
+    "bookshelf",
+    "plant",
+    "whiteboard",
+    "printer",
+    "cabinet",
+    "window",
+)
+
+TRAFFIC_LABELS = (
+    "car",
+    "truck",
+    "bus",
+    "bicycle",
+    "pedestrian",
+    "traffic_light",
+    "stop_sign",
+    "crosswalk",
+    "lane_marker",
+    "tree",
+    "building",
+    "motorcycle",
+)
+
+LANDSCAPE_LABELS = (
+    "sun",
+    "cloud",
+    "mountain",
+    "lake",
+    "tree",
+    "house",
+    "road",
+    "bridge",
+    "boat",
+    "bird",
+    "field",
+    "fence",
+)
+
+
+def office_vocabulary() -> IconVocabulary:
+    """Vocabulary for the office-scene dataset."""
+    return IconVocabulary.from_labels(OFFICE_LABELS)
+
+
+def traffic_vocabulary() -> IconVocabulary:
+    """Vocabulary for the traffic-scene dataset."""
+    return IconVocabulary.from_labels(TRAFFIC_LABELS)
+
+
+def landscape_vocabulary() -> IconVocabulary:
+    """Vocabulary for the landscape-scene dataset."""
+    return IconVocabulary.from_labels(LANDSCAPE_LABELS)

@@ -1,0 +1,50 @@
+"""Image database and index layer.
+
+The title of the paper promises *image indexing*; this subpackage is the
+database a downstream user would actually store BE-strings in:
+
+* :class:`~repro.index.database.ImageDatabase` -- holds symbolic pictures and
+  their pre-computed 2D BE-strings, supports add/remove of whole images and
+  dynamic add/remove of single objects inside a stored image.
+* :class:`~repro.index.inverted.InvertedSymbolIndex` -- symbol -> image ids,
+  used to shortlist candidates that share at least one query icon.
+* :class:`~repro.index.signature.SignatureFilter` -- label-multiset signatures
+  for cheap candidate pruning before the LCS evaluation.
+* :class:`~repro.index.query.QueryEngine` -- executes similarity queries
+  (optionally transformation-invariant) over the database and returns ranked
+  results.
+* :mod:`~repro.index.storage` -- JSON persistence of pictures, BE-strings and
+  whole databases.
+"""
+
+from repro.index.database import ImageDatabase, ImageRecord
+from repro.index.inverted import InvertedSymbolIndex
+from repro.index.query import Query, QueryEngine
+from repro.index.ranking import RankedResult, rank_results
+from repro.index.signature import SignatureFilter, label_signature
+from repro.index.spatial import QUADRANTS, LocatedIcon, RegionIndex
+from repro.index.storage import (
+    database_from_json,
+    database_to_json,
+    load_database,
+    save_database,
+)
+
+__all__ = [
+    "ImageDatabase",
+    "ImageRecord",
+    "InvertedSymbolIndex",
+    "Query",
+    "QueryEngine",
+    "RankedResult",
+    "rank_results",
+    "SignatureFilter",
+    "label_signature",
+    "QUADRANTS",
+    "LocatedIcon",
+    "RegionIndex",
+    "database_from_json",
+    "database_to_json",
+    "load_database",
+    "save_database",
+]

@@ -1,0 +1,151 @@
+"""The image database: symbolic pictures stored with their 2D BE-strings."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from repro.core.bestring import BEString2D
+from repro.core.construct import encode_picture
+from repro.core.editing import IndexedBEString
+from repro.geometry.rectangle import Rectangle
+from repro.iconic.picture import SymbolicPicture
+
+
+class DatabaseError(KeyError):
+    """Raised on unknown image ids or duplicate registrations."""
+
+
+@dataclass
+class ImageRecord:
+    """One stored image: the picture, its BE-string, and its dynamic index."""
+
+    image_id: str
+    picture: SymbolicPicture
+    bestring: BEString2D
+    indexed: IndexedBEString
+
+    @property
+    def object_count(self) -> int:
+        """Number of icon objects in the stored image."""
+        return len(self.picture)
+
+    @property
+    def storage_symbols(self) -> int:
+        """Total BE-string symbols stored for this image (both axes)."""
+        return self.bestring.total_symbols
+
+
+@dataclass
+class ImageDatabase:
+    """An in-memory image database keyed by image id.
+
+    Whole images are added and removed; single objects inside a stored image
+    are added and removed through the dynamic
+    :class:`~repro.core.editing.IndexedBEString` exactly as Section 3.2 of the
+    paper describes, with the stored BE-string refreshed from the index.
+    """
+
+    name: str = "image-database"
+    _records: Dict[str, ImageRecord] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Whole-image operations
+    # ------------------------------------------------------------------
+    def add_picture(self, picture: SymbolicPicture, image_id: Optional[str] = None) -> ImageRecord:
+        """Encode and store a picture; returns the stored record.
+
+        ``image_id`` defaults to the picture's name; an id must be unique.
+        """
+        identifier = image_id or picture.name
+        if not identifier:
+            raise DatabaseError("an image id is required (picture has no name)")
+        if identifier in self._records:
+            raise DatabaseError(f"image id {identifier!r} is already stored")
+        named_picture = picture if picture.name == identifier else picture.renamed(identifier)
+        record = ImageRecord(
+            image_id=identifier,
+            picture=named_picture,
+            bestring=encode_picture(named_picture),
+            indexed=IndexedBEString.from_picture(named_picture),
+        )
+        self._records[identifier] = record
+        return record
+
+    def add_pictures(self, pictures: List[SymbolicPicture]) -> List[ImageRecord]:
+        """Store several pictures (ids taken from their names)."""
+        return [self.add_picture(picture) for picture in pictures]
+
+    def remove_picture(self, image_id: str) -> ImageRecord:
+        """Remove a stored image and return its record."""
+        try:
+            return self._records.pop(image_id)
+        except KeyError:
+            raise DatabaseError(f"no image with id {image_id!r}") from None
+
+    def get(self, image_id: str) -> ImageRecord:
+        """Fetch a stored record by id."""
+        try:
+            return self._records[image_id]
+        except KeyError:
+            raise DatabaseError(f"no image with id {image_id!r}") from None
+
+    def __contains__(self, image_id: str) -> bool:
+        return image_id in self._records
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[ImageRecord]:
+        return iter(self._records.values())
+
+    @property
+    def image_ids(self) -> List[str]:
+        """Ids of all stored images, sorted."""
+        return sorted(self._records)
+
+    # ------------------------------------------------------------------
+    # Object-level (dynamic) operations
+    # ------------------------------------------------------------------
+    def add_object(self, image_id: str, label: str, mbr: Rectangle) -> ImageRecord:
+        """Add one icon object to a stored image via the dynamic index."""
+        record = self.get(image_id)
+        existing = record.picture.icons_with_label(label)
+        instance = existing[-1].instance + 1 if existing else 0
+        identifier = label if instance == 0 else f"{label}#{instance}"
+        record.indexed.insert(identifier, mbr)
+        record.picture = record.picture.add_icon(label, mbr)
+        record.bestring = record.indexed.to_bestring()
+        return record
+
+    def remove_object(self, image_id: str, identifier: str) -> ImageRecord:
+        """Remove one icon object from a stored image via the dynamic index."""
+        record = self.get(image_id)
+        record.indexed.remove(identifier)
+        record.picture = record.picture.remove_icon(identifier)
+        record.bestring = record.indexed.to_bestring()
+        return record
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def total_objects(self) -> int:
+        """Total number of icon objects across all stored images."""
+        return sum(record.object_count for record in self._records.values())
+
+    def total_storage_symbols(self) -> int:
+        """Total BE-string symbols stored across all images."""
+        return sum(record.storage_symbols for record in self._records.values())
+
+    def statistics(self) -> Dict[str, float]:
+        """Summary statistics used by the examples and benchmark reports."""
+        images = len(self._records)
+        objects = self.total_objects()
+        symbols = self.total_storage_symbols()
+        return {
+            "images": float(images),
+            "objects": float(objects),
+            "symbols": float(symbols),
+            "objects_per_image": objects / images if images else 0.0,
+            "symbols_per_object": symbols / objects if objects else 0.0,
+        }

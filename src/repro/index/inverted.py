@@ -1,0 +1,92 @@
+"""Inverted index from icon labels to image ids.
+
+Before running the O(mn) LCS evaluation against every stored image, the query
+engine shortlists candidates that share at least a configurable number of icon
+labels with the query.  This is a straightforward inverted index -- the kind
+of auxiliary structure an image database built on the paper's model would keep
+alongside the BE-strings.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Set
+
+from repro.iconic.picture import SymbolicPicture
+
+
+@dataclass
+class InvertedSymbolIndex:
+    """Maps icon labels to the set of image ids containing them."""
+
+    _postings: Dict[str, Set[str]] = field(default_factory=lambda: defaultdict(set))
+    _image_labels: Dict[str, Counter] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def add_picture(self, image_id: str, picture: SymbolicPicture) -> None:
+        """Index all labels of a picture under ``image_id``."""
+        if image_id in self._image_labels:
+            raise KeyError(f"image id {image_id!r} already indexed")
+        labels = Counter(picture.labels)
+        self._image_labels[image_id] = labels
+        for label in labels:
+            self._postings[label].add(image_id)
+
+    def remove_picture(self, image_id: str) -> None:
+        """Remove all postings of an image."""
+        try:
+            labels = self._image_labels.pop(image_id)
+        except KeyError:
+            raise KeyError(f"image id {image_id!r} is not indexed") from None
+        for label in labels:
+            postings = self._postings.get(label)
+            if postings is not None:
+                postings.discard(image_id)
+                if not postings:
+                    del self._postings[label]
+
+    def update_picture(self, image_id: str, picture: SymbolicPicture) -> None:
+        """Re-index an image after its contents changed."""
+        if image_id in self._image_labels:
+            self.remove_picture(image_id)
+        self.add_picture(image_id, picture)
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def images_with_label(self, label: str) -> Set[str]:
+        """Ids of images containing at least one icon with ``label``."""
+        return set(self._postings.get(label, set()))
+
+    def candidates(self, labels: Iterable[str], minimum_shared: int = 1) -> Set[str]:
+        """Image ids sharing at least ``minimum_shared`` distinct query labels."""
+        if minimum_shared < 1:
+            raise ValueError("minimum_shared must be at least 1")
+        tally: Counter = Counter()
+        for label in set(labels):
+            for image_id in self._postings.get(label, set()):
+                tally[image_id] += 1
+        return {image_id for image_id, shared in tally.items() if shared >= minimum_shared}
+
+    def labels_of(self, image_id: str) -> Counter:
+        """Label multiset of one indexed image."""
+        try:
+            return Counter(self._image_labels[image_id])
+        except KeyError:
+            raise KeyError(f"image id {image_id!r} is not indexed") from None
+
+    @property
+    def indexed_images(self) -> List[str]:
+        """All indexed image ids, sorted."""
+        return sorted(self._image_labels)
+
+    @property
+    def vocabulary(self) -> List[str]:
+        """All labels with at least one posting, sorted."""
+        return sorted(self._postings)
+
+    def __len__(self) -> int:
+        return len(self._image_labels)

@@ -1,0 +1,147 @@
+"""The query engine: similarity retrieval over an image database.
+
+The engine ties the pieces together the way the paper's demonstration system
+does: the query picture is encoded once, candidate images are shortlisted by
+the inverted index and the signature filter, each surviving candidate is
+scored with the modified-LCS similarity evaluation (optionally over all
+rotations/reflections of the query), and the results are returned ranked.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.bestring import BEString2D
+from repro.core.construct import encode_picture
+from repro.core.similarity import (
+    DEFAULT_POLICY,
+    SimilarityPolicy,
+    SimilarityResult,
+    invariant_similarity,
+    similarity,
+)
+from repro.core.transforms import Transformation
+from repro.iconic.picture import SymbolicPicture
+from repro.index.database import ImageDatabase
+from repro.index.inverted import InvertedSymbolIndex
+from repro.index.ranking import RankedResult, rank_results
+from repro.index.signature import SignatureFilter
+
+
+@dataclass(frozen=True)
+class Query:
+    """A similarity query.
+
+    ``transformations`` selects the transformation-invariant mode: with more
+    than one entry the best-scoring variant of the query is used per image.
+    ``use_filters`` disables the candidate pruning (used by the ablation
+    benchmark); ``minimum_shared_labels`` and ``minimum_score`` tune the
+    shortlist and the final cut-off.
+    """
+
+    picture: SymbolicPicture
+    policy: SimilarityPolicy = DEFAULT_POLICY
+    transformations: Tuple[Transformation, ...] = (Transformation.IDENTITY,)
+    limit: Optional[int] = None
+    minimum_score: float = 0.0
+    minimum_shared_labels: int = 1
+    use_filters: bool = True
+
+    @classmethod
+    def exact(cls, picture: SymbolicPicture, **kwargs) -> "Query":
+        """Query for the picture as-is (no transformation invariance)."""
+        return cls(picture=picture, **kwargs)
+
+    @classmethod
+    def invariant(cls, picture: SymbolicPicture, **kwargs) -> "Query":
+        """Query over all rotations and reflections of the picture."""
+        return cls(picture=picture, transformations=tuple(Transformation), **kwargs)
+
+
+@dataclass
+class QueryEngine:
+    """Executes :class:`Query` objects against an :class:`ImageDatabase`."""
+
+    database: ImageDatabase
+    signature_filter: SignatureFilter = field(default_factory=SignatureFilter)
+    inverted_index: InvertedSymbolIndex = field(default_factory=InvertedSymbolIndex)
+
+    # ------------------------------------------------------------------
+    # Index maintenance
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, database: ImageDatabase, minimum_overlap_ratio: float = 0.0) -> "QueryEngine":
+        """Build the auxiliary indexes for every image already in the database."""
+        engine = cls(
+            database=database,
+            signature_filter=SignatureFilter(minimum_overlap_ratio=minimum_overlap_ratio),
+        )
+        for record in database:
+            engine.signature_filter.add_picture(record.image_id, record.picture)
+            engine.inverted_index.add_picture(record.image_id, record.picture)
+        return engine
+
+    def add_picture(self, picture: SymbolicPicture, image_id: Optional[str] = None) -> str:
+        """Add a picture to the database and all auxiliary indexes."""
+        record = self.database.add_picture(picture, image_id)
+        self.signature_filter.add_picture(record.image_id, record.picture)
+        self.inverted_index.add_picture(record.image_id, record.picture)
+        return record.image_id
+
+    def remove_picture(self, image_id: str) -> None:
+        """Remove a picture from the database and all auxiliary indexes."""
+        self.database.remove_picture(image_id)
+        self.signature_filter.remove_picture(image_id)
+        self.inverted_index.remove_picture(image_id)
+
+    # ------------------------------------------------------------------
+    # Query execution
+    # ------------------------------------------------------------------
+    def _candidate_ids(self, query: Query) -> List[str]:
+        if not query.use_filters:
+            return self.database.image_ids
+        labels = set(query.picture.labels)
+        if not labels:
+            return self.database.image_ids
+        candidates = self.inverted_index.candidates(
+            labels, minimum_shared=query.minimum_shared_labels
+        )
+        admitted = self.signature_filter.filter(query.picture, sorted(candidates))
+        return admitted
+
+    def _score(self, query_bestring: BEString2D, candidate: BEString2D, query: Query) -> SimilarityResult:
+        if len(query.transformations) == 1:
+            return similarity(
+                query_bestring, candidate, query.policy, query.transformations[0]
+            )
+        return invariant_similarity(
+            query_bestring, candidate, query.policy, query.transformations
+        )
+
+    def execute(self, query: Query) -> List[RankedResult]:
+        """Run a query and return ranked results."""
+        query_bestring = encode_picture(query.picture)
+        scored: List[Tuple[str, SimilarityResult]] = []
+        for image_id in self._candidate_ids(query):
+            record = self.database.get(image_id)
+            result = self._score(query_bestring, record.bestring, query)
+            scored.append((image_id, result))
+        return rank_results(scored, limit=query.limit, minimum_score=query.minimum_score)
+
+    def search(
+        self,
+        picture: SymbolicPicture,
+        limit: Optional[int] = 10,
+        policy: SimilarityPolicy = DEFAULT_POLICY,
+        invariant: bool = False,
+    ) -> List[RankedResult]:
+        """Convenience wrapper around :meth:`execute` for the common case."""
+        transformations = tuple(Transformation) if invariant else (Transformation.IDENTITY,)
+        query = Query(
+            picture=picture,
+            policy=policy,
+            transformations=transformations,
+            limit=limit,
+        )
+        return self.execute(query)

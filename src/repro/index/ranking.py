@@ -1,0 +1,50 @@
+"""Ranked retrieval results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+from repro.core.similarity import SimilarityResult
+
+
+@dataclass(frozen=True)
+class RankedResult:
+    """One entry of a ranked result list."""
+
+    rank: int
+    image_id: str
+    score: float
+    similarity: SimilarityResult
+
+    def describe(self) -> str:
+        """One-line human-readable summary (used by examples)."""
+        objects = ", ".join(sorted(self.similarity.common_objects)) or "-"
+        return (
+            f"#{self.rank:<3d} {self.image_id:<24s} score={self.score:.3f} "
+            f"objects=[{objects}] via {self.similarity.transformation.value}"
+        )
+
+
+def rank_results(
+    scored: Iterable[tuple[str, SimilarityResult]],
+    limit: Optional[int] = None,
+    minimum_score: float = 0.0,
+) -> List[RankedResult]:
+    """Sort scored images by descending score (ties broken by image id).
+
+    ``limit`` keeps only the top-k entries; ``minimum_score`` drops entries
+    below the threshold before ranking.
+    """
+    filtered = [
+        (image_id, result)
+        for image_id, result in scored
+        if result.score >= minimum_score
+    ]
+    filtered.sort(key=lambda item: (-item[1].score, item[0]))
+    if limit is not None:
+        filtered = filtered[:limit]
+    return [
+        RankedResult(rank=index + 1, image_id=image_id, score=result.score, similarity=result)
+        for index, (image_id, result) in enumerate(filtered)
+    ]

@@ -1,0 +1,85 @@
+"""Label-multiset signatures for cheap candidate pruning.
+
+A query whose icon multiset barely overlaps a stored image's multiset cannot
+score well under the LCS evaluation, so the query engine can prune it before
+paying the O(mn) dynamic program.  The signature is simply the label multiset;
+the filter computes the multiset-overlap ratio against the query.  Benchmark
+E9 measures the end-to-end effect of this filter (one of the design ablations
+listed in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.iconic.picture import SymbolicPicture
+
+
+def label_signature(picture: SymbolicPicture) -> Counter:
+    """The label multiset of a picture."""
+    return Counter(picture.labels)
+
+
+def multiset_overlap(query: Counter, candidate: Counter) -> int:
+    """Size of the multiset intersection."""
+    return sum((query & candidate).values())
+
+
+def overlap_ratio(query: Counter, candidate: Counter) -> float:
+    """Multiset intersection as a fraction of the query multiset size."""
+    total = sum(query.values())
+    if total == 0:
+        return 0.0
+    return multiset_overlap(query, candidate) / total
+
+
+@dataclass
+class SignatureFilter:
+    """Stores signatures per image id and prunes candidates by overlap ratio."""
+
+    minimum_overlap_ratio: float = 0.0
+    _signatures: Dict[str, Counter] = field(default_factory=dict)
+
+    def add_picture(self, image_id: str, picture: SymbolicPicture) -> None:
+        """Register the signature of a stored image."""
+        if image_id in self._signatures:
+            raise KeyError(f"image id {image_id!r} already has a signature")
+        self._signatures[image_id] = label_signature(picture)
+
+    def remove_picture(self, image_id: str) -> None:
+        """Drop the signature of an image."""
+        try:
+            del self._signatures[image_id]
+        except KeyError:
+            raise KeyError(f"image id {image_id!r} has no signature") from None
+
+    def update_picture(self, image_id: str, picture: SymbolicPicture) -> None:
+        """Replace the signature of an image whose contents changed."""
+        self._signatures[image_id] = label_signature(picture)
+
+    def admits(self, query_signature: Counter, image_id: str) -> bool:
+        """True when the stored image passes the overlap threshold."""
+        candidate = self._signatures.get(image_id)
+        if candidate is None:
+            return False
+        return overlap_ratio(query_signature, candidate) >= self.minimum_overlap_ratio
+
+    def filter(self, query: SymbolicPicture, candidates: Iterable[str]) -> List[str]:
+        """Keep only the candidates whose signatures pass the threshold."""
+        signature = label_signature(query)
+        return [image_id for image_id in candidates if self.admits(signature, image_id)]
+
+    def scored(self, query: SymbolicPicture, candidates: Iterable[str]) -> List[Tuple[str, float]]:
+        """Overlap ratio for each candidate, highest first (diagnostics)."""
+        signature = label_signature(query)
+        scores = [
+            (image_id, overlap_ratio(signature, self._signatures.get(image_id, Counter())))
+            for image_id in candidates
+        ]
+        scores.sort(key=lambda item: (-item[1], item[0]))
+        return scores
+
+    def __len__(self) -> int:
+        return len(self._signatures)

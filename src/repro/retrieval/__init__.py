@@ -1,0 +1,51 @@
+"""Retrieval system and evaluation.
+
+* :class:`~repro.retrieval.system.RetrievalSystem` -- the headless equivalent
+  of the paper's Section-5 demonstration system: load a corpus, pose queries
+  (exact, partial, transformation-invariant), get ranked results.
+* :mod:`~repro.retrieval.metrics` -- precision/recall/average-precision and
+  related measures over ranked result lists.
+* :mod:`~repro.retrieval.evaluation` -- experiment runner that evaluates one
+  or more retrieval methods over a corpus with ground truth, producing the
+  tables reported in EXPERIMENTS.md.
+"""
+
+from repro.retrieval.evaluation import EvaluationReport, MethodEvaluation, evaluate_corpus
+from repro.retrieval.predicates import (
+    PredicateMatch,
+    RelationKeyword,
+    RelationPredicate,
+    evaluate_predicates,
+    parse_predicate,
+    parse_query,
+    search_by_predicates,
+)
+from repro.retrieval.metrics import (
+    average_precision,
+    f1_score,
+    mean_average_precision,
+    precision_at_k,
+    recall_at_k,
+    reciprocal_rank,
+)
+from repro.retrieval.system import RetrievalSystem
+
+__all__ = [
+    "EvaluationReport",
+    "MethodEvaluation",
+    "evaluate_corpus",
+    "PredicateMatch",
+    "RelationKeyword",
+    "RelationPredicate",
+    "evaluate_predicates",
+    "parse_predicate",
+    "parse_query",
+    "search_by_predicates",
+    "average_precision",
+    "f1_score",
+    "mean_average_precision",
+    "precision_at_k",
+    "recall_at_k",
+    "reciprocal_rank",
+    "RetrievalSystem",
+]

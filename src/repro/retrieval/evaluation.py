@@ -1,0 +1,123 @@
+"""Evaluation runner: score retrieval methods over a corpus with ground truth.
+
+A *method* is any callable that takes a query picture and a list of database
+pictures and returns the database image names ranked best-first.  The runner
+executes every query of a corpus under every method, computes the ranked
+retrieval metrics per query and aggregates them, producing the rows reported
+in EXPERIMENTS.md for experiments E5, E6 and E9.
+
+Two ready-made methods are provided: the paper's BE-string + modified LCS
+retrieval (optionally transformation-invariant) and the baseline clique-based
+type-i similarity.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.baselines.type_similarity import SimilarityType, type_similarity
+from repro.core.similarity import DEFAULT_POLICY, SimilarityPolicy
+from repro.datasets.corpus import Corpus
+from repro.iconic.picture import SymbolicPicture
+from repro.retrieval.metrics import summarize_query
+from repro.retrieval.system import RetrievalSystem
+
+#: A retrieval method: (query, database pictures) -> ranked database image names.
+RetrievalMethod = Callable[[SymbolicPicture, Sequence[SymbolicPicture]], List[str]]
+
+
+@dataclass
+class MethodEvaluation:
+    """Aggregated metrics of one method over one corpus."""
+
+    method_name: str
+    per_query: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    total_seconds: float = 0.0
+
+    def aggregate(self) -> Dict[str, float]:
+        """Mean of every metric over the queries, plus the total wall time."""
+        if not self.per_query:
+            return {"total_seconds": self.total_seconds}
+        keys = next(iter(self.per_query.values())).keys()
+        aggregated = {
+            key: sum(metrics[key] for metrics in self.per_query.values()) / len(self.per_query)
+            for key in keys
+        }
+        aggregated["total_seconds"] = self.total_seconds
+        return aggregated
+
+
+@dataclass
+class EvaluationReport:
+    """Evaluations of several methods over the same corpus."""
+
+    corpus_name: str
+    methods: Dict[str, MethodEvaluation] = field(default_factory=dict)
+
+    def table(self, metrics: Sequence[str] = ("precision@5", "recall@5", "average_precision")) -> str:
+        """Plain-text comparison table (used by benchmarks and examples)."""
+        header = ["method"] + list(metrics) + ["seconds"]
+        rows = [header]
+        for name, evaluation in sorted(self.methods.items()):
+            aggregated = evaluation.aggregate()
+            rows.append(
+                [name]
+                + [f"{aggregated.get(metric, 0.0):.3f}" for metric in metrics]
+                + [f"{aggregated['total_seconds']:.3f}"]
+            )
+        widths = [max(len(row[column]) for row in rows) for column in range(len(header))]
+        lines = [
+            "  ".join(cell.ljust(widths[column]) for column, cell in enumerate(row))
+            for row in rows
+        ]
+        return "\n".join(lines)
+
+
+def be_string_method(
+    policy: SimilarityPolicy = DEFAULT_POLICY, invariant: bool = False
+) -> RetrievalMethod:
+    """The paper's retrieval: BE-strings + modified LCS (optionally invariant)."""
+
+    def method(query: SymbolicPicture, database: Sequence[SymbolicPicture]) -> List[str]:
+        system = RetrievalSystem.from_pictures(database, policy=policy)
+        results = system.search(query, limit=None, invariant=invariant, use_filters=False)
+        return [result.image_id for result in results]
+
+    method.__name__ = "be_string_invariant" if invariant else "be_string"
+    return method
+
+
+def type_similarity_method(similarity_type: SimilarityType = SimilarityType.TYPE_1) -> RetrievalMethod:
+    """The baseline retrieval: pairwise relations + maximum complete subgraph."""
+
+    def method(query: SymbolicPicture, database: Sequence[SymbolicPicture]) -> List[str]:
+        scored = []
+        for picture in database:
+            result = type_similarity(query, picture, similarity_type)
+            scored.append((picture.name, result.similarity))
+        scored.sort(key=lambda item: (-item[1], item[0]))
+        return [name for name, _ in scored]
+
+    method.__name__ = f"type{similarity_type.value}_clique"
+    return method
+
+
+def evaluate_corpus(
+    corpus: Corpus,
+    methods: Dict[str, RetrievalMethod],
+    cutoffs: Sequence[int] = (1, 3, 5, 10),
+) -> EvaluationReport:
+    """Run every method over every query of the corpus and aggregate metrics."""
+    report = EvaluationReport(corpus_name=corpus.name)
+    for method_name, method in methods.items():
+        evaluation = MethodEvaluation(method_name=method_name)
+        started = time.perf_counter()
+        for query in corpus.queries:
+            ranked = method(query, corpus.database_pictures)
+            relevant = corpus.relevant_to(query.name)
+            evaluation.per_query[query.name] = summarize_query(ranked, relevant, cutoffs)
+        evaluation.total_seconds = time.perf_counter() - started
+        report.methods[method_name] = evaluation
+    return report

@@ -1,0 +1,90 @@
+"""Ranked-retrieval quality metrics.
+
+All functions take a ranked list of retrieved image ids (best first) and the
+set of relevant ids, and return a value in [0, 1].  They are deliberately
+simple, dependency-free implementations; the evaluation runner aggregates them
+across queries.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Set
+
+
+def _validate_k(k: int) -> None:
+    if k < 1:
+        raise ValueError("k must be at least 1")
+
+
+def precision_at_k(ranked_ids: Sequence[str], relevant: Set[str], k: int) -> float:
+    """Fraction of the top-k results that are relevant."""
+    _validate_k(k)
+    if not ranked_ids:
+        return 0.0
+    top = ranked_ids[:k]
+    hits = sum(1 for image_id in top if image_id in relevant)
+    return hits / len(top)
+
+
+def recall_at_k(ranked_ids: Sequence[str], relevant: Set[str], k: int) -> float:
+    """Fraction of the relevant images found in the top-k results."""
+    _validate_k(k)
+    if not relevant:
+        return 0.0
+    top = set(ranked_ids[:k])
+    return len(top & relevant) / len(relevant)
+
+
+def f1_score(precision: float, recall: float) -> float:
+    """Harmonic mean of precision and recall."""
+    if precision + recall == 0.0:
+        return 0.0
+    return 2.0 * precision * recall / (precision + recall)
+
+
+def average_precision(ranked_ids: Sequence[str], relevant: Set[str]) -> float:
+    """Average of the precision values at every relevant rank."""
+    if not relevant:
+        return 0.0
+    hits = 0
+    precision_sum = 0.0
+    for index, image_id in enumerate(ranked_ids, start=1):
+        if image_id in relevant:
+            hits += 1
+            precision_sum += hits / index
+    return precision_sum / len(relevant)
+
+
+def mean_average_precision(
+    ranked_lists: Iterable[Sequence[str]], relevant_sets: Iterable[Set[str]]
+) -> float:
+    """Mean of :func:`average_precision` over a set of queries."""
+    values: List[float] = [
+        average_precision(ranked, relevant)
+        for ranked, relevant in zip(ranked_lists, relevant_sets)
+    ]
+    if not values:
+        return 0.0
+    return sum(values) / len(values)
+
+
+def reciprocal_rank(ranked_ids: Sequence[str], relevant: Set[str]) -> float:
+    """1 / rank of the first relevant result (0 when none is retrieved)."""
+    for index, image_id in enumerate(ranked_ids, start=1):
+        if image_id in relevant:
+            return 1.0 / index
+    return 0.0
+
+
+def summarize_query(
+    ranked_ids: Sequence[str], relevant: Set[str], cutoffs: Sequence[int] = (1, 3, 5, 10)
+) -> Dict[str, float]:
+    """All per-query metrics in one dictionary (used by the evaluation runner)."""
+    summary: Dict[str, float] = {
+        "average_precision": average_precision(ranked_ids, relevant),
+        "reciprocal_rank": reciprocal_rank(ranked_ids, relevant),
+    }
+    for k in cutoffs:
+        summary[f"precision@{k}"] = precision_at_k(ranked_ids, relevant, k)
+        summary[f"recall@{k}"] = recall_at_k(ranked_ids, relevant, k)
+    return summary

@@ -1,0 +1,272 @@
+"""Relation-predicate queries: "find images where A is left of B".
+
+The introduction of the paper motivates relative-position retrieval with
+queries such as "find all images which icon A locates at the left side and
+icon B locates at the right".  This module provides that query form on top of
+the BE-string machinery: a small predicate language (``"car left-of tree"``)
+whose predicates are evaluated against the pairwise relations recovered from a
+stored image's BE-string (:mod:`repro.core.reasoning`), with ranking by the
+fraction of predicates an image satisfies.
+
+The predicate vocabulary is deliberately coarse -- it names directional and
+topological relations, not the full 169 Allen-pair categories -- because that
+is the granularity a user query works at.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.core.bestring import BEString2D
+from repro.core.reasoning import boundary_ranks
+from repro.geometry.allen import AllenRelation, allen_relation
+from repro.geometry.interval import Interval
+
+
+class PredicateError(ValueError):
+    """Raised on an unknown relation keyword or malformed predicate text."""
+
+
+class RelationKeyword(Enum):
+    """The relation vocabulary of the predicate language."""
+
+    LEFT_OF = "left-of"
+    RIGHT_OF = "right-of"
+    ABOVE = "above"
+    BELOW = "below"
+    OVERLAPS = "overlaps"
+    CONTAINS = "contains"
+    INSIDE = "inside"
+    TOUCHES = "touches"
+    SAME_COLUMN = "same-column"
+    SAME_ROW = "same-row"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Accepted spellings for each keyword (underscores and a few synonyms).
+_ALIASES: Dict[str, RelationKeyword] = {}
+for _keyword in RelationKeyword:
+    _ALIASES[_keyword.value] = _keyword
+    _ALIASES[_keyword.value.replace("-", "_")] = _keyword
+_ALIASES.update(
+    {
+        "leftof": RelationKeyword.LEFT_OF,
+        "rightof": RelationKeyword.RIGHT_OF,
+        "over": RelationKeyword.ABOVE,
+        "under": RelationKeyword.BELOW,
+        "within": RelationKeyword.INSIDE,
+        "covers": RelationKeyword.CONTAINS,
+        "intersects": RelationKeyword.OVERLAPS,
+        "beside": RelationKeyword.SAME_ROW,
+    }
+)
+
+#: Relations in which the two projections share at least one point.
+_SHARING = {
+    AllenRelation.MEETS,
+    AllenRelation.MET_BY,
+    AllenRelation.OVERLAPS,
+    AllenRelation.OVERLAPPED_BY,
+    AllenRelation.STARTS,
+    AllenRelation.STARTED_BY,
+    AllenRelation.DURING,
+    AllenRelation.CONTAINS,
+    AllenRelation.FINISHES,
+    AllenRelation.FINISHED_BY,
+    AllenRelation.EQUALS,
+}
+
+#: Relations meaning "the first interval covers the second".
+_COVERING = {
+    AllenRelation.CONTAINS,
+    AllenRelation.STARTED_BY,
+    AllenRelation.FINISHED_BY,
+    AllenRelation.EQUALS,
+}
+
+#: Relations meaning "the first interval lies within the second".
+_WITHIN = {
+    AllenRelation.DURING,
+    AllenRelation.STARTS,
+    AllenRelation.FINISHES,
+    AllenRelation.EQUALS,
+}
+
+
+@dataclass(frozen=True)
+class RelationPredicate:
+    """One atomic predicate: ``subject RELATION object`` over icon labels."""
+
+    subject: str
+    relation: RelationKeyword
+    target: str
+
+    def __post_init__(self) -> None:
+        if not self.subject or not self.target:
+            raise PredicateError("predicates need a non-empty subject and target label")
+
+    def to_text(self) -> str:
+        """Canonical text form, e.g. ``"car left-of tree"``."""
+        return f"{self.subject} {self.relation.value} {self.target}"
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def holds_between(self, subject_x: Interval, subject_y: Interval,
+                      target_x: Interval, target_y: Interval) -> bool:
+        """Evaluate the predicate on two objects' (ordinal or metric) intervals."""
+        x = allen_relation(subject_x, target_x)
+        y = allen_relation(subject_y, target_y)
+        keyword = self.relation
+        if keyword is RelationKeyword.LEFT_OF:
+            return x in (AllenRelation.BEFORE, AllenRelation.MEETS)
+        if keyword is RelationKeyword.RIGHT_OF:
+            return x in (AllenRelation.AFTER, AllenRelation.MET_BY)
+        if keyword is RelationKeyword.ABOVE:
+            return y in (AllenRelation.AFTER, AllenRelation.MET_BY)
+        if keyword is RelationKeyword.BELOW:
+            return y in (AllenRelation.BEFORE, AllenRelation.MEETS)
+        if keyword is RelationKeyword.OVERLAPS:
+            return x in _SHARING and y in _SHARING
+        if keyword is RelationKeyword.CONTAINS:
+            return x in _COVERING and y in _COVERING
+        if keyword is RelationKeyword.INSIDE:
+            return x in _WITHIN and y in _WITHIN
+        if keyword is RelationKeyword.TOUCHES:
+            shares = x in _SHARING and y in _SHARING
+            meets = AllenRelation.MEETS in (x, y) or AllenRelation.MET_BY in (x, y)
+            return shares and meets
+        if keyword is RelationKeyword.SAME_COLUMN:
+            return x in _SHARING
+        if keyword is RelationKeyword.SAME_ROW:
+            return y in _SHARING
+        raise PredicateError(f"unhandled relation keyword {keyword!r}")
+
+
+def parse_predicate(text: str) -> RelationPredicate:
+    """Parse one predicate of the form ``"<label> <relation> <label>"``."""
+    tokens = text.strip().split()
+    if len(tokens) != 3:
+        raise PredicateError(
+            f"a predicate needs exactly three tokens (subject relation target), got {text!r}"
+        )
+    subject, relation_text, target = tokens
+    keyword = _ALIASES.get(relation_text.lower())
+    if keyword is None:
+        raise PredicateError(
+            f"unknown relation {relation_text!r}; valid relations: "
+            f"{sorted(alias for alias in _ALIASES)}"
+        )
+    return RelationPredicate(subject=subject, relation=keyword, target=target)
+
+
+def parse_query(text: str) -> List[RelationPredicate]:
+    """Parse a conjunction of predicates separated by ``and`` / ``,`` / ``;``."""
+    parts = [part for part in re.split(r"\s+and\s+|[,;]", text.strip()) if part.strip()]
+    if not parts:
+        raise PredicateError("the predicate query is empty")
+    return [parse_predicate(part) for part in parts]
+
+
+@dataclass(frozen=True)
+class PredicateMatch:
+    """Evaluation outcome for one image."""
+
+    image_id: str
+    satisfied: Tuple[RelationPredicate, ...]
+    unsatisfied: Tuple[RelationPredicate, ...]
+
+    @property
+    def score(self) -> float:
+        """Fraction of predicates satisfied."""
+        total = len(self.satisfied) + len(self.unsatisfied)
+        return len(self.satisfied) / total if total else 0.0
+
+    @property
+    def is_full_match(self) -> bool:
+        """True when every predicate holds."""
+        return not self.unsatisfied and bool(self.satisfied)
+
+    def describe(self) -> str:
+        """One-line summary used by the examples and the CLI."""
+        failed = "; ".join(predicate.to_text() for predicate in self.unsatisfied) or "-"
+        return (
+            f"{self.image_id}: {len(self.satisfied)}/{len(self.satisfied) + len(self.unsatisfied)} "
+            f"predicates hold (missing: {failed})"
+        )
+
+
+def _instances_by_label(bestring: BEString2D) -> Dict[str, List[str]]:
+    instances: Dict[str, List[str]] = {}
+    for identifier in sorted(bestring.object_identifiers):
+        label = identifier.split("#")[0]
+        instances.setdefault(label, []).append(identifier)
+    return instances
+
+
+def evaluate_predicates(
+    bestring: BEString2D, predicates: Sequence[RelationPredicate], image_id: str = ""
+) -> PredicateMatch:
+    """Evaluate a conjunction of predicates against one image's BE-string.
+
+    A predicate holds when *some* pair of instances of the subject and target
+    labels satisfies the relation (the natural reading of "a car is left of a
+    tree" when several cars or trees are present).  All relations are derived
+    from the BE-string alone, via ordinal boundary ranks -- no access to the
+    original MBR coordinates is needed, which is exactly the point of the
+    representation.
+    """
+    x_ranks = boundary_ranks(bestring.x)
+    y_ranks = boundary_ranks(bestring.y)
+    instances = _instances_by_label(bestring)
+    satisfied: List[RelationPredicate] = []
+    unsatisfied: List[RelationPredicate] = []
+    for predicate in predicates:
+        subjects = instances.get(predicate.subject, [])
+        targets = instances.get(predicate.target, [])
+        holds = False
+        for subject in subjects:
+            for target in targets:
+                if subject == target:
+                    continue
+                if predicate.holds_between(
+                    x_ranks[subject], y_ranks[subject], x_ranks[target], y_ranks[target]
+                ):
+                    holds = True
+                    break
+            if holds:
+                break
+        (satisfied if holds else unsatisfied).append(predicate)
+    return PredicateMatch(
+        image_id=image_id or bestring.name,
+        satisfied=tuple(satisfied),
+        unsatisfied=tuple(unsatisfied),
+    )
+
+
+def search_by_predicates(
+    records: Iterable[Tuple[str, BEString2D]],
+    query: str | Sequence[RelationPredicate],
+    minimum_score: float = 0.0,
+) -> List[PredicateMatch]:
+    """Rank images by the fraction of query predicates they satisfy.
+
+    ``records`` is an iterable of ``(image_id, bestring)`` pairs -- typically
+    ``(record.image_id, record.bestring)`` for every record of an
+    :class:`~repro.index.database.ImageDatabase`.
+    """
+    predicates = parse_query(query) if isinstance(query, str) else list(query)
+    if not predicates:
+        raise PredicateError("at least one predicate is required")
+    matches = [
+        evaluate_predicates(bestring, predicates, image_id=image_id)
+        for image_id, bestring in records
+    ]
+    matches = [match for match in matches if match.score >= minimum_score]
+    matches.sort(key=lambda match: (-match.score, match.image_id))
+    return matches

@@ -1,0 +1,186 @@
+"""The retrieval system facade (the paper's Section-5 demonstration, headless).
+
+:class:`RetrievalSystem` wraps an :class:`~repro.index.database.ImageDatabase`
+plus a :class:`~repro.index.query.QueryEngine` behind the handful of calls an
+application actually needs: load pictures, search (exact, partial or
+transformation-invariant), inspect a stored image, and maintain it
+dynamically.  The examples and quality benchmarks are written against this
+facade only, which is the "public API" promised in the repository's README.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Union
+
+from repro.core.similarity import DEFAULT_POLICY, SimilarityPolicy
+from repro.core.transforms import Transformation
+from repro.geometry.rectangle import Rectangle
+from repro.iconic.ascii_art import render_ascii
+from repro.iconic.picture import SymbolicPicture
+from repro.index.database import ImageDatabase, ImageRecord
+from repro.index.query import Query, QueryEngine
+from repro.index.ranking import RankedResult
+from repro.index.storage import load_database, save_database
+
+
+@dataclass
+class RetrievalSystem:
+    """An image database with similarity retrieval over 2D BE-strings."""
+
+    policy: SimilarityPolicy = DEFAULT_POLICY
+    minimum_signature_overlap: float = 0.0
+    _engine: QueryEngine = field(init=False)
+
+    def __post_init__(self) -> None:
+        database = ImageDatabase()
+        self._engine = QueryEngine.build(
+            database, minimum_overlap_ratio=self.minimum_signature_overlap
+        )
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_pictures(
+        cls,
+        pictures: Iterable[SymbolicPicture],
+        policy: SimilarityPolicy = DEFAULT_POLICY,
+        minimum_signature_overlap: float = 0.0,
+    ) -> "RetrievalSystem":
+        """Build a system pre-loaded with a collection of pictures."""
+        system = cls(policy=policy, minimum_signature_overlap=minimum_signature_overlap)
+        for picture in pictures:
+            system.add_picture(picture)
+        return system
+
+    @classmethod
+    def from_file(cls, path: Union[str, Path], policy: SimilarityPolicy = DEFAULT_POLICY) -> "RetrievalSystem":
+        """Load a system from a database JSON file written by :meth:`save`."""
+        database = load_database(path)
+        system = cls(policy=policy)
+        for record in list(database):
+            system.add_picture(record.picture, record.image_id)
+        return system
+
+    # ------------------------------------------------------------------
+    # Database maintenance
+    # ------------------------------------------------------------------
+    def add_picture(self, picture: SymbolicPicture, image_id: Optional[str] = None) -> str:
+        """Store a picture (encoding its BE-string); returns its image id."""
+        return self._engine.add_picture(picture, image_id)
+
+    def remove_picture(self, image_id: str) -> None:
+        """Remove a stored picture."""
+        self._engine.remove_picture(image_id)
+
+    def add_object(self, image_id: str, label: str, mbr: Rectangle) -> None:
+        """Dynamically add one icon to a stored image (Section 3.2)."""
+        record = self._engine.database.add_object(image_id, label, mbr)
+        self._engine.signature_filter.update_picture(image_id, record.picture)
+        self._engine.inverted_index.update_picture(image_id, record.picture)
+
+    def remove_object(self, image_id: str, identifier: str) -> None:
+        """Dynamically remove one icon from a stored image (Section 3.2)."""
+        record = self._engine.database.remove_object(image_id, identifier)
+        self._engine.signature_filter.update_picture(image_id, record.picture)
+        self._engine.inverted_index.update_picture(image_id, record.picture)
+
+    def save(self, path: Union[str, Path]) -> Path:
+        """Persist the database to a JSON file."""
+        return save_database(self._engine.database, path)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._engine.database)
+
+    @property
+    def image_ids(self) -> List[str]:
+        """Ids of all stored images, sorted."""
+        return self._engine.database.image_ids
+
+    def record(self, image_id: str) -> ImageRecord:
+        """The stored record (picture + BE-string) of one image."""
+        return self._engine.database.get(image_id)
+
+    def show(self, image_id: str, columns: int = 60, rows: int = 20) -> str:
+        """ASCII rendering of a stored image (the headless 'visualisation')."""
+        return render_ascii(self.record(image_id).picture, columns=columns, rows=rows)
+
+    def statistics(self) -> dict:
+        """Database-level statistics (image/object/symbol counts)."""
+        return self._engine.database.statistics()
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+    def search(
+        self,
+        query_picture: SymbolicPicture,
+        limit: Optional[int] = 10,
+        invariant: bool = False,
+        minimum_score: float = 0.0,
+        use_filters: bool = True,
+    ) -> List[RankedResult]:
+        """Similarity search with the configured policy.
+
+        ``invariant=True`` additionally searches the five rotated/reflected
+        variants of the query (retrieved purely by string reversal, as in the
+        paper); ``use_filters=False`` bypasses the candidate pruning and scores
+        every stored image.
+        """
+        transformations: Sequence[Transformation]
+        if invariant:
+            transformations = tuple(Transformation)
+        else:
+            transformations = (Transformation.IDENTITY,)
+        query = Query(
+            picture=query_picture,
+            policy=self.policy,
+            transformations=tuple(transformations),
+            limit=limit,
+            minimum_score=minimum_score,
+            use_filters=use_filters,
+        )
+        return self._engine.execute(query)
+
+    def search_partial(
+        self,
+        query_picture: SymbolicPicture,
+        identifiers: Sequence[str],
+        limit: Optional[int] = 10,
+        invariant: bool = False,
+    ) -> List[RankedResult]:
+        """Search with only a subset of the query picture's icons.
+
+        This is the paper's uncertain-target scenario: the caller knows some
+        icons and their arrangement but not the whole scene.
+        """
+        return self.search(
+            query_picture.subset(identifiers), limit=limit, invariant=invariant
+        )
+
+    def search_by_relations(
+        self,
+        query: str,
+        limit: Optional[int] = 10,
+        minimum_score: float = 0.0,
+    ) -> List["PredicateMatch"]:
+        """Relation-predicate search, e.g. ``"monitor above desk and phone right-of monitor"``.
+
+        The predicates are evaluated against every stored image's BE-string
+        (never against raw coordinates); images are ranked by the fraction of
+        predicates they satisfy.  See :mod:`repro.retrieval.predicates` for
+        the predicate vocabulary.
+        """
+        from repro.retrieval.predicates import search_by_predicates
+
+        matches = search_by_predicates(
+            ((record.image_id, record.bestring) for record in self._engine.database),
+            query,
+            minimum_score=minimum_score,
+        )
+        return matches[:limit] if limit is not None else matches

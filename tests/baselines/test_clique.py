@@ -1,0 +1,105 @@
+"""Unit tests for the maximum-clique solver."""
+
+import random
+
+import pytest
+
+from repro.baselines.clique import build_graph, clique_number, greedy_clique, maximum_clique
+
+
+def complete_graph(n):
+    vertices = list(range(n))
+    edges = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    return build_graph(vertices, edges)
+
+
+class TestBuildGraph:
+    def test_edges_are_undirected(self):
+        graph = build_graph(["a", "b"], [("a", "b")])
+        assert graph["a"] == {"b"}
+        assert graph["b"] == {"a"}
+
+    def test_self_loops_ignored(self):
+        graph = build_graph(["a"], [("a", "a")])
+        assert graph["a"] == set()
+
+    def test_unknown_vertex_rejected(self):
+        with pytest.raises(ValueError):
+            build_graph(["a"], [("a", "z")])
+
+
+class TestMaximumClique:
+    def test_empty_graph(self):
+        assert maximum_clique({}) == frozenset()
+
+    def test_single_vertex(self):
+        assert maximum_clique(build_graph(["a"], [])) == frozenset({"a"})
+
+    def test_independent_set_has_clique_one(self):
+        graph = build_graph(["a", "b", "c"], [])
+        assert clique_number(graph) == 1
+
+    def test_complete_graph(self):
+        assert clique_number(complete_graph(6)) == 6
+
+    def test_triangle_plus_pendant(self):
+        graph = build_graph(
+            ["a", "b", "c", "d"], [("a", "b"), ("b", "c"), ("a", "c"), ("c", "d")]
+        )
+        assert maximum_clique(graph) == frozenset({"a", "b", "c"})
+
+    def test_two_cliques_picks_larger(self):
+        vertices = list("abcdefg")
+        small = [("a", "b"), ("b", "c"), ("a", "c")]
+        large = [
+            ("d", "e"),
+            ("d", "f"),
+            ("d", "g"),
+            ("e", "f"),
+            ("e", "g"),
+            ("f", "g"),
+        ]
+        graph = build_graph(vertices, small + large)
+        assert maximum_clique(graph) == frozenset({"d", "e", "f", "g"})
+
+    def test_bipartite_graph_has_clique_two(self):
+        graph = build_graph(
+            ["l1", "l2", "r1", "r2"],
+            [("l1", "r1"), ("l1", "r2"), ("l2", "r1"), ("l2", "r2")],
+        )
+        assert clique_number(graph) == 2
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_graphs_against_brute_force(self, seed):
+        rng = random.Random(seed)
+        vertices = list(range(9))
+        edges = [
+            (i, j)
+            for i in vertices
+            for j in vertices
+            if i < j and rng.random() < 0.45
+        ]
+        graph = build_graph(vertices, edges)
+
+        def is_clique(subset):
+            return all(b in graph[a] for a in subset for b in subset if a != b)
+
+        best = 0
+        for mask in range(1 << len(vertices)):
+            subset = [v for v in vertices if mask & (1 << v)]
+            if is_clique(subset):
+                best = max(best, len(subset))
+        assert clique_number(graph) == best
+
+
+class TestGreedyClique:
+    def test_greedy_result_is_a_clique(self):
+        graph = complete_graph(5)
+        result = greedy_clique(graph)
+        assert all(b in graph[a] for a in result for b in result if a != b)
+
+    def test_greedy_never_exceeds_exact(self):
+        graph = build_graph(
+            ["a", "b", "c", "d"], [("a", "b"), ("b", "c"), ("a", "c"), ("c", "d")]
+        )
+        assert len(greedy_clique(graph)) <= clique_number(graph)

@@ -1,0 +1,86 @@
+"""Unit tests for the G-/C-string cutting substrate."""
+
+import pytest
+
+from repro.baselines.cutting import (
+    c_string_cuts,
+    cut_interval,
+    g_string_cuts,
+    ordered_segment_symbols,
+    segment_count,
+    segments_per_object,
+)
+from repro.geometry.interval import Interval
+
+
+class TestCutInterval:
+    def test_no_interior_points(self):
+        assert cut_interval(Interval(0, 10), [0, 10, 20]) == [Interval(0, 10)]
+
+    def test_single_interior_point(self):
+        assert cut_interval(Interval(0, 10), [4]) == [Interval(0, 4), Interval(4, 10)]
+
+    def test_multiple_points_sorted_and_deduplicated(self):
+        pieces = cut_interval(Interval(0, 10), [8, 2, 2, 5])
+        assert pieces == [Interval(0, 2), Interval(2, 5), Interval(5, 8), Interval(8, 10)]
+
+
+class TestGStringCuts:
+    def test_disjoint_objects_are_not_cut(self):
+        projections = {"A": Interval(0, 2), "B": Interval(5, 8)}
+        segments = g_string_cuts(projections)
+        assert segment_count(segments) == 2
+        assert segments_per_object(segments) == {"A": 1, "B": 1}
+
+    def test_overlapping_objects_are_cut_at_each_others_boundaries(self):
+        projections = {"A": Interval(0, 6), "B": Interval(4, 10)}
+        segments = g_string_cuts(projections)
+        assert segments_per_object(segments) == {"A": 2, "B": 2}
+
+    def test_containment_cuts_outer_object_twice(self):
+        projections = {"outer": Interval(0, 10), "inner": Interval(3, 6)}
+        segments = g_string_cuts(projections)
+        per_object = segments_per_object(segments)
+        assert per_object["outer"] == 3
+        assert per_object["inner"] == 1
+
+    def test_ordered_symbols_sorted_by_begin(self):
+        projections = {"A": Interval(0, 6), "B": Interval(4, 10)}
+        symbols = [symbol for _, symbol in ordered_segment_symbols(g_string_cuts(projections))]
+        assert symbols[0] == "A[0]"
+        assert symbols[-1] == "B[1]"
+
+
+class TestCStringCuts:
+    def test_disjoint_objects_are_not_cut(self):
+        projections = {"A": Interval(0, 2), "B": Interval(5, 8)}
+        assert segment_count(c_string_cuts(projections)) == 2
+
+    def test_partial_overlap_cuts_only_the_follower(self):
+        projections = {"A": Interval(0, 6), "B": Interval(4, 10)}
+        per_object = segments_per_object(c_string_cuts(projections))
+        assert per_object == {"A": 1, "B": 2}
+
+    def test_containment_triggers_no_cut(self):
+        projections = {"outer": Interval(0, 10), "inner": Interval(3, 6)}
+        per_object = segments_per_object(c_string_cuts(projections))
+        assert per_object == {"outer": 1, "inner": 1}
+
+    def test_c_string_never_cuts_more_than_g_string(self):
+        projections = {
+            "A": Interval(0, 6),
+            "B": Interval(4, 12),
+            "C": Interval(10, 20),
+            "D": Interval(2, 18),
+        }
+        assert segment_count(c_string_cuts(projections)) <= segment_count(
+            g_string_cuts(projections)
+        )
+
+    def test_staircase_produces_quadratic_cuts(self):
+        # Object i spans [i, n + i]; every earlier end falls inside every
+        # later object, giving ~n^2/2 sub-objects overall.
+        n = 8
+        projections = {f"o{i:02d}": Interval(i, n + i) for i in range(n)}
+        count = segment_count(c_string_cuts(projections))
+        assert count >= n + (n * (n - 1)) // 4  # clearly super-linear

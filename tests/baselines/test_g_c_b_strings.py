@@ -1,0 +1,120 @@
+"""Unit tests for the 2D G-, C- and B-string encoders and the storage comparison."""
+
+import pytest
+
+from repro.baselines.b_string import encode_b_string
+from repro.baselines.c_string import encode_c_string
+from repro.baselines.g_string import encode_g_string
+from repro.core.construct import encode_picture
+from repro.datasets.synthetic import (
+    SceneParameters,
+    aligned_picture,
+    random_picture,
+    staircase_picture,
+)
+from repro.geometry.rectangle import Rectangle
+from repro.iconic.picture import SymbolicPicture
+
+
+@pytest.fixture
+def overlapping_picture():
+    return SymbolicPicture.build(
+        width=20,
+        height=20,
+        objects=[
+            ("A", Rectangle(0, 0, 10, 10)),
+            ("B", Rectangle(6, 6, 16, 16)),
+            ("C", Rectangle(12, 0, 20, 8)),
+        ],
+        name="overlapping",
+    )
+
+
+class TestGString:
+    def test_disjoint_objects_have_one_segment_each(self, two_object_picture):
+        encoded = encode_g_string(two_object_picture)
+        assert encoded.x.segment_count == 2
+        # The y projections [2, 6] and [4, 9] partially overlap, so each is
+        # cut once by the other's boundary.
+        assert encoded.y.segment_count == 4
+
+    def test_overlapping_objects_generate_extra_segments(self, overlapping_picture):
+        encoded = encode_g_string(overlapping_picture)
+        assert encoded.total_segments > 2 * len(overlapping_picture)
+
+    def test_text_form_lists_segments(self, overlapping_picture):
+        text = encode_g_string(overlapping_picture).x.to_text()
+        assert "A[0]" in text and "<" in text
+
+    def test_storage_units_count_segments_and_operators(self, two_object_picture):
+        encoded = encode_g_string(two_object_picture)
+        assert encoded.x.storage_units == 2 * encoded.x.segment_count - 1
+
+
+class TestCString:
+    def test_c_string_cuts_at_most_as_much_as_g_string(self, overlapping_picture):
+        g_encoded = encode_g_string(overlapping_picture)
+        c_encoded = encode_c_string(overlapping_picture)
+        assert c_encoded.total_segments <= g_encoded.total_segments
+
+    def test_staircase_is_quadratic_for_c_string_linear_for_be_string(self):
+        n = 10
+        picture = staircase_picture(n)
+        c_encoded = encode_c_string(picture)
+        be_encoded = encode_picture(picture)
+        assert c_encoded.total_segments > 2 * n  # super-linear cutting
+        assert be_encoded.total_symbols <= 2 * (4 * n + 1)  # O(n) symbols
+
+    def test_projection_overlap_cuts_only_the_follower(self, two_object_picture):
+        encoded = encode_c_string(two_object_picture)
+        # The x projections are disjoint (no cuts); the y projections overlap
+        # partially, so only the follower (B) is cut, once.
+        assert encoded.x.segment_count == 2
+        assert encoded.y.segment_count == 3
+
+
+class TestBString:
+    def test_boundary_count_is_always_2n(self, overlapping_picture):
+        encoded = encode_b_string(overlapping_picture)
+        assert len(encoded.x.boundaries) == 2 * len(overlapping_picture)
+        assert len(encoded.y.boundaries) == 2 * len(overlapping_picture)
+
+    def test_equals_operator_marks_coincident_boundaries(self, fig1):
+        encoded = encode_b_string(fig1)
+        # Figure 1 has exactly one coincidence per axis (A.e/C.b on x, B.e/C.b on y).
+        assert encoded.x.operators.count("=") == 1
+        assert encoded.y.operators.count("=") == 1
+
+    def test_storage_units_count_boundaries_plus_equals(self, fig1):
+        encoded = encode_b_string(fig1)
+        assert encoded.x.storage_units == 2 * len(fig1) + 1
+
+    def test_text_form(self, fig1):
+        text = encode_b_string(fig1).x.to_text()
+        assert "A.b" in text and "=" in text
+
+
+class TestStorageComparison:
+    """The E2 storage shape: BE/B-strings are O(n); G/C-strings cut objects."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_be_string_within_paper_bounds_on_random_scenes(self, seed):
+        picture = random_picture(seed, SceneParameters(object_count=10, alignment_probability=0.3))
+        be_encoded = encode_picture(picture)
+        n = len(picture)
+        assert 2 * (2 * n + 1) <= be_encoded.total_symbols <= 2 * (4 * n + 1)
+
+    def test_cut_based_strings_grow_faster_on_overlapping_scenes(self):
+        picture = staircase_picture(12)
+        be_symbols = encode_picture(picture).total_symbols
+        b_units = encode_b_string(picture).storage_units
+        c_units = encode_c_string(picture).storage_units
+        g_units = encode_g_string(picture).storage_units
+        assert be_symbols <= 2 * (4 * 12 + 1)
+        assert b_units < c_units <= g_units
+
+    def test_aligned_scene_is_cheap_for_everyone(self):
+        picture = aligned_picture(8)
+        assert encode_g_string(picture).total_segments == 2 * 8
+        assert encode_c_string(picture).total_segments == 2 * 8
+        assert encode_picture(picture).total_symbols <= 2 * (4 * 8 + 1)

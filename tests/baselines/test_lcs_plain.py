@@ -1,0 +1,89 @@
+"""Unit tests for the textbook LCS and the dummy-aware ablation."""
+
+import pytest
+
+from repro.baselines.lcs_plain import (
+    classic_lcs_length,
+    classic_lcs_string,
+    dummy_aware_lcs_length,
+)
+from repro.core.bestring import AxisBEString
+from repro.core.construct import encode_picture
+from repro.core.lcs import be_lcs_length
+from repro.datasets.synthetic import SceneParameters, random_picture
+
+
+def axis(text: str) -> AxisBEString:
+    return AxisBEString.from_text(text)
+
+
+class TestClassicLCS:
+    def test_identical_strings(self):
+        string = axis("E A.b E A.e E")
+        assert classic_lcs_length(string, string) == 5
+        assert classic_lcs_string(string, string).to_text() == string.to_text()
+
+    def test_no_common_symbols(self):
+        assert classic_lcs_length(axis("A.b A.e"), axis("B.b B.e")) == 0
+        assert classic_lcs_string(axis("A.b A.e"), axis("B.b B.e")).symbols == ()
+
+    def test_classic_counts_runs_of_dummies(self):
+        # The textbook LCS happily aligns multiple dummies in a row, which
+        # inflates the score of structurally unrelated strings -- exactly what
+        # the paper's modification suppresses.
+        query = axis("E A.b E A.e E")
+        database = axis("E B.b E B.e E")
+        assert classic_lcs_length(query, database) == 3
+        assert be_lcs_length(query, database) == 1
+
+    def test_classic_is_upper_bound_of_modified(self, fig1, office):
+        for picture in (fig1, office):
+            bestring = encode_picture(picture)
+            partial = encode_picture(picture.subset(picture.identifiers[:2]))
+            assert classic_lcs_length(partial.x, bestring.x) >= be_lcs_length(
+                partial.x, bestring.x
+            )
+
+    def test_classic_string_is_common_subsequence(self, fig1_bestring):
+        query = axis("E A.b C.b E C.e A.e E")
+        lcs = classic_lcs_string(query, fig1_bestring.x)
+
+        def is_subsequence(candidate, reference):
+            iterator = iter(reference)
+            return all(symbol in iterator for symbol in candidate)
+
+        assert is_subsequence(lcs.symbols, query.symbols)
+        assert is_subsequence(lcs.symbols, fig1_bestring.x.symbols)
+
+
+class TestDummyAwareAblation:
+    """The explicit-boolean variant must agree with the sign-encoded one."""
+
+    def test_simple_cases(self):
+        cases = [
+            ("E", "E"),
+            ("E A.b E A.e E", "E A.b E A.e E"),
+            ("E A.b E A.e E", "E B.b E B.e E"),
+            ("A.b E A.e", "A.b A.e"),
+        ]
+        for query_text, database_text in cases:
+            query, database = axis(query_text), axis(database_text)
+            assert dummy_aware_lcs_length(query, database) == be_lcs_length(query, database)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_agreement_on_random_scene_pairs(self, seed):
+        parameters = SceneParameters(object_count=7, alignment_probability=0.4)
+        query_picture = random_picture(seed, parameters)
+        database_picture = random_picture(seed + 100, parameters)
+        query = encode_picture(query_picture)
+        database = encode_picture(database_picture)
+        for query_axis, database_axis in ((query.x, database.x), (query.y, database.y)):
+            assert dummy_aware_lcs_length(query_axis, database_axis) == be_lcs_length(
+                query_axis, database_axis
+            )
+
+    def test_agreement_on_partial_queries(self, office):
+        full = encode_picture(office)
+        partial = encode_picture(office.subset(["desk", "monitor", "phone"]))
+        assert dummy_aware_lcs_length(partial.x, full.x) == be_lcs_length(partial.x, full.x)
+        assert dummy_aware_lcs_length(partial.y, full.y) == be_lcs_length(partial.y, full.y)

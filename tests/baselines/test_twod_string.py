@@ -1,0 +1,86 @@
+"""Unit tests for Chang's original 2-D strings."""
+
+import pytest
+
+from repro.baselines.twod_string import (
+    AxisTwoDString,
+    TwoDString,
+    encode_2d_string,
+    rank_assignment,
+)
+from repro.geometry.rectangle import Rectangle
+from repro.iconic.picture import SymbolicPicture
+
+
+@pytest.fixture
+def row_picture():
+    return SymbolicPicture.build(
+        width=30,
+        height=10,
+        objects=[
+            ("A", Rectangle(0, 0, 8, 10)),
+            ("B", Rectangle(10, 0, 18, 10)),
+            ("C", Rectangle(20, 0, 28, 10)),
+        ],
+        name="row",
+    )
+
+
+class TestAxisString:
+    def test_operator_count_invariant(self):
+        with pytest.raises(ValueError):
+            AxisTwoDString(symbols=("A", "B"), operators=())
+
+    def test_to_text(self):
+        axis = AxisTwoDString(symbols=("A", "B", "C"), operators=("<", "="))
+        assert axis.to_text() == "A < B = C"
+        assert axis.symbol_count == 3
+        assert axis.storage_units == 5
+
+    def test_empty_axis(self):
+        axis = AxisTwoDString(symbols=(), operators=())
+        assert axis.to_text() == ""
+        assert axis.storage_units == 0
+
+
+class TestEncoding:
+    def test_row_layout_orders_by_x(self, row_picture):
+        encoded = encode_2d_string(row_picture)
+        assert encoded.u.symbols == ("A", "B", "C")
+        assert encoded.u.operators == ("<", "<")
+
+    def test_row_layout_is_all_same_on_y(self, row_picture):
+        encoded = encode_2d_string(row_picture)
+        assert set(encoded.v.operators) == {"="}
+
+    def test_begin_reference_differs_from_centroid(self):
+        picture = SymbolicPicture.build(
+            width=20,
+            height=20,
+            objects=[("A", Rectangle(0, 0, 10, 2)), ("B", Rectangle(0, 4, 2, 20))],
+        )
+        centroid = encode_2d_string(picture, reference="centroid")
+        begin = encode_2d_string(picture, reference="begin")
+        assert begin.u.operators == ("=",)
+        assert centroid.u.operators == ("<",)
+        assert centroid.u.symbols == ("B", "A")
+
+    def test_unknown_reference_rejected(self, row_picture):
+        with pytest.raises(ValueError):
+            encode_2d_string(row_picture, reference="corner")
+
+    def test_storage_units_scale_linearly(self, row_picture):
+        encoded = encode_2d_string(row_picture)
+        # 3 symbols + 2 operators per axis.
+        assert encoded.storage_units == 10
+
+
+class TestRankAssignment:
+    def test_ranks_follow_operators(self):
+        axis = AxisTwoDString(symbols=("A", "B", "C"), operators=("<", "="))
+        assert rank_assignment(axis) == {"A": 0, "B": 1, "C": 1}
+
+    def test_ranks_of_encoded_picture(self, row_picture):
+        encoded = encode_2d_string(row_picture)
+        ranks = rank_assignment(encoded.u)
+        assert ranks["A"] < ranks["B"] < ranks["C"]

@@ -1,0 +1,114 @@
+"""Unit tests for the clique-based type-0/1/2 similarity baseline."""
+
+import pytest
+
+from repro.baselines.type_similarity import (
+    SimilarityType,
+    type_similarity,
+    type_similarity_all,
+)
+from repro.datasets.transforms_gen import scrambled_variant
+from repro.geometry.rectangle import Rectangle
+from repro.iconic.picture import SymbolicPicture
+
+
+class TestBasics:
+    def test_identical_images_match_all_objects(self, office):
+        for similarity_type in SimilarityType:
+            result = type_similarity(office, office, similarity_type)
+            assert result.similarity == len(office)
+            assert result.matched_objects == set(office.identifiers)
+            assert result.match_ratio == pytest.approx(1.0)
+
+    def test_no_common_objects_scores_zero(self, office, landscape):
+        result = type_similarity(office, landscape)
+        assert result.similarity == 0
+        assert result.common_objects == frozenset()
+
+    def test_single_common_object_scores_one(self, office):
+        query = office.subset(["desk"])
+        result = type_similarity(query, office)
+        assert result.similarity == 1
+        assert result.pair_count == 0
+
+    def test_partial_query_matches_its_objects(self, office):
+        query = office.subset(["desk", "monitor", "phone"])
+        result = type_similarity(query, office, SimilarityType.TYPE_1)
+        assert result.matched_objects == {"desk", "monitor", "phone"}
+
+
+class TestTypeNesting:
+    """Type-2 is stricter than type-1, which is stricter than type-0."""
+
+    @pytest.fixture
+    def shifted_pair(self):
+        base = SymbolicPicture.build(
+            width=40,
+            height=30,
+            objects=[
+                ("A", Rectangle(0, 0, 10, 10)),
+                ("B", Rectangle(8, 0, 30, 10)),
+                ("C", Rectangle(35, 20, 40, 30)),
+            ],
+            name="base",
+        )
+        # In the variant B is stretched to start exactly where A starts: the
+        # coarse directional relation of (A, B) is unchanged ("same span"),
+        # but the Allen category changes from OVERLAPS to STARTS, so type-0
+        # still matches the pair while type-1 does not.  The relations of C to
+        # both A and B are untouched.
+        variant = SymbolicPicture.build(
+            width=40,
+            height=30,
+            objects=[
+                ("A", Rectangle(0, 0, 10, 10)),
+                ("B", Rectangle(0, 0, 30, 10)),
+                ("C", Rectangle(35, 20, 40, 30)),
+            ],
+            name="variant",
+        )
+        return base, variant
+
+    def test_type0_is_most_permissive(self, shifted_pair):
+        base, variant = shifted_pair
+        results = type_similarity_all(base, variant)
+        assert (
+            results[SimilarityType.TYPE_0].similarity
+            >= results[SimilarityType.TYPE_1].similarity
+            >= results[SimilarityType.TYPE_2].similarity
+        )
+
+    def test_overlap_change_breaks_type1_but_not_type0(self, shifted_pair):
+        base, variant = shifted_pair
+        type0 = type_similarity(base, variant, SimilarityType.TYPE_0)
+        type1 = type_similarity(base, variant, SimilarityType.TYPE_1)
+        assert type0.similarity == 3
+        assert type1.similarity < 3
+
+    def test_type2_requires_same_ordinal_configuration(self):
+        base = SymbolicPicture.build(
+            width=40,
+            height=10,
+            objects=[("A", Rectangle(0, 0, 10, 10)), ("B", Rectangle(20, 0, 30, 10))],
+        )
+        stretched = SymbolicPicture.build(
+            width=40,
+            height=10,
+            objects=[("A", Rectangle(0, 0, 5, 10)), ("B", Rectangle(30, 0, 40, 10))],
+        )
+        # Same Allen relations (disjoint, before) -> type-1 matches both.
+        assert type_similarity(base, stretched, SimilarityType.TYPE_1).similarity == 2
+        assert type_similarity(base, stretched, SimilarityType.TYPE_2).similarity == 2
+
+
+class TestAgainstScrambles:
+    def test_scrambled_scene_scores_lower(self, office):
+        scrambled = scrambled_variant(office, seed=5)
+        same = type_similarity(office, office, SimilarityType.TYPE_1).similarity
+        different = type_similarity(office, scrambled, SimilarityType.TYPE_1).similarity
+        assert different < same
+
+    def test_pair_count_is_quadratic(self, office):
+        result = type_similarity(office, office)
+        n = len(office)
+        assert result.pair_count == n * (n - 1) // 2

@@ -1,0 +1,122 @@
+"""Unit tests for axis BE-strings and the 2-D pair."""
+
+import pytest
+
+from repro.core.bestring import AxisBEString, BEString2D
+from repro.core.errors import EncodingError
+from repro.core.symbols import Symbol
+
+
+def axis(text: str) -> AxisBEString:
+    return AxisBEString.from_text(text)
+
+
+class TestAxisBasics:
+    def test_from_text_and_back(self):
+        string = axis("E A.b E A.e C.b E")
+        assert string.to_text() == "E A.b E A.e C.b E"
+        assert len(string) == 6
+
+    def test_counts(self):
+        string = axis("E A.b E A.e C.b C.e E")
+        assert string.boundary_count == 4
+        assert string.dummy_count == 3
+        assert string.object_identifiers == {"A", "C"}
+        assert string.count_objects() == 2
+
+    def test_indexing_and_iteration(self):
+        string = axis("E A.b A.e")
+        assert string[0].is_dummy
+        assert [symbol.to_text() for symbol in string] == ["E", "A.b", "A.e"]
+
+    def test_compact_text(self):
+        string = axis("E A.b E A.e C.b E")
+        assert string.to_compact_text() == "EAbEAeCbE"
+
+
+class TestAxisValidation:
+    def test_valid_string_passes(self):
+        axis("E A.b E A.e E").validate()
+
+    def test_consecutive_dummies_rejected(self):
+        with pytest.raises(EncodingError):
+            axis("E E A.b A.e").validate()
+
+    def test_unbalanced_boundaries_rejected(self):
+        with pytest.raises(EncodingError):
+            axis("A.b E").validate()
+
+    def test_duplicate_begin_rejected(self):
+        with pytest.raises(EncodingError):
+            axis("A.b A.b A.e A.e").validate()
+
+    def test_end_before_begin_rejected(self):
+        with pytest.raises(EncodingError):
+            axis("A.e E A.b").validate()
+
+    def test_is_valid_flag(self):
+        assert axis("A.b A.e").is_valid
+        assert not axis("E E").is_valid
+
+
+class TestAxisTransforms:
+    def test_reversed_swapped_simple(self):
+        string = axis("E A.b E A.e E")
+        assert string.reversed_swapped().to_text() == "E A.b E A.e E"
+
+    def test_reversed_swapped_two_objects(self):
+        string = axis("A.b A.e E B.b B.e")
+        # Mirroring puts B first; begin/end swap within each object.
+        assert string.reversed_swapped().to_text() == "B.b B.e E A.b A.e"
+
+    def test_reversed_swapped_is_involution(self):
+        string = axis("E A.b B.b E A.e E B.e")
+        assert string.reversed_swapped().reversed_swapped() == string.canonicalized()
+
+    def test_canonicalized_orders_ties(self):
+        string = axis("C.b A.e E B.b")
+        assert string.canonicalized().to_text() == "A.e C.b E B.b"
+
+    def test_without_dummies(self):
+        assert axis("E A.b E A.e E").without_dummies().to_text() == "A.b A.e"
+
+    def test_restricted_to_collapses_dummies(self):
+        string = axis("E A.b E X.b E X.e E A.e E")
+        assert string.restricted_to(["A"]).to_text() == "E A.b E A.e E"
+
+    def test_restricted_to_preserves_adjacency(self):
+        string = axis("A.b X.b A.e X.e")
+        assert string.restricted_to(["A"]).to_text() == "A.b A.e"
+
+
+class TestBEString2D:
+    def test_from_text_and_dict_roundtrip(self):
+        bestring = BEString2D.from_text("A.b A.e", "E A.b A.e E", name="demo")
+        assert BEString2D.from_dict(bestring.to_dict()) == bestring
+
+    def test_object_identifiers_and_totals(self):
+        bestring = BEString2D.from_text("A.b A.e E B.b B.e", "A.b B.b E A.e B.e")
+        assert bestring.object_identifiers == {"A", "B"}
+        assert bestring.count_objects() == 2
+        assert bestring.total_symbols == 10
+
+    def test_validation_catches_axis_mismatch(self):
+        bestring = BEString2D.from_text("A.b A.e", "B.b B.e")
+        with pytest.raises(EncodingError):
+            bestring.validate()
+        assert not bestring.is_valid
+
+    def test_symbol_multiset_counts_boundaries_only(self):
+        bestring = BEString2D.from_text("E A.b E A.e E", "A.b A.e")
+        multiset = bestring.symbol_multiset
+        assert multiset[Symbol.begin("A")] == 2
+        assert Symbol.dummy() not in multiset
+
+    def test_restricted_to(self, fig1_bestring):
+        restricted = fig1_bestring.restricted_to(["A", "C"])
+        assert restricted.object_identifiers == {"A", "C"}
+        restricted.validate()
+
+    def test_renamed(self, fig1_bestring):
+        assert fig1_bestring.renamed("other").name == "other"
+        assert fig1_bestring.renamed("other").x == fig1_bestring.x

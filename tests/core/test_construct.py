@@ -1,0 +1,185 @@
+"""Unit tests for Algorithm 1 (Convert-2D-Be-String)."""
+
+import pytest
+
+from repro.core.bestring import AxisBEString
+from repro.core.construct import (
+    build_axis_string,
+    convert_2d_be_string,
+    encode_picture,
+    storage_symbol_bounds,
+)
+from repro.core.errors import EncodingError
+from repro.core.symbols import BoundaryKind
+from repro.datasets.synthetic import (
+    SceneParameters,
+    aligned_picture,
+    distinct_boundaries_picture,
+    random_picture,
+    stacked_picture,
+)
+from repro.geometry.rectangle import Rectangle
+from repro.iconic.picture import SymbolicPicture
+
+
+class TestBuildAxisString:
+    def test_empty_axis_is_single_dummy(self):
+        assert build_axis_string([], extent=10.0).to_text() == "E"
+
+    def test_single_object_with_free_space(self):
+        records = [(2.0, "A", BoundaryKind.BEGIN), (5.0, "A", BoundaryKind.END)]
+        assert build_axis_string(records, extent=10.0).to_text() == "E A.b E A.e E"
+
+    def test_single_object_exactly_fitting(self):
+        # No edge dummies, but one internal dummy because the two boundaries
+        # project to distinct coordinates: the paper's 2n + 1 best case.
+        records = [(0.0, "A", BoundaryKind.BEGIN), (10.0, "A", BoundaryKind.END)]
+        assert build_axis_string(records, extent=10.0).to_text() == "A.b E A.e"
+
+    def test_coincident_boundaries_need_no_dummy(self):
+        records = [
+            (0.0, "A", BoundaryKind.BEGIN),
+            (5.0, "A", BoundaryKind.END),
+            (5.0, "B", BoundaryKind.BEGIN),
+            (10.0, "B", BoundaryKind.END),
+        ]
+        assert build_axis_string(records, extent=10.0).to_text() == "A.b E A.e B.b E B.e"
+
+    def test_out_of_frame_boundary_rejected(self):
+        records = [(2.0, "A", BoundaryKind.BEGIN), (12.0, "A", BoundaryKind.END)]
+        with pytest.raises(EncodingError):
+            build_axis_string(records, extent=10.0)
+
+    def test_non_positive_extent_rejected(self):
+        with pytest.raises(EncodingError):
+            build_axis_string([], extent=0.0)
+
+    def test_ties_ordered_by_identifier_then_kind(self):
+        records = [
+            (5.0, "B", BoundaryKind.BEGIN),
+            (5.0, "A", BoundaryKind.END),
+            (0.0, "A", BoundaryKind.BEGIN),
+            (10.0, "B", BoundaryKind.END),
+        ]
+        assert build_axis_string(records, extent=10.0).to_text() == "A.b E A.e B.b E B.e"
+
+
+class TestConvert2DBeString:
+    def test_parallel_array_form(self):
+        bestring = convert_2d_be_string(
+            n=2,
+            identifiers=["A", "B"],
+            x_begin=[0.0, 5.0],
+            x_end=[5.0, 10.0],
+            y_begin=[0.0, 0.0],
+            y_end=[10.0, 10.0],
+            x_max=10.0,
+            y_max=10.0,
+        )
+        assert bestring.x.to_text() == "A.b E A.e B.b E B.e"
+        assert bestring.y.to_text() == "A.b B.b E A.e B.e"
+        bestring.validate()
+
+    def test_array_length_mismatch_rejected(self):
+        with pytest.raises(EncodingError):
+            convert_2d_be_string(
+                n=2,
+                identifiers=["A"],
+                x_begin=[0.0, 1.0],
+                x_end=[2.0, 3.0],
+                y_begin=[0.0, 1.0],
+                y_end=[2.0, 3.0],
+                x_max=10.0,
+                y_max=10.0,
+            )
+
+    def test_duplicate_identifiers_rejected(self):
+        with pytest.raises(EncodingError):
+            convert_2d_be_string(
+                n=2,
+                identifiers=["A", "A"],
+                x_begin=[0.0, 1.0],
+                x_end=[2.0, 3.0],
+                y_begin=[0.0, 1.0],
+                y_end=[2.0, 3.0],
+                x_max=10.0,
+                y_max=10.0,
+            )
+
+    def test_inverted_mbr_rejected(self):
+        with pytest.raises(EncodingError):
+            convert_2d_be_string(
+                n=1,
+                identifiers=["A"],
+                x_begin=[5.0],
+                x_end=[2.0],
+                y_begin=[0.0],
+                y_end=[1.0],
+                x_max=10.0,
+                y_max=10.0,
+            )
+
+
+class TestEncodePicture:
+    def test_encoding_is_always_valid(self, random_scene):
+        bestring = encode_picture(random_scene)
+        bestring.validate()
+
+    def test_encoding_preserves_object_set(self, office):
+        bestring = encode_picture(office)
+        assert bestring.object_identifiers == set(office.identifiers)
+
+    def test_empty_picture_unsupported_objects_still_encodes_frame(self):
+        picture = SymbolicPicture(width=10.0, height=10.0)
+        bestring = encode_picture(picture)
+        assert bestring.x.to_text() == "E"
+        assert bestring.y.to_text() == "E"
+
+    def test_degenerate_object_begin_before_end(self):
+        picture = SymbolicPicture.build(
+            width=10, height=10, objects=[("A", Rectangle(3, 3, 3, 3))]
+        )
+        bestring = encode_picture(picture)
+        assert bestring.x.to_text() == "E A.b A.e E"
+        bestring.x.validate()
+
+
+class TestStorageBounds:
+    def test_bounds_formula(self):
+        assert storage_symbol_bounds(0) == (1, 1)
+        assert storage_symbol_bounds(1) == (3, 5)
+        assert storage_symbol_bounds(4) == (9, 17)
+        with pytest.raises(ValueError):
+            storage_symbol_bounds(-1)
+
+    def test_best_case_layout_hits_lower_bound(self):
+        for n in (1, 2, 5, 9):
+            picture = stacked_picture(n)
+            bestring = encode_picture(picture)
+            assert len(bestring.x) == 2 * n + 1
+            assert len(bestring.y) == 2 * n + 1
+
+    def test_aligned_tiling_needs_no_dummy_at_shared_boundaries(self):
+        for n in (2, 5, 9):
+            picture = aligned_picture(n)
+            bestring = encode_picture(picture)
+            # n tiles share n - 1 internal boundaries, so the x axis needs
+            # 2n boundary symbols plus n dummies (one per distinct gap).
+            assert len(bestring.x) == 3 * n
+            assert bestring.x.dummy_count == n
+
+    def test_worst_case_layout_hits_upper_bound(self):
+        for n in (1, 2, 5, 9):
+            picture = distinct_boundaries_picture(n)
+            bestring = encode_picture(picture)
+            assert len(bestring.x) == 4 * n + 1
+            assert len(bestring.y) == 4 * n + 1
+
+    def test_random_scenes_stay_within_bounds(self):
+        parameters = SceneParameters(object_count=12, alignment_probability=0.5)
+        for seed in range(20):
+            picture = random_picture(seed, parameters)
+            bestring = encode_picture(picture)
+            lower, upper = storage_symbol_bounds(len(picture))
+            assert lower <= len(bestring.x) <= upper
+            assert lower <= len(bestring.y) <= upper

@@ -1,0 +1,116 @@
+"""Unit tests for dynamic BE-string maintenance (Section 3.2)."""
+
+import pytest
+
+from repro.core.construct import encode_picture
+from repro.core.editing import IndexedBEString
+from repro.core.errors import EncodingError
+from repro.geometry.rectangle import Rectangle
+from repro.iconic.picture import SymbolicPicture
+
+
+class TestConstruction:
+    def test_requires_positive_frame(self):
+        with pytest.raises(EncodingError):
+            IndexedBEString(width=0.0, height=10.0)
+
+    def test_from_picture_matches_direct_encoding(self, office):
+        indexed = IndexedBEString.from_picture(office)
+        assert indexed.to_bestring().x.symbols == encode_picture(office).x.symbols
+        assert indexed.to_bestring().y.symbols == encode_picture(office).y.symbols
+
+    def test_len_contains_identifiers(self, office):
+        indexed = IndexedBEString.from_picture(office)
+        assert len(indexed) == len(office)
+        assert "desk" in indexed
+        assert "spaceship" not in indexed
+        assert indexed.identifiers == sorted(office.identifiers)
+
+    def test_mbr_lookup(self, office):
+        indexed = IndexedBEString.from_picture(office)
+        assert indexed.mbr("desk") == office.icon("desk").mbr
+        with pytest.raises(KeyError):
+            indexed.mbr("missing")
+
+
+class TestInsert:
+    def test_insert_matches_full_reencoding(self, fig1):
+        indexed = IndexedBEString.from_picture(fig1)
+        new_mbr = Rectangle(7.0, 6.0, 9.0, 8.0)
+        indexed.insert("D", new_mbr)
+        expected = encode_picture(fig1.add_icon("D", new_mbr))
+        assert indexed.to_bestring().x.symbols == expected.x.symbols
+        assert indexed.to_bestring().y.symbols == expected.y.symbols
+
+    def test_insert_duplicate_identifier_rejected(self, fig1):
+        indexed = IndexedBEString.from_picture(fig1)
+        with pytest.raises(EncodingError):
+            indexed.insert("A", Rectangle(0, 0, 1, 1))
+
+    def test_insert_out_of_frame_rejected(self, fig1):
+        indexed = IndexedBEString.from_picture(fig1)
+        with pytest.raises(EncodingError):
+            indexed.insert("D", Rectangle(5, 5, 20, 8))
+
+    def test_insert_icon_object(self, fig1):
+        from repro.iconic.icon import IconObject
+
+        indexed = IndexedBEString.from_picture(fig1)
+        indexed.insert_icon(IconObject(label="D", mbr=Rectangle(0, 0, 1, 1)))
+        assert "D" in indexed
+
+    def test_many_incremental_inserts_stay_consistent(self):
+        picture = SymbolicPicture(width=100.0, height=100.0, name="empty")
+        indexed = IndexedBEString(width=100.0, height=100.0, name="empty")
+        for index in range(12):
+            mbr = Rectangle(index * 5.0, index * 3.0, index * 5.0 + 8.0, index * 3.0 + 6.0)
+            label = f"obj{index}"
+            indexed.insert(label, mbr)
+            picture = picture.add_icon(label, mbr)
+            assert indexed.to_bestring().x.symbols == encode_picture(picture).x.symbols
+
+
+class TestRemoveAndMove:
+    def test_remove_matches_full_reencoding(self, office):
+        indexed = IndexedBEString.from_picture(office)
+        indexed.remove("phone")
+        expected = encode_picture(office.remove_icon("phone"))
+        assert indexed.to_bestring().x.symbols == expected.x.symbols
+        assert indexed.to_bestring().y.symbols == expected.y.symbols
+
+    def test_remove_returns_mbr_and_forgets_object(self, office):
+        indexed = IndexedBEString.from_picture(office)
+        mbr = indexed.remove("phone")
+        assert mbr == office.icon("phone").mbr
+        assert "phone" not in indexed
+        with pytest.raises(KeyError):
+            indexed.remove("phone")
+
+    def test_move_relocates_object(self, fig1):
+        indexed = IndexedBEString.from_picture(fig1)
+        indexed.move("B", Rectangle(0.0, 0.0, 2.0, 2.0))
+        expected = encode_picture(
+            fig1.remove_icon("B").add_icon("B", Rectangle(0.0, 0.0, 2.0, 2.0))
+        )
+        assert indexed.to_bestring().x.symbols == expected.x.symbols
+
+    def test_insert_then_remove_is_identity(self, fig1):
+        indexed = IndexedBEString.from_picture(fig1)
+        before = indexed.to_bestring()
+        indexed.insert("Z", Rectangle(0.0, 0.0, 0.5, 0.5))
+        indexed.remove("Z")
+        after = indexed.to_bestring()
+        assert before.x.symbols == after.x.symbols
+        assert before.y.symbols == after.y.symbols
+
+
+class TestRoundTrip:
+    def test_to_picture_reconstructs_icons(self, office):
+        indexed = IndexedBEString.from_picture(office)
+        rebuilt = indexed.to_picture()
+        assert rebuilt == office.renamed(rebuilt.name)
+
+    def test_to_picture_handles_instance_suffixes(self, landscape):
+        indexed = IndexedBEString.from_picture(landscape)
+        rebuilt = indexed.to_picture()
+        assert sorted(rebuilt.identifiers) == sorted(landscape.identifiers)

@@ -1,0 +1,76 @@
+"""Experiment E1: the paper's Figure 1 worked example.
+
+Figure 1 shows a three-object image (A upper-left, B lower-middle, C between
+them) whose 2D BE-string illustrates where dummy objects are and are not
+inserted: there is free space at every image edge (so the leading and trailing
+dummies appear on both axes), the end boundary of A coincides with the begin
+boundary of C on the x-axis, and the end boundary of B coincides with the
+begin boundary of C on the y-axis (so no dummy separates those two pairs).
+"""
+
+import pytest
+
+from repro.core.construct import encode_picture
+from repro.core.lcs import be_lcs_length
+from repro.core.similarity import similarity
+from repro.core.symbols import Symbol
+from repro.iconic.picture import fig1_picture
+
+
+class TestFig1Encoding:
+    def test_x_axis_string(self, fig1_bestring):
+        assert fig1_bestring.x.to_compact_text() == "EAbEAeCbEBbECeEBeE"
+
+    def test_y_axis_string(self, fig1_bestring):
+        assert fig1_bestring.y.to_compact_text() == "EBbEBeCbECeEAbEAeE"
+
+    def test_no_dummy_between_coincident_boundaries_on_x(self, fig1_bestring):
+        symbols = list(fig1_bestring.x.symbols)
+        position_a_end = symbols.index(Symbol.end("A"))
+        assert symbols[position_a_end + 1] == Symbol.begin("C")
+
+    def test_no_dummy_between_coincident_boundaries_on_y(self, fig1_bestring):
+        symbols = list(fig1_bestring.y.symbols)
+        position_b_end = symbols.index(Symbol.end("B"))
+        assert symbols[position_b_end + 1] == Symbol.begin("C")
+
+    def test_leading_and_trailing_dummies_present(self, fig1_bestring):
+        for axis in (fig1_bestring.x, fig1_bestring.y):
+            assert axis[0].is_dummy
+            assert axis[len(axis) - 1].is_dummy
+
+    def test_storage_between_paper_bounds(self, fig1, fig1_bestring):
+        n = len(fig1)
+        for axis in (fig1_bestring.x, fig1_bestring.y):
+            assert 2 * n + 1 <= len(axis) <= 4 * n + 1
+
+    def test_validates(self, fig1_bestring):
+        fig1_bestring.validate()
+
+
+class TestFig1Similarity:
+    def test_self_similarity_is_full(self, fig1_bestring):
+        result = similarity(fig1_bestring, fig1_bestring)
+        assert result.score == pytest.approx(1.0)
+        assert result.is_full_match
+        assert result.common_objects == {"A", "B", "C"}
+
+    def test_self_lcs_length_equals_string_length(self, fig1_bestring):
+        assert be_lcs_length(fig1_bestring.x, fig1_bestring.x) == len(fig1_bestring.x)
+        assert be_lcs_length(fig1_bestring.y, fig1_bestring.y) == len(fig1_bestring.y)
+
+    def test_partial_query_two_objects(self, fig1, fig1_bestring):
+        query = encode_picture(fig1.subset(["A", "C"]))
+        result = similarity(query, fig1_bestring)
+        assert result.common_objects == {"A", "C"}
+        assert 0.0 < result.score <= 1.0
+
+    def test_unrelated_object_does_not_match(self, fig1_bestring):
+        from repro.geometry.rectangle import Rectangle
+        from repro.iconic.picture import SymbolicPicture
+
+        other = SymbolicPicture.build(
+            width=10, height=10, objects=[("Z", Rectangle(1, 1, 2, 2))]
+        )
+        result = similarity(encode_picture(other), fig1_bestring)
+        assert result.common_objects == set()

@@ -1,0 +1,115 @@
+"""Unit tests for Algorithms 2 and 3 (modified LCS)."""
+
+import pytest
+
+from repro.core.bestring import AxisBEString
+from repro.core.construct import encode_picture
+from repro.core.lcs import (
+    be_lcs_length,
+    be_lcs_length_and_string,
+    be_lcs_string,
+    be_lcs_table,
+    print_2d_be_lcs,
+)
+from repro.core.symbols import Symbol
+
+
+def axis(text: str) -> AxisBEString:
+    return AxisBEString.from_text(text)
+
+
+class TestTable:
+    def test_empty_inputs(self):
+        table = be_lcs_table(axis(""), axis(""))
+        assert table == [[0]]
+        assert be_lcs_length(axis(""), axis("A.b A.e")) == 0
+
+    def test_table_dimensions(self):
+        query = axis("E A.b A.e")
+        database = axis("A.b E A.e E")
+        table = be_lcs_table(query, database)
+        assert len(table) == len(query) + 1
+        assert all(len(row) == len(database) + 1 for row in table)
+
+    def test_sign_encodes_dummy_tail(self):
+        # Matching a lone dummy: the cell is negative but the length is 1.
+        table = be_lcs_table(axis("E"), axis("E"))
+        assert table[1][1] == -1
+        assert be_lcs_length(axis("E"), axis("E")) == 1
+
+    def test_identical_strings_full_length(self, fig1_bestring):
+        for string in (fig1_bestring.x, fig1_bestring.y):
+            assert be_lcs_length(string, string) == len(string)
+
+
+class TestDummySuppression:
+    def test_consecutive_dummies_never_in_lcs(self):
+        # Both strings contain widely separated dummies; a naive LCS would
+        # align two of them back to back, the modified LCS must not.
+        query = axis("E A.b E A.e E")
+        database = axis("E B.b E B.e E")
+        lcs = be_lcs_string(query, database)
+        assert lcs.dummy_count <= 1
+        assert be_lcs_length(query, database) == 1
+
+    def test_dummy_can_separate_two_matched_boundaries(self):
+        query = axis("A.b E A.e")
+        database = axis("A.b E A.e")
+        assert be_lcs_length(query, database) == 3
+        assert be_lcs_string(query, database).to_text() == "A.b E A.e"
+
+    def test_lcs_string_never_has_adjacent_dummies(self):
+        query = axis("E A.b E B.b E A.e E B.e E")
+        database = axis("E B.b E A.b E B.e E A.e E")
+        lcs = be_lcs_string(query, database)
+        for left, right in zip(lcs.symbols, lcs.symbols[1:]):
+            assert not (left.is_dummy and right.is_dummy)
+
+
+class TestStringReconstruction:
+    def test_lcs_is_subsequence_of_both(self, fig1, fig1_bestring):
+        query = encode_picture(fig1.subset(["A", "B"]))
+        lcs = be_lcs_string(query.x, fig1_bestring.x)
+
+        def is_subsequence(candidate, reference):
+            iterator = iter(reference)
+            return all(symbol in iterator for symbol in candidate)
+
+        assert is_subsequence(lcs.symbols, query.x.symbols)
+        assert is_subsequence(lcs.symbols, fig1_bestring.x.symbols)
+
+    def test_lcs_string_length_matches_reported_length(self, fig1_bestring):
+        query = axis("E A.b E B.b E A.e E")
+        length, lcs = be_lcs_length_and_string(query, fig1_bestring.x)
+        assert len(lcs) == length
+
+    def test_recursive_printer_matches_iterative(self, fig1_bestring):
+        query = axis("E A.b C.b E C.e E")
+        table = be_lcs_table(query, fig1_bestring.x)
+        printed = []
+        print_2d_be_lcs(query, table, len(query), len(fig1_bestring.x), printed)
+        assert printed == list(be_lcs_string(query, fig1_bestring.x).symbols)
+
+    def test_no_common_symbols_gives_empty_lcs(self):
+        assert be_lcs_string(axis("A.b A.e"), axis("B.b B.e")).symbols == ()
+
+
+class TestOrderSensitivity:
+    def test_swapped_objects_score_lower_than_identical(self):
+        # Same objects, opposite order along the axis: the LCS can keep only
+        # one object's boundaries plus dummies.
+        same = axis("E A.b E A.e E B.b E B.e E")
+        swapped = axis("E B.b E B.e E A.b E A.e E")
+        assert be_lcs_length(same, same) > be_lcs_length(same, swapped)
+
+    def test_partial_query_scores_between_zero_and_full(self, fig1, fig1_bestring):
+        full = be_lcs_length(fig1_bestring.x, fig1_bestring.x)
+        partial_query = encode_picture(fig1.subset(["A"]))
+        partial = be_lcs_length(partial_query.x, fig1_bestring.x)
+        assert 0 < partial < full
+
+    def test_lcs_is_symmetric_in_length(self, fig1, office):
+        # LCS length must not depend on which operand is the "query".
+        a = encode_picture(fig1).x
+        b = encode_picture(fig1.subset(["A", "C"])).x
+        assert be_lcs_length(a, b) == be_lcs_length(b, a)

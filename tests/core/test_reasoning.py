@@ -1,0 +1,154 @@
+"""Unit tests for spatial reasoning over BE-strings."""
+
+import pytest
+
+from repro.core.bestring import AxisBEString
+from repro.core.construct import encode_picture
+from repro.core.errors import BEStringError
+from repro.core.reasoning import (
+    axis_relation,
+    boundary_ranks,
+    disagreeing_pairs,
+    pairwise_relations_from_bestring,
+    relations_agree,
+    relations_compatible,
+)
+from repro.core.similarity import similarity
+from repro.datasets.scenes import office_scene
+from repro.datasets.synthetic import SceneParameters, random_picture
+from repro.datasets.transforms_gen import scrambled_variant
+from repro.geometry.allen import AllenRelation
+from repro.geometry.interval import Interval
+
+
+def axis(text: str) -> AxisBEString:
+    return AxisBEString.from_text(text)
+
+
+class TestBoundaryRanks:
+    def test_ranks_increase_across_dummies(self):
+        ranks = boundary_ranks(axis("E A.b E A.e B.b E B.e E"))
+        assert ranks["A"] == Interval(1.0, 2.0)
+        assert ranks["B"] == Interval(2.0, 3.0)
+
+    def test_adjacent_boundaries_share_rank(self):
+        ranks = boundary_ranks(axis("A.b A.e"))
+        assert ranks["A"].is_degenerate
+
+    def test_unbalanced_string_rejected(self):
+        with pytest.raises(BEStringError):
+            boundary_ranks(axis("A.b E B.e"))
+
+    def test_duplicate_boundary_rejected(self):
+        with pytest.raises(BEStringError):
+            boundary_ranks(axis("A.b A.b A.e A.e"))
+
+
+class TestAxisRelation:
+    def test_before_relation(self):
+        relation = axis_relation(axis("A.b E A.e E B.b E B.e"), "A", "B")
+        assert relation is AllenRelation.BEFORE
+
+    def test_meets_relation(self):
+        relation = axis_relation(axis("A.b E A.e B.b E B.e"), "A", "B")
+        assert relation is AllenRelation.MEETS
+
+    def test_equals_relation(self):
+        relation = axis_relation(axis("A.b B.b E A.e B.e"), "A", "B")
+        assert relation is AllenRelation.EQUALS
+
+    def test_unknown_object_rejected(self):
+        with pytest.raises(BEStringError):
+            axis_relation(axis("A.b A.e"), "A", "Z")
+
+
+class TestAgainstGeometry:
+    """Relations recovered from the string equal the geometric ground truth."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_scenes(self, seed):
+        picture = random_picture(
+            seed, SceneParameters(object_count=8, alignment_probability=0.5)
+        )
+        bestring = encode_picture(picture)
+        from_string = pairwise_relations_from_bestring(bestring)
+        from_geometry = picture.pairwise_relations()
+        assert from_string == from_geometry
+
+    def test_office_scene(self, office):
+        bestring = encode_picture(office)
+        assert pairwise_relations_from_bestring(bestring) == office.pairwise_relations()
+
+    def test_subset_restriction(self, office):
+        bestring = encode_picture(office)
+        subset = ["desk", "monitor", "phone"]
+        relations = pairwise_relations_from_bestring(bestring, subset)
+        assert set(relations) == {
+            ("desk", "monitor"),
+            ("desk", "phone"),
+            ("monitor", "phone"),
+        }
+
+    def test_unknown_identifier_rejected(self, office):
+        bestring = encode_picture(office)
+        with pytest.raises(BEStringError):
+            pairwise_relations_from_bestring(bestring, ["desk", "spaceship"])
+
+
+class TestLCSSoundnessClaim:
+    """Section 4: pairwise relations of LCS objects are consistent in both images.
+
+    The exact-agreement form of the claim holds when the matched objects have
+    identical geometry in both images (self matches and sub-scene matches);
+    the order-compatibility form (no inverted boundary orderings) holds for
+    arbitrary image pairs because the LCS preserves the order of every matched
+    boundary symbol.
+    """
+
+    def test_exact_agreement_for_sub_scene_queries(self, office):
+        query_picture = office.subset(["desk", "monitor", "phone", "lamp"])
+        query_bestring = encode_picture(query_picture)
+        database_bestring = encode_picture(office)
+        result = similarity(query_bestring, database_bestring)
+        matched = result.common_objects
+        assert matched == {"desk", "monitor", "phone", "lamp"}
+        assert relations_agree(query_bestring, database_bestring, matched)
+        assert disagreeing_pairs(query_bestring, database_bestring, matched) == []
+
+    @pytest.mark.parametrize("variant", [1, 2, 3, 6])
+    def test_order_compatibility_for_jittered_scenes(self, office, variant):
+        database = office_scene(variant)
+        query_bestring = encode_picture(office)
+        database_bestring = encode_picture(database)
+        result = similarity(query_bestring, database_bestring)
+        matched = result.common_objects
+        if len(matched) >= 2:
+            assert relations_compatible(query_bestring, database_bestring, matched)
+
+    def test_order_compatibility_for_scrambled_scene(self, office):
+        scrambled = scrambled_variant(office, seed=11)
+        query_bestring = encode_picture(office)
+        database_bestring = encode_picture(scrambled)
+        result = similarity(query_bestring, database_bestring)
+        matched = result.common_objects
+        if len(matched) >= 2:
+            assert relations_compatible(query_bestring, database_bestring, matched)
+
+    def test_compatibility_rejects_unknown_objects(self, office):
+        bestring = encode_picture(office)
+        with pytest.raises(BEStringError):
+            relations_compatible(bestring, bestring, ["desk", "spaceship"])
+
+    def test_disagreeing_pairs_detects_a_flip(self, office):
+        # Swap two objects' positions: the pair's relation flips and must be
+        # reported when we force-check the full object set.
+        flipped = office.remove_icon("phone").remove_icon("lamp")
+        flipped = flipped.add_icon("phone", office.icon("lamp").mbr)
+        flipped = flipped.add_icon("lamp", office.icon("phone").mbr)
+        query_bestring = encode_picture(office)
+        database_bestring = encode_picture(flipped)
+        pairs = disagreeing_pairs(
+            query_bestring, database_bestring, ["phone", "lamp", "desk"]
+        )
+        assert ("lamp", "phone") in pairs
+        assert not relations_agree(query_bestring, database_bestring, ["phone", "lamp"])

@@ -1,0 +1,142 @@
+"""Unit tests for the similarity evaluation (Section 4)."""
+
+import pytest
+
+from repro.core.construct import encode_picture
+from repro.core.errors import SimilarityError
+from repro.core.similarity import (
+    Combination,
+    Normalization,
+    SimilarityPolicy,
+    invariant_similarity,
+    similarity,
+    similarity_between_pictures,
+)
+from repro.core.transforms import Transformation, rotate90
+from repro.datasets.scenes import office_scene
+from repro.datasets.transforms_gen import scrambled_variant
+
+
+class TestBasicScores:
+    def test_identical_images_score_one(self, office):
+        result = similarity_between_pictures(office, office)
+        assert result.score == pytest.approx(1.0)
+        assert result.is_full_match
+
+    def test_empty_query_rejected(self):
+        from repro.core.bestring import AxisBEString, BEString2D
+
+        empty = BEString2D(AxisBEString(()), AxisBEString(()))
+        with pytest.raises(SimilarityError):
+            similarity(empty, empty)
+
+    def test_score_in_unit_interval(self, office, traffic):
+        result = similarity_between_pictures(office, traffic)
+        assert 0.0 <= result.score <= 1.0
+
+    def test_partial_query_matches_all_its_objects(self, office):
+        query = office.subset(["desk", "monitor", "phone"])
+        result = similarity_between_pictures(query, office)
+        assert result.common_objects == {"desk", "monitor", "phone"}
+        assert result.is_full_match
+
+    def test_scrambled_scene_scores_lower_than_original(self, office):
+        scrambled = scrambled_variant(office, seed=3)
+        same = similarity_between_pictures(office, office).score
+        different = similarity_between_pictures(office, scrambled).score
+        assert different < same
+
+    def test_full_match_beats_partial_beats_unrelated(self, office, landscape):
+        partial_database = office.subset(["desk", "monitor", "chair", "phone"])
+        query = office.subset(["desk", "monitor", "phone"])
+        full = similarity_between_pictures(query, office).score
+        partial = similarity_between_pictures(query, partial_database).score
+        unrelated = similarity_between_pictures(query, landscape).score
+        assert full >= partial > unrelated
+
+    def test_describe_mentions_database_name(self, office):
+        result = similarity_between_pictures(office, office)
+        assert "office" in result.describe()
+
+
+class TestPolicies:
+    @pytest.mark.parametrize("normalization", list(Normalization))
+    @pytest.mark.parametrize("combination", list(Combination))
+    def test_all_policies_give_unit_score_on_identical_images(
+        self, office, normalization, combination
+    ):
+        if normalization is Normalization.NONE:
+            pytest.skip("raw counts are not normalised to 1")
+        policy = SimilarityPolicy(normalization=normalization, combination=combination)
+        result = similarity_between_pictures(office, office, policy)
+        assert result.score == pytest.approx(1.0)
+
+    def test_none_normalization_returns_raw_counts(self, office):
+        policy = SimilarityPolicy(
+            normalization=Normalization.NONE, combination=Combination.MIN
+        )
+        bestring = encode_picture(office)
+        result = similarity(bestring, bestring, policy)
+        assert result.score == min(len(bestring.x), len(bestring.y))
+
+    def test_boundaries_only_policy_ignores_dummies(self, office):
+        policy = SimilarityPolicy(count_boundaries_only=True)
+        result = similarity_between_pictures(office, office, policy)
+        assert result.score == pytest.approx(1.0)
+        assert result.x.raw_count(True) == result.x.matched_boundaries
+
+    def test_query_normalisation_is_asymmetric(self, office):
+        query = office.subset(["desk", "monitor"])
+        policy = SimilarityPolicy(normalization=Normalization.QUERY)
+        small_into_big = similarity_between_pictures(query, office, policy).score
+        big_into_small = similarity_between_pictures(office, query, policy).score
+        assert small_into_big > big_into_small
+
+    def test_describe_policy(self):
+        text = SimilarityPolicy().describe()
+        assert "query" in text and "mean" in text
+
+
+class TestAxisDetails:
+    def test_axis_results_expose_lengths(self, office):
+        result = similarity_between_pictures(office, office)
+        assert result.x.query_length == result.x.database_length
+        assert result.x.lcs_length == result.x.query_length
+        assert result.x.matched_boundaries == result.x.query_boundary_count
+
+    def test_fully_matched_objects_require_both_boundaries(self, fig1, fig1_bestring):
+        query = encode_picture(fig1.subset(["A", "B"]))
+        result = similarity(query, fig1_bestring)
+        assert result.x.fully_matched_objects >= {"A", "B"}
+        assert result.common_objects == {"A", "B"}
+
+
+class TestInvariantSimilarity:
+    def test_rotated_database_image_needs_invariant_mode(self, office):
+        rotated = office.rotate90()
+        query = encode_picture(office)
+        database = encode_picture(rotated)
+        plain = similarity(query, database)
+        best = invariant_similarity(query, database)
+        assert best.score == pytest.approx(1.0)
+        assert best.transformation is Transformation.ROTATE_90
+        assert plain.score < best.score
+
+    def test_identity_wins_ties_for_identical_images(self, office):
+        bestring = encode_picture(office)
+        best = invariant_similarity(bestring, bestring)
+        assert best.transformation is Transformation.IDENTITY
+
+    def test_restricting_transformations(self, office):
+        rotated = office.rotate90()
+        query = encode_picture(office)
+        database = encode_picture(rotated)
+        best = invariant_similarity(
+            query, database, transformations=(Transformation.IDENTITY, Transformation.REFLECT_X)
+        )
+        assert best.score < 1.0
+
+    def test_empty_transformation_set_rejected(self, office):
+        bestring = encode_picture(office)
+        with pytest.raises(SimilarityError):
+            invariant_similarity(bestring, bestring, transformations=())

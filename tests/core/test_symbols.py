@@ -1,0 +1,77 @@
+"""Unit tests for BE-string symbols."""
+
+import pytest
+
+from repro.core.errors import EncodingError
+from repro.core.symbols import BoundaryKind, Symbol
+
+
+class TestConstruction:
+    def test_dummy_singleton_properties(self):
+        dummy = Symbol.dummy()
+        assert dummy.is_dummy
+        assert not dummy.is_boundary
+        assert not dummy.is_begin
+        assert not dummy.is_end
+
+    def test_begin_and_end_constructors(self):
+        begin = Symbol.begin("car")
+        end = Symbol.end("car")
+        assert begin.is_begin and begin.is_boundary
+        assert end.is_end and end.is_boundary
+        assert begin != end
+
+    def test_partial_symbol_rejected(self):
+        with pytest.raises(EncodingError):
+            Symbol(identifier="car", kind=None)
+        with pytest.raises(EncodingError):
+            Symbol(identifier=None, kind=BoundaryKind.BEGIN)
+
+    def test_empty_identifier_rejected(self):
+        with pytest.raises(EncodingError):
+            Symbol.begin("")
+
+    def test_symbols_are_hashable_and_comparable(self):
+        assert Symbol.begin("A") == Symbol.begin("A")
+        assert len({Symbol.begin("A"), Symbol.begin("A"), Symbol.end("A")}) == 2
+
+
+class TestBoundaryKind:
+    def test_opposite(self):
+        assert BoundaryKind.BEGIN.opposite is BoundaryKind.END
+        assert BoundaryKind.END.opposite is BoundaryKind.BEGIN
+
+
+class TestSwapped:
+    def test_swapping_boundary(self):
+        assert Symbol.begin("A").swapped() == Symbol.end("A")
+        assert Symbol.end("A").swapped() == Symbol.begin("A")
+
+    def test_swapping_dummy_is_noop(self):
+        assert Symbol.dummy().swapped() is Symbol.dummy()
+
+    def test_swap_is_involution(self):
+        symbol = Symbol.begin("car#2")
+        assert symbol.swapped().swapped() == symbol
+
+
+class TestTextForm:
+    def test_to_text(self):
+        assert Symbol.dummy().to_text() == "E"
+        assert Symbol.begin("A").to_text() == "A.b"
+        assert Symbol.end("car#1").to_text() == "car#1.e"
+
+    def test_from_text_roundtrip(self):
+        for symbol in (Symbol.dummy(), Symbol.begin("A"), Symbol.end("car#1")):
+            assert Symbol.from_text(symbol.to_text()) == symbol
+
+    def test_from_text_identifier_containing_dot(self):
+        symbol = Symbol.from_text("image.v2.b")
+        assert symbol.identifier == "image.v2"
+        assert symbol.is_begin
+
+    def test_from_text_rejects_malformed(self):
+        with pytest.raises(EncodingError):
+            Symbol.from_text("A")
+        with pytest.raises(EncodingError):
+            Symbol.from_text("A.x")

@@ -1,0 +1,134 @@
+"""Unit tests for string-level rotations and reflections."""
+
+import pytest
+
+from repro.core.construct import encode_picture
+from repro.core.transforms import (
+    INVERSE_TRANSFORMATION,
+    Transformation,
+    all_transformations,
+    compose,
+    reflect_x,
+    reflect_y,
+    rotate90,
+    rotate180,
+    rotate270,
+    transform,
+)
+
+_STRING_LEVEL = {
+    Transformation.ROTATE_90: rotate90,
+    Transformation.ROTATE_180: rotate180,
+    Transformation.ROTATE_270: rotate270,
+    Transformation.REFLECT_X: reflect_x,
+    Transformation.REFLECT_Y: reflect_y,
+}
+
+_GEOMETRIC = {
+    Transformation.ROTATE_90: lambda picture: picture.rotate90(),
+    Transformation.ROTATE_180: lambda picture: picture.rotate180(),
+    Transformation.ROTATE_270: lambda picture: picture.rotate270(),
+    Transformation.REFLECT_X: lambda picture: picture.reflect_x(),
+    Transformation.REFLECT_Y: lambda picture: picture.reflect_y(),
+}
+
+
+class TestStringVsGeometry:
+    """The paper's key claim: transforms are pure string reversals."""
+
+    @pytest.mark.parametrize("transformation", list(_STRING_LEVEL))
+    def test_string_transform_equals_geometric_reencoding(self, fig1, transformation):
+        bestring = encode_picture(fig1)
+        via_string = _STRING_LEVEL[transformation](bestring)
+        via_geometry = encode_picture(_GEOMETRIC[transformation](fig1))
+        assert via_string.x.symbols == via_geometry.x.symbols
+        assert via_string.y.symbols == via_geometry.y.symbols
+
+    @pytest.mark.parametrize("transformation", list(_STRING_LEVEL))
+    def test_equivalence_on_complex_scenes(self, office, staircase_scene, transformation):
+        for picture in (office, staircase_scene):
+            bestring = encode_picture(picture)
+            via_string = _STRING_LEVEL[transformation](bestring)
+            via_geometry = encode_picture(_GEOMETRIC[transformation](picture))
+            assert via_string.x.symbols == via_geometry.x.symbols
+            assert via_string.y.symbols == via_geometry.y.symbols
+
+
+class TestGroupStructure:
+    def test_identity_transform_is_noop(self, fig1_bestring):
+        assert transform(fig1_bestring, Transformation.IDENTITY) == fig1_bestring
+
+    def test_rotation_composition(self, fig1_bestring):
+        twice = rotate90(rotate90(fig1_bestring))
+        assert twice.x.symbols == rotate180(fig1_bestring).x.symbols
+        assert twice.y.symbols == rotate180(fig1_bestring).y.symbols
+
+    def test_inverse_table_round_trips(self, fig1_bestring):
+        # encode_picture emits canonical strings, so applying a transformation
+        # and its inverse must reproduce the original exactly.
+        for transformation, inverse in INVERSE_TRANSFORMATION.items():
+            forward = transform(fig1_bestring, transformation)
+            back = transform(forward, inverse)
+            assert back.x.symbols == fig1_bestring.x.symbols
+            assert back.y.symbols == fig1_bestring.y.symbols
+
+    def test_reflections_are_involutions(self, fig1_bestring):
+        assert reflect_x(reflect_x(fig1_bestring)).x.symbols == fig1_bestring.x.canonicalized().symbols
+        assert reflect_y(reflect_y(fig1_bestring)).y.symbols == fig1_bestring.y.canonicalized().symbols
+
+    def test_two_reflections_equal_rotate180(self, fig1_bestring):
+        both = reflect_x(reflect_y(fig1_bestring))
+        rotated = rotate180(fig1_bestring)
+        assert both.x.symbols == rotated.x.symbols
+        assert both.y.symbols == rotated.y.symbols
+
+    def test_transforms_preserve_validity_and_objects(self, office):
+        bestring = encode_picture(office)
+        for transformation in Transformation:
+            result = transform(bestring, transformation)
+            result.validate()
+            assert result.object_identifiers == bestring.object_identifiers
+
+
+class TestHelpers:
+    def test_all_transformations_returns_each_variant(self, fig1_bestring):
+        variants = all_transformations(fig1_bestring)
+        assert set(variants) == set(Transformation)
+        assert variants[Transformation.IDENTITY] == fig1_bestring
+
+    def test_all_transformations_subset(self, fig1_bestring):
+        variants = all_transformations(
+            fig1_bestring, include=(Transformation.ROTATE_90, Transformation.ROTATE_270)
+        )
+        assert set(variants) == {Transformation.ROTATE_90, Transformation.ROTATE_270}
+
+    def test_compose_rotations(self):
+        assert compose(Transformation.ROTATE_90, Transformation.ROTATE_90) == [
+            Transformation.ROTATE_180
+        ]
+        assert compose(Transformation.ROTATE_90, Transformation.ROTATE_270) == [
+            Transformation.IDENTITY
+        ]
+
+    def test_compose_reflections(self):
+        assert compose(Transformation.REFLECT_X, Transformation.REFLECT_X) == [
+            Transformation.IDENTITY
+        ]
+        assert compose(Transformation.REFLECT_X, Transformation.REFLECT_Y) == [
+            Transformation.ROTATE_180
+        ]
+
+    def test_compose_with_identity(self):
+        assert compose(Transformation.IDENTITY, Transformation.REFLECT_X) == [
+            Transformation.REFLECT_X
+        ]
+
+    def test_compose_rotation_with_reflection_may_leave_the_set(self):
+        # A quarter turn followed by an axis reflection is a diagonal
+        # reflection, which axis reversal alone cannot express.
+        assert compose(Transformation.ROTATE_90, Transformation.REFLECT_X) == []
+
+    def test_compose_half_turn_with_reflection(self):
+        assert compose(Transformation.ROTATE_180, Transformation.REFLECT_X) == [
+            Transformation.REFLECT_Y
+        ]

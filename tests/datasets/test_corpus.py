@@ -1,0 +1,94 @@
+"""Unit tests for the retrieval corpora."""
+
+import pytest
+
+from repro.datasets.corpus import Corpus, planted_retrieval_corpus, transformation_corpus
+from repro.iconic.picture import SymbolicPicture
+from repro.geometry.rectangle import Rectangle
+
+
+class TestCorpusValidation:
+    def test_validate_passes_on_consistent_corpus(self):
+        picture = SymbolicPicture.build(
+            width=10, height=10, objects=[("a", Rectangle(0, 0, 1, 1))], name="img"
+        )
+        query = picture.renamed("q")
+        corpus = Corpus(
+            name="tiny",
+            database_pictures=[picture],
+            queries=[query],
+            relevance={"q": {"img"}},
+        )
+        corpus.validate()
+        assert corpus.relevant_to("q") == {"img"}
+        assert corpus.relevant_to("unknown") == set()
+
+    def test_validate_rejects_unknown_query(self):
+        corpus = Corpus(name="bad", relevance={"missing": set()})
+        with pytest.raises(ValueError):
+            corpus.validate()
+
+    def test_validate_rejects_unknown_relevant_image(self):
+        picture = SymbolicPicture.build(
+            width=10, height=10, objects=[("a", Rectangle(0, 0, 1, 1))], name="q"
+        )
+        corpus = Corpus(
+            name="bad", queries=[picture], relevance={"q": {"ghost"}}
+        )
+        with pytest.raises(ValueError):
+            corpus.validate()
+
+
+class TestPlantedCorpus:
+    def test_structure_and_counts(self):
+        corpus = planted_retrieval_corpus(seed=1, base_scene_count=2, distractors_per_scene=3)
+        summary = corpus.summary()
+        assert summary["queries"] == 2
+        # 4 planted variants + 3 distractors per base scene.
+        assert summary["database_images"] == 2 * (4 + 3)
+        assert summary["relevant_pairs"] == 2 * 3
+
+    def test_deterministic(self):
+        first = planted_retrieval_corpus(seed=7, base_scene_count=2, distractors_per_scene=2)
+        second = planted_retrieval_corpus(seed=7, base_scene_count=2, distractors_per_scene=2)
+        assert first.database_ids == second.database_ids
+        assert first.relevance == second.relevance
+
+    def test_relevant_images_exclude_scrambles_and_distractors(self):
+        corpus = planted_retrieval_corpus(seed=2, base_scene_count=1, distractors_per_scene=4)
+        relevant = corpus.relevant_to(corpus.queries[0].name)
+        assert len(relevant) == 3
+        assert not any("scrambled" in name for name in relevant)
+        assert not any("distractor" in name for name in relevant)
+
+    def test_invalid_keep_fraction(self):
+        with pytest.raises(ValueError):
+            planted_retrieval_corpus(query_keep_fraction=0.0)
+
+    def test_queries_are_partial_views(self):
+        corpus = planted_retrieval_corpus(seed=3, base_scene_count=1, query_keep_fraction=0.5)
+        query = corpus.queries[0]
+        base = corpus.database_pictures[0]
+        assert len(query) < len(base)
+
+
+class TestTransformationCorpus:
+    def test_each_query_has_exactly_one_relevant_image(self):
+        corpus = transformation_corpus(seed=1, base_scene_count=5, distractors_per_scene=2)
+        for query in corpus.queries:
+            assert len(corpus.relevant_to(query.name)) == 1
+
+    def test_planted_images_are_transformed_copies(self):
+        corpus = transformation_corpus(seed=1, base_scene_count=3, distractors_per_scene=1)
+        for query in corpus.queries:
+            relevant_name = next(iter(corpus.relevant_to(query.name)))
+            assert any(
+                transformation in relevant_name
+                for transformation in ("rotate90", "rotate180", "rotate270", "reflect_x", "reflect_y")
+            )
+
+    def test_summary_counts(self):
+        corpus = transformation_corpus(seed=0, base_scene_count=4, distractors_per_scene=3)
+        summary = corpus.summary()
+        assert summary["database_images"] == 4 * (1 + 3)
+        assert summary["queries"] == 4

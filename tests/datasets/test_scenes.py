@@ -1,0 +1,66 @@
+"""Unit tests for the themed scene builders."""
+
+import pytest
+
+from repro.core.construct import encode_picture
+from repro.datasets.scenes import landscape_scene, office_scene, traffic_scene
+
+
+BUILDERS = [office_scene, traffic_scene, landscape_scene]
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("builder", BUILDERS)
+    def test_same_variant_is_identical(self, builder):
+        assert builder(3) == builder(3)
+
+    @pytest.mark.parametrize("builder", BUILDERS)
+    def test_different_variants_differ(self, builder):
+        assert builder(0) != builder(1)
+
+    @pytest.mark.parametrize("builder", BUILDERS)
+    def test_variant_zero_is_canonical(self, builder):
+        # Variant 0 applies no jitter, so building it twice in different
+        # processes must give the exact same coordinates.
+        picture = builder(0)
+        assert picture == builder(0)
+        assert all(icon.mbr == builder(0).icon(icon.identifier).mbr for icon in picture)
+
+
+class TestStructure:
+    @pytest.mark.parametrize("builder", BUILDERS)
+    def test_scene_encodes_validly(self, builder):
+        for variant in (0, 1, 4, 9):
+            picture = builder(variant)
+            bestring = encode_picture(picture)
+            bestring.validate()
+            assert len(picture) == 8
+
+    def test_office_has_expected_furniture(self, office):
+        for label in ("desk", "chair", "monitor", "keyboard", "phone", "lamp"):
+            assert office.has_icon(label)
+
+    def test_office_monitor_sits_on_desk(self, office):
+        desk = office.icon("desk").mbr
+        monitor = office.icon("monitor").mbr
+        assert monitor.y_begin == desk.y_end
+        assert desk.x_begin < monitor.x_begin and monitor.x_end < desk.x_end
+
+    def test_office_variant_five_swaps_phone_and_lamp(self):
+        base = office_scene(0)
+        swapped = office_scene(5)
+        assert base.icon("phone").mbr.center.x > base.icon("lamp").mbr.center.x
+        assert swapped.icon("phone").mbr.center.x < swapped.icon("lamp").mbr.center.x
+
+    def test_traffic_variant_four_swaps_car_and_bus(self):
+        base = traffic_scene(0)
+        swapped = traffic_scene(4)
+        assert base.icon("car").mbr.center.x < base.icon("bus").mbr.center.x
+        assert swapped.icon("car").mbr.center.x > swapped.icon("bus").mbr.center.x
+
+    def test_landscape_has_two_trees(self, landscape):
+        assert len(landscape.icons_with_label("tree")) == 2
+
+    def test_custom_names(self):
+        assert office_scene(0, name="my-office").name == "my-office"
+        assert traffic_scene(2).name == "traffic-002"

@@ -1,0 +1,96 @@
+"""Unit tests for the synthetic scene generators."""
+
+import pytest
+
+from repro.core.construct import encode_picture, storage_symbol_bounds
+from repro.datasets.synthetic import (
+    SceneParameters,
+    aligned_picture,
+    distinct_boundaries_picture,
+    random_picture,
+    random_pictures,
+    stacked_picture,
+    staircase_picture,
+)
+
+
+class TestSceneParameters:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SceneParameters(object_count=-1)
+        with pytest.raises(ValueError):
+            SceneParameters(minimum_size=0)
+        with pytest.raises(ValueError):
+            SceneParameters(minimum_size=10, maximum_size=5)
+        with pytest.raises(ValueError):
+            SceneParameters(alignment_probability=1.5)
+        with pytest.raises(ValueError):
+            SceneParameters(maximum_size=500)
+        with pytest.raises(ValueError):
+            SceneParameters(labels=())
+
+    def test_defaults_are_valid(self):
+        parameters = SceneParameters()
+        assert parameters.object_count == 8
+
+
+class TestRandomPicture:
+    def test_deterministic_for_same_seed(self):
+        assert random_picture(seed=42) == random_picture(seed=42)
+
+    def test_different_seeds_differ(self):
+        assert random_picture(seed=1) != random_picture(seed=2)
+
+    def test_respects_object_count_and_frame(self):
+        parameters = SceneParameters(object_count=15, width=200.0, height=50.0, maximum_size=20.0)
+        picture = random_picture(seed=3, parameters=parameters)
+        assert len(picture) == 15
+        assert picture.width == 200.0
+        for icon in picture:
+            assert picture.frame.contains(icon.mbr)
+
+    def test_zero_objects(self):
+        picture = random_picture(seed=0, parameters=SceneParameters(object_count=0))
+        assert len(picture) == 0
+
+    def test_all_scenes_encode_within_bounds(self):
+        parameters = SceneParameters(object_count=9, alignment_probability=0.6)
+        for seed in range(15):
+            picture = random_picture(seed, parameters)
+            bestring = encode_picture(picture)
+            lower, upper = storage_symbol_bounds(len(picture))
+            assert lower <= len(bestring.x) <= upper
+            assert lower <= len(bestring.y) <= upper
+
+    def test_random_pictures_unique_names(self):
+        pictures = random_pictures(5, seed=1)
+        assert len({picture.name for picture in pictures}) == 5
+
+
+class TestStructuredLayouts:
+    def test_aligned_picture_tiles_span_frame(self):
+        picture = aligned_picture(4, width=100.0, height=40.0)
+        assert len(picture) == 4
+        assert max(icon.mbr.x_end for icon in picture) == 100.0
+        assert min(icon.mbr.x_begin for icon in picture) == 0.0
+
+    def test_stacked_picture_is_best_case(self):
+        picture = stacked_picture(5)
+        bestring = encode_picture(picture)
+        assert len(bestring.x) == 2 * 5 + 1
+
+    def test_distinct_boundaries_picture_is_worst_case(self):
+        picture = distinct_boundaries_picture(5)
+        bestring = encode_picture(picture)
+        assert len(bestring.x) == 4 * 5 + 1
+
+    def test_staircase_objects_overlap_their_successors(self):
+        picture = staircase_picture(5)
+        icons = sorted(picture.icons, key=lambda icon: icon.mbr.x_begin)
+        for first, second in zip(icons, icons[1:]):
+            assert first.mbr.strictly_intersects(second.mbr)
+
+    @pytest.mark.parametrize("builder", [aligned_picture, stacked_picture, staircase_picture, distinct_boundaries_picture])
+    def test_builders_reject_zero_objects(self, builder):
+        with pytest.raises(ValueError):
+            builder(0)

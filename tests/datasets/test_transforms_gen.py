@@ -1,0 +1,91 @@
+"""Unit tests for the variant generators."""
+
+import pytest
+
+from repro.core.similarity import similarity_between_pictures
+from repro.core.transforms import Transformation
+from repro.datasets.transforms_gen import (
+    partial_variant,
+    perturbed_variant,
+    scrambled_variant,
+    transformed_variants,
+)
+
+
+class TestTransformedVariants:
+    def test_all_six_variants_by_default(self, office):
+        variants = transformed_variants(office)
+        assert set(variants) == set(Transformation)
+        assert variants[Transformation.IDENTITY].icons == office.icons
+
+    def test_names_are_suffixed(self, office):
+        variants = transformed_variants(office)
+        assert variants[Transformation.ROTATE_90].name.endswith("rotate90")
+
+    def test_subset_of_transformations(self, office):
+        variants = transformed_variants(office, include=(Transformation.REFLECT_X,))
+        assert set(variants) == {Transformation.REFLECT_X}
+
+    def test_rotation_swaps_frame_dimensions(self, office):
+        rotated = transformed_variants(office)[Transformation.ROTATE_90]
+        assert rotated.width == office.height
+        assert rotated.height == office.width
+
+
+class TestPerturbedVariant:
+    def test_same_labels_and_frame(self, office):
+        variant = perturbed_variant(office, seed=1)
+        assert sorted(variant.labels) == sorted(office.labels)
+        assert variant.width == office.width
+
+    def test_deterministic_per_seed(self, office):
+        assert perturbed_variant(office, seed=5) == perturbed_variant(office, seed=5)
+        assert perturbed_variant(office, seed=5) != perturbed_variant(office, seed=6)
+
+    def test_icons_stay_inside_the_frame(self, office):
+        variant = perturbed_variant(office, seed=2, amount=0.3)
+        for icon in variant:
+            assert variant.frame.contains(icon.mbr)
+
+    def test_small_perturbation_keeps_similarity_high(self, office):
+        variant = perturbed_variant(office, seed=3, amount=0.02)
+        score = similarity_between_pictures(office, variant).score
+        assert score > 0.5
+
+
+class TestPartialVariant:
+    def test_keeps_requested_number_of_icons(self, office):
+        variant = partial_variant(office, keep=3, seed=0)
+        assert len(variant) == 3
+        assert set(variant.identifiers) <= set(office.identifiers)
+
+    def test_keep_bounds_validated(self, office):
+        with pytest.raises(ValueError):
+            partial_variant(office, keep=0)
+        with pytest.raises(ValueError):
+            partial_variant(office, keep=len(office) + 1)
+
+    def test_partial_variant_is_a_sub_scene(self, office):
+        variant = partial_variant(office, keep=4, seed=7)
+        for icon in variant:
+            assert icon.mbr == office.icon(icon.identifier).mbr
+
+
+class TestScrambledVariant:
+    def test_same_label_multiset(self, office):
+        variant = scrambled_variant(office, seed=1)
+        assert sorted(variant.labels) == sorted(office.labels)
+
+    def test_icons_stay_inside_the_frame(self, office):
+        variant = scrambled_variant(office, seed=1)
+        for icon in variant:
+            assert variant.frame.contains(icon.mbr)
+
+    def test_scramble_changes_layout(self, office):
+        variant = scrambled_variant(office, seed=1)
+        moved = [
+            icon.identifier
+            for icon in variant
+            if icon.mbr != office.icon(icon.identifier).mbr
+        ]
+        assert len(moved) >= len(office) - 1

@@ -1,0 +1,78 @@
+"""Unit tests for Allen's interval relations."""
+
+import pytest
+
+from repro.geometry.allen import (
+    AllenRelation,
+    allen_relation,
+    inverse_relation,
+    is_global,
+    is_local,
+    shares_point,
+)
+from repro.geometry.interval import Interval
+
+
+CASES = [
+    (Interval(0, 2), Interval(3, 5), AllenRelation.BEFORE),
+    (Interval(3, 5), Interval(0, 2), AllenRelation.AFTER),
+    (Interval(0, 3), Interval(3, 5), AllenRelation.MEETS),
+    (Interval(3, 5), Interval(0, 3), AllenRelation.MET_BY),
+    (Interval(0, 4), Interval(2, 6), AllenRelation.OVERLAPS),
+    (Interval(2, 6), Interval(0, 4), AllenRelation.OVERLAPPED_BY),
+    (Interval(1, 3), Interval(1, 6), AllenRelation.STARTS),
+    (Interval(1, 6), Interval(1, 3), AllenRelation.STARTED_BY),
+    (Interval(2, 4), Interval(0, 6), AllenRelation.DURING),
+    (Interval(0, 6), Interval(2, 4), AllenRelation.CONTAINS),
+    (Interval(4, 6), Interval(0, 6), AllenRelation.FINISHES),
+    (Interval(0, 6), Interval(4, 6), AllenRelation.FINISHED_BY),
+    (Interval(1, 5), Interval(1, 5), AllenRelation.EQUALS),
+]
+
+
+class TestClassification:
+    @pytest.mark.parametrize("a, b, expected", CASES)
+    def test_each_relation(self, a, b, expected):
+        assert allen_relation(a, b) is expected
+
+    @pytest.mark.parametrize("a, b, expected", CASES)
+    def test_inverse_consistency(self, a, b, expected):
+        assert allen_relation(b, a) is inverse_relation(expected)
+
+    def test_all_thirteen_relations_covered(self):
+        assert {expected for _, _, expected in CASES} == set(AllenRelation)
+
+    def test_degenerate_intervals(self):
+        assert allen_relation(Interval(2, 2), Interval(2, 2)) is AllenRelation.EQUALS
+        assert allen_relation(Interval(2, 2), Interval(3, 5)) is AllenRelation.BEFORE
+        assert allen_relation(Interval(2, 2), Interval(0, 5)) is AllenRelation.DURING
+
+
+class TestInverseTable:
+    def test_inverse_is_involution(self):
+        for relation in AllenRelation:
+            assert inverse_relation(inverse_relation(relation)) is relation
+
+    def test_equals_is_self_inverse(self):
+        assert inverse_relation(AllenRelation.EQUALS) is AllenRelation.EQUALS
+
+
+class TestCategories:
+    def test_local_and_global_partition(self):
+        for relation in AllenRelation:
+            assert is_local(relation) != is_global(relation)
+
+    def test_before_after_are_global_and_share_no_point(self):
+        assert is_global(AllenRelation.BEFORE)
+        assert is_global(AllenRelation.AFTER)
+        assert not shares_point(AllenRelation.BEFORE)
+        assert not shares_point(AllenRelation.AFTER)
+
+    def test_meets_is_global_but_shares_point(self):
+        assert is_global(AllenRelation.MEETS)
+        assert shares_point(AllenRelation.MEETS)
+
+    def test_overlaps_is_local(self):
+        assert is_local(AllenRelation.OVERLAPS)
+        assert is_local(AllenRelation.DURING)
+        assert is_local(AllenRelation.EQUALS)

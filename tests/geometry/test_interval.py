@@ -1,0 +1,82 @@
+"""Unit tests for repro.geometry.interval."""
+
+import pytest
+
+from repro.geometry.interval import Interval
+
+
+class TestConstruction:
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(ValueError):
+            Interval(5, 1)
+
+    def test_degenerate_interval_is_allowed(self):
+        interval = Interval(3, 3)
+        assert interval.is_degenerate
+        assert interval.length == 0
+
+    def test_tuple_and_iteration(self):
+        assert tuple(Interval(1, 4)) == (1, 4)
+        assert Interval(1, 4).as_tuple() == (1, 4)
+
+
+class TestMeasures:
+    def test_length_and_midpoint(self):
+        interval = Interval(2, 8)
+        assert interval.length == 6
+        assert interval.midpoint == 5
+
+
+class TestPredicates:
+    def test_contains_point_boundaries_inclusive(self):
+        interval = Interval(1, 5)
+        assert interval.contains_point(1)
+        assert interval.contains_point(5)
+        assert not interval.contains_point(5.001)
+
+    def test_containment(self):
+        assert Interval(0, 10).contains(Interval(2, 5))
+        assert Interval(0, 10).contains(Interval(0, 10))
+        assert not Interval(0, 10).strictly_contains(Interval(0, 10))
+        assert Interval(0, 10).strictly_contains(Interval(1, 9))
+
+    def test_overlap_closed_vs_strict(self):
+        assert Interval(0, 5).overlaps(Interval(5, 8))
+        assert not Interval(0, 5).strictly_overlaps(Interval(5, 8))
+        assert Interval(0, 5).strictly_overlaps(Interval(4, 8))
+
+    def test_touches_and_disjoint(self):
+        assert Interval(0, 5).touches(Interval(5, 7))
+        assert not Interval(0, 5).touches(Interval(6, 7))
+        assert Interval(0, 5).disjoint_from(Interval(6, 7))
+        assert not Interval(0, 5).disjoint_from(Interval(5, 7))
+
+
+class TestCombinations:
+    def test_intersection_present_and_absent(self):
+        assert Interval(0, 5).intersection(Interval(3, 8)) == Interval(3, 5)
+        assert Interval(0, 5).intersection(Interval(5, 8)) == Interval(5, 5)
+        assert Interval(0, 4).intersection(Interval(5, 8)) is None
+
+    def test_union_hull(self):
+        assert Interval(0, 2).union_hull(Interval(5, 8)) == Interval(0, 8)
+
+    def test_translate_and_scale(self):
+        assert Interval(1, 3).translate(2) == Interval(3, 5)
+        assert Interval(1, 3).scale(2) == Interval(2, 6)
+        with pytest.raises(ValueError):
+            Interval(1, 3).scale(-1)
+
+    def test_reflect_inside_extent(self):
+        # Mirroring [2, 5] inside [0, 10] gives [5, 8].
+        assert Interval(2, 5).reflect(10) == Interval(5, 8)
+
+    def test_reflect_twice_is_identity(self):
+        interval = Interval(2.5, 7.25)
+        assert interval.reflect(10).reflect(10) == interval
+
+    def test_clamp(self):
+        assert Interval(-5, 15).clamp(0, 10) == Interval(0, 10)
+        assert Interval(2, 3).clamp(0, 10) == Interval(2, 3)
+        with pytest.raises(ValueError):
+            Interval(0, 1).clamp(5, 4)

@@ -1,0 +1,58 @@
+"""Unit tests for repro.geometry.point."""
+
+import math
+
+import pytest
+
+from repro.geometry.point import Point
+
+
+class TestBasics:
+    def test_iteration_and_tuple(self):
+        point = Point(3.0, 4.0)
+        assert tuple(point) == (3.0, 4.0)
+        assert point.as_tuple() == (3.0, 4.0)
+
+    def test_equality_and_hash(self):
+        assert Point(1, 2) == Point(1.0, 2.0)
+        assert hash(Point(1, 2)) == hash(Point(1.0, 2.0))
+
+    def test_ordering_is_lexicographic(self):
+        assert Point(1, 5) < Point(2, 0)
+        assert Point(1, 1) < Point(1, 2)
+
+
+class TestArithmetic:
+    def test_translate(self):
+        assert Point(1, 1).translate(2, -3) == Point(3, -2)
+
+    def test_add_and_subtract(self):
+        assert Point(1, 2) + Point(3, 4) == Point(4, 6)
+        assert Point(3, 4) - Point(1, 2) == Point(2, 2)
+
+    def test_scale_uniform_and_anisotropic(self):
+        assert Point(2, 3).scale(2) == Point(4, 6)
+        assert Point(2, 3).scale(2, 0.5) == Point(4, 1.5)
+
+    def test_distance(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == pytest.approx(5.0)
+        assert Point(0, 0).manhattan_distance_to(Point(3, 4)) == pytest.approx(7.0)
+
+
+class TestTransforms:
+    def test_reflect_x_about_line(self):
+        assert Point(2, 3).reflect_x(axis_y=5) == Point(2, 7)
+
+    def test_reflect_y_about_line(self):
+        assert Point(2, 3).reflect_y(axis_x=5) == Point(8, 3)
+
+    def test_rotate90_in_frame(self):
+        # (x, y) -> (height - y, x) for a clockwise quarter turn.
+        assert Point(1, 2).rotate90(width=10, height=6) == Point(4, 1)
+
+    def test_rotate90_four_times_identity_in_square_frame(self):
+        point = Point(2, 5)
+        rotated = point
+        for _ in range(4):
+            rotated = rotated.rotate90(width=10, height=10)
+        assert rotated == point

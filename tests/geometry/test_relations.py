@@ -1,0 +1,76 @@
+"""Unit tests for 2-D spatial relations between MBRs."""
+
+import pytest
+
+from repro.geometry.allen import AllenRelation
+from repro.geometry.rectangle import Rectangle
+from repro.geometry.relations import (
+    DirectionalRelation,
+    SpatialRelation,
+    TopologicalClass,
+    directional_relation,
+    directional_relation_between,
+    spatial_relation,
+)
+
+
+class TestSpatialRelation:
+    def test_disjoint_rectangles(self):
+        a = Rectangle(0, 0, 2, 2)
+        b = Rectangle(5, 5, 7, 7)
+        relation = spatial_relation(a, b)
+        assert relation == SpatialRelation(AllenRelation.BEFORE, AllenRelation.BEFORE)
+        assert relation.topology is TopologicalClass.DISJOINT
+
+    def test_equal_rectangles(self):
+        a = Rectangle(1, 1, 3, 3)
+        relation = spatial_relation(a, a)
+        assert relation.topology is TopologicalClass.EQUAL
+
+    def test_containment_both_directions(self):
+        outer = Rectangle(0, 0, 10, 10)
+        inner = Rectangle(2, 3, 5, 6)
+        assert spatial_relation(outer, inner).topology is TopologicalClass.CONTAINS
+        assert spatial_relation(inner, outer).topology is TopologicalClass.INSIDE
+
+    def test_partial_overlap(self):
+        a = Rectangle(0, 0, 5, 5)
+        b = Rectangle(3, 3, 8, 8)
+        assert spatial_relation(a, b).topology is TopologicalClass.OVERLAPPING
+
+    def test_edge_touching(self):
+        a = Rectangle(0, 0, 5, 5)
+        b = Rectangle(5, 0, 8, 5)
+        assert spatial_relation(a, b).topology is TopologicalClass.TOUCHING
+
+    def test_inverse_swaps_operands(self):
+        a = Rectangle(0, 0, 5, 5)
+        b = Rectangle(3, 1, 8, 4)
+        forward = spatial_relation(a, b)
+        backward = spatial_relation(b, a)
+        assert forward.inverse() == backward
+        assert backward.inverse() == forward
+
+    def test_disjoint_on_one_axis_only_is_disjoint(self):
+        a = Rectangle(0, 0, 2, 10)
+        b = Rectangle(5, 0, 7, 10)
+        assert spatial_relation(a, b).topology is TopologicalClass.DISJOINT
+
+
+class TestDirectionalRelation:
+    def test_basic_orderings(self):
+        assert directional_relation(0, 2, 3, 5) is DirectionalRelation.BEFORE
+        assert directional_relation(3, 5, 0, 2) is DirectionalRelation.AFTER
+        assert directional_relation(0, 4, 2, 6) is DirectionalRelation.SAME
+
+    def test_touching_counts_as_same(self):
+        # Closed intervals sharing a boundary are not strictly ordered.
+        assert directional_relation(0, 2, 2, 5) is DirectionalRelation.SAME
+
+    def test_between_rectangles_per_axis(self):
+        a = Rectangle(0, 0, 2, 2)
+        b = Rectangle(5, 1, 7, 3)
+        assert directional_relation_between(a, b, "x") is DirectionalRelation.BEFORE
+        assert directional_relation_between(a, b, "y") is DirectionalRelation.SAME
+        with pytest.raises(ValueError):
+            directional_relation_between(a, b, "z")

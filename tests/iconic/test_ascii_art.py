@@ -1,0 +1,31 @@
+"""Unit tests for the ASCII renderer."""
+
+import pytest
+
+from repro.iconic.ascii_art import render_ascii
+
+
+class TestRenderAscii:
+    def test_contains_legend_and_border(self, fig1):
+        art = render_ascii(fig1, columns=30, rows=12)
+        lines = art.splitlines()
+        assert lines[0].startswith("+") and lines[0].endswith("+")
+        assert any(line.startswith("legend:") for line in lines)
+        assert any("picture: fig1" in line for line in lines)
+
+    def test_icon_characters_appear(self, fig1):
+        art = render_ascii(fig1, columns=30, rows=12)
+        grid_lines = [line for line in art.splitlines() if line.startswith("|")]
+        text = "".join(grid_lines)
+        for character in ("A", "B", "C"):
+            assert character in text
+
+    def test_grid_dimensions(self, fig1):
+        art = render_ascii(fig1, columns=24, rows=8)
+        grid_lines = [line for line in art.splitlines() if line.startswith("|")]
+        assert len(grid_lines) == 8
+        assert all(len(line) == 26 for line in grid_lines)  # 24 + two border chars
+
+    def test_rejects_tiny_grids(self, fig1):
+        with pytest.raises(ValueError):
+            render_ascii(fig1, columns=2, rows=10)

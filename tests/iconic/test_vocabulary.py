@@ -1,0 +1,95 @@
+"""Unit tests for icon vocabularies."""
+
+import pytest
+
+from repro.iconic.vocabulary import (
+    IconVocabulary,
+    VocabularyError,
+    landscape_vocabulary,
+    office_vocabulary,
+    traffic_vocabulary,
+)
+
+
+class TestConstruction:
+    def test_from_labels_assigns_deterministic_symbols(self):
+        vocabulary = IconVocabulary.from_labels(["desk", "chair", "lamp"])
+        assert vocabulary.symbol_for("desk") == "A"
+        assert vocabulary.symbol_for("chair") == "B"
+        assert vocabulary.symbol_for("lamp") == "C"
+
+    def test_rebuilding_from_same_labels_is_identical(self):
+        first = IconVocabulary.from_labels(["a", "b", "c"])
+        second = IconVocabulary.from_labels(["a", "b", "c"])
+        assert first.to_mapping() == second.to_mapping()
+
+    def test_from_mapping_roundtrip(self):
+        mapping = {"car": "C", "bus": "B"}
+        vocabulary = IconVocabulary.from_mapping(mapping)
+        assert vocabulary.to_mapping() == mapping
+
+    def test_symbols_wrap_past_26_labels(self):
+        labels = [f"label{i}" for i in range(30)]
+        vocabulary = IconVocabulary.from_labels(labels)
+        assert len(vocabulary) == 30
+        assert len(set(vocabulary.symbols)) == 30
+        assert vocabulary.symbol_for("label26") == "A1"
+
+
+class TestErrors:
+    def test_empty_label_rejected(self):
+        with pytest.raises(VocabularyError):
+            IconVocabulary().add("")
+
+    def test_duplicate_symbol_rejected(self):
+        vocabulary = IconVocabulary()
+        vocabulary.add("car", "X")
+        with pytest.raises(VocabularyError):
+            vocabulary.add("bus", "X")
+
+    def test_conflicting_remap_rejected(self):
+        vocabulary = IconVocabulary()
+        vocabulary.add("car", "X")
+        with pytest.raises(VocabularyError):
+            vocabulary.add("car", "Y")
+
+    def test_readding_same_label_is_idempotent(self):
+        vocabulary = IconVocabulary()
+        assert vocabulary.add("car") == vocabulary.add("car")
+
+    def test_unknown_lookups_raise(self):
+        vocabulary = IconVocabulary.from_labels(["car"])
+        with pytest.raises(VocabularyError):
+            vocabulary.symbol_for("bus")
+        with pytest.raises(VocabularyError):
+            vocabulary.label_for("Z")
+
+
+class TestLookups:
+    def test_bidirectional_lookup(self):
+        vocabulary = IconVocabulary.from_labels(["car", "bus"])
+        for label in vocabulary.labels:
+            assert vocabulary.label_for(vocabulary.symbol_for(label)) == label
+
+    def test_contains_len_iter(self):
+        vocabulary = IconVocabulary.from_labels(["car", "bus"])
+        assert "car" in vocabulary
+        assert "train" not in vocabulary
+        assert len(vocabulary) == 2
+        assert list(vocabulary) == ["car", "bus"]
+
+
+class TestThemedVocabularies:
+    @pytest.mark.parametrize(
+        "builder, expected_member",
+        [
+            (office_vocabulary, "desk"),
+            (traffic_vocabulary, "car"),
+            (landscape_vocabulary, "mountain"),
+        ],
+    )
+    def test_builders_contain_expected_labels(self, builder, expected_member):
+        vocabulary = builder()
+        assert expected_member in vocabulary
+        assert len(vocabulary) == 12
+        assert len(set(vocabulary.symbols)) == 12

@@ -1,0 +1,73 @@
+"""Unit tests for the inverted label index."""
+
+import pytest
+
+from repro.index.inverted import InvertedSymbolIndex
+
+
+class TestMaintenance:
+    def test_add_and_lookup(self, office, traffic):
+        index = InvertedSymbolIndex()
+        index.add_picture("office", office)
+        index.add_picture("traffic", traffic)
+        assert index.images_with_label("desk") == {"office"}
+        assert index.images_with_label("car") == {"traffic"}
+        assert index.images_with_label("unknown") == set()
+        assert len(index) == 2
+
+    def test_duplicate_id_rejected(self, office):
+        index = InvertedSymbolIndex()
+        index.add_picture("office", office)
+        with pytest.raises(KeyError):
+            index.add_picture("office", office)
+
+    def test_remove_picture_clears_postings(self, office):
+        index = InvertedSymbolIndex()
+        index.add_picture("office", office)
+        index.remove_picture("office")
+        assert index.images_with_label("desk") == set()
+        assert len(index) == 0
+        with pytest.raises(KeyError):
+            index.remove_picture("office")
+
+    def test_update_picture(self, office):
+        index = InvertedSymbolIndex()
+        index.add_picture("scene", office)
+        index.update_picture("scene", office.remove_icon("phone"))
+        assert index.images_with_label("phone") == set()
+        assert index.images_with_label("desk") == {"scene"}
+
+    def test_labels_of(self, landscape):
+        index = InvertedSymbolIndex()
+        index.add_picture("landscape", landscape)
+        labels = index.labels_of("landscape")
+        assert labels["tree"] == 2
+        with pytest.raises(KeyError):
+            index.labels_of("missing")
+
+
+class TestCandidates:
+    def test_candidates_require_shared_labels(self, office, traffic, landscape):
+        index = InvertedSymbolIndex()
+        index.add_picture("office", office)
+        index.add_picture("traffic", traffic)
+        index.add_picture("landscape", landscape)
+        assert index.candidates(["desk", "monitor"]) == {"office"}
+        assert index.candidates(["tree"]) == {"landscape"}
+        assert index.candidates(["nonexistent"]) == set()
+
+    def test_minimum_shared_threshold(self, office, traffic):
+        index = InvertedSymbolIndex()
+        index.add_picture("office", office)
+        index.add_picture("traffic", traffic)
+        labels = ["desk", "monitor", "car"]
+        assert index.candidates(labels, minimum_shared=1) == {"office", "traffic"}
+        assert index.candidates(labels, minimum_shared=2) == {"office"}
+        with pytest.raises(ValueError):
+            index.candidates(labels, minimum_shared=0)
+
+    def test_vocabulary_and_indexed_images(self, office):
+        index = InvertedSymbolIndex()
+        index.add_picture("office", office)
+        assert "desk" in index.vocabulary
+        assert index.indexed_images == ["office"]

@@ -1,0 +1,87 @@
+"""Unit tests for the query engine."""
+
+import pytest
+
+from repro.core.similarity import SimilarityPolicy, Normalization
+from repro.core.transforms import Transformation
+from repro.index.database import ImageDatabase
+from repro.index.query import Query, QueryEngine
+
+
+@pytest.fixture
+def engine(scene_collection):
+    database = ImageDatabase()
+    database.add_pictures(scene_collection)
+    return QueryEngine.build(database)
+
+
+class TestBuildAndMaintain:
+    def test_build_indexes_existing_images(self, engine, scene_collection):
+        assert len(engine.database) == len(scene_collection)
+        assert len(engine.inverted_index) == len(scene_collection)
+        assert len(engine.signature_filter) == len(scene_collection)
+
+    def test_add_and_remove_picture(self, engine, office):
+        new_id = engine.add_picture(office.renamed("office-extra"))
+        assert new_id == "office-extra"
+        assert "office-extra" in engine.database
+        engine.remove_picture("office-extra")
+        assert "office-extra" not in engine.database
+        assert "office-extra" not in engine.inverted_index.indexed_images
+
+
+class TestExecution:
+    def test_exact_query_ranks_identical_image_first(self, engine, office):
+        results = engine.execute(Query.exact(office))
+        assert results[0].image_id == office.name
+        assert results[0].score == pytest.approx(1.0)
+
+    def test_search_convenience_wrapper(self, engine, office):
+        results = engine.search(office, limit=3)
+        assert len(results) <= 3
+        assert results[0].image_id == office.name
+
+    def test_limit_and_minimum_score(self, engine, office):
+        query = Query(picture=office, limit=2, minimum_score=0.1)
+        results = engine.execute(query)
+        assert len(results) <= 2
+        assert all(result.score >= 0.1 for result in results)
+
+    def test_filters_restrict_candidates_to_shared_labels(self, engine, office):
+        filtered = engine.execute(Query.exact(office))
+        unfiltered = engine.execute(
+            Query(picture=office, use_filters=False)
+        )
+        filtered_ids = {result.image_id for result in filtered}
+        unfiltered_ids = {result.image_id for result in unfiltered}
+        # Office queries can never shortlist landscape/traffic images (no
+        # shared labels), but the unfiltered run scores them anyway.
+        assert filtered_ids <= unfiltered_ids
+        assert any(image_id.startswith("landscape") for image_id in unfiltered_ids)
+        assert not any(image_id.startswith("landscape") for image_id in filtered_ids)
+
+    def test_invariant_query_finds_rotated_image(self, engine, office):
+        rotated = office.rotate90().renamed("office-rotated")
+        engine.add_picture(rotated)
+        exact = engine.execute(Query.exact(office, use_filters=False))
+        invariant = engine.execute(Query.invariant(office, use_filters=False))
+        exact_score = {r.image_id: r.score for r in exact}["office-rotated"]
+        invariant_entry = next(r for r in invariant if r.image_id == "office-rotated")
+        assert invariant_entry.score == pytest.approx(1.0)
+        assert invariant_entry.score > exact_score
+        assert invariant_entry.similarity.transformation is Transformation.ROTATE_90
+
+    def test_policy_is_respected(self, engine, office):
+        policy = SimilarityPolicy(normalization=Normalization.NONE)
+        results = engine.execute(Query(picture=office, policy=policy))
+        assert results[0].score > 1.0  # raw symbol counts, not normalised
+
+    def test_query_with_unknown_labels_returns_empty_with_filters(self, engine):
+        from repro.geometry.rectangle import Rectangle
+        from repro.iconic.picture import SymbolicPicture
+
+        alien = SymbolicPicture.build(
+            width=10, height=10, objects=[("alien", Rectangle(1, 1, 3, 3))], name="alien"
+        )
+        assert engine.execute(Query.exact(alien)) == []
+        assert len(engine.execute(Query(picture=alien, use_filters=False))) > 0

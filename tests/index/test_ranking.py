@@ -1,0 +1,47 @@
+"""Unit tests for result ranking."""
+
+import pytest
+
+from repro.core.construct import encode_picture
+from repro.core.similarity import similarity
+from repro.index.ranking import RankedResult, rank_results
+
+
+def scored_results(query_picture, database_pictures):
+    query = encode_picture(query_picture)
+    return [
+        (picture.name, similarity(query, encode_picture(picture)))
+        for picture in database_pictures
+    ]
+
+
+class TestRankResults:
+    def test_orders_by_descending_score(self, office, scene_collection):
+        ranked = rank_results(scored_results(office, scene_collection))
+        scores = [entry.score for entry in ranked]
+        assert scores == sorted(scores, reverse=True)
+        assert ranked[0].image_id == office.name
+        assert [entry.rank for entry in ranked] == list(range(1, len(ranked) + 1))
+
+    def test_limit(self, office, scene_collection):
+        ranked = rank_results(scored_results(office, scene_collection), limit=3)
+        assert len(ranked) == 3
+
+    def test_minimum_score_filters(self, office, scene_collection):
+        ranked = rank_results(scored_results(office, scene_collection), minimum_score=0.9)
+        assert all(entry.score >= 0.9 for entry in ranked)
+        assert len(ranked) >= 1
+
+    def test_ties_broken_by_image_id(self, office):
+        results = scored_results(office, [office.renamed("zzz"), office.renamed("aaa")])
+        ranked = rank_results(results)
+        assert [entry.image_id for entry in ranked] == ["aaa", "zzz"]
+
+    def test_describe_contains_id_and_score(self, office):
+        ranked = rank_results(scored_results(office, [office]))
+        text = ranked[0].describe()
+        assert office.name in text
+        assert "score=" in text
+
+    def test_empty_input(self):
+        assert rank_results([]) == []

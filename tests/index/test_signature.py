@@ -1,0 +1,63 @@
+"""Unit tests for the signature pre-filter."""
+
+from collections import Counter
+
+import pytest
+
+from repro.index.signature import (
+    SignatureFilter,
+    label_signature,
+    multiset_overlap,
+    overlap_ratio,
+)
+
+
+class TestSignatureMath:
+    def test_label_signature_counts_instances(self, landscape):
+        signature = label_signature(landscape)
+        assert signature["tree"] == 2
+        assert signature["sun"] == 1
+
+    def test_multiset_overlap(self):
+        assert multiset_overlap(Counter(a=2, b=1), Counter(a=1, c=4)) == 1
+        assert multiset_overlap(Counter(a=2), Counter(a=5)) == 2
+
+    def test_overlap_ratio(self):
+        assert overlap_ratio(Counter(a=2, b=2), Counter(a=1)) == pytest.approx(0.25)
+        assert overlap_ratio(Counter(), Counter(a=1)) == 0.0
+
+
+class TestFilter:
+    def test_add_remove_update(self, office, traffic):
+        filters = SignatureFilter()
+        filters.add_picture("office", office)
+        with pytest.raises(KeyError):
+            filters.add_picture("office", office)
+        filters.update_picture("office", traffic)
+        filters.remove_picture("office")
+        with pytest.raises(KeyError):
+            filters.remove_picture("office")
+        assert len(filters) == 0
+
+    def test_zero_threshold_admits_everything_known(self, office, landscape):
+        filters = SignatureFilter(minimum_overlap_ratio=0.0)
+        filters.add_picture("office", office)
+        filters.add_picture("landscape", landscape)
+        kept = filters.filter(office, ["office", "landscape", "unknown"])
+        assert kept == ["office", "landscape"]
+
+    def test_positive_threshold_prunes_unrelated(self, office, landscape):
+        filters = SignatureFilter(minimum_overlap_ratio=0.5)
+        filters.add_picture("office", office)
+        filters.add_picture("landscape", landscape)
+        kept = filters.filter(office, ["office", "landscape"])
+        assert kept == ["office"]
+
+    def test_scored_orders_by_overlap(self, office, traffic, landscape):
+        filters = SignatureFilter()
+        for picture in (office, traffic, landscape):
+            filters.add_picture(picture.name, picture)
+        scored = filters.scored(office, [office.name, traffic.name, landscape.name])
+        assert scored[0][0] == office.name
+        assert scored[0][1] == pytest.approx(1.0)
+        assert scored[-1][1] <= scored[0][1]

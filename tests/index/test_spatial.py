@@ -1,0 +1,87 @@
+"""Unit tests for the region (location) index."""
+
+import pytest
+
+from repro.geometry.rectangle import Rectangle
+from repro.index.spatial import QUADRANTS, RegionIndex
+from repro.iconic.picture import SymbolicPicture
+
+
+@pytest.fixture
+def index(office, traffic, landscape):
+    region_index = RegionIndex(resolution=8)
+    for picture in (office, traffic, landscape):
+        region_index.add_picture(picture.name, picture)
+    return region_index
+
+
+class TestMaintenance:
+    def test_counts(self, index, office, traffic, landscape):
+        assert len(index) == 3
+        assert index.icon_count == len(office) + len(traffic) + len(landscape)
+
+    def test_duplicate_image_rejected(self, index, office):
+        with pytest.raises(KeyError):
+            index.add_picture(office.name, office)
+
+    def test_remove_picture(self, index, office):
+        index.remove_picture(office.name)
+        assert len(index) == 2
+        assert index.images_with_icon_in_region(QUADRANTS["everywhere"], label="desk") == []
+        with pytest.raises(KeyError):
+            index.remove_picture(office.name)
+
+    def test_invalid_resolution(self):
+        with pytest.raises(ValueError):
+            RegionIndex(resolution=0)
+
+    def test_bucket_statistics(self, index):
+        stats = index.bucket_statistics()
+        assert stats["cells"] > 0
+        assert stats["max"] >= stats["mean"] > 0
+
+    def test_empty_statistics(self):
+        assert RegionIndex().bucket_statistics() == {"cells": 0.0, "mean": 0.0, "max": 0.0}
+
+
+class TestQueries:
+    def test_label_filtered_region_query(self, index, office):
+        # The office desk occupies the lower half of its frame.
+        images = index.images_with_icon_in_region(QUADRANTS["lower-left"], label="desk")
+        assert images == [office.name]
+
+    def test_region_query_without_label(self, index):
+        everywhere = index.icons_in_region(QUADRANTS["everywhere"])
+        assert len(everywhere) == index.icon_count
+
+    def test_region_outside_unit_square_rejected(self, index):
+        with pytest.raises(ValueError):
+            index.icons_in_region(Rectangle(0.0, 0.0, 2.0, 1.0))
+
+    def test_quadrant_queries_are_consistent_with_geometry(self, landscape):
+        region_index = RegionIndex(resolution=16)
+        region_index.add_picture(landscape.name, landscape)
+        # The sun sits in the upper-left of the canonical landscape scene.
+        upper_left = region_index.icons_in_region(QUADRANTS["upper-left"], label="sun")
+        lower_right = region_index.icons_in_region(QUADRANTS["lower-right"], label="sun")
+        assert [entry.identifier for entry in upper_left] == ["sun"]
+        assert lower_right == []
+
+    def test_icons_do_not_duplicate_across_buckets(self):
+        picture = SymbolicPicture.build(
+            width=10,
+            height=10,
+            objects=[("big", Rectangle(0, 0, 10, 10))],
+            name="one-big-icon",
+        )
+        region_index = RegionIndex(resolution=4)
+        region_index.add_picture(picture.name, picture)
+        found = region_index.icons_in_region(QUADRANTS["everywhere"])
+        assert len(found) == 1
+        assert found[0].normalized_mbr == Rectangle(0.0, 0.0, 1.0, 1.0)
+
+    def test_multiple_instances_are_distinct_entries(self, landscape):
+        region_index = RegionIndex()
+        region_index.add_picture(landscape.name, landscape)
+        trees = region_index.icons_in_region(QUADRANTS["everywhere"], label="tree")
+        assert {entry.identifier for entry in trees} == {"tree", "tree#1"}

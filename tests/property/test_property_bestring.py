@@ -1,0 +1,95 @@
+"""Property-based tests for encoding and BE-string invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.construct import encode_picture, storage_symbol_bounds
+from repro.core.reasoning import pairwise_relations_from_bestring
+from repro.geometry.rectangle import Rectangle
+from repro.iconic.picture import SymbolicPicture
+
+#: Frame used by all generated pictures.
+FRAME = 100.0
+
+
+@st.composite
+def pictures(draw, min_objects=1, max_objects=8):
+    """Random symbolic pictures on an integer grid (ties are frequent)."""
+    count = draw(st.integers(min_value=min_objects, max_value=max_objects))
+    objects = []
+    for index in range(count):
+        x0 = draw(st.integers(min_value=0, max_value=90))
+        y0 = draw(st.integers(min_value=0, max_value=90))
+        width = draw(st.integers(min_value=1, max_value=int(FRAME - x0)))
+        height = draw(st.integers(min_value=1, max_value=int(FRAME - y0)))
+        objects.append(
+            (f"obj{index}", Rectangle(float(x0), float(y0), float(x0 + width), float(y0 + height)))
+        )
+    return SymbolicPicture.build(width=FRAME, height=FRAME, objects=objects, name="generated")
+
+
+@settings(max_examples=60, deadline=None)
+@given(pictures())
+def test_encoding_is_always_structurally_valid(picture):
+    bestring = encode_picture(picture)
+    bestring.validate()
+
+
+@settings(max_examples=60, deadline=None)
+@given(pictures())
+def test_storage_always_within_paper_bounds(picture):
+    bestring = encode_picture(picture)
+    lower, upper = storage_symbol_bounds(len(picture))
+    assert lower <= len(bestring.x) <= upper
+    assert lower <= len(bestring.y) <= upper
+
+
+@settings(max_examples=60, deadline=None)
+@given(pictures())
+def test_every_object_appears_exactly_twice_per_axis(picture):
+    bestring = encode_picture(picture)
+    for axis in (bestring.x, bestring.y):
+        assert axis.boundary_count == 2 * len(picture)
+        assert axis.object_identifiers == set(picture.identifiers)
+
+
+@settings(max_examples=60, deadline=None)
+@given(pictures())
+def test_no_adjacent_dummies_ever(picture):
+    bestring = encode_picture(picture)
+    for axis in (bestring.x, bestring.y):
+        for left, right in zip(axis.symbols, axis.symbols[1:]):
+            assert not (left.is_dummy and right.is_dummy)
+
+
+@settings(max_examples=40, deadline=None)
+@given(pictures(min_objects=2, max_objects=7))
+def test_relations_recovered_from_string_match_geometry(picture):
+    bestring = encode_picture(picture)
+    assert pairwise_relations_from_bestring(bestring) == picture.pairwise_relations()
+
+
+@settings(max_examples=40, deadline=None)
+@given(pictures())
+def test_encoding_is_deterministic(picture):
+    first = encode_picture(picture)
+    second = encode_picture(picture)
+    assert first.x.symbols == second.x.symbols
+    assert first.y.symbols == second.y.symbols
+
+
+@settings(max_examples=40, deadline=None)
+@given(pictures(min_objects=2, max_objects=8), st.data())
+def test_subset_encoding_equals_restricted_string(picture, data):
+    """Encoding a sub-scene equals projecting the full BE-string onto it."""
+    keep = data.draw(
+        st.lists(
+            st.sampled_from(picture.identifiers),
+            min_size=1,
+            max_size=len(picture),
+            unique=True,
+        )
+    )
+    direct = encode_picture(picture.subset(keep))
+    projected = encode_picture(picture).restricted_to(keep)
+    assert direct.x.symbols == projected.x.symbols
+    assert direct.y.symbols == projected.y.symbols

@@ -1,0 +1,113 @@
+"""Property-based tests for the modified LCS (Algorithm 2/3) invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.lcs_plain import classic_lcs_length, dummy_aware_lcs_length
+from repro.core.bestring import AxisBEString
+from repro.core.lcs import be_lcs_length, be_lcs_length_and_string, be_lcs_string
+from repro.core.symbols import Symbol
+
+#: A small symbol alphabet so that generated strings share many symbols.
+_IDENTIFIERS = ["A", "B", "C", "D"]
+
+
+@st.composite
+def axis_strings(draw, max_objects=4):
+    """Well-formed axis BE-strings over a small alphabet.
+
+    Objects are a random subset of the alphabet; boundary orderings and dummy
+    placements are random but structurally valid (begin before end, no two
+    adjacent dummies).
+    """
+    identifiers = draw(
+        st.lists(st.sampled_from(_IDENTIFIERS), unique=True, min_size=1, max_size=max_objects)
+    )
+    # Random interleaving: assign each boundary a random rank, then emit with
+    # random dummy insertion between distinct ranks.
+    boundaries = []
+    for identifier in identifiers:
+        begin_rank = draw(st.integers(min_value=0, max_value=6))
+        end_rank = draw(st.integers(min_value=begin_rank, max_value=7))
+        boundaries.append((begin_rank, identifier, Symbol.begin(identifier)))
+        boundaries.append((end_rank, identifier, Symbol.end(identifier)))
+    boundaries.sort(key=lambda item: (item[0], item[1], item[2].is_end))
+    symbols = []
+    if draw(st.booleans()):
+        symbols.append(Symbol.dummy())
+    for index, (rank, _, symbol) in enumerate(boundaries):
+        symbols.append(symbol)
+        is_last = index + 1 == len(boundaries)
+        next_rank = None if is_last else boundaries[index + 1][0]
+        if not is_last and next_rank != rank:
+            symbols.append(Symbol.dummy())
+        elif is_last and draw(st.booleans()):
+            symbols.append(Symbol.dummy())
+    return AxisBEString(tuple(symbols))
+
+
+@settings(max_examples=80, deadline=None)
+@given(axis_strings(), axis_strings())
+def test_lcs_length_matches_reconstructed_string(query, database):
+    length, lcs = be_lcs_length_and_string(query, database)
+    assert len(lcs) == length
+
+
+@settings(max_examples=80, deadline=None)
+@given(axis_strings(), axis_strings())
+def test_lcs_is_a_common_subsequence(query, database):
+    lcs = be_lcs_string(query, database)
+
+    def is_subsequence(candidate, reference):
+        iterator = iter(reference)
+        return all(symbol in iterator for symbol in candidate)
+
+    assert is_subsequence(lcs.symbols, query.symbols)
+    assert is_subsequence(lcs.symbols, database.symbols)
+
+
+@settings(max_examples=80, deadline=None)
+@given(axis_strings(), axis_strings())
+def test_lcs_never_contains_adjacent_dummies(query, database):
+    lcs = be_lcs_string(query, database)
+    for left, right in zip(lcs.symbols, lcs.symbols[1:]):
+        assert not (left.is_dummy and right.is_dummy)
+
+
+@settings(max_examples=80, deadline=None)
+@given(axis_strings(), axis_strings())
+def test_modified_lcs_bounded_by_classic_lcs(query, database):
+    modified = be_lcs_length(query, database)
+    classic = classic_lcs_length(query, database)
+    assert 0 <= modified <= classic <= min(len(query), len(database))
+
+
+@settings(max_examples=80, deadline=None)
+@given(axis_strings(), axis_strings())
+def test_sign_encoding_agrees_with_boolean_table_ablation(query, database):
+    assert be_lcs_length(query, database) == dummy_aware_lcs_length(query, database)
+
+
+@settings(max_examples=60, deadline=None)
+@given(axis_strings())
+def test_self_lcs_recovers_the_whole_string(string):
+    assert be_lcs_length(string, string) == len(string)
+    assert be_lcs_string(string, string).symbols == string.symbols
+
+
+@settings(max_examples=60, deadline=None)
+@given(axis_strings(), axis_strings())
+def test_matched_symbols_come_from_the_shared_alphabet(query, database):
+    """Every LCS symbol exists in both input strings, whichever is the query."""
+    shared = set(query.symbols) & set(database.symbols)
+    forward = be_lcs_string(query, database)
+    backward = be_lcs_string(database, query)
+    assert set(forward.symbols) <= shared
+    assert set(backward.symbols) <= shared
+
+
+@settings(max_examples=60, deadline=None)
+@given(axis_strings(), axis_strings())
+def test_lcs_length_monotone_under_database_extension(query, database):
+    """Appending symbols to the database string can never reduce the LCS."""
+    extended = AxisBEString(database.symbols + (Symbol.begin("Z"), Symbol.end("Z")))
+    assert be_lcs_length(query, extended) >= be_lcs_length(query, database)

@@ -1,0 +1,111 @@
+"""Property-based tests for similarity scores and dynamic editing."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.construct import encode_picture
+from repro.core.editing import IndexedBEString
+from repro.core.reasoning import relations_agree, relations_compatible
+from repro.core.similarity import (
+    Combination,
+    Normalization,
+    SimilarityPolicy,
+    similarity,
+    similarity_between_pictures,
+)
+from repro.geometry.rectangle import Rectangle
+from repro.iconic.picture import SymbolicPicture
+
+FRAME = 100.0
+
+
+@st.composite
+def pictures(draw, min_objects=1, max_objects=7):
+    count = draw(st.integers(min_value=min_objects, max_value=max_objects))
+    objects = []
+    for index in range(count):
+        x0 = draw(st.integers(min_value=0, max_value=90))
+        y0 = draw(st.integers(min_value=0, max_value=90))
+        width = draw(st.integers(min_value=1, max_value=int(FRAME - x0)))
+        height = draw(st.integers(min_value=1, max_value=int(FRAME - y0)))
+        objects.append(
+            (f"obj{index}", Rectangle(float(x0), float(y0), float(x0 + width), float(y0 + height)))
+        )
+    return SymbolicPicture.build(width=FRAME, height=FRAME, objects=objects, name="generated")
+
+
+_POLICIES = [
+    SimilarityPolicy(),
+    SimilarityPolicy(normalization=Normalization.DICE, combination=Combination.MIN),
+    SimilarityPolicy(normalization=Normalization.DATABASE, combination=Combination.PRODUCT),
+    SimilarityPolicy(count_boundaries_only=True),
+]
+
+
+@settings(max_examples=40, deadline=None)
+@given(pictures(), pictures(), st.sampled_from(_POLICIES))
+def test_scores_are_bounded(query_picture, database_picture, policy):
+    result = similarity_between_pictures(query_picture, database_picture, policy)
+    assert 0.0 <= result.score <= 1.0 + 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(pictures(), st.sampled_from(_POLICIES))
+def test_self_similarity_is_maximal(picture, policy):
+    result = similarity_between_pictures(picture, picture, policy)
+    assert result.score == 1.0
+    assert result.is_full_match
+
+
+@settings(max_examples=40, deadline=None)
+@given(pictures(min_objects=2, max_objects=7), st.data())
+def test_sub_scene_queries_fully_match_and_agree_on_relations(picture, data):
+    keep = data.draw(
+        st.lists(
+            st.sampled_from(picture.identifiers),
+            min_size=2,
+            max_size=len(picture),
+            unique=True,
+        )
+    )
+    query = encode_picture(picture.subset(keep))
+    database = encode_picture(picture)
+    result = similarity(query, database)
+    assert result.common_objects == set(keep)
+    assert relations_agree(query, database, result.common_objects)
+
+
+@settings(max_examples=40, deadline=None)
+@given(pictures(min_objects=2, max_objects=6), pictures(min_objects=2, max_objects=6))
+def test_lcs_soundness_order_compatibility_for_arbitrary_pairs(query_picture, database_picture):
+    """The provable form of the paper's claim holds for arbitrary scene pairs."""
+    # Rename the second picture's objects so that some identifiers overlap.
+    query = encode_picture(query_picture)
+    database = encode_picture(database_picture)
+    result = similarity(query, database)
+    matched = result.common_objects
+    if len(matched) >= 2:
+        assert relations_compatible(query, database, matched)
+
+
+@settings(max_examples=30, deadline=None)
+@given(pictures(min_objects=1, max_objects=6), st.data())
+def test_incremental_insert_equals_batch_encoding(picture, data):
+    """IndexedBEString maintained by inserts equals Convert-2D-Be-String output."""
+    indexed = IndexedBEString(width=FRAME, height=FRAME, name=picture.name)
+    order = data.draw(st.permutations(list(picture.icons)))
+    for icon in order:
+        indexed.insert_icon(icon)
+    expected = encode_picture(picture)
+    assert indexed.to_bestring().x.symbols == expected.x.symbols
+    assert indexed.to_bestring().y.symbols == expected.y.symbols
+
+
+@settings(max_examples=30, deadline=None)
+@given(pictures(min_objects=2, max_objects=6), st.data())
+def test_remove_then_reencode_matches(picture, data):
+    victim = data.draw(st.sampled_from(picture.identifiers))
+    indexed = IndexedBEString.from_picture(picture)
+    indexed.remove(victim)
+    expected = encode_picture(picture.remove_icon(victim))
+    assert indexed.to_bestring().x.symbols == expected.x.symbols
+    assert indexed.to_bestring().y.symbols == expected.y.symbols

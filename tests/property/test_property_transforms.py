@@ -1,0 +1,97 @@
+"""Property-based tests: string-level transforms equal geometric transforms."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.construct import encode_picture
+from repro.core.similarity import invariant_similarity, similarity
+from repro.core.transforms import (
+    Transformation,
+    reflect_x,
+    reflect_y,
+    rotate90,
+    rotate180,
+    rotate270,
+    transform,
+)
+from repro.geometry.rectangle import Rectangle
+from repro.iconic.picture import SymbolicPicture
+
+FRAME_W = 120.0
+FRAME_H = 80.0
+
+
+@st.composite
+def pictures(draw, min_objects=1, max_objects=6):
+    count = draw(st.integers(min_value=min_objects, max_value=max_objects))
+    objects = []
+    for index in range(count):
+        x0 = draw(st.integers(min_value=0, max_value=int(FRAME_W) - 2))
+        y0 = draw(st.integers(min_value=0, max_value=int(FRAME_H) - 2))
+        width = draw(st.integers(min_value=1, max_value=int(FRAME_W) - x0))
+        height = draw(st.integers(min_value=1, max_value=int(FRAME_H) - y0))
+        objects.append(
+            (f"obj{index}", Rectangle(float(x0), float(y0), float(x0 + width), float(y0 + height)))
+        )
+    return SymbolicPicture.build(width=FRAME_W, height=FRAME_H, objects=objects, name="generated")
+
+
+_PAIRS = [
+    (rotate90, lambda picture: picture.rotate90()),
+    (rotate180, lambda picture: picture.rotate180()),
+    (rotate270, lambda picture: picture.rotate270()),
+    (reflect_x, lambda picture: picture.reflect_x()),
+    (reflect_y, lambda picture: picture.reflect_y()),
+]
+
+
+@settings(max_examples=40, deadline=None)
+@given(pictures())
+def test_string_transforms_equal_geometric_reencoding(picture):
+    bestring = encode_picture(picture)
+    for string_transform, geometric_transform in _PAIRS:
+        via_string = string_transform(bestring)
+        via_geometry = encode_picture(geometric_transform(picture))
+        assert via_string.x.symbols == via_geometry.x.symbols
+        assert via_string.y.symbols == via_geometry.y.symbols
+
+
+@settings(max_examples=40, deadline=None)
+@given(pictures())
+def test_transforms_preserve_validity_and_symbol_counts(picture):
+    bestring = encode_picture(picture)
+    for transformation in Transformation:
+        result = transform(bestring, transformation)
+        result.validate()
+        assert result.x.boundary_count + result.y.boundary_count == (
+            bestring.x.boundary_count + bestring.y.boundary_count
+        )
+        assert result.total_symbols == bestring.total_symbols
+
+
+@settings(max_examples=30, deadline=None)
+@given(pictures(min_objects=2, max_objects=5), st.sampled_from(list(Transformation)))
+def test_invariant_retrieval_recovers_any_transformed_copy(picture, transformation):
+    """The paper's rotation/reflection retrieval always scores a full match."""
+    geometric = {
+        Transformation.IDENTITY: lambda p: p,
+        Transformation.ROTATE_90: lambda p: p.rotate90(),
+        Transformation.ROTATE_180: lambda p: p.rotate180(),
+        Transformation.ROTATE_270: lambda p: p.rotate270(),
+        Transformation.REFLECT_X: lambda p: p.reflect_x(),
+        Transformation.REFLECT_Y: lambda p: p.reflect_y(),
+    }[transformation]
+    query = encode_picture(picture)
+    database = encode_picture(geometric(picture))
+    best = invariant_similarity(query, database)
+    assert best.score == 1.0
+    assert best.is_full_match
+
+
+@settings(max_examples=30, deadline=None)
+@given(pictures(min_objects=2, max_objects=5))
+def test_plain_similarity_of_rotation_is_at_most_invariant_similarity(picture):
+    query = encode_picture(picture)
+    database = encode_picture(picture.rotate90())
+    plain = similarity(query, database)
+    best = invariant_similarity(query, database)
+    assert plain.score <= best.score

@@ -1,0 +1,97 @@
+"""Unit tests for the corpus evaluation runner."""
+
+import pytest
+
+from repro.baselines.type_similarity import SimilarityType
+from repro.datasets.corpus import Corpus
+from repro.geometry.rectangle import Rectangle
+from repro.iconic.picture import SymbolicPicture
+from repro.retrieval.evaluation import (
+    EvaluationReport,
+    MethodEvaluation,
+    be_string_method,
+    evaluate_corpus,
+    type_similarity_method,
+)
+
+
+@pytest.fixture
+def tiny_corpus():
+    base = SymbolicPicture.build(
+        width=50,
+        height=50,
+        objects=[
+            ("a", Rectangle(0, 0, 10, 10)),
+            ("b", Rectangle(20, 0, 30, 10)),
+            ("c", Rectangle(0, 20, 10, 30)),
+        ],
+        name="base",
+    )
+    shuffled = SymbolicPicture.build(
+        width=50,
+        height=50,
+        objects=[
+            ("a", Rectangle(30, 30, 45, 45)),
+            ("b", Rectangle(0, 20, 10, 30)),
+            ("c", Rectangle(20, 0, 30, 10)),
+        ],
+        name="shuffled",
+    )
+    unrelated = SymbolicPicture.build(
+        width=50,
+        height=50,
+        objects=[("z", Rectangle(5, 5, 15, 15))],
+        name="unrelated",
+    )
+    query = base.subset(["a", "b"]).renamed("query-ab")
+    return Corpus(
+        name="tiny",
+        database_pictures=[base, shuffled, unrelated],
+        queries=[query],
+        relevance={"query-ab": {"base"}},
+    )
+
+
+class TestMethods:
+    def test_be_string_method_ranks_base_first(self, tiny_corpus):
+        method = be_string_method()
+        ranked = method(tiny_corpus.queries[0], tiny_corpus.database_pictures)
+        assert ranked[0] == "base"
+        assert set(ranked) == {"base", "shuffled", "unrelated"}
+        assert method.__name__ == "be_string"
+
+    def test_invariant_method_has_distinct_name(self):
+        assert be_string_method(invariant=True).__name__ == "be_string_invariant"
+
+    def test_type_similarity_method(self, tiny_corpus):
+        method = type_similarity_method(SimilarityType.TYPE_1)
+        ranked = method(tiny_corpus.queries[0], tiny_corpus.database_pictures)
+        assert ranked[0] == "base"
+        assert method.__name__ == "type1_clique"
+
+
+class TestEvaluateCorpus:
+    def test_report_structure(self, tiny_corpus):
+        report = evaluate_corpus(
+            tiny_corpus,
+            {"be": be_string_method(), "clique": type_similarity_method()},
+            cutoffs=(1, 2),
+        )
+        assert isinstance(report, EvaluationReport)
+        assert set(report.methods) == {"be", "clique"}
+        for evaluation in report.methods.values():
+            assert set(evaluation.per_query) == {"query-ab"}
+            aggregated = evaluation.aggregate()
+            assert aggregated["precision@1"] == 1.0
+            assert aggregated["total_seconds"] >= 0.0
+
+    def test_table_rendering(self, tiny_corpus):
+        report = evaluate_corpus(tiny_corpus, {"be": be_string_method()}, cutoffs=(1,))
+        table = report.table(metrics=("precision@1",))
+        lines = table.splitlines()
+        assert lines[0].startswith("method")
+        assert any(line.startswith("be") for line in lines[1:])
+
+    def test_empty_method_evaluation_aggregate(self):
+        evaluation = MethodEvaluation(method_name="noop", total_seconds=1.5)
+        assert evaluation.aggregate() == {"total_seconds": 1.5}

@@ -1,0 +1,88 @@
+"""Unit tests for ranked-retrieval metrics."""
+
+import pytest
+
+from repro.retrieval.metrics import (
+    average_precision,
+    f1_score,
+    mean_average_precision,
+    precision_at_k,
+    recall_at_k,
+    reciprocal_rank,
+    summarize_query,
+)
+
+
+RANKED = ["a", "b", "c", "d", "e"]
+
+
+class TestPrecisionRecall:
+    def test_precision_at_k(self):
+        assert precision_at_k(RANKED, {"a", "c"}, 1) == 1.0
+        assert precision_at_k(RANKED, {"a", "c"}, 2) == 0.5
+        assert precision_at_k(RANKED, {"a", "c"}, 4) == 0.5
+        assert precision_at_k([], {"a"}, 3) == 0.0
+
+    def test_precision_uses_actual_list_length_when_short(self):
+        assert precision_at_k(["a"], {"a"}, 10) == 1.0
+
+    def test_recall_at_k(self):
+        assert recall_at_k(RANKED, {"a", "c"}, 1) == 0.5
+        assert recall_at_k(RANKED, {"a", "c"}, 3) == 1.0
+        assert recall_at_k(RANKED, set(), 3) == 0.0
+
+    def test_k_must_be_positive(self):
+        with pytest.raises(ValueError):
+            precision_at_k(RANKED, {"a"}, 0)
+        with pytest.raises(ValueError):
+            recall_at_k(RANKED, {"a"}, 0)
+
+    def test_f1(self):
+        assert f1_score(0.5, 0.5) == pytest.approx(0.5)
+        assert f1_score(0.0, 0.0) == 0.0
+        assert f1_score(1.0, 0.5) == pytest.approx(2 / 3)
+
+
+class TestAveragePrecision:
+    def test_perfect_ranking(self):
+        assert average_precision(["a", "b", "x", "y"], {"a", "b"}) == pytest.approx(1.0)
+
+    def test_relevant_at_end(self):
+        assert average_precision(["x", "y", "a"], {"a"}) == pytest.approx(1 / 3)
+
+    def test_missing_relevant_counts_against(self):
+        assert average_precision(["a"], {"a", "b"}) == pytest.approx(0.5)
+
+    def test_no_relevant(self):
+        assert average_precision(RANKED, set()) == 0.0
+
+    def test_mean_average_precision(self):
+        value = mean_average_precision(
+            [["a", "x"], ["x", "b"]], [{"a"}, {"b"}]
+        )
+        assert value == pytest.approx((1.0 + 0.5) / 2)
+
+    def test_mean_average_precision_empty(self):
+        assert mean_average_precision([], []) == 0.0
+
+
+class TestReciprocalRank:
+    def test_first_hit_position(self):
+        assert reciprocal_rank(["x", "a", "y"], {"a"}) == pytest.approx(0.5)
+        assert reciprocal_rank(["a"], {"a"}) == 1.0
+        assert reciprocal_rank(["x", "y"], {"a"}) == 0.0
+
+
+class TestSummarize:
+    def test_summary_contains_all_cutoffs(self):
+        summary = summarize_query(RANKED, {"a", "d"}, cutoffs=(1, 3))
+        assert set(summary) == {
+            "average_precision",
+            "reciprocal_rank",
+            "precision@1",
+            "recall@1",
+            "precision@3",
+            "recall@3",
+        }
+        assert summary["precision@1"] == 1.0
+        assert summary["recall@3"] == 0.5

@@ -1,0 +1,150 @@
+"""Unit tests for the relation-predicate query language."""
+
+import pytest
+
+from repro.core.construct import encode_picture
+from repro.geometry.rectangle import Rectangle
+from repro.iconic.picture import SymbolicPicture
+from repro.retrieval.predicates import (
+    PredicateError,
+    RelationKeyword,
+    RelationPredicate,
+    evaluate_predicates,
+    parse_predicate,
+    parse_query,
+    search_by_predicates,
+)
+from repro.retrieval.system import RetrievalSystem
+
+
+@pytest.fixture
+def street():
+    return SymbolicPicture.build(
+        width=100,
+        height=60,
+        objects=[
+            ("car", Rectangle(10, 5, 40, 20)),
+            ("tree", Rectangle(60, 5, 80, 35)),
+            ("cloud", Rectangle(30, 45, 70, 55)),
+            ("bird", Rectangle(62, 20, 68, 25)),
+        ],
+        name="street",
+    )
+
+
+class TestParsing:
+    def test_parse_simple_predicate(self):
+        predicate = parse_predicate("car left-of tree")
+        assert predicate == RelationPredicate("car", RelationKeyword.LEFT_OF, "tree")
+
+    def test_parse_aliases(self):
+        assert parse_predicate("a left_of b").relation is RelationKeyword.LEFT_OF
+        assert parse_predicate("a over b").relation is RelationKeyword.ABOVE
+        assert parse_predicate("a within b").relation is RelationKeyword.INSIDE
+
+    def test_parse_rejects_wrong_arity(self):
+        with pytest.raises(PredicateError):
+            parse_predicate("car left-of")
+        with pytest.raises(PredicateError):
+            parse_predicate("car is left-of tree")
+
+    def test_parse_rejects_unknown_relation(self):
+        with pytest.raises(PredicateError):
+            parse_predicate("car sort-of-near tree")
+
+    def test_parse_query_conjunction(self):
+        predicates = parse_query("car left-of tree and cloud above car, bird inside tree")
+        assert len(predicates) == 3
+        assert predicates[2].relation is RelationKeyword.INSIDE
+
+    def test_parse_query_empty(self):
+        with pytest.raises(PredicateError):
+            parse_query("   ")
+
+    def test_to_text_roundtrip(self):
+        predicate = parse_predicate("cloud above car")
+        assert parse_predicate(predicate.to_text()) == predicate
+
+
+class TestEvaluation:
+    def test_directional_predicates(self, street):
+        bestring = encode_picture(street)
+        match = evaluate_predicates(
+            bestring,
+            parse_query(
+                "car left-of tree and tree right-of car and cloud above car and car below cloud"
+            ),
+        )
+        assert match.is_full_match
+        assert match.score == 1.0
+
+    def test_unsatisfied_predicates_are_reported(self, street):
+        bestring = encode_picture(street)
+        match = evaluate_predicates(
+            bestring, parse_query("tree left-of car and cloud above car")
+        )
+        assert match.score == pytest.approx(0.5)
+        assert [predicate.to_text() for predicate in match.unsatisfied] == ["tree left-of car"]
+        assert "tree left-of car" in match.describe()
+
+    def test_topological_predicates(self, street):
+        bestring = encode_picture(street)
+        match = evaluate_predicates(
+            bestring,
+            parse_query("bird inside tree and tree contains bird and bird overlaps tree"),
+        )
+        assert match.is_full_match
+
+    def test_missing_label_fails_the_predicate(self, street):
+        bestring = encode_picture(street)
+        match = evaluate_predicates(bestring, parse_query("car left-of spaceship"))
+        assert match.score == 0.0
+        assert not match.is_full_match
+
+    def test_same_row_and_column(self, street):
+        bestring = encode_picture(street)
+        match = evaluate_predicates(
+            bestring, parse_query("car same-row tree and tree same-column cloud")
+        )
+        assert match.is_full_match
+
+    def test_any_instance_satisfies(self, landscape):
+        # The landscape has two trees; the predicate holds if either does.
+        bestring = encode_picture(landscape)
+        match = evaluate_predicates(bestring, parse_query("tree left-of mountain"))
+        assert match.is_full_match
+
+
+class TestSearch:
+    def test_search_ranks_full_matches_first(self, street, office):
+        records = [
+            ("street", encode_picture(street)),
+            ("office", encode_picture(office)),
+        ]
+        matches = search_by_predicates(records, "car left-of tree")
+        assert matches[0].image_id == "street"
+        assert matches[0].is_full_match
+        assert matches[-1].score < 1.0
+
+    def test_search_minimum_score(self, street, office):
+        records = [
+            ("street", encode_picture(street)),
+            ("office", encode_picture(office)),
+        ]
+        matches = search_by_predicates(records, "car left-of tree", minimum_score=0.99)
+        assert [match.image_id for match in matches] == ["street"]
+
+    def test_search_requires_predicates(self, street):
+        with pytest.raises(PredicateError):
+            search_by_predicates([("street", encode_picture(street))], [])
+
+    def test_retrieval_system_facade(self, scene_collection):
+        system = RetrievalSystem.from_pictures(scene_collection)
+        matches = system.search_by_relations(
+            "monitor above desk and phone right-of monitor", limit=None
+        )
+        office_matches = [match for match in matches if match.image_id.startswith("office")]
+        other_matches = [match for match in matches if not match.image_id.startswith("office")]
+        assert office_matches[0].score == 1.0
+        assert all(match.score == 0.0 for match in other_matches)
+        assert matches[0].image_id.startswith("office")

@@ -1,0 +1,89 @@
+"""Unit tests for the retrieval system facade."""
+
+import pytest
+
+from repro.geometry.rectangle import Rectangle
+from repro.retrieval.system import RetrievalSystem
+
+
+@pytest.fixture
+def system(scene_collection):
+    return RetrievalSystem.from_pictures(scene_collection)
+
+
+class TestMaintenance:
+    def test_from_pictures_and_len(self, system, scene_collection):
+        assert len(system) == len(scene_collection)
+        assert system.image_ids == sorted(p.name for p in scene_collection)
+
+    def test_add_and_remove_picture(self, system, office):
+        system.add_picture(office.renamed("extra"))
+        assert "extra" in system.image_ids
+        system.remove_picture("extra")
+        assert "extra" not in system.image_ids
+
+    def test_record_access_and_show(self, system, office):
+        record = system.record(office.name)
+        assert record.picture == office
+        art = system.show(office.name)
+        assert art.startswith("+")
+        assert "legend" in art
+
+    def test_statistics(self, system, scene_collection):
+        stats = system.statistics()
+        assert stats["images"] == len(scene_collection)
+
+    def test_save_and_reload(self, system, tmp_path, office):
+        path = system.save(tmp_path / "db.json")
+        reloaded = RetrievalSystem.from_file(path)
+        assert reloaded.image_ids == system.image_ids
+        assert reloaded.search(office, limit=1)[0].image_id == office.name
+
+
+class TestDynamicObjectUpdates:
+    def test_add_object_is_searchable(self, system, office):
+        system.add_object(office.name, "mug", Rectangle(60, 46, 64, 50))
+        record = system.record(office.name)
+        assert record.picture.has_icon("mug")
+        # The stored BE-string was refreshed and stays consistent.
+        assert record.bestring.object_identifiers == set(record.picture.identifiers)
+
+    def test_remove_object_updates_index(self, system, office):
+        system.remove_object(office.name, "phone")
+        record = system.record(office.name)
+        assert not record.picture.has_icon("phone")
+        query = office.subset(["phone"])
+        results = system.search(query, limit=None)
+        result_ids = {result.image_id for result in results}
+        # The edited image no longer shares the "phone" label, so the label
+        # filter excludes it.
+        assert office.name not in result_ids
+
+
+class TestSearch:
+    def test_identical_image_ranks_first(self, system, office):
+        results = system.search(office)
+        assert results[0].image_id == office.name
+        assert results[0].score == pytest.approx(1.0)
+
+    def test_limit(self, system, office):
+        assert len(system.search(office, limit=2)) <= 2
+
+    def test_minimum_score(self, system, office):
+        results = system.search(office, minimum_score=0.95, limit=None)
+        assert all(result.score >= 0.95 for result in results)
+
+    def test_partial_search(self, system, office):
+        results = system.search_partial(office, ["desk", "monitor", "phone"], limit=3)
+        assert results[0].image_id == office.name
+        assert results[0].similarity.common_objects == {"desk", "monitor", "phone"}
+
+    def test_invariant_search_finds_reflected_image(self, system, office):
+        reflected = office.reflect_y().renamed("office-mirrored")
+        system.add_picture(reflected)
+        plain = system.search(office, limit=None, use_filters=False)
+        invariant = system.search(office, limit=None, invariant=True, use_filters=False)
+        plain_score = {r.image_id: r.score for r in plain}["office-mirrored"]
+        invariant_score = {r.image_id: r.score for r in invariant}["office-mirrored"]
+        assert invariant_score == pytest.approx(1.0)
+        assert invariant_score > plain_score

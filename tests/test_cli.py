@@ -1,0 +1,100 @@
+"""Unit tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.index.storage import picture_to_json_text
+
+
+@pytest.fixture
+def scene_files(tmp_path, office, traffic, landscape):
+    paths = {}
+    for picture in (office, traffic, landscape):
+        path = tmp_path / f"{picture.name}.json"
+        path.write_text(picture_to_json_text(picture), encoding="utf-8")
+        paths[picture.name] = path
+    return paths
+
+
+@pytest.fixture
+def database_file(tmp_path, scene_files):
+    database_path = tmp_path / "db.json"
+    code = main(["build", str(database_path)] + [str(path) for path in scene_files.values()])
+    assert code == 0
+    return database_path
+
+
+class TestEncode:
+    def test_encode_prints_both_axes(self, scene_files, capsys):
+        office_path = next(path for name, path in scene_files.items() if "office" in name)
+        assert main(["encode", str(office_path)]) == 0
+        output = capsys.readouterr().out
+        assert "x:" in output and "y:" in output and "desk" in output
+
+    def test_encode_missing_file(self, tmp_path, capsys):
+        assert main(["encode", str(tmp_path / "missing.json")]) == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_encode_malformed_file(self, tmp_path, capsys):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        assert main(["encode", str(path)]) == 2
+        assert "malformed" in capsys.readouterr().err
+
+
+class TestBuildAndSearch:
+    def test_build_writes_database(self, database_file, capsys):
+        payload = json.loads(database_file.read_text())
+        assert len(payload["images"]) == 3
+
+    def test_search_finds_identical_scene(self, database_file, scene_files, capsys):
+        office_path = next(path for name, path in scene_files.items() if "office" in name)
+        assert main(["search", str(database_file), str(office_path), "--top", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "office-000" in output.splitlines()[0]
+        assert "score=1.000" in output
+
+    def test_search_with_flags(self, database_file, scene_files, capsys):
+        traffic_path = next(path for name, path in scene_files.items() if "traffic" in name)
+        assert main(
+            ["search", str(database_file), str(traffic_path), "--invariant", "--no-filters"]
+        ) == 0
+        assert "traffic-000" in capsys.readouterr().out
+
+    def test_search_missing_database(self, tmp_path, scene_files, capsys):
+        office_path = next(iter(scene_files.values()))
+        assert main(["search", str(tmp_path / "none.json"), str(office_path)]) == 2
+
+
+class TestRelationsShowDemo:
+    def test_relations_query(self, database_file, capsys):
+        code = main(
+            ["relations", str(database_file), "monitor above desk and phone right-of monitor"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert output.splitlines()[0].startswith("office-000")
+        assert "2/2" in output
+
+    def test_relations_bad_query(self, database_file, capsys):
+        assert main(["relations", str(database_file), "monitor hovering-near desk"]) == 2
+        assert "unknown relation" in capsys.readouterr().err
+
+    def test_show_renders_ascii(self, database_file, capsys):
+        assert main(["show", str(database_file), "landscape-000", "--columns", "40"]) == 0
+        output = capsys.readouterr().out
+        assert output.startswith("+")
+        assert "legend" in output
+
+    def test_show_unknown_image(self, database_file, capsys):
+        assert main(["show", str(database_file), "nope"]) == 2
+
+    def test_demo_end_to_end(self, tmp_path, capsys):
+        target = tmp_path / "demo.json"
+        assert main(["demo", "--output", str(target)]) == 0
+        output = capsys.readouterr().out
+        assert target.exists()
+        assert "office-000" in output
+        assert "predicates hold" in output

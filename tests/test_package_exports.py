@@ -1,0 +1,57 @@
+"""Smoke tests for the package's public surface."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+SUBPACKAGES = [
+    "repro.geometry",
+    "repro.iconic",
+    "repro.core",
+    "repro.baselines",
+    "repro.index",
+    "repro.retrieval",
+    "repro.datasets",
+    "repro.cli",
+]
+
+
+class TestTopLevelExports:
+    def test_version_is_a_string(self):
+        assert isinstance(repro.__version__, str)
+        assert repro.__version__.count(".") == 2
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.__all__ lists missing name {name!r}"
+
+    def test_core_workflow_symbols_are_exported(self):
+        for name in ("SymbolicPicture", "Rectangle", "encode_picture", "RetrievalSystem"):
+            assert name in repro.__all__
+
+    @pytest.mark.parametrize("module_name", SUBPACKAGES)
+    def test_subpackages_import_cleanly(self, module_name):
+        module = importlib.import_module(module_name)
+        assert module is not None
+
+    @pytest.mark.parametrize(
+        "module_name",
+        ["repro.geometry", "repro.iconic", "repro.core", "repro.baselines", "repro.index", "repro.retrieval", "repro.datasets"],
+    )
+    def test_subpackage_all_lists_resolve(self, module_name):
+        module = importlib.import_module(module_name)
+        for name in getattr(module, "__all__", []):
+            assert hasattr(module, name), f"{module_name}.__all__ lists missing name {name!r}"
+
+    def test_readme_quickstart_api_exists(self):
+        # The README's quickstart uses exactly these call paths.
+        picture = repro.SymbolicPicture.build(
+            width=10, height=10, objects=[("a", repro.Rectangle(1, 1, 2, 2))], name="t"
+        )
+        bestring = repro.encode_picture(picture)
+        assert repro.similarity(bestring, bestring).score == 1.0
+        system = repro.RetrievalSystem.from_pictures([picture])
+        assert system.search(picture)[0].image_id == "t"
