@@ -11,12 +11,12 @@ import time
 
 import pytest
 
-from benchmarks.conftest import format_table
+from benchmarks.conftest import format_table, smoke_scaled
 from repro.core.construct import build_axis_string, convert_2d_be_string
 from repro.core.symbols import BoundaryKind
 from repro.datasets.synthetic import SceneParameters, random_picture
 
-OBJECT_COUNTS = (16, 64, 256, 1024, 4096)
+OBJECT_COUNTS = smoke_scaled((16, 64, 256, 1024, 4096), (8, 16))
 
 
 def _picture_arrays(object_count):

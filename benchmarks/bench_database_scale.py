@@ -11,12 +11,12 @@ import time
 
 import pytest
 
-from benchmarks.conftest import format_table
+from benchmarks.conftest import format_table, smoke_scaled
 from repro.baselines.type_similarity import SimilarityType, type_similarity
 from repro.datasets.synthetic import SceneParameters, random_pictures
 from repro.retrieval.system import RetrievalSystem
 
-DATABASE_SIZES = (50, 200, 800)
+DATABASE_SIZES = smoke_scaled((50, 200, 800), (10, 20, 40))
 CLIQUE_BASELINE_SIZE = 50
 
 #: A wide vocabulary with random label assignment: images share only a few

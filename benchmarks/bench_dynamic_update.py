@@ -12,13 +12,13 @@ import time
 
 import pytest
 
-from benchmarks.conftest import format_table
+from benchmarks.conftest import format_table, smoke_scaled
 from repro.core.construct import encode_picture
 from repro.core.editing import IndexedBEString
 from repro.datasets.synthetic import SceneParameters, random_picture
 from repro.geometry.rectangle import Rectangle
 
-OBJECT_COUNTS = (64, 256, 1024)
+OBJECT_COUNTS = smoke_scaled((64, 256, 1024), (8, 16))
 
 
 def _large_picture(object_count, seed=0):

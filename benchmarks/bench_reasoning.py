@@ -11,7 +11,7 @@ fully matched.
 
 import pytest
 
-from benchmarks.conftest import format_table
+from benchmarks.conftest import format_table, smoke_scaled
 from repro.core.construct import encode_picture
 from repro.core.reasoning import (
     pairwise_relations_from_bestring,
@@ -22,7 +22,7 @@ from repro.core.similarity import similarity
 from repro.datasets.synthetic import SceneParameters, random_picture
 from repro.datasets.transforms_gen import partial_variant, perturbed_variant, scrambled_variant
 
-SAMPLE_PAIRS = 30
+SAMPLE_PAIRS = smoke_scaled(30, 3)
 
 
 def _scene(seed, object_count=10):

@@ -12,7 +12,7 @@ import time
 
 import pytest
 
-from benchmarks.conftest import format_table
+from benchmarks.conftest import format_table, smoke_scaled
 from repro.baselines.lcs_plain import classic_lcs_length, dummy_aware_lcs_length
 from repro.baselines.type_similarity import SimilarityType, type_similarity
 from repro.core.construct import encode_picture
@@ -20,7 +20,7 @@ from repro.core.similarity import similarity
 from repro.datasets.synthetic import SceneParameters, random_picture
 from repro.datasets.transforms_gen import perturbed_variant
 
-OBJECT_COUNTS = (4, 8, 16, 32, 48, 64, 96)
+OBJECT_COUNTS = smoke_scaled((4, 8, 16, 32, 48, 64, 96), (4, 8))
 
 
 def _scene_pair(object_count, seed=0):

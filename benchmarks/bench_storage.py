@@ -10,7 +10,7 @@ object counts.
 
 import pytest
 
-from benchmarks.conftest import format_table
+from benchmarks.conftest import format_table, smoke_scaled
 from repro.baselines.b_string import encode_b_string
 from repro.baselines.c_string import encode_c_string
 from repro.baselines.g_string import encode_g_string
@@ -23,7 +23,7 @@ from repro.datasets.synthetic import (
     staircase_picture,
 )
 
-OBJECT_COUNTS = (2, 4, 8, 16, 32, 64)
+OBJECT_COUNTS = smoke_scaled((2, 4, 8, 16, 32, 64), (2, 4))
 
 
 def _storage_row(label, picture):

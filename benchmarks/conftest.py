@@ -8,12 +8,23 @@ report with the rows/series the experiment compares into
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 
 import pytest
 
 #: Directory the textual experiment reports are written into.
 RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Smoke mode (``REPRO_BENCH_SMOKE=1``): the CI benchmark job runs every
+#: module at tiny sizes to catch import/API rot without paying for the full
+#: experiments.  Modules route their size constants through :func:`smoke_scaled`.
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+
+def smoke_scaled(full, smoke):
+    """``full`` for the real experiment, ``smoke`` under ``REPRO_BENCH_SMOKE=1``."""
+    return smoke if SMOKE else full
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,41 @@
+"""Repository-level pytest wiring.
+
+Adds the ``--fast`` flag used by the CI matrix job: property-based and
+integration tests (everything under ``tests/property`` and
+``tests/integration``) are auto-marked ``slow`` and skipped under ``--fast``,
+so the per-interpreter matrix stays quick while a single separate CI job runs
+the slow suites once.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+_SLOW_DIRECTORIES = ("property", "integration")
+_TESTS_ROOT = Path(__file__).parent / "tests"
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--fast",
+        action="store_true",
+        default=False,
+        help="skip the slow (property-based and integration) test suites",
+    )
+
+
+def pytest_collection_modifyitems(config: pytest.Config, items: list) -> None:
+    skip_slow = (
+        pytest.mark.skip(reason="slow suite skipped by --fast")
+        if config.getoption("--fast")
+        else None
+    )
+    slow_roots = tuple(_TESTS_ROOT / name for name in _SLOW_DIRECTORIES)
+    for item in items:
+        path = Path(str(item.fspath))
+        if any(root in path.parents for root in slow_roots):
+            item.add_marker(pytest.mark.slow)
+            if skip_slow is not None:
+                item.add_marker(skip_slow)

@@ -22,8 +22,8 @@ from repro.baselines.twod_string import encode_2d_string
 from repro.baselines.type_similarity import SimilarityType, type_similarity
 from repro.core.construct import encode_picture
 from repro.core.similarity import similarity_between_pictures
-from repro.datasets.synthetic import SceneParameters, random_picture, staircase_picture
 from repro.datasets.corpus import planted_retrieval_corpus
+from repro.datasets.synthetic import SceneParameters, random_picture, staircase_picture
 
 
 def storage_comparison() -> None:

@@ -14,7 +14,7 @@ closest baseline; the reproduction provides it both for the storage comparison
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from repro.core.symbols import BoundaryKind
 from repro.iconic.picture import SymbolicPicture

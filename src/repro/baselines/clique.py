@@ -10,7 +10,7 @@ a cheap greedy heuristic for comparison.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Hashable, Iterable, List, Set, Tuple
+from typing import Dict, FrozenSet, Hashable, Iterable, Set, Tuple
 
 #: A graph is an adjacency mapping ``vertex -> set of neighbours``.
 Graph = Dict[Hashable, Set[Hashable]]

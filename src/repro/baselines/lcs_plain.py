@@ -16,7 +16,7 @@ module provides:
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import List
 
 from repro.core.bestring import AxisBEString
 from repro.core.symbols import Symbol

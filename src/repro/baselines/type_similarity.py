@@ -31,7 +31,7 @@ from typing import Dict, FrozenSet, List, Set, Tuple
 
 from repro.baselines.clique import build_graph, maximum_clique
 from repro.geometry.allen import allen_relation
-from repro.geometry.relations import DirectionalRelation, directional_relation_between
+from repro.geometry.relations import directional_relation_between
 from repro.iconic.picture import SymbolicPicture
 
 

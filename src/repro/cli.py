@@ -13,6 +13,12 @@ system would script:
 ``python -m repro.cli search <database.json> <query-scene.json> [--invariant] [--top K]``
     Run a similarity query against a stored database.
 
+``python -m repro.cli batch-search <database.json> <queries.jsonl> [--workers N]``
+    Run many similarity queries as one batch.  Each line of the JSONL file is
+    either a scene object or ``{"scene": {...}, "invariant": true, "top": 5}``;
+    shared work is deduplicated, scores are cached, and cache misses are
+    evaluated on a worker pool (see ``repro.index.batch``).
+
 ``python -m repro.cli relations <database.json> "<predicate query>"``
     Run a relation-predicate query ("monitor above desk and ...").
 
@@ -27,13 +33,14 @@ system would script:
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import tempfile
+import time
 from pathlib import Path
 from typing import List, Optional, Sequence
 
 from repro.core.construct import encode_picture
-from repro.iconic.ascii_art import render_ascii
 from repro.index.database import ImageDatabase
 from repro.index.storage import (
     StorageError,
@@ -110,6 +117,90 @@ def _command_search(arguments: argparse.Namespace) -> int:
     for result in results:
         print(result.describe())
     return 0
+
+
+def _load_batch_queries(path: str, arguments: argparse.Namespace) -> List["Query"]:
+    """Parse a JSONL query file into :class:`Query` objects.
+
+    Each non-empty line is either a scene object, or a wrapper
+    ``{"scene": {...}, "invariant": bool, "top": int|null, "min_score": float}``
+    whose optional keys override the command-line defaults for that query
+    (``"top": null`` means unlimited results).
+    """
+    from repro.core.transforms import Transformation
+    from repro.iconic.picture import SymbolicPicture
+    from repro.index.query import Query
+
+    try:
+        lines = Path(path).read_text(encoding="utf-8").splitlines()
+    except FileNotFoundError:
+        raise CliError(f"query file not found: {path}") from None
+    queries: List[Query] = []
+    for number, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError as error:
+            raise CliError(f"{path}:{number}: invalid JSON: {error}") from error
+        if not isinstance(payload, dict):
+            raise CliError(f"{path}:{number}: expected a JSON object")
+        overrides = payload if "scene" in payload else {}
+        scene = payload.get("scene", payload)
+        try:
+            picture = SymbolicPicture.from_dict(scene)
+        except (StorageError, ValueError, KeyError, TypeError) as error:
+            raise CliError(f"{path}:{number}: malformed scene: {error}") from error
+        invariant = overrides.get("invariant", arguments.invariant)
+        if not isinstance(invariant, bool):
+            raise CliError(f"{path}:{number}: 'invariant' must be a JSON boolean")
+        limit = overrides.get("top", arguments.top)
+        if limit is not None and (isinstance(limit, bool) or not isinstance(limit, int)):
+            raise CliError(f"{path}:{number}: 'top' must be a JSON integer or null")
+        minimum_score = overrides.get("min_score", 0.0)
+        if isinstance(minimum_score, bool) or not isinstance(minimum_score, (int, float)):
+            raise CliError(f"{path}:{number}: 'min_score' must be a JSON number")
+        queries.append(
+            Query(
+                picture=picture,
+                transformations=tuple(Transformation) if invariant else (Transformation.IDENTITY,),
+                limit=limit,
+                minimum_score=float(minimum_score),
+                use_filters=not arguments.no_filters,
+            )
+        )
+    if not queries:
+        raise CliError(f"query file {path} contains no queries")
+    return queries
+
+
+def _command_batch_search(arguments: argparse.Namespace) -> int:
+    system = _load_system(arguments.database)
+    queries = _load_batch_queries(arguments.queries, arguments)
+    started = time.perf_counter()
+    try:
+        batches = system.run_batch(
+            queries, workers=arguments.workers, executor=arguments.executor
+        )
+    except ValueError as error:  # bad scheduler knobs, e.g. --workers 0
+        raise CliError(str(error)) from error
+    elapsed = time.perf_counter() - started
+    matched = 0
+    for index, (query, results) in enumerate(zip(queries, batches)):
+        name = query.picture.name or f"query-{index}"
+        print(f"[{index}] {name}: {len(results)} results")
+        for result in results:
+            print("   ", result.describe())
+        if results:
+            matched += 1
+    report = system.last_batch_report
+    throughput = len(queries) / elapsed if elapsed > 0 else float("inf")
+    print(
+        f"batch: {report.describe()}; "
+        f"{elapsed:.3f}s total ({throughput:.1f} queries/s)"
+    )
+    return 0 if matched else 1
 
 
 def _command_relations(arguments: argparse.Namespace) -> int:
@@ -192,6 +283,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-filters", action="store_true", help="score every image (skip candidate pruning)"
     )
     search.set_defaults(handler=_command_search)
+
+    batch = subparsers.add_parser(
+        "batch-search", help="run many similarity queries from a JSONL file as one batch"
+    )
+    batch.add_argument("database", help="database JSON path")
+    batch.add_argument("queries", help="JSONL file with one query scene per line")
+    batch.add_argument("--top", type=int, default=10, help="results per query (default 10)")
+    batch.add_argument(
+        "--invariant", action="store_true", help="also match rotations and reflections"
+    )
+    batch.add_argument(
+        "--no-filters", action="store_true", help="score every image (skip candidate pruning)"
+    )
+    batch.add_argument(
+        "--workers", type=int, default=4, help="worker pool size for cache misses (default 4)"
+    )
+    batch.add_argument(
+        "--executor",
+        choices=("thread", "process", "serial", "auto"),
+        default="auto",
+        help="how cache misses are scheduled (default auto)",
+    )
+    batch.set_defaults(handler=_command_batch_search)
 
     relations = subparsers.add_parser("relations", help="relation-predicate query")
     relations.add_argument("database", help="database JSON path")

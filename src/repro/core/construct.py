@@ -18,7 +18,7 @@ paper, and :func:`encode_picture`, the idiomatic API working on
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from repro.core.bestring import AxisBEString, BEString2D
 from repro.core.errors import EncodingError

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from bisect import bisect_left, insort
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro.core.bestring import AxisBEString, BEString2D
 from repro.core.construct import build_axis_string

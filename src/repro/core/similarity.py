@@ -17,9 +17,9 @@ described in Sections 4-5 and is what the retrieval layer uses.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
-from typing import Dict, FrozenSet, Iterable, Optional, Set, Tuple
+from typing import FrozenSet, Iterable, Optional, Set
 
 from repro.core.bestring import AxisBEString, BEString2D
 from repro.core.construct import encode_picture

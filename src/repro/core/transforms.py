@@ -17,7 +17,7 @@ string-level transforms are validated against in the test suite.
 from __future__ import annotations
 
 from enum import Enum
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, Iterable, List
 
 from repro.core.bestring import BEString2D
 

@@ -17,7 +17,7 @@ the regimes the paper's complexity claims distinguish:
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.geometry.rectangle import Rectangle

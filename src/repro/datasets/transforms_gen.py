@@ -16,7 +16,7 @@ relationships to a query scene:
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, Sequence, Union
 
 from repro.core.transforms import Transformation
 from repro.geometry.rectangle import Rectangle

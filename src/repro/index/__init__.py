@@ -13,10 +13,16 @@ database a downstream user would actually store BE-strings in:
 * :class:`~repro.index.query.QueryEngine` -- executes similarity queries
   (optionally transformation-invariant) over the database and returns ranked
   results.
+* :class:`~repro.index.batch.BatchQueryEngine` -- evaluates many queries at
+  once: deduplicates shared encoding/shortlist work, memoises per-(query,
+  image) scores in a :class:`~repro.index.cache.ScoreCache`, and schedules
+  cache misses on a thread/process pool.
 * :mod:`~repro.index.storage` -- JSON persistence of pictures, BE-strings and
   whole databases.
 """
 
+from repro.index.batch import BatchOptions, BatchQueryEngine, BatchReport
+from repro.index.cache import CacheStatistics, ScoreCache, query_score_key
 from repro.index.database import ImageDatabase, ImageRecord
 from repro.index.inverted import InvertedSymbolIndex
 from repro.index.query import Query, QueryEngine
@@ -31,6 +37,12 @@ from repro.index.storage import (
 )
 
 __all__ = [
+    "BatchOptions",
+    "BatchQueryEngine",
+    "BatchReport",
+    "CacheStatistics",
+    "ScoreCache",
+    "query_score_key",
     "ImageDatabase",
     "ImageRecord",
     "InvertedSymbolIndex",

@@ -9,7 +9,7 @@ alongside the BE-strings.
 
 from __future__ import annotations
 
-from collections import Counter, defaultdict
+from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Set
 
@@ -18,9 +18,17 @@ from repro.iconic.picture import SymbolicPicture
 
 @dataclass
 class InvertedSymbolIndex:
-    """Maps icon labels to the set of image ids containing them."""
+    """Maps icon labels to the set of image ids containing them.
 
-    _postings: Dict[str, Set[str]] = field(default_factory=lambda: defaultdict(set))
+    Invariant: ``_postings`` never holds an empty set.  A label whose last
+    image is removed disappears from the index entirely, so removed labels
+    cannot linger in :attr:`vocabulary` or inflate candidate shortlists.
+    ``_postings`` is deliberately a plain dict -- a ``defaultdict`` would
+    silently materialise empty postings on any stray subscript lookup and
+    break that invariant.
+    """
+
+    _postings: Dict[str, Set[str]] = field(default_factory=dict)
     _image_labels: Dict[str, Counter] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
@@ -33,10 +41,10 @@ class InvertedSymbolIndex:
         labels = Counter(picture.labels)
         self._image_labels[image_id] = labels
         for label in labels:
-            self._postings[label].add(image_id)
+            self._postings.setdefault(label, set()).add(image_id)
 
     def remove_picture(self, image_id: str) -> None:
-        """Remove all postings of an image."""
+        """Remove all postings of an image, dropping emptied labels entirely."""
         try:
             labels = self._image_labels.pop(image_id)
         except KeyError:

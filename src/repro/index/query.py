@@ -9,8 +9,8 @@ rotations/reflections of the query), and the results are returned ranked.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 from repro.core.bestring import BEString2D
 from repro.core.construct import encode_picture
@@ -22,11 +22,16 @@ from repro.core.similarity import (
     similarity,
 )
 from repro.core.transforms import Transformation
+from repro.geometry.rectangle import Rectangle
 from repro.iconic.picture import SymbolicPicture
-from repro.index.database import ImageDatabase
+from repro.index.cache import ScoreCache
+from repro.index.database import ImageDatabase, ImageRecord
 from repro.index.inverted import InvertedSymbolIndex
 from repro.index.ranking import RankedResult, rank_results
 from repro.index.signature import SignatureFilter
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.index.batch import BatchOptions, BatchReport
 
 
 @dataclass(frozen=True)
@@ -66,6 +71,11 @@ class QueryEngine:
     database: ImageDatabase
     signature_filter: SignatureFilter = field(default_factory=SignatureFilter)
     inverted_index: InvertedSymbolIndex = field(default_factory=InvertedSymbolIndex)
+    #: Memoised per-(query, image) similarity results, shared with the batch
+    #: subsystem (:mod:`repro.index.batch`) and invalidated on every mutation.
+    score_cache: ScoreCache = field(default_factory=ScoreCache)
+    #: Scheduler report of the most recent :meth:`run_batch` call.
+    last_batch_report: Optional["BatchReport"] = field(default=None, init=False)
 
     # ------------------------------------------------------------------
     # Index maintenance
@@ -87,6 +97,7 @@ class QueryEngine:
         record = self.database.add_picture(picture, image_id)
         self.signature_filter.add_picture(record.image_id, record.picture)
         self.inverted_index.add_picture(record.image_id, record.picture)
+        self.score_cache.invalidate_image(record.image_id)
         return record.image_id
 
     def remove_picture(self, image_id: str) -> None:
@@ -94,11 +105,28 @@ class QueryEngine:
         self.database.remove_picture(image_id)
         self.signature_filter.remove_picture(image_id)
         self.inverted_index.remove_picture(image_id)
+        self.score_cache.invalidate_image(image_id)
+
+    def add_object(self, image_id: str, label: str, mbr: Rectangle) -> ImageRecord:
+        """Dynamically add one icon to a stored image, refreshing all indexes."""
+        record = self.database.add_object(image_id, label, mbr)
+        self.signature_filter.update_picture(image_id, record.picture)
+        self.inverted_index.update_picture(image_id, record.picture)
+        self.score_cache.invalidate_image(image_id)
+        return record
+
+    def remove_object(self, image_id: str, identifier: str) -> ImageRecord:
+        """Dynamically remove one icon from a stored image, refreshing all indexes."""
+        record = self.database.remove_object(image_id, identifier)
+        self.signature_filter.update_picture(image_id, record.picture)
+        self.inverted_index.update_picture(image_id, record.picture)
+        self.score_cache.invalidate_image(image_id)
+        return record
 
     # ------------------------------------------------------------------
     # Query execution
     # ------------------------------------------------------------------
-    def _candidate_ids(self, query: Query) -> List[str]:
+    def candidate_ids(self, query: Query) -> List[str]:
         if not query.use_filters:
             return self.database.image_ids
         labels = set(query.picture.labels)
@@ -123,11 +151,36 @@ class QueryEngine:
         """Run a query and return ranked results."""
         query_bestring = encode_picture(query.picture)
         scored: List[Tuple[str, SimilarityResult]] = []
-        for image_id in self._candidate_ids(query):
+        for image_id in self.candidate_ids(query):
             record = self.database.get(image_id)
             result = self._score(query_bestring, record.bestring, query)
             scored.append((image_id, result))
         return rank_results(scored, limit=query.limit, minimum_score=query.minimum_score)
+
+    def run_batch(
+        self,
+        queries: Sequence[Query],
+        options: Optional["BatchOptions"] = None,
+        **overrides,
+    ) -> List[List[RankedResult]]:
+        """Run many queries as one batch (see :mod:`repro.index.batch`).
+
+        Shared encoding/shortlist work is deduplicated, per-(query, image)
+        scores are memoised in :attr:`score_cache`, and cache misses are
+        evaluated on a worker pool.  Results are identical -- including
+        tie-break ordering -- to calling :meth:`execute` per query.  Keyword
+        overrides (``workers=8``, ``executor="process"``, ...) are applied on
+        top of ``options``.
+        """
+        from repro.index.batch import BatchOptions, BatchQueryEngine
+
+        base = options or BatchOptions()
+        if overrides:
+            base = replace(base, **overrides)
+        batch = BatchQueryEngine(engine=self, options=base)
+        results = batch.run(queries)
+        self.last_batch_report = batch.last_report
+        return results
 
     def search(
         self,

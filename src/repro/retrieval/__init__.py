@@ -11,6 +11,14 @@
 """
 
 from repro.retrieval.evaluation import EvaluationReport, MethodEvaluation, evaluate_corpus
+from repro.retrieval.metrics import (
+    average_precision,
+    f1_score,
+    mean_average_precision,
+    precision_at_k,
+    recall_at_k,
+    reciprocal_rank,
+)
 from repro.retrieval.predicates import (
     PredicateMatch,
     RelationKeyword,
@@ -19,14 +27,6 @@ from repro.retrieval.predicates import (
     parse_predicate,
     parse_query,
     search_by_predicates,
-)
-from repro.retrieval.metrics import (
-    average_precision,
-    f1_score,
-    mean_average_precision,
-    precision_at_k,
-    recall_at_k,
-    reciprocal_rank,
 )
 from repro.retrieval.system import RetrievalSystem
 

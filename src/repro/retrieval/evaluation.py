@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Sequence
 
 from repro.baselines.type_similarity import SimilarityType, type_similarity
 from repro.core.similarity import DEFAULT_POLICY, SimilarityPolicy

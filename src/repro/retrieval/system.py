@@ -6,6 +6,32 @@ application actually needs: load pictures, search (exact, partial or
 transformation-invariant), inspect a stored image, and maintain it
 dynamically.  The examples and quality benchmarks are written against this
 facade only, which is the "public API" promised in the repository's README.
+
+Batch retrieval
+---------------
+
+Query streams should go through the batch API instead of a loop of
+:meth:`RetrievalSystem.search` calls:
+
+* :meth:`RetrievalSystem.search_many` evaluates a whole sequence of query
+  pictures in one pass.  Identical queries are deduplicated into a single
+  evaluation, the inverted-index/signature shortlist is computed once per
+  unique query, and per-(query, image) LCS scores are memoised in an LRU
+  score cache that later batches reuse.
+* :meth:`RetrievalSystem.search_parallel` is the same entry point with the
+  worker pool turned on: cache misses are chunked and scored on a
+  ``concurrent.futures`` thread or process pool.
+
+Knobs (both methods): ``workers`` bounds the pool size, ``executor`` selects
+``"thread"``/``"process"``/``"serial"``/``"auto"`` scheduling, ``chunk_size``
+overrides the automatic task chunking, and ``use_cache=False`` disables the
+score cache for one call.  The cache itself lives on the underlying
+:class:`~repro.index.query.QueryEngine` (``capacity`` 65536 entries by
+default) and is invalidated automatically whenever a picture is added or
+removed or an object inside a stored image changes, so batch results always
+reflect the current database.  Results are guaranteed identical -- including
+tie-break ordering -- to running the equivalent serial searches; see
+``tests/index/test_batch.py`` and ``benchmarks/bench_batch_query.py``.
 """
 
 from __future__ import annotations
@@ -19,6 +45,7 @@ from repro.core.transforms import Transformation
 from repro.geometry.rectangle import Rectangle
 from repro.iconic.ascii_art import render_ascii
 from repro.iconic.picture import SymbolicPicture
+from repro.index.batch import BatchOptions, BatchReport
 from repro.index.database import ImageDatabase, ImageRecord
 from repro.index.query import Query, QueryEngine
 from repro.index.ranking import RankedResult
@@ -77,15 +104,11 @@ class RetrievalSystem:
 
     def add_object(self, image_id: str, label: str, mbr: Rectangle) -> None:
         """Dynamically add one icon to a stored image (Section 3.2)."""
-        record = self._engine.database.add_object(image_id, label, mbr)
-        self._engine.signature_filter.update_picture(image_id, record.picture)
-        self._engine.inverted_index.update_picture(image_id, record.picture)
+        self._engine.add_object(image_id, label, mbr)
 
     def remove_object(self, image_id: str, identifier: str) -> None:
         """Dynamically remove one icon from a stored image (Section 3.2)."""
-        record = self._engine.database.remove_object(image_id, identifier)
-        self._engine.signature_filter.update_picture(image_id, record.picture)
-        self._engine.inverted_index.update_picture(image_id, record.picture)
+        self._engine.remove_object(image_id, identifier)
 
     def save(self, path: Union[str, Path]) -> Path:
         """Persist the database to a JSON file."""
@@ -132,12 +155,114 @@ class RetrievalSystem:
         paper); ``use_filters=False`` bypasses the candidate pruning and scores
         every stored image.
         """
+        query = self._make_query(
+            query_picture,
+            limit=limit,
+            invariant=invariant,
+            minimum_score=minimum_score,
+            use_filters=use_filters,
+        )
+        return self._engine.execute(query)
+
+    def search_many(
+        self,
+        query_pictures: Iterable[SymbolicPicture],
+        limit: Optional[int] = 10,
+        invariant: bool = False,
+        minimum_score: float = 0.0,
+        use_filters: bool = True,
+        workers: int = 1,
+        executor: str = "auto",
+        chunk_size: Optional[int] = None,
+        use_cache: bool = True,
+    ) -> List[List[RankedResult]]:
+        """Batch similarity search: one ranked result list per query picture.
+
+        Identical query pictures share a single evaluation and candidate
+        shortlist, and per-(query, image) scores are served from the engine's
+        LRU score cache when a previous batch already computed them.  With the
+        default ``workers=1`` all misses are scored inline; pass ``workers``
+        and ``executor`` (or use :meth:`search_parallel`) to score them on a
+        pool.  See the module docstring for the full knob reference.
+        """
+        queries = [
+            self._make_query(
+                picture,
+                limit=limit,
+                invariant=invariant,
+                minimum_score=minimum_score,
+                use_filters=use_filters,
+            )
+            for picture in query_pictures
+        ]
+        options = BatchOptions(
+            workers=workers,
+            executor=executor,
+            chunk_size=chunk_size,
+            use_cache=use_cache,
+        )
+        return self._engine.run_batch(queries, options=options)
+
+    def search_parallel(
+        self,
+        query_pictures: Iterable[SymbolicPicture],
+        limit: Optional[int] = 10,
+        invariant: bool = False,
+        minimum_score: float = 0.0,
+        use_filters: bool = True,
+        workers: int = 4,
+        executor: str = "thread",
+        chunk_size: Optional[int] = None,
+        use_cache: bool = True,
+    ) -> List[List[RankedResult]]:
+        """:meth:`search_many` with the worker pool on (4 threads by default)."""
+        return self.search_many(
+            query_pictures,
+            limit=limit,
+            invariant=invariant,
+            minimum_score=minimum_score,
+            use_filters=use_filters,
+            workers=workers,
+            executor=executor,
+            chunk_size=chunk_size,
+            use_cache=use_cache,
+        )
+
+    def run_batch(
+        self,
+        queries: Sequence[Query],
+        options: Optional[BatchOptions] = None,
+        **overrides,
+    ) -> List[List[RankedResult]]:
+        """Run pre-built :class:`~repro.index.query.Query` objects as one batch.
+
+        Unlike :meth:`search_many`, each query keeps its own limit, score
+        threshold and transformation set; the batch scheduler still
+        deduplicates, caches and parallelises across them.  Keyword overrides
+        (``workers=8``, ``executor="process"``, ...) adjust the
+        :class:`~repro.index.batch.BatchOptions`.
+        """
+        return self._engine.run_batch(queries, options=options, **overrides)
+
+    @property
+    def last_batch_report(self) -> Optional[BatchReport]:
+        """Scheduler report of the most recent batch search (or ``None``)."""
+        return self._engine.last_batch_report
+
+    def _make_query(
+        self,
+        query_picture: SymbolicPicture,
+        limit: Optional[int],
+        invariant: bool,
+        minimum_score: float,
+        use_filters: bool,
+    ) -> Query:
         transformations: Sequence[Transformation]
         if invariant:
             transformations = tuple(Transformation)
         else:
             transformations = (Transformation.IDENTITY,)
-        query = Query(
+        return Query(
             picture=query_picture,
             policy=self.policy,
             transformations=tuple(transformations),
@@ -145,7 +270,6 @@ class RetrievalSystem:
             minimum_score=minimum_score,
             use_filters=use_filters,
         )
-        return self._engine.execute(query)
 
     def search_partial(
         self,

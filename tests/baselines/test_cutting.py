@@ -1,6 +1,5 @@
 """Unit tests for the G-/C-string cutting substrate."""
 
-import pytest
 
 from repro.baselines.cutting import (
     c_string_cuts,

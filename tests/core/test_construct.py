@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.bestring import AxisBEString
 from repro.core.construct import (
     build_axis_string,
     convert_2d_be_string,

@@ -14,7 +14,6 @@ from repro.core.construct import encode_picture
 from repro.core.lcs import be_lcs_length
 from repro.core.similarity import similarity
 from repro.core.symbols import Symbol
-from repro.iconic.picture import fig1_picture
 
 
 class TestFig1Encoding:

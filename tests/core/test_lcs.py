@@ -1,6 +1,5 @@
 """Unit tests for Algorithms 2 and 3 (modified LCS)."""
 
-import pytest
 
 from repro.core.bestring import AxisBEString
 from repro.core.construct import encode_picture
@@ -11,7 +10,6 @@ from repro.core.lcs import (
     be_lcs_table,
     print_2d_be_lcs,
 )
-from repro.core.symbols import Symbol
 
 
 def axis(text: str) -> AxisBEString:

@@ -13,7 +13,6 @@ from repro.core.similarity import (
     similarity_between_pictures,
 )
 from repro.core.transforms import Transformation, rotate90
-from repro.datasets.scenes import office_scene
 from repro.datasets.transforms_gen import scrambled_variant
 
 

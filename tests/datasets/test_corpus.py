@@ -3,8 +3,8 @@
 import pytest
 
 from repro.datasets.corpus import Corpus, planted_retrieval_corpus, transformation_corpus
-from repro.iconic.picture import SymbolicPicture
 from repro.geometry.rectangle import Rectangle
+from repro.iconic.picture import SymbolicPicture
 
 
 class TestCorpusValidation:

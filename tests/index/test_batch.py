@@ -1,0 +1,244 @@
+"""Tests for the batch query subsystem (engine, scheduler, score cache)."""
+
+import pytest
+
+from repro.geometry.rectangle import Rectangle
+from repro.iconic.picture import SymbolicPicture
+from repro.index.batch import BatchOptions, BatchQueryEngine
+from repro.index.cache import ScoreCache, query_score_key
+from repro.index.database import ImageDatabase
+from repro.index.query import Query, QueryEngine
+from repro.retrieval.system import RetrievalSystem
+
+
+def result_key(results):
+    """Everything a ranked result list is judged on, including tie-breaks."""
+    return [
+        (r.rank, r.image_id, r.score, r.similarity.transformation, r.similarity.common_objects)
+        for r in results
+    ]
+
+
+@pytest.fixture
+def engine(scene_collection):
+    database = ImageDatabase()
+    database.add_pictures(scene_collection)
+    return QueryEngine.build(database)
+
+
+@pytest.fixture
+def system(scene_collection):
+    return RetrievalSystem.from_pictures(scene_collection)
+
+
+@pytest.fixture
+def query_pictures(scene_collection):
+    # Duplicates on purpose: the batch engine must deduplicate them.
+    return [
+        scene_collection[0],
+        scene_collection[3],
+        scene_collection[0],
+        scene_collection[5],
+        scene_collection[3],
+    ]
+
+
+class TestEquivalenceWithSerial:
+    @pytest.mark.parametrize("executor", ["serial", "thread", "process", "auto"])
+    def test_run_batch_matches_execute(self, engine, query_pictures, executor):
+        queries = [Query.exact(picture, limit=5) for picture in query_pictures]
+        serial = [engine.execute(query) for query in queries]
+        batch = engine.run_batch(queries, workers=2, executor=executor, chunk_size=2)
+        assert [result_key(r) for r in batch] == [result_key(r) for r in serial]
+
+    def test_search_many_matches_n_serial_searches(self, system, query_pictures):
+        serial = [system.search(picture, limit=4) for picture in query_pictures]
+        batch = system.search_many(query_pictures, limit=4)
+        assert [result_key(r) for r in batch] == [result_key(r) for r in serial]
+
+    def test_search_parallel_matches_serial(self, system, query_pictures):
+        serial = [system.search(picture, limit=4) for picture in query_pictures]
+        batch = system.search_parallel(query_pictures, limit=4, workers=3)
+        assert [result_key(r) for r in batch] == [result_key(r) for r in serial]
+
+    def test_invariant_batch_matches_serial(self, system, query_pictures):
+        serial = [system.search(picture, limit=4, invariant=True) for picture in query_pictures]
+        batch = system.search_many(query_pictures, limit=4, invariant=True, workers=2)
+        assert [result_key(r) for r in batch] == [result_key(r) for r in serial]
+
+    def test_tie_break_ordering_is_preserved(self, office):
+        # Identical copies of one picture under different ids score equally;
+        # ranking must fall back to the image id on both paths.
+        system = RetrievalSystem.from_pictures(
+            [office.renamed(f"copy-{index}") for index in range(6)]
+        )
+        serial = system.search(office, limit=None)
+        batch = system.search_many([office], limit=None)[0]
+        assert [r.image_id for r in serial] == [f"copy-{index}" for index in range(6)]
+        assert result_key(batch) == result_key(serial)
+
+    def test_heterogeneous_limits_and_thresholds(self, system, query_pictures):
+        queries = [
+            Query.exact(query_pictures[0], limit=2),
+            Query.exact(query_pictures[0], limit=None, minimum_score=0.5),
+            Query.invariant(query_pictures[1], limit=3),
+            Query(picture=query_pictures[2], use_filters=False),
+        ]
+        serial = [system._engine.execute(query) for query in queries]
+        batch = system.run_batch(queries, workers=2, executor="thread")
+        assert [result_key(r) for r in batch] == [result_key(r) for r in serial]
+
+    def test_empty_batch(self, system):
+        assert system.search_many([]) == []
+
+
+class TestDeduplicationAndCache:
+    def test_duplicate_queries_evaluated_once(self, engine, query_pictures):
+        queries = [Query.exact(picture, limit=5) for picture in query_pictures]
+        engine.run_batch(queries)
+        report = engine.last_batch_report
+        assert report.total_queries == 5
+        assert report.unique_evaluations == 3
+        assert report.deduplicated_queries == 2
+
+    def test_second_batch_is_served_from_cache(self, engine, query_pictures):
+        queries = [Query.exact(picture, limit=5) for picture in query_pictures]
+        first = engine.run_batch(queries)
+        assert engine.last_batch_report.scored > 0
+        second = engine.run_batch(queries)
+        report = engine.last_batch_report
+        assert report.scored == 0
+        assert report.cache_hits == report.candidates_considered > 0
+        assert report.cache_hit_rate == 1.0
+        assert [result_key(r) for r in second] == [result_key(r) for r in first]
+
+    def test_use_cache_false_bypasses_cache(self, engine, query_pictures):
+        queries = [Query.exact(picture) for picture in query_pictures]
+        engine.run_batch(queries)
+        engine.run_batch(queries, use_cache=False)
+        report = engine.last_batch_report
+        assert report.cache_hits == 0
+        assert report.scored == report.candidates_considered
+
+    def test_cache_invalidated_on_remove(self, scene_collection, office):
+        system = RetrievalSystem.from_pictures(scene_collection)
+        before = system.search_many([office], limit=None)[0]
+        assert any(r.image_id == "office-001" for r in before)
+        system.remove_picture("office-001")
+        after = system.search_many([office], limit=None)[0]
+        assert not any(r.image_id == "office-001" for r in after)
+        fresh = system.search(office, limit=None)
+        assert result_key(after) == result_key(fresh)
+
+    def test_cache_invalidated_on_object_update(self, scene_collection, office):
+        system = RetrievalSystem.from_pictures(scene_collection)
+        stale = system.search_many([office], limit=None)[0]
+        # Editing a stored image changes its BE-string; the cached score for
+        # that image must be dropped, not replayed.
+        system.add_object("office-001", "aquarium", Rectangle(1.0, 1.0, 3.0, 3.0))
+        system.remove_object("office-000", "phone")
+        updated = system.search_many([office], limit=None)[0]
+        fresh = system.search(office, limit=None)
+        assert result_key(updated) == result_key(fresh)
+        assert result_key(updated) != result_key(stale)
+
+    def test_cache_invalidated_on_add_picture(self, scene_collection, office):
+        system = RetrievalSystem.from_pictures(scene_collection)
+        system.search_many([office])
+        system.add_picture(office.renamed("office-twin"))
+        results = system.search_many([office], limit=None)[0]
+        assert any(r.image_id == "office-twin" for r in results)
+        assert result_key(results) == result_key(system.search(office, limit=None))
+
+
+class TestScoreCache:
+    def test_lru_eviction(self, office, traffic, landscape):
+        system = RetrievalSystem.from_pictures([office, traffic, landscape])
+        engine = system._engine
+        engine.score_cache = ScoreCache(capacity=2)
+        system.search_many([office], use_filters=False)  # 3 candidates > capacity 2
+        stats = engine.score_cache.statistics
+        assert stats.size == 2
+        assert stats.evictions >= 1
+
+    def test_invalidate_unknown_image_is_noop(self):
+        cache = ScoreCache()
+        assert cache.invalidate_image("missing") == 0
+
+    def test_statistics_and_clear(self, office, traffic):
+        system = RetrievalSystem.from_pictures([office, traffic])
+        system.search_many([office])
+        cache = system._engine.score_cache
+        assert len(cache) > 0
+        assert cache.statistics.hit_rate == 0.0
+        system.search_many([office])
+        assert cache.statistics.hits > 0
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_query_key_ignores_picture_name(self, office):
+        from repro.core.construct import encode_picture
+        from repro.core.similarity import DEFAULT_POLICY
+        from repro.core.transforms import Transformation
+
+        key_a = query_score_key(
+            encode_picture(office), DEFAULT_POLICY, (Transformation.IDENTITY,)
+        )
+        key_b = query_score_key(
+            encode_picture(office.renamed("other-name")),
+            DEFAULT_POLICY,
+            (Transformation.IDENTITY,),
+        )
+        assert key_a == key_b
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ScoreCache(capacity=0)
+
+
+class TestOptionsValidation:
+    def test_invalid_executor_rejected(self):
+        with pytest.raises(ValueError):
+            BatchOptions(executor="fibers")
+
+    def test_invalid_workers_rejected(self):
+        with pytest.raises(ValueError):
+            BatchOptions(workers=0)
+
+    def test_invalid_chunk_size_rejected(self):
+        with pytest.raises(ValueError):
+            BatchOptions(chunk_size=0)
+
+    def test_single_worker_falls_back_to_serial(self, engine, office):
+        batch = BatchQueryEngine(engine=engine, options=BatchOptions(workers=1, executor="thread"))
+        batch.run([Query.exact(office)])
+        assert batch.last_report.executor == "serial"
+
+    def test_auto_uses_threads_for_large_workloads(self, engine, scene_collection):
+        queries = [
+            Query.exact(picture.renamed(f"q-{index}"), use_filters=False)
+            for index, picture in enumerate(scene_collection * 5)
+        ]
+        batch = BatchQueryEngine(
+            engine=engine, options=BatchOptions(workers=2, executor="auto")
+        )
+        batch.run(queries)
+        assert batch.last_report.executor == "thread"
+
+
+class TestStalePostings:
+    def test_removed_label_cannot_inflate_batch_shortlists(self):
+        # Regression companion to tests/index/test_inverted.py: once the only
+        # image holding a label is gone, a batch query for that label must not
+        # shortlist (and pay LCS scoring for) anything.
+        lamp = SymbolicPicture.build(
+            width=10, height=10, objects=[("lamp", Rectangle(1, 1, 3, 3))], name="lamp-only"
+        )
+        desk = SymbolicPicture.build(
+            width=10, height=10, objects=[("desk", Rectangle(2, 2, 6, 4))], name="desk-only"
+        )
+        system = RetrievalSystem.from_pictures([lamp, desk])
+        system.remove_picture("lamp-only")
+        results = system.search_many([lamp], limit=None)[0]
+        assert results == []
+        assert system.last_batch_report.candidates_considered == 0

@@ -37,6 +37,38 @@ class TestMaintenance:
         assert index.images_with_label("phone") == set()
         assert index.images_with_label("desk") == {"scene"}
 
+    def test_remove_picture_drops_empty_postings_sets(self, office, traffic):
+        # Regression: a label whose last image is removed must disappear from
+        # the index entirely -- stale labels would keep matching and inflate
+        # candidate shortlists.
+        index = InvertedSymbolIndex()
+        index.add_picture("office", office)
+        index.add_picture("traffic", traffic)
+        index.remove_picture("office")
+        office_only = set(office.labels) - set(traffic.labels)
+        assert office_only  # the fixture scenes differ
+        for label in office_only:
+            assert label not in index.vocabulary
+            assert index.candidates([label]) == set()
+        assert not any(not postings for postings in index._postings.values())
+
+    def test_update_picture_drops_postings_of_removed_labels(self, office):
+        index = InvertedSymbolIndex()
+        index.add_picture("scene", office)
+        index.update_picture("scene", office.remove_icon("phone"))
+        assert "phone" not in index.vocabulary
+        assert index.candidates(["phone"]) == set()
+        assert not any(not postings for postings in index._postings.values())
+
+    def test_vocabulary_shrinks_back_to_empty(self, office, traffic):
+        index = InvertedSymbolIndex()
+        index.add_picture("office", office)
+        index.add_picture("traffic", traffic)
+        index.remove_picture("office")
+        index.remove_picture("traffic")
+        assert index.vocabulary == []
+        assert index._postings == {}
+
     def test_labels_of(self, landscape):
         index = InvertedSymbolIndex()
         index.add_picture("landscape", landscape)

@@ -1,10 +1,9 @@
 """Unit tests for result ranking."""
 
-import pytest
 
 from repro.core.construct import encode_picture
 from repro.core.similarity import similarity
-from repro.index.ranking import RankedResult, rank_results
+from repro.index.ranking import rank_results
 
 
 def scored_results(query_picture, database_pictures):

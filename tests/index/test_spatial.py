@@ -3,8 +3,8 @@
 import pytest
 
 from repro.geometry.rectangle import Rectangle
-from repro.index.spatial import QUADRANTS, RegionIndex
 from repro.iconic.picture import SymbolicPicture
+from repro.index.spatial import QUADRANTS, RegionIndex
 
 
 @pytest.fixture

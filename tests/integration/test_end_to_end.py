@@ -2,10 +2,8 @@
 
 import pytest
 
-from repro.core.construct import encode_picture
 from repro.datasets.corpus import planted_retrieval_corpus, transformation_corpus
 from repro.geometry.rectangle import Rectangle
-from repro.iconic.picture import SymbolicPicture
 from repro.iconic.raster import LabeledRaster
 from repro.index.storage import load_database, save_database
 from repro.retrieval.evaluation import (
@@ -13,7 +11,6 @@ from repro.retrieval.evaluation import (
     evaluate_corpus,
     type_similarity_method,
 )
-from repro.retrieval.metrics import recall_at_k
 from repro.retrieval.system import RetrievalSystem
 
 

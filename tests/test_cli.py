@@ -68,6 +68,90 @@ class TestBuildAndSearch:
         assert main(["search", str(tmp_path / "none.json"), str(office_path)]) == 2
 
 
+class TestBatchSearch:
+    @pytest.fixture
+    def query_file(self, tmp_path, office, traffic):
+        path = tmp_path / "queries.jsonl"
+        lines = [
+            json.dumps(office.to_dict()),
+            "",  # blank lines are skipped
+            json.dumps({"scene": traffic.to_dict(), "top": 1, "invariant": True}),
+            json.dumps(office.to_dict()),  # duplicate: must be deduplicated
+        ]
+        path.write_text("\n".join(lines), encoding="utf-8")
+        return path
+
+    def test_batch_search_runs_all_queries(self, database_file, query_file, capsys):
+        code = main(
+            ["batch-search", str(database_file), str(query_file), "--top", "2", "--workers", "2"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "[0]" in output and "[1]" in output and "[2]" in output
+        assert output.count("office-000") >= 2
+        assert "3 queries -> 2 unique evaluations" in output
+
+    def test_batch_search_matches_serial_search(self, database_file, query_file, scene_files, capsys):
+        office_path = next(path for name, path in scene_files.items() if "office" in name)
+        assert main(["search", str(database_file), str(office_path), "--top", "2"]) == 0
+        serial_lines = [
+            line.strip() for line in capsys.readouterr().out.splitlines() if line.strip()
+        ]
+        assert main(
+            ["batch-search", str(database_file), str(query_file), "--top", "2"]
+        ) == 0
+        batch_output = capsys.readouterr().out
+        for line in serial_lines:
+            assert line in batch_output
+
+    def test_batch_search_missing_query_file(self, database_file, tmp_path, capsys):
+        assert main(["batch-search", str(database_file), str(tmp_path / "none.jsonl")]) == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_batch_search_malformed_line(self, database_file, tmp_path, capsys):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"not a scene": true}\n', encoding="utf-8")
+        assert main(["batch-search", str(database_file), str(path)]) == 2
+        assert "malformed scene" in capsys.readouterr().err
+
+    def test_batch_search_rejects_bad_override_types(self, database_file, tmp_path, office, capsys):
+        path = tmp_path / "typed.jsonl"
+        path.write_text(
+            json.dumps({"scene": office.to_dict(), "top": "five"}) + "\n", encoding="utf-8"
+        )
+        assert main(["batch-search", str(database_file), str(path)]) == 2
+        assert "'top' must be a JSON integer" in capsys.readouterr().err
+        # JSON strings must not be truthed into invariant mode.
+        path.write_text(
+            json.dumps({"scene": office.to_dict(), "invariant": "false"}) + "\n",
+            encoding="utf-8",
+        )
+        assert main(["batch-search", str(database_file), str(path)]) == 2
+        assert "'invariant' must be a JSON boolean" in capsys.readouterr().err
+
+    def test_batch_search_null_top_means_unlimited(self, database_file, tmp_path, office, capsys):
+        path = tmp_path / "nolimit.jsonl"
+        path.write_text(
+            json.dumps({"scene": office.to_dict(), "top": None}) + "\n", encoding="utf-8"
+        )
+        assert main(
+            ["batch-search", str(database_file), str(path), "--top", "1", "--no-filters"]
+        ) == 0
+        assert "3 results" in capsys.readouterr().out  # null overrides --top 1
+
+    def test_batch_search_invalid_workers(self, database_file, query_file, capsys):
+        assert main(
+            ["batch-search", str(database_file), str(query_file), "--workers", "0"]
+        ) == 2
+        assert "workers must be at least 1" in capsys.readouterr().err
+
+    def test_batch_search_empty_file(self, database_file, tmp_path, capsys):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("\n\n", encoding="utf-8")
+        assert main(["batch-search", str(database_file), str(path)]) == 2
+        assert "no queries" in capsys.readouterr().err
+
+
 class TestRelationsShowDemo:
     def test_relations_query(self, database_file, capsys):
         code = main(
