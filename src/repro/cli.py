@@ -25,9 +25,21 @@ system would script:
 ``python -m repro.cli show <database.json> <image-id>``
     ASCII-render one stored image.
 
+``python -m repro.cli convert <src> <dst> [--to FORMAT] [--shards N]``
+    Convert a database between storage formats (JSON / SQLite / sharded
+    binary); the target format defaults to what the destination path implies.
+
+``python -m repro.cli info <database>``
+    Print the storage format, schema version and size statistics of a stored
+    database without fully validating it.
+
 ``python -m repro.cli demo``
     Build a small synthetic database in a temporary directory and run an
     example query end to end (no input files needed).
+
+Every command that reads a database sniffs its storage format from the
+file/directory content; pass ``--format json|sqlite|sharded`` to override
+(see ``docs/storage-formats.md``).
 """
 
 from __future__ import annotations
@@ -41,19 +53,28 @@ from pathlib import Path
 from typing import List, Optional, Sequence
 
 from repro.core.construct import encode_picture
-from repro.index.database import ImageDatabase
-from repro.index.storage import (
-    StorageError,
-    load_database,
-    picture_from_json_text,
-    save_database,
+from repro.index.backends import (
+    describe_database,
+    load_database_from,
+    save_database_to,
 )
+from repro.index.database import ImageDatabase
+from repro.index.storage import StorageError, picture_from_json_text
 from repro.retrieval.predicates import PredicateError
 from repro.retrieval.system import RetrievalSystem
+
+#: ``--format`` choices; ``auto`` infers from path/content (the default).
+FORMAT_CHOICES = ("auto", "json", "sqlite", "sharded")
 
 
 class CliError(RuntimeError):
     """Raised for user-facing CLI failures (bad paths, malformed files)."""
+
+
+def _backend_argument(arguments: argparse.Namespace):
+    """The backend name selected by ``--format`` (``None`` for ``auto``)."""
+    fmt = getattr(arguments, "format", "auto")
+    return None if fmt == "auto" else fmt
 
 
 def _load_picture(path: str):
@@ -65,13 +86,17 @@ def _load_picture(path: str):
         raise CliError(f"malformed scene file {path}: {error}") from error
 
 
-def _load_system(path: str) -> RetrievalSystem:
+def _load_database(path: str, backend=None) -> ImageDatabase:
     try:
-        database = load_database(path)
+        return load_database_from(path, backend=backend)
     except FileNotFoundError:
-        raise CliError(f"database file not found: {path}") from None
+        raise CliError(f"database not found: {path}") from None
     except StorageError as error:
-        raise CliError(f"malformed database file {path}: {error}") from error
+        raise CliError(f"malformed database {path}: {error}") from error
+
+
+def _load_system(path: str, backend=None) -> RetrievalSystem:
+    database = _load_database(path, backend=backend)
     system = RetrievalSystem()
     for record in database:
         system.add_picture(record.picture, record.image_id)
@@ -98,15 +123,53 @@ def _command_build(arguments: argparse.Namespace) -> int:
         picture = _load_picture(scene_path)
         image_id = picture.name or f"image-{index:04d}"
         database.add_picture(picture, image_id)
-    save_database(database, arguments.database)
+    try:
+        save_database_to(
+            database,
+            arguments.database,
+            backend=_backend_argument(arguments),
+            shard_count=arguments.shards,
+        )
+    except (StorageError, ValueError) as error:
+        raise CliError(str(error)) from error
     print(f"wrote {len(database)} images "
           f"({database.total_objects()} objects, {database.total_storage_symbols()} symbols) "
           f"to {arguments.database}")
     return 0
 
 
+def _command_convert(arguments: argparse.Namespace) -> int:
+    database = _load_database(arguments.source, backend=_backend_argument(arguments))
+    target_backend = None if arguments.to == "auto" else arguments.to
+    try:
+        save_database_to(
+            database, arguments.destination, backend=target_backend, shard_count=arguments.shards
+        )
+    except (StorageError, ValueError) as error:
+        raise CliError(str(error)) from error
+    summary = describe_database(arguments.destination)
+    print(
+        f"converted {summary['images']} images to {summary['format']} "
+        f"at {arguments.destination} ({summary['size_bytes']} bytes)"
+    )
+    return 0
+
+
+def _command_info(arguments: argparse.Namespace) -> int:
+    try:
+        summary = describe_database(arguments.database, backend=_backend_argument(arguments))
+    except FileNotFoundError:
+        raise CliError(f"database not found: {arguments.database}") from None
+    except StorageError as error:
+        raise CliError(f"malformed database {arguments.database}: {error}") from error
+    for key in ("path", "format", "schema_version", "name", "images", "shard_count", "size_bytes"):
+        if key in summary:
+            print(f"{key}: {summary[key]}")
+    return 0
+
+
 def _command_search(arguments: argparse.Namespace) -> int:
-    system = _load_system(arguments.database)
+    system = _load_system(arguments.database, backend=_backend_argument(arguments))
     query = _load_picture(arguments.query)
     results = system.search(
         query, limit=arguments.top, invariant=arguments.invariant, use_filters=not arguments.no_filters
@@ -176,7 +239,7 @@ def _load_batch_queries(path: str, arguments: argparse.Namespace) -> List["Query
 
 
 def _command_batch_search(arguments: argparse.Namespace) -> int:
-    system = _load_system(arguments.database)
+    system = _load_system(arguments.database, backend=_backend_argument(arguments))
     queries = _load_batch_queries(arguments.queries, arguments)
     started = time.perf_counter()
     try:
@@ -204,7 +267,7 @@ def _command_batch_search(arguments: argparse.Namespace) -> int:
 
 
 def _command_relations(arguments: argparse.Namespace) -> int:
-    system = _load_system(arguments.database)
+    system = _load_system(arguments.database, backend=_backend_argument(arguments))
     try:
         matches = system.search_by_relations(arguments.query, limit=arguments.top)
     except PredicateError as error:
@@ -218,7 +281,7 @@ def _command_relations(arguments: argparse.Namespace) -> int:
 
 
 def _command_show(arguments: argparse.Namespace) -> int:
-    system = _load_system(arguments.database)
+    system = _load_system(arguments.database, backend=_backend_argument(arguments))
     try:
         print(system.show(arguments.image_id, columns=arguments.columns, rows=arguments.rows))
     except KeyError:
@@ -235,8 +298,17 @@ def _command_demo(arguments: argparse.Namespace) -> int:
         + [landscape_scene(variant) for variant in range(3)]
     )
     system = RetrievalSystem.from_pictures(pictures)
-    target = arguments.output or str(Path(tempfile.mkdtemp(prefix="repro-demo-")) / "demo-db.json")
-    system.save(target)
+    backend = _backend_argument(arguments)
+    default_name = {"sqlite": "demo-db.sqlite", "sharded": "demo-db.shards"}.get(
+        backend or "", "demo-db.json"
+    )
+    target = arguments.output or str(
+        Path(tempfile.mkdtemp(prefix="repro-demo-")) / default_name
+    )
+    try:
+        system.save(target, backend=backend)
+    except (StorageError, ValueError) as error:
+        raise CliError(str(error)) from error
     print(f"built a demo database of {len(system)} themed scenes at {target}")
     print()
     query = office_scene(0)
@@ -255,8 +327,22 @@ def _command_demo(arguments: argparse.Namespace) -> int:
 # ----------------------------------------------------------------------
 # Argument parsing
 # ----------------------------------------------------------------------
+def _add_format_flag(subparser: argparse.ArgumentParser, help_suffix: str = "") -> None:
+    """Attach the shared ``--format`` storage-format override flag."""
+    subparser.add_argument(
+        "--format",
+        choices=FORMAT_CHOICES,
+        default="auto",
+        help=f"storage format{help_suffix} (default: auto — infer from path/content)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
-    """Build the CLI argument parser (exposed for testing and docs)."""
+    """Build the CLI argument parser (exposed for testing and docs).
+
+    Returns:
+        The fully configured :class:`argparse.ArgumentParser`.
+    """
     parser = argparse.ArgumentParser(
         prog="repro",
         description="2D BE-string image indexing and similarity retrieval (Wang, ICDCS 2001)",
@@ -267,13 +353,43 @@ def build_parser() -> argparse.ArgumentParser:
     encode.add_argument("scene", help="path to a scene JSON file")
     encode.set_defaults(handler=_command_encode)
 
-    build = subparsers.add_parser("build", help="build a database file from scene files")
-    build.add_argument("database", help="output database JSON path")
+    build = subparsers.add_parser("build", help="build a database from scene files")
+    build.add_argument("database", help="output database path (.json/.sqlite/.shards)")
     build.add_argument("scenes", nargs="+", help="scene JSON files to index")
+    _add_format_flag(build, " of the output database")
+    build.add_argument(
+        "--shards", type=int, default=None,
+        help="shard count when writing a sharded database (default 16)",
+    )
     build.set_defaults(handler=_command_build)
 
+    convert = subparsers.add_parser(
+        "convert", help="convert a database between storage formats"
+    )
+    convert.add_argument("source", help="existing database path")
+    convert.add_argument("destination", help="output database path")
+    _add_format_flag(convert, " of the source database")
+    convert.add_argument(
+        "--to",
+        choices=FORMAT_CHOICES,
+        default="auto",
+        help="target format (default: auto — infer from the destination path)",
+    )
+    convert.add_argument(
+        "--shards", type=int, default=None,
+        help="shard count when writing a sharded database (default 16)",
+    )
+    convert.set_defaults(handler=_command_convert)
+
+    info = subparsers.add_parser(
+        "info", help="print storage format and statistics of a database"
+    )
+    info.add_argument("database", help="database path")
+    _add_format_flag(info)
+    info.set_defaults(handler=_command_info)
+
     search = subparsers.add_parser("search", help="similarity query against a database")
-    search.add_argument("database", help="database JSON path")
+    search.add_argument("database", help="database path (any storage format)")
     search.add_argument("query", help="query scene JSON path")
     search.add_argument("--top", type=int, default=10, help="number of results (default 10)")
     search.add_argument(
@@ -282,12 +398,13 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument(
         "--no-filters", action="store_true", help="score every image (skip candidate pruning)"
     )
+    _add_format_flag(search)
     search.set_defaults(handler=_command_search)
 
     batch = subparsers.add_parser(
         "batch-search", help="run many similarity queries from a JSONL file as one batch"
     )
-    batch.add_argument("database", help="database JSON path")
+    batch.add_argument("database", help="database path (any storage format)")
     batch.add_argument("queries", help="JSONL file with one query scene per line")
     batch.add_argument("--top", type=int, default=10, help="results per query (default 10)")
     batch.add_argument(
@@ -305,23 +422,27 @@ def build_parser() -> argparse.ArgumentParser:
         default="auto",
         help="how cache misses are scheduled (default auto)",
     )
+    _add_format_flag(batch)
     batch.set_defaults(handler=_command_batch_search)
 
     relations = subparsers.add_parser("relations", help="relation-predicate query")
-    relations.add_argument("database", help="database JSON path")
+    relations.add_argument("database", help="database path (any storage format)")
     relations.add_argument("query", help='predicate query, e.g. "car left-of tree"')
     relations.add_argument("--top", type=int, default=10, help="number of results (default 10)")
+    _add_format_flag(relations)
     relations.set_defaults(handler=_command_relations)
 
     show = subparsers.add_parser("show", help="ASCII-render a stored image")
-    show.add_argument("database", help="database JSON path")
+    show.add_argument("database", help="database path (any storage format)")
     show.add_argument("image_id", help="id of the stored image")
     show.add_argument("--columns", type=int, default=60)
     show.add_argument("--rows", type=int, default=20)
+    _add_format_flag(show)
     show.set_defaults(handler=_command_show)
 
     demo = subparsers.add_parser("demo", help="build and query a synthetic demo database")
-    demo.add_argument("--output", help="where to write the demo database JSON")
+    demo.add_argument("--output", help="where to write the demo database")
+    _add_format_flag(demo, " of the demo database")
     demo.set_defaults(handler=_command_demo)
 
     return parser

@@ -17,10 +17,26 @@ database a downstream user would actually store BE-strings in:
   once: deduplicates shared encoding/shortlist work, memoises per-(query,
   image) scores in a :class:`~repro.index.cache.ScoreCache`, and schedules
   cache misses on a thread/process pool.
-* :mod:`~repro.index.storage` -- JSON persistence of pictures, BE-strings and
-  whole databases.
+* :mod:`~repro.index.storage` -- the v1 JSON persistence of pictures,
+  BE-strings and whole databases.
+* :mod:`~repro.index.backends` -- pluggable storage backends on top of it:
+  JSON v1, SQLite (lazy loading, incremental row upserts) and sharded binary
+  files (incremental dirty-shard rewrites), with format inference from paths.
 """
 
+from repro.index.backends import (
+    BACKENDS,
+    JsonBackend,
+    LazySqliteImageDatabase,
+    ShardedBackend,
+    SqliteBackend,
+    StorageBackend,
+    describe_database,
+    get_backend,
+    infer_backend,
+    load_database_from,
+    save_database_to,
+)
 from repro.index.batch import BatchOptions, BatchQueryEngine, BatchReport
 from repro.index.cache import CacheStatistics, ScoreCache, query_score_key
 from repro.index.database import ImageDatabase, ImageRecord
@@ -30,6 +46,7 @@ from repro.index.ranking import RankedResult, rank_results
 from repro.index.signature import SignatureFilter, label_signature
 from repro.index.spatial import QUADRANTS, LocatedIcon, RegionIndex
 from repro.index.storage import (
+    StorageError,
     database_from_json,
     database_to_json,
     load_database,
@@ -37,6 +54,18 @@ from repro.index.storage import (
 )
 
 __all__ = [
+    "BACKENDS",
+    "JsonBackend",
+    "LazySqliteImageDatabase",
+    "ShardedBackend",
+    "SqliteBackend",
+    "StorageBackend",
+    "StorageError",
+    "describe_database",
+    "get_backend",
+    "infer_backend",
+    "load_database_from",
+    "save_database_to",
     "BatchOptions",
     "BatchQueryEngine",
     "BatchReport",

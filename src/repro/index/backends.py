@@ -1,0 +1,970 @@
+"""Pluggable storage backends: JSON v1, SQLite, and sharded binary files.
+
+:mod:`repro.index.storage` defines the original whole-file JSON format; this
+module generalises persistence behind a :class:`StorageBackend` interface so a
+database can outgrow a single JSON blob without the rest of the system
+noticing.  Three backends ship:
+
+* :class:`JsonBackend` — the versioned v1 JSON file, byte-compatible with
+  databases written before this module existed.  Always a full rewrite.
+* :class:`SqliteBackend` — one row per image in a SQLite file.  Supports
+  incremental saves (only mutated rows are upserted/deleted) and lazy loading
+  (:meth:`SqliteBackend.open_lazy` materialises records on first access).
+* :class:`ShardedBackend` — a directory of binary shard files plus a JSON
+  manifest; image ids are hashed (CRC-32) across a fixed number of shards and
+  an incremental save rewrites only the shards containing dirty images.
+
+Every backend produces the exact same logical content: the per-image entry
+dictionaries of the v1 schema (``image_id`` / ``picture`` / ``bestring``),
+validated on load by re-encoding each picture and comparing BE-strings.
+Round-trip equivalence across backends — identical BE-strings *and* identical
+search rankings — is enforced by ``tests/index/test_backends.py``.
+
+Incremental saves are driven by the dirty-id set that
+:class:`~repro.index.database.ImageDatabase` accumulates on every mutation
+(see :meth:`~repro.index.database.ImageDatabase.dirty_ids`); a successful
+save or load clears it.  ``benchmarks/bench_storage_backends.py`` (E11)
+measures the payoff: at 10k images with 1% dirty, an incremental sharded save
+beats the full JSON rewrite by well over an order of magnitude.
+
+Backend selection is by explicit name (``"json"`` / ``"sqlite"`` /
+``"sharded"``), by instance, or inferred from the path — existing files are
+sniffed by content (SQLite magic header, shard-manifest directory, otherwise
+JSON) and new save targets by suffix (``.sqlite``/``.sqlite3``/``.db`` →
+SQLite, ``.shards`` or an existing directory → sharded, anything else → JSON).
+See ``docs/storage-formats.md`` for the on-disk format specifications.
+"""
+
+from __future__ import annotations
+
+import abc
+import json
+import os
+import sqlite3
+import struct
+import zlib
+from pathlib import Path
+from typing import Any, Dict, FrozenSet, Iterator, List, Optional, Union
+
+from repro.index.database import ImageDatabase, ImageRecord
+from repro.index.storage import (
+    SCHEMA_VERSION,
+    StorageError,
+    check_schema_version,
+    image_entry_to_record,
+    image_record_to_json,
+    load_database as _load_json_database,
+    save_database as _save_json_database,
+)
+
+PathLike = Union[str, Path]
+
+#: Magic header of a binary shard file ("Repro BE-String").
+SHARD_MAGIC = b"RBES"
+#: Binary shard container version.
+SHARD_FORMAT_VERSION = 1
+#: File name of the shard-directory manifest.
+MANIFEST_NAME = "manifest.json"
+#: ``format`` field value a shard manifest must carry.
+MANIFEST_FORMAT = "sharded-bestring-v1"
+#: Default number of shard files for a sharded database.
+DEFAULT_SHARD_COUNT = 16
+#: First bytes of every SQLite database file.
+_SQLITE_MAGIC = b"SQLite format 3\x00"
+#: Suffixes inferred as SQLite when saving to a fresh path.
+_SQLITE_SUFFIXES = {".sqlite", ".sqlite3", ".db"}
+#: Suffix inferred as a sharded directory when saving to a fresh path.
+_SHARDED_SUFFIX = ".shards"
+
+
+def shard_index_for(image_id: str, shard_count: int) -> int:
+    """Map an image id to its shard index (stable CRC-32 hash).
+
+    Returns:
+        The shard index in ``[0, shard_count)``; the mapping is stable across
+        processes and Python versions (unlike the built-in ``hash``).
+    """
+    return zlib.crc32(image_id.encode("utf-8")) % shard_count
+
+
+class StorageBackend(abc.ABC):
+    """Persistence strategy for an :class:`~repro.index.database.ImageDatabase`.
+
+    Implementations must write the logical v1 content (schema version,
+    database name, per-image entries) and validate BE-strings on load.  A
+    successful :meth:`save` or :meth:`load` clears the database's dirty set.
+    """
+
+    #: Registry name of the backend (``"json"``, ``"sqlite"``, ``"sharded"``).
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def save(
+        self, database: ImageDatabase, path: PathLike, *, incremental: bool = False
+    ) -> Path:
+        """Persist ``database`` to ``path``.
+
+        With ``incremental=True`` a backend that supports it rewrites only the
+        storage units (rows, shards) containing images in
+        :attr:`~repro.index.database.ImageDatabase.dirty_ids`, falling back to
+        a full rewrite when the target is absent or inconsistent.
+
+        Returns:
+            The path written.
+
+        Raises:
+            StorageError: if the target exists but is not a valid database of
+                this backend's format.
+        """
+
+    @abc.abstractmethod
+    def load(self, path: PathLike) -> ImageDatabase:
+        """Load a database from ``path``, validating every BE-string.
+
+        Returns:
+            The reconstructed database with a clean dirty set.
+
+        Raises:
+            StorageError: if the file/directory is missing pieces, corrupt, or
+                fails validation; the message names the offending path.
+        """
+
+    @abc.abstractmethod
+    def describe(self, path: PathLike) -> Dict[str, Any]:
+        """Summarise a stored database without fully validating it.
+
+        Returns:
+            A dictionary with at least ``format``, ``schema_version``,
+            ``name`` and ``images`` (count); backends add format-specific
+            keys (``size_bytes``, ``shard_count``, ...).
+
+        Raises:
+            StorageError: if the target is not a database of this format.
+        """
+
+
+# ----------------------------------------------------------------------
+# JSON (v1) backend
+# ----------------------------------------------------------------------
+class JsonBackend(StorageBackend):
+    """The original whole-file JSON format (schema v1, byte-compatible)."""
+
+    name = "json"
+
+    def save(
+        self, database: ImageDatabase, path: PathLike, *, incremental: bool = False
+    ) -> Path:
+        """Write the database as one v1 JSON file (always a full rewrite).
+
+        ``incremental`` is accepted for interface symmetry but has no effect:
+        a single JSON document cannot be partially rewritten.
+
+        Returns:
+            The path written.
+        """
+        target = Path(path)
+        if target.is_dir():
+            raise StorageError(f"{target} is a directory, not a JSON database file")
+        _save_json_database(database, target)
+        database.clear_dirty()
+        return target
+
+    def load(self, path: PathLike) -> ImageDatabase:
+        """Read a v1 JSON database file.
+
+        Returns:
+            The reconstructed database with a clean dirty set.
+
+        Raises:
+            StorageError: on invalid JSON/UTF-8 or failed validation.
+            FileNotFoundError: if ``path`` does not exist.
+        """
+        database = _load_json_database(path)
+        database.clear_dirty()
+        return database
+
+    def describe(self, path: PathLike) -> Dict[str, Any]:
+        """Summarise a JSON database file (parses it, skips BE validation).
+
+        Returns:
+            Format, schema version, name, image count and file size.
+
+        Raises:
+            StorageError: if the file is not valid JSON.
+        """
+        source = Path(path)
+        try:
+            payload = json.loads(source.read_text(encoding="utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as error:
+            raise StorageError(f"{source} is not a valid JSON database: {error}") from error
+        if not isinstance(payload, dict) or not isinstance(payload.get("images", []), list):
+            raise StorageError(f"{source} is not a valid JSON database (bad structure)")
+        return {
+            "format": self.name,
+            "path": str(source),
+            "schema_version": payload.get("schema_version"),
+            "name": payload.get("name"),
+            "images": len(payload.get("images", [])),
+            "size_bytes": source.stat().st_size,
+        }
+
+
+# ----------------------------------------------------------------------
+# SQLite backend
+# ----------------------------------------------------------------------
+class SqliteBackend(StorageBackend):
+    """One row per image in a SQLite file, with incremental upserts.
+
+    Table layout (see ``docs/storage-formats.md``)::
+
+        meta   (key TEXT PRIMARY KEY, value TEXT)        -- schema_version, name
+        images (image_id TEXT PRIMARY KEY,
+                picture TEXT NOT NULL,                   -- JSON, v1 entry shape
+                bestring TEXT NOT NULL)                  -- JSON, v1 entry shape
+    """
+
+    name = "sqlite"
+
+    def save(
+        self, database: ImageDatabase, path: PathLike, *, incremental: bool = False
+    ) -> Path:
+        """Persist to a SQLite file; ``incremental=True`` upserts dirty rows only.
+
+        An incremental save against a missing or inconsistent target falls
+        back to a full rewrite.
+
+        Returns:
+            The path written.
+        """
+        target = Path(path)
+        if target.is_dir():
+            raise StorageError(f"{target} is a directory, not a SQLite database file")
+        target.parent.mkdir(parents=True, exist_ok=True)
+        if incremental and target.exists() and self._can_update(target, database):
+            self._save_incremental(database, target)
+        else:
+            self._save_full(database, target)
+        database.clear_dirty()
+        return target
+
+    def load(self, path: PathLike) -> ImageDatabase:
+        """Eagerly load and validate every stored image.
+
+        Returns:
+            The reconstructed database with a clean dirty set.
+
+        Raises:
+            StorageError: if the file is not a SQLite database, is truncated,
+                has the wrong schema, or fails BE-string validation.
+            FileNotFoundError: if ``path`` does not exist.
+        """
+        source = Path(path)
+        if not source.exists():
+            raise FileNotFoundError(f"no such database file: {source}")
+        connection = self._connect(source)
+        try:
+            name = self._read_meta(connection, source)
+            database = ImageDatabase(name=name)
+            try:
+                rows = connection.execute(
+                    "SELECT image_id, picture, bestring FROM images ORDER BY image_id"
+                ).fetchall()
+            except sqlite3.DatabaseError as error:
+                raise StorageError(f"{source} is not a valid SQLite database: {error}") from error
+            for image_id, picture_json, bestring_json in rows:
+                entry = self._row_to_entry(source, image_id, picture_json, bestring_json)
+                try:
+                    image_entry_to_record(database, entry)
+                except StorageError as error:
+                    raise StorageError(f"{source}: {error}") from error
+        finally:
+            connection.close()
+        database.clear_dirty()
+        return database
+
+    def open_lazy(self, path: PathLike) -> "LazySqliteImageDatabase":
+        """Open a database without materialising any record.
+
+        Rows are fetched, parsed and BE-validated on first access of each
+        image (:meth:`~repro.index.database.ImageDatabase.get`), so opening a
+        million-image file is O(number of ids), not O(total content).
+
+        Returns:
+            A :class:`LazySqliteImageDatabase` bound to an open connection
+            (call its ``close()`` when done).
+
+        Raises:
+            StorageError: if the file is not a valid database of this format.
+            FileNotFoundError: if ``path`` does not exist.
+        """
+        source = Path(path)
+        if not source.exists():
+            raise FileNotFoundError(f"no such database file: {source}")
+        connection = self._connect(source)
+        try:
+            name = self._read_meta(connection, source)
+            ids = [
+                row[0]
+                for row in connection.execute("SELECT image_id FROM images ORDER BY image_id")
+            ]
+        except sqlite3.DatabaseError as error:
+            connection.close()
+            raise StorageError(f"{source} is not a valid SQLite database: {error}") from error
+        except StorageError:
+            connection.close()
+            raise
+        return LazySqliteImageDatabase(connection, source, name, ids)
+
+    def describe(self, path: PathLike) -> Dict[str, Any]:
+        """Summarise a SQLite database file (row count, no BE validation).
+
+        Returns:
+            Format, schema version, name, image count and file size.
+
+        Raises:
+            StorageError: if the file is not a valid database of this format.
+        """
+        source = Path(path)
+        connection = self._connect(source)
+        try:
+            name = self._read_meta(connection, source)
+            count = connection.execute("SELECT COUNT(*) FROM images").fetchone()[0]
+        except sqlite3.DatabaseError as error:
+            raise StorageError(f"{source} is not a valid SQLite database: {error}") from error
+        finally:
+            connection.close()
+        return {
+            "format": self.name,
+            "path": str(source),
+            "schema_version": SCHEMA_VERSION,
+            "name": name,
+            "images": count,
+            "size_bytes": source.stat().st_size,
+        }
+
+    # -- internals ------------------------------------------------------
+    @staticmethod
+    def _connect(path: Path) -> sqlite3.Connection:
+        try:
+            connection = sqlite3.connect(str(path))
+            connection.execute("PRAGMA foreign_keys = ON")
+        except sqlite3.Error as error:
+            raise StorageError(
+                f"{path} cannot be opened as a SQLite database: {error}"
+            ) from error
+        return connection
+
+    @staticmethod
+    def _row_to_entry(
+        source: Path, image_id: str, picture_json: str, bestring_json: str
+    ) -> Dict[str, Any]:
+        try:
+            return {
+                "image_id": image_id,
+                "picture": json.loads(picture_json),
+                "bestring": json.loads(bestring_json),
+            }
+        except json.JSONDecodeError as error:
+            raise StorageError(
+                f"{source}: row for image {image_id!r} holds invalid JSON: {error}"
+            ) from error
+
+    def _read_meta(self, connection: sqlite3.Connection, source: Path) -> str:
+        """Validate schema/version of an open connection; returns the db name."""
+        try:
+            rows = dict(connection.execute("SELECT key, value FROM meta"))
+        except sqlite3.DatabaseError as error:
+            raise StorageError(f"{source} is not a valid SQLite database: {error}") from error
+        try:
+            version = int(rows.get("schema_version", "-1"))
+        except ValueError:
+            version = None
+        try:
+            check_schema_version(version)
+        except StorageError as error:
+            raise StorageError(f"{source}: {error}") from error
+        return rows.get("name", "image-database")
+
+    def _can_update(self, target: Path, database: ImageDatabase) -> bool:
+        """True when an incremental upsert against ``target`` is consistent."""
+        try:
+            connection = self._connect(target)
+            try:
+                self._read_meta(connection, target)
+                stored = {
+                    row[0] for row in connection.execute("SELECT image_id FROM images")
+                }
+            finally:
+                connection.close()
+        except (StorageError, sqlite3.DatabaseError):
+            return False
+        dirty = database.dirty_ids
+        current = set(database.image_ids)
+        # Outside the dirty set, the file must already hold exactly the
+        # database's images; otherwise an incremental save would silently
+        # diverge from a full one.
+        return stored - dirty == current - dirty
+
+    def _save_full(self, database: ImageDatabase, target: Path) -> None:
+        if target.exists():
+            target.unlink()
+        connection = self._connect(target)
+        try:
+            with connection:
+                connection.execute("CREATE TABLE meta (key TEXT PRIMARY KEY, value TEXT)")
+                connection.execute(
+                    "CREATE TABLE images ("
+                    "image_id TEXT PRIMARY KEY, "
+                    "picture TEXT NOT NULL, "
+                    "bestring TEXT NOT NULL)"
+                )
+                connection.executemany(
+                    "INSERT INTO meta (key, value) VALUES (?, ?)",
+                    [("schema_version", str(SCHEMA_VERSION)), ("name", database.name)],
+                )
+                connection.executemany(
+                    "INSERT INTO images (image_id, picture, bestring) VALUES (?, ?, ?)",
+                    (self._record_row(record) for record in database),
+                )
+        finally:
+            connection.close()
+
+    def _save_incremental(self, database: ImageDatabase, target: Path) -> None:
+        connection = self._connect(target)
+        try:
+            with connection:
+                connection.execute(
+                    "INSERT OR REPLACE INTO meta (key, value) VALUES ('name', ?)",
+                    (database.name,),
+                )
+                for image_id in sorted(database.dirty_ids):
+                    if image_id in database:
+                        connection.execute(
+                            "INSERT OR REPLACE INTO images (image_id, picture, bestring) "
+                            "VALUES (?, ?, ?)",
+                            self._record_row(database.get(image_id)),
+                        )
+                    else:
+                        connection.execute(
+                            "DELETE FROM images WHERE image_id = ?", (image_id,)
+                        )
+        finally:
+            connection.close()
+
+    @staticmethod
+    def _record_row(record: ImageRecord) -> tuple:
+        return (
+            record.image_id,
+            json.dumps(record.picture.to_dict(), sort_keys=True),
+            json.dumps(record.bestring.to_dict(), sort_keys=True),
+        )
+
+
+class LazySqliteImageDatabase(ImageDatabase):
+    """An :class:`~repro.index.database.ImageDatabase` view over a SQLite file.
+
+    Records materialise (parse + BE-string validation) on first access; the
+    set of already-loaded ids is exposed as :attr:`loaded_ids` so tests and
+    tools can verify laziness.  Whole-database operations (iteration,
+    statistics) materialise everything first.  Close the underlying
+    connection with :meth:`close` when done.
+    """
+
+    def __init__(
+        self, connection: sqlite3.Connection, path: Path, name: str, image_ids: List[str]
+    ) -> None:
+        """Bind to an open connection; ``image_ids`` is the full id listing."""
+        super().__init__(name=name)
+        self._connection = connection
+        self._path = path
+        self._pending = set(image_ids)
+
+    @property
+    def loaded_ids(self) -> FrozenSet[str]:
+        """Ids whose records have been materialised so far."""
+        return frozenset(self._records)
+
+    def close(self) -> None:
+        """Close the underlying SQLite connection (loaded records stay usable)."""
+        self._connection.close()
+
+    def get(self, image_id: str) -> ImageRecord:
+        """Fetch a record, materialising it from SQLite on first access.
+
+        Raises:
+            DatabaseError: if no image with ``image_id`` is stored.
+            StorageError: if the stored row is corrupt or inconsistent.
+        """
+        if image_id in self._pending:
+            self._materialize(image_id)
+        return super().get(image_id)
+
+    def remove_picture(self, image_id: str) -> ImageRecord:
+        """Materialise then remove a stored image (returns its record)."""
+        if image_id in self._pending:
+            self._materialize(image_id)
+        return super().remove_picture(image_id)
+
+    def materialize_all(self) -> None:
+        """Load every still-pending record (used before whole-db operations)."""
+        for image_id in sorted(self._pending):
+            self._materialize(image_id)
+
+    def __contains__(self, image_id: str) -> bool:
+        return image_id in self._pending or super().__contains__(image_id)
+
+    def __len__(self) -> int:
+        return len(self._pending) + len(self._records)
+
+    def __iter__(self) -> Iterator[ImageRecord]:
+        self.materialize_all()
+        return super().__iter__()
+
+    @property
+    def image_ids(self) -> List[str]:
+        """Ids of all stored images (pending and loaded), sorted."""
+        return sorted(self._pending | set(self._records))
+
+    def total_objects(self) -> int:
+        """Total icon objects across all images (materialises everything)."""
+        self.materialize_all()
+        return super().total_objects()
+
+    def total_storage_symbols(self) -> int:
+        """Total stored BE-string symbols (materialises everything)."""
+        self.materialize_all()
+        return super().total_storage_symbols()
+
+    def statistics(self) -> Dict[str, float]:
+        """Database statistics (materialises everything first)."""
+        self.materialize_all()
+        return super().statistics()
+
+    def _materialize(self, image_id: str) -> None:
+        try:
+            row = self._connection.execute(
+                "SELECT picture, bestring FROM images WHERE image_id = ?", (image_id,)
+            ).fetchone()
+        except sqlite3.DatabaseError as error:
+            raise StorageError(
+                f"{self._path} is not a valid SQLite database: {error}"
+            ) from error
+        self._pending.discard(image_id)
+        if row is None:
+            return
+        entry = SqliteBackend._row_to_entry(self._path, image_id, row[0], row[1])
+        try:
+            image_entry_to_record(self, entry)
+        except StorageError as error:
+            raise StorageError(f"{self._path}: {error}") from error
+        # Materialisation is a read, not a mutation.
+        self._dirty.discard(image_id)
+
+
+# ----------------------------------------------------------------------
+# Sharded binary backend
+# ----------------------------------------------------------------------
+class ShardedBackend(StorageBackend):
+    """A directory of binary shard files with a JSON manifest.
+
+    Image ids are hashed (CRC-32, stable across processes) into
+    ``shard_count`` buckets; each bucket is one binary file of
+    zlib-compressed, length-framed JSON image entries.  The manifest records
+    the schema version, database name, shard count and the id list of every
+    shard, so an incremental save can rewrite only the shards whose images
+    are dirty.  See ``docs/storage-formats.md`` for the byte layout.
+    """
+
+    name = "sharded"
+
+    def __init__(self, shard_count: int = DEFAULT_SHARD_COUNT) -> None:
+        """Configure the number of shard files used on a full save.
+
+        Raises:
+            ValueError: if ``shard_count`` is not positive.
+        """
+        if shard_count < 1:
+            raise ValueError(f"shard_count must be >= 1, got {shard_count}")
+        self.shard_count = shard_count
+
+    # -- saving ---------------------------------------------------------
+    def save(
+        self, database: ImageDatabase, path: PathLike, *, incremental: bool = False
+    ) -> Path:
+        """Persist to a shard directory; ``incremental=True`` rewrites dirty shards only.
+
+        A full save honours this backend's ``shard_count``; an incremental
+        save keeps the shard count of the existing directory.  Incremental
+        saves against a missing or inconsistent target fall back to a full
+        rewrite.
+
+        Returns:
+            The directory written.
+        """
+        target = Path(path)
+        if target.exists() and not target.is_dir():
+            raise StorageError(f"{target} is a file, not a shard directory")
+        manifest = self._try_manifest(target) if incremental else None
+        if manifest is not None and self._can_update(manifest, database):
+            self._save_incremental(database, target, manifest)
+        else:
+            self._save_full(database, target)
+        database.clear_dirty()
+        return target
+
+    def _save_full(self, database: ImageDatabase, target: Path) -> None:
+        target.mkdir(parents=True, exist_ok=True)
+        buckets: List[List[ImageRecord]] = [[] for _ in range(self.shard_count)]
+        for record in database:
+            buckets[shard_index_for(record.image_id, self.shard_count)].append(record)
+        shards: Dict[str, Dict[str, Any]] = {}
+        for index, bucket in enumerate(buckets):
+            file_name = self._shard_file_name(index)
+            self._write_shard(target / file_name, bucket)
+            shards[f"{index:04d}"] = {
+                "file": file_name,
+                "images": sorted(record.image_id for record in bucket),
+            }
+        # Drop shard files from a previous layout (e.g. a larger shard count).
+        expected = {self._shard_file_name(i) for i in range(self.shard_count)}
+        for stale in target.glob("shard-*.bin"):
+            if stale.name not in expected:
+                stale.unlink()
+        self._write_manifest(target, database.name, self.shard_count, shards)
+
+    def _save_incremental(
+        self, database: ImageDatabase, target: Path, manifest: Dict[str, Any]
+    ) -> None:
+        shard_count = manifest["shard_count"]
+        shards: Dict[str, Dict[str, Any]] = dict(manifest["shards"])
+        dirty_shards = {
+            shard_index_for(image_id, shard_count) for image_id in database.dirty_ids
+        }
+        if dirty_shards:
+            buckets: Dict[int, List[ImageRecord]] = {index: [] for index in dirty_shards}
+            for record in database:
+                index = shard_index_for(record.image_id, shard_count)
+                if index in dirty_shards:
+                    buckets[index].append(record)
+            for index, bucket in buckets.items():
+                file_name = self._shard_file_name(index)
+                self._write_shard(target / file_name, bucket)
+                shards[f"{index:04d}"] = {
+                    "file": file_name,
+                    "images": sorted(record.image_id for record in bucket),
+                }
+        self._write_manifest(target, database.name, shard_count, shards)
+
+    def _can_update(self, manifest: Dict[str, Any], database: ImageDatabase) -> bool:
+        """True when the manifest matches the database outside the dirty set."""
+        stored = {
+            image_id
+            for entry in manifest["shards"].values()
+            for image_id in entry["images"]
+        }
+        dirty = database.dirty_ids
+        current = set(database.image_ids)
+        return stored - dirty == current - dirty
+
+    @staticmethod
+    def _shard_file_name(index: int) -> str:
+        return f"shard-{index:04d}.bin"
+
+    @staticmethod
+    def _write_shard(path: Path, records: List[ImageRecord]) -> None:
+        ordered = sorted(records, key=lambda record: record.image_id)
+        chunks = [SHARD_MAGIC, struct.pack("<BI", SHARD_FORMAT_VERSION, len(ordered))]
+        for record in ordered:
+            # Level 1: save latency matters more than the last few percent of
+            # ratio, and decompression accepts any level.
+            blob = zlib.compress(
+                json.dumps(image_record_to_json(record), sort_keys=True).encode("utf-8"), 1
+            )
+            chunks.append(struct.pack("<I", len(blob)))
+            chunks.append(blob)
+        temporary = path.with_suffix(".bin.tmp")
+        temporary.write_bytes(b"".join(chunks))
+        os.replace(temporary, path)
+
+    @staticmethod
+    def _write_manifest(
+        target: Path, name: str, shard_count: int, shards: Dict[str, Dict[str, Any]]
+    ) -> None:
+        payload = {
+            "schema_version": SCHEMA_VERSION,
+            "format": MANIFEST_FORMAT,
+            "name": name,
+            "shard_count": shard_count,
+            "shards": {key: shards[key] for key in sorted(shards)},
+        }
+        temporary = target / (MANIFEST_NAME + ".tmp")
+        temporary.write_text(
+            json.dumps(payload, indent=2, sort_keys=True), encoding="utf-8"
+        )
+        os.replace(temporary, target / MANIFEST_NAME)
+
+    # -- loading --------------------------------------------------------
+    def load(self, path: PathLike) -> ImageDatabase:
+        """Read every shard of a shard directory, validating BE-strings.
+
+        Returns:
+            The reconstructed database with a clean dirty set.
+
+        Raises:
+            StorageError: on a missing/corrupt manifest, a missing or
+                truncated shard file, or failed validation.
+            FileNotFoundError: if the directory does not exist.
+        """
+        source = Path(path)
+        if not source.exists():
+            raise FileNotFoundError(f"no such shard directory: {source}")
+        manifest = self._read_manifest(source)
+        database = ImageDatabase(name=manifest.get("name", "image-database"))
+        entries: List[Dict[str, Any]] = []
+        for key in sorted(manifest["shards"]):
+            shard_path = source / manifest["shards"][key]["file"]
+            entries.extend(self._read_shard(shard_path))
+        entries.sort(key=lambda entry: str(entry.get("image_id", "")))
+        for entry in entries:
+            try:
+                image_entry_to_record(database, entry)
+            except StorageError as error:
+                raise StorageError(f"{source}: {error}") from error
+        database.clear_dirty()
+        return database
+
+    def describe(self, path: PathLike) -> Dict[str, Any]:
+        """Summarise a shard directory from its manifest alone.
+
+        Returns:
+            Format, schema version, name, image count, shard count and total
+            size on disk.
+
+        Raises:
+            StorageError: if the manifest is missing or malformed.
+        """
+        source = Path(path)
+        manifest = self._read_manifest(source)
+        images = sum(len(entry["images"]) for entry in manifest["shards"].values())
+        size = sum(
+            (source / entry["file"]).stat().st_size
+            for entry in manifest["shards"].values()
+            if (source / entry["file"]).exists()
+        )
+        return {
+            "format": self.name,
+            "path": str(source),
+            "schema_version": manifest.get("schema_version"),
+            "name": manifest.get("name"),
+            "images": images,
+            "shard_count": manifest.get("shard_count"),
+            "size_bytes": size + (source / MANIFEST_NAME).stat().st_size,
+        }
+
+    def _try_manifest(self, source: Path) -> Optional[Dict[str, Any]]:
+        try:
+            return self._read_manifest(source)
+        except (StorageError, FileNotFoundError):
+            return None
+
+    @staticmethod
+    def _read_manifest(source: Path) -> Dict[str, Any]:
+        manifest_path = source / MANIFEST_NAME
+        if not manifest_path.exists():
+            raise StorageError(f"{source} has no {MANIFEST_NAME} (not a sharded database)")
+        try:
+            manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as error:
+            raise StorageError(f"{manifest_path} is not valid JSON: {error}") from error
+        if not isinstance(manifest, dict) or manifest.get("format") != MANIFEST_FORMAT:
+            raise StorageError(
+                f"{manifest_path}: unsupported manifest format "
+                f"{manifest.get('format') if isinstance(manifest, dict) else manifest!r}"
+            )
+        try:
+            check_schema_version(manifest.get("schema_version"))
+        except StorageError as error:
+            raise StorageError(f"{manifest_path}: {error}") from error
+        shards = manifest.get("shards")
+        shard_count = manifest.get("shard_count")
+        if (
+            not isinstance(shards, dict)
+            or not isinstance(shard_count, int)
+            or shard_count < 1
+            or any(
+                not isinstance(entry, dict)
+                or "file" not in entry
+                or not isinstance(entry.get("images"), list)
+                for entry in shards.values()
+            )
+        ):
+            raise StorageError(f"{manifest_path}: malformed shard table")
+        return manifest
+
+    @staticmethod
+    def _read_shard(shard_path: Path) -> List[Dict[str, Any]]:
+        if not shard_path.exists():
+            raise StorageError(f"missing shard file: {shard_path}")
+        data = shard_path.read_bytes()
+        if data[:4] != SHARD_MAGIC:
+            raise StorageError(f"{shard_path} is not a shard file (bad magic)")
+        try:
+            version, count = struct.unpack_from("<BI", data, 4)
+        except struct.error as error:
+            raise StorageError(f"{shard_path} is truncated: {error}") from error
+        if version != SHARD_FORMAT_VERSION:
+            raise StorageError(
+                f"{shard_path}: unsupported shard version {version} "
+                f"(expected {SHARD_FORMAT_VERSION})"
+            )
+        entries: List[Dict[str, Any]] = []
+        offset = 9
+        for _ in range(count):
+            try:
+                (length,) = struct.unpack_from("<I", data, offset)
+            except struct.error as error:
+                raise StorageError(f"{shard_path} is truncated: {error}") from error
+            offset += 4
+            blob = data[offset : offset + length]
+            if len(blob) != length:
+                raise StorageError(f"{shard_path} is truncated (short record)")
+            offset += length
+            try:
+                entries.append(json.loads(zlib.decompress(blob).decode("utf-8")))
+            except (zlib.error, json.JSONDecodeError, UnicodeDecodeError) as error:
+                raise StorageError(f"{shard_path} holds a corrupt record: {error}") from error
+        return entries
+
+
+# ----------------------------------------------------------------------
+# Registry, inference and dispatch
+# ----------------------------------------------------------------------
+#: Backend registry, keyed by the names accepted everywhere a ``backend``
+#: argument or ``--format`` flag appears.
+BACKENDS = {
+    JsonBackend.name: JsonBackend,
+    SqliteBackend.name: SqliteBackend,
+    ShardedBackend.name: ShardedBackend,
+}
+
+
+def get_backend(
+    backend: Union[None, str, StorageBackend],
+    path: Optional[PathLike] = None,
+    shard_count: Optional[int] = None,
+) -> StorageBackend:
+    """Resolve a backend from a name, an instance, or (via ``path``) inference.
+
+    Returns:
+        A :class:`StorageBackend` instance; ``shard_count`` configures the
+        sharded backend when it is selected (ignored otherwise).
+
+    Raises:
+        ValueError: on an unknown backend name, or when neither a backend nor
+            a path to infer from is given.
+    """
+    if isinstance(backend, StorageBackend):
+        return backend
+    if backend is None or backend == "auto":
+        if path is None:
+            raise ValueError("either a backend name or a path to infer from is required")
+        return infer_backend(path, shard_count=shard_count)
+    try:
+        factory = BACKENDS[backend]
+    except KeyError:
+        raise ValueError(
+            f"unknown storage backend {backend!r} (expected one of {sorted(BACKENDS)})"
+        ) from None
+    if factory is ShardedBackend and shard_count is not None:
+        return ShardedBackend(shard_count=shard_count)
+    return factory()
+
+
+def infer_backend(
+    path: PathLike, shard_count: Optional[int] = None
+) -> StorageBackend:
+    """Infer the backend for ``path`` by content (existing) or suffix (new).
+
+    An existing directory is sharded; an existing file is sniffed for the
+    SQLite magic header, falling back to JSON.  A fresh path goes by suffix:
+    ``.sqlite``/``.sqlite3``/``.db`` → SQLite, ``.shards`` (or no suffix at
+    all) → sharded directory, anything else → JSON.
+
+    Returns:
+        A :class:`StorageBackend` instance.
+    """
+    target = Path(path)
+    if target.is_dir():
+        return ShardedBackend(shard_count=shard_count or DEFAULT_SHARD_COUNT)
+    if target.is_file():
+        with target.open("rb") as handle:
+            head = handle.read(len(_SQLITE_MAGIC))
+        if head == _SQLITE_MAGIC:
+            return SqliteBackend()
+        return JsonBackend()
+    suffix = target.suffix.lower()
+    if suffix in _SQLITE_SUFFIXES:
+        return SqliteBackend()
+    if suffix == _SHARDED_SUFFIX or suffix == "":
+        return ShardedBackend(shard_count=shard_count or DEFAULT_SHARD_COUNT)
+    return JsonBackend()
+
+
+def save_database_to(
+    database: ImageDatabase,
+    path: PathLike,
+    backend: Union[None, str, StorageBackend] = None,
+    *,
+    incremental: bool = False,
+    shard_count: Optional[int] = None,
+) -> Path:
+    """Persist ``database`` with an explicit or path-inferred backend.
+
+    Returns:
+        The path written.
+
+    Raises:
+        ValueError: on an unknown backend name.
+        StorageError: if the target exists in an incompatible format.
+    """
+    resolved = get_backend(backend, path, shard_count=shard_count)
+    return resolved.save(database, path, incremental=incremental)
+
+
+def load_database_from(
+    path: PathLike, backend: Union[None, str, StorageBackend] = None
+) -> ImageDatabase:
+    """Load a database with an explicit or content-inferred backend.
+
+    Returns:
+        The reconstructed database with a clean dirty set.
+
+    Raises:
+        StorageError: if the target is corrupt or fails validation (the
+            message names the offending path).
+        FileNotFoundError: if ``path`` does not exist.
+    """
+    source = Path(path)
+    if not source.exists():
+        raise FileNotFoundError(f"no such database: {source}")
+    resolved = get_backend(backend, source)
+    return resolved.load(source)
+
+
+def describe_database(
+    path: PathLike, backend: Union[None, str, StorageBackend] = None
+) -> Dict[str, Any]:
+    """Summarise a stored database (format, schema, counts, size).
+
+    Returns:
+        The backend's :meth:`StorageBackend.describe` dictionary.
+
+    Raises:
+        StorageError: if the target is not a recognisable database.
+        FileNotFoundError: if ``path`` does not exist.
+    """
+    source = Path(path)
+    if not source.exists():
+        raise FileNotFoundError(f"no such database: {source}")
+    resolved = get_backend(backend, source)
+    return resolved.describe(source)

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set
 
 from repro.core.bestring import BEString2D
 from repro.core.construct import encode_picture
@@ -48,6 +48,10 @@ class ImageDatabase:
 
     name: str = "image-database"
     _records: Dict[str, ImageRecord] = field(default_factory=dict)
+    #: Image ids mutated (added, removed, or edited) since :meth:`clear_dirty`.
+    #: Removed ids stay in the set so incremental storage backends know which
+    #: shards/rows to rewrite; see :mod:`repro.index.backends`.
+    _dirty: Set[str] = field(default_factory=set)
 
     # ------------------------------------------------------------------
     # Whole-image operations
@@ -56,6 +60,12 @@ class ImageDatabase:
         """Encode and store a picture; returns the stored record.
 
         ``image_id`` defaults to the picture's name; an id must be unique.
+
+        Returns:
+            The stored :class:`ImageRecord`.
+
+        Raises:
+            DatabaseError: if no id is available or the id is already stored.
         """
         identifier = image_id or picture.name
         if not identifier:
@@ -70,6 +80,7 @@ class ImageDatabase:
             indexed=IndexedBEString.from_picture(named_picture),
         )
         self._records[identifier] = record
+        self.mark_dirty(identifier)
         return record
 
     def add_pictures(self, pictures: List[SymbolicPicture]) -> List[ImageRecord]:
@@ -77,14 +88,24 @@ class ImageDatabase:
         return [self.add_picture(picture) for picture in pictures]
 
     def remove_picture(self, image_id: str) -> ImageRecord:
-        """Remove a stored image and return its record."""
+        """Remove a stored image and return its record.
+
+        Raises:
+            DatabaseError: if no image with ``image_id`` is stored.
+        """
         try:
-            return self._records.pop(image_id)
+            record = self._records.pop(image_id)
         except KeyError:
             raise DatabaseError(f"no image with id {image_id!r}") from None
+        self.mark_dirty(image_id)
+        return record
 
     def get(self, image_id: str) -> ImageRecord:
-        """Fetch a stored record by id."""
+        """Fetch a stored record by id.
+
+        Raises:
+            DatabaseError: if no image with ``image_id`` is stored.
+        """
         try:
             return self._records[image_id]
         except KeyError:
@@ -116,6 +137,7 @@ class ImageDatabase:
         record.indexed.insert(identifier, mbr)
         record.picture = record.picture.add_icon(label, mbr)
         record.bestring = record.indexed.to_bestring()
+        self.mark_dirty(image_id)
         return record
 
     def remove_object(self, image_id: str, identifier: str) -> ImageRecord:
@@ -124,7 +146,33 @@ class ImageDatabase:
         record.indexed.remove(identifier)
         record.picture = record.picture.remove_icon(identifier)
         record.bestring = record.indexed.to_bestring()
+        self.mark_dirty(image_id)
         return record
+
+    # ------------------------------------------------------------------
+    # Dirty tracking (incremental persistence)
+    # ------------------------------------------------------------------
+    def mark_dirty(self, image_id: str) -> None:
+        """Record that ``image_id`` changed since the last save/load.
+
+        Called automatically by every mutating operation; incremental storage
+        backends (see :mod:`repro.index.backends`) use the accumulated set to
+        rewrite only the shards or rows that actually changed.
+        """
+        self._dirty.add(image_id)
+
+    @property
+    def dirty_ids(self) -> FrozenSet[str]:
+        """Ids mutated since the last :meth:`clear_dirty` (includes removals).
+
+        Returns:
+            A frozen snapshot of the dirty-id set.
+        """
+        return frozenset(self._dirty)
+
+    def clear_dirty(self) -> None:
+        """Reset the dirty set (storage backends call this after a save/load)."""
+        self._dirty.clear()
 
     # ------------------------------------------------------------------
     # Statistics

@@ -93,7 +93,15 @@ class QueryEngine:
         return engine
 
     def add_picture(self, picture: SymbolicPicture, image_id: Optional[str] = None) -> str:
-        """Add a picture to the database and all auxiliary indexes."""
+        """Add a picture to the database and all auxiliary indexes.
+
+        Returns:
+            The stored image id.
+
+        Raises:
+            repro.index.database.DatabaseError: if the id is missing or
+                already stored.
+        """
         record = self.database.add_picture(picture, image_id)
         self.signature_filter.add_picture(record.image_id, record.picture)
         self.inverted_index.add_picture(record.image_id, record.picture)
@@ -101,7 +109,12 @@ class QueryEngine:
         return record.image_id
 
     def remove_picture(self, image_id: str) -> None:
-        """Remove a picture from the database and all auxiliary indexes."""
+        """Remove a picture from the database and all auxiliary indexes.
+
+        Raises:
+            repro.index.database.DatabaseError: if no image with
+                ``image_id`` is stored.
+        """
         self.database.remove_picture(image_id)
         self.signature_filter.remove_picture(image_id)
         self.inverted_index.remove_picture(image_id)
@@ -127,6 +140,18 @@ class QueryEngine:
     # Query execution
     # ------------------------------------------------------------------
     def candidate_ids(self, query: Query) -> List[str]:
+        """Shortlist the images worth scoring for ``query``.
+
+        The inverted index admits images sharing at least
+        ``query.minimum_shared_labels`` icon labels with the query, then the
+        signature filter prunes by label-multiset overlap.  With
+        ``query.use_filters`` off (or a label-less query) every stored image
+        is a candidate.
+
+        Returns:
+            Candidate image ids, in the deterministic order they will be
+            scored.
+        """
         if not query.use_filters:
             return self.database.image_ids
         labels = set(query.picture.labels)
@@ -148,7 +173,13 @@ class QueryEngine:
         )
 
     def execute(self, query: Query) -> List[RankedResult]:
-        """Run a query and return ranked results."""
+        """Run a query and return ranked results.
+
+        Returns:
+            :class:`~repro.index.ranking.RankedResult` entries sorted by
+            descending score (ties broken by image id), already cut to the
+            query's limit and minimum score.
+        """
         query_bestring = encode_picture(query.picture)
         scored: List[Tuple[str, SimilarityResult]] = []
         for image_id in self.candidate_ids(query):

@@ -6,6 +6,11 @@ JSON schema with a version field, plus save/load helpers for whole databases.
 Round-tripping is exact (validated by tests): the BE-strings are re-encoded
 from the stored pictures and compared against the stored strings on load, so a
 corrupted file is detected rather than silently accepted.
+
+This module is the **v1 JSON format**; the pluggable backend layer on top of
+it (SQLite, sharded binary, format inference, incremental saves) lives in
+:mod:`repro.index.backends`.  The functions here stay byte-compatible with
+databases written before the backend layer existed.
 """
 
 from __future__ import annotations
@@ -17,7 +22,7 @@ from typing import Any, Dict, Union
 from repro.core.bestring import BEString2D
 from repro.core.construct import encode_picture
 from repro.iconic.picture import SymbolicPicture
-from repro.index.database import ImageDatabase
+from repro.index.database import ImageDatabase, ImageRecord
 
 #: Schema version written into every database file.
 SCHEMA_VERSION = 1
@@ -32,15 +37,61 @@ def database_to_json(database: ImageDatabase) -> Dict[str, Any]:
     return {
         "schema_version": SCHEMA_VERSION,
         "name": database.name,
-        "images": [
-            {
-                "image_id": record.image_id,
-                "picture": record.picture.to_dict(),
-                "bestring": record.bestring.to_dict(),
-            }
-            for record in database
-        ],
+        "images": [image_record_to_json(record) for record in database],
     }
+
+
+def image_record_to_json(record: ImageRecord) -> Dict[str, Any]:
+    """Serialise one stored image to its JSON-compatible entry dictionary.
+
+    Returns:
+        A dictionary with ``image_id``, ``picture`` and ``bestring`` keys —
+        the per-image unit shared by every storage backend.
+    """
+    return {
+        "image_id": record.image_id,
+        "picture": record.picture.to_dict(),
+        "bestring": record.bestring.to_dict(),
+    }
+
+
+def image_entry_to_record(database: ImageDatabase, entry: Dict[str, Any]) -> ImageRecord:
+    """Validate one image entry and add it to ``database``.
+
+    The stored BE-string is checked against a re-encoding of the stored
+    picture, so a corrupted entry is detected rather than silently accepted.
+
+    Returns:
+        The stored :class:`~repro.index.database.ImageRecord`.
+
+    Raises:
+        StorageError: if the entry is malformed or its BE-string does not
+            match its picture.
+    """
+    try:
+        picture = SymbolicPicture.from_dict(entry["picture"])
+        stored_bestring = BEString2D.from_dict(entry["bestring"])
+        image_id = entry["image_id"]
+    except (KeyError, TypeError, ValueError) as error:
+        raise StorageError(f"malformed image entry: {error}") from error
+    record = database.add_picture(picture, image_id)
+    if record.bestring != stored_bestring:
+        raise StorageError(
+            f"stored BE-string of image {image_id!r} does not match its picture"
+        )
+    return record
+
+
+def check_schema_version(version: Any) -> None:
+    """Raise :class:`StorageError` unless ``version`` is the supported one.
+
+    Raises:
+        StorageError: if ``version`` differs from :data:`SCHEMA_VERSION`.
+    """
+    if version != SCHEMA_VERSION:
+        raise StorageError(
+            f"unsupported schema version {version!r} (expected {SCHEMA_VERSION})"
+        )
 
 
 def database_from_json(payload: Dict[str, Any]) -> ImageDatabase:
@@ -48,30 +99,29 @@ def database_from_json(payload: Dict[str, Any]) -> ImageDatabase:
 
     The stored BE-string of every image is checked against a re-encoding of
     the stored picture; a mismatch raises :class:`StorageError`.
+
+    Returns:
+        The reconstructed :class:`~repro.index.database.ImageDatabase` with a
+        clean dirty set.
+
+    Raises:
+        StorageError: on an unsupported schema version or a malformed or
+            inconsistent image entry.
     """
-    version = payload.get("schema_version")
-    if version != SCHEMA_VERSION:
-        raise StorageError(
-            f"unsupported schema version {version!r} (expected {SCHEMA_VERSION})"
-        )
+    check_schema_version(payload.get("schema_version"))
     database = ImageDatabase(name=payload.get("name", "image-database"))
     for entry in payload.get("images", []):
-        try:
-            picture = SymbolicPicture.from_dict(entry["picture"])
-            stored_bestring = BEString2D.from_dict(entry["bestring"])
-            image_id = entry["image_id"]
-        except (KeyError, TypeError, ValueError) as error:
-            raise StorageError(f"malformed image entry: {error}") from error
-        record = database.add_picture(picture, image_id)
-        if record.bestring != stored_bestring:
-            raise StorageError(
-                f"stored BE-string of image {image_id!r} does not match its picture"
-            )
+        image_entry_to_record(database, entry)
+    database.clear_dirty()
     return database
 
 
 def save_database(database: ImageDatabase, path: Union[str, Path]) -> Path:
-    """Write a database to a JSON file; returns the path written."""
+    """Write a database to a v1 JSON file.
+
+    Returns:
+        The path written (parents are created as needed).
+    """
     target = Path(path)
     target.parent.mkdir(parents=True, exist_ok=True)
     with target.open("w", encoding="utf-8") as handle:
@@ -80,14 +130,29 @@ def save_database(database: ImageDatabase, path: Union[str, Path]) -> Path:
 
 
 def load_database(path: Union[str, Path]) -> ImageDatabase:
-    """Read a database from a JSON file written by :func:`save_database`."""
+    """Read a database from a JSON file written by :func:`save_database`.
+
+    Returns:
+        The reconstructed :class:`~repro.index.database.ImageDatabase`.
+
+    Raises:
+        StorageError: if the file is truncated, not valid JSON/UTF-8, or
+            fails the schema and BE-string consistency checks; the message
+            names the offending path.
+        FileNotFoundError: if ``path`` does not exist.
+    """
     source = Path(path)
     try:
         with source.open("r", encoding="utf-8") as handle:
             payload = json.load(handle)
     except json.JSONDecodeError as error:
         raise StorageError(f"{source} is not valid JSON: {error}") from error
-    return database_from_json(payload)
+    except UnicodeDecodeError as error:
+        raise StorageError(f"{source} is not valid UTF-8 text: {error}") from error
+    try:
+        return database_from_json(payload)
+    except StorageError as error:
+        raise StorageError(f"{source}: {error}") from error
 
 
 def picture_to_json_text(picture: SymbolicPicture) -> str:

@@ -81,6 +81,7 @@ def be_string_method(
     """The paper's retrieval: BE-strings + modified LCS (optionally invariant)."""
 
     def method(query: SymbolicPicture, database: Sequence[SymbolicPicture]) -> List[str]:
+        """Rank the database for one query with the BE-string system."""
         system = RetrievalSystem.from_pictures(database, policy=policy)
         results = system.search(query, limit=None, invariant=invariant, use_filters=False)
         return [result.image_id for result in results]
@@ -93,6 +94,7 @@ def type_similarity_method(similarity_type: SimilarityType = SimilarityType.TYPE
     """The baseline retrieval: pairwise relations + maximum complete subgraph."""
 
     def method(query: SymbolicPicture, database: Sequence[SymbolicPicture]) -> List[str]:
+        """Rank the database for one query with the type-similarity baseline."""
         scored = []
         for picture in database:
             result = type_similarity(query, picture, similarity_type)

@@ -17,7 +17,14 @@ def _validate_k(k: int) -> None:
 
 
 def precision_at_k(ranked_ids: Sequence[str], relevant: Set[str], k: int) -> float:
-    """Fraction of the top-k results that are relevant."""
+    """Fraction of the top-k results that are relevant.
+
+    Returns:
+        A value in ``[0, 1]`` (0.0 for an empty ranking).
+
+    Raises:
+        ValueError: if ``k`` is less than 1.
+    """
     _validate_k(k)
     if not ranked_ids:
         return 0.0
@@ -27,7 +34,14 @@ def precision_at_k(ranked_ids: Sequence[str], relevant: Set[str], k: int) -> flo
 
 
 def recall_at_k(ranked_ids: Sequence[str], relevant: Set[str], k: int) -> float:
-    """Fraction of the relevant images found in the top-k results."""
+    """Fraction of the relevant images found in the top-k results.
+
+    Returns:
+        A value in ``[0, 1]`` (0.0 when nothing is relevant).
+
+    Raises:
+        ValueError: if ``k`` is less than 1.
+    """
     _validate_k(k)
     if not relevant:
         return 0.0

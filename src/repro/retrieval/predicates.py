@@ -149,7 +149,15 @@ class RelationPredicate:
 
 
 def parse_predicate(text: str) -> RelationPredicate:
-    """Parse one predicate of the form ``"<label> <relation> <label>"``."""
+    """Parse one predicate of the form ``"<label> <relation> <label>"``.
+
+    Returns:
+        The parsed :class:`RelationPredicate`.
+
+    Raises:
+        PredicateError: on a malformed predicate or an unknown relation
+            keyword.
+    """
     tokens = text.strip().split()
     if len(tokens) != 3:
         raise PredicateError(
@@ -166,7 +174,14 @@ def parse_predicate(text: str) -> RelationPredicate:
 
 
 def parse_query(text: str) -> List[RelationPredicate]:
-    """Parse a conjunction of predicates separated by ``and`` / ``,`` / ``;``."""
+    """Parse a conjunction of predicates separated by ``and`` / ``,`` / ``;``.
+
+    Returns:
+        One :class:`RelationPredicate` per conjunct, in query order.
+
+    Raises:
+        PredicateError: if the query is empty or any conjunct is malformed.
+    """
     parts = [part for part in re.split(r"\s+and\s+|[,;]", text.strip()) if part.strip()]
     if not parts:
         raise PredicateError("the predicate query is empty")

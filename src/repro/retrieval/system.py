@@ -45,11 +45,11 @@ from repro.core.transforms import Transformation
 from repro.geometry.rectangle import Rectangle
 from repro.iconic.ascii_art import render_ascii
 from repro.iconic.picture import SymbolicPicture
+from repro.index.backends import StorageBackend, load_database_from, save_database_to
 from repro.index.batch import BatchOptions, BatchReport
 from repro.index.database import ImageDatabase, ImageRecord
 from repro.index.query import Query, QueryEngine
 from repro.index.ranking import RankedResult
-from repro.index.storage import load_database, save_database
 
 
 @dataclass
@@ -83,12 +83,34 @@ class RetrievalSystem:
         return system
 
     @classmethod
-    def from_file(cls, path: Union[str, Path], policy: SimilarityPolicy = DEFAULT_POLICY) -> "RetrievalSystem":
-        """Load a system from a database JSON file written by :meth:`save`."""
-        database = load_database(path)
+    def from_file(
+        cls,
+        path: Union[str, Path],
+        policy: SimilarityPolicy = DEFAULT_POLICY,
+        backend: Union[None, str, StorageBackend] = None,
+    ) -> "RetrievalSystem":
+        """Load a system from a database written by :meth:`save`.
+
+        ``backend`` selects the storage format by name (``"json"``,
+        ``"sqlite"``, ``"sharded"``) or instance; by default the format is
+        inferred from the file/directory content (see
+        :mod:`repro.index.backends`).
+
+        Returns:
+            A system with every stored picture indexed and a clean dirty set
+            (so a later ``save(..., incremental=True)`` rewrites nothing).
+
+        Raises:
+            repro.index.storage.StorageError: if the database is corrupt or
+                truncated; the message names the offending path.
+            FileNotFoundError: if ``path`` does not exist.
+        """
+        database = load_database_from(path, backend=backend)
         system = cls(policy=policy)
         for record in list(database):
             system.add_picture(record.picture, record.image_id)
+        # Loading is not a mutation: the engine's database matches the file.
+        system._engine.database.clear_dirty()
         return system
 
     # ------------------------------------------------------------------
@@ -110,9 +132,38 @@ class RetrievalSystem:
         """Dynamically remove one icon from a stored image (Section 3.2)."""
         self._engine.remove_object(image_id, identifier)
 
-    def save(self, path: Union[str, Path]) -> Path:
-        """Persist the database to a JSON file."""
-        return save_database(self._engine.database, path)
+    def save(
+        self,
+        path: Union[str, Path],
+        backend: Union[None, str, StorageBackend] = None,
+        *,
+        incremental: bool = False,
+        shard_count: Optional[int] = None,
+    ) -> Path:
+        """Persist the database.
+
+        ``backend`` selects the storage format (``"json"``, ``"sqlite"``,
+        ``"sharded"`` or a :class:`~repro.index.backends.StorageBackend`
+        instance); by default it is inferred from the path.
+        ``incremental=True`` lets the SQLite and sharded backends rewrite only
+        the rows/shards touched since the last save or load;
+        ``shard_count`` sizes a newly created sharded directory.
+
+        Returns:
+            The path written.
+
+        Raises:
+            ValueError: on an unknown backend name.
+            repro.index.storage.StorageError: if the target exists in an
+                incompatible format.
+        """
+        return save_database_to(
+            self._engine.database,
+            path,
+            backend=backend,
+            incremental=incremental,
+            shard_count=shard_count,
+        )
 
     # ------------------------------------------------------------------
     # Introspection
@@ -126,7 +177,12 @@ class RetrievalSystem:
         return self._engine.database.image_ids
 
     def record(self, image_id: str) -> ImageRecord:
-        """The stored record (picture + BE-string) of one image."""
+        """The stored record (picture + BE-string) of one image.
+
+        Raises:
+            repro.index.database.DatabaseError: if no image with
+                ``image_id`` is stored.
+        """
         return self._engine.database.get(image_id)
 
     def show(self, image_id: str, columns: int = 60, rows: int = 20) -> str:
@@ -154,6 +210,9 @@ class RetrievalSystem:
         variants of the query (retrieved purely by string reversal, as in the
         paper); ``use_filters=False`` bypasses the candidate pruning and scores
         every stored image.
+
+        Returns:
+            Ranked results, best first, ties broken by image id.
         """
         query = self._make_query(
             query_picture,

@@ -1,0 +1,494 @@
+"""Round-trip, corruption and incremental-save tests for the storage backends.
+
+The matrix at the heart of this module is the PR's acceptance contract: the
+same database saved through every backend must reload to identical BE-strings
+and identical search rankings, v1 JSON files written before the backend layer
+existed must still load, and every corruption mode must surface as a
+:class:`~repro.index.storage.StorageError` naming the offending path.
+"""
+
+import json
+import sqlite3
+
+import pytest
+
+from repro.index.backends import (
+    DEFAULT_SHARD_COUNT,
+    MANIFEST_NAME,
+    JsonBackend,
+    ShardedBackend,
+    SqliteBackend,
+    describe_database,
+    get_backend,
+    infer_backend,
+    load_database_from,
+    save_database_to,
+    shard_index_for,
+)
+from repro.index.database import ImageDatabase
+from repro.index.storage import StorageError, save_database
+from repro.retrieval.system import RetrievalSystem
+
+BACKEND_TARGETS = [
+    ("json", "db.json"),
+    ("sqlite", "db.sqlite"),
+    ("sharded", "db.shards"),
+]
+
+
+@pytest.fixture
+def populated_database(scene_collection):
+    database = ImageDatabase(name="backend-db")
+    database.add_pictures(scene_collection)
+    return database
+
+
+def _rankings(system, queries):
+    return [
+        [result.describe() for result in system.search(query, limit=None)]
+        for query in queries
+    ]
+
+
+# ----------------------------------------------------------------------
+# Round-trip equivalence matrix
+# ----------------------------------------------------------------------
+class TestRoundTripMatrix:
+    @pytest.mark.parametrize("backend_name,file_name", BACKEND_TARGETS)
+    def test_identical_bestrings(
+        self, populated_database, tmp_path, backend_name, file_name
+    ):
+        path = save_database_to(populated_database, tmp_path / file_name, backend_name)
+        restored = load_database_from(path)
+        assert restored.name == populated_database.name
+        assert restored.image_ids == populated_database.image_ids
+        for image_id in populated_database.image_ids:
+            assert restored.get(image_id).bestring == populated_database.get(image_id).bestring
+            assert restored.get(image_id).picture == populated_database.get(image_id).picture
+
+    @pytest.mark.parametrize("backend_name,file_name", BACKEND_TARGETS)
+    def test_identical_search_rankings(
+        self, scene_collection, tmp_path, backend_name, file_name
+    ):
+        system = RetrievalSystem.from_pictures(scene_collection)
+        expected = _rankings(system, scene_collection)
+        path = system.save(tmp_path / file_name, backend=backend_name)
+        reloaded = RetrievalSystem.from_file(path)
+        assert _rankings(reloaded, scene_collection) == expected
+
+    def test_explicit_backend_on_load(self, populated_database, tmp_path):
+        path = save_database_to(populated_database, tmp_path / "db.sqlite", "sqlite")
+        restored = load_database_from(path, backend="sqlite")
+        assert restored.image_ids == populated_database.image_ids
+
+    def test_v1_json_files_still_load(self, populated_database, tmp_path):
+        # Written through the pre-backend v1 API, loaded through every new door.
+        path = save_database(populated_database, tmp_path / "legacy.json")
+        assert load_database_from(path).image_ids == populated_database.image_ids
+        assert JsonBackend().load(path).image_ids == populated_database.image_ids
+        assert RetrievalSystem.from_file(path).image_ids == populated_database.image_ids
+
+    def test_json_backend_is_byte_compatible_with_v1(self, populated_database, tmp_path):
+        legacy = save_database(populated_database, tmp_path / "legacy.json")
+        modern = save_database_to(populated_database, tmp_path / "modern.json", "json")
+        assert legacy.read_bytes() == modern.read_bytes()
+
+    def test_cross_backend_conversion_chain(self, populated_database, tmp_path):
+        json_path = save_database_to(populated_database, tmp_path / "a.json", "json")
+        sqlite_path = save_database_to(
+            load_database_from(json_path), tmp_path / "b.sqlite", "sqlite"
+        )
+        sharded_path = save_database_to(
+            load_database_from(sqlite_path), tmp_path / "c.shards", "sharded"
+        )
+        final = load_database_from(sharded_path)
+        assert final.image_ids == populated_database.image_ids
+        for image_id in final.image_ids:
+            assert final.get(image_id).bestring == populated_database.get(image_id).bestring
+
+
+# ----------------------------------------------------------------------
+# Backend inference
+# ----------------------------------------------------------------------
+class TestInference:
+    def test_fresh_paths_go_by_suffix(self, tmp_path):
+        assert infer_backend(tmp_path / "x.json").name == "json"
+        assert infer_backend(tmp_path / "x.sqlite").name == "sqlite"
+        assert infer_backend(tmp_path / "x.db").name == "sqlite"
+        assert infer_backend(tmp_path / "x.shards").name == "sharded"
+        assert infer_backend(tmp_path / "bare-directory").name == "sharded"
+        assert infer_backend(tmp_path / "x.whatever").name == "json"
+
+    def test_existing_files_go_by_content(self, populated_database, tmp_path):
+        # Deliberately misleading suffixes: content sniffing must win.
+        sqlite_path = save_database_to(populated_database, tmp_path / "lies.json", "sqlite")
+        assert infer_backend(sqlite_path).name == "sqlite"
+        json_path = save_database_to(populated_database, tmp_path / "lies.sqlite", "json")
+        assert infer_backend(json_path).name == "json"
+        sharded_path = save_database_to(populated_database, tmp_path / "dir", "sharded")
+        assert infer_backend(sharded_path).name == "sharded"
+
+    def test_unknown_backend_name(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown storage backend"):
+            get_backend("parquet", tmp_path / "x")
+
+    def test_shard_count_threads_through(self, populated_database, tmp_path):
+        path = save_database_to(
+            populated_database, tmp_path / "db.shards", "sharded", shard_count=3
+        )
+        assert describe_database(path)["shard_count"] == 3
+        assert len(list(path.glob("shard-*.bin"))) == 3
+
+
+# ----------------------------------------------------------------------
+# Corruption handling
+# ----------------------------------------------------------------------
+class TestCorruption:
+    def test_missing_shard_file(self, populated_database, tmp_path):
+        path = save_database_to(populated_database, tmp_path / "db.shards", "sharded")
+        victim = sorted(path.glob("shard-*.bin"))[0]
+        victim.unlink()
+        with pytest.raises(StorageError, match="missing shard file"):
+            load_database_from(path)
+
+    def test_truncated_shard_file(self, populated_database, tmp_path):
+        path = save_database_to(populated_database, tmp_path / "db.shards", "sharded")
+        victim = max(path.glob("shard-*.bin"), key=lambda f: f.stat().st_size)
+        victim.write_bytes(victim.read_bytes()[:-10])
+        with pytest.raises(StorageError, match="truncated|corrupt"):
+            load_database_from(path)
+
+    def test_bad_manifest_schema_version(self, populated_database, tmp_path):
+        path = save_database_to(populated_database, tmp_path / "db.shards", "sharded")
+        manifest = json.loads((path / MANIFEST_NAME).read_text())
+        manifest["schema_version"] = 99
+        (path / MANIFEST_NAME).write_text(json.dumps(manifest))
+        with pytest.raises(StorageError, match="schema version"):
+            load_database_from(path)
+
+    def test_directory_without_manifest(self, tmp_path):
+        target = tmp_path / "not-a-db"
+        target.mkdir()
+        with pytest.raises(StorageError, match="manifest"):
+            load_database_from(target)
+
+    def test_truncated_sqlite_file(self, populated_database, tmp_path):
+        path = save_database_to(populated_database, tmp_path / "db.sqlite", "sqlite")
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(StorageError, match=str(path)):
+            load_database_from(path, backend="sqlite")
+
+    def test_bad_sqlite_schema_version(self, populated_database, tmp_path):
+        path = save_database_to(populated_database, tmp_path / "db.sqlite", "sqlite")
+        with sqlite3.connect(str(path)) as connection:
+            connection.execute("UPDATE meta SET value = '42' WHERE key = 'schema_version'")
+        with pytest.raises(StorageError, match="schema version"):
+            load_database_from(path)
+
+    def test_sqlite_row_with_invalid_json(self, populated_database, tmp_path):
+        path = save_database_to(populated_database, tmp_path / "db.sqlite", "sqlite")
+        with sqlite3.connect(str(path)) as connection:
+            connection.execute(
+                "UPDATE images SET picture = '{broken' WHERE image_id = "
+                "(SELECT image_id FROM images ORDER BY image_id LIMIT 1)"
+            )
+        with pytest.raises(StorageError, match="invalid JSON"):
+            load_database_from(path)
+
+    def test_tampered_bestring_detected_in_shard(self, populated_database, tmp_path):
+        # Rewrite one shard with a mismatched BE-string: validation must fire.
+        path = save_database_to(populated_database, tmp_path / "db.shards", "sharded")
+        database = load_database_from(path)
+        image_id = database.image_ids[0]
+        record = database.get(image_id)
+        other = next(
+            database.get(i) for i in database.image_ids if i != image_id
+        )
+        record.bestring = other.bestring
+        database.mark_dirty(image_id)
+        save_database_to(database, path, "sharded", incremental=True)
+        with pytest.raises(StorageError, match="does not match"):
+            load_database_from(path)
+
+    def test_truncated_json_wrapped_with_path(self, populated_database, tmp_path):
+        path = save_database_to(populated_database, tmp_path / "db.json", "json")
+        text = path.read_text()
+        path.write_text(text[: len(text) // 2])
+        with pytest.raises(StorageError, match=str(path)):
+            RetrievalSystem.from_file(path)
+
+    def test_binary_garbage_json_wrapped_with_path(self, tmp_path):
+        path = tmp_path / "garbage.json"
+        path.write_bytes(b"\xff\xfe\x00garbage\x00")
+        with pytest.raises(StorageError, match=str(path)):
+            RetrievalSystem.from_file(path)
+
+
+# ----------------------------------------------------------------------
+# Dirty tracking and incremental saves
+# ----------------------------------------------------------------------
+class TestDirtyTracking:
+    def test_mutations_mark_dirty(self, office, traffic):
+        from repro.geometry.rectangle import Rectangle
+
+        database = ImageDatabase()
+        database.add_picture(office)
+        database.add_picture(traffic)
+        assert database.dirty_ids == {office.name, traffic.name}
+        database.clear_dirty()
+        database.add_object(office.name, "mug", Rectangle(1, 1, 3, 3))
+        assert database.dirty_ids == {office.name}
+        database.remove_picture(traffic.name)
+        assert database.dirty_ids == {office.name, traffic.name}
+
+    def test_save_and_load_clear_dirty(self, populated_database, tmp_path):
+        assert populated_database.dirty_ids
+        path = save_database_to(populated_database, tmp_path / "db.shards", "sharded")
+        assert populated_database.dirty_ids == frozenset()
+        assert load_database_from(path).dirty_ids == frozenset()
+
+    def test_from_file_leaves_system_clean(self, scene_collection, tmp_path):
+        system = RetrievalSystem.from_pictures(scene_collection)
+        path = system.save(tmp_path / "db.sqlite", backend="sqlite")
+        reloaded = RetrievalSystem.from_file(path)
+        assert reloaded._engine.database.dirty_ids == frozenset()
+
+
+class TestIncrementalSharded:
+    def test_only_dirty_shards_rewritten(self, populated_database, tmp_path, office):
+        path = save_database_to(
+            populated_database, tmp_path / "db.shards", "sharded", shard_count=8
+        )
+        before = {f.name: f.read_bytes() for f in path.glob("shard-*.bin")}
+        renamed = office.renamed("fresh-office")
+        populated_database.add_picture(renamed)
+        save_database_to(populated_database, path, "sharded", incremental=True)
+        after = {f.name: f.read_bytes() for f in path.glob("shard-*.bin")}
+        expected_shard = f"shard-{shard_index_for('fresh-office', 8):04d}.bin"
+        changed = {name for name in before if before[name] != after[name]}
+        assert changed == {expected_shard}
+        restored = load_database_from(path)
+        assert restored.image_ids == populated_database.image_ids
+
+    def test_incremental_removal(self, populated_database, tmp_path):
+        path = save_database_to(populated_database, tmp_path / "db.shards", "sharded")
+        victim = populated_database.image_ids[0]
+        populated_database.remove_picture(victim)
+        save_database_to(populated_database, path, "sharded", incremental=True)
+        restored = load_database_from(path)
+        assert victim not in restored
+        assert restored.image_ids == populated_database.image_ids
+
+    def test_incremental_object_edit(self, populated_database, tmp_path):
+        from repro.geometry.rectangle import Rectangle
+
+        path = save_database_to(populated_database, tmp_path / "db.shards", "sharded")
+        target = populated_database.image_ids[0]
+        populated_database.add_object(target, "added-box", Rectangle(0, 0, 2, 2))
+        save_database_to(populated_database, path, "sharded", incremental=True)
+        restored = load_database_from(path)
+        assert restored.get(target).bestring == populated_database.get(target).bestring
+
+    def test_incremental_against_fresh_path_falls_back_to_full(
+        self, populated_database, tmp_path
+    ):
+        path = save_database_to(
+            populated_database, tmp_path / "db.shards", "sharded", incremental=True
+        )
+        assert load_database_from(path).image_ids == populated_database.image_ids
+
+    def test_incremental_against_diverged_target_falls_back_to_full(
+        self, populated_database, tmp_path, office
+    ):
+        # The target holds a different id set than the database minus its
+        # dirty ids, so an incremental save would diverge: must full-save.
+        path = save_database_to(populated_database, tmp_path / "db.shards", "sharded")
+        other = ImageDatabase(name="other")
+        other.add_picture(office.renamed("lone-office"))
+        other.clear_dirty()
+        save_database_to(other, path, "sharded", incremental=True)
+        restored = load_database_from(path)
+        assert restored.image_ids == ["lone-office"]
+
+    def test_matches_full_save_content(self, populated_database, tmp_path, office):
+        incremental_path = save_database_to(
+            populated_database, tmp_path / "incremental.shards", "sharded"
+        )
+        populated_database.add_picture(office.renamed("late-arrival"))
+        save_database_to(populated_database, incremental_path, "sharded", incremental=True)
+        full_path = save_database_to(populated_database, tmp_path / "full.shards", "sharded")
+        incremental_files = {
+            f.name: f.read_bytes() for f in incremental_path.iterdir()
+        }
+        full_files = {f.name: f.read_bytes() for f in full_path.iterdir()}
+        assert incremental_files == full_files
+
+
+class TestIncrementalSqlite:
+    def test_upsert_and_delete(self, populated_database, tmp_path, office):
+        path = save_database_to(populated_database, tmp_path / "db.sqlite", "sqlite")
+        victim = populated_database.image_ids[0]
+        populated_database.remove_picture(victim)
+        populated_database.add_picture(office.renamed("fresh-office"))
+        save_database_to(populated_database, path, "sqlite", incremental=True)
+        restored = load_database_from(path)
+        assert restored.image_ids == populated_database.image_ids
+        assert victim not in restored
+
+    def test_incremental_matches_eager_reload(self, populated_database, tmp_path):
+        from repro.geometry.rectangle import Rectangle
+
+        path = save_database_to(populated_database, tmp_path / "db.sqlite", "sqlite")
+        target = populated_database.image_ids[-1]
+        populated_database.add_object(target, "edit-box", Rectangle(1, 1, 4, 4))
+        save_database_to(populated_database, path, "sqlite", incremental=True)
+        restored = load_database_from(path)
+        assert restored.get(target).bestring == populated_database.get(target).bestring
+
+
+# ----------------------------------------------------------------------
+# Lazy SQLite loading
+# ----------------------------------------------------------------------
+class TestLazySqlite:
+    def test_nothing_loaded_upfront(self, populated_database, tmp_path):
+        path = save_database_to(populated_database, tmp_path / "db.sqlite", "sqlite")
+        lazy = SqliteBackend().open_lazy(path)
+        try:
+            assert len(lazy) == len(populated_database)
+            assert lazy.image_ids == populated_database.image_ids
+            assert lazy.loaded_ids == frozenset()
+        finally:
+            lazy.close()
+
+    def test_get_materialises_one_record(self, populated_database, tmp_path):
+        path = save_database_to(populated_database, tmp_path / "db.sqlite", "sqlite")
+        lazy = SqliteBackend().open_lazy(path)
+        try:
+            target = populated_database.image_ids[2]
+            record = lazy.get(target)
+            assert record.bestring == populated_database.get(target).bestring
+            assert lazy.loaded_ids == {target}
+            assert target in lazy and populated_database.image_ids[0] in lazy
+        finally:
+            lazy.close()
+
+    def test_iteration_materialises_everything(self, populated_database, tmp_path):
+        path = save_database_to(populated_database, tmp_path / "db.sqlite", "sqlite")
+        lazy = SqliteBackend().open_lazy(path)
+        try:
+            ids = sorted(record.image_id for record in lazy)
+            assert ids == populated_database.image_ids
+            assert lazy.loaded_ids == frozenset(populated_database.image_ids)
+            assert lazy.statistics() == populated_database.statistics()
+        finally:
+            lazy.close()
+
+    def test_materialisation_is_not_a_mutation(self, populated_database, tmp_path):
+        path = save_database_to(populated_database, tmp_path / "db.sqlite", "sqlite")
+        lazy = SqliteBackend().open_lazy(path)
+        try:
+            lazy.get(populated_database.image_ids[0])
+            lazy.materialize_all()
+            assert lazy.dirty_ids == frozenset()
+        finally:
+            lazy.close()
+
+    def test_lazy_detects_corrupt_row(self, populated_database, tmp_path):
+        path = save_database_to(populated_database, tmp_path / "db.sqlite", "sqlite")
+        target = populated_database.image_ids[0]
+        with sqlite3.connect(str(path)) as connection:
+            connection.execute(
+                "UPDATE images SET picture = '{broken' WHERE image_id = ?", (target,)
+            )
+        lazy = SqliteBackend().open_lazy(path)
+        try:
+            other = populated_database.image_ids[1]
+            assert lazy.get(other).image_id == other  # clean rows still load
+            with pytest.raises(StorageError, match="invalid JSON"):
+                lazy.get(target)
+        finally:
+            lazy.close()
+
+
+# ----------------------------------------------------------------------
+# RetrievalSystem integration
+# ----------------------------------------------------------------------
+class TestRetrievalSystemBackends:
+    @pytest.mark.parametrize("backend_name,file_name", BACKEND_TARGETS)
+    def test_save_load_search(self, scene_collection, tmp_path, backend_name, file_name):
+        system = RetrievalSystem.from_pictures(scene_collection)
+        path = system.save(tmp_path / file_name, backend=backend_name)
+        reloaded = RetrievalSystem.from_file(path)
+        results = reloaded.search(scene_collection[0], limit=1)
+        assert results and results[0].score == pytest.approx(1.0)
+
+    def test_incremental_save_after_mutation(self, scene_collection, tmp_path, office):
+        system = RetrievalSystem.from_pictures(scene_collection)
+        path = system.save(tmp_path / "db.shards", backend="sharded")
+        system.add_picture(office.renamed("new-arrival"))
+        system.save(path, backend="sharded", incremental=True)
+        reloaded = RetrievalSystem.from_file(path)
+        assert "new-arrival" in reloaded.image_ids
+
+
+class TestIncompatibleTargets:
+    """Wrong-format and wrong-kind targets must raise StorageError, never OSError."""
+
+    def test_sharded_save_onto_existing_file(self, populated_database, tmp_path):
+        target = tmp_path / "plain.json"
+        target.write_text("{}")
+        with pytest.raises(StorageError, match="not a shard directory"):
+            save_database_to(populated_database, target, "sharded")
+
+    def test_json_save_onto_directory(self, populated_database, tmp_path):
+        target = tmp_path / "a-directory"
+        target.mkdir()
+        with pytest.raises(StorageError, match="is a directory"):
+            save_database_to(populated_database, target, "json")
+
+    def test_sqlite_save_onto_directory(self, populated_database, tmp_path):
+        target = tmp_path / "a-directory"
+        target.mkdir()
+        with pytest.raises(StorageError, match="is a directory"):
+            save_database_to(populated_database, target, "sqlite")
+
+    def test_sqlite_describe_on_directory(self, populated_database, tmp_path):
+        path = save_database_to(populated_database, tmp_path / "db.shards", "sharded")
+        with pytest.raises(StorageError):
+            SqliteBackend().describe(path)
+
+    def test_sqlite_load_on_directory(self, populated_database, tmp_path):
+        path = save_database_to(populated_database, tmp_path / "db.shards", "sharded")
+        with pytest.raises(StorageError):
+            load_database_from(path, backend="sqlite")
+
+    def test_json_describe_with_non_list_images(self, tmp_path):
+        path = tmp_path / "weird.json"
+        path.write_text(json.dumps({"schema_version": 1, "images": 5}))
+        with pytest.raises(StorageError, match="bad structure"):
+            describe_database(path, backend="json")
+
+
+class TestLazyMutations:
+    def test_remove_picture_updates_image_ids(self, populated_database, tmp_path):
+        path = save_database_to(populated_database, tmp_path / "db.sqlite", "sqlite")
+        lazy = SqliteBackend().open_lazy(path)
+        try:
+            victim = populated_database.image_ids[0]
+            lazy.remove_picture(victim)
+            assert victim not in lazy.image_ids
+            assert victim not in lazy
+            assert len(lazy) == len(populated_database) - 1
+        finally:
+            lazy.close()
+
+    def test_statistics_before_any_access_is_consistent(
+        self, populated_database, tmp_path
+    ):
+        path = save_database_to(populated_database, tmp_path / "db.sqlite", "sqlite")
+        lazy = SqliteBackend().open_lazy(path)
+        try:
+            assert lazy.statistics() == populated_database.statistics()
+        finally:
+            lazy.close()

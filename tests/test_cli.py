@@ -182,3 +182,69 @@ class TestRelationsShowDemo:
         assert target.exists()
         assert "office-000" in output
         assert "predicates hold" in output
+
+
+class TestConvertInfoAndFormats:
+    def test_convert_json_to_sqlite_and_back(self, database_file, tmp_path, capsys):
+        sqlite_path = tmp_path / "db.sqlite"
+        assert main(["convert", str(database_file), str(sqlite_path)]) == 0
+        assert "converted 3 images to sqlite" in capsys.readouterr().out
+        roundtrip = tmp_path / "back.json"
+        assert main(["convert", str(sqlite_path), str(roundtrip)]) == 0
+        payload = json.loads(roundtrip.read_text())
+        assert len(payload["images"]) == 3
+
+    def test_convert_explicit_target_format(self, database_file, tmp_path, capsys):
+        # Destination suffix says JSON, --to overrides it to sharded.
+        target = tmp_path / "still-a-directory.json"
+        assert main(
+            ["convert", str(database_file), str(target), "--to", "sharded", "--shards", "2"]
+        ) == 0
+        assert (target / "manifest.json").exists()
+        assert len(list(target.glob("shard-*.bin"))) == 2
+
+    def test_convert_missing_source(self, tmp_path, capsys):
+        assert main(["convert", str(tmp_path / "nope.json"), str(tmp_path / "out.json")]) == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_info_reports_format_and_counts(self, database_file, tmp_path, capsys):
+        assert main(["info", str(database_file)]) == 0
+        output = capsys.readouterr().out
+        assert "format: json" in output
+        assert "images: 3" in output
+        sharded = tmp_path / "db.shards"
+        assert main(["convert", str(database_file), str(sharded)]) == 0
+        capsys.readouterr()
+        assert main(["info", str(sharded)]) == 0
+        output = capsys.readouterr().out
+        assert "format: sharded" in output
+        assert "shard_count: 16" in output
+
+    def test_info_on_corrupt_file(self, tmp_path, capsys):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        assert main(["info", str(path)]) == 2
+        assert "malformed database" in capsys.readouterr().err
+
+    def test_search_works_on_every_format(self, database_file, scene_files, tmp_path, capsys):
+        office_path = next(path for name, path in scene_files.items() if "office" in name)
+        for suffix in ("db.sqlite", "db.shards"):
+            target = tmp_path / suffix
+            assert main(["convert", str(database_file), str(target)]) == 0
+            capsys.readouterr()
+            assert main(["search", str(target), str(office_path), "--top", "1"]) == 0
+            assert "office-000" in capsys.readouterr().out.splitlines()[0]
+
+    def test_build_with_format_flag(self, scene_files, tmp_path, capsys):
+        target = tmp_path / "built.sqlite"
+        scene_arguments = [str(path) for path in scene_files.values()]
+        assert main(["build", str(target), "--format", "sqlite"] + scene_arguments) == 0
+        capsys.readouterr()
+        assert main(["info", str(target)]) == 0
+        assert "format: sqlite" in capsys.readouterr().out
+
+    def test_demo_sharded_format(self, tmp_path, capsys):
+        target = tmp_path / "demo.shards"
+        assert main(["demo", "--output", str(target), "--format", "sharded"]) == 0
+        assert (target / "manifest.json").exists()
+        assert "office-000" in capsys.readouterr().out

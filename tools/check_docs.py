@@ -1,0 +1,166 @@
+#!/usr/bin/env python3
+"""Docs build/cross-reference check (stdlib only; the "docs build" CI step).
+
+Validates every Markdown page under ``docs/`` plus ``README.md``:
+
+* every relative link target exists (files and directories),
+* every anchor (``page.md#section`` or ``#section``) matches a heading in the
+  target page, using GitHub's slugification rules,
+* fenced code blocks are ignored (no false links from sample code),
+* every page reachable from ``docs/index.md`` — an unlinked page is a broken
+  table of contents and fails the build.
+
+Exit status is non-zero with one line per problem, so CI fails on any broken
+cross-reference.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import Dict, List, Set, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DOCS_DIR = REPO_ROOT / "docs"
+
+#: Markdown link syntax ``[text](target)`` (images share the syntax).
+_LINK_PATTERN = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_HEADING_PATTERN = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+_FENCE_PATTERN = re.compile(r"^\s*(```|~~~)")
+_EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def github_slug(heading: str) -> str:
+    """Slugify a heading the way GitHub's anchor generator does.
+
+    Returns:
+        The anchor id: lowercased, punctuation stripped, spaces as hyphens.
+    """
+    text = re.sub(r"`([^`]*)`", r"\1", heading)  # inline code keeps its text
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # links keep their text
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text, flags=re.UNICODE)
+    return text.replace(" ", "-")
+
+
+def strip_fences(text: str) -> List[Tuple[int, str]]:
+    """Lines of ``text`` outside fenced code blocks, with 1-based numbers."""
+    lines = []
+    in_fence = False
+    fence_marker = ""
+    for number, line in enumerate(text.splitlines(), start=1):
+        fence = _FENCE_PATTERN.match(line)
+        if fence:
+            if not in_fence:
+                in_fence, fence_marker = True, fence.group(1)
+            elif fence.group(1) == fence_marker:
+                in_fence = False
+            continue
+        if not in_fence:
+            lines.append((number, line))
+    return lines
+
+
+def collect_anchors(path: Path) -> Set[str]:
+    """All heading anchors of one Markdown file (GitHub slugs, deduplicated)."""
+    anchors: Set[str] = set()
+    counts: Dict[str, int] = {}
+    for _, line in strip_fences(path.read_text(encoding="utf-8")):
+        heading = _HEADING_PATTERN.match(line)
+        if not heading:
+            continue
+        slug = github_slug(heading.group(2))
+        seen = counts.get(slug, 0)
+        counts[slug] = seen + 1
+        anchors.add(slug if seen == 0 else f"{slug}-{seen}")
+    return anchors
+
+
+def check_file(path: Path, anchor_cache: Dict[Path, Set[str]]) -> List[str]:
+    """All broken-reference messages for one Markdown file."""
+    problems: List[str] = []
+    for number, line in strip_fences(path.read_text(encoding="utf-8")):
+        for match in _LINK_PATTERN.finditer(line):
+            target = match.group(1)
+            if target.startswith(_EXTERNAL_PREFIXES) or target.startswith("<"):
+                continue
+            file_part, _, anchor = target.partition("#")
+            if file_part:
+                resolved = (path.parent / file_part).resolve()
+                if not resolved.is_relative_to(REPO_ROOT):
+                    continue  # site-relative GitHub URL (e.g. the CI badge)
+                if not resolved.exists():
+                    problems.append(
+                        f"{path.relative_to(REPO_ROOT)}:{number}: broken link "
+                        f"target {target!r} ({file_part} does not exist)"
+                    )
+                    continue
+            else:
+                resolved = path.resolve()
+            if anchor:
+                if resolved.suffix.lower() not in (".md", ".markdown"):
+                    continue
+                anchors = anchor_cache.setdefault(resolved, collect_anchors(resolved))
+                if anchor not in anchors:
+                    problems.append(
+                        f"{path.relative_to(REPO_ROOT)}:{number}: broken anchor "
+                        f"{target!r} (no heading slugs to {anchor!r} in "
+                        f"{resolved.relative_to(REPO_ROOT)})"
+                    )
+    return problems
+
+
+def check_reachability(pages: List[Path]) -> List[str]:
+    """Every docs page must be linked from docs/index.md (directly or not)."""
+    index = DOCS_DIR / "index.md"
+    if not index.exists():
+        return ["docs/index.md is missing"]
+    reachable = {index.resolve()}
+    frontier = [index]
+    while frontier:
+        page = frontier.pop()
+        for _, line in strip_fences(page.read_text(encoding="utf-8")):
+            for match in _LINK_PATTERN.finditer(line):
+                file_part = match.group(1).partition("#")[0]
+                if not file_part or file_part.startswith(_EXTERNAL_PREFIXES):
+                    continue
+                resolved = (page.parent / file_part).resolve()
+                if (
+                    resolved.suffix.lower() == ".md"
+                    and resolved.exists()
+                    and resolved not in reachable
+                ):
+                    reachable.add(resolved)
+                    frontier.append(resolved)
+    return [
+        f"{page.relative_to(REPO_ROOT)}: not reachable from docs/index.md"
+        for page in pages
+        if page.resolve() not in reachable and page.parent == DOCS_DIR
+    ]
+
+
+def main() -> int:
+    """Check all docs pages and the README; returns a process exit code."""
+    pages = sorted(DOCS_DIR.rglob("*.md")) if DOCS_DIR.exists() else []
+    readme = REPO_ROOT / "README.md"
+    targets = pages + ([readme] if readme.exists() else [])
+    if not targets:
+        print("no documentation files found", file=sys.stderr)
+        return 1
+    anchor_cache: Dict[Path, Set[str]] = {}
+    problems: List[str] = []
+    for path in targets:
+        problems.extend(check_file(path, anchor_cache))
+    problems.extend(check_reachability(pages))
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if problems:
+        print(f"\ndocs check FAILED: {len(problems)} problem(s)", file=sys.stderr)
+        return 1
+    print(f"docs check OK: {len(targets)} file(s), no broken cross-references")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
