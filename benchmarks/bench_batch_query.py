@@ -6,8 +6,9 @@ again.  This experiment builds a 1000-image synthetic database (the E9 wide
 vocabulary, so the candidate filters have real pruning power) and replays a
 stream of 100 queries drawn from 25 distinct pictures, comparing
 
-* ``serial``    -- one :meth:`RetrievalSystem.search` call per query,
-* ``batch cold`` -- :meth:`RetrievalSystem.search_parallel` on an empty score
+* ``serial``    -- one ``system.query(...).cached(False).execute()`` call per
+  query (the score cache bypassed, i.e. the pre-batch serial cost model),
+* ``batch cold`` -- :meth:`RetrievalSystem.query_batch` on an empty score
   cache (4 workers), where deduplication alone collapses the stream to 25
   evaluations, and
 * ``batch warm`` -- the same batch again, now answered from the LRU score
@@ -62,22 +63,29 @@ def _result_lines(batches):
     return [[result.describe() for result in results] for results in batches]
 
 
+def _batch(system, queries, workers=WORKERS, executor="thread"):
+    specs = [system.query(query).limit(10) for query in queries]
+    return system.query_batch(specs, workers=workers, executor=executor)
+
+
 @pytest.mark.benchmark(group="E10-batch-query")
 def test_batch_throughput_report(benchmark, write_report, workload):
     system, queries = workload
     system._engine.score_cache.clear()
 
     started = time.perf_counter()
-    serial = [system.search(query, limit=10) for query in queries]
+    serial = [
+        system.query(query).limit(10).cached(False).execute() for query in queries
+    ]
     serial_seconds = time.perf_counter() - started
 
     started = time.perf_counter()
-    cold = system.search_parallel(queries, limit=10, workers=WORKERS, executor="thread")
+    cold = _batch(system, queries)
     cold_seconds = time.perf_counter() - started
     cold_report = system.last_batch_report
 
     started = time.perf_counter()
-    warm = system.search_parallel(queries, limit=10, workers=WORKERS, executor="thread")
+    warm = _batch(system, queries)
     warm_seconds = time.perf_counter() - started
     warm_report = system.last_batch_report
 
@@ -130,7 +138,7 @@ def test_batch_throughput_report(benchmark, write_report, workload):
         )
 
     # pytest-benchmark timing: the steady-state (warm cache) batch path.
-    benchmark(system.search_parallel, queries, limit=10, workers=WORKERS, executor="thread")
+    benchmark(_batch, system, queries)
 
 
 @pytest.mark.benchmark(group="E10-batch-query")
@@ -139,7 +147,7 @@ def test_cold_batch_latency(benchmark, workload):
 
     def _cold_batch():
         system._engine.score_cache.clear()
-        return system.search_parallel(queries, limit=10, workers=WORKERS, executor="thread")
+        return _batch(system, queries)
 
     results = benchmark(_cold_batch)
     assert len(results) == len(queries)
@@ -149,12 +157,12 @@ def test_cold_batch_latency(benchmark, workload):
 def test_executors_agree(benchmark, workload):
     system, queries = workload
     sample = queries[: min(len(queries), 10)]
-    expected = _result_lines(system.search(query, limit=10) for query in sample)
+    expected = _result_lines(
+        system.query(query).limit(10).cached(False).execute() for query in sample
+    )
     for executor in ("serial", "thread", "process"):
         system._engine.score_cache.clear()
-        batches = system.search_parallel(
-            sample, limit=10, workers=2, executor=executor
-        )
+        batches = _batch(system, sample, workers=2, executor=executor)
         assert _result_lines(batches) == expected, f"{executor} results diverged"
     system._engine.score_cache.clear()
-    benchmark(system.search_many, sample, 10)
+    benchmark(_batch, system, sample, 2, "serial")

@@ -50,7 +50,9 @@ def largest_system():
 def test_query_latency_with_filters(benchmark, largest_system):
     system, pictures = largest_system
     query = pictures[17]
-    results = benchmark(system.search, query, 10)
+    results = benchmark(
+        lambda: system.query(query).limit(10).cached(False).execute()
+    )
     assert results[0].image_id == query.name
 
 
@@ -58,7 +60,9 @@ def test_query_latency_with_filters(benchmark, largest_system):
 def test_query_latency_without_filters(benchmark, largest_system):
     system, pictures = largest_system
     query = pictures[17]
-    results = benchmark(lambda: system.search(query, limit=10, use_filters=False))
+    results = benchmark(
+        lambda: system.query(query).limit(10).no_filters().cached(False).execute()
+    )
     assert results[0].image_id == query.name
 
 
@@ -75,11 +79,11 @@ def test_database_scale_report(benchmark, write_report):
 
         query = pictures[size // 3]
         started = time.perf_counter()
-        filtered = system.search(query, limit=10)
+        filtered = system.query(query).limit(10).cached(False).execute()
         filtered_ms = (time.perf_counter() - started) * 1000
 
         started = time.perf_counter()
-        unfiltered = system.search(query, limit=10, use_filters=False)
+        unfiltered = system.query(query).limit(10).no_filters().cached(False).execute()
         unfiltered_ms = (time.perf_counter() - started) * 1000
 
         clique_ms = None
@@ -134,4 +138,4 @@ def test_database_scale_report(benchmark, write_report):
     pictures = _database(DATABASE_SIZES[1])
     system = RetrievalSystem.from_pictures(pictures)
     query = pictures[11]
-    benchmark(system.search, query, 10)
+    benchmark(lambda: system.query(query).limit(10).cached(False).execute())

@@ -80,5 +80,8 @@ def test_single_query_latency(benchmark, corpus):
     from repro.retrieval.system import RetrievalSystem
 
     system = RetrievalSystem.from_pictures(corpus.database_pictures)
-    results = benchmark(system.search, corpus.queries[0], 10)
+    query = corpus.queries[0]
+    results = benchmark(
+        lambda: system.query(query).limit(10).cached(False).execute()
+    )
     assert results

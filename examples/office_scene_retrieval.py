@@ -40,12 +40,15 @@ def main() -> None:
     print()
 
     print("=== Full-scene query: top 5 ===")
-    for result in system.search(query_scene, limit=5):
+    for result in system.query(query_scene).limit(5).execute():
         print(" ", result.describe())
     print()
 
     print("=== Partial query: desk + monitor + phone only ===")
-    for result in system.search_partial(query_scene, ["desk", "monitor", "phone"], limit=5):
+    partial = (
+        system.query(query_scene).partial(["desk", "monitor", "phone"]).limit(5).execute()
+    )
+    for result in partial:
         print(" ", result.describe())
     print()
 
@@ -56,7 +59,7 @@ def main() -> None:
     edited = system.record("office-003")
     print(f"office-003 now has {len(edited.picture)} icons; "
           f"BE-string holds {edited.bestring.total_symbols} symbols")
-    for result in system.search(query_scene, limit=3):
+    for result in system.query(query_scene).limit(3).execute():
         print(" ", result.describe())
 
 

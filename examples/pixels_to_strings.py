@@ -48,7 +48,7 @@ def main() -> None:
     system = RetrievalSystem.from_pictures(database)
     print()
     print("=== Querying the database with the recovered picture ===")
-    for result in system.search(recovered, limit=4):
+    for result in system.query(recovered).limit(4).execute():
         print(" ", result.describe())
 
 

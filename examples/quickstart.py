@@ -71,11 +71,12 @@ def main() -> None:
           f"(objects with identical relations: {sorted(cross_match.common_objects)})")
     print()
 
-    # Step 4: a small database plus a ranked query.
+    # Step 4: a small database plus a ranked query through the fluent builder.
     print("=== Ranked retrieval over a small database ===")
     system = RetrievalSystem.from_pictures([scene, variant])
-    query = scene.subset(["car", "tree"])  # partial query: only two icons known
-    for result in system.search(query, limit=5):
+    # Partial query: only two icons are known to the caller.
+    results = system.query(scene).partial(["car", "tree"]).limit(5).execute()
+    for result in results:
         print(" ", result.describe())
 
 

@@ -18,7 +18,7 @@ Typical usage::
     )
     bestring = encode_picture(picture)
     system = RetrievalSystem.from_pictures([picture])
-    results = system.search(picture)
+    results = system.query(picture).limit(5).execute()
 """
 
 from repro.core import (
@@ -33,8 +33,8 @@ from repro.core import (
 )
 from repro.geometry import Interval, Point, Rectangle
 from repro.iconic import IconObject, IconVocabulary, LabeledRaster, SymbolicPicture
-from repro.index import ImageDatabase, Query, QueryEngine
-from repro.retrieval import RetrievalSystem
+from repro.index import ImageDatabase, Query, QueryEngine, QuerySpec
+from repro.retrieval import QueryBuilder, ResultSet, RetrievalSystem
 
 __version__ = "1.0.0"
 
@@ -57,6 +57,9 @@ __all__ = [
     "ImageDatabase",
     "Query",
     "QueryEngine",
+    "QuerySpec",
+    "QueryBuilder",
+    "ResultSet",
     "RetrievalSystem",
     "__version__",
 ]

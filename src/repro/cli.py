@@ -11,7 +11,15 @@ system would script:
     Encode one or more scene files into a database file.
 
 ``python -m repro.cli search <database.json> <query-scene.json> [--invariant] [--top K]``
-    Run a similarity query against a stored database.
+    Run a similarity query against a stored database.  ``--where`` adds a
+    relation-predicate filter, ``--min-score`` a score cut-off and ``--jsonl``
+    machine-readable output (one JSON object per result).
+
+``python -m repro.cli explain <database.json> <query-scene.json> [--where ...]``
+    Run a query like ``search`` but print the execution trace: the shortlist
+    funnel, per-result admission stage, score-cache hit/miss, winning
+    transformation and LCS lengths.  With ``--where`` and no scene it
+    explains a predicate-only query.
 
 ``python -m repro.cli batch-search <database.json> <queries.jsonl> [--workers N]``
     Run many similarity queries as one batch.  Each line of the JSONL file is
@@ -21,6 +29,10 @@ system would script:
 
 ``python -m repro.cli relations <database.json> "<predicate query>"``
     Run a relation-predicate query ("monitor above desk and ...").
+
+All retrieval commands are fronts over the fluent query builder
+(``system.query()...execute()``, see ``docs/query-api.md``); they share one
+unified pipeline and score cache.
 
 ``python -m repro.cli show <database.json> <image-id>``
     ASCII-render one stored image.
@@ -59,6 +71,7 @@ from repro.index.backends import (
     save_database_to,
 )
 from repro.index.database import ImageDatabase
+from repro.index.spec import QuerySpec, QuerySpecError
 from repro.index.storage import StorageError, picture_from_json_text
 from repro.retrieval.predicates import PredicateError
 from repro.retrieval.system import RetrievalSystem
@@ -168,12 +181,43 @@ def _command_info(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def _build_query(system: RetrievalSystem, arguments: argparse.Namespace):
+    """Compose the builder shared by the ``search`` and ``explain`` commands.
+
+    Raises:
+        CliError: if neither a query scene nor a ``--where`` predicate was
+            given, or the predicate text is malformed.
+    """
+    builder = system.query()
+    if getattr(arguments, "query", None):
+        builder.similar_to(_load_picture(arguments.query))
+    builder.invariant(arguments.invariant).limit(arguments.top)
+    builder.filters(not arguments.no_filters)
+    builder.min_score(getattr(arguments, "min_score", 0.0))
+    where = getattr(arguments, "where", None)
+    if where:
+        try:
+            builder.where(where)
+        except PredicateError as error:
+            raise CliError(str(error)) from error
+    try:
+        builder.spec()
+    except QuerySpecError as error:
+        raise CliError(str(error)) from error
+    return builder
+
+
 def _command_search(arguments: argparse.Namespace) -> int:
     system = _load_system(arguments.database, backend=_backend_argument(arguments))
-    query = _load_picture(arguments.query)
-    results = system.search(
-        query, limit=arguments.top, invariant=arguments.invariant, use_filters=not arguments.no_filters
-    )
+    results = _build_query(system, arguments).execute()
+    if arguments.jsonl:
+        # Keep stdout machine-readable: an empty result set emits nothing.
+        text = results.to_jsonl()
+        if text:
+            print(text)
+        else:
+            print("no matching images", file=sys.stderr)
+        return 0 if results else 1
     if not results:
         print("no matching images")
         return 1
@@ -182,8 +226,15 @@ def _command_search(arguments: argparse.Namespace) -> int:
     return 0
 
 
-def _load_batch_queries(path: str, arguments: argparse.Namespace) -> List["Query"]:
-    """Parse a JSONL query file into :class:`Query` objects.
+def _command_explain(arguments: argparse.Namespace) -> int:
+    system = _load_system(arguments.database, backend=_backend_argument(arguments))
+    results = _build_query(system, arguments).execute()
+    print(results.explain_report())
+    return 0 if results else 1
+
+
+def _load_batch_queries(path: str, arguments: argparse.Namespace) -> List["QuerySpec"]:
+    """Parse a JSONL query file into :class:`QuerySpec` objects.
 
     Each non-empty line is either a scene object, or a wrapper
     ``{"scene": {...}, "invariant": bool, "top": int|null, "min_score": float}``
@@ -192,13 +243,12 @@ def _load_batch_queries(path: str, arguments: argparse.Namespace) -> List["Query
     """
     from repro.core.transforms import Transformation
     from repro.iconic.picture import SymbolicPicture
-    from repro.index.query import Query
 
     try:
         lines = Path(path).read_text(encoding="utf-8").splitlines()
     except FileNotFoundError:
         raise CliError(f"query file not found: {path}") from None
-    queries: List[Query] = []
+    queries: List[QuerySpec] = []
     for number, line in enumerate(lines, start=1):
         line = line.strip()
         if not line:
@@ -225,7 +275,7 @@ def _load_batch_queries(path: str, arguments: argparse.Namespace) -> List["Query
         if isinstance(minimum_score, bool) or not isinstance(minimum_score, (int, float)):
             raise CliError(f"{path}:{number}: 'min_score' must be a JSON number")
         queries.append(
-            Query(
+            QuerySpec(
                 picture=picture,
                 transformations=tuple(Transformation) if invariant else (Transformation.IDENTITY,),
                 limit=limit,
@@ -243,7 +293,7 @@ def _command_batch_search(arguments: argparse.Namespace) -> int:
     queries = _load_batch_queries(arguments.queries, arguments)
     started = time.perf_counter()
     try:
-        batches = system.run_batch(
+        batches = system.query_batch(
             queries, workers=arguments.workers, executor=arguments.executor
         )
     except ValueError as error:  # bad scheduler knobs, e.g. --workers 0
@@ -269,7 +319,7 @@ def _command_batch_search(arguments: argparse.Namespace) -> int:
 def _command_relations(arguments: argparse.Namespace) -> int:
     system = _load_system(arguments.database, backend=_backend_argument(arguments))
     try:
-        matches = system.search_by_relations(arguments.query, limit=arguments.top)
+        matches = system.query().where(arguments.query).limit(arguments.top).execute()
     except PredicateError as error:
         raise CliError(str(error)) from error
     if not matches:
@@ -313,12 +363,15 @@ def _command_demo(arguments: argparse.Namespace) -> int:
     print()
     query = office_scene(0)
     print("query: the canonical office scene; top 3 similarity matches:")
-    for result in system.search(query, limit=3):
+    for result in system.query(query).limit(3).execute():
         print(" ", result.describe())
     print()
     print('relation query: "monitor above desk and phone right-of monitor"')
-    for match in system.search_by_relations(
-        "monitor above desk and phone right-of monitor", limit=3
+    for match in (
+        system.query()
+        .where("monitor above desk and phone right-of monitor")
+        .limit(3)
+        .execute()
     ):
         print(" ", match.describe())
     return 0
@@ -388,18 +441,43 @@ def build_parser() -> argparse.ArgumentParser:
     _add_format_flag(info)
     info.set_defaults(handler=_command_info)
 
+    def _add_query_flags(subparser: argparse.ArgumentParser) -> None:
+        """The flags shared by the builder-backed ``search``/``explain`` commands."""
+        subparser.add_argument("database", help="database path (any storage format)")
+        subparser.add_argument(
+            "query", nargs="?", default=None, help="query scene JSON path"
+        )
+        subparser.add_argument(
+            "--top", type=int, default=10, help="number of results (default 10)"
+        )
+        subparser.add_argument(
+            "--invariant", action="store_true", help="also match rotations and reflections"
+        )
+        subparser.add_argument(
+            "--no-filters", action="store_true",
+            help="score every image (skip candidate pruning)",
+        )
+        subparser.add_argument(
+            "--where", default=None,
+            help='relation-predicate clause, e.g. "phone right-of monitor"',
+        )
+        subparser.add_argument(
+            "--min-score", type=float, default=0.0, help="drop results below this score"
+        )
+        _add_format_flag(subparser)
+
     search = subparsers.add_parser("search", help="similarity query against a database")
-    search.add_argument("database", help="database path (any storage format)")
-    search.add_argument("query", help="query scene JSON path")
-    search.add_argument("--top", type=int, default=10, help="number of results (default 10)")
+    _add_query_flags(search)
     search.add_argument(
-        "--invariant", action="store_true", help="also match rotations and reflections"
+        "--jsonl", action="store_true", help="print results as JSON Lines instead of text"
     )
-    search.add_argument(
-        "--no-filters", action="store_true", help="score every image (skip candidate pruning)"
-    )
-    _add_format_flag(search)
     search.set_defaults(handler=_command_search)
+
+    explain = subparsers.add_parser(
+        "explain", help="run a query and print its execution trace"
+    )
+    _add_query_flags(explain)
+    explain.set_defaults(handler=_command_explain)
 
     batch = subparsers.add_parser(
         "batch-search", help="run many similarity queries from a JSONL file as one batch"

@@ -10,9 +10,13 @@ database a downstream user would actually store BE-strings in:
   used to shortlist candidates that share at least one query icon.
 * :class:`~repro.index.signature.SignatureFilter` -- label-multiset signatures
   for cheap candidate pruning before the LCS evaluation.
-* :class:`~repro.index.query.QueryEngine` -- executes similarity queries
-  (optionally transformation-invariant) over the database and returns ranked
-  results.
+* :class:`~repro.index.query.QueryEngine` -- the unified query pipeline:
+  executes similarity queries (optionally transformation-invariant) and
+  declarative :class:`~repro.index.spec.QuerySpec` plans (similarity +
+  relation predicates) over the database, always consulting the score cache,
+  and returns ranked results with execution traces.
+* :mod:`~repro.index.spec` -- the declarative :class:`~repro.index.spec.QuerySpec`
+  every entry point compiles to, plus the trace types behind ``explain()``.
 * :class:`~repro.index.batch.BatchQueryEngine` -- evaluates many queries at
   once: deduplicates shared encoding/shortlist work, memoises per-(query,
   image) scores in a :class:`~repro.index.cache.ScoreCache`, and schedules
@@ -45,6 +49,13 @@ from repro.index.query import Query, QueryEngine
 from repro.index.ranking import RankedResult, rank_results
 from repro.index.signature import SignatureFilter, label_signature
 from repro.index.spatial import QUADRANTS, LocatedIcon, RegionIndex
+from repro.index.spec import (
+    CandidateTrace,
+    QuerySpec,
+    QuerySpecError,
+    QueryTrace,
+    SpecOutcome,
+)
 from repro.index.storage import (
     StorageError,
     database_from_json,
@@ -77,6 +88,11 @@ __all__ = [
     "InvertedSymbolIndex",
     "Query",
     "QueryEngine",
+    "CandidateTrace",
+    "QuerySpec",
+    "QuerySpecError",
+    "QueryTrace",
+    "SpecOutcome",
     "RankedResult",
     "rank_results",
     "SignatureFilter",

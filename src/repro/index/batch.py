@@ -127,6 +127,9 @@ class _EvaluationGroup:
     query_bestring: BEString2D
     policy: SimilarityPolicy
     transformations: Tuple[Transformation, ...]
+    #: The queries' own cache toggle (:attr:`Query.use_cache`); combined with
+    #: the batch-level ``BatchOptions.use_cache`` knob, both must be on.
+    use_cache: bool = True
     candidate_ids: List[str] = field(default_factory=list)
     #: Positions in the original query sequence answered by this group.
     query_positions: List[int] = field(default_factory=list)
@@ -205,10 +208,11 @@ class BatchQueryEngine:
         tasks: List[Tuple[_EvaluationGroup, List[str]]] = []
         for group in groups:
             report.candidates_considered += len(group.candidate_ids)
+            group_cached = opts.use_cache and group.use_cache
             misses: List[str] = []
             for image_id in group.candidate_ids:
                 cached = (
-                    self.cache.get(group.query_key, image_id) if opts.use_cache else None
+                    self.cache.get(group.query_key, image_id) if group_cached else None
                 )
                 if cached is not None:
                     run_results[(group.query_key, image_id)] = cached
@@ -241,11 +245,16 @@ class BatchQueryEngine:
     # ------------------------------------------------------------------
     def _group_queries(self, queries: Sequence["Query"]) -> List[_EvaluationGroup]:
         """Deduplicate queries into evaluation groups with shared shortlists."""
-        groups: Dict[Tuple[QueryKey, bool, int], _EvaluationGroup] = {}
+        groups: Dict[Tuple[QueryKey, bool, int, bool], _EvaluationGroup] = {}
         for position, query in enumerate(queries):
             bestring = encode_picture(query.picture)
             query_key = query_score_key(bestring, query.policy, query.transformations)
-            group_key = (query_key, query.use_filters, query.minimum_shared_labels)
+            group_key = (
+                query_key,
+                query.use_filters,
+                query.minimum_shared_labels,
+                query.use_cache,
+            )
             group = groups.get(group_key)
             if group is None:
                 group = _EvaluationGroup(
@@ -253,6 +262,7 @@ class BatchQueryEngine:
                     query_bestring=bestring,
                     policy=query.policy,
                     transformations=tuple(query.transformations),
+                    use_cache=query.use_cache,
                     candidate_ids=self.engine.candidate_ids(query),
                 )
                 groups[group_key] = group
@@ -300,7 +310,7 @@ class BatchQueryEngine:
         def _store(group: _EvaluationGroup, scored: List[Tuple[str, SimilarityResult]]) -> None:
             for image_id, result in scored:
                 run_results[(group.query_key, image_id)] = result
-                if opts.use_cache:
+                if opts.use_cache and group.use_cache:
                     self.cache.put(group.query_key, image_id, result)
 
         if report.executor == "serial":

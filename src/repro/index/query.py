@@ -1,16 +1,28 @@
-"""The query engine: similarity retrieval over an image database.
+"""The query engine: the unified retrieval pipeline over an image database.
 
 The engine ties the pieces together the way the paper's demonstration system
 does: the query picture is encoded once, candidate images are shortlisted by
 the inverted index and the signature filter, each surviving candidate is
 scored with the modified-LCS similarity evaluation (optionally over all
 rotations/reflections of the query), and the results are returned ranked.
+
+Since the query-API redesign every entry point converges here:
+
+* :meth:`QueryEngine.execute` (the serial path) and the batch scheduler
+  (:mod:`repro.index.batch`) both consult the shared
+  :class:`~repro.index.cache.ScoreCache`, so an identical repeated query --
+  serial or batched -- never pays the LCS dynamic program twice.
+* :meth:`QueryEngine.execute_spec` runs a full declarative
+  :class:`~repro.index.spec.QuerySpec` -- similarity, relation predicates, or
+  both -- recording a :class:`~repro.index.spec.QueryTrace` of shortlist
+  admissions and cache hits for ``explain`` output.  Predicate clauses are
+  pruned through the inverted index instead of scanning every stored record.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.bestring import BEString2D
 from repro.core.construct import encode_picture
@@ -24,14 +36,25 @@ from repro.core.similarity import (
 from repro.core.transforms import Transformation
 from repro.geometry.rectangle import Rectangle
 from repro.iconic.picture import SymbolicPicture
-from repro.index.cache import ScoreCache
+from repro.index.cache import ScoreCache, query_score_key
 from repro.index.database import ImageDatabase, ImageRecord
 from repro.index.inverted import InvertedSymbolIndex
 from repro.index.ranking import RankedResult, rank_results
 from repro.index.signature import SignatureFilter
+from repro.index.spec import (
+    STAGE_FULL_SCAN,
+    STAGE_PREDICATE_EVALUATED,
+    STAGE_PREDICATE_PRUNED,
+    STAGE_SHORTLIST,
+    CandidateTrace,
+    QuerySpec,
+    QueryTrace,
+    SpecOutcome,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.index.batch import BatchOptions, BatchReport
+    from repro.retrieval.predicates import PredicateMatch
 
 
 @dataclass(frozen=True)
@@ -42,7 +65,9 @@ class Query:
     than one entry the best-scoring variant of the query is used per image.
     ``use_filters`` disables the candidate pruning (used by the ablation
     benchmark); ``minimum_shared_labels`` and ``minimum_score`` tune the
-    shortlist and the final cut-off.
+    shortlist and the final cut-off.  ``use_cache=False`` bypasses the score
+    cache for this query only (every candidate is re-scored and nothing is
+    memoised).
     """
 
     picture: SymbolicPicture
@@ -52,6 +77,7 @@ class Query:
     minimum_score: float = 0.0
     minimum_shared_labels: int = 1
     use_filters: bool = True
+    use_cache: bool = True
 
     @classmethod
     def exact(cls, picture: SymbolicPicture, **kwargs) -> "Query":
@@ -152,16 +178,20 @@ class QueryEngine:
             Candidate image ids, in the deterministic order they will be
             scored.
         """
+        return self._shortlist(query)[0]
+
+    def _shortlist(self, query: Query) -> Tuple[List[str], str, Optional[int]]:
+        """Candidate ids plus (admission stage, inverted-index admit count)."""
         if not query.use_filters:
-            return self.database.image_ids
+            return self.database.image_ids, STAGE_FULL_SCAN, None
         labels = set(query.picture.labels)
         if not labels:
-            return self.database.image_ids
+            return self.database.image_ids, STAGE_FULL_SCAN, None
         candidates = self.inverted_index.candidates(
             labels, minimum_shared=query.minimum_shared_labels
         )
         admitted = self.signature_filter.filter(query.picture, sorted(candidates))
-        return admitted
+        return admitted, STAGE_SHORTLIST, len(candidates)
 
     def _score(self, query_bestring: BEString2D, candidate: BEString2D, query: Query) -> SimilarityResult:
         if len(query.transformations) == 1:
@@ -172,21 +202,171 @@ class QueryEngine:
             query_bestring, candidate, query.policy, query.transformations
         )
 
+    def _score_candidates(
+        self, query: Query, trace: QueryTrace
+    ) -> List[Tuple[str, SimilarityResult]]:
+        """Score every shortlisted candidate, consulting the score cache.
+
+        This is the single scoring loop both :meth:`execute` and
+        :meth:`execute_spec` share.  Hits and misses are recorded in
+        ``trace``; misses are written back to the cache (unless
+        ``query.use_cache`` is off), which is what makes an identical
+        repeated serial query free after the first call.
+        """
+        query_bestring = encode_picture(query.picture)
+        cache_key = query_score_key(query_bestring, query.policy, query.transformations)
+        candidates, stage, inverted_count = self._shortlist(query)
+        trace.database_size = len(self.database)
+        trace.inverted_candidates = inverted_count
+        trace.shortlisted = len(candidates)
+        scored: List[Tuple[str, SimilarityResult]] = []
+        for image_id in candidates:
+            cached = self.score_cache.get(cache_key, image_id) if query.use_cache else None
+            if cached is not None:
+                result = cached
+                trace.cache_hits += 1
+            else:
+                record = self.database.get(image_id)
+                result = self._score(query_bestring, record.bestring, query)
+                trace.cache_misses += 1
+                if query.use_cache:
+                    self.score_cache.put(cache_key, image_id, result)
+            trace.candidates[image_id] = CandidateTrace(
+                image_id=image_id,
+                stage=stage,
+                cache_hit=(cached is not None) if query.use_cache else None,
+            )
+            scored.append((image_id, result))
+        return scored
+
     def execute(self, query: Query) -> List[RankedResult]:
         """Run a query and return ranked results.
+
+        The serial path shares the batch subsystem's score cache: repeated
+        identical queries (same picture content, policy and transformation
+        set) are answered from memoised similarity results instead of
+        re-running the LCS evaluation, with rankings guaranteed identical.
 
         Returns:
             :class:`~repro.index.ranking.RankedResult` entries sorted by
             descending score (ties broken by image id), already cut to the
             query's limit and minimum score.
         """
-        query_bestring = encode_picture(query.picture)
-        scored: List[Tuple[str, SimilarityResult]] = []
-        for image_id in self.candidate_ids(query):
-            record = self.database.get(image_id)
-            result = self._score(query_bestring, record.bestring, query)
-            scored.append((image_id, result))
-        return rank_results(scored, limit=query.limit, minimum_score=query.minimum_score)
+        return self.execute_traced(query)[0]
+
+    def execute_traced(self, query: Query) -> Tuple[List[RankedResult], QueryTrace]:
+        """Like :meth:`execute` but also returns the execution trace."""
+        trace = QueryTrace(mode="similarity")
+        scored = self._score_candidates(query, trace)
+        ranked = rank_results(scored, limit=query.limit, minimum_score=query.minimum_score)
+        return ranked, trace
+
+    # ------------------------------------------------------------------
+    # Declarative spec execution (the unified pipeline)
+    # ------------------------------------------------------------------
+    def execute_spec(self, spec: QuerySpec) -> SpecOutcome:
+        """Run a declarative :class:`~repro.index.spec.QuerySpec`.
+
+        Dispatches on the clauses present: similarity-only specs run the
+        cache-aware scoring loop, predicate-only specs are pruned through the
+        inverted index (images that cannot satisfy any predicate are
+        synthesised as zero matches without evaluation), and combined specs
+        keep only similarity results whose image satisfies **every**
+        predicate.
+
+        Returns:
+            A :class:`~repro.index.spec.SpecOutcome` holding the final
+            ranking, the execution trace, and (in combined mode) the
+            per-image predicate evaluations.
+
+        Raises:
+            repro.index.spec.QuerySpecError: on a malformed spec.
+        """
+        spec.validate()
+        if not spec.has_similarity_clause:
+            return self._execute_predicate_spec(spec)
+        if not spec.has_predicate_clause:
+            ranked, trace = self.execute_traced(spec.to_query())
+            return SpecOutcome(spec=spec, results=ranked, trace=trace)
+        return self._execute_combined_spec(spec)
+
+    def _evaluate_predicates(
+        self,
+        spec: QuerySpec,
+        trace: QueryTrace,
+        restrict_to: Optional[List[str]] = None,
+    ) -> Dict[str, "PredicateMatch"]:
+        """Evaluate the predicate clause over the database, with label pruning.
+
+        An image can only satisfy a predicate when it contains both the
+        subject and the target label, so the inverted index narrows the
+        expensive boundary-rank evaluation to images where at least one
+        predicate has both labels present.  Every other stored image is known
+        to satisfy nothing and gets a synthesised zero match -- identical to
+        what full evaluation would return, at postings-lookup cost.
+
+        ``restrict_to`` (combined mode) limits evaluation to the similarity
+        candidates instead of the whole database.
+        """
+        from repro.retrieval.predicates import PredicateMatch, evaluate_predicates
+
+        predicates = list(spec.predicates)
+        evaluable: set = set()
+        for predicate in predicates:
+            subjects = self.inverted_index.images_with_label(predicate.subject)
+            if not subjects:
+                continue
+            targets = self.inverted_index.images_with_label(predicate.target)
+            evaluable.update(subjects & targets)
+        trace.database_size = len(self.database)
+        universe = self.database.image_ids if restrict_to is None else restrict_to
+        matches: Dict[str, PredicateMatch] = {}
+        for image_id in universe:
+            if image_id in evaluable:
+                record = self.database.get(image_id)
+                matches[image_id] = evaluate_predicates(
+                    record.bestring, predicates, image_id=image_id
+                )
+                trace.predicate_evaluated += 1
+                stage = STAGE_PREDICATE_EVALUATED
+            else:
+                matches[image_id] = PredicateMatch(
+                    image_id=image_id, satisfied=(), unsatisfied=tuple(predicates)
+                )
+                trace.predicate_pruned += 1
+                stage = STAGE_PREDICATE_PRUNED
+            existing = trace.candidates.get(image_id)
+            if existing is None:
+                trace.candidates[image_id] = CandidateTrace(image_id=image_id, stage=stage)
+        return matches
+
+    def _execute_predicate_spec(self, spec: QuerySpec) -> SpecOutcome:
+        """Predicate-only execution: rank by fraction of predicates satisfied."""
+        trace = QueryTrace(mode="predicate")
+        matches = self._evaluate_predicates(spec, trace)
+        ranked = [
+            match for match in matches.values() if match.score >= spec.minimum_score
+        ]
+        ranked.sort(key=lambda match: (-match.score, match.image_id))
+        if spec.limit is not None:
+            ranked = ranked[: spec.limit]
+        return SpecOutcome(spec=spec, results=ranked, trace=trace, predicate_matches=matches)
+
+    def _execute_combined_spec(self, spec: QuerySpec) -> SpecOutcome:
+        """Similarity ranking post-filtered to full predicate matches."""
+        trace = QueryTrace(mode="combined")
+        query = spec.to_query()
+        scored = self._score_candidates(query, trace)
+        matches = self._evaluate_predicates(
+            spec, trace, restrict_to=[image_id for image_id, _ in scored]
+        )
+        surviving = [
+            (image_id, result)
+            for image_id, result in scored
+            if matches[image_id].is_full_match
+        ]
+        ranked = rank_results(surviving, limit=spec.limit, minimum_score=spec.minimum_score)
+        return SpecOutcome(spec=spec, results=ranked, trace=trace, predicate_matches=matches)
 
     def run_batch(
         self,

@@ -1,0 +1,246 @@
+"""The declarative query specification behind the unified retrieval pipeline.
+
+Every retrieval the system can run -- exact similarity, partial-icon queries,
+transformation-invariant matching, relation-predicate filtering, and any
+conjunction of them -- compiles down to one :class:`QuerySpec` value.  The
+spec is what the fluent builder (:mod:`repro.retrieval.querybuilder`)
+produces, what :meth:`repro.index.query.QueryEngine.execute_spec` consumes,
+and what the batch scheduler deduplicates on, so every entry point shares a
+single evaluation plan in the spirit of composing small operators into one
+pipeline.
+
+The module also defines the execution *traces* the pipeline records while it
+runs -- which shortlist stage admitted each candidate, whether its score came
+from the :class:`~repro.index.cache.ScoreCache`, how the predicate pruning
+behaved -- which is what ``ResultSet.explain()`` renders for users.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple, Union
+
+from repro.core.similarity import DEFAULT_POLICY, SimilarityPolicy
+from repro.core.transforms import Transformation
+from repro.iconic.picture import SymbolicPicture
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a layering cycle
+    from repro.index.query import Query
+    from repro.index.ranking import RankedResult
+    from repro.retrieval.predicates import PredicateMatch, RelationPredicate
+
+
+class QuerySpecError(ValueError):
+    """Raised when a :class:`QuerySpec` is malformed or unsupported."""
+
+
+#: Shortlist stages a candidate can be admitted by (recorded in traces).
+STAGE_FULL_SCAN = "full-scan"
+STAGE_SHORTLIST = "inverted-index+signature"
+STAGE_PREDICATE_PRUNED = "label-pruned"
+STAGE_PREDICATE_EVALUATED = "predicate-evaluated"
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """One declarative retrieval request.
+
+    A spec combines up to two clauses:
+
+    * a *similarity* clause -- ``picture`` (optionally restricted to
+      ``identifiers`` for partial queries and expanded over
+      ``transformations`` for invariant ones), scored with the modified-LCS
+      evaluation under ``policy``;
+    * a *predicate* clause -- ``predicates``, a conjunction of relation
+      predicates evaluated against stored BE-strings.
+
+    With both clauses present the predicates act as a post-filter: only
+    images satisfying **every** predicate survive, ranked by similarity.
+    ``limit`` / ``minimum_score`` cut the final ranking; ``use_filters``
+    toggles the inverted-index + signature shortlist; ``use_cache`` toggles
+    the score cache for this query only.
+    """
+
+    picture: Optional[SymbolicPicture] = None
+    identifiers: Optional[Tuple[str, ...]] = None
+    transformations: Tuple[Transformation, ...] = (Transformation.IDENTITY,)
+    predicates: Tuple["RelationPredicate", ...] = ()
+    limit: Optional[int] = 10
+    minimum_score: float = 0.0
+    minimum_shared_labels: int = 1
+    use_filters: bool = True
+    use_cache: bool = True
+    policy: Optional[SimilarityPolicy] = None
+
+    # ------------------------------------------------------------------
+    # Validation and derived views
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check the spec describes a runnable query.
+
+        Raises:
+            QuerySpecError: if neither clause is present, if ``identifiers``
+                are given without a picture, or if numeric knobs are out of
+                range.
+        """
+        if self.picture is None and not self.predicates:
+            raise QuerySpecError(
+                "a query needs at least one clause: similar_to(picture) or where(predicate)"
+            )
+        if self.identifiers is not None and self.picture is None:
+            raise QuerySpecError("partial(identifiers) requires similar_to(picture)")
+        if not self.transformations:
+            raise QuerySpecError("at least one transformation is required")
+        if self.limit is not None and self.limit < 0:
+            raise QuerySpecError("limit must be non-negative (or None for unlimited)")
+        if self.minimum_shared_labels < 1:
+            raise QuerySpecError("minimum_shared_labels must be at least 1")
+
+    @property
+    def has_similarity_clause(self) -> bool:
+        """True when the spec scores images against a query picture."""
+        return self.picture is not None
+
+    @property
+    def has_predicate_clause(self) -> bool:
+        """True when the spec constrains images by relation predicates."""
+        return bool(self.predicates)
+
+    def effective_picture(self) -> SymbolicPicture:
+        """The query picture with the partial-icon subset applied.
+
+        Raises:
+            QuerySpecError: if the spec has no similarity clause.
+            KeyError: if ``identifiers`` name icons the picture lacks.
+        """
+        if self.picture is None:
+            raise QuerySpecError("this spec has no similarity clause")
+        if self.identifiers is None:
+            return self.picture
+        return self.picture.subset(self.identifiers)
+
+    def effective_policy(self) -> SimilarityPolicy:
+        """The similarity policy, falling back to the library default."""
+        return self.policy if self.policy is not None else DEFAULT_POLICY
+
+    def to_query(self) -> "Query":
+        """Compile the similarity clause to an engine-level :class:`Query`.
+
+        Returns:
+            The :class:`~repro.index.query.Query` the unified pipeline (and
+            the batch scheduler) executes for this spec.
+
+        Raises:
+            QuerySpecError: if the spec has no similarity clause.
+        """
+        from repro.index.query import Query
+
+        return Query(
+            picture=self.effective_picture(),
+            policy=self.effective_policy(),
+            transformations=tuple(self.transformations),
+            limit=self.limit,
+            minimum_score=self.minimum_score,
+            minimum_shared_labels=self.minimum_shared_labels,
+            use_filters=self.use_filters,
+            use_cache=self.use_cache,
+        )
+
+    def with_overrides(self, **changes) -> "QuerySpec":
+        """A copy of the spec with the given fields replaced."""
+        return replace(self, **changes)
+
+    def describe(self) -> str:
+        """One-line human-readable summary of the compiled plan."""
+        clauses: List[str] = []
+        if self.picture is not None:
+            name = self.picture.name or "<picture>"
+            if self.identifiers is not None:
+                name += f"[{', '.join(self.identifiers)}]"
+            clauses.append(f"similar_to({name})")
+            if len(self.transformations) > 1:
+                clauses.append("invariant")
+        for predicate in self.predicates:
+            clauses.append(f"where({predicate.to_text()})")
+        knobs = [f"limit={self.limit}"]
+        if self.minimum_score:
+            knobs.append(f"min_score={self.minimum_score:g}")
+        if not self.use_filters:
+            knobs.append("no_filters")
+        if not self.use_cache:
+            knobs.append("no_cache")
+        return " . ".join(clauses) + " [" + ", ".join(knobs) + "]"
+
+
+# ----------------------------------------------------------------------
+# Execution traces
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CandidateTrace:
+    """What the pipeline did with one candidate image."""
+
+    image_id: str
+    #: Which shortlist stage admitted the candidate (``STAGE_*`` constant).
+    stage: str
+    #: Whether the similarity score came from the cache (``None`` for
+    #: predicate-only evaluation or when the cache was bypassed).
+    cache_hit: Optional[bool] = None
+
+
+@dataclass
+class QueryTrace:
+    """Everything one :meth:`QueryEngine.execute_spec` run recorded.
+
+    ``candidates`` maps image id to its :class:`CandidateTrace`; the counters
+    summarise the shortlist funnel (database -> inverted index -> signature
+    filter) and cache effectiveness for the whole query.
+    """
+
+    mode: str = "similarity"
+    database_size: int = 0
+    #: How many images the inverted index admitted (``None`` when the
+    #: shortlist was skipped entirely, e.g. ``use_filters=False``).
+    inverted_candidates: Optional[int] = None
+    #: How many candidates survived the signature filter and were scored.
+    shortlisted: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    #: Predicate clause: how many images were actually evaluated vs pruned
+    #: to a known-zero match by the label postings.
+    predicate_evaluated: int = 0
+    predicate_pruned: int = 0
+    candidates: Dict[str, CandidateTrace] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        """One-line funnel summary used by ``explain`` output."""
+        parts = [f"{self.database_size} stored"]
+        if self.inverted_candidates is not None:
+            parts.append(f"{self.inverted_candidates} shared a label")
+        if self.mode in ("similarity", "combined"):
+            parts.append(
+                f"{self.shortlisted} scored "
+                f"({self.cache_hits} cached, {self.cache_misses} computed)"
+            )
+        if self.mode in ("predicate", "combined"):
+            parts.append(
+                f"{self.predicate_evaluated} predicate-evaluated, "
+                f"{self.predicate_pruned} label-pruned"
+            )
+        return " -> ".join(parts)
+
+
+@dataclass
+class SpecOutcome:
+    """The full result of running one :class:`QuerySpec`.
+
+    ``results`` is the final ranking: :class:`~repro.index.ranking.RankedResult`
+    entries when the spec has a similarity clause, otherwise
+    :class:`~repro.retrieval.predicates.PredicateMatch` entries.  In combined
+    mode ``predicate_matches`` additionally carries the per-image predicate
+    evaluation used for filtering (keyed by image id).
+    """
+
+    spec: QuerySpec
+    results: List[Union["RankedResult", "PredicateMatch"]]
+    trace: QueryTrace
+    predicate_matches: Optional[Dict[str, "PredicateMatch"]] = None

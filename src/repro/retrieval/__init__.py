@@ -1,8 +1,13 @@
 """Retrieval system and evaluation.
 
 * :class:`~repro.retrieval.system.RetrievalSystem` -- the headless equivalent
-  of the paper's Section-5 demonstration system: load a corpus, pose queries
-  (exact, partial, transformation-invariant), get ranked results.
+  of the paper's Section-5 demonstration system: load a corpus, compose
+  queries with the fluent builder (exact, partial, transformation-invariant,
+  relation predicates), get ranked results.
+* :mod:`~repro.retrieval.querybuilder` -- the fluent
+  :class:`~repro.retrieval.querybuilder.QueryBuilder` and its
+  :class:`~repro.retrieval.querybuilder.ResultSet` (pagination, explain
+  traces, JSONL export).
 * :mod:`~repro.retrieval.metrics` -- precision/recall/average-precision and
   related measures over ranked result lists.
 * :mod:`~repro.retrieval.evaluation` -- experiment runner that evaluates one
@@ -11,6 +16,7 @@
 """
 
 from repro.retrieval.evaluation import EvaluationReport, MethodEvaluation, evaluate_corpus
+from repro.retrieval.querybuilder import QueryBuilder, ResultExplanation, ResultSet
 from repro.retrieval.metrics import (
     average_precision,
     f1_score,
@@ -34,6 +40,9 @@ __all__ = [
     "EvaluationReport",
     "MethodEvaluation",
     "evaluate_corpus",
+    "QueryBuilder",
+    "ResultExplanation",
+    "ResultSet",
     "PredicateMatch",
     "RelationKeyword",
     "RelationPredicate",

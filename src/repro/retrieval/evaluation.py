@@ -83,7 +83,9 @@ def be_string_method(
     def method(query: SymbolicPicture, database: Sequence[SymbolicPicture]) -> List[str]:
         """Rank the database for one query with the BE-string system."""
         system = RetrievalSystem.from_pictures(database, policy=policy)
-        results = system.search(query, limit=None, invariant=invariant, use_filters=False)
+        results = (
+            system.query(query).invariant(invariant).limit(None).no_filters().execute()
+        )
         return [result.image_id for result in results]
 
     method.__name__ = "be_string_invariant" if invariant else "be_string"

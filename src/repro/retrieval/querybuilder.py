@@ -1,0 +1,441 @@
+"""The fluent query builder and its :class:`ResultSet`.
+
+This module is the public face of the unified query pipeline.  Instead of six
+overlapping ``search*`` methods, a retrieval is *composed*::
+
+    results = (
+        system.query()
+        .similar_to(picture)
+        .invariant()
+        .partial(["phone", "desk"])
+        .where("phone right-of monitor")
+        .min_score(0.3)
+        .limit(10)
+        .execute()
+    )
+
+Each builder call refines one clause of a declarative
+:class:`~repro.index.spec.QuerySpec`; ``execute()`` compiles the spec and
+runs it through :meth:`repro.index.query.QueryEngine.execute_spec`, returning
+a :class:`ResultSet` that supports iteration, pagination (``.page(n, size)``),
+per-result execution traces (``.explain()``) and dict/JSONL export
+(``.to_dicts()`` / ``.to_jsonl()``).
+
+The legacy ``RetrievalSystem.search*`` methods are thin deprecated shims over
+this builder and return byte-identical rankings; see ``docs/query-api.md``
+for the migration table.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterator, List, Optional, Sequence, Union
+
+from repro.core.similarity import SimilarityPolicy
+from repro.core.transforms import Transformation
+from repro.iconic.picture import SymbolicPicture
+from repro.index.ranking import RankedResult
+from repro.index.spec import QuerySpec, QuerySpecError, QueryTrace, SpecOutcome
+from repro.retrieval.predicates import PredicateMatch, RelationPredicate, parse_query
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.retrieval.system import RetrievalSystem
+
+__all__ = [
+    "QueryBuilder",
+    "QuerySpec",
+    "QuerySpecError",
+    "ResultExplanation",
+    "ResultSet",
+]
+
+#: One entry of a result set: similarity or predicate ranking.
+ResultEntry = Union[RankedResult, PredicateMatch]
+
+
+@dataclass(frozen=True)
+class ResultExplanation:
+    """The per-result trace rendered by :meth:`ResultSet.explain`."""
+
+    rank: int
+    image_id: str
+    score: float
+    #: Which pipeline stage admitted the image (``full-scan``,
+    #: ``inverted-index+signature``, ``predicate-evaluated``, ...) or ``None``
+    #: when no trace was recorded (e.g. batch execution).
+    stage: Optional[str]
+    #: Whether the similarity score was served from the score cache
+    #: (``None`` when unknown or not applicable).
+    cache_hit: Optional[bool]
+    #: Winning transformation of an invariant evaluation (similarity only).
+    transformation: Optional[str] = None
+    lcs_x: Optional[int] = None
+    lcs_y: Optional[int] = None
+    common_objects: Optional[List[str]] = None
+    satisfied: Optional[List[str]] = None
+    unsatisfied: Optional[List[str]] = None
+
+    def describe(self) -> str:
+        """One-line rendering used by the CLI ``explain`` command."""
+        parts = [f"#{self.rank:<3d} {self.image_id:<24s} score={self.score:.3f}"]
+        if self.stage is not None:
+            parts.append(f"stage={self.stage}")
+        if self.cache_hit is not None:
+            parts.append("cache=hit" if self.cache_hit else "cache=miss")
+        if self.transformation is not None:
+            parts.append(f"via={self.transformation}")
+        if self.lcs_x is not None and self.lcs_y is not None:
+            parts.append(f"lcs={self.lcs_x}/{self.lcs_y}")
+        if self.common_objects:
+            parts.append(f"objects=[{', '.join(self.common_objects)}]")
+        if self.satisfied is not None:
+            parts.append(f"holds=[{'; '.join(self.satisfied) or '-'}]")
+        if self.unsatisfied:
+            parts.append(f"fails=[{'; '.join(self.unsatisfied)}]")
+        return " ".join(parts)
+
+
+class ResultSet(Sequence):
+    """An immutable, ordered collection of retrieval results.
+
+    Behaves as a sequence of :class:`~repro.index.ranking.RankedResult` (or
+    :class:`~repro.retrieval.predicates.PredicateMatch` for predicate-only
+    queries), best first, and adds pagination, explain traces and export.
+    """
+
+    def __init__(
+        self,
+        results: Sequence[ResultEntry],
+        spec: Optional[QuerySpec] = None,
+        outcome: Optional[SpecOutcome] = None,
+        ranks: Optional[List[int]] = None,
+    ) -> None:
+        self._results: List[ResultEntry] = list(results)
+        self.spec = spec
+        self.outcome = outcome
+        #: Global 1-based rank of each entry, preserved across page()/slicing
+        #: (PredicateMatch carries no rank of its own, unlike RankedResult).
+        self._ranks: List[int] = (
+            list(ranks) if ranks is not None else list(range(1, len(self._results) + 1))
+        )
+
+    # ------------------------------------------------------------------
+    # Sequence protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._results)
+
+    def __iter__(self) -> Iterator[ResultEntry]:
+        return iter(self._results)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return ResultSet(
+                self._results[index],
+                spec=self.spec,
+                outcome=self.outcome,
+                ranks=self._ranks[index],
+            )
+        return self._results[index]
+
+    def __bool__(self) -> bool:
+        return bool(self._results)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, ResultSet):
+            return self._results == other._results
+        if isinstance(other, list):
+            return self._results == other
+        return NotImplemented
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        preview = ", ".join(entry.image_id for entry in self._results[:3])
+        suffix = ", ..." if len(self._results) > 3 else ""
+        return f"ResultSet({len(self._results)} results: [{preview}{suffix}])"
+
+    # ------------------------------------------------------------------
+    # Pagination
+    # ------------------------------------------------------------------
+    def page(self, number: int, size: int) -> "ResultSet":
+        """One page of the ranking (pages are 1-based).
+
+        Returns:
+            A new :class:`ResultSet` holding results
+            ``[(number-1)*size, number*size)``; empty past the last page.
+
+        Raises:
+            ValueError: if ``number`` or ``size`` is not positive.
+        """
+        if number < 1:
+            raise ValueError("page numbers are 1-based")
+        if size < 1:
+            raise ValueError("page size must be at least 1")
+        start = (number - 1) * size
+        return self[start : start + size]
+
+    def page_count(self, size: int) -> int:
+        """How many pages of ``size`` the result set spans."""
+        if size < 1:
+            raise ValueError("page size must be at least 1")
+        return (len(self._results) + size - 1) // size
+
+    # ------------------------------------------------------------------
+    # Explain
+    # ------------------------------------------------------------------
+    @property
+    def trace(self) -> Optional[QueryTrace]:
+        """The pipeline trace of the execution (``None`` for batch results)."""
+        return self.outcome.trace if self.outcome is not None else None
+
+    def explain(self) -> List[ResultExplanation]:
+        """Per-result execution traces, in ranking order.
+
+        Each entry reports which shortlist stage admitted the image, whether
+        its similarity score was a cache hit, the winning transformation and
+        per-axis LCS lengths (similarity results), and the satisfied /
+        unsatisfied predicates (predicate results).
+        """
+        trace = self.trace
+        matches = self.outcome.predicate_matches if self.outcome is not None else None
+        explanations: List[ResultExplanation] = []
+        for position, entry in enumerate(self._results):
+            candidate = trace.candidates.get(entry.image_id) if trace is not None else None
+            stage = candidate.stage if candidate is not None else None
+            cache_hit = candidate.cache_hit if candidate is not None else None
+            if isinstance(entry, RankedResult):
+                match = matches.get(entry.image_id) if matches else None
+                explanations.append(
+                    ResultExplanation(
+                        rank=entry.rank,
+                        image_id=entry.image_id,
+                        score=entry.score,
+                        stage=stage,
+                        cache_hit=cache_hit,
+                        transformation=entry.similarity.transformation.value,
+                        lcs_x=entry.similarity.x.lcs_length,
+                        lcs_y=entry.similarity.y.lcs_length,
+                        common_objects=sorted(entry.similarity.common_objects),
+                        satisfied=(
+                            [predicate.to_text() for predicate in match.satisfied]
+                            if match is not None
+                            else None
+                        ),
+                    )
+                )
+            else:
+                explanations.append(
+                    ResultExplanation(
+                        rank=self._ranks[position],
+                        image_id=entry.image_id,
+                        score=entry.score,
+                        stage=stage,
+                        cache_hit=None,
+                        satisfied=[predicate.to_text() for predicate in entry.satisfied],
+                        unsatisfied=[predicate.to_text() for predicate in entry.unsatisfied],
+                    )
+                )
+        return explanations
+
+    def explain_report(self) -> str:
+        """Multi-line explain report: query funnel summary + per-result lines."""
+        lines: List[str] = []
+        if self.spec is not None:
+            lines.append(f"query: {self.spec.describe()}")
+        if self.trace is not None:
+            lines.append(f"plan:  {self.trace.describe()}")
+        if not self._results:
+            lines.append("no matching images")
+        for explanation in self.explain():
+            lines.append(explanation.describe())
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def to_dicts(self) -> List[dict]:
+        """The ranking as JSON-serialisable dicts (one per result)."""
+        dicts: List[dict] = []
+        for position, entry in enumerate(self._results):
+            if isinstance(entry, RankedResult):
+                dicts.append(
+                    {
+                        "rank": entry.rank,
+                        "image_id": entry.image_id,
+                        "score": entry.score,
+                        "transformation": entry.similarity.transformation.value,
+                        "lcs_x": entry.similarity.x.lcs_length,
+                        "lcs_y": entry.similarity.y.lcs_length,
+                        "common_objects": sorted(entry.similarity.common_objects),
+                    }
+                )
+            else:
+                dicts.append(
+                    {
+                        "rank": self._ranks[position],
+                        "image_id": entry.image_id,
+                        "score": entry.score,
+                        "satisfied": [predicate.to_text() for predicate in entry.satisfied],
+                        "unsatisfied": [
+                            predicate.to_text() for predicate in entry.unsatisfied
+                        ],
+                    }
+                )
+        return dicts
+
+    def to_jsonl(self) -> str:
+        """The ranking as JSON Lines text (one result object per line)."""
+        return "\n".join(json.dumps(entry, sort_keys=True) for entry in self.to_dicts())
+
+
+class QueryBuilder:
+    """Fluent, composable construction of one :class:`QuerySpec`.
+
+    Builders are cheap mutable accumulators obtained from
+    :meth:`RetrievalSystem.query`; every clause method returns ``self`` so
+    calls chain.  ``spec()`` freezes the accumulated state, ``execute()``
+    runs it.  A builder can be executed repeatedly (e.g. to re-run a query
+    after database updates).
+    """
+
+    def __init__(
+        self, system: "RetrievalSystem", picture: Optional[SymbolicPicture] = None
+    ) -> None:
+        self._system = system
+        self._picture = picture
+        self._identifiers: Optional[tuple] = None
+        self._transformations: tuple = (Transformation.IDENTITY,)
+        self._predicates: List[RelationPredicate] = []
+        self._limit: Optional[int] = 10
+        self._minimum_score: float = 0.0
+        self._minimum_shared_labels: int = 1
+        self._use_filters: bool = True
+        self._use_cache: bool = True
+        self._policy: Optional[SimilarityPolicy] = None
+
+    # ------------------------------------------------------------------
+    # Clauses
+    # ------------------------------------------------------------------
+    def similar_to(self, picture: SymbolicPicture) -> "QueryBuilder":
+        """Rank stored images by modified-LCS similarity to ``picture``."""
+        self._picture = picture
+        return self
+
+    def partial(self, identifiers: Sequence[str]) -> "QueryBuilder":
+        """Restrict the similarity clause to a subset of the query's icons.
+
+        This is the paper's uncertain-target scenario: only the named icons
+        (and their arrangement) take part in the evaluation.
+        """
+        self._identifiers = tuple(identifiers)
+        return self
+
+    def invariant(self, enabled: bool = True) -> "QueryBuilder":
+        """Search over all rotations/reflections of the query (string reversal)."""
+        self._transformations = tuple(Transformation) if enabled else (
+            Transformation.IDENTITY,
+        )
+        return self
+
+    def transformations(self, *transformations: Transformation) -> "QueryBuilder":
+        """Search over an explicit set of query transformations."""
+        self._transformations = tuple(transformations)
+        return self
+
+    def where(self, predicates: Union[str, RelationPredicate]) -> "QueryBuilder":
+        """Require relation predicates, e.g. ``"phone right-of monitor"``.
+
+        Accepts predicate text (conjunctions with ``and`` / ``,`` / ``;``) or
+        a pre-parsed :class:`~repro.retrieval.predicates.RelationPredicate`;
+        repeated calls accumulate conjuncts.  Alone, predicates rank images
+        by the fraction satisfied; combined with :meth:`similar_to` they act
+        as a filter requiring every predicate to hold.
+
+        Raises:
+            repro.retrieval.predicates.PredicateError: on malformed text.
+        """
+        if isinstance(predicates, RelationPredicate):
+            self._predicates.append(predicates)
+        else:
+            self._predicates.extend(parse_query(predicates))
+        return self
+
+    # ------------------------------------------------------------------
+    # Knobs
+    # ------------------------------------------------------------------
+    def limit(self, count: Optional[int]) -> "QueryBuilder":
+        """Keep only the top ``count`` results (``None`` for unlimited)."""
+        self._limit = count
+        return self
+
+    def min_score(self, score: float) -> "QueryBuilder":
+        """Drop results scoring below ``score``."""
+        self._minimum_score = score
+        return self
+
+    def min_shared_labels(self, count: int) -> "QueryBuilder":
+        """Require candidates to share at least ``count`` labels with the query."""
+        self._minimum_shared_labels = count
+        return self
+
+    def filters(self, enabled: bool = True) -> "QueryBuilder":
+        """Toggle the inverted-index + signature candidate shortlist."""
+        self._use_filters = enabled
+        return self
+
+    def no_filters(self) -> "QueryBuilder":
+        """Score every stored image (ablation mode; skips the shortlist)."""
+        return self.filters(False)
+
+    def cached(self, enabled: bool = True) -> "QueryBuilder":
+        """Toggle the score cache for this query (on by default)."""
+        self._use_cache = enabled
+        return self
+
+    def policy(self, policy: SimilarityPolicy) -> "QueryBuilder":
+        """Override the similarity policy for this query."""
+        self._policy = policy
+        return self
+
+    # ------------------------------------------------------------------
+    # Compilation and execution
+    # ------------------------------------------------------------------
+    def spec(self) -> QuerySpec:
+        """Freeze the builder into a validated :class:`QuerySpec`.
+
+        Returns:
+            The declarative spec the unified pipeline executes.
+
+        Raises:
+            repro.index.spec.QuerySpecError: if the accumulated clauses do
+                not form a runnable query.
+        """
+        spec = QuerySpec(
+            picture=self._picture,
+            identifiers=self._identifiers,
+            transformations=self._transformations,
+            predicates=tuple(self._predicates),
+            limit=self._limit,
+            minimum_score=self._minimum_score,
+            minimum_shared_labels=self._minimum_shared_labels,
+            use_filters=self._use_filters,
+            use_cache=self._use_cache,
+            policy=self._policy if self._policy is not None else self._system.policy,
+        )
+        spec.validate()
+        return spec
+
+    def execute(self) -> ResultSet:
+        """Compile and run the query through the unified pipeline.
+
+        Returns:
+            A :class:`ResultSet` with the ranking, trace and export helpers.
+        """
+        spec = self.spec()
+        outcome = self._system._engine.execute_spec(spec)
+        return ResultSet(outcome.results, spec=spec, outcome=outcome)
+
+    def explain(self) -> str:
+        """Execute the query and return its explain report (convenience)."""
+        return self.execute().explain_report()
+

@@ -2,54 +2,61 @@
 
 :class:`RetrievalSystem` wraps an :class:`~repro.index.database.ImageDatabase`
 plus a :class:`~repro.index.query.QueryEngine` behind the handful of calls an
-application actually needs: load pictures, search (exact, partial or
-transformation-invariant), inspect a stored image, and maintain it
-dynamically.  The examples and quality benchmarks are written against this
-facade only, which is the "public API" promised in the repository's README.
+application actually needs: load pictures, compose queries, inspect a stored
+image, and maintain it dynamically.  The examples and quality benchmarks are
+written against this facade only, which is the "public API" promised in the
+repository's README.
 
-Batch retrieval
----------------
+The query surface
+-----------------
 
-Query streams should go through the batch API instead of a loop of
-:meth:`RetrievalSystem.search` calls:
+All retrieval goes through one fluent builder
+(:class:`~repro.retrieval.querybuilder.QueryBuilder`)::
 
-* :meth:`RetrievalSystem.search_many` evaluates a whole sequence of query
-  pictures in one pass.  Identical queries are deduplicated into a single
-  evaluation, the inverted-index/signature shortlist is computed once per
-  unique query, and per-(query, image) LCS scores are memoised in an LRU
-  score cache that later batches reuse.
-* :meth:`RetrievalSystem.search_parallel` is the same entry point with the
-  worker pool turned on: cache misses are chunked and scored on a
-  ``concurrent.futures`` thread or process pool.
+    results = (
+        system.query()
+        .similar_to(picture)         # similarity clause (optional .partial(...))
+        .invariant()                 # rotations/reflections via string reversal
+        .where("phone right-of monitor")  # relation-predicate clause
+        .min_score(0.3)
+        .limit(10)
+        .execute()                   # -> ResultSet (page / explain / to_jsonl)
+    )
 
-Knobs (both methods): ``workers`` bounds the pool size, ``executor`` selects
-``"thread"``/``"process"``/``"serial"``/``"auto"`` scheduling, ``chunk_size``
-overrides the automatic task chunking, and ``use_cache=False`` disables the
-score cache for one call.  The cache itself lives on the underlying
-:class:`~repro.index.query.QueryEngine` (``capacity`` 65536 entries by
-default) and is invalidated automatically whenever a picture is added or
-removed or an object inside a stored image changes, so batch results always
-reflect the current database.  Results are guaranteed identical -- including
-tie-break ordering -- to running the equivalent serial searches; see
-``tests/index/test_batch.py`` and ``benchmarks/bench_batch_query.py``.
+Query *streams* go through :meth:`RetrievalSystem.query_batch`, which
+deduplicates identical queries, shares the candidate shortlist per unique
+query, and schedules score-cache misses on a thread/process pool.  Serial and
+batch execution share one LRU score cache (on the underlying
+:class:`~repro.index.query.QueryEngine`; 65536 entries by default, invalidated
+automatically whenever the database changes), so a repeated identical query is
+answered from memoised similarity results on *every* path, with rankings
+guaranteed identical -- including tie-break ordering.
+
+The legacy ``search`` / ``search_many`` / ``search_parallel`` /
+``search_partial`` / ``search_by_relations`` / ``run_batch`` methods remain as
+thin deprecated shims over the builder with byte-identical rankings; see
+``docs/query-api.md`` for the migration table.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, List, Optional, Sequence, Union
 
 from repro.core.similarity import DEFAULT_POLICY, SimilarityPolicy
-from repro.core.transforms import Transformation
 from repro.geometry.rectangle import Rectangle
 from repro.iconic.ascii_art import render_ascii
 from repro.iconic.picture import SymbolicPicture
 from repro.index.backends import StorageBackend, load_database_from, save_database_to
 from repro.index.batch import BatchOptions, BatchReport
+from repro.index.cache import CacheStatistics
 from repro.index.database import ImageDatabase, ImageRecord
 from repro.index.query import Query, QueryEngine
 from repro.index.ranking import RankedResult
+from repro.index.spec import QuerySpec, QuerySpecError
+from repro.retrieval.querybuilder import QueryBuilder, ResultSet
 
 
 @dataclass
@@ -194,8 +201,117 @@ class RetrievalSystem:
         return self._engine.database.statistics()
 
     # ------------------------------------------------------------------
-    # Search
+    # The query surface
     # ------------------------------------------------------------------
+    def query(self, picture: Optional[SymbolicPicture] = None) -> QueryBuilder:
+        """Start composing a query with the fluent builder.
+
+        ``picture`` optionally seeds the similarity clause (equivalent to
+        calling ``.similar_to(picture)`` on the returned builder).
+
+        Returns:
+            A :class:`~repro.retrieval.querybuilder.QueryBuilder` bound to
+            this system; call ``.execute()`` on it to get a
+            :class:`~repro.retrieval.querybuilder.ResultSet`.
+        """
+        return QueryBuilder(self, picture=picture)
+
+    def query_batch(
+        self,
+        queries: Sequence[Union[QuerySpec, QueryBuilder, Query]],
+        options: Optional[BatchOptions] = None,
+        **overrides,
+    ) -> List[ResultSet]:
+        """Run many queries as one scheduled batch.
+
+        Accepts :class:`~repro.index.spec.QuerySpec` values, prepared
+        :class:`~repro.retrieval.querybuilder.QueryBuilder` instances, or
+        engine-level :class:`~repro.index.query.Query` objects; each keeps
+        its own limit, score threshold and transformation set.  The batch
+        scheduler deduplicates identical queries, serves repeat scores from
+        the shared LRU cache, and evaluates misses on a worker pool
+        (``workers=8``, ``executor="process"``, ... adjust the
+        :class:`~repro.index.batch.BatchOptions`).  Rankings are identical --
+        including tie-break ordering -- to executing each query serially.
+
+        Returns:
+            One :class:`~repro.retrieval.querybuilder.ResultSet` per input
+            query, in input order.
+
+        Raises:
+            repro.index.spec.QuerySpecError: if a spec has a predicate
+                clause (predicates are not batchable yet) or is malformed.
+            ValueError: on bad scheduler knobs.
+        """
+        compiled: List[Query] = []
+        specs: List[Optional[QuerySpec]] = []
+        for item in queries:
+            if isinstance(item, QueryBuilder):
+                item = item.spec()
+            if isinstance(item, QuerySpec):
+                if item.policy is None:
+                    # A bare spec inherits this system's policy, exactly as a
+                    # builder-made spec would -- keeping batch rankings
+                    # identical to serial execution under custom policies.
+                    item = item.with_overrides(policy=self.policy)
+                item.validate()
+                if item.has_predicate_clause:
+                    raise QuerySpecError(
+                        "predicate clauses are not supported in batches yet; "
+                        "run where() queries serially via execute()"
+                    )
+                specs.append(item)
+                compiled.append(item.to_query())
+            elif isinstance(item, Query):
+                specs.append(None)
+                compiled.append(item)
+            else:
+                raise TypeError(
+                    "query_batch() accepts QuerySpec, QueryBuilder or Query items, "
+                    f"got {type(item).__name__}"
+                )
+        batches = self._engine.run_batch(compiled, options=options, **overrides)
+        return [
+            ResultSet(results, spec=spec) for results, spec in zip(batches, specs)
+        ]
+
+    @property
+    def last_batch_report(self) -> Optional[BatchReport]:
+        """Scheduler report of the most recent batch search (or ``None``)."""
+        return self._engine.last_batch_report
+
+    def cache_statistics(self) -> CacheStatistics:
+        """Hit/miss/eviction counters of the shared score cache."""
+        return self._engine.score_cache.statistics
+
+    # ------------------------------------------------------------------
+    # Deprecated search surface (thin shims over the builder)
+    # ------------------------------------------------------------------
+    def _warn_deprecated(self, old: str, replacement: str) -> None:
+        """Emit the deprecation warning for one legacy ``search*`` call."""
+        warnings.warn(
+            f"RetrievalSystem.{old} is deprecated; use {replacement} instead "
+            "(see docs/query-api.md for the migration table)",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+
+    def _similarity_builder(
+        self,
+        query_picture: SymbolicPicture,
+        limit: Optional[int],
+        invariant: bool,
+        minimum_score: float,
+        use_filters: bool,
+    ) -> QueryBuilder:
+        return (
+            self.query(query_picture)
+            .invariant(invariant)
+            .limit(limit)
+            .min_score(minimum_score)
+            .filters(use_filters)
+        )
+
     def search(
         self,
         query_picture: SymbolicPicture,
@@ -206,22 +322,19 @@ class RetrievalSystem:
     ) -> List[RankedResult]:
         """Similarity search with the configured policy.
 
-        ``invariant=True`` additionally searches the five rotated/reflected
-        variants of the query (retrieved purely by string reversal, as in the
-        paper); ``use_filters=False`` bypasses the candidate pruning and scores
-        every stored image.
+        .. deprecated:: 1.1
+            Use ``system.query(picture)...execute()`` instead; this shim
+            routes through the same pipeline and returns identical rankings.
 
         Returns:
             Ranked results, best first, ties broken by image id.
         """
-        query = self._make_query(
-            query_picture,
-            limit=limit,
-            invariant=invariant,
-            minimum_score=minimum_score,
-            use_filters=use_filters,
+        self._warn_deprecated("search", "query(picture).execute()")
+        return list(
+            self._similarity_builder(
+                query_picture, limit, invariant, minimum_score, use_filters
+            ).execute()
         )
-        return self._engine.execute(query)
 
     def search_many(
         self,
@@ -237,30 +350,23 @@ class RetrievalSystem:
     ) -> List[List[RankedResult]]:
         """Batch similarity search: one ranked result list per query picture.
 
-        Identical query pictures share a single evaluation and candidate
-        shortlist, and per-(query, image) scores are served from the engine's
-        LRU score cache when a previous batch already computed them.  With the
-        default ``workers=1`` all misses are scored inline; pass ``workers``
-        and ``executor`` (or use :meth:`search_parallel`) to score them on a
-        pool.  See the module docstring for the full knob reference.
+        .. deprecated:: 1.1
+            Use :meth:`query_batch` with builder specs instead.
         """
-        queries = [
-            self._make_query(
-                picture,
-                limit=limit,
-                invariant=invariant,
-                minimum_score=minimum_score,
-                use_filters=use_filters,
-            )
-            for picture in query_pictures
-        ]
-        options = BatchOptions(
-            workers=workers,
-            executor=executor,
-            chunk_size=chunk_size,
-            use_cache=use_cache,
+        self._warn_deprecated("search_many", "query_batch([...])")
+        return self._batch_pictures(
+            query_pictures,
+            limit,
+            invariant,
+            minimum_score,
+            use_filters,
+            BatchOptions(
+                workers=workers,
+                executor=executor,
+                chunk_size=chunk_size,
+                use_cache=use_cache,
+            ),
         )
-        return self._engine.run_batch(queries, options=options)
 
     def search_parallel(
         self,
@@ -274,18 +380,43 @@ class RetrievalSystem:
         chunk_size: Optional[int] = None,
         use_cache: bool = True,
     ) -> List[List[RankedResult]]:
-        """:meth:`search_many` with the worker pool on (4 threads by default)."""
-        return self.search_many(
+        """Batch similarity search with the worker pool on (4 threads default).
+
+        .. deprecated:: 1.1
+            Use :meth:`query_batch` with ``workers=...`` instead.
+        """
+        self._warn_deprecated("search_parallel", "query_batch([...], workers=4)")
+        return self._batch_pictures(
             query_pictures,
-            limit=limit,
-            invariant=invariant,
-            minimum_score=minimum_score,
-            use_filters=use_filters,
-            workers=workers,
-            executor=executor,
-            chunk_size=chunk_size,
-            use_cache=use_cache,
+            limit,
+            invariant,
+            minimum_score,
+            use_filters,
+            BatchOptions(
+                workers=workers,
+                executor=executor,
+                chunk_size=chunk_size,
+                use_cache=use_cache,
+            ),
         )
+
+    def _batch_pictures(
+        self,
+        query_pictures: Iterable[SymbolicPicture],
+        limit: Optional[int],
+        invariant: bool,
+        minimum_score: float,
+        use_filters: bool,
+        options: BatchOptions,
+    ) -> List[List[RankedResult]]:
+        """Shared body of the deprecated picture-batch shims."""
+        specs = [
+            self._similarity_builder(
+                picture, limit, invariant, minimum_score, use_filters
+            ).spec()
+            for picture in query_pictures
+        ]
+        return [list(results) for results in self.query_batch(specs, options=options)]
 
     def run_batch(
         self,
@@ -295,40 +426,15 @@ class RetrievalSystem:
     ) -> List[List[RankedResult]]:
         """Run pre-built :class:`~repro.index.query.Query` objects as one batch.
 
-        Unlike :meth:`search_many`, each query keeps its own limit, score
-        threshold and transformation set; the batch scheduler still
-        deduplicates, caches and parallelises across them.  Keyword overrides
-        (``workers=8``, ``executor="process"``, ...) adjust the
-        :class:`~repro.index.batch.BatchOptions`.
+        .. deprecated:: 1.1
+            Use :meth:`query_batch`, which accepts the same ``Query`` objects
+            (and builder specs) and returns ``ResultSet`` values.
         """
-        return self._engine.run_batch(queries, options=options, **overrides)
-
-    @property
-    def last_batch_report(self) -> Optional[BatchReport]:
-        """Scheduler report of the most recent batch search (or ``None``)."""
-        return self._engine.last_batch_report
-
-    def _make_query(
-        self,
-        query_picture: SymbolicPicture,
-        limit: Optional[int],
-        invariant: bool,
-        minimum_score: float,
-        use_filters: bool,
-    ) -> Query:
-        transformations: Sequence[Transformation]
-        if invariant:
-            transformations = tuple(Transformation)
-        else:
-            transformations = (Transformation.IDENTITY,)
-        return Query(
-            picture=query_picture,
-            policy=self.policy,
-            transformations=tuple(transformations),
-            limit=limit,
-            minimum_score=minimum_score,
-            use_filters=use_filters,
-        )
+        self._warn_deprecated("run_batch", "query_batch(queries)")
+        return [
+            list(results)
+            for results in self.query_batch(queries, options=options, **overrides)
+        ]
 
     def search_partial(
         self,
@@ -336,14 +442,28 @@ class RetrievalSystem:
         identifiers: Sequence[str],
         limit: Optional[int] = 10,
         invariant: bool = False,
+        minimum_score: float = 0.0,
+        use_filters: bool = True,
     ) -> List[RankedResult]:
         """Search with only a subset of the query picture's icons.
 
         This is the paper's uncertain-target scenario: the caller knows some
-        icons and their arrangement but not the whole scene.
+        icons and their arrangement but not the whole scene.  ``minimum_score``
+        and ``use_filters`` are forwarded like every other knob (they used to
+        be silently dropped).
+
+        .. deprecated:: 1.1
+            Use ``system.query(picture).partial(identifiers)...execute()``.
         """
-        return self.search(
-            query_picture.subset(identifiers), limit=limit, invariant=invariant
+        self._warn_deprecated(
+            "search_partial", "query(picture).partial(identifiers).execute()"
+        )
+        return list(
+            self._similarity_builder(
+                query_picture, limit, invariant, minimum_score, use_filters
+            )
+            .partial(identifiers)
+            .execute()
         )
 
     def search_by_relations(
@@ -354,16 +474,14 @@ class RetrievalSystem:
     ) -> List["PredicateMatch"]:
         """Relation-predicate search, e.g. ``"monitor above desk and phone right-of monitor"``.
 
-        The predicates are evaluated against every stored image's BE-string
-        (never against raw coordinates); images are ranked by the fraction of
-        predicates they satisfy.  See :mod:`repro.retrieval.predicates` for
-        the predicate vocabulary.
-        """
-        from repro.retrieval.predicates import search_by_predicates
+        The predicates are evaluated against stored BE-strings (never against
+        raw coordinates); images are ranked by the fraction of predicates they
+        satisfy.  See :mod:`repro.retrieval.predicates` for the vocabulary.
 
-        matches = search_by_predicates(
-            ((record.image_id, record.bestring) for record in self._engine.database),
-            query,
-            minimum_score=minimum_score,
+        .. deprecated:: 1.1
+            Use ``system.query().where(query)...execute()``.
+        """
+        self._warn_deprecated("search_by_relations", 'query().where("...").execute()')
+        return list(
+            self.query().where(query).limit(limit).min_score(minimum_score).execute()
         )
-        return matches[:limit] if limit is not None else matches

@@ -45,7 +45,7 @@ def populated_database(scene_collection):
 
 def _rankings(system, queries):
     return [
-        [result.describe() for result in system.search(query, limit=None)]
+        [result.describe() for result in system.query(query).limit(None).execute()]
         for query in queries
     ]
 
@@ -420,7 +420,7 @@ class TestRetrievalSystemBackends:
         system = RetrievalSystem.from_pictures(scene_collection)
         path = system.save(tmp_path / file_name, backend=backend_name)
         reloaded = RetrievalSystem.from_file(path)
-        results = reloaded.search(scene_collection[0], limit=1)
+        results = reloaded.query(scene_collection[0]).limit(1).execute()
         assert results and results[0].score == pytest.approx(1.0)
 
     def test_incremental_save_after_mutation(self, scene_collection, tmp_path, office):

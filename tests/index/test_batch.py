@@ -51,19 +51,33 @@ class TestEquivalenceWithSerial:
         batch = engine.run_batch(queries, workers=2, executor=executor, chunk_size=2)
         assert [result_key(r) for r in batch] == [result_key(r) for r in serial]
 
-    def test_search_many_matches_n_serial_searches(self, system, query_pictures):
-        serial = [system.search(picture, limit=4) for picture in query_pictures]
-        batch = system.search_many(query_pictures, limit=4)
+    def test_query_batch_matches_n_serial_queries(self, system, query_pictures):
+        serial = [
+            list(system.query(picture).limit(4).execute()) for picture in query_pictures
+        ]
+        batch = system.query_batch(
+            [system.query(picture).limit(4) for picture in query_pictures]
+        )
         assert [result_key(r) for r in batch] == [result_key(r) for r in serial]
 
-    def test_search_parallel_matches_serial(self, system, query_pictures):
-        serial = [system.search(picture, limit=4) for picture in query_pictures]
-        batch = system.search_parallel(query_pictures, limit=4, workers=3)
+    def test_parallel_query_batch_matches_serial(self, system, query_pictures):
+        serial = [
+            list(system.query(picture).limit(4).execute()) for picture in query_pictures
+        ]
+        batch = system.query_batch(
+            [system.query(picture).limit(4) for picture in query_pictures], workers=3
+        )
         assert [result_key(r) for r in batch] == [result_key(r) for r in serial]
 
     def test_invariant_batch_matches_serial(self, system, query_pictures):
-        serial = [system.search(picture, limit=4, invariant=True) for picture in query_pictures]
-        batch = system.search_many(query_pictures, limit=4, invariant=True, workers=2)
+        serial = [
+            list(system.query(picture).invariant().limit(4).execute())
+            for picture in query_pictures
+        ]
+        batch = system.query_batch(
+            [system.query(picture).invariant().limit(4) for picture in query_pictures],
+            workers=2,
+        )
         assert [result_key(r) for r in batch] == [result_key(r) for r in serial]
 
     def test_tie_break_ordering_is_preserved(self, office):
@@ -72,8 +86,8 @@ class TestEquivalenceWithSerial:
         system = RetrievalSystem.from_pictures(
             [office.renamed(f"copy-{index}") for index in range(6)]
         )
-        serial = system.search(office, limit=None)
-        batch = system.search_many([office], limit=None)[0]
+        serial = list(system.query(office).limit(None).execute())
+        batch = system.query_batch([system.query(office).limit(None)])[0]
         assert [r.image_id for r in serial] == [f"copy-{index}" for index in range(6)]
         assert result_key(batch) == result_key(serial)
 
@@ -85,11 +99,11 @@ class TestEquivalenceWithSerial:
             Query(picture=query_pictures[2], use_filters=False),
         ]
         serial = [system._engine.execute(query) for query in queries]
-        batch = system.run_batch(queries, workers=2, executor="thread")
+        batch = system.query_batch(queries, workers=2, executor="thread")
         assert [result_key(r) for r in batch] == [result_key(r) for r in serial]
 
     def test_empty_batch(self, system):
-        assert system.search_many([]) == []
+        assert system.query_batch([]) == []
 
 
 class TestDeduplicationAndCache:
@@ -122,33 +136,34 @@ class TestDeduplicationAndCache:
 
     def test_cache_invalidated_on_remove(self, scene_collection, office):
         system = RetrievalSystem.from_pictures(scene_collection)
-        before = system.search_many([office], limit=None)[0]
+        before = system.query_batch([system.query(office).limit(None)])[0]
         assert any(r.image_id == "office-001" for r in before)
         system.remove_picture("office-001")
-        after = system.search_many([office], limit=None)[0]
+        after = system.query_batch([system.query(office).limit(None)])[0]
         assert not any(r.image_id == "office-001" for r in after)
-        fresh = system.search(office, limit=None)
+        fresh = list(system.query(office).limit(None).execute())
         assert result_key(after) == result_key(fresh)
 
     def test_cache_invalidated_on_object_update(self, scene_collection, office):
         system = RetrievalSystem.from_pictures(scene_collection)
-        stale = system.search_many([office], limit=None)[0]
+        stale = system.query_batch([system.query(office).limit(None)])[0]
         # Editing a stored image changes its BE-string; the cached score for
         # that image must be dropped, not replayed.
         system.add_object("office-001", "aquarium", Rectangle(1.0, 1.0, 3.0, 3.0))
         system.remove_object("office-000", "phone")
-        updated = system.search_many([office], limit=None)[0]
-        fresh = system.search(office, limit=None)
+        updated = system.query_batch([system.query(office).limit(None)])[0]
+        fresh = list(system.query(office).limit(None).execute())
         assert result_key(updated) == result_key(fresh)
         assert result_key(updated) != result_key(stale)
 
     def test_cache_invalidated_on_add_picture(self, scene_collection, office):
         system = RetrievalSystem.from_pictures(scene_collection)
-        system.search_many([office])
+        system.query_batch([system.query(office)])
         system.add_picture(office.renamed("office-twin"))
-        results = system.search_many([office], limit=None)[0]
+        results = system.query_batch([system.query(office).limit(None)])[0]
         assert any(r.image_id == "office-twin" for r in results)
-        assert result_key(results) == result_key(system.search(office, limit=None))
+        fresh = list(system.query(office).limit(None).execute())
+        assert result_key(results) == result_key(fresh)
 
 
 class TestScoreCache:
@@ -156,7 +171,7 @@ class TestScoreCache:
         system = RetrievalSystem.from_pictures([office, traffic, landscape])
         engine = system._engine
         engine.score_cache = ScoreCache(capacity=2)
-        system.search_many([office], use_filters=False)  # 3 candidates > capacity 2
+        system.query_batch([system.query(office).no_filters()])  # 3 candidates > capacity 2
         stats = engine.score_cache.statistics
         assert stats.size == 2
         assert stats.evictions >= 1
@@ -167,11 +182,11 @@ class TestScoreCache:
 
     def test_statistics_and_clear(self, office, traffic):
         system = RetrievalSystem.from_pictures([office, traffic])
-        system.search_many([office])
+        system.query_batch([system.query(office)])
         cache = system._engine.score_cache
         assert len(cache) > 0
         assert cache.statistics.hit_rate == 0.0
-        system.search_many([office])
+        system.query_batch([system.query(office)])
         assert cache.statistics.hits > 0
         cache.clear()
         assert len(cache) == 0
@@ -239,6 +254,6 @@ class TestStalePostings:
         )
         system = RetrievalSystem.from_pictures([lamp, desk])
         system.remove_picture("lamp-only")
-        results = system.search_many([lamp], limit=None)[0]
+        results = system.query_batch([system.query(lamp).limit(None)])[0]
         assert results == []
         assert system.last_batch_report.candidates_considered == 0

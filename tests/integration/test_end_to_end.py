@@ -22,7 +22,7 @@ class TestPixelsToRetrieval:
         labels = {value: identifier.split("#")[0] for value, identifier in value_map.items()}
         segmented = raster.to_picture(value_labels=labels, name="segmented-office")
         system = RetrievalSystem.from_pictures(scene_collection)
-        results = system.search(segmented, limit=3)
+        results = system.query(segmented).limit(3).execute()
         assert results[0].image_id == office.name
         assert results[0].score > 0.9
 
@@ -32,7 +32,7 @@ class TestDatabaseLifecycle:
         system = RetrievalSystem.from_pictures(scene_collection)
 
         # 1. Query.
-        first = system.search(office, limit=1)[0]
+        first = system.query(office).limit(1).execute()[0]
         assert first.image_id == office.name
 
         # 2. Dynamic edit: add an object to a stored image, then query again.
@@ -47,8 +47,10 @@ class TestDatabaseLifecycle:
         assert reloaded.record(office.name).picture.has_icon("mug")
 
         # 4. The reloaded database still answers queries identically.
-        original_ranks = [result.image_id for result in system.search(office, limit=None)]
-        reloaded_ranks = [result.image_id for result in reloaded.search(office, limit=None)]
+        original = system.query(office).limit(None).execute()
+        reloaded_results = reloaded.query(office).limit(None).execute()
+        original_ranks = [result.image_id for result in original]
+        reloaded_ranks = [result.image_id for result in reloaded_results]
         assert original_ranks == reloaded_ranks
 
     def test_low_level_storage_roundtrip_matches_engine_state(self, scene_collection, tmp_path):
@@ -117,6 +119,6 @@ class TestScaleSmoke:
         )
         system = RetrievalSystem.from_pictures(pictures)
         query = pictures[37]
-        results = system.search(query, limit=5)
+        results = system.query(query).limit(5).execute()
         assert results[0].image_id == query.name
         assert len(results) == 5

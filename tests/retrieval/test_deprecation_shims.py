@@ -1,0 +1,147 @@
+"""The legacy ``search*`` surface: warns, and stays byte-identical.
+
+Every pre-redesign ``RetrievalSystem`` entry point must (a) emit a
+``DeprecationWarning`` naming its replacement and (b) return rankings
+identical -- including tie-break ordering -- to the equivalent fluent-builder
+query.  The suite-wide ``filterwarnings = error::DeprecationWarning`` rule
+(``pyproject.toml``) guarantees no *internal* code path still calls the old
+surface; this module is the one place the old surface is exercised on
+purpose, hence the targeted ignore.
+"""
+
+import pytest
+
+from repro.index.query import Query
+from repro.retrieval.system import RetrievalSystem
+
+#: This module deliberately calls the deprecated surface.
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
+
+def result_key(results):
+    """Everything a ranked result list is judged on, including tie-breaks."""
+    return [
+        (r.rank, r.image_id, r.score, r.similarity.transformation, r.similarity.common_objects)
+        for r in results
+    ]
+
+
+@pytest.fixture
+def system(scene_collection):
+    return RetrievalSystem.from_pictures(scene_collection)
+
+
+class TestEveryShimWarns:
+    def test_search_warns(self, system, office):
+        with pytest.warns(DeprecationWarning, match="query"):
+            system.search(office)
+
+    def test_search_many_warns(self, system, office):
+        with pytest.warns(DeprecationWarning, match="query_batch"):
+            system.search_many([office])
+
+    def test_search_parallel_warns(self, system, office):
+        with pytest.warns(DeprecationWarning, match="query_batch"):
+            system.search_parallel([office], workers=2)
+
+    def test_run_batch_warns(self, system, office):
+        with pytest.warns(DeprecationWarning, match="query_batch"):
+            system.run_batch([Query.exact(office, limit=3)])
+
+    def test_search_partial_warns(self, system, office):
+        with pytest.warns(DeprecationWarning, match="partial"):
+            system.search_partial(office, ["desk"])
+
+    def test_search_by_relations_warns(self, system):
+        with pytest.warns(DeprecationWarning, match="where"):
+            system.search_by_relations("monitor above desk")
+
+    def test_warning_points_at_migration_docs(self, system, office):
+        with pytest.warns(DeprecationWarning, match="docs/query-api.md"):
+            system.search(office)
+
+
+class TestByteIdenticalEquivalence:
+    """The old call and its builder equivalent agree entry for entry."""
+
+    def test_exact_search(self, system, office):
+        old = system.search(office, limit=None)
+        new = system.query(office).limit(None).execute()
+        assert result_key(old) == result_key(new)
+
+    def test_search_with_knobs(self, system, office):
+        old = system.search(
+            office, limit=3, minimum_score=0.2, use_filters=False
+        )
+        new = (
+            system.query(office).limit(3).min_score(0.2).no_filters().execute()
+        )
+        assert result_key(old) == result_key(new)
+
+    def test_invariant_search(self, system, office):
+        system.add_picture(office.rotate90().renamed("office-rotated"))
+        old = system.search(office, limit=None, invariant=True, use_filters=False)
+        new = (
+            system.query(office).invariant().limit(None).no_filters().execute()
+        )
+        assert result_key(old) == result_key(new)
+
+    def test_partial_search(self, system, office):
+        identifiers = ["desk", "monitor", "phone"]
+        old = system.search_partial(office, identifiers, limit=None)
+        new = system.query(office).partial(identifiers).limit(None).execute()
+        assert result_key(old) == result_key(new)
+
+    def test_partial_search_forwards_minimum_score_and_filters(self, system, office):
+        # Regression: these knobs used to be silently dropped by the shim.
+        thresholded = system.search_partial(
+            office, ["desk", "monitor"], limit=None, minimum_score=0.9
+        )
+        assert thresholded and all(r.score >= 0.9 for r in thresholded)
+        unfiltered = system.search_partial(
+            office, ["desk", "monitor"], limit=None, use_filters=False
+        )
+        # Without the label filters every stored image is scored.
+        assert len(unfiltered) == len(system)
+
+    def test_predicate_search(self, system):
+        query_text = "monitor above desk and phone right-of monitor"
+        old = system.search_by_relations(query_text, limit=None)
+        new = system.query().where(query_text).limit(None).execute()
+        assert [(m.image_id, m.score, m.satisfied, m.unsatisfied) for m in old] == [
+            (m.image_id, m.score, m.satisfied, m.unsatisfied) for m in new
+        ]
+
+    def test_predicate_search_with_limit_and_threshold(self, system):
+        old = system.search_by_relations("monitor above desk", limit=2, minimum_score=0.5)
+        new = (
+            system.query().where("monitor above desk").limit(2).min_score(0.5).execute()
+        )
+        assert [(m.image_id, m.score) for m in old] == [(m.image_id, m.score) for m in new]
+
+    def test_tie_break_ordering(self, office):
+        system = RetrievalSystem.from_pictures(
+            [office.renamed(f"copy-{index}") for index in range(5)]
+        )
+        old = system.search(office, limit=None)
+        new = system.query(office).limit(None).execute()
+        assert [r.image_id for r in old] == [f"copy-{index}" for index in range(5)]
+        assert result_key(old) == result_key(new)
+
+    def test_batch_shims(self, system, scene_collection):
+        pictures = [scene_collection[0], scene_collection[3], scene_collection[0]]
+        specs = [system.query(picture).limit(4) for picture in pictures]
+        expected = [
+            [result_key(results) for results in system.query_batch(specs)],
+        ][0]
+        old_many = system.search_many(pictures, limit=4)
+        old_parallel = system.search_parallel(pictures, limit=4, workers=2)
+        assert [result_key(r) for r in old_many] == expected
+        assert [result_key(r) for r in old_parallel] == expected
+
+    def test_run_batch_shim(self, system, office, traffic):
+        queries = [Query.exact(office, limit=3), Query.invariant(traffic, limit=2)]
+        old = system.run_batch(queries, workers=2, executor="thread")
+        new = system.query_batch(queries, workers=2, executor="thread")
+        assert [result_key(r) for r in old] == [result_key(r) for r in new]
+        assert all(isinstance(results, list) for results in old)

@@ -140,8 +140,11 @@ class TestSearch:
 
     def test_retrieval_system_facade(self, scene_collection):
         system = RetrievalSystem.from_pictures(scene_collection)
-        matches = system.search_by_relations(
-            "monitor above desk and phone right-of monitor", limit=None
+        matches = (
+            system.query()
+            .where("monitor above desk and phone right-of monitor")
+            .limit(None)
+            .execute()
         )
         office_matches = [match for match in matches if match.image_id.startswith("office")]
         other_matches = [match for match in matches if not match.image_id.startswith("office")]

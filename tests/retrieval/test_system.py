@@ -37,7 +37,7 @@ class TestMaintenance:
         path = system.save(tmp_path / "db.json")
         reloaded = RetrievalSystem.from_file(path)
         assert reloaded.image_ids == system.image_ids
-        assert reloaded.search(office, limit=1)[0].image_id == office.name
+        assert reloaded.query(office).limit(1).execute()[0].image_id == office.name
 
 
 class TestDynamicObjectUpdates:
@@ -53,37 +53,51 @@ class TestDynamicObjectUpdates:
         record = system.record(office.name)
         assert not record.picture.has_icon("phone")
         query = office.subset(["phone"])
-        results = system.search(query, limit=None)
+        results = system.query(query).limit(None).execute()
         result_ids = {result.image_id for result in results}
         # The edited image no longer shares the "phone" label, so the label
         # filter excludes it.
         assert office.name not in result_ids
 
 
-class TestSearch:
+class TestQuerySurface:
     def test_identical_image_ranks_first(self, system, office):
-        results = system.search(office)
+        results = system.query(office).execute()
         assert results[0].image_id == office.name
         assert results[0].score == pytest.approx(1.0)
 
     def test_limit(self, system, office):
-        assert len(system.search(office, limit=2)) <= 2
+        assert len(system.query(office).limit(2).execute()) <= 2
 
     def test_minimum_score(self, system, office):
-        results = system.search(office, minimum_score=0.95, limit=None)
+        results = system.query(office).min_score(0.95).limit(None).execute()
         assert all(result.score >= 0.95 for result in results)
 
     def test_partial_search(self, system, office):
-        results = system.search_partial(office, ["desk", "monitor", "phone"], limit=3)
+        results = (
+            system.query(office).partial(["desk", "monitor", "phone"]).limit(3).execute()
+        )
         assert results[0].image_id == office.name
         assert results[0].similarity.common_objects == {"desk", "monitor", "phone"}
 
     def test_invariant_search_finds_reflected_image(self, system, office):
         reflected = office.reflect_y().renamed("office-mirrored")
         system.add_picture(reflected)
-        plain = system.search(office, limit=None, use_filters=False)
-        invariant = system.search(office, limit=None, invariant=True, use_filters=False)
+        plain = system.query(office).limit(None).no_filters().execute()
+        invariant = (
+            system.query(office).invariant().limit(None).no_filters().execute()
+        )
         plain_score = {r.image_id: r.score for r in plain}["office-mirrored"]
         invariant_score = {r.image_id: r.score for r in invariant}["office-mirrored"]
         assert invariant_score == pytest.approx(1.0)
         assert invariant_score > plain_score
+
+    def test_repeated_serial_query_is_served_from_cache(self, system, office):
+        system.query(office).limit(None).execute()
+        before = system.cache_statistics()
+        results = system.query(office).limit(None).execute()
+        after = system.cache_statistics()
+        # Every candidate score of the repeated query came from the cache:
+        # no additional misses, one hit per candidate considered.
+        assert after.misses == before.misses
+        assert after.hits - before.hits == len(results)

@@ -152,6 +152,92 @@ class TestBatchSearch:
         assert "no queries" in capsys.readouterr().err
 
 
+class TestSearchExtensions:
+    def test_search_jsonl_output(self, database_file, scene_files, capsys):
+        office_path = next(path for name, path in scene_files.items() if "office" in name)
+        assert main(
+            ["search", str(database_file), str(office_path), "--top", "2", "--jsonl"]
+        ) == 0
+        lines = [line for line in capsys.readouterr().out.splitlines() if line.strip()]
+        payloads = [json.loads(line) for line in lines]
+        assert payloads[0]["image_id"] == "office-000"
+        assert payloads[0]["rank"] == 1 and "transformation" in payloads[0]
+
+    def test_search_with_where_filter(self, database_file, scene_files, capsys):
+        office_path = next(path for name, path in scene_files.items() if "office" in name)
+        assert main(
+            [
+                "search", str(database_file), str(office_path),
+                "--where", "monitor above desk",
+            ]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "office-000" in output
+        assert "traffic" not in output and "landscape" not in output
+
+    def test_search_min_score(self, database_file, scene_files, capsys):
+        office_path = next(path for name, path in scene_files.items() if "office" in name)
+        assert main(
+            ["search", str(database_file), str(office_path), "--min-score", "0.99"]
+        ) == 0
+        lines = [l for l in capsys.readouterr().out.splitlines() if l.strip()]
+        assert len(lines) == 1 and "office-000" in lines[0]
+
+    def test_search_without_scene_or_where_fails(self, database_file, capsys):
+        assert main(["search", str(database_file)]) == 2
+        assert "at least one clause" in capsys.readouterr().err
+
+    def test_search_jsonl_empty_keeps_stdout_clean(self, database_file, scene_files, capsys):
+        office_path = next(path for name, path in scene_files.items() if "office" in name)
+        code = main(
+            ["search", str(database_file), str(office_path),
+             "--min-score", "1.5", "--jsonl"]
+        )
+        captured = capsys.readouterr()
+        assert code == 1
+        assert captured.out == ""  # no plain-text noise in the JSONL stream
+        assert "no matching images" in captured.err
+
+
+class TestExplain:
+    def test_explain_similarity_query(self, database_file, scene_files, capsys):
+        office_path = next(path for name, path in scene_files.items() if "office" in name)
+        assert main(["explain", str(database_file), str(office_path), "--top", "2"]) == 0
+        output = capsys.readouterr().out
+        assert output.startswith("query: similar_to(")
+        assert "plan:" in output and "stored" in output
+        assert "stage=" in output and "cache=miss" in output
+        assert "lcs=" in output
+
+    def test_explain_predicate_query(self, database_file, capsys):
+        assert main(
+            ["explain", str(database_file), "--where", "monitor above desk"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "predicate-evaluated" in output
+        assert "holds=[monitor above desk]" in output
+
+    def test_explain_bad_predicate(self, database_file, capsys):
+        assert main(
+            ["explain", str(database_file), "--where", "monitor floats-over desk"]
+        ) == 2
+        assert "unknown relation" in capsys.readouterr().err
+
+    def test_explain_no_matches_exit_code(self, database_file, tmp_path, capsys):
+        # A scene whose labels appear nowhere: the shortlist admits nothing.
+        from repro.geometry.rectangle import Rectangle
+        from repro.iconic.picture import SymbolicPicture
+        from repro.index.storage import picture_to_json_text
+
+        alien = SymbolicPicture.build(
+            width=10, height=10, objects=[("alien", Rectangle(1, 1, 3, 3))], name="alien"
+        )
+        path = tmp_path / "alien.json"
+        path.write_text(picture_to_json_text(alien), encoding="utf-8")
+        assert main(["explain", str(database_file), str(path)]) == 1
+        assert "no matching images" in capsys.readouterr().out
+
+
 class TestRelationsShowDemo:
     def test_relations_query(self, database_file, capsys):
         code = main(

@@ -54,4 +54,4 @@ class TestTopLevelExports:
         bestring = repro.encode_picture(picture)
         assert repro.similarity(bestring, bestring).score == 1.0
         system = repro.RetrievalSystem.from_pictures([picture])
-        assert system.search(picture)[0].image_id == "t"
+        assert system.query(picture).execute()[0].image_id == "t"
