@@ -1,0 +1,208 @@
+"""E13: the retrieval daemon vs one-shot CLI queries -- warm-server speedup.
+
+The service exists because a one-shot ``repro search`` pays full process
+start-up (interpreter boot, imports) plus a complete database load for every
+single query, while a warm daemon pays both once and then answers from live
+indexes and a warm score cache.  This experiment measures that gap honestly:
+
+* **One-shot baseline** -- ``python -m repro.cli search`` as a subprocess,
+  timed end to end per query, exactly what cron-style scripting does today.
+* **Warm server** -- the same queries over HTTP against one ``repro serve``
+  daemon (in-process, ephemeral port), single-client closed loop.
+* **Concurrency** -- a closed-loop multi-client run (each client waits for
+  its response before sending the next) showing aggregate throughput.
+
+Rankings returned over the wire are asserted byte-identical to in-process
+``QueryEngine.execute_spec`` output, and the warm server must beat the
+per-query process start-up path by at least 5x -- at smoke sizes too, since
+start-up cost dominates regardless of database size.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from benchmarks.conftest import format_table, smoke_scaled
+from repro.datasets.synthetic import SceneParameters, random_pictures
+from repro.retrieval.system import RetrievalSystem
+from repro.service.client import ServiceClient
+from repro.service.server import create_server
+
+DATABASE_SIZE = smoke_scaled(300, 24)
+#: One-shot CLI invocations (each pays ~full interpreter + load start-up).
+CLI_QUERIES = smoke_scaled(5, 2)
+#: Warm-server single-client requests (closed loop).
+SERVER_REQUESTS = smoke_scaled(60, 8)
+#: Closed-loop concurrent clients x requests each.
+CLIENTS = smoke_scaled(4, 2)
+REQUESTS_PER_CLIENT = smoke_scaled(20, 4)
+
+#: The warm server must beat per-query process start-up by this factor.
+REQUIRED_SPEEDUP = 5.0
+
+_PARAMETERS = SceneParameters(
+    object_count=8,
+    alignment_probability=0.3,
+    labels=tuple(f"class{index:02d}" for index in range(40)),
+    label_choice="random",
+)
+
+_REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+@pytest.fixture(scope="module")
+def workload(tmp_path_factory):
+    """A saved database, its query scenes, and a warm in-process reference."""
+    root = tmp_path_factory.mktemp("bench-service")
+    pictures = random_pictures(DATABASE_SIZE, seed=13, parameters=_PARAMETERS, name_prefix="img")
+    system = RetrievalSystem.from_pictures(pictures)
+    database_path = root / "bench-db.json"
+    system.save(database_path)
+
+    queries = [pictures[index % len(pictures)] for index in range(max(CLI_QUERIES, 8))]
+    query_path = root / "query.json"
+    query_path.write_text(json.dumps(queries[0].to_dict()), encoding="utf-8")
+    return system, database_path, query_path, queries
+
+
+def _cli_environment():
+    environment = dict(os.environ)
+    environment["PYTHONPATH"] = str(_REPO_ROOT / "src") + (
+        os.pathsep + environment["PYTHONPATH"] if environment.get("PYTHONPATH") else ""
+    )
+    return environment
+
+
+def _one_shot_cli_seconds(database_path, query_path):
+    """Mean end-to-end seconds of one ``repro search`` subprocess."""
+    environment = _cli_environment()
+    command = [
+        sys.executable, "-m", "repro.cli", "search",
+        str(database_path), str(query_path), "--top", "5",
+    ]
+    started = time.perf_counter()
+    for _ in range(CLI_QUERIES):
+        completed = subprocess.run(
+            command, env=environment, capture_output=True, text=True, check=False
+        )
+        assert completed.returncode == 0, completed.stderr
+    return (time.perf_counter() - started) / CLI_QUERIES
+
+
+@pytest.mark.benchmark(group="E13-service")
+def test_warm_server_vs_one_shot_cli(benchmark, write_report, workload):
+    system, database_path, query_path, queries = workload
+
+    cli_seconds = _one_shot_cli_seconds(database_path, query_path)
+
+    served_system = RetrievalSystem.from_file(database_path)
+    with create_server(served_system, port=0, workers=CLIENTS + 1).start_background() as server:
+        client = ServiceClient(port=server.port)
+        client.wait_until_healthy(timeout=10)
+
+        # Correctness first: every wire ranking is byte-identical to the
+        # in-process pipeline over the same database.
+        for query in queries[:4]:
+            served = client.search(query, limit=5)
+            expected = system.query(query).limit(5).execute().to_dicts()
+            assert served["results"] == expected, "wire ranking diverged from in-process"
+
+        # Warm single-client closed loop.
+        started = time.perf_counter()
+        for index in range(SERVER_REQUESTS):
+            client.search(queries[index % len(queries)], limit=5)
+        single_seconds = (time.perf_counter() - started) / SERVER_REQUESTS
+
+        # Closed-loop multi-client throughput.
+        barrier = threading.Barrier(CLIENTS)
+
+        def closed_loop():
+            worker = ServiceClient(port=server.port)
+            barrier.wait(timeout=10)
+            for index in range(REQUESTS_PER_CLIENT):
+                worker.search(queries[index % len(queries)], limit=5)
+
+        threads = [threading.Thread(target=closed_loop, daemon=True) for _ in range(CLIENTS)]
+        started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        concurrent_wall = time.perf_counter() - started
+        total_requests = CLIENTS * REQUESTS_PER_CLIENT
+        concurrent_throughput = total_requests / concurrent_wall
+
+        stats = client.stats()
+
+        # Steady-state warm request timing for the pytest-benchmark table.
+        benchmark(lambda: client.search(queries[0], limit=5))
+
+    speedup = cli_seconds / single_seconds
+    rows = [
+        ["one-shot CLI (process start-up + load)", f"{cli_seconds * 1000:.1f}", "1.00x"],
+        [
+            "warm server, single client",
+            f"{single_seconds * 1000:.1f}",
+            f"{speedup:.1f}x",
+        ],
+        [
+            f"warm server, {CLIENTS} closed-loop clients",
+            f"{concurrent_wall / total_requests * 1000:.1f}",
+            f"{concurrent_throughput:.0f} req/s aggregate",
+        ],
+    ]
+    write_report(
+        "E13_service",
+        [
+            f"E13 -- repro serve vs one-shot CLI over {DATABASE_SIZE} synthetic images "
+            f"({CLI_QUERIES} CLI runs, {SERVER_REQUESTS} warm requests, "
+            f"{CLIENTS}x{REQUESTS_PER_CLIENT} concurrent)",
+            "",
+            *format_table(["path", "ms/query", "vs CLI"], rows),
+            "",
+            f"warm-server speedup over per-query process start-up: {speedup:.1f}x "
+            f"(floor {REQUIRED_SPEEDUP:.0f}x)",
+            f"server-side p50/p95 latency: {stats['latency_ms'].get('p50', 0)} / "
+            f"{stats['latency_ms'].get('p95', 0)} ms; "
+            f"score-cache hit rate {stats['cache']['hit_rate']:.0%}",
+            "",
+            "every query over the wire returned rankings byte-identical to the",
+            "in-process engine; the daemon amortises interpreter start-up, database",
+            "load and index construction across the whole request stream.",
+        ],
+    )
+
+    assert speedup >= REQUIRED_SPEEDUP, (
+        f"warm server only {speedup:.1f}x faster than one-shot CLI "
+        f"(floor {REQUIRED_SPEEDUP:.0f}x)"
+    )
+
+
+@pytest.mark.benchmark(group="E13-service")
+def test_backpressure_rejects_do_not_crash_the_daemon(workload):
+    """Overload produces clean 503s and the daemon keeps serving after."""
+    from repro.service.client import ServiceError
+    from repro.service.server import RetrievalService
+
+    system, _, _, queries = workload
+    service = RetrievalService(system, workers=1, backlog=0, retry_after=0.01)
+    acquired = service._admission.acquire(blocking=False)
+    assert acquired
+    try:
+        status, _, headers = service.dispatch(
+            "POST", "/search", {"scene": queries[0].to_dict()}
+        )
+        assert status == 503 and "Retry-After" in headers
+    finally:
+        service._admission.release()
+    status, body, _ = service.dispatch("POST", "/search", {"scene": queries[0].to_dict()})
+    assert status == 200 and body["results"]
+    assert service.stats()["rejected_overload"] == 1
+    # ServiceError carries the hint clients should honour.
+    assert ServiceError("x", status=503, retry_after=0.01).retry_after == 0.01

@@ -2,9 +2,11 @@
 
 Adds the ``--fast`` flag used by the CI matrix job: property-based and
 integration tests (everything under ``tests/property`` and
-``tests/integration``) are auto-marked ``slow`` and skipped under ``--fast``,
-so the per-interpreter matrix stays quick while a single separate CI job runs
-the slow suites once.
+``tests/integration``) are auto-marked ``slow``, and every ``slow``-marked
+test -- auto-marked or explicit, like the concurrency stress suite in
+``tests/service/test_concurrency.py`` -- is skipped under ``--fast``, so the
+per-interpreter matrix stays quick while a single separate CI job runs the
+slow suites once.
 """
 
 from __future__ import annotations
@@ -37,5 +39,5 @@ def pytest_collection_modifyitems(config: pytest.Config, items: list) -> None:
         path = Path(str(item.fspath))
         if any(root in path.parents for root in slow_roots):
             item.add_marker(pytest.mark.slow)
-            if skip_slow is not None:
-                item.add_marker(skip_slow)
+        if skip_slow is not None and item.get_closest_marker("slow") is not None:
+            item.add_marker(skip_slow)

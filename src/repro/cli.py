@@ -49,6 +49,17 @@ unified pipeline and score cache.
     Build a small synthetic database in a temporary directory and run an
     example query end to end (no input files needed).
 
+``python -m repro.cli serve <database> [--port N] [--workers N] [--backlog N]``
+    Run the JSON-over-HTTP retrieval daemon over a stored database: concurrent
+    ``/search`` + ``/batch`` queries, mutation endpoints with incremental
+    write-back persistence, ``/healthz`` and ``/stats`` (see
+    ``docs/service.md``).  ``--port 0`` binds an ephemeral port (printed on
+    start-up); ``--no-persist`` serves the database read-write in memory only.
+
+``python -m repro.cli ping <url>``
+    Health-check a running daemon and print its image count, uptime and the
+    measured round-trip time.
+
 Every command that reads a database sniffs its storage format from the
 file/directory content; pass ``--format json|sqlite|sharded`` to override
 (see ``docs/storage-formats.md``).
@@ -339,6 +350,58 @@ def _command_show(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve(arguments: argparse.Namespace) -> int:
+    from repro.service.server import create_server
+
+    backend = _backend_argument(arguments)
+    system = _load_system(arguments.database, backend=backend)
+    persist_path = None if arguments.no_persist else arguments.database
+    try:
+        server = create_server(
+            system,
+            host=arguments.host,
+            port=arguments.port,
+            workers=arguments.workers,
+            backlog=arguments.backlog,
+            database_path=persist_path,
+            backend=backend,
+        )
+    except (OSError, ValueError) as error:
+        raise CliError(f"cannot start the service: {error}") from error
+    persistence = "persisting incrementally" if persist_path else "in-memory only"
+    print(
+        f"serving {arguments.database} ({len(system)} images) on {server.url} "
+        f"(workers={arguments.workers}, backlog={arguments.backlog}, {persistence})",
+        flush=True,
+    )
+    if arguments.check:
+        server.close()
+        return 0
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
+    return 0
+
+
+def _command_ping(arguments: argparse.Namespace) -> int:
+    from repro.service.client import ServiceClient, ServiceError
+
+    try:
+        client = ServiceClient.from_url(arguments.url, timeout=arguments.timeout)
+        info = client.ping()
+    except (ServiceError, ValueError) as error:
+        raise CliError(str(error)) from error
+    print(
+        f"{info.get('status', 'ok')}: {info.get('images', '?')} images, "
+        f"uptime {info.get('uptime_seconds', 0):g}s, "
+        f"round-trip {info['round_trip_ms']:g}ms"
+    )
+    return 0
+
+
 def _command_demo(arguments: argparse.Namespace) -> int:
     from repro.datasets.scenes import landscape_scene, office_scene, traffic_scene
 
@@ -517,6 +580,41 @@ def build_parser() -> argparse.ArgumentParser:
     show.add_argument("--rows", type=int, default=20)
     _add_format_flag(show)
     show.set_defaults(handler=_command_show)
+
+    serve = subparsers.add_parser(
+        "serve", help="run the JSON-over-HTTP retrieval daemon over a database"
+    )
+    serve.add_argument("database", help="database path (any storage format)")
+    serve.add_argument("--host", default="127.0.0.1", help="interface to bind (default 127.0.0.1)")
+    serve.add_argument(
+        "--port", type=int, default=8765,
+        help="port to bind; 0 picks an ephemeral port (default 8765)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=4,
+        help="max requests executing concurrently (default 4)",
+    )
+    serve.add_argument(
+        "--backlog", type=int, default=16,
+        help="max requests waiting beyond the workers before 503s (default 16)",
+    )
+    serve.add_argument(
+        "--no-persist", action="store_true",
+        help="keep mutations in memory instead of writing back to the database",
+    )
+    serve.add_argument(
+        "--check", action="store_true",
+        help="bind, print the address and exit without serving (smoke tests)",
+    )
+    _add_format_flag(serve)
+    serve.set_defaults(handler=_command_serve)
+
+    ping = subparsers.add_parser("ping", help="health-check a running retrieval daemon")
+    ping.add_argument("url", help="service base URL, e.g. http://127.0.0.1:8765")
+    ping.add_argument(
+        "--timeout", type=float, default=5.0, help="request timeout in seconds (default 5)"
+    )
+    ping.set_defaults(handler=_command_ping)
 
     demo = subparsers.add_parser("demo", help="build and query a synthetic demo database")
     demo.add_argument("--output", help="where to write the demo database")

@@ -21,8 +21,9 @@ Since the query-API redesign every entry point converges here:
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field, replace
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.bestring import BEString2D
 from repro.core.construct import encode_picture
@@ -55,6 +56,29 @@ from repro.index.spec import (
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.index.batch import BatchOptions, BatchReport
     from repro.retrieval.predicates import PredicateMatch
+
+
+class NullRWLock:
+    """The no-op stand-in for a readers-writer lock (single-threaded use).
+
+    :class:`QueryEngine` brackets every read path in ``read_locked()`` and
+    every mutation in ``write_locked()``.  By default those grants cost one
+    no-op context manager each, keeping the library path lock-free; the
+    retrieval service installs a real
+    :class:`repro.service.rwlock.ReadWriteLock` (via
+    :meth:`repro.retrieval.system.RetrievalSystem.enable_concurrent_access`)
+    to make the same code paths safe under concurrent readers and writers.
+    """
+
+    @contextmanager
+    def read_locked(self) -> Iterator[None]:
+        """Shared grant: a no-op."""
+        yield
+
+    @contextmanager
+    def write_locked(self) -> Iterator[None]:
+        """Exclusive grant: a no-op."""
+        yield
 
 
 @dataclass(frozen=True)
@@ -100,6 +124,12 @@ class QueryEngine:
     #: Memoised per-(query, image) similarity results, shared with the batch
     #: subsystem (:mod:`repro.index.batch`) and invalidated on every mutation.
     score_cache: ScoreCache = field(default_factory=ScoreCache)
+    #: Readers-writer lock bracketing every query (shared grant) and mutation
+    #: (exclusive grant).  A no-op by default; the retrieval service swaps in
+    #: a real :class:`repro.service.rwlock.ReadWriteLock` so concurrent
+    #: queries see a consistent snapshot and mutations (database + auxiliary
+    #: indexes + cache invalidation) are atomic.
+    lock: NullRWLock = field(default_factory=NullRWLock)
     #: Scheduler report of the most recent :meth:`run_batch` call.
     last_batch_report: Optional["BatchReport"] = field(default=None, init=False)
 
@@ -128,11 +158,12 @@ class QueryEngine:
             repro.index.database.DatabaseError: if the id is missing or
                 already stored.
         """
-        record = self.database.add_picture(picture, image_id)
-        self.signature_filter.add_picture(record.image_id, record.picture)
-        self.inverted_index.add_picture(record.image_id, record.picture)
-        self.score_cache.invalidate_image(record.image_id)
-        return record.image_id
+        with self.lock.write_locked():
+            record = self.database.add_picture(picture, image_id)
+            self.signature_filter.add_picture(record.image_id, record.picture)
+            self.inverted_index.add_picture(record.image_id, record.picture)
+            self.score_cache.invalidate_image(record.image_id)
+            return record.image_id
 
     def remove_picture(self, image_id: str) -> None:
         """Remove a picture from the database and all auxiliary indexes.
@@ -141,26 +172,38 @@ class QueryEngine:
             repro.index.database.DatabaseError: if no image with
                 ``image_id`` is stored.
         """
-        self.database.remove_picture(image_id)
-        self.signature_filter.remove_picture(image_id)
-        self.inverted_index.remove_picture(image_id)
-        self.score_cache.invalidate_image(image_id)
+        with self.lock.write_locked():
+            self.database.remove_picture(image_id)
+            self.signature_filter.remove_picture(image_id)
+            self.inverted_index.remove_picture(image_id)
+            self.score_cache.invalidate_image(image_id)
 
     def add_object(self, image_id: str, label: str, mbr: Rectangle) -> ImageRecord:
-        """Dynamically add one icon to a stored image, refreshing all indexes."""
-        record = self.database.add_object(image_id, label, mbr)
-        self.signature_filter.update_picture(image_id, record.picture)
-        self.inverted_index.update_picture(image_id, record.picture)
-        self.score_cache.invalidate_image(image_id)
-        return record
+        """Dynamically add one icon to a stored image, refreshing all indexes.
+
+        The record rewrite, both auxiliary-index refreshes and the score-cache
+        invalidation happen under one exclusive grant, so a concurrent query
+        can never rank against the new record through stale cached scores or
+        stale postings.
+        """
+        with self.lock.write_locked():
+            record = self.database.add_object(image_id, label, mbr)
+            self.signature_filter.update_picture(image_id, record.picture)
+            self.inverted_index.update_picture(image_id, record.picture)
+            self.score_cache.invalidate_image(image_id)
+            return record
 
     def remove_object(self, image_id: str, identifier: str) -> ImageRecord:
-        """Dynamically remove one icon from a stored image, refreshing all indexes."""
-        record = self.database.remove_object(image_id, identifier)
-        self.signature_filter.update_picture(image_id, record.picture)
-        self.inverted_index.update_picture(image_id, record.picture)
-        self.score_cache.invalidate_image(image_id)
-        return record
+        """Dynamically remove one icon from a stored image, refreshing all indexes.
+
+        Atomic under the write lock exactly like :meth:`add_object`.
+        """
+        with self.lock.write_locked():
+            record = self.database.remove_object(image_id, identifier)
+            self.signature_filter.update_picture(image_id, record.picture)
+            self.inverted_index.update_picture(image_id, record.picture)
+            self.score_cache.invalidate_image(image_id)
+            return record
 
     # ------------------------------------------------------------------
     # Query execution
@@ -178,7 +221,8 @@ class QueryEngine:
             Candidate image ids, in the deterministic order they will be
             scored.
         """
-        return self._shortlist(query)[0]
+        with self.lock.read_locked():
+            return self._shortlist(query)[0]
 
     def _shortlist(self, query: Query) -> Tuple[List[str], str, Optional[int]]:
         """Candidate ids plus (admission stage, inverted-index admit count)."""
@@ -257,7 +301,8 @@ class QueryEngine:
     def execute_traced(self, query: Query) -> Tuple[List[RankedResult], QueryTrace]:
         """Like :meth:`execute` but also returns the execution trace."""
         trace = QueryTrace(mode="similarity")
-        scored = self._score_candidates(query, trace)
+        with self.lock.read_locked():
+            scored = self._score_candidates(query, trace)
         ranked = rank_results(scored, limit=query.limit, minimum_score=query.minimum_score)
         return ranked, trace
 
@@ -283,12 +328,16 @@ class QueryEngine:
             repro.index.spec.QuerySpecError: on a malformed spec.
         """
         spec.validate()
-        if not spec.has_similarity_clause:
-            return self._execute_predicate_spec(spec)
-        if not spec.has_predicate_clause:
-            ranked, trace = self.execute_traced(spec.to_query())
-            return SpecOutcome(spec=spec, results=ranked, trace=trace)
-        return self._execute_combined_spec(spec)
+        # One shared grant spans the whole spec (similarity scoring plus any
+        # predicate evaluation): concurrent mutations cannot interleave
+        # between the clauses, so the outcome always reflects one snapshot.
+        with self.lock.read_locked():
+            if not spec.has_similarity_clause:
+                return self._execute_predicate_spec(spec)
+            if not spec.has_predicate_clause:
+                ranked, trace = self.execute_traced(spec.to_query())
+                return SpecOutcome(spec=spec, results=ranked, trace=trace)
+            return self._execute_combined_spec(spec)
 
     def _evaluate_predicates(
         self,
@@ -389,7 +438,11 @@ class QueryEngine:
         if overrides:
             base = replace(base, **overrides)
         batch = BatchQueryEngine(engine=self, options=base)
-        results = batch.run(queries)
+        # The scheduling thread holds one shared grant for the whole batch;
+        # worker threads only touch BE-strings prefetched under it (plus the
+        # internally-locked score cache), so the batch ranks one snapshot.
+        with self.lock.read_locked():
+            results = batch.run(queries)
         self.last_batch_report = batch.last_report
         return results
 

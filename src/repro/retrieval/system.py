@@ -73,6 +73,29 @@ class RetrievalSystem:
             database, minimum_overlap_ratio=self.minimum_signature_overlap
         )
 
+    def enable_concurrent_access(self) -> "RetrievalSystem":
+        """Make this system safe for concurrent readers and writers.
+
+        Installs a write-preferring readers-writer lock
+        (:class:`repro.service.rwlock.ReadWriteLock`) on the underlying
+        :class:`~repro.index.query.QueryEngine`: queries and batches take a
+        shared grant and run fully in parallel against a consistent snapshot,
+        while mutations (:meth:`add_picture`, :meth:`remove_picture`,
+        :meth:`add_object`, :meth:`remove_object`) take the exclusive grant
+        and refresh the database, both auxiliary indexes and the score cache
+        atomically.  Single-threaded use keeps the default no-op lock and
+        pays nothing.  Idempotent; the retrieval service calls this on every
+        system it serves.
+
+        Returns:
+            This system (chainable).
+        """
+        from repro.service.rwlock import ReadWriteLock
+
+        if not isinstance(self._engine.lock, ReadWriteLock):
+            self._engine.lock = ReadWriteLock()
+        return self
+
     # ------------------------------------------------------------------
     # Construction helpers
     # ------------------------------------------------------------------

@@ -1,0 +1,36 @@
+"""The concurrent retrieval service: an HTTP daemon over the retrieval system.
+
+This layer sits on top of :mod:`repro.retrieval` and turns the one-shot
+library into a long-running process:
+
+* :mod:`repro.service.rwlock` -- the readers-writer lock installed on a
+  :class:`~repro.index.query.QueryEngine` so many queries run in parallel
+  against a consistent snapshot while mutations are exclusive.
+* :mod:`repro.service.server` -- the stdlib-only JSON-over-HTTP daemon
+  (``repro serve``): ``POST /search`` / ``POST /batch`` / mutation endpoints
+  with incremental persistence / ``GET /healthz`` / ``GET /stats``, fronted
+  by a bounded admission gate (503 + ``Retry-After`` under overload).
+* :mod:`repro.service.client` -- the thin stdlib client the CLI
+  (``repro ping``), the CI smoke job and the E13 benchmark drive it with.
+
+See ``docs/service.md`` for the wire protocol and deployment notes.
+"""
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.rwlock import ReadWriteLock
+from repro.service.server import (
+    RetrievalServer,
+    RetrievalService,
+    ServiceOverloadedError,
+    create_server,
+)
+
+__all__ = [
+    "ReadWriteLock",
+    "RetrievalServer",
+    "RetrievalService",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceOverloadedError",
+    "create_server",
+]

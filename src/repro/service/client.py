@@ -1,0 +1,258 @@
+"""A thin stdlib HTTP client for the retrieval service.
+
+Everything the daemon exposes is one JSON request away; this module wraps the
+wire protocol behind typed helpers so the CLI (``repro ping``), the CI
+``service-smoke`` job and the E13 benchmark never hand-build HTTP.  The
+client is dependency-free (``http.client`` only) and *thread-safe by
+construction*: each request opens its own connection, so closed-loop load
+generators can share one client across worker threads.
+
+Failures surface as :class:`ServiceError` carrying the HTTP status, the
+server's ``{"error": ...}`` payload, and -- for 503 rejections -- the parsed
+``Retry-After`` hint, so callers can implement honest backoff::
+
+    client = ServiceClient.from_url("http://127.0.0.1:8765")
+    try:
+        ranking = client.search(scene=picture, limit=5)
+    except ServiceError as error:
+        if error.retry_after is not None:
+            time.sleep(error.retry_after)  # the server asked us to back off
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Any, Dict, List, Optional, Sequence, Union
+from urllib.parse import quote, urlparse
+
+
+class ServiceError(RuntimeError):
+    """A failed service call: transport error or non-2xx response."""
+
+    def __init__(
+        self,
+        message: str,
+        status: Optional[int] = None,
+        payload: Optional[Dict[str, Any]] = None,
+        retry_after: Optional[float] = None,
+    ) -> None:
+        super().__init__(message)
+        self.status = status
+        self.payload = payload or {}
+        self.retry_after = retry_after
+
+
+def _scene_payload(scene: Any) -> Dict[str, Any]:
+    """A JSON scene object from a ``SymbolicPicture`` or an already-built dict."""
+    if hasattr(scene, "to_dict"):
+        return scene.to_dict()
+    if isinstance(scene, dict):
+        return scene
+    raise TypeError(
+        f"scene must be a SymbolicPicture or a scene dict, got {type(scene).__name__}"
+    )
+
+
+class ServiceClient:
+    """Typed access to every endpoint of one running retrieval daemon."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8765, timeout: float = 10.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    @classmethod
+    def from_url(cls, url: str, timeout: float = 10.0) -> "ServiceClient":
+        """Build a client from a base URL like ``http://127.0.0.1:8765``.
+
+        Raises:
+            ValueError: if the URL has no usable host/port or a non-http
+                scheme.
+        """
+        parsed = urlparse(url if "//" in url else f"http://{url}")
+        if parsed.scheme not in ("", "http"):
+            raise ValueError(f"only http:// service URLs are supported, got {url!r}")
+        if not parsed.hostname:
+            raise ValueError(f"service URL has no host: {url!r}")
+        return cls(host=parsed.hostname, port=parsed.port or 80, timeout=timeout)
+
+    @property
+    def url(self) -> str:
+        """The base URL this client targets."""
+        return f"http://{self.host}:{self.port}"
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def request(self, method: str, path: str, payload: Any = None) -> Dict[str, Any]:
+        """One JSON round-trip; returns the parsed response body.
+
+        Raises:
+            ServiceError: on connection failure, a non-JSON response, or any
+                non-2xx status (the server's error message and a parsed
+                ``Retry-After`` ride along).
+        """
+        body = None if payload is None else json.dumps(payload).encode("utf-8")
+        headers = {"Content-Type": "application/json"} if body is not None else {}
+        connection = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            try:
+                connection.request(method, path, body=body, headers=headers)
+                response = connection.getresponse()
+                raw = response.read()
+            except (OSError, http.client.HTTPException) as error:
+                raise ServiceError(
+                    f"service unreachable at {self.url}: {error}"
+                ) from error
+            try:
+                parsed = json.loads(raw.decode("utf-8")) if raw else {}
+            except (UnicodeDecodeError, json.JSONDecodeError) as error:
+                raise ServiceError(
+                    f"non-JSON response from {method} {path} "
+                    f"(status {response.status})",
+                    status=response.status,
+                ) from error
+            if response.status >= 400:
+                retry_after = response.getheader("Retry-After")
+                raise ServiceError(
+                    parsed.get("error", f"{method} {path} failed"),
+                    status=response.status,
+                    payload=parsed,
+                    retry_after=float(retry_after) if retry_after else None,
+                )
+            return parsed
+        finally:
+            connection.close()
+
+    # ------------------------------------------------------------------
+    # Query endpoints
+    # ------------------------------------------------------------------
+    def search(
+        self,
+        scene: Any = None,
+        *,
+        identifiers: Optional[Sequence[str]] = None,
+        invariant: bool = False,
+        where: Optional[str] = None,
+        min_score: float = 0.0,
+        limit: Optional[int] = 10,
+        no_filters: bool = False,
+        page: Optional[int] = None,
+        page_size: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        """``POST /search`` with the full QuerySpec surface.
+
+        Returns:
+            The response body: ``results`` (the library's ``to_dicts()``
+            rows), ``count``, ``total``, ``spec``, ``plan`` and -- when
+            paginating -- ``page`` / ``page_size`` / ``pages``.
+        """
+        payload: Dict[str, Any] = {
+            "invariant": invariant,
+            "min_score": min_score,
+            "limit": limit,
+            "no_filters": no_filters,
+        }
+        if scene is not None:
+            payload["scene"] = _scene_payload(scene)
+        if identifiers is not None:
+            payload["identifiers"] = list(identifiers)
+        if where is not None:
+            payload["where"] = where
+        if page is not None:
+            payload["page"] = page
+        if page_size is not None:
+            payload["page_size"] = page_size
+        return self.request("POST", "/search", payload)
+
+    def batch(
+        self,
+        queries: Sequence[Union[Dict[str, Any], Any]],
+        *,
+        workers: Optional[int] = None,
+        executor: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        """``POST /batch``: each query is a ``/search``-style dict or a scene.
+
+        Returns:
+            The response body with one ``results`` ranking per input query
+            (input order) and the scheduler ``report`` line.
+        """
+        entries: List[Dict[str, Any]] = []
+        for query in queries:
+            if isinstance(query, dict) and "scene" in query:
+                entries.append(query)
+            else:
+                entries.append({"scene": _scene_payload(query)})
+        payload: Dict[str, Any] = {"queries": entries}
+        if workers is not None:
+            payload["workers"] = workers
+        if executor is not None:
+            payload["executor"] = executor
+        return self.request("POST", "/batch", payload)
+
+    # ------------------------------------------------------------------
+    # Mutation endpoints
+    # ------------------------------------------------------------------
+    def add_image(self, scene: Any, image_id: Optional[str] = None) -> Dict[str, Any]:
+        """``POST /images``: store one scene (the daemon persists it)."""
+        payload: Dict[str, Any] = {"scene": _scene_payload(scene)}
+        if image_id is not None:
+            payload["image_id"] = image_id
+        return self.request("POST", "/images", payload)
+
+    def delete_image(self, image_id: str) -> Dict[str, Any]:
+        """``DELETE /images/{id}``: remove one stored image.
+
+        The id is URL-encoded, so ids containing spaces, slashes or
+        non-ASCII characters round-trip (the server decodes symmetrically).
+        """
+        return self.request("DELETE", f"/images/{quote(image_id, safe='')}")
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def healthz(self) -> Dict[str, Any]:
+        """``GET /healthz``: the liveness payload."""
+        return self.request("GET", "/healthz")
+
+    def stats(self) -> Dict[str, Any]:
+        """``GET /stats``: counters, latency percentiles, cache hit rate."""
+        return self.request("GET", "/stats")
+
+    def ping(self) -> Dict[str, Any]:
+        """Health check plus measured round-trip time.
+
+        Returns:
+            The ``/healthz`` body with ``round_trip_ms`` added.
+
+        Raises:
+            ServiceError: if the daemon is unreachable or unhealthy.
+        """
+        started = time.perf_counter()
+        body = self.healthz()
+        body["round_trip_ms"] = round((time.perf_counter() - started) * 1000, 3)
+        return body
+
+    def wait_until_healthy(self, timeout: float = 10.0, interval: float = 0.05) -> Dict[str, Any]:
+        """Poll ``/healthz`` until it answers (daemon start-up helper).
+
+        Returns:
+            The first healthy ``/healthz`` body.
+
+        Raises:
+            ServiceError: if the daemon did not come up within ``timeout``.
+        """
+        deadline = time.monotonic() + timeout
+        last_error: Optional[ServiceError] = None
+        while time.monotonic() < deadline:
+            try:
+                return self.healthz()
+            except ServiceError as error:
+                last_error = error
+                time.sleep(interval)
+        raise ServiceError(
+            f"service at {self.url} not healthy after {timeout:g}s: {last_error}"
+        )

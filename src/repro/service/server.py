@@ -1,0 +1,653 @@
+"""The ``repro serve`` daemon: JSON-over-HTTP retrieval on a thread-safe core.
+
+The server is pure standard library (:class:`http.server.ThreadingHTTPServer`)
+and exposes the whole unified query pipeline over six endpoints:
+
+==========  =================  ===================================================
+method      path               what it does
+==========  =================  ===================================================
+``POST``    ``/search``        one :class:`~repro.index.spec.QuerySpec` payload
+                               (exact / invariant / partial / predicate clauses,
+                               ``min_score``, ``limit``, pagination)
+``POST``    ``/batch``         many similarity queries as one scheduled batch
+``POST``    ``/images``        insert a scene (incremental persistence)
+``DELETE``  ``/images/{id}``   remove a stored image (incremental persistence)
+``GET``     ``/healthz``       liveness: status, image count, uptime
+``GET``     ``/stats``         request counts, p50/p95 latency, cache hit rate
+==========  =================  ===================================================
+
+Every request thread runs against one shared
+:class:`~repro.retrieval.system.RetrievalSystem` whose engine carries a
+readers-writer lock (:mod:`repro.service.rwlock`): searches take the shared
+grant and run in parallel against a consistent snapshot; mutations take the
+exclusive grant, refresh the indexes and score cache atomically, then persist
+through the storage backends (``incremental=True``, so a SQLite or sharded
+database rewrites only what changed).
+
+Work admission is bounded: at most ``workers`` requests execute while up to
+``backlog`` more wait; anything beyond is rejected immediately with ``503``
+and a ``Retry-After`` header instead of queueing unboundedly (closed-loop
+clients back off, the server never builds an invisible latency bomb).  Health
+and stats probes bypass the gate so the daemon stays observable under
+overload.
+
+Rankings are byte-identical to in-process :meth:`QueryEngine.execute_spec`
+output -- the handler serialises the same ``ResultSet.to_dicts()`` the library
+returns, which the CI ``service-smoke`` job and the E13 benchmark assert.
+
+See ``docs/service.md`` for payload schemas and deployment notes.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from contextlib import contextmanager
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from collections import deque
+from pathlib import Path
+from typing import Any, Deque, Dict, Iterator, List, Optional, Tuple, Union
+from urllib.parse import unquote
+
+from repro.iconic.picture import SymbolicPicture
+from repro.index.database import DatabaseError
+from repro.index.spec import QuerySpecError
+from repro.index.storage import StorageError
+from repro.retrieval.predicates import PredicateError
+from repro.retrieval.querybuilder import QueryBuilder, ResultSet
+from repro.retrieval.system import RetrievalSystem
+
+#: Executor choices accepted by the ``/batch`` endpoint's ``executor`` key.
+_BATCH_EXECUTORS = ("thread", "process", "serial", "auto")
+
+
+class ApiError(Exception):
+    """A request failure mapped to an HTTP status (4xx/5xx) with a message."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+class ServiceOverloadedError(ApiError):
+    """Raised when the admission gate is full (HTTP 503 + ``Retry-After``)."""
+
+    def __init__(self, retry_after: float = 1.0) -> None:
+        super().__init__(503, "service overloaded; retry later")
+        self.retry_after = retry_after
+
+
+def _percentile(sorted_values: List[float], fraction: float) -> float:
+    """Nearest-rank percentile of an ascending-sorted non-empty list."""
+    index = round(fraction * (len(sorted_values) - 1))
+    return sorted_values[index]
+
+
+# ----------------------------------------------------------------------
+# Payload validation helpers (every failure is a 400 with a clear message)
+# ----------------------------------------------------------------------
+def _as_object(payload: Any) -> Dict[str, Any]:
+    if not isinstance(payload, dict):
+        raise ApiError(400, "request body must be a JSON object")
+    return payload
+
+
+def _get_bool(payload: Dict[str, Any], key: str, default: bool = False) -> bool:
+    value = payload.get(key, default)
+    if not isinstance(value, bool):
+        raise ApiError(400, f"{key!r} must be a JSON boolean")
+    return value
+
+
+def _get_number(payload: Dict[str, Any], key: str, default: float = 0.0) -> float:
+    value = payload.get(key, default)
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ApiError(400, f"{key!r} must be a JSON number")
+    return float(value)
+
+
+def _get_limit(payload: Dict[str, Any], key: str = "limit", default: Optional[int] = 10) -> Optional[int]:
+    value = payload.get(key, default)
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, int) or value < 0:
+        raise ApiError(400, f"{key!r} must be a non-negative JSON integer or null")
+    return value
+
+
+def _get_positive_int(payload: Dict[str, Any], key: str) -> Optional[int]:
+    value = payload.get(key)
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, int) or value < 1:
+        raise ApiError(400, f"{key!r} must be a positive JSON integer")
+    return value
+
+
+def _parse_scene(scene: Any, context: str = "scene") -> SymbolicPicture:
+    if not isinstance(scene, dict):
+        raise ApiError(400, f"{context!r} must be a JSON object describing a scene")
+    try:
+        return SymbolicPicture.from_dict(scene)
+    except (StorageError, ValueError, KeyError, TypeError) as error:
+        raise ApiError(400, f"malformed {context}: {error}") from error
+
+
+class RetrievalService:
+    """The HTTP-agnostic service core: dispatch, admission control, stats.
+
+    Separating the core from the HTTP handler keeps every endpoint unit
+    testable in-process (``service.dispatch("POST", "/search", payload)``)
+    and lets the stress suite hammer it without sockets.
+    """
+
+    def __init__(
+        self,
+        system: RetrievalSystem,
+        *,
+        workers: int = 4,
+        backlog: int = 16,
+        database_path: Union[None, str, Path] = None,
+        backend: Optional[str] = None,
+        retry_after: float = 1.0,
+        latency_window: int = 2048,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        if backlog < 0:
+            raise ValueError("backlog must be non-negative")
+        self.system = system.enable_concurrent_access()
+        self.workers = workers
+        self.backlog = backlog
+        self.database_path = Path(database_path) if database_path is not None else None
+        self.backend = backend
+        self.retry_after = retry_after
+        #: Admission gate: ``workers`` running + ``backlog`` waiting, rest 503.
+        self._admission = threading.BoundedSemaphore(workers + backlog)
+        self._slots = threading.BoundedSemaphore(workers)
+        #: Serialises mutation + persistence so incremental saves see exactly
+        #: one mutation's dirty set (queries keep flowing via the rwlock).
+        self._mutation_lock = threading.Lock()
+        self._stats_lock = threading.Lock()
+        self._started_monotonic = time.monotonic()
+        self._request_counts: Dict[str, int] = {}
+        self._rejected = 0
+        self._error_count = 0
+        self._latencies: Deque[float] = deque(maxlen=latency_window)
+
+    # ------------------------------------------------------------------
+    # Admission control
+    # ------------------------------------------------------------------
+    @contextmanager
+    def _admitted(self) -> Iterator[None]:
+        """Bounded-queue admission: reject with 503 instead of piling up."""
+        if not self._admission.acquire(blocking=False):
+            with self._stats_lock:
+                self._rejected += 1
+            raise ServiceOverloadedError(retry_after=self.retry_after)
+        try:
+            self._slots.acquire()
+            try:
+                yield
+            finally:
+                self._slots.release()
+        finally:
+            self._admission.release()
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def dispatch(
+        self, method: str, path: str, payload: Any = None
+    ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
+        """Route one request.
+
+        Returns:
+            ``(status, body, extra_headers)`` -- the body is a
+            JSON-serialisable dict; a ``Retry-After`` header accompanies 503.
+        """
+        started = time.perf_counter()
+        endpoint = f"{method} {self._endpoint_label(method, path)}"
+        try:
+            status, body, headers = self._route(method, path, payload)
+        except ServiceOverloadedError as error:
+            self._observe(endpoint, started, error.status)
+            return error.status, {"error": error.message}, {
+                "Retry-After": f"{error.retry_after:g}"
+            }
+        except ApiError as error:
+            self._observe(endpoint, started, error.status)
+            return error.status, {"error": error.message}, {}
+        self._observe(endpoint, started, status)
+        return status, body, headers
+
+    @staticmethod
+    def _endpoint_label(method: str, path: str) -> str:
+        """Bounded-cardinality stats key for one request path."""
+        path = path.split("?", 1)[0].rstrip("/") or "/"
+        if path.startswith("/images/"):
+            return "/images/{id}"
+        if path in ("/healthz", "/stats", "/search", "/batch", "/images"):
+            return path
+        return "<unknown>"
+
+    def _route(
+        self, method: str, path: str, payload: Any
+    ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
+        path = path.split("?", 1)[0].rstrip("/") or "/"
+        if method == "GET" and path == "/healthz":
+            return 200, self.healthz(), {}
+        if method == "GET" and path == "/stats":
+            return 200, self.stats(), {}
+        if method == "POST" and path == "/search":
+            return 200, self.search(_as_object(payload)), {}
+        if method == "POST" and path == "/batch":
+            return 200, self.batch(_as_object(payload)), {}
+        if method == "POST" and path == "/images":
+            return 201, self.add_image(_as_object(payload)), {}
+        if method == "DELETE" and path.startswith("/images/"):
+            return 200, self.delete_image(unquote(path[len("/images/"):])), {}
+        if method == "DELETE" and path == "/images":
+            # "DELETE /images" and "DELETE /images/" (trailing slash is
+            # normalised away above) both lack the id segment.
+            raise ApiError(400, "an image id is required: DELETE /images/{id}")
+        raise ApiError(404, f"no such endpoint: {method} {path}")
+
+    # ------------------------------------------------------------------
+    # Query endpoints
+    # ------------------------------------------------------------------
+    def _build_query(self, payload: Dict[str, Any]) -> QueryBuilder:
+        """Compile one JSON query payload to a fluent builder.
+
+        Raises:
+            ApiError: 400 on any malformed clause or knob.
+        """
+        builder = self.system.query()
+        scene = payload.get("scene")
+        if scene is not None:
+            builder.similar_to(_parse_scene(scene))
+        identifiers = payload.get("identifiers")
+        if identifiers is not None:
+            if not isinstance(identifiers, list) or not all(
+                isinstance(item, str) for item in identifiers
+            ):
+                raise ApiError(400, "'identifiers' must be a JSON array of strings")
+            builder.partial(identifiers)
+        builder.invariant(_get_bool(payload, "invariant"))
+        where = payload.get("where")
+        if where is not None:
+            if not isinstance(where, str):
+                raise ApiError(400, "'where' must be a predicate string")
+            try:
+                builder.where(where)
+            except PredicateError as error:
+                raise ApiError(400, str(error)) from error
+        builder.limit(_get_limit(payload))
+        builder.min_score(_get_number(payload, "min_score"))
+        builder.filters(not _get_bool(payload, "no_filters"))
+        return builder
+
+    def _execute_query(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        builder = self._build_query(payload)
+        page = _get_positive_int(payload, "page")
+        page_size = _get_positive_int(payload, "page_size")
+        if (page is None) != (page_size is None):
+            raise ApiError(400, "'page' and 'page_size' must be given together")
+        try:
+            results = builder.execute()
+        except QuerySpecError as error:
+            raise ApiError(400, str(error)) from error
+        except KeyError as error:  # partial() naming icons the scene lacks
+            raise ApiError(400, f"unknown identifier in 'identifiers': {error}") from error
+        body: Dict[str, Any] = {
+            "total": len(results),
+            "spec": results.spec.describe() if results.spec is not None else None,
+        }
+        if results.trace is not None:
+            body["plan"] = results.trace.describe()
+        window: ResultSet = results
+        if page is not None and page_size is not None:
+            window = results.page(page, page_size)
+            body["page"] = page
+            body["page_size"] = page_size
+            body["pages"] = results.page_count(page_size)
+        body["results"] = window.to_dicts()
+        body["count"] = len(window)
+        return body
+
+    def search(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """``POST /search``: run one full QuerySpec payload.
+
+        Returns:
+            The ranking (``results`` as the library's ``to_dicts()`` rows,
+            byte-identical to in-process execution), the pre-pagination
+            ``total``, the compiled ``spec`` and the execution ``plan``.
+        """
+        with self._admitted():
+            return self._execute_query(payload)
+
+    def batch(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """``POST /batch``: many similarity queries as one scheduled batch.
+
+        The payload's ``queries`` array reuses the ``/search`` schema
+        (predicate clauses are rejected: the batch scheduler is
+        similarity-only, exactly like :meth:`RetrievalSystem.query_batch`).
+        Optional ``workers`` / ``executor`` keys tune the scheduler.
+        """
+        with self._admitted():
+            queries = payload.get("queries")
+            if not isinstance(queries, list) or not queries:
+                raise ApiError(400, "'queries' must be a non-empty JSON array")
+            builders = [
+                self._build_query(_as_object(entry)) for entry in queries
+            ]
+            overrides: Dict[str, Any] = {}
+            workers = _get_positive_int(payload, "workers")
+            if workers is not None:
+                overrides["workers"] = workers
+            executor = payload.get("executor")
+            if executor is not None:
+                if executor not in _BATCH_EXECUTORS:
+                    raise ApiError(
+                        400, f"'executor' must be one of {', '.join(_BATCH_EXECUTORS)}"
+                    )
+                overrides["executor"] = executor
+            try:
+                batches = self.system.query_batch(builders, **overrides)
+            except QuerySpecError as error:
+                raise ApiError(400, str(error)) from error
+            except KeyError as error:  # partial() naming icons a scene lacks
+                raise ApiError(400, f"unknown identifier in 'identifiers': {error}") from error
+            report = self.system.last_batch_report
+            return {
+                "results": [results.to_dicts() for results in batches],
+                "count": len(batches),
+                "report": report.describe() if report is not None else None,
+            }
+
+    # ------------------------------------------------------------------
+    # Mutation endpoints
+    # ------------------------------------------------------------------
+    def _persist(self) -> None:
+        """Write the database back to disk incrementally (if configured)."""
+        if self.database_path is None:
+            return
+        try:
+            self.system.save(self.database_path, backend=self.backend, incremental=True)
+        except (StorageError, ValueError) as error:
+            raise ApiError(500, f"persistence failed: {error}") from error
+
+    def add_image(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """``POST /images``: store one scene and persist incrementally.
+
+        Returns:
+            The stored ``image_id`` and the new database size (HTTP 201).
+        """
+        with self._admitted():
+            picture = _parse_scene(payload.get("scene"))
+            image_id = payload.get("image_id")
+            if image_id is not None and not isinstance(image_id, str):
+                raise ApiError(400, "'image_id' must be a JSON string")
+            with self._mutation_lock:
+                try:
+                    stored = self.system.add_picture(picture, image_id)
+                except DatabaseError as error:
+                    raise ApiError(409, str(error)) from error
+                self._persist()
+            return {"image_id": stored, "images": len(self.system)}
+
+    def delete_image(self, image_id: str) -> Dict[str, Any]:
+        """``DELETE /images/{id}``: remove one image and persist incrementally.
+
+        Returns:
+            The removed id and the new database size; 404 on an unknown id.
+        """
+        with self._admitted():
+            if not image_id:
+                raise ApiError(400, "an image id is required: DELETE /images/{id}")
+            with self._mutation_lock:
+                try:
+                    self.system.remove_picture(image_id)
+                except DatabaseError as error:
+                    raise ApiError(404, str(error)) from error
+                self._persist()
+            return {"removed": image_id, "images": len(self.system)}
+
+    # ------------------------------------------------------------------
+    # Observability endpoints
+    # ------------------------------------------------------------------
+    def healthz(self) -> Dict[str, Any]:
+        """``GET /healthz``: liveness probe (never gated by admission)."""
+        return {
+            "status": "ok",
+            "images": len(self.system),
+            "uptime_seconds": round(time.monotonic() - self._started_monotonic, 3),
+        }
+
+    def stats(self) -> Dict[str, Any]:
+        """``GET /stats``: uptime, request counts, latency percentiles, cache.
+
+        Returns:
+            Counters since start-up; ``latency_ms`` summarises the most
+            recent requests (bounded window), ``cache`` reports the shared
+            score cache, ``lock`` the readers-writer grant counters.
+        """
+        with self._stats_lock:
+            counts = dict(sorted(self._request_counts.items()))
+            rejected = self._rejected
+            errors = self._error_count
+            latencies = sorted(self._latencies)
+        latency_ms: Dict[str, Any] = {"count": len(latencies)}
+        if latencies:
+            latency_ms.update(
+                p50=round(_percentile(latencies, 0.50) * 1000, 3),
+                p95=round(_percentile(latencies, 0.95) * 1000, 3),
+                max=round(latencies[-1] * 1000, 3),
+            )
+        cache = self.system.cache_statistics()
+        body: Dict[str, Any] = {
+            "uptime_seconds": round(time.monotonic() - self._started_monotonic, 3),
+            "images": len(self.system),
+            "workers": self.workers,
+            "backlog": self.backlog,
+            "requests": counts,
+            "requests_total": sum(counts.values()),
+            "rejected_overload": rejected,
+            "errors": errors,
+            "latency_ms": latency_ms,
+            "cache": {
+                "hits": cache.hits,
+                "misses": cache.misses,
+                "hit_rate": round(cache.hit_rate, 4),
+                "size": cache.size,
+                "capacity": cache.capacity,
+            },
+        }
+        lock = self.system._engine.lock
+        if hasattr(lock, "statistics"):
+            body["lock"] = lock.statistics()
+        return body
+
+    def _observe(self, endpoint: str, started: float, status: int) -> None:
+        elapsed = time.perf_counter() - started
+        with self._stats_lock:
+            self._request_counts[endpoint] = self._request_counts.get(endpoint, 0) + 1
+            if status >= 400 and status != 503:
+                self._error_count += 1
+            self._latencies.append(elapsed)  # deque(maxlen=...) evicts in O(1)
+
+
+# ----------------------------------------------------------------------
+# HTTP plumbing
+# ----------------------------------------------------------------------
+class _ServiceHTTPServer(ThreadingHTTPServer):
+    """A threading HTTP server carrying the service for its handlers."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address: Tuple[str, int], service: RetrievalService) -> None:
+        super().__init__(address, _RequestHandler)
+        self.service = service
+
+
+class _RequestHandler(BaseHTTPRequestHandler):
+    """Per-connection handler: JSON in, JSON out, errors as ``{"error": ...}``."""
+
+    server_version = "repro-serve/1.0"
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        """Silence the default per-request stderr log line."""
+
+    def _read_payload(self) -> Any:
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError as error:
+            raise ApiError(400, "Content-Length must be an integer") from error
+        if length == 0:
+            return None
+        raw = self.rfile.read(length)
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise ApiError(400, f"request body is not valid JSON: {error}") from error
+
+    def _respond(self, status: int, body: Dict[str, Any], headers: Dict[str, str]) -> None:
+        encoded = json.dumps(body, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(encoded)))
+        for name, value in headers.items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(encoded)
+
+    def _handle(self, method: str) -> None:
+        try:
+            payload = self._read_payload()
+        except ApiError as error:
+            self._respond(error.status, {"error": error.message}, {})
+            return
+        try:
+            status, body, headers = self.server.service.dispatch(method, self.path, payload)
+        except Exception as error:  # noqa: BLE001 - last-resort 500, keep serving
+            self._respond(500, {"error": f"internal error: {error}"}, {})
+            return
+        self._respond(status, body, headers)
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        """Serve one GET request."""
+        self._handle("GET")
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        """Serve one POST request."""
+        self._handle("POST")
+
+    def do_DELETE(self) -> None:  # noqa: N802 - http.server API
+        """Serve one DELETE request."""
+        self._handle("DELETE")
+
+
+class RetrievalServer:
+    """A bound-and-listening retrieval daemon (socket open, not yet serving).
+
+    Wraps the threading HTTP server with lifecycle helpers: ``serve_forever``
+    for the CLI foreground path, ``start_background`` for tests and
+    benchmarks, and context-manager cleanup.
+    """
+
+    def __init__(self, service: RetrievalService, host: str = "127.0.0.1", port: int = 0) -> None:
+        self.service = service
+        self._http = _ServiceHTTPServer((host, port), service)
+        self._thread: Optional[threading.Thread] = None
+        #: Whether the serve loop was ever entered.  ``BaseServer.shutdown``
+        #: blocks until the loop acknowledges, which deadlocks when the loop
+        #: never ran (e.g. ``repro serve --check``) -- so only ask a loop that
+        #: exists to stop.
+        self._loop_entered = threading.Event()
+
+    @property
+    def host(self) -> str:
+        """The bound interface."""
+        return self._http.server_address[0]
+
+    @property
+    def port(self) -> int:
+        """The bound port (the real one when created with port 0)."""
+        return self._http.server_address[1]
+
+    @property
+    def url(self) -> str:
+        """Base URL clients should target."""
+        return f"http://{self.host}:{self.port}"
+
+    def serve_forever(self) -> None:
+        """Serve until :meth:`shutdown` (blocking; the CLI foreground path)."""
+        self._loop_entered.set()
+        self._http.serve_forever(poll_interval=0.1)
+
+    def start_background(self) -> "RetrievalServer":
+        """Serve on a daemon thread (tests, benchmarks); chainable."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self.serve_forever, name="repro-serve", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def shutdown(self) -> None:
+        """Stop the serve loop (idempotent; socket stays open until close)."""
+        if self._loop_entered.is_set():
+            self._http.shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    def close(self) -> None:
+        """Stop serving and release the socket."""
+        self.shutdown()
+        self._http.server_close()
+
+    def __enter__(self) -> "RetrievalServer":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+def create_server(
+    system: RetrievalSystem,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    workers: int = 4,
+    backlog: int = 16,
+    database_path: Union[None, str, Path] = None,
+    backend: Optional[str] = None,
+) -> RetrievalServer:
+    """Build a bound :class:`RetrievalServer` over ``system``.
+
+    ``port=0`` binds an ephemeral port (read it back from ``server.port``).
+    ``database_path`` enables write-through persistence: every mutation
+    endpoint saves incrementally to that path with ``backend`` (``None``
+    infers the format from the path, exactly like :meth:`RetrievalSystem.save`).
+
+    Returns:
+        A server with the socket bound; call ``serve_forever()`` or
+        ``start_background()`` to begin answering requests.
+
+    Raises:
+        ValueError: on a non-positive ``workers`` or negative ``backlog``.
+        OSError: if the address cannot be bound.
+    """
+    service = RetrievalService(
+        system,
+        workers=workers,
+        backlog=backlog,
+        database_path=database_path,
+        backend=backend,
+    )
+    return RetrievalServer(service, host=host, port=port)

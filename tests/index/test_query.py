@@ -85,3 +85,83 @@ class TestExecution:
         )
         assert engine.execute(Query.exact(alien)) == []
         assert len(engine.execute(Query(picture=alien, use_filters=False))) > 0
+
+
+class TestObjectEditInvalidation:
+    """Object-level edits must atomically refresh every index and the cache.
+
+    Regression suite for the concurrent-service work: ``add_object`` /
+    ``remove_object`` rewrite the stored record under the engine's write
+    lock, and a previously cached query must re-score (not replay stale
+    memoised results) the moment the record changes.
+    """
+
+    def _traced(self, engine, query):
+        ranked, trace = engine.execute_traced(query)
+        return {r.image_id: r.score for r in ranked}, trace
+
+    def test_cached_query_rescores_after_remove_object(self, engine, office):
+        query = Query.exact(office)
+        before, _ = self._traced(engine, query)
+        _, warm = self._traced(engine, query)
+        assert warm.cache_misses == 0  # fully served from the score cache
+
+        icon = office.icons_with_label("phone")[0]
+        engine.remove_object(office.name, icon.identifier)
+
+        after, trace = self._traced(engine, query)
+        # Exactly the edited image fell out of the cache and was re-scored
+        # against the new record: the query's phone no longer matches.
+        assert trace.candidates[office.name].cache_hit is False
+        assert trace.cache_misses == 1
+        assert after[office.name] < before[office.name]
+
+    def test_cached_query_rescores_after_add_object(self, engine, office):
+        """Adding the icon back re-scores again and restores the ranking."""
+        query = Query.exact(office)
+        before, _ = self._traced(engine, query)
+
+        icon = office.icons_with_label("phone")[0]
+        engine.remove_object(office.name, icon.identifier)
+        removed, _ = self._traced(engine, query)
+        assert removed[office.name] < before[office.name]
+
+        engine.add_object(office.name, "phone", icon.mbr)
+        after, trace = self._traced(engine, query)
+        assert trace.candidates[office.name].cache_hit is False
+        assert trace.cache_misses == 1
+        assert after[office.name] == pytest.approx(before[office.name])
+
+    def test_add_object_updates_inverted_index_postings(self, engine, office):
+        from repro.geometry.rectangle import Rectangle
+        from repro.iconic.picture import SymbolicPicture
+
+        probe = SymbolicPicture.build(
+            width=10, height=10,
+            objects=[("sundial", Rectangle(1, 1, 3, 3))],
+            name="sundial-probe",
+        )
+        assert engine.execute(Query.exact(probe)) == []
+
+        engine.add_object(office.name, "sundial", Rectangle(6.0, 1.0, 7.0, 2.0))
+        hits = engine.execute(Query.exact(probe))
+        assert [r.image_id for r in hits] == [office.name]
+        assert engine.inverted_index.images_with_label("sundial") == {office.name}
+
+        engine.remove_object(office.name, "sundial")
+        assert engine.execute(Query.exact(probe)) == []
+        assert engine.inverted_index.images_with_label("sundial") == set()
+
+    def test_edits_are_atomic_under_the_installed_write_lock(self, engine, office):
+        """With a real rwlock installed, the mutation happens under the
+        exclusive grant (no reader can observe a half-refreshed engine)."""
+        from repro.geometry.rectangle import Rectangle
+        from repro.service.rwlock import ReadWriteLock
+
+        engine.lock = ReadWriteLock()
+        engine.add_object(office.name, "phone", Rectangle(0.5, 0.5, 1.5, 1.5))
+        stats = engine.lock.statistics()
+        assert stats["write_acquisitions"] == 1
+        results = engine.execute(Query.exact(office))
+        assert results[0].image_id == office.name
+        assert engine.lock.statistics()["read_acquisitions"] >= 1

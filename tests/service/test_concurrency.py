@@ -1,0 +1,175 @@
+"""Concurrency stress suite: readers hammer the engine while writers mutate.
+
+Every ranking handed to a reader must be *torn-read free*: byte-identical to
+what a quiesced engine would return for one of the legal database states
+(before or after the in-flight mutation), never a blend of the two.  The
+suite drives the same :class:`~repro.retrieval.system.RetrievalSystem`
+surface the HTTP daemon serves, with the readers-writer lock installed via
+``enable_concurrent_access()``.
+
+The heavy tests are marked ``slow``: the fast CI matrix skips them (``--fast``)
+and the dedicated slow-tests job runs them.
+"""
+
+import threading
+
+import pytest
+
+from repro.datasets.scenes import landscape_scene, office_scene, traffic_scene
+from repro.retrieval.system import RetrievalSystem
+
+pytestmark = pytest.mark.slow
+
+#: Stress shape: concurrent reader threads x mutation flips by the writer.
+READERS = 6
+FLIPS = 40
+
+#: The probe query every reader runs, and the image the writer toggles.
+PROBE = office_scene(0)
+FLIPPED = office_scene(8).renamed("flip-target")
+
+
+def base_pictures():
+    return (
+        [office_scene(variant) for variant in range(3)]
+        + [traffic_scene(variant) for variant in range(2)]
+        + [landscape_scene(variant) for variant in range(2)]
+    )
+
+
+def build_system(extra=()):
+    system = RetrievalSystem.from_pictures(list(base_pictures()) + list(extra))
+    return system
+
+
+def snapshot(system, kind):
+    """The quiesced ranking a correct read must reproduce exactly."""
+    if kind == "similarity":
+        return system.query(PROBE).limit(None).execute().to_dicts()
+    if kind == "predicate":
+        return system.query().where("monitor above desk").limit(None).execute().to_dicts()
+    raise AssertionError(kind)
+
+
+def hammer(system, legal_snapshots, kind, stop, failures, counts, index):
+    """One reader loop: every observed ranking must be a legal snapshot."""
+    while not stop.is_set():
+        observed = snapshot(system, kind)
+        counts[index] += 1
+        if observed not in legal_snapshots:
+            failures.append((kind, observed))
+            return
+
+
+class TestInterleavedWriters:
+    @pytest.mark.parametrize("kind", ["similarity", "predicate"])
+    def test_rankings_always_match_a_quiesced_engine(self, kind):
+        """N readers vs a writer toggling a whole image in and out."""
+        system = build_system().enable_concurrent_access()
+        legal = [
+            snapshot(build_system(), kind),
+            snapshot(build_system([FLIPPED]), kind),
+        ]
+        assert legal[0] != legal[1], "the flipped image must change the ranking"
+
+        stop = threading.Event()
+        failures = []
+        counts = [0] * READERS
+        readers = [
+            threading.Thread(
+                target=hammer,
+                args=(system, legal, kind, stop, failures, counts, index),
+                daemon=True,
+            )
+            for index in range(READERS)
+        ]
+        for thread in readers:
+            thread.start()
+        try:
+            for _ in range(FLIPS):
+                system.add_picture(FLIPPED)
+                system.remove_picture("flip-target")
+        finally:
+            stop.set()
+        for thread in readers:
+            thread.join(timeout=30)
+        assert not failures, f"torn read: got a ranking matching no quiesced state: {failures[0]}"
+        assert sum(counts) > 0, "readers never completed a query"
+        # Quiesced end state: back to the base ranking.
+        assert snapshot(system, kind) == legal[0]
+
+    def test_object_level_edits_are_atomic_to_readers(self):
+        """Readers vs a writer removing/restoring one icon inside an image."""
+        edited_id = "office-000"
+        desk = PROBE.icons_with_label("desk")[0]
+
+        system = build_system().enable_concurrent_access()
+        before = snapshot(build_system(), "similarity")
+        reference_after = build_system()
+        reference_after.remove_object(edited_id, desk.identifier)
+        after = snapshot(reference_after, "similarity")
+        assert before != after, "the object edit must change the ranking"
+        legal = [before, after]
+
+        stop = threading.Event()
+        failures = []
+        counts = [0] * READERS
+        readers = [
+            threading.Thread(
+                target=hammer,
+                args=(system, legal, "similarity", stop, failures, counts, index),
+                daemon=True,
+            )
+            for index in range(READERS)
+        ]
+        for thread in readers:
+            thread.start()
+        try:
+            for _ in range(FLIPS):
+                system.remove_object(edited_id, desk.identifier)
+                system.add_object(edited_id, "desk", desk.mbr)
+        finally:
+            stop.set()
+        for thread in readers:
+            thread.join(timeout=30)
+        assert not failures, f"torn read after object edit: {failures[0]}"
+        assert sum(counts) > 0
+        assert snapshot(system, "similarity") == before
+
+    def test_batches_see_one_snapshot(self):
+        """A whole batch must rank against a single database state."""
+        system = build_system().enable_concurrent_access()
+        legal_single = [
+            snapshot(build_system(), "similarity"),
+            snapshot(build_system([FLIPPED]), "similarity"),
+        ]
+        stop = threading.Event()
+        failures = []
+        done = [0]
+
+        def batch_reader():
+            while not stop.is_set():
+                results = system.query_batch(
+                    [system.query(PROBE).limit(None) for _ in range(3)], workers=2
+                )
+                done[0] += 1
+                rows = [batch.to_dicts() for batch in results]
+                # Identical queries in one batch must agree with each other
+                # and with one quiesced state.
+                if any(row != rows[0] for row in rows) or rows[0] not in legal_single:
+                    failures.append(rows)
+                    return
+
+        threads = [threading.Thread(target=batch_reader, daemon=True) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        try:
+            for _ in range(FLIPS // 2):
+                system.add_picture(FLIPPED)
+                system.remove_picture("flip-target")
+        finally:
+            stop.set()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert not failures, f"batch mixed two snapshots: {failures[0]}"
+        assert done[0] > 0

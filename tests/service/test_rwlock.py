@@ -1,0 +1,161 @@
+"""Unit tests for the readers-writer lock behind the retrieval service."""
+
+import threading
+import time
+
+import pytest
+
+from repro.service.rwlock import ReadWriteLock
+
+
+@pytest.fixture
+def lock():
+    return ReadWriteLock()
+
+
+def run_thread(target):
+    thread = threading.Thread(target=target, daemon=True)
+    thread.start()
+    return thread
+
+
+class TestReadSide:
+    def test_many_threads_read_concurrently(self, lock):
+        inside = threading.Barrier(4, timeout=5)
+
+        def reader():
+            with lock.read_locked():
+                inside.wait()  # only passes if all 4 hold the grant together
+
+        threads = [run_thread(reader) for _ in range(4)]
+        for thread in threads:
+            thread.join(timeout=5)
+        assert not any(thread.is_alive() for thread in threads)
+        assert lock.active_readers == 0
+
+    def test_read_reentrant_in_one_thread(self, lock):
+        with lock.read_locked():
+            with lock.read_locked():
+                assert lock.active_readers == 1
+            assert lock.active_readers == 1
+        assert lock.active_readers == 0
+
+    def test_release_without_acquire_raises(self, lock):
+        with pytest.raises(RuntimeError):
+            lock.release_read()
+
+    def test_acquire_read_times_out_while_writer_holds(self, lock):
+        lock.acquire_write()
+        acquired = []
+        thread = run_thread(lambda: acquired.append(lock.acquire_read(timeout=0.05)))
+        thread.join(timeout=5)
+        lock.release_write()
+        assert acquired == [False]
+
+
+class TestWriteSide:
+    def test_writer_excludes_readers_and_writers(self, lock):
+        events = []
+
+        def reader():
+            with lock.read_locked():
+                events.append("read")
+
+        with lock.write_locked():
+            thread = run_thread(reader)
+            time.sleep(0.05)
+            assert events == []  # reader blocked while the writer holds
+        thread.join(timeout=5)
+        assert events == ["read"]
+
+    def test_write_reentrant_in_one_thread(self, lock):
+        with lock.write_locked():
+            with lock.write_locked():
+                assert lock.writer_active
+        assert not lock.writer_active
+
+    def test_upgrade_from_read_raises(self, lock):
+        with lock.read_locked():
+            with pytest.raises(RuntimeError, match="upgrade"):
+                lock.acquire_write()
+
+    def test_writer_may_take_nested_read(self, lock):
+        with lock.write_locked():
+            with lock.read_locked():
+                assert lock.writer_active
+        assert lock.active_readers == 0
+
+    def test_release_write_by_non_writer_raises(self, lock):
+        with pytest.raises(RuntimeError):
+            lock.release_write()
+
+    def test_acquire_write_times_out_while_reader_holds(self, lock):
+        holding = threading.Event()
+        release = threading.Event()
+
+        def reader():
+            with lock.read_locked():
+                holding.set()
+                release.wait(timeout=5)
+
+        thread = run_thread(reader)
+        assert holding.wait(timeout=5)
+        assert lock.acquire_write(timeout=0.05) is False
+        release.set()
+        thread.join(timeout=5)
+        assert lock.acquire_write(timeout=1) is True
+        lock.release_write()
+
+
+class TestWritePreference:
+    def test_waiting_writer_blocks_new_readers(self, lock):
+        """A queued writer gets the grant before readers that arrive later."""
+        order = []
+
+        def writer():
+            with lock.write_locked():
+                order.append("write")
+
+        def late_reader():
+            with lock.read_locked():
+                order.append("read")
+
+        lock.acquire_read()
+        writer_thread = run_thread(writer)
+        # Wait until the writer is queued, then send in a fresh reader.
+        deadline = time.monotonic() + 5
+        while lock.statistics()["writers_waiting"] == 0 and time.monotonic() < deadline:
+            time.sleep(0.001)
+        reader_thread = run_thread(late_reader)
+        time.sleep(0.05)
+        assert order == []  # writer waits on us; late reader waits on the writer
+        lock.release_read()
+        writer_thread.join(timeout=5)
+        reader_thread.join(timeout=5)
+        assert order[0] == "write"
+        assert "read" in order
+
+    def test_reentrant_read_admitted_past_waiting_writer(self, lock):
+        """The deadlock case write preference must not introduce: a reader
+        re-entering while a writer queues behind it must be admitted."""
+        lock.acquire_read()
+        writer = run_thread(lock.acquire_write)
+        deadline = time.monotonic() + 5
+        while lock.statistics()["writers_waiting"] == 0 and time.monotonic() < deadline:
+            time.sleep(0.001)
+        assert lock.acquire_read(timeout=1) is True  # reentrant, not blocked
+        lock.release_read()
+        lock.release_read()
+        writer.join(timeout=5)
+        assert lock.writer_active
+
+    def test_statistics_counters(self, lock):
+        with lock.read_locked():
+            pass
+        with lock.write_locked():
+            pass
+        stats = lock.statistics()
+        assert stats["read_acquisitions"] == 1
+        assert stats["write_acquisitions"] == 1
+        assert stats["active_readers"] == 0
+        assert stats["writers_waiting"] == 0

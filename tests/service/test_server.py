@@ -1,0 +1,316 @@
+"""End-to-end tests of the HTTP daemon: every endpoint over a real socket.
+
+One module-scoped server is booted on an ephemeral port and driven with the
+stdlib :class:`~repro.service.client.ServiceClient`; rankings are asserted
+byte-identical (same ``to_dicts()`` rows, same JSONL text) to an in-process
+reference system executing the same specs.
+"""
+
+import json
+
+import pytest
+
+from repro.datasets.scenes import landscape_scene, office_scene, traffic_scene
+from repro.retrieval.system import RetrievalSystem
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.server import RetrievalService, create_server
+
+
+def collection():
+    return (
+        [office_scene(variant) for variant in range(3)]
+        + [traffic_scene(variant) for variant in range(3)]
+        + [landscape_scene(variant) for variant in range(2)]
+    )
+
+
+@pytest.fixture()
+def reference():
+    """An in-process system holding the same images as the served one."""
+    return RetrievalSystem.from_pictures(collection())
+
+
+@pytest.fixture()
+def server(tmp_path):
+    database_path = tmp_path / "served.json"
+    system = RetrievalSystem.from_pictures(collection())
+    system.save(database_path)
+    server = create_server(
+        system, port=0, workers=4, backlog=8, database_path=database_path
+    )
+    with server:
+        yield server.start_background()
+
+
+@pytest.fixture()
+def client(server):
+    client = ServiceClient(port=server.port)
+    client.wait_until_healthy(timeout=10)
+    return client
+
+
+class TestSearch:
+    def test_rankings_byte_identical_to_in_process_engine(self, client, reference):
+        for scene, kwargs in [
+            (office_scene(0), {}),
+            (office_scene(1), {"invariant": True}),
+            (traffic_scene(2), {"min_score": 0.2, "limit": 3}),
+            (landscape_scene(0), {"no_filters": True, "limit": None}),
+        ]:
+            served = client.search(scene, **kwargs)
+            builder = reference.query(scene)
+            builder.invariant(kwargs.get("invariant", False))
+            builder.min_score(kwargs.get("min_score", 0.0))
+            builder.limit(kwargs.get("limit", 10))
+            builder.filters(not kwargs.get("no_filters", False))
+            expected = builder.execute()
+            assert served["results"] == expected.to_dicts()
+            assert (
+                "\n".join(json.dumps(row, sort_keys=True) for row in served["results"])
+                == expected.to_jsonl()
+            )
+
+    def test_partial_query(self, client, reference):
+        scene = office_scene(0)
+        identifiers = [icon.identifier for icon in list(scene)[:2]]
+        served = client.search(scene, identifiers=identifiers)
+        expected = reference.query(scene).partial(identifiers).execute()
+        assert served["results"] == expected.to_dicts()
+
+    def test_predicate_and_combined_queries(self, client, reference):
+        predicate = "monitor above desk"
+        served = client.search(where=predicate)
+        expected = reference.query().where(predicate).execute()
+        assert served["results"] == expected.to_dicts()
+        combined = client.search(office_scene(0), where=predicate)
+        expected_combined = (
+            reference.query(office_scene(0)).where(predicate).execute()
+        )
+        assert combined["results"] == expected_combined.to_dicts()
+
+    def test_pagination_windows_the_full_ranking(self, client, reference):
+        scene = office_scene(0)
+        full = reference.query(scene).limit(None).no_filters().execute()
+        pages = []
+        page_number = 1
+        while True:
+            served = client.search(
+                scene, limit=None, no_filters=True, page=page_number, page_size=3
+            )
+            assert served["total"] == len(full)
+            pages.extend(served["results"])
+            if page_number >= served["pages"]:
+                break
+            page_number += 1
+        assert pages == full.to_dicts()
+
+    def test_search_reports_plan_and_spec(self, client):
+        served = client.search(office_scene(0))
+        assert "scored" in served["plan"]
+        assert "similar_to" in served["spec"]
+
+    def test_empty_spec_is_a_400(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client.request("POST", "/search", {"limit": 3})
+        assert excinfo.value.status == 400
+        assert "clause" in str(excinfo.value)
+
+    def test_malformed_knobs_are_400s(self, client):
+        for payload in [
+            {"scene": office_scene(0).to_dict(), "limit": -1},
+            {"scene": office_scene(0).to_dict(), "invariant": "yes"},
+            {"scene": office_scene(0).to_dict(), "min_score": "high"},
+            {"scene": office_scene(0).to_dict(), "page": 1},  # page without size
+            {"scene": {"nonsense": True}},
+            {"scene": office_scene(0).to_dict(), "where": "desk wibble monitor"},
+            [1, 2, 3],
+        ]:
+            with pytest.raises(ServiceError) as excinfo:
+                client.request("POST", "/search", payload)
+            assert excinfo.value.status == 400
+
+
+class TestBatch:
+    def test_batch_matches_serial_searches(self, client, reference):
+        scenes = [office_scene(0), traffic_scene(1), office_scene(0)]
+        served = client.batch(scenes, workers=2)
+        assert served["count"] == 3
+        for row, scene in zip(served["results"], scenes):
+            assert row == reference.query(scene).execute().to_dicts()
+        assert "unique evaluations" in served["report"]
+
+    def test_batch_rejects_predicates_and_empty(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client.request(
+                "POST", "/batch", {"queries": [{"where": "monitor above desk"}]}
+            )
+        assert excinfo.value.status == 400
+        with pytest.raises(ServiceError) as excinfo:
+            client.request("POST", "/batch", {"queries": []})
+        assert excinfo.value.status == 400
+
+    def test_batch_rejects_bad_executor(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client.batch([office_scene(0)], executor="quantum")
+        assert excinfo.value.status == 400
+
+
+class TestMutations:
+    def test_insert_search_delete_roundtrip_with_persistence(
+        self, client, server, tmp_path
+    ):
+        fresh = office_scene(7).renamed("fresh-image")
+        created = client.add_image(fresh)
+        assert created["image_id"] == "fresh-image"
+
+        served = client.search(fresh, limit=1)
+        assert served["results"][0]["image_id"] == "fresh-image"
+        assert served["results"][0]["score"] == pytest.approx(1.0)
+
+        # The mutation was persisted incrementally: a reload sees the image.
+        reloaded = RetrievalSystem.from_file(server.service.database_path)
+        assert "fresh-image" in reloaded.image_ids
+
+        removed = client.delete_image("fresh-image")
+        assert removed["removed"] == "fresh-image"
+        reloaded = RetrievalSystem.from_file(server.service.database_path)
+        assert "fresh-image" not in reloaded.image_ids
+
+    def test_duplicate_insert_is_409(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client.add_image(office_scene(0))  # office-000 already stored
+        assert excinfo.value.status == 409
+
+    def test_unknown_delete_is_404(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client.delete_image("never-stored")
+        assert excinfo.value.status == 404
+
+    def test_mutation_invalidates_served_rankings(self, client):
+        """A cached query must re-rank after an insert changes the answer."""
+        probe = office_scene(2)
+        before = client.search(probe, limit=1)
+        clone = probe.renamed("office-clone")
+        client.add_image(clone)
+        after = client.search(probe, limit=2)
+        ids = [row["image_id"] for row in after["results"]]
+        assert "office-clone" in ids
+        client.delete_image("office-clone")
+        again = client.search(probe, limit=1)
+        assert again["results"] == before["results"]
+
+
+class TestObservability:
+    def test_healthz_reports_image_count_and_uptime(self, client, server):
+        body = client.healthz()
+        assert body["status"] == "ok"
+        assert body["images"] == len(server.service.system)
+        assert body["uptime_seconds"] >= 0
+
+    def test_stats_counts_requests_and_latency(self, client):
+        client.search(office_scene(0))
+        client.search(office_scene(0))
+        stats = client.stats()
+        assert stats["requests"]["POST /search"] >= 2
+        assert stats["requests_total"] >= stats["requests"]["POST /search"]
+        assert stats["latency_ms"]["p50"] <= stats["latency_ms"]["p95"]
+        assert 0.0 <= stats["cache"]["hit_rate"] <= 1.0
+        assert stats["lock"]["read_acquisitions"] > 0
+
+    def test_repeated_search_hits_the_score_cache(self, client):
+        scene = traffic_scene(0)
+        client.search(scene)
+        before = client.stats()["cache"]["hits"]
+        client.search(scene)
+        assert client.stats()["cache"]["hits"] > before
+
+    def test_ping_measures_round_trip(self, client):
+        body = client.ping()
+        assert body["status"] == "ok"
+        assert body["round_trip_ms"] >= 0
+
+    def test_unknown_route_is_404(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client.request("GET", "/never/existed")
+        assert excinfo.value.status == 404
+
+    def test_unreachable_service_raises(self):
+        client = ServiceClient(port=1, timeout=0.2)  # nothing listens there
+        with pytest.raises(ServiceError, match="unreachable"):
+            client.healthz()
+
+
+class TestBackpressure:
+    def test_admission_gate_rejects_with_503_and_retry_after(self, reference):
+        service = RetrievalService(reference, workers=1, backlog=0, retry_after=2.0)
+        # Fill the only admission slot, then ask for work: bounded queue full.
+        assert service._admission.acquire(blocking=False)
+        try:
+            status, body, headers = service.dispatch(
+                "POST", "/search", {"scene": office_scene(0).to_dict()}
+            )
+        finally:
+            service._admission.release()
+        assert status == 503
+        assert headers["Retry-After"] == "2"
+        assert "overloaded" in body["error"]
+        assert service.stats()["rejected_overload"] == 1
+
+    def test_probes_bypass_the_admission_gate(self, reference):
+        service = RetrievalService(reference, workers=1, backlog=0)
+        assert service._admission.acquire(blocking=False)
+        try:
+            status, body, _ = service.dispatch("GET", "/healthz", None)
+            assert status == 200 and body["status"] == "ok"
+            status, _, _ = service.dispatch("GET", "/stats", None)
+            assert status == 200
+        finally:
+            service._admission.release()
+
+    def test_admission_gate_validates_knobs(self, reference):
+        with pytest.raises(ValueError):
+            RetrievalService(reference, workers=0)
+        with pytest.raises(ValueError):
+            RetrievalService(reference, backlog=-1)
+
+
+class TestWireEdgeCases:
+    """Regressions for wire-level edge cases found in review."""
+
+    def test_image_ids_with_unsafe_characters_roundtrip(self, client):
+        for image_id in ("has space", "slash/inside", "café", "q?a#b"):
+            created = client.add_image(office_scene(7), image_id=image_id)
+            assert created["image_id"] == image_id
+            removed = client.delete_image(image_id)
+            assert removed["removed"] == image_id
+
+    def test_batch_with_unknown_identifier_is_400_not_500(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client.request(
+                "POST",
+                "/batch",
+                {"queries": [{"scene": office_scene(0).to_dict(), "identifiers": ["nope"]}]},
+            )
+        assert excinfo.value.status == 400
+        assert "identifier" in str(excinfo.value)
+
+    def test_malformed_content_length_is_400(self, server):
+        import http.client
+
+        connection = http.client.HTTPConnection("127.0.0.1", server.port, timeout=5)
+        try:
+            connection.putrequest("POST", "/search")
+            connection.putheader("Content-Length", "abc")
+            connection.endheaders()
+            response = connection.getresponse()
+            assert response.status == 400
+            assert b"Content-Length" in response.read()
+        finally:
+            connection.close()
+
+    def test_delete_without_id_is_400(self, reference):
+        service = RetrievalService(reference)
+        for path in ("/images", "/images/"):
+            status, body, _ = service.dispatch("DELETE", path, None)
+            assert status == 400
+            assert "image id is required" in body["error"]

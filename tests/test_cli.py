@@ -334,3 +334,47 @@ class TestConvertInfoAndFormats:
         assert main(["demo", "--output", str(target), "--format", "sharded"]) == 0
         assert (target / "manifest.json").exists()
         assert "office-000" in capsys.readouterr().out
+
+
+class TestServeAndPing:
+    def test_serve_check_binds_and_reports_address(self, database_file, capsys):
+        assert main(["serve", str(database_file), "--port", "0", "--check"]) == 0
+        output = capsys.readouterr().out
+        assert "serving" in output and "http://127.0.0.1:" in output
+        assert "3 images" in output
+        assert "persisting incrementally" in output
+
+    def test_serve_check_no_persist(self, database_file, capsys):
+        assert main(
+            ["serve", str(database_file), "--port", "0", "--check", "--no-persist"]
+        ) == 0
+        assert "in-memory only" in capsys.readouterr().out
+
+    def test_serve_missing_database(self, tmp_path, capsys):
+        assert main(["serve", str(tmp_path / "none.json"), "--check"]) == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_serve_rejects_bad_knobs(self, database_file, capsys):
+        assert main(
+            ["serve", str(database_file), "--port", "0", "--workers", "0", "--check"]
+        ) == 2
+        assert "cannot start" in capsys.readouterr().err
+
+    def test_ping_round_trip_against_live_server(self, database_file, capsys):
+        from repro.retrieval.system import RetrievalSystem
+        from repro.service.server import create_server
+
+        system = RetrievalSystem.from_file(database_file)
+        with create_server(system, port=0).start_background() as server:
+            assert main(["ping", server.url]) == 0
+            output = capsys.readouterr().out
+            assert "ok: 3 images" in output
+            assert "round-trip" in output
+
+    def test_ping_unreachable_server(self, capsys):
+        assert main(["ping", "http://127.0.0.1:1", "--timeout", "0.2"]) == 2
+        assert "unreachable" in capsys.readouterr().err
+
+    def test_ping_bad_url(self, capsys):
+        assert main(["ping", "ftp://example.com"]) == 2
+        assert "http" in capsys.readouterr().err

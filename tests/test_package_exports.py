@@ -15,6 +15,7 @@ SUBPACKAGES = [
     "repro.index",
     "repro.retrieval",
     "repro.datasets",
+    "repro.service",
     "repro.cli",
 ]
 
@@ -39,7 +40,7 @@ class TestTopLevelExports:
 
     @pytest.mark.parametrize(
         "module_name",
-        ["repro.geometry", "repro.iconic", "repro.core", "repro.baselines", "repro.index", "repro.retrieval", "repro.datasets"],
+        ["repro.geometry", "repro.iconic", "repro.core", "repro.baselines", "repro.index", "repro.retrieval", "repro.datasets", "repro.service"],
     )
     def test_subpackage_all_lists_resolve(self, module_name):
         module = importlib.import_module(module_name)
