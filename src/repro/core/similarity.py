@@ -77,6 +77,38 @@ class SimilarityPolicy:
 DEFAULT_POLICY = SimilarityPolicy()
 
 
+def normalized_value(
+    raw: float, query_side: float, database_side: float, normalization: Normalization
+) -> float:
+    """Normalise one raw per-axis count according to ``normalization``.
+
+    Shared by :meth:`AxisSimilarity.normalized` and the shortlist's score
+    upper bound (:mod:`repro.index.shortlist`), so the bound can never drift
+    from the scoring arithmetic it must dominate.
+    """
+    if normalization is Normalization.NONE:
+        return raw
+    if normalization is Normalization.QUERY:
+        return raw / query_side if query_side else 0.0
+    if normalization is Normalization.DATABASE:
+        return raw / database_side if database_side else 0.0
+    total = query_side + database_side
+    return 2.0 * raw / total if total else 0.0
+
+
+def combined_value(x_value: float, y_value: float, combination: Combination) -> float:
+    """Combine the two per-axis values according to ``combination``.
+
+    Shared by :meth:`SimilarityResult.score` and the shortlist's score upper
+    bound, for the same no-drift reason as :func:`normalized_value`.
+    """
+    if combination is Combination.MEAN:
+        return (x_value + y_value) / 2.0
+    if combination is Combination.MIN:
+        return min(x_value, y_value)
+    return x_value * y_value
+
+
 @dataclass(frozen=True)
 class AxisSimilarity:
     """The outcome of the modified LCS on one axis."""
@@ -119,20 +151,15 @@ class AxisSimilarity:
     def normalized(self, policy: SimilarityPolicy) -> float:
         """Normalise the raw count according to ``policy``."""
         raw = float(self.raw_count(policy.count_boundaries_only))
-        if policy.normalization is Normalization.NONE:
-            return raw
         if policy.count_boundaries_only:
             query_denominator = float(self.query_boundary_count)
             database_denominator = float(self.database_boundary_count)
         else:
             query_denominator = float(self.query_length)
             database_denominator = float(self.database_length)
-        if policy.normalization is Normalization.QUERY:
-            return raw / query_denominator if query_denominator else 0.0
-        if policy.normalization is Normalization.DATABASE:
-            return raw / database_denominator if database_denominator else 0.0
-        total = query_denominator + database_denominator
-        return 2.0 * raw / total if total else 0.0
+        return normalized_value(
+            raw, query_denominator, database_denominator, policy.normalization
+        )
 
 
 @dataclass(frozen=True)
@@ -151,13 +178,11 @@ class SimilarityResult:
     @property
     def score(self) -> float:
         """The combined, policy-normalised similarity score."""
-        x_value = self.x.normalized(self.policy)
-        y_value = self.y.normalized(self.policy)
-        if self.policy.combination is Combination.MEAN:
-            return (x_value + y_value) / 2.0
-        if self.policy.combination is Combination.MIN:
-            return min(x_value, y_value)
-        return x_value * y_value
+        return combined_value(
+            self.x.normalized(self.policy),
+            self.y.normalized(self.policy),
+            self.policy.combination,
+        )
 
     @property
     def common_objects(self) -> FrozenSet[str]:

@@ -17,7 +17,7 @@ string-level transforms are validated against in the test suite.
 from __future__ import annotations
 
 from enum import Enum
-from typing import Dict, Iterable, List
+from typing import Dict, Iterable, List, Tuple
 
 from repro.core.bestring import BEString2D
 
@@ -70,6 +70,32 @@ def rotate180(bestring: BEString2D) -> BEString2D:
 def rotate270(bestring: BEString2D) -> BEString2D:
     """270 degree clockwise rotation (90 counter-clockwise)."""
     return BEString2D(bestring.y, bestring.x.reversed_swapped(), bestring.name)
+
+
+#: Enum definition order, used to canonicalise transformation sets.
+_CANONICAL_ORDER: Dict[Transformation, int] = {
+    transformation: position for position, transformation in enumerate(Transformation)
+}
+
+
+def canonical_transformations(
+    transformations: Iterable[Transformation],
+) -> Tuple[Transformation, ...]:
+    """Deduplicate a transformation set and order it by enum definition.
+
+    Evaluating the same transformation *set* must behave identically no
+    matter how the caller ordered it: tie-breaks resolve to the earliest
+    transformation (``IDENTITY`` first, so exact matches win), and the score
+    cache sees one key per set instead of one per ordering.  An empty input
+    is returned unchanged so spec validation can reject it with its own
+    message.
+
+    Returns:
+        The canonical, duplicate-free transformation tuple.
+    """
+    return tuple(
+        sorted(set(transformations), key=_CANONICAL_ORDER.__getitem__)
+    )
 
 
 _TRANSFORM_FUNCTIONS = {

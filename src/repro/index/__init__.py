@@ -10,6 +10,10 @@ database a downstream user would actually store BE-strings in:
   used to shortlist candidates that share at least one query icon.
 * :class:`~repro.index.signature.SignatureFilter` -- label-multiset signatures
   for cheap candidate pruning before the LCS evaluation.
+* :mod:`~repro.index.shortlist` -- the two-stage signature shortlist: hashed
+  label bitmaps (stage 1) and relation-pair signatures (stage 2) upper-bound
+  the achievable LCS score so only candidates that can clear the query's
+  ``min_score`` are ever scored (see ``docs/shortlist.md``).
 * :class:`~repro.index.query.QueryEngine` -- the unified query pipeline:
   executes similarity queries (optionally transformation-invariant) and
   declarative :class:`~repro.index.spec.QuerySpec` plans (similarity +
@@ -47,6 +51,17 @@ from repro.index.database import ImageDatabase, ImageRecord
 from repro.index.inverted import InvertedSymbolIndex
 from repro.index.query import Query, QueryEngine
 from repro.index.ranking import RankedResult, rank_results
+from repro.index.shortlist import (
+    DEFAULT_BITMAP_WIDTH,
+    ImageSignature,
+    QuerySignature,
+    ShortlistCounters,
+    ShortlistOutcome,
+    ShortlistStatistics,
+    ensure_signatures,
+    label_bitmap,
+    signature_for,
+)
 from repro.index.signature import SignatureFilter, label_signature
 from repro.index.spatial import QUADRANTS, LocatedIcon, RegionIndex
 from repro.index.spec import (
@@ -97,6 +112,15 @@ __all__ = [
     "rank_results",
     "SignatureFilter",
     "label_signature",
+    "DEFAULT_BITMAP_WIDTH",
+    "ImageSignature",
+    "QuerySignature",
+    "ShortlistCounters",
+    "ShortlistOutcome",
+    "ShortlistStatistics",
+    "ensure_signatures",
+    "label_bitmap",
+    "signature_for",
     "QUADRANTS",
     "LocatedIcon",
     "RegionIndex",

@@ -38,6 +38,7 @@ See ``docs/storage-formats.md`` for the on-disk format specifications.
 from __future__ import annotations
 
 import abc
+import copy
 import json
 import os
 import sqlite3
@@ -97,6 +98,13 @@ class StorageBackend(abc.ABC):
 
     #: Registry name of the backend (``"json"``, ``"sqlite"``, ``"sharded"``).
     name: str = "abstract"
+
+    #: Whether saves persist the per-image shortlist signatures
+    #: (:mod:`repro.index.shortlist`) alongside pictures and BE-strings, so
+    #: warm starts skip the signature recomputation.  ``repro convert
+    #: --no-signatures`` turns this off to write lean databases; loading a
+    #: database without signatures simply rebuilds them lazily.
+    persist_signatures: bool = True
 
     @abc.abstractmethod
     def save(
@@ -165,7 +173,7 @@ class JsonBackend(StorageBackend):
         target = Path(path)
         if target.is_dir():
             raise StorageError(f"{target} is a directory, not a JSON database file")
-        _save_json_database(database, target)
+        _save_json_database(database, target, include_signatures=self.persist_signatures)
         database.clear_dirty()
         return target
 
@@ -199,12 +207,15 @@ class JsonBackend(StorageBackend):
             raise StorageError(f"{source} is not a valid JSON database: {error}") from error
         if not isinstance(payload, dict) or not isinstance(payload.get("images", []), list):
             raise StorageError(f"{source} is not a valid JSON database (bad structure)")
+        images = payload.get("images", [])
         return {
             "format": self.name,
             "path": str(source),
             "schema_version": payload.get("schema_version"),
             "name": payload.get("name"),
-            "images": len(payload.get("images", [])),
+            "images": len(images),
+            "signatures": bool(images)
+            and all(isinstance(entry, dict) and "signature" in entry for entry in images),
             "size_bytes": source.stat().st_size,
         }
 
@@ -220,7 +231,12 @@ class SqliteBackend(StorageBackend):
         meta   (key TEXT PRIMARY KEY, value TEXT)        -- schema_version, name
         images (image_id TEXT PRIMARY KEY,
                 picture TEXT NOT NULL,                   -- JSON, v1 entry shape
-                bestring TEXT NOT NULL)                  -- JSON, v1 entry shape
+                bestring TEXT NOT NULL,                  -- JSON, v1 entry shape
+                signature TEXT)                          -- JSON shortlist signature
+
+    The ``signature`` column is nullable and absent from pre-signature files;
+    such files still load (signatures rebuild lazily) and an incremental save
+    against them falls back to a full rewrite that upgrades the schema.
     """
 
     name = "sqlite"
@@ -266,13 +282,26 @@ class SqliteBackend(StorageBackend):
             name = self._read_meta(connection, source)
             database = ImageDatabase(name=name)
             try:
-                rows = connection.execute(
-                    "SELECT image_id, picture, bestring FROM images ORDER BY image_id"
-                ).fetchall()
+                try:
+                    rows = connection.execute(
+                        "SELECT image_id, picture, bestring, signature "
+                        "FROM images ORDER BY image_id"
+                    ).fetchall()
+                except sqlite3.OperationalError:
+                    # Pre-signature schema: load without the column.
+                    rows = [
+                        (image_id, picture_json, bestring_json, None)
+                        for image_id, picture_json, bestring_json in connection.execute(
+                            "SELECT image_id, picture, bestring FROM images "
+                            "ORDER BY image_id"
+                        )
+                    ]
             except sqlite3.DatabaseError as error:
                 raise StorageError(f"{source} is not a valid SQLite database: {error}") from error
-            for image_id, picture_json, bestring_json in rows:
-                entry = self._row_to_entry(source, image_id, picture_json, bestring_json)
+            for image_id, picture_json, bestring_json, signature_json in rows:
+                entry = self._row_to_entry(
+                    source, image_id, picture_json, bestring_json, signature_json
+                )
                 try:
                     image_entry_to_record(database, entry)
                 except StorageError as error:
@@ -329,6 +358,15 @@ class SqliteBackend(StorageBackend):
         try:
             name = self._read_meta(connection, source)
             count = connection.execute("SELECT COUNT(*) FROM images").fetchone()[0]
+            columns = {
+                row[1] for row in connection.execute("PRAGMA table_info(images)")
+            }
+            signatures = "signature" in columns
+            if signatures and count:
+                missing = connection.execute(
+                    "SELECT COUNT(*) FROM images WHERE signature IS NULL"
+                ).fetchone()[0]
+                signatures = missing == 0
         except sqlite3.DatabaseError as error:
             raise StorageError(f"{source} is not a valid SQLite database: {error}") from error
         finally:
@@ -339,6 +377,7 @@ class SqliteBackend(StorageBackend):
             "schema_version": SCHEMA_VERSION,
             "name": name,
             "images": count,
+            "signatures": signatures,
             "size_bytes": source.stat().st_size,
         }
 
@@ -356,10 +395,14 @@ class SqliteBackend(StorageBackend):
 
     @staticmethod
     def _row_to_entry(
-        source: Path, image_id: str, picture_json: str, bestring_json: str
+        source: Path,
+        image_id: str,
+        picture_json: str,
+        bestring_json: str,
+        signature_json: Optional[str] = None,
     ) -> Dict[str, Any]:
         try:
-            return {
+            entry = {
                 "image_id": image_id,
                 "picture": json.loads(picture_json),
                 "bestring": json.loads(bestring_json),
@@ -368,6 +411,13 @@ class SqliteBackend(StorageBackend):
             raise StorageError(
                 f"{source}: row for image {image_id!r} holds invalid JSON: {error}"
             ) from error
+        if signature_json:
+            try:
+                entry["signature"] = json.loads(signature_json)
+            except json.JSONDecodeError:
+                # A derived signature never blocks a load; rebuild lazily.
+                pass
+        return entry
 
     def _read_meta(self, connection: sqlite3.Connection, source: Path) -> str:
         """Validate schema/version of an open connection; returns the db name."""
@@ -386,11 +436,21 @@ class SqliteBackend(StorageBackend):
         return rows.get("name", "image-database")
 
     def _can_update(self, target: Path, database: ImageDatabase) -> bool:
-        """True when an incremental upsert against ``target`` is consistent."""
+        """True when an incremental upsert against ``target`` is consistent.
+
+        A pre-signature schema (no ``signature`` column) also answers False,
+        so the incremental save falls back to a full rewrite that upgrades
+        the file in place.
+        """
         try:
             connection = self._connect(target)
             try:
                 self._read_meta(connection, target)
+                columns = {
+                    row[1] for row in connection.execute("PRAGMA table_info(images)")
+                }
+                if "signature" not in columns:
+                    return False
                 stored = {
                     row[0] for row in connection.execute("SELECT image_id FROM images")
                 }
@@ -416,14 +476,16 @@ class SqliteBackend(StorageBackend):
                     "CREATE TABLE images ("
                     "image_id TEXT PRIMARY KEY, "
                     "picture TEXT NOT NULL, "
-                    "bestring TEXT NOT NULL)"
+                    "bestring TEXT NOT NULL, "
+                    "signature TEXT)"
                 )
                 connection.executemany(
                     "INSERT INTO meta (key, value) VALUES (?, ?)",
                     [("schema_version", str(SCHEMA_VERSION)), ("name", database.name)],
                 )
                 connection.executemany(
-                    "INSERT INTO images (image_id, picture, bestring) VALUES (?, ?, ?)",
+                    "INSERT INTO images (image_id, picture, bestring, signature) "
+                    "VALUES (?, ?, ?, ?)",
                     (self._record_row(record) for record in database),
                 )
         finally:
@@ -440,8 +502,9 @@ class SqliteBackend(StorageBackend):
                 for image_id in sorted(database.dirty_ids):
                     if image_id in database:
                         connection.execute(
-                            "INSERT OR REPLACE INTO images (image_id, picture, bestring) "
-                            "VALUES (?, ?, ?)",
+                            "INSERT OR REPLACE INTO images "
+                            "(image_id, picture, bestring, signature) "
+                            "VALUES (?, ?, ?, ?)",
                             self._record_row(database.get(image_id)),
                         )
                     else:
@@ -451,12 +514,15 @@ class SqliteBackend(StorageBackend):
         finally:
             connection.close()
 
-    @staticmethod
-    def _record_row(record: ImageRecord) -> tuple:
+    def _record_row(self, record: ImageRecord) -> tuple:
+        entry = image_record_to_json(record, include_signature=self.persist_signatures)
         return (
             record.image_id,
-            json.dumps(record.picture.to_dict(), sort_keys=True),
-            json.dumps(record.bestring.to_dict(), sort_keys=True),
+            json.dumps(entry["picture"], sort_keys=True),
+            json.dumps(entry["bestring"], sort_keys=True),
+            json.dumps(entry["signature"], sort_keys=True)
+            if "signature" in entry
+            else None,
         )
 
 
@@ -542,9 +608,17 @@ class LazySqliteImageDatabase(ImageDatabase):
 
     def _materialize(self, image_id: str) -> None:
         try:
-            row = self._connection.execute(
-                "SELECT picture, bestring FROM images WHERE image_id = ?", (image_id,)
-            ).fetchone()
+            try:
+                row = self._connection.execute(
+                    "SELECT picture, bestring, signature FROM images WHERE image_id = ?",
+                    (image_id,),
+                ).fetchone()
+            except sqlite3.OperationalError:
+                # Pre-signature schema: materialise without the column.
+                row = self._connection.execute(
+                    "SELECT picture, bestring, NULL FROM images WHERE image_id = ?",
+                    (image_id,),
+                ).fetchone()
         except sqlite3.DatabaseError as error:
             raise StorageError(
                 f"{self._path} is not a valid SQLite database: {error}"
@@ -552,7 +626,7 @@ class LazySqliteImageDatabase(ImageDatabase):
         self._pending.discard(image_id)
         if row is None:
             return
-        entry = SqliteBackend._row_to_entry(self._path, image_id, row[0], row[1])
+        entry = SqliteBackend._row_to_entry(self._path, image_id, row[0], row[1], row[2])
         try:
             image_entry_to_record(self, entry)
         except StorageError as error:
@@ -653,7 +727,15 @@ class ShardedBackend(StorageBackend):
                     "file": file_name,
                     "images": sorted(record.image_id for record in bucket),
                 }
-        self._write_manifest(target, database.name, shard_count, shards)
+        # Untouched shards keep their original payload, so the manifest only
+        # advertises signatures when the old state and this save both had them.
+        self._write_manifest(
+            target,
+            database.name,
+            shard_count,
+            shards,
+            signatures=bool(manifest.get("signatures", False)) and self.persist_signatures,
+        )
 
     def _can_update(self, manifest: Dict[str, Any], database: ImageDatabase) -> bool:
         """True when the manifest matches the database outside the dirty set."""
@@ -670,31 +752,36 @@ class ShardedBackend(StorageBackend):
     def _shard_file_name(index: int) -> str:
         return f"shard-{index:04d}.bin"
 
-    @staticmethod
-    def _write_shard(path: Path, records: List[ImageRecord]) -> None:
+    def _write_shard(self, path: Path, records: List[ImageRecord]) -> None:
         ordered = sorted(records, key=lambda record: record.image_id)
         chunks = [SHARD_MAGIC, struct.pack("<BI", SHARD_FORMAT_VERSION, len(ordered))]
         for record in ordered:
+            entry = image_record_to_json(
+                record, include_signature=self.persist_signatures
+            )
             # Level 1: save latency matters more than the last few percent of
             # ratio, and decompression accepts any level.
-            blob = zlib.compress(
-                json.dumps(image_record_to_json(record), sort_keys=True).encode("utf-8"), 1
-            )
+            blob = zlib.compress(json.dumps(entry, sort_keys=True).encode("utf-8"), 1)
             chunks.append(struct.pack("<I", len(blob)))
             chunks.append(blob)
         temporary = path.with_suffix(".bin.tmp")
         temporary.write_bytes(b"".join(chunks))
         os.replace(temporary, path)
 
-    @staticmethod
     def _write_manifest(
-        target: Path, name: str, shard_count: int, shards: Dict[str, Dict[str, Any]]
+        self,
+        target: Path,
+        name: str,
+        shard_count: int,
+        shards: Dict[str, Dict[str, Any]],
+        signatures: Optional[bool] = None,
     ) -> None:
         payload = {
             "schema_version": SCHEMA_VERSION,
             "format": MANIFEST_FORMAT,
             "name": name,
             "shard_count": shard_count,
+            "signatures": self.persist_signatures if signatures is None else signatures,
             "shards": {key: shards[key] for key in sorted(shards)},
         }
         temporary = target / (MANIFEST_NAME + ".tmp")
@@ -758,6 +845,7 @@ class ShardedBackend(StorageBackend):
             "name": manifest.get("name"),
             "images": images,
             "shard_count": manifest.get("shard_count"),
+            "signatures": bool(manifest.get("signatures", False)),
             "size_bytes": size + (source / MANIFEST_NAME).stat().st_size,
         }
 
@@ -917,8 +1005,13 @@ def save_database_to(
     *,
     incremental: bool = False,
     shard_count: Optional[int] = None,
+    persist_signatures: Optional[bool] = None,
 ) -> Path:
     """Persist ``database`` with an explicit or path-inferred backend.
+
+    ``persist_signatures`` overrides the backend's signature-persistence
+    toggle for this save (``None`` keeps the backend's default of writing
+    the shortlist signatures).
 
     Returns:
         The path written.
@@ -928,6 +1021,11 @@ def save_database_to(
         StorageError: if the target exists in an incompatible format.
     """
     resolved = get_backend(backend, path, shard_count=shard_count)
+    if persist_signatures is not None and persist_signatures != resolved.persist_signatures:
+        # Shallow-copy so a one-shot override never leaks into a caller's
+        # backend instance (backends hold only configuration state).
+        resolved = copy.copy(resolved)
+        resolved.persist_signatures = persist_signatures
     return resolved.save(database, path, incremental=incremental)
 
 

@@ -97,6 +97,10 @@ class BatchReport:
     chunks: int = 0
     executor: str = "serial"
     workers: int = 1
+    #: Candidates rejected by the stage-1 bitmap bound across all groups.
+    shortlist_bitmap_pruned: int = 0
+    #: Candidates rejected by the stage-2 relation-pair bound across all groups.
+    shortlist_relation_pruned: int = 0
 
     @property
     def deduplicated_queries(self) -> int:
@@ -109,12 +113,23 @@ class BatchReport:
         total = self.candidates_considered
         return self.cache_hits / total if total else 0.0
 
+    @property
+    def shortlist_pruned(self) -> int:
+        """Total candidates the two-stage signature shortlist rejected."""
+        return self.shortlist_bitmap_pruned + self.shortlist_relation_pruned
+
     def describe(self) -> str:
         """One-line summary used by the CLI and the benchmark report."""
+        pruned = ""
+        if self.shortlist_pruned:
+            pruned = (
+                f", {self.shortlist_bitmap_pruned} bitmap-pruned + "
+                f"{self.shortlist_relation_pruned} relation-pruned"
+            )
         return (
             f"{self.total_queries} queries -> {self.unique_evaluations} unique evaluations, "
             f"{self.candidates_considered} candidate scores "
-            f"({self.cache_hits} cached, {self.scored} computed) "
+            f"({self.cache_hits} cached, {self.scored} computed{pruned}) "
             f"via {self.executor} x{self.workers}"
         )
 
@@ -199,7 +214,7 @@ class BatchQueryEngine:
             report.executor = "serial"
             return [], report
 
-        groups = self._group_queries(queries)
+        groups = self._group_queries(queries, report)
         report.unique_evaluations = len(groups)
 
         # Shortlist candidates once per group and split them into cache hits
@@ -243,9 +258,17 @@ class BatchQueryEngine:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
-    def _group_queries(self, queries: Sequence["Query"]) -> List[_EvaluationGroup]:
-        """Deduplicate queries into evaluation groups with shared shortlists."""
-        groups: Dict[Tuple[QueryKey, bool, int, bool], _EvaluationGroup] = {}
+    def _group_queries(
+        self, queries: Sequence["Query"], report: BatchReport
+    ) -> List[_EvaluationGroup]:
+        """Deduplicate queries into evaluation groups with shared shortlists.
+
+        Each unique group runs the engine's two-stage signature shortlist
+        once; per-stage pruning counts are accumulated into ``report``.
+        Queries sharing content but differing in ``minimum_score`` fall into
+        distinct groups, since the shortlist's score bound depends on it.
+        """
+        groups: Dict[Tuple[QueryKey, bool, int, bool, float], _EvaluationGroup] = {}
         for position, query in enumerate(queries):
             bestring = encode_picture(query.picture)
             query_key = query_score_key(bestring, query.policy, query.transformations)
@@ -254,16 +277,20 @@ class BatchQueryEngine:
                 query.use_filters,
                 query.minimum_shared_labels,
                 query.use_cache,
+                query.minimum_score,
             )
             group = groups.get(group_key)
             if group is None:
+                outcome = self.engine.shortlist(query, bestring)
+                report.shortlist_bitmap_pruned += outcome.bitmap_rejected
+                report.shortlist_relation_pruned += outcome.relation_rejected
                 group = _EvaluationGroup(
                     query_key=query_key,
                     query_bestring=bestring,
                     policy=query.policy,
                     transformations=tuple(query.transformations),
                     use_cache=query.use_cache,
-                    candidate_ids=self.engine.candidate_ids(query),
+                    candidate_ids=outcome.candidates,
                 )
                 groups[group_key] = group
             group.query_positions.append(position)

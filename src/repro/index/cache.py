@@ -25,7 +25,7 @@ from typing import Dict, Hashable, Iterable, Optional, Set, Tuple
 
 from repro.core.bestring import BEString2D
 from repro.core.similarity import SimilarityPolicy, SimilarityResult
-from repro.core.transforms import Transformation
+from repro.core.transforms import Transformation, canonical_transformations
 
 #: Content key identifying one query evaluation configuration.
 QueryKey = Tuple[str, str, SimilarityPolicy, Tuple[Transformation, ...]]
@@ -43,13 +43,18 @@ def query_score_key(
 
     Two queries whose pictures encode to the same axis strings share scores
     regardless of picture name, so the key uses the token text of both axes
-    rather than the (name-carrying) :class:`BEString2D` itself.
+    rather than the (name-carrying) :class:`BEString2D` itself.  The
+    transformation set is canonicalised (deduplicated, enum order): the same
+    set supplied in a different order used to miss the cache and re-run the
+    full dynamic program, even though the evaluation is order-independent
+    once tie-breaks are canonical (see
+    :func:`~repro.core.transforms.canonical_transformations`).
     """
     return (
         bestring.x.to_text(),
         bestring.y.to_text(),
         policy,
-        tuple(transformations),
+        canonical_transformations(transformations),
     )
 
 

@@ -3,13 +3,16 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterator, List, Optional, Set
+from typing import TYPE_CHECKING, Dict, FrozenSet, Iterator, List, Optional, Set
 
 from repro.core.bestring import BEString2D
 from repro.core.construct import encode_picture
 from repro.core.editing import IndexedBEString
 from repro.geometry.rectangle import Rectangle
 from repro.iconic.picture import SymbolicPicture
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a layering cycle
+    from repro.index.shortlist import ImageSignature
 
 
 class DatabaseError(KeyError):
@@ -24,6 +27,10 @@ class ImageRecord:
     picture: SymbolicPicture
     bestring: BEString2D
     indexed: IndexedBEString
+    #: Cached shortlist signature (see :mod:`repro.index.shortlist`).  Built
+    #: lazily, loaded from storage on warm starts, and reset to ``None`` by
+    #: every object-level edit so it can never disagree with the BE-string.
+    signature: Optional["ImageSignature"] = None
 
     @property
     def object_count(self) -> int:
@@ -137,6 +144,7 @@ class ImageDatabase:
         record.indexed.insert(identifier, mbr)
         record.picture = record.picture.add_icon(label, mbr)
         record.bestring = record.indexed.to_bestring()
+        record.signature = None
         self.mark_dirty(image_id)
         return record
 
@@ -146,6 +154,7 @@ class ImageDatabase:
         record.indexed.remove(identifier)
         record.picture = record.picture.remove_icon(identifier)
         record.bestring = record.indexed.to_bestring()
+        record.signature = None
         self.mark_dirty(image_id)
         return record
 

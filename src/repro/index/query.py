@@ -2,8 +2,10 @@
 
 The engine ties the pieces together the way the paper's demonstration system
 does: the query picture is encoded once, candidate images are shortlisted by
-the inverted index and the signature filter, each surviving candidate is
-scored with the modified-LCS similarity evaluation (optionally over all
+the inverted index and the two-stage signature shortlist
+(:mod:`repro.index.shortlist` — hashed label bitmaps, then relation-pair
+score bounds against the query's ``minimum_score``), each surviving candidate
+is scored with the modified-LCS similarity evaluation (optionally over all
 rotations/reflections of the query), and the results are returned ranked.
 
 Since the query-API redesign every entry point converges here:
@@ -34,18 +36,28 @@ from repro.core.similarity import (
     invariant_similarity,
     similarity,
 )
-from repro.core.transforms import Transformation
+from repro.core.transforms import Transformation, canonical_transformations
 from repro.geometry.rectangle import Rectangle
 from repro.iconic.picture import SymbolicPicture
 from repro.index.cache import ScoreCache, query_score_key
 from repro.index.database import ImageDatabase, ImageRecord
 from repro.index.inverted import InvertedSymbolIndex
 from repro.index.ranking import RankedResult, rank_results
+from repro.index.shortlist import (
+    DEFAULT_BITMAP_WIDTH,
+    REJECTION_SAMPLE_LIMIT,
+    QuerySignature,
+    ShortlistCounters,
+    ShortlistOutcome,
+    signature_for,
+)
 from repro.index.signature import SignatureFilter
 from repro.index.spec import (
+    STAGE_BITMAP_PRUNED,
     STAGE_FULL_SCAN,
     STAGE_PREDICATE_EVALUATED,
     STAGE_PREDICATE_PRUNED,
+    STAGE_RELATION_PRUNED,
     STAGE_SHORTLIST,
     CandidateTrace,
     QuerySpec,
@@ -92,6 +104,12 @@ class Query:
     shortlist and the final cut-off.  ``use_cache=False`` bypasses the score
     cache for this query only (every candidate is re-scored and nothing is
     memoised).
+
+    ``transformations`` is canonicalised on construction (deduplicated,
+    ordered by enum definition with ``IDENTITY`` first): the evaluated *set*
+    is what matters, tie-breaks always resolve to the earliest canonical
+    transformation, and the score cache sees one key per set regardless of
+    how the caller ordered it.
     """
 
     picture: SymbolicPicture
@@ -102,6 +120,11 @@ class Query:
     minimum_shared_labels: int = 1
     use_filters: bool = True
     use_cache: bool = True
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "transformations", canonical_transformations(self.transformations)
+        )
 
     @classmethod
     def exact(cls, picture: SymbolicPicture, **kwargs) -> "Query":
@@ -119,11 +142,22 @@ class QueryEngine:
     """Executes :class:`Query` objects against an :class:`ImageDatabase`."""
 
     database: ImageDatabase
+    #: Legacy label-multiset filter.  The hot query path reads only its
+    #: ``minimum_overlap_ratio`` (the threshold itself is enforced through
+    #: the two-stage shortlist's bitmap/exact overlap); the per-image
+    #: registry is still maintained for the standalone/ablation API
+    #: (``filter()``/``scored()``) and existing callers.
     signature_filter: SignatureFilter = field(default_factory=SignatureFilter)
     inverted_index: InvertedSymbolIndex = field(default_factory=InvertedSymbolIndex)
     #: Memoised per-(query, image) similarity results, shared with the batch
     #: subsystem (:mod:`repro.index.batch`) and invalidated on every mutation.
     score_cache: ScoreCache = field(default_factory=ScoreCache)
+    #: Width (bits) of the hashed label bitmaps in the two-stage shortlist
+    #: (see :mod:`repro.index.shortlist`); tunable via ``repro convert``.
+    bitmap_width: int = DEFAULT_BITMAP_WIDTH
+    #: Cumulative two-stage shortlist counters (surfaced by the service
+    #: ``/stats`` endpoint).
+    shortlist_counters: ShortlistCounters = field(default_factory=ShortlistCounters)
     #: Readers-writer lock bracketing every query (shared grant) and mutation
     #: (exclusive grant).  A no-op by default; the retrieval service swaps in
     #: a real :class:`repro.service.rwlock.ReadWriteLock` so concurrent
@@ -137,15 +171,39 @@ class QueryEngine:
     # Index maintenance
     # ------------------------------------------------------------------
     @classmethod
-    def build(cls, database: ImageDatabase, minimum_overlap_ratio: float = 0.0) -> "QueryEngine":
-        """Build the auxiliary indexes for every image already in the database."""
+    def build(
+        cls,
+        database: ImageDatabase,
+        minimum_overlap_ratio: float = 0.0,
+        bitmap_width: Optional[int] = None,
+    ) -> "QueryEngine":
+        """Build the auxiliary indexes for every image already in the database.
+
+        Shortlist signatures are materialised up front, so the first query
+        pays no index-construction latency.  ``bitmap_width=None`` adopts the
+        width of the database's persisted signatures (so a database tuned
+        with ``repro convert --bitmap-width`` warm-starts without any
+        recomputation), falling back to :data:`DEFAULT_BITMAP_WIDTH` when no
+        signature is stored.
+        """
+        if bitmap_width is None:
+            bitmap_width = next(
+                (
+                    record.signature.width
+                    for record in database
+                    if record.signature is not None
+                ),
+                DEFAULT_BITMAP_WIDTH,
+            )
         engine = cls(
             database=database,
             signature_filter=SignatureFilter(minimum_overlap_ratio=minimum_overlap_ratio),
+            bitmap_width=bitmap_width,
         )
         for record in database:
             engine.signature_filter.add_picture(record.image_id, record.picture)
             engine.inverted_index.add_picture(record.image_id, record.picture)
+            signature_for(record, bitmap_width)
         return engine
 
     def add_picture(self, picture: SymbolicPicture, image_id: Optional[str] = None) -> str:
@@ -162,6 +220,10 @@ class QueryEngine:
             record = self.database.add_picture(picture, image_id)
             self.signature_filter.add_picture(record.image_id, record.picture)
             self.inverted_index.add_picture(record.image_id, record.picture)
+            # Materialise at this engine's width so an immediate save (the
+            # service persists on every mutation) never writes a signature at
+            # a width different from the rest of the database.
+            signature_for(record, self.bitmap_width)
             self.score_cache.invalidate_image(record.image_id)
             return record.image_id
 
@@ -190,6 +252,7 @@ class QueryEngine:
             record = self.database.add_object(image_id, label, mbr)
             self.signature_filter.update_picture(image_id, record.picture)
             self.inverted_index.update_picture(image_id, record.picture)
+            signature_for(record, self.bitmap_width)
             self.score_cache.invalidate_image(image_id)
             return record
 
@@ -202,6 +265,7 @@ class QueryEngine:
             record = self.database.remove_object(image_id, identifier)
             self.signature_filter.update_picture(image_id, record.picture)
             self.inverted_index.update_picture(image_id, record.picture)
+            signature_for(record, self.bitmap_width)
             self.score_cache.invalidate_image(image_id)
             return record
 
@@ -211,31 +275,116 @@ class QueryEngine:
     def candidate_ids(self, query: Query) -> List[str]:
         """Shortlist the images worth scoring for ``query``.
 
-        The inverted index admits images sharing at least
-        ``query.minimum_shared_labels`` icon labels with the query, then the
-        signature filter prunes by label-multiset overlap.  With
-        ``query.use_filters`` off (or a label-less query) every stored image
-        is a candidate.
+        Convenience wrapper over :meth:`shortlist` returning only the ids.
 
         Returns:
             Candidate image ids, in the deterministic order they will be
             scored.
         """
-        with self.lock.read_locked():
-            return self._shortlist(query)[0]
+        return self.shortlist(query).candidates
 
-    def _shortlist(self, query: Query) -> Tuple[List[str], str, Optional[int]]:
-        """Candidate ids plus (admission stage, inverted-index admit count)."""
+    def shortlist(
+        self, query: Query, query_bestring: Optional[BEString2D] = None
+    ) -> ShortlistOutcome:
+        """Run the two-stage shortlist for ``query`` under a shared grant.
+
+        ``query_bestring`` lets callers that already encoded the query (the
+        batch scheduler builds it for the cache key) avoid a second
+        ``encode_picture`` pass.
+
+        The inverted index admits images sharing at least
+        ``query.minimum_shared_labels`` icon labels with the query; the
+        two-stage signature shortlist (:mod:`repro.index.shortlist`) then
+        rejects candidates whose score upper bound cannot clear
+        ``query.minimum_score`` — stage 1 from the hashed label bitmaps,
+        stage 2 from the relation-pair signatures.  With ``query.use_filters``
+        off (or a label-less query) every stored image is a candidate.
+
+        Returns:
+            The full :class:`~repro.index.shortlist.ShortlistOutcome`,
+            including per-stage rejection counts and a sampled rejection map
+            for ``explain`` output.
+        """
+        with self.lock.read_locked():
+            return self._shortlist(query, query_bestring)
+
+    def _shortlist(
+        self, query: Query, query_bestring: Optional[BEString2D] = None
+    ) -> ShortlistOutcome:
+        """Shortlist implementation (callers hold the shared grant)."""
         if not query.use_filters:
-            return self.database.image_ids, STAGE_FULL_SCAN, None
+            return ShortlistOutcome(self.database.image_ids, STAGE_FULL_SCAN)
         labels = set(query.picture.labels)
         if not labels:
-            return self.database.image_ids, STAGE_FULL_SCAN, None
+            return ShortlistOutcome(self.database.image_ids, STAGE_FULL_SCAN)
         candidates = self.inverted_index.candidates(
             labels, minimum_shared=query.minimum_shared_labels
         )
-        admitted = self.signature_filter.filter(query.picture, sorted(candidates))
-        return admitted, STAGE_SHORTLIST, len(candidates)
+        ordered = sorted(candidates)
+        threshold = self.signature_filter.minimum_overlap_ratio
+        minimum_score = query.minimum_score
+        if threshold <= 0.0 and minimum_score <= 0.0:
+            # Nothing to bound against: every label-sharer is worth scoring.
+            outcome = ShortlistOutcome(ordered, STAGE_SHORTLIST, len(candidates))
+            self.shortlist_counters.record(outcome)
+            return outcome
+        if query_bestring is None:
+            query_bestring = encode_picture(query.picture)
+        query_signature = QuerySignature(
+            query_bestring,
+            query.picture.labels,
+            # The per-transformation variants feed only the score bounds; on
+            # a threshold-only pass (minimum_score == 0) skip building them.
+            query.transformations
+            if minimum_score > 0.0
+            else (Transformation.IDENTITY,),
+            self.bitmap_width,
+        )
+        total = query_signature.total_labels
+        outcome = ShortlistOutcome([], STAGE_SHORTLIST, len(candidates))
+
+        def reject(image_id: str, stage: str, bound: float) -> None:
+            if stage == STAGE_BITMAP_PRUNED:
+                outcome.bitmap_rejected += 1
+            else:
+                outcome.relation_rejected += 1
+            if len(outcome.rejections) < REJECTION_SAMPLE_LIMIT:
+                outcome.rejections[image_id] = stage
+                outcome.rejection_bounds[image_id] = bound
+
+        for image_id in ordered:
+            candidate = signature_for(self.database.get(image_id), self.bitmap_width)
+            # Stage 1 is the label-overlap stage: the bitmap bound settles
+            # most candidates, the exact multiset overlap settles the rest.
+            # Both threshold rejections are attributed here (the recorded
+            # bound is the failing overlap ratio); only the relation-pair
+            # score bound below counts as a stage-2 rejection.
+            overlap_bound = query_signature.overlap_upper_bound(candidate)
+            if threshold > 0.0 and total and overlap_bound / total < threshold:
+                reject(image_id, STAGE_BITMAP_PRUNED, overlap_bound / total)
+                continue
+            if minimum_score > 0.0:
+                coarse = query_signature.score_upper_bound(
+                    candidate, overlap_bound, query.policy
+                )
+                if coarse < minimum_score:
+                    reject(image_id, STAGE_BITMAP_PRUNED, coarse)
+                    continue
+            overlap = query_signature.exact_overlap(candidate)
+            if threshold > 0.0 and total and overlap / total < threshold:
+                reject(image_id, STAGE_BITMAP_PRUNED, overlap / total)
+                continue
+            # Stage 2: the relation-pair conflict bound on the exact overlap.
+            if minimum_score > 0.0:
+                bound = query_signature.score_upper_bound(
+                    candidate, overlap, query.policy, with_conflicts=True
+                )
+                if bound < minimum_score:
+                    reject(image_id, STAGE_RELATION_PRUNED, bound)
+                    continue
+            outcome.candidates.append(image_id)
+        self.shortlist_counters.record(outcome)
+        return outcome
 
     def _score(self, query_bestring: BEString2D, candidate: BEString2D, query: Query) -> SimilarityResult:
         if len(query.transformations) == 1:
@@ -259,10 +408,19 @@ class QueryEngine:
         """
         query_bestring = encode_picture(query.picture)
         cache_key = query_score_key(query_bestring, query.policy, query.transformations)
-        candidates, stage, inverted_count = self._shortlist(query)
+        outcome = self._shortlist(query, query_bestring)
+        candidates, stage = outcome.candidates, outcome.stage
         trace.database_size = len(self.database)
-        trace.inverted_candidates = inverted_count
+        trace.inverted_candidates = outcome.inverted_candidates
         trace.shortlisted = len(candidates)
+        trace.bitmap_pruned = outcome.bitmap_rejected
+        trace.relation_pruned = outcome.relation_rejected
+        for image_id, rejecting_stage in outcome.rejections.items():
+            trace.candidates[image_id] = CandidateTrace(
+                image_id=image_id,
+                stage=rejecting_stage,
+                score_bound=outcome.rejection_bounds.get(image_id),
+            )
         scored: List[Tuple[str, SimilarityResult]] = []
         for image_id in candidates:
             cached = self.score_cache.get(cache_key, image_id) if query.use_cache else None

@@ -1,0 +1,523 @@
+"""The two-stage signature shortlist: bitmap and relation-pair score bounds.
+
+At 50k images the inverted symbol index still admits thousands of candidates
+on realistic label distributions, and every admitted candidate used to pay a
+``Counter`` intersection followed by the O(mn) LCS dynamic program.  This
+module makes the shortlist *precise* by attaching a compact
+:class:`ImageSignature` to every stored record and rejecting candidates whose
+best achievable score provably cannot clear the query's ``min_score``:
+
+* **Stage 1 — label bitmaps.**  Every label hashes (stable CRC-32) to one bit
+  of a fixed-width bitmap.  A single integer AND plus a popcount-style walk of
+  the query's set bits yields an upper bound on the label-multiset overlap —
+  no per-candidate ``Counter`` intersection — which upper-bounds both the
+  legacy overlap-ratio threshold and (coarsely) the LCS score.
+* **Stage 2 — relation pairs.**  For every pair of objects on each axis the
+  signature records the relative order of their four boundary symbols (an
+  axis-relation code).  A pair whose code differs between query and candidate
+  cannot contribute all four symbols to a common subsequence, so a greedy
+  matching over conflicting pairs tightens the boundary-symbol bound.  The
+  resulting score bound is evaluated per query transformation and the best
+  variant is compared against ``min_score``.
+
+Both stages are *conservative*: a candidate is rejected only when its score
+upper bound is strictly below the query's ``minimum_score`` (or its exact
+overlap ratio is below the configured threshold — the legacy
+:class:`~repro.index.signature.SignatureFilter` semantics).  Rankings are
+therefore byte-identical to a filter-disabled scan cut at the same
+``minimum_score``; ``benchmarks/bench_signature.py`` (E14) asserts this at
+10k+ images together with the ≥5x serial speedup.  See ``docs/shortlist.md``
+for the guarantees and tuning knobs.
+"""
+
+from __future__ import annotations
+
+import threading
+import zlib
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.core.bestring import AxisBEString, BEString2D
+from repro.core.similarity import SimilarityPolicy, combined_value, normalized_value
+from repro.core.transforms import Transformation, transform
+
+#: Version stamp written into persisted signature payloads; a payload with a
+#: different version is ignored on load and the signature is recomputed.
+SIGNATURE_VERSION = 1
+
+#: Default width (in bits) of the hashed label bitmap.
+DEFAULT_BITMAP_WIDTH = 128
+
+#: How many pruned candidates a single query records into its trace (the
+#: full rejection counts are always tracked; only the per-candidate sample
+#: shown by ``explain`` is capped, so a 50k-image prune cannot bloat traces).
+REJECTION_SAMPLE_LIMIT = 32
+
+
+def label_bit(label: str, width: int = DEFAULT_BITMAP_WIDTH) -> int:
+    """The bitmap bit a label hashes to (stable CRC-32, like the shard hash)."""
+    return zlib.crc32(label.encode("utf-8")) % width
+
+
+def label_bitmap(labels: Iterable[str], width: int = DEFAULT_BITMAP_WIDTH) -> int:
+    """The bit-packed bitmap of a label collection."""
+    bitmap = 0
+    for label in labels:
+        bitmap |= 1 << label_bit(label, width)
+    return bitmap
+
+
+def axis_pair_codes(axis: AxisBEString) -> Dict[Tuple[str, str], int]:
+    """Relation codes for every object pair on one axis.
+
+    The code of a pair ``(a, b)`` (``a < b`` lexicographically) packs the four
+    cross comparisons between the boundary positions of ``a`` and ``b`` into
+    one integer; together with the fixed within-object order (begin before
+    end) it determines the relative order of all four boundary symbols.  Two
+    equal codes mean the four symbols interleave identically; two different
+    codes mean they cannot all appear in a common subsequence.
+
+    Returns:
+        Mapping from the identifier pair to its axis-relation code.
+    """
+    begins: Dict[str, int] = {}
+    ends: Dict[str, int] = {}
+    for position, symbol in enumerate(axis.symbols):
+        if symbol.is_boundary:
+            assert symbol.identifier is not None
+            if symbol.is_begin:
+                begins[symbol.identifier] = position
+            else:
+                ends[symbol.identifier] = position
+    identifiers = sorted(identifier for identifier in begins if identifier in ends)
+    codes: Dict[Tuple[str, str], int] = {}
+    for index, a in enumerate(identifiers):
+        a_begin, a_end = begins[a], ends[a]
+        for b in identifiers[index + 1 :]:
+            b_begin, b_end = begins[b], ends[b]
+            codes[(a, b)] = (
+                (a_begin < b_begin)
+                | (a_begin < b_end) << 1
+                | (a_end < b_begin) << 2
+                | (a_end < b_end) << 3
+            )
+    return codes
+
+
+@dataclass(frozen=True)
+class AxisSignature:
+    """Shortlist-relevant facts about one axis BE-string."""
+
+    #: Total symbol count of the axis string.
+    length: int
+    #: Number of boundary symbols (``2 * objects`` for a valid string).
+    boundaries: int
+    #: Number of dummy objects ``E``.
+    dummies: int
+    #: Axis-relation code per object pair (see :func:`axis_pair_codes`).
+    pairs: Dict[Tuple[str, str], int]
+
+    @classmethod
+    def from_axis(cls, axis: AxisBEString) -> "AxisSignature":
+        """Extract the signature of one axis string."""
+        return cls(
+            length=len(axis),
+            boundaries=axis.boundary_count,
+            dummies=axis.dummy_count,
+            pairs=axis_pair_codes(axis),
+        )
+
+
+@dataclass
+class ImageSignature:
+    """The persisted shortlist signature of one stored image.
+
+    Carries the hashed label bitmap (stage 1) and the per-axis relation-pair
+    facts (stage 2).  Signatures are derived data: they are recomputed lazily
+    whenever missing or built at a different bitmap width, and persisted by
+    every storage backend so warm starts skip the recomputation.
+    """
+
+    width: int
+    bitmap: int
+    label_counts: Dict[str, int]
+    x: AxisSignature
+    y: AxisSignature
+
+    @classmethod
+    def from_bestring(
+        cls,
+        bestring: BEString2D,
+        labels: Iterable[str],
+        width: int = DEFAULT_BITMAP_WIDTH,
+    ) -> "ImageSignature":
+        """Build the signature of an image from its BE-string and labels."""
+        counts: Dict[str, int] = dict(Counter(labels))
+        return cls(
+            width=width,
+            bitmap=label_bitmap(counts, width),
+            label_counts=counts,
+            x=AxisSignature.from_axis(bestring.x),
+            y=AxisSignature.from_axis(bestring.y),
+        )
+
+    def matches_bestring(self, bestring: BEString2D) -> bool:
+        """Cheap consistency check against the BE-string it claims to describe."""
+        return (
+            self.x.length == len(bestring.x)
+            and self.y.length == len(bestring.y)
+            and self.x.boundaries == bestring.x.boundary_count
+            and self.y.boundaries == bestring.y.boundary_count
+        )
+
+    # ------------------------------------------------------------------
+    # Serialisation (deterministic: sorted pairs, sorted keys)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-friendly payload persisted by the storage backends."""
+
+        def axis_payload(axis: AxisSignature) -> Dict[str, Any]:
+            return {
+                "length": axis.length,
+                "boundaries": axis.boundaries,
+                "dummies": axis.dummies,
+                "pairs": [
+                    [a, b, code] for (a, b), code in sorted(axis.pairs.items())
+                ],
+            }
+
+        return {
+            "version": SIGNATURE_VERSION,
+            "width": self.width,
+            "bitmap": format(self.bitmap, "x"),
+            "labels": dict(sorted(self.label_counts.items())),
+            "x": axis_payload(self.x),
+            "y": axis_payload(self.y),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "ImageSignature":
+        """Inverse of :meth:`to_dict`.
+
+        Raises:
+            ValueError: on an unsupported version or malformed payload.
+        """
+        if payload.get("version") != SIGNATURE_VERSION:
+            raise ValueError(
+                f"unsupported signature version {payload.get('version')!r}"
+            )
+
+        def axis_from(entry: Dict[str, Any]) -> AxisSignature:
+            return AxisSignature(
+                length=int(entry["length"]),
+                boundaries=int(entry["boundaries"]),
+                dummies=int(entry["dummies"]),
+                pairs={(a, b): int(code) for a, b, code in entry["pairs"]},
+            )
+
+        return cls(
+            width=int(payload["width"]),
+            bitmap=int(payload["bitmap"], 16),
+            label_counts={
+                str(label): int(count) for label, count in payload["labels"].items()
+            },
+            x=axis_from(payload["x"]),
+            y=axis_from(payload["y"]),
+        )
+
+
+def signature_for(record: Any, width: int = DEFAULT_BITMAP_WIDTH) -> ImageSignature:
+    """The cached signature of an :class:`~repro.index.database.ImageRecord`.
+
+    Computes and caches the signature on the record when missing or built at
+    a different bitmap width.  The assignment is idempotent, so the benign
+    race of two concurrent readers computing the same signature is harmless.
+
+    Returns:
+        The record's :class:`ImageSignature` at the requested width.
+    """
+    signature = record.signature
+    if signature is None or signature.width != width:
+        signature = ImageSignature.from_bestring(
+            record.bestring, record.picture.labels, width
+        )
+        record.signature = signature
+    return signature
+
+
+def ensure_signatures(records: Iterable[Any], width: int = DEFAULT_BITMAP_WIDTH) -> int:
+    """Materialise signatures for every record (``repro convert`` tuning path).
+
+    Returns:
+        How many signatures were computed (records whose cached signature
+        already had the requested width are skipped).
+    """
+    computed = 0
+    for record in records:
+        if record.signature is None or record.signature.width != width:
+            record.signature = None
+            signature_for(record, width)
+            computed += 1
+    return computed
+
+
+# ----------------------------------------------------------------------
+# Score upper bounds
+# ----------------------------------------------------------------------
+def _axis_bounds(
+    query: AxisSignature, candidate: AxisSignature, overlap: int, conflicts: int
+) -> Tuple[int, int]:
+    """``(lcs_length_bound, boundary_bound)`` for one axis.
+
+    Every common object contributes at most its begin and end boundary to the
+    axis LCS (``2 * overlap``); each conflicting pair of the greedy matching
+    excludes at least one further symbol; dummies in the LCS are capped by
+    both strings' dummy counts and — because the modified LCS suppresses
+    consecutive dummies — by ``boundary_bound + 1``.
+    """
+    boundary = min(2 * overlap, query.boundaries, candidate.boundaries) - conflicts
+    if boundary < 0:
+        boundary = 0
+    dummies = min(query.dummies, candidate.dummies, boundary + 1)
+    return min(query.length, candidate.length, boundary + dummies), boundary
+
+
+def axis_score_bound(
+    query: AxisSignature,
+    candidate: AxisSignature,
+    overlap: int,
+    conflicts: int,
+    policy: SimilarityPolicy,
+) -> float:
+    """Policy-normalised upper bound on one axis similarity value."""
+    length_bound, boundary_bound = _axis_bounds(query, candidate, overlap, conflicts)
+    if policy.count_boundaries_only:
+        raw = float(boundary_bound)
+        query_side, candidate_side = float(query.boundaries), float(candidate.boundaries)
+    else:
+        raw = float(length_bound)
+        query_side, candidate_side = float(query.length), float(candidate.length)
+    # The exact arithmetic the scoring side uses (shared helper), so the
+    # bound can never drift from what it must dominate.
+    return normalized_value(raw, query_side, candidate_side, policy.normalization)
+
+
+def pair_conflicts(
+    query_pairs: Dict[Tuple[str, str], int],
+    candidate_pairs: Dict[Tuple[str, str], int],
+) -> int:
+    """Size of a greedy matching over pairs whose axis-relation codes differ.
+
+    Every edge of the matching names two objects that cannot both contribute
+    all their boundary symbols to the axis LCS; because matched edges share
+    no object, each excludes at least one distinct symbol, so the matching
+    size is a sound deduction from the boundary-symbol bound (a matching
+    lower-bounds the conflict graph's vertex cover).
+    """
+    if not query_pairs or not candidate_pairs:
+        return 0
+    used: set = set()
+    conflicts = 0
+    for (a, b), code in query_pairs.items():
+        if a in used or b in used:
+            continue
+        candidate_code = candidate_pairs.get((a, b))
+        if candidate_code is not None and candidate_code != code:
+            conflicts += 1
+            used.add(a)
+            used.add(b)
+    return conflicts
+
+
+@dataclass(frozen=True)
+class _QueryVariant:
+    """Per-transformation view of the query's axis signatures."""
+
+    transformation: Transformation
+    x: AxisSignature
+    y: AxisSignature
+
+
+class QuerySignature:
+    """Per-query precomputation consumed by both shortlist stages.
+
+    Built once per query execution: the hashed bitmap with per-bit label
+    counts (stage 1) and, for every transformation in the query's set, the
+    axis signatures of the *transformed* query string (stage 2) — so the
+    bound is evaluated exactly against what :func:`~repro.core.similarity.
+    invariant_similarity` would score, and the maximum over variants is a
+    sound bound for transformation-invariant retrieval.
+    """
+
+    def __init__(
+        self,
+        bestring: BEString2D,
+        labels: Iterable[str],
+        transformations: Iterable[Transformation] = (Transformation.IDENTITY,),
+        width: int = DEFAULT_BITMAP_WIDTH,
+    ) -> None:
+        """Precompute the query-side signature state."""
+        self.width = width
+        self.label_counts: Dict[str, int] = dict(Counter(labels))
+        self.total_labels = sum(self.label_counts.values())
+        self.bit_counts: Dict[int, int] = {}
+        for label, count in self.label_counts.items():
+            bit = label_bit(label, width)
+            self.bit_counts[bit] = self.bit_counts.get(bit, 0) + count
+        self.bitmap = 0
+        for bit in self.bit_counts:
+            self.bitmap |= 1 << bit
+        self.variants: List[_QueryVariant] = []
+        for transformation in dict.fromkeys(transformations):
+            transformed = transform(bestring, transformation)
+            self.variants.append(
+                _QueryVariant(
+                    transformation=transformation,
+                    x=AxisSignature.from_axis(transformed.x),
+                    y=AxisSignature.from_axis(transformed.y),
+                )
+            )
+
+    def overlap_upper_bound(self, candidate: ImageSignature) -> int:
+        """Stage-1 bound on the label-multiset overlap from the bitmaps alone.
+
+        Walks the query's set bits and sums the query-side label counts of
+        bits also present in the candidate bitmap; a shared label always sets
+        a shared bit, so this never undercounts the true multiset overlap.
+        """
+        if candidate.width != self.width:
+            return self.total_labels
+        bitmap = candidate.bitmap
+        if not (self.bitmap & bitmap):
+            # One integer AND settles the common case of zero shared labels.
+            return 0
+        return sum(
+            count for bit, count in self.bit_counts.items() if (bitmap >> bit) & 1
+        )
+
+    def exact_overlap(self, candidate: ImageSignature) -> int:
+        """The exact label-multiset overlap (stage 2)."""
+        counts = candidate.label_counts
+        return sum(
+            min(count, counts.get(label, 0))
+            for label, count in self.label_counts.items()
+        )
+
+    def score_upper_bound(
+        self,
+        candidate: ImageSignature,
+        overlap: int,
+        policy: SimilarityPolicy,
+        with_conflicts: bool = False,
+    ) -> float:
+        """Upper bound on the similarity score over all query transformations.
+
+        ``overlap`` is the (bound on the) label-multiset overlap to charge;
+        ``with_conflicts=True`` additionally deducts the relation-pair
+        conflict matching per axis (stage 2).
+        """
+        best = 0.0
+        for variant in self.variants:
+            x_conflicts = (
+                pair_conflicts(variant.x.pairs, candidate.x.pairs)
+                if with_conflicts
+                else 0
+            )
+            y_conflicts = (
+                pair_conflicts(variant.y.pairs, candidate.y.pairs)
+                if with_conflicts
+                else 0
+            )
+            score = combined_value(
+                axis_score_bound(variant.x, candidate.x, overlap, x_conflicts, policy),
+                axis_score_bound(variant.y, candidate.y, overlap, y_conflicts, policy),
+                policy.combination,
+            )
+            if score > best:
+                best = score
+        return best
+
+
+# ----------------------------------------------------------------------
+# Shortlist outcome and service counters
+# ----------------------------------------------------------------------
+@dataclass
+class ShortlistOutcome:
+    """What one shortlist pass decided (consumed by traces and reports)."""
+
+    candidates: List[str]
+    stage: str
+    inverted_candidates: Optional[int] = None
+    bitmap_rejected: int = 0
+    relation_rejected: int = 0
+    #: Sampled rejections (image id -> rejecting stage constant), capped at
+    #: :data:`REJECTION_SAMPLE_LIMIT` entries for ``explain`` output.
+    rejections: Dict[str, str] = field(default_factory=dict)
+    #: Score bound of each sampled rejection (image id -> bound).
+    rejection_bounds: Dict[str, float] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class ShortlistStatistics:
+    """Cumulative shortlist counters (surfaced by the service ``/stats``)."""
+
+    queries: int
+    candidates: int
+    bitmap_rejected: int
+    relation_rejected: int
+    admitted: int
+
+    @property
+    def pruned_fraction(self) -> float:
+        """Fraction of shortlist candidates rejected before scoring."""
+        if not self.candidates:
+            return 0.0
+        return (self.bitmap_rejected + self.relation_rejected) / self.candidates
+
+
+class ShortlistCounters:
+    """Thread-safe cumulative counters across every shortlist pass."""
+
+    def __init__(self) -> None:
+        """Start all counters at zero."""
+        self._lock = threading.Lock()
+        self._queries = 0
+        self._candidates = 0
+        self._bitmap_rejected = 0
+        self._relation_rejected = 0
+        self._admitted = 0
+
+    def record(self, outcome: ShortlistOutcome) -> None:
+        """Fold one :class:`ShortlistOutcome` into the running totals."""
+        with self._lock:
+            self._queries += 1
+            self._candidates += (
+                len(outcome.candidates)
+                + outcome.bitmap_rejected
+                + outcome.relation_rejected
+            )
+            self._bitmap_rejected += outcome.bitmap_rejected
+            self._relation_rejected += outcome.relation_rejected
+            self._admitted += len(outcome.candidates)
+
+    @property
+    def statistics(self) -> ShortlistStatistics:
+        """A consistent snapshot of the counters."""
+        with self._lock:
+            return ShortlistStatistics(
+                queries=self._queries,
+                candidates=self._candidates,
+                bitmap_rejected=self._bitmap_rejected,
+                relation_rejected=self._relation_rejected,
+                admitted=self._admitted,
+            )
+
+    def reset(self) -> None:
+        """Zero every counter (tests and benchmarks)."""
+        with self._lock:
+            self._queries = 0
+            self._candidates = 0
+            self._bitmap_rejected = 0
+            self._relation_rejected = 0
+            self._admitted = 0

@@ -60,10 +60,17 @@ class SignatureFilter:
         self._signatures[image_id] = label_signature(picture)
 
     def admits(self, query_signature: Counter, image_id: str) -> bool:
-        """True when the stored image passes the overlap threshold."""
+        """True when the stored image passes the overlap threshold.
+
+        An image id with *no registered signature* is admitted (fail open):
+        the filter is an optimisation, so an image that missed registration
+        must be scored rather than silently dropped from every result.  It
+        used to fail closed, which turned a bookkeeping gap into missing
+        results.
+        """
         candidate = self._signatures.get(image_id)
         if candidate is None:
-            return False
+            return True
         return overlap_ratio(query_signature, candidate) >= self.minimum_overlap_ratio
 
     def filter(self, query: SymbolicPicture, candidates: Iterable[str]) -> List[str]:

@@ -61,6 +61,12 @@ class RegionIndex:
         col_end = min(last, max(0, int(mbr.x_end * self.resolution - 1e-9)))
         row_begin = min(last, max(0, int(mbr.y_begin * self.resolution)))
         row_end = min(last, max(0, int(mbr.y_end * self.resolution - 1e-9)))
+        # A degenerate (zero-extent) edge landing exactly on a grid line puts
+        # the epsilon-nudged end cell *before* the begin cell; clamp so the
+        # icon still occupies the begin cell instead of vanishing from the
+        # index entirely.
+        col_end = max(col_end, col_begin)
+        row_end = max(row_end, row_begin)
         for col in range(col_begin, col_end + 1):
             for row in range(row_begin, row_end + 1):
                 yield (col, row)

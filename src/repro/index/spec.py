@@ -39,6 +39,11 @@ STAGE_FULL_SCAN = "full-scan"
 STAGE_SHORTLIST = "inverted-index+signature"
 STAGE_PREDICATE_PRUNED = "label-pruned"
 STAGE_PREDICATE_EVALUATED = "predicate-evaluated"
+#: Shortlist stages a candidate can be *rejected* by (see
+#: :mod:`repro.index.shortlist`): the hashed label-bitmap bound (stage 1)
+#: and the relation-pair score bound (stage 2).
+STAGE_BITMAP_PRUNED = "bitmap-bound-pruned"
+STAGE_RELATION_PRUNED = "relation-bound-pruned"
 
 
 @dataclass(frozen=True)
@@ -180,11 +185,16 @@ class CandidateTrace:
     """What the pipeline did with one candidate image."""
 
     image_id: str
-    #: Which shortlist stage admitted the candidate (``STAGE_*`` constant).
+    #: Which shortlist stage admitted — or rejected — the candidate
+    #: (``STAGE_*`` constant).
     stage: str
     #: Whether the similarity score came from the cache (``None`` for
     #: predicate-only evaluation or when the cache was bypassed).
     cache_hit: Optional[bool] = None
+    #: For candidates rejected by a signature bound: the value that failed —
+    #: the score upper bound against the query's ``minimum_score``, or (for
+    #: overlap-threshold rejections) the failing overlap ratio.
+    score_bound: Optional[float] = None
 
 
 @dataclass
@@ -203,6 +213,10 @@ class QueryTrace:
     inverted_candidates: Optional[int] = None
     #: How many candidates survived the signature filter and were scored.
     shortlisted: int = 0
+    #: Candidates rejected by the stage-1 hashed-bitmap score/overlap bound.
+    bitmap_pruned: int = 0
+    #: Candidates rejected by the stage-2 relation-pair score bound.
+    relation_pruned: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
     #: Predicate clause: how many images were actually evaluated vs pruned
@@ -216,6 +230,11 @@ class QueryTrace:
         parts = [f"{self.database_size} stored"]
         if self.inverted_candidates is not None:
             parts.append(f"{self.inverted_candidates} shared a label")
+        if self.bitmap_pruned or self.relation_pruned:
+            parts.append(
+                f"{self.bitmap_pruned} bitmap-pruned, "
+                f"{self.relation_pruned} relation-pruned"
+            )
         if self.mode in ("similarity", "combined"):
             parts.append(
                 f"{self.shortlisted} scored "

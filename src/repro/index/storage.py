@@ -23,6 +23,7 @@ from repro.core.bestring import BEString2D
 from repro.core.construct import encode_picture
 from repro.iconic.picture import SymbolicPicture
 from repro.index.database import ImageDatabase, ImageRecord
+from repro.index.shortlist import ImageSignature, signature_for
 
 #: Schema version written into every database file.
 SCHEMA_VERSION = 1
@@ -32,27 +33,45 @@ class StorageError(ValueError):
     """Raised when a database file is malformed or inconsistent."""
 
 
-def database_to_json(database: ImageDatabase) -> Dict[str, Any]:
+def database_to_json(
+    database: ImageDatabase, include_signatures: bool = True
+) -> Dict[str, Any]:
     """Serialise a database to a JSON-compatible dictionary."""
     return {
         "schema_version": SCHEMA_VERSION,
         "name": database.name,
-        "images": [image_record_to_json(record) for record in database],
+        "images": [
+            image_record_to_json(record, include_signature=include_signatures)
+            for record in database
+        ],
     }
 
 
-def image_record_to_json(record: ImageRecord) -> Dict[str, Any]:
+def image_record_to_json(
+    record: ImageRecord, include_signature: bool = True
+) -> Dict[str, Any]:
     """Serialise one stored image to its JSON-compatible entry dictionary.
 
     Returns:
         A dictionary with ``image_id``, ``picture`` and ``bestring`` keys —
-        the per-image unit shared by every storage backend.
+        the per-image unit shared by every storage backend — plus the
+        shortlist ``signature`` (computed on demand; see
+        :mod:`repro.index.shortlist`) unless ``include_signature`` is off.
     """
-    return {
+    entry = {
         "image_id": record.image_id,
         "picture": record.picture.to_dict(),
         "bestring": record.bestring.to_dict(),
     }
+    if include_signature:
+        # Keep a cached signature at whatever bitmap width it was built with
+        # (``repro convert --bitmap-width`` tunes it); compute at the default
+        # width only when no signature exists yet.
+        signature = record.signature
+        if signature is None:
+            signature = signature_for(record)
+        entry["signature"] = signature.to_dict()
+    return entry
 
 
 def image_entry_to_record(database: ImageDatabase, entry: Dict[str, Any]) -> ImageRecord:
@@ -60,6 +79,9 @@ def image_entry_to_record(database: ImageDatabase, entry: Dict[str, Any]) -> Ima
 
     The stored BE-string is checked against a re-encoding of the stored
     picture, so a corrupted entry is detected rather than silently accepted.
+    A persisted shortlist ``signature`` is attached to the record when its
+    version and cheap consistency checks pass (warm starts then skip the
+    recomputation); otherwise it is silently dropped and rebuilt lazily.
 
     Returns:
         The stored :class:`~repro.index.database.ImageRecord`.
@@ -79,6 +101,14 @@ def image_entry_to_record(database: ImageDatabase, entry: Dict[str, Any]) -> Ima
         raise StorageError(
             f"stored BE-string of image {image_id!r} does not match its picture"
         )
+    payload = entry.get("signature")
+    if isinstance(payload, dict):
+        try:
+            signature = ImageSignature.from_dict(payload)
+        except (KeyError, TypeError, ValueError):
+            signature = None
+        if signature is not None and signature.matches_bestring(record.bestring):
+            record.signature = signature
     return record
 
 
@@ -116,7 +146,11 @@ def database_from_json(payload: Dict[str, Any]) -> ImageDatabase:
     return database
 
 
-def save_database(database: ImageDatabase, path: Union[str, Path]) -> Path:
+def save_database(
+    database: ImageDatabase,
+    path: Union[str, Path],
+    include_signatures: bool = True,
+) -> Path:
     """Write a database to a v1 JSON file.
 
     Returns:
@@ -125,7 +159,12 @@ def save_database(database: ImageDatabase, path: Union[str, Path]) -> Path:
     target = Path(path)
     target.parent.mkdir(parents=True, exist_ok=True)
     with target.open("w", encoding="utf-8") as handle:
-        json.dump(database_to_json(database), handle, indent=2, sort_keys=True)
+        json.dump(
+            database_to_json(database, include_signatures=include_signatures),
+            handle,
+            indent=2,
+            sort_keys=True,
+        )
     return target
 
 

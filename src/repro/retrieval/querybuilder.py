@@ -238,7 +238,14 @@ class ResultSet(Sequence):
         return explanations
 
     def explain_report(self) -> str:
-        """Multi-line explain report: query funnel summary + per-result lines."""
+        """Multi-line explain report: query funnel summary + per-result lines.
+
+        When the two-stage signature shortlist pruned candidates, a sampled
+        ``pruned`` section names each rejected image's rejecting stage and
+        the score bound that failed to clear the query's minimum score.
+        """
+        from repro.index.spec import STAGE_BITMAP_PRUNED, STAGE_RELATION_PRUNED
+
         lines: List[str] = []
         if self.spec is not None:
             lines.append(f"query: {self.spec.describe()}")
@@ -248,6 +255,17 @@ class ResultSet(Sequence):
             lines.append("no matching images")
         for explanation in self.explain():
             lines.append(explanation.describe())
+        if self.trace is not None:
+            for candidate in self.trace.candidates.values():
+                if candidate.stage in (STAGE_BITMAP_PRUNED, STAGE_RELATION_PRUNED):
+                    bound = (
+                        f" bound={candidate.score_bound:.3f}"
+                        if candidate.score_bound is not None
+                        else ""
+                    )
+                    lines.append(
+                        f"pruned {candidate.image_id}: {candidate.stage}{bound}"
+                    )
         return "\n".join(lines)
 
     # ------------------------------------------------------------------

@@ -55,6 +55,7 @@ from repro.index.cache import CacheStatistics
 from repro.index.database import ImageDatabase, ImageRecord
 from repro.index.query import Query, QueryEngine
 from repro.index.ranking import RankedResult
+from repro.index.shortlist import ShortlistStatistics
 from repro.index.spec import QuerySpec, QuerySpecError
 from repro.retrieval.querybuilder import QueryBuilder, ResultSet
 
@@ -126,6 +127,12 @@ class RetrievalSystem:
         inferred from the file/directory content (see
         :mod:`repro.index.backends`).
 
+        Warm starts are cheap: the loaded records (pictures, validated
+        BE-strings, and persisted shortlist signatures) are indexed in place
+        by :meth:`QueryEngine.build` instead of being re-added picture by
+        picture, so nothing is re-encoded and signature-carrying databases
+        skip the shortlist-signature recomputation entirely.
+
         Returns:
             A system with every stored picture indexed and a clean dirty set
             (so a later ``save(..., incremental=True)`` rewrites nothing).
@@ -137,8 +144,9 @@ class RetrievalSystem:
         """
         database = load_database_from(path, backend=backend)
         system = cls(policy=policy)
-        for record in list(database):
-            system.add_picture(record.picture, record.image_id)
+        system._engine = QueryEngine.build(
+            database, minimum_overlap_ratio=system.minimum_signature_overlap
+        )
         # Loading is not a mutation: the engine's database matches the file.
         system._engine.database.clear_dirty()
         return system
@@ -306,6 +314,10 @@ class RetrievalSystem:
     def cache_statistics(self) -> CacheStatistics:
         """Hit/miss/eviction counters of the shared score cache."""
         return self._engine.score_cache.statistics
+
+    def shortlist_statistics(self) -> "ShortlistStatistics":
+        """Cumulative two-stage shortlist counters (see :mod:`repro.index.shortlist`)."""
+        return self._engine.shortlist_counters.statistics
 
     # ------------------------------------------------------------------
     # Deprecated search surface (thin shims over the builder)

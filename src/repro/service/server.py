@@ -41,6 +41,7 @@ See ``docs/service.md`` for payload schemas and deployment notes.
 from __future__ import annotations
 
 import json
+import math
 import threading
 import time
 from contextlib import contextmanager
@@ -80,8 +81,16 @@ class ServiceOverloadedError(ApiError):
 
 
 def _percentile(sorted_values: List[float], fraction: float) -> float:
-    """Nearest-rank percentile of an ascending-sorted non-empty list."""
-    index = round(fraction * (len(sorted_values) - 1))
+    """Nearest-rank percentile of an ascending-sorted non-empty list.
+
+    The nearest-rank definition: the value at 1-based rank
+    ``ceil(fraction * n)``.  The previous ``round(fraction * (n - 1))``
+    implementation drifted off the nearest rank at even window sizes
+    (banker's rounding pulled e.g. the p50 of four samples up to the third
+    value instead of the second).
+    """
+    rank = math.ceil(fraction * len(sorted_values))
+    index = min(max(rank - 1, 0), len(sorted_values) - 1)
     return sorted_values[index]
 
 
@@ -432,7 +441,9 @@ class RetrievalService:
         Returns:
             Counters since start-up; ``latency_ms`` summarises the most
             recent requests (bounded window), ``cache`` reports the shared
-            score cache, ``lock`` the readers-writer grant counters.
+            score cache, ``shortlist`` the two-stage signature shortlist
+            (per-stage rejection counts and pruned fraction), ``lock`` the
+            readers-writer grant counters.
         """
         with self._stats_lock:
             counts = dict(sorted(self._request_counts.items()))
@@ -447,6 +458,7 @@ class RetrievalService:
                 max=round(latencies[-1] * 1000, 3),
             )
         cache = self.system.cache_statistics()
+        shortlist = self.system.shortlist_statistics()
         body: Dict[str, Any] = {
             "uptime_seconds": round(time.monotonic() - self._started_monotonic, 3),
             "images": len(self.system),
@@ -463,6 +475,14 @@ class RetrievalService:
                 "hit_rate": round(cache.hit_rate, 4),
                 "size": cache.size,
                 "capacity": cache.capacity,
+            },
+            "shortlist": {
+                "queries": shortlist.queries,
+                "candidates": shortlist.candidates,
+                "bitmap_rejected": shortlist.bitmap_rejected,
+                "relation_rejected": shortlist.relation_rejected,
+                "admitted": shortlist.admitted,
+                "pruned_fraction": round(shortlist.pruned_fraction, 4),
             },
         }
         lock = self.system._engine.lock

@@ -492,3 +492,175 @@ class TestLazyMutations:
             assert lazy.statistics() == populated_database.statistics()
         finally:
             lazy.close()
+
+
+# ----------------------------------------------------------------------
+# Shortlist-signature persistence (warm starts skip recomputation)
+# ----------------------------------------------------------------------
+class TestSignaturePersistence:
+    @pytest.mark.parametrize("backend_name,file_name", BACKEND_TARGETS)
+    def test_signatures_round_trip_through_every_backend(
+        self, populated_database, tmp_path, backend_name, file_name
+    ):
+        from repro.index.shortlist import signature_for
+
+        expected = {
+            record.image_id: signature_for(record) for record in populated_database
+        }
+        path = save_database_to(populated_database, tmp_path / file_name, backend_name)
+        restored = load_database_from(path)
+        for record in restored:
+            assert record.signature is not None, record.image_id
+            assert record.signature == expected[record.image_id]
+
+    @pytest.mark.parametrize("backend_name,file_name", BACKEND_TARGETS)
+    def test_describe_reports_signature_presence(
+        self, populated_database, tmp_path, backend_name, file_name
+    ):
+        path = save_database_to(populated_database, tmp_path / file_name, backend_name)
+        assert describe_database(path)["signatures"] is True
+        lean = save_database_to(
+            populated_database,
+            tmp_path / f"lean-{file_name}",
+            backend_name,
+            persist_signatures=False,
+        )
+        assert describe_database(lean)["signatures"] is False
+        # Lean databases still load; signatures simply rebuild lazily.
+        reloaded = load_database_from(lean)
+        assert all(record.signature is None for record in reloaded)
+
+    def test_warm_start_reuses_persisted_signatures(
+        self, populated_database, tmp_path, monkeypatch
+    ):
+        from repro.index import shortlist
+
+        path = save_database_to(populated_database, tmp_path / "warm.json", "json")
+
+        def _explode(*args, **kwargs):
+            raise AssertionError("warm start recomputed a persisted signature")
+
+        monkeypatch.setattr(shortlist.ImageSignature, "from_bestring", _explode)
+        system = RetrievalSystem.from_file(path)
+        results = system.query(populated_database.get("office-000").picture).execute()
+        assert results and results[0].image_id == "office-000"
+
+    def test_corrupt_signature_payload_is_dropped_not_fatal(
+        self, populated_database, tmp_path
+    ):
+        path = save_database_to(populated_database, tmp_path / "db.json", "json")
+        payload = json.loads(path.read_text())
+        payload["images"][0]["signature"] = {"version": 1, "garbage": True}
+        payload["images"][1]["signature"] = "not-even-a-dict"
+        path.write_text(json.dumps(payload))
+        restored = load_database_from(path)
+        first_two = [entry["image_id"] for entry in payload["images"][:2]]
+        for image_id in first_two:
+            assert restored.get(image_id).signature is None
+        # Everything still queries correctly via lazy recomputation.
+        system = RetrievalSystem.from_file(path)
+        office = populated_database.get("office-000").picture
+        assert system.query(office).min_score(0.5).execute()
+
+    def test_pre_signature_sqlite_schema_still_loads_and_upgrades(
+        self, populated_database, tmp_path
+    ):
+        # Hand-build an old-schema file (no signature column).
+        path = tmp_path / "legacy.sqlite"
+        connection = sqlite3.connect(str(path))
+        with connection:
+            connection.execute("CREATE TABLE meta (key TEXT PRIMARY KEY, value TEXT)")
+            connection.execute(
+                "CREATE TABLE images (image_id TEXT PRIMARY KEY, "
+                "picture TEXT NOT NULL, bestring TEXT NOT NULL)"
+            )
+            connection.execute(
+                "INSERT INTO meta (key, value) VALUES ('schema_version', '1')"
+            )
+            from repro.index.storage import image_record_to_json
+
+            for record in populated_database:
+                entry = image_record_to_json(record, include_signature=False)
+                connection.execute(
+                    "INSERT INTO images (image_id, picture, bestring) VALUES (?, ?, ?)",
+                    (
+                        record.image_id,
+                        json.dumps(entry["picture"], sort_keys=True),
+                        json.dumps(entry["bestring"], sort_keys=True),
+                    ),
+                )
+        connection.close()
+
+        restored = load_database_from(path, backend="sqlite")
+        assert restored.image_ids == populated_database.image_ids
+        assert all(record.signature is None for record in restored)
+
+        # An incremental save against the old schema falls back to a full
+        # rewrite that upgrades the file in place.
+        restored.mark_dirty(restored.image_ids[0])
+        SqliteBackend().save(restored, path, incremental=True)
+        assert describe_database(path)["signatures"] is True
+        upgraded = load_database_from(path, backend="sqlite")
+        assert all(record.signature is not None for record in upgraded)
+
+    def test_lazy_sqlite_materialises_persisted_signatures(
+        self, populated_database, tmp_path
+    ):
+        backend = SqliteBackend()
+        path = save_database_to(populated_database, tmp_path / "lazy.sqlite", backend)
+        lazy = backend.open_lazy(path)
+        try:
+            record = lazy.get(populated_database.image_ids[0])
+            assert record.signature is not None
+        finally:
+            lazy.close()
+
+    def test_incremental_saves_refresh_dirty_signatures(
+        self, populated_database, tmp_path
+    ):
+        from repro.geometry.rectangle import Rectangle
+
+        path = save_database_to(populated_database, tmp_path / "incr.sqlite", "sqlite")
+        image_id = populated_database.image_ids[0]
+        populated_database.add_object(image_id, "fresh-box", Rectangle(1, 1, 3, 3))
+        save_database_to(populated_database, path, "sqlite", incremental=True)
+        restored = load_database_from(path)
+        signature = restored.get(image_id).signature
+        assert signature is not None
+        assert signature.label_counts.get("fresh-box") == 1
+
+    def test_warm_start_preserves_tuned_bitmap_width(
+        self, populated_database, tmp_path, monkeypatch
+    ):
+        # Regression: from_file used to rebuild every signature at the
+        # default width, silently undoing `repro convert --bitmap-width`.
+        from repro.index import shortlist
+        from repro.index.shortlist import ensure_signatures
+
+        ensure_signatures(populated_database, width=64)
+        path = save_database_to(populated_database, tmp_path / "tuned.json", "json")
+
+        def _explode(*args, **kwargs):
+            raise AssertionError("warm start recomputed a tuned signature")
+
+        monkeypatch.setattr(shortlist.ImageSignature, "from_bestring", _explode)
+        system = RetrievalSystem.from_file(path)
+        assert system._engine.bitmap_width == 64
+        assert all(
+            record.signature.width == 64 for record in system._engine.database
+        )
+
+    def test_persist_signatures_override_does_not_leak_into_the_instance(
+        self, populated_database, tmp_path
+    ):
+        # Regression: the one-shot override used to mutate the caller's
+        # backend, turning signatures off for every later save through it.
+        backend = SqliteBackend()
+        lean = save_database_to(
+            populated_database, tmp_path / "lean.sqlite", backend,
+            persist_signatures=False,
+        )
+        assert describe_database(lean)["signatures"] is False
+        assert backend.persist_signatures is True
+        full = save_database_to(populated_database, tmp_path / "full.sqlite", backend)
+        assert describe_database(full)["signatures"] is True

@@ -257,3 +257,40 @@ class TestStalePostings:
         results = system.query_batch([system.query(lamp).limit(None)])[0]
         assert results == []
         assert system.last_batch_report.candidates_considered == 0
+
+
+class TestBatchShortlistPruning:
+    def test_report_counts_pruned_candidates_and_results_match_serial(self, engine):
+        queries = [
+            Query(
+                picture=record.picture,
+                minimum_score=0.95,
+                use_cache=False,
+            )
+            for record in list(engine.database)[:4]
+        ]
+        batch = BatchQueryEngine(engine=engine)
+        batched, report = batch.run_detailed(queries)
+        assert report.shortlist_pruned > 0
+        assert "pruned" in report.describe()
+        for query, results in zip(queries, batched):
+            serial = engine.execute(query)
+            assert [(r.rank, r.image_id, r.score) for r in results] == [
+                (r.rank, r.image_id, r.score) for r in serial
+            ]
+
+    def test_same_content_different_min_score_are_separate_groups(self, engine):
+        picture = next(iter(engine.database)).picture
+        relaxed = Query(picture=picture, minimum_score=0.0, limit=None)
+        strict = Query(picture=picture, minimum_score=0.9, limit=None)
+        batch = BatchQueryEngine(engine=engine)
+        batched, report = batch.run_detailed([relaxed, strict])
+        # One shortlist per distinct min_score: the strict query must not
+        # inherit the relaxed query's (unpruned) candidate list or vice versa.
+        assert report.unique_evaluations == 2
+        assert [(r.rank, r.image_id, r.score) for r in batched[0]] == [
+            (r.rank, r.image_id, r.score) for r in engine.execute(relaxed)
+        ]
+        assert [(r.rank, r.image_id, r.score) for r in batched[1]] == [
+            (r.rank, r.image_id, r.score) for r in engine.execute(strict)
+        ]

@@ -165,3 +165,55 @@ class TestObjectEditInvalidation:
         results = engine.execute(Query.exact(office))
         assert results[0].image_id == office.name
         assert engine.lock.statistics()["read_acquisitions"] >= 1
+
+
+class TestTransformationCanonicalization:
+    """The same transformation *set* behaves identically in any order."""
+
+    SHUFFLED = (
+        Transformation.REFLECT_Y,
+        Transformation.ROTATE_270,
+        Transformation.IDENTITY,
+        Transformation.ROTATE_90,
+        Transformation.REFLECT_X,
+        Transformation.ROTATE_180,
+    )
+
+    def test_query_canonicalizes_transformations(self, office):
+        query = Query(picture=office, transformations=self.SHUFFLED)
+        assert query.transformations == tuple(Transformation)
+        deduplicated = Query(
+            picture=office,
+            transformations=(Transformation.IDENTITY, Transformation.IDENTITY),
+        )
+        assert deduplicated.transformations == (Transformation.IDENTITY,)
+
+    def test_query_score_key_is_order_insensitive(self, office):
+        from repro.core.construct import encode_picture
+        from repro.core.similarity import DEFAULT_POLICY
+        from repro.index.cache import query_score_key
+
+        bestring = encode_picture(office)
+        assert query_score_key(
+            bestring, DEFAULT_POLICY, tuple(Transformation)
+        ) == query_score_key(bestring, DEFAULT_POLICY, self.SHUFFLED)
+
+    def test_reordered_set_hits_the_cache(self, engine, office):
+        # Regression: the same transformation set in a different order used
+        # to miss the cache and re-run the full dynamic program per image.
+        engine.score_cache.reset_statistics()
+        first = engine.execute(
+            Query(picture=office, transformations=tuple(Transformation))
+        )
+        warm = engine.score_cache.statistics
+        assert warm.misses > 0
+        second = engine.execute(Query(picture=office, transformations=self.SHUFFLED))
+        after = engine.score_cache.statistics
+        assert after.misses == warm.misses  # hit-rate parity: no re-scoring
+        assert after.hits == warm.hits + warm.misses
+        assert [(r.rank, r.image_id, r.score) for r in first] == [
+            (r.rank, r.image_id, r.score) for r in second
+        ]
+        assert [r.similarity.transformation for r in first] == [
+            r.similarity.transformation for r in second
+        ]

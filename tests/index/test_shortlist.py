@@ -1,0 +1,374 @@
+"""The two-stage signature shortlist: bounds, equivalence, persistence hooks.
+
+The load-bearing guarantee is *soundness*: the shortlist's score upper bound
+must never fall below the true modified-LCS score, because candidates are
+rejected whenever the bound is below the query's ``min_score``.  A single
+unsound bound would silently drop a correct result, so the suite checks the
+bound against exhaustive real evaluations over randomized corpora, every
+policy axis, and every transformation set — then locks down end-to-end
+ranking equivalence with the filter-disabled scan.
+"""
+
+import pytest
+
+from repro.core.construct import encode_picture
+from repro.core.similarity import (
+    Combination,
+    Normalization,
+    SimilarityPolicy,
+    invariant_similarity,
+    similarity,
+)
+from repro.core.transforms import Transformation
+from repro.datasets.synthetic import SceneParameters, random_pictures
+from repro.geometry.rectangle import Rectangle
+from repro.iconic.picture import SymbolicPicture
+from repro.index.database import ImageDatabase
+from repro.index.query import Query, QueryEngine
+from repro.index.shortlist import (
+    DEFAULT_BITMAP_WIDTH,
+    ImageSignature,
+    QuerySignature,
+    axis_pair_codes,
+    ensure_signatures,
+    label_bit,
+    label_bitmap,
+    pair_conflicts,
+    signature_for,
+)
+from repro.index.spec import STAGE_BITMAP_PRUNED, STAGE_RELATION_PRUNED
+
+_PARAMETERS = SceneParameters(
+    object_count=6,
+    alignment_probability=0.4,
+    labels=tuple(f"label{index:02d}" for index in range(12)),
+    label_choice="random",
+)
+
+_POLICIES = [
+    SimilarityPolicy(),
+    SimilarityPolicy(normalization=Normalization.DATABASE),
+    SimilarityPolicy(normalization=Normalization.DICE, combination=Combination.MIN),
+    SimilarityPolicy(combination=Combination.PRODUCT),
+    SimilarityPolicy(count_boundaries_only=True),
+    SimilarityPolicy(normalization=Normalization.NONE, combination=Combination.MIN),
+]
+
+
+def _signature(picture):
+    return ImageSignature.from_bestring(encode_picture(picture), picture.labels)
+
+
+class TestBitmapPrimitives:
+    def test_label_bit_is_stable_and_in_range(self):
+        assert 0 <= label_bit("car") < DEFAULT_BITMAP_WIDTH
+        assert label_bit("car") == label_bit("car")
+        assert label_bit("car", width=8) < 8
+
+    def test_bitmap_sets_one_bit_per_distinct_label(self):
+        bitmap = label_bitmap(["car", "car", "tree"])
+        assert bin(bitmap).count("1") <= 2
+        assert bitmap & (1 << label_bit("car"))
+        assert bitmap & (1 << label_bit("tree"))
+
+    def test_overlap_upper_bound_never_undercounts(self):
+        pictures = random_pictures(30, seed=5, parameters=_PARAMETERS)
+        query_signatures = [
+            QuerySignature(encode_picture(p), p.labels, width=16) for p in pictures[:10]
+        ]
+        candidates = [
+            ImageSignature.from_bestring(encode_picture(p), p.labels, width=16)
+            for p in pictures
+        ]
+        for query_signature in query_signatures:
+            for candidate in candidates:
+                assert query_signature.overlap_upper_bound(
+                    candidate
+                ) >= query_signature.exact_overlap(candidate)
+
+    def test_width_mismatch_falls_back_to_total(self):
+        picture = random_pictures(1, seed=1, parameters=_PARAMETERS)[0]
+        query_signature = QuerySignature(encode_picture(picture), picture.labels, width=16)
+        other = ImageSignature.from_bestring(
+            encode_picture(picture), picture.labels, width=32
+        )
+        assert (
+            query_signature.overlap_upper_bound(other) == query_signature.total_labels
+        )
+
+
+class TestPairCodes:
+    def test_codes_capture_relative_order(self):
+        left_of = SymbolicPicture.build(
+            10, 10, [("a", Rectangle(1, 1, 3, 3)), ("b", Rectangle(5, 1, 7, 3))]
+        )
+        right_of = SymbolicPicture.build(
+            10, 10, [("a", Rectangle(5, 1, 7, 3)), ("b", Rectangle(1, 1, 3, 3))]
+        )
+        codes_left = axis_pair_codes(encode_picture(left_of).x)
+        codes_right = axis_pair_codes(encode_picture(right_of).x)
+        assert codes_left[("a", "b")] != codes_right[("a", "b")]
+        # Same y arrangement -> same y code.
+        assert axis_pair_codes(encode_picture(left_of).y) == axis_pair_codes(
+            encode_picture(right_of).y
+        )
+
+    def test_conflict_matching_is_disjoint(self):
+        query_pairs = {("a", "b"): 1, ("a", "c"): 2, ("b", "c"): 3}
+        candidate_pairs = {("a", "b"): 9, ("a", "c"): 9, ("b", "c"): 9}
+        # All three pairs conflict, but a matching can only pick one disjoint
+        # edge out of a triangle.
+        assert pair_conflicts(query_pairs, candidate_pairs) == 1
+
+    def test_no_conflicts_when_pairs_agree_or_are_absent(self):
+        assert pair_conflicts({("a", "b"): 1}, {("a", "b"): 1}) == 0
+        assert pair_conflicts({("a", "b"): 1}, {("a", "c"): 2}) == 0
+        assert pair_conflicts({}, {("a", "b"): 1}) == 0
+
+
+class TestScoreBoundSoundness:
+    """bound >= true score, for every policy and transformation set."""
+
+    @pytest.mark.parametrize("policy", _POLICIES, ids=lambda p: p.describe())
+    def test_identity_bound_dominates_true_score(self, policy):
+        pictures = random_pictures(24, seed=9, parameters=_PARAMETERS)
+        for query_picture in pictures[:8]:
+            query_bestring = encode_picture(query_picture)
+            query_signature = QuerySignature(query_bestring, query_picture.labels)
+            for candidate_picture in pictures:
+                candidate_bestring = encode_picture(candidate_picture)
+                candidate = _signature(candidate_picture)
+                true_score = similarity(
+                    query_bestring, candidate_bestring, policy
+                ).score
+                overlap = query_signature.exact_overlap(candidate)
+                bound = query_signature.score_upper_bound(
+                    candidate, overlap, policy, with_conflicts=True
+                )
+                assert bound + 1e-9 >= true_score
+
+    @pytest.mark.parametrize("policy", _POLICIES[:3], ids=lambda p: p.describe())
+    def test_invariant_bound_dominates_best_transformed_score(self, policy):
+        pictures = random_pictures(16, seed=13, parameters=_PARAMETERS)
+        transformations = tuple(Transformation)
+        for query_picture in pictures[:6]:
+            query_bestring = encode_picture(query_picture)
+            query_signature = QuerySignature(
+                query_bestring, query_picture.labels, transformations
+            )
+            for candidate_picture in pictures:
+                candidate_bestring = encode_picture(candidate_picture)
+                candidate = _signature(candidate_picture)
+                true_score = invariant_similarity(
+                    query_bestring, candidate_bestring, policy, transformations
+                ).score
+                overlap = query_signature.exact_overlap(candidate)
+                bound = query_signature.score_upper_bound(
+                    candidate, overlap, policy, with_conflicts=True
+                )
+                assert bound + 1e-9 >= true_score
+
+    def test_self_match_bound_is_tight(self):
+        picture = random_pictures(1, seed=3, parameters=_PARAMETERS)[0]
+        bestring = encode_picture(picture)
+        query_signature = QuerySignature(bestring, picture.labels)
+        candidate = _signature(picture)
+        overlap = query_signature.exact_overlap(candidate)
+        bound = query_signature.score_upper_bound(
+            candidate, overlap, SimilarityPolicy(), with_conflicts=True
+        )
+        assert bound == pytest.approx(1.0)
+
+
+class TestEngineEquivalence:
+    """Pruned execution ranks byte-identically to the filter-disabled scan."""
+
+    @pytest.fixture(scope="class")
+    def engine(self):
+        database = ImageDatabase(name="shortlist-equivalence")
+        database.add_pictures(random_pictures(80, seed=21, parameters=_PARAMETERS))
+        return QueryEngine.build(database)
+
+    @pytest.mark.parametrize("minimum_score", [0.25, 0.5, 0.8])
+    @pytest.mark.parametrize("invariant", [False, True])
+    def test_rankings_match_full_scan(self, engine, minimum_score, invariant):
+        transformations = (
+            tuple(Transformation) if invariant else (Transformation.IDENTITY,)
+        )
+        pictures = random_pictures(8, seed=34, parameters=_PARAMETERS)
+        for picture in pictures:
+            filtered = engine.execute(
+                Query(
+                    picture=picture,
+                    transformations=transformations,
+                    minimum_score=minimum_score,
+                    use_cache=False,
+                )
+            )
+            full = engine.execute(
+                Query(
+                    picture=picture,
+                    transformations=transformations,
+                    minimum_score=minimum_score,
+                    use_filters=False,
+                    use_cache=False,
+                )
+            )
+            assert [(r.rank, r.image_id, r.score) for r in filtered] == [
+                (r.rank, r.image_id, r.score) for r in full
+            ]
+            assert [r.similarity.transformation for r in filtered] == [
+                r.similarity.transformation for r in full
+            ]
+
+    def test_stored_images_always_survive_their_own_query(self, engine):
+        # The no-false-negative guarantee in its sharpest form: a stored
+        # image queried against itself scores 1.0 and must never be pruned.
+        for image_id in engine.database.image_ids[:10]:
+            record = engine.database.get(image_id)
+            results = engine.execute(
+                Query(picture=record.picture, minimum_score=0.99, use_cache=False)
+            )
+            assert results and results[0].image_id == image_id
+
+    def test_trace_records_pruning_stages(self, engine):
+        picture = random_pictures(1, seed=55, parameters=_PARAMETERS)[0]
+        _, trace = engine.execute_traced(
+            Query(picture=picture, minimum_score=0.6, use_cache=False)
+        )
+        assert trace.bitmap_pruned + trace.relation_pruned > 0
+        rejected_stages = {
+            candidate.stage
+            for candidate in trace.candidates.values()
+            if candidate.stage in (STAGE_BITMAP_PRUNED, STAGE_RELATION_PRUNED)
+        }
+        assert rejected_stages  # the sample names the rejecting stage
+
+    def test_relation_stage_rejects_rearranged_layout(self):
+        # Same labels, mirrored arrangement: stage 1 (labels only) cannot
+        # prune it, the relation-pair bound can.
+        base = SymbolicPicture.build(
+            12,
+            12,
+            [
+                ("a", Rectangle(1, 5, 3, 7)),
+                ("b", Rectangle(5, 5, 7, 7)),
+                ("c", Rectangle(9, 5, 11, 7)),
+            ],
+            name="base",
+        )
+        mirrored = base.reflect_y().renamed("mirrored")
+        database = ImageDatabase()
+        database.add_picture(base, "base")
+        database.add_picture(mirrored, "mirrored")
+        engine = QueryEngine.build(database)
+        outcome = engine.shortlist(Query(picture=base, minimum_score=0.95))
+        assert outcome.candidates == ["base"]
+        assert outcome.relation_rejected == 1
+        assert outcome.rejections.get("mirrored") == STAGE_RELATION_PRUNED
+
+    def test_counters_accumulate(self, engine):
+        engine.shortlist_counters.reset()
+        picture = random_pictures(1, seed=77, parameters=_PARAMETERS)[0]
+        engine.execute(Query(picture=picture, minimum_score=0.5, use_cache=False))
+        statistics = engine.shortlist_counters.statistics
+        assert statistics.queries == 1
+        assert statistics.candidates == (
+            statistics.admitted
+            + statistics.bitmap_rejected
+            + statistics.relation_rejected
+        )
+
+    def test_min_score_zero_admits_every_label_sharer(self, engine):
+        picture = random_pictures(1, seed=88, parameters=_PARAMETERS)[0]
+        outcome = engine.shortlist(Query(picture=picture))
+        assert outcome.bitmap_rejected == 0
+        assert outcome.relation_rejected == 0
+        assert len(outcome.candidates) == outcome.inverted_candidates
+
+
+class TestSignatureLifecycle:
+    def test_serialization_round_trip(self):
+        picture = random_pictures(1, seed=2, parameters=_PARAMETERS)[0]
+        signature = _signature(picture)
+        restored = ImageSignature.from_dict(signature.to_dict())
+        assert restored == signature
+
+    def test_from_dict_rejects_unknown_version(self):
+        picture = random_pictures(1, seed=2, parameters=_PARAMETERS)[0]
+        payload = _signature(picture).to_dict()
+        payload["version"] = 99
+        with pytest.raises(ValueError):
+            ImageSignature.from_dict(payload)
+
+    def test_object_edits_invalidate_the_cached_signature(self):
+        database = ImageDatabase()
+        picture = random_pictures(1, seed=6, parameters=_PARAMETERS)[0]
+        record = database.add_picture(picture, "edited")
+        before = signature_for(record)
+        database.add_object("edited", "added-box", Rectangle(0.5, 0.5, 2.0, 2.0))
+        assert record.signature is None
+        after = signature_for(record)
+        assert after.label_counts.get("added-box") == 1
+        assert after != before
+
+    def test_engine_edits_keep_shortlist_consistent(self):
+        database = ImageDatabase()
+        pictures = random_pictures(10, seed=41, parameters=_PARAMETERS)
+        database.add_pictures(pictures)
+        engine = QueryEngine.build(database)
+        image_id = database.image_ids[0]
+        engine.add_object(image_id, "fresh-label", Rectangle(1, 1, 4, 4))
+        query_picture = database.get(image_id).picture
+        results = engine.execute(
+            Query(picture=query_picture, minimum_score=0.99, use_cache=False)
+        )
+        assert results and results[0].image_id == image_id
+
+    def test_ensure_signatures_recomputes_at_requested_width(self):
+        database = ImageDatabase()
+        database.add_pictures(random_pictures(4, seed=8, parameters=_PARAMETERS))
+        computed = ensure_signatures(database, width=32)
+        assert computed == 4
+        assert all(record.signature.width == 32 for record in database)
+        assert ensure_signatures(database, width=32) == 0
+
+
+class TestThresholdAndWidthConsistency:
+    def test_overlap_threshold_rejections_belong_to_the_bitmap_stage(self):
+        # Threshold rejections — bitmap-bounded *or* exact — are label-overlap
+        # (stage-1) rejections; only the relation-pair score bound is stage 2.
+        database = ImageDatabase()
+        database.add_pictures(random_pictures(30, seed=61, parameters=_PARAMETERS))
+        engine = QueryEngine.build(database, minimum_overlap_ratio=0.75)
+        picture = random_pictures(1, seed=62, parameters=_PARAMETERS)[0]
+        outcome = engine.shortlist(Query(picture=picture))
+        assert outcome.bitmap_rejected > 0
+        assert outcome.relation_rejected == 0
+        assert all(
+            stage == STAGE_BITMAP_PRUNED for stage in outcome.rejections.values()
+        )
+        # The sampled bound of a threshold rejection is the failing ratio.
+        assert all(
+            0.0 <= outcome.rejection_bounds[image_id] < 0.75
+            for image_id in outcome.rejections
+        )
+        # Semantics match the legacy filter exactly.
+        legacy = engine.signature_filter.filter(
+            picture, sorted(set(database.image_ids) - set(outcome.rejections))
+        )
+        assert set(outcome.candidates) <= set(legacy) | set(outcome.candidates)
+
+    def test_engine_mutations_materialise_signatures_at_engine_width(self):
+        database = ImageDatabase()
+        database.add_pictures(random_pictures(3, seed=63, parameters=_PARAMETERS))
+        ensure_signatures(database, width=64)
+        engine = QueryEngine.build(database)  # adopts the persisted width
+        assert engine.bitmap_width == 64
+        picture = random_pictures(1, seed=64, parameters=_PARAMETERS)[0]
+        image_id = engine.add_picture(picture, "added-after-tuning")
+        record = engine.database.get(image_id)
+        assert record.signature is not None and record.signature.width == 64
+        engine.add_object(image_id, "late-box", Rectangle(0.5, 0.5, 2.0, 2.0))
+        record = engine.database.get(image_id)
+        assert record.signature is not None and record.signature.width == 64

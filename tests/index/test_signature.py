@@ -39,12 +39,25 @@ class TestFilter:
             filters.remove_picture("office")
         assert len(filters) == 0
 
-    def test_zero_threshold_admits_everything_known(self, office, landscape):
+    def test_zero_threshold_admits_everything(self, office, landscape):
         filters = SignatureFilter(minimum_overlap_ratio=0.0)
         filters.add_picture("office", office)
         filters.add_picture("landscape", landscape)
         kept = filters.filter(office, ["office", "landscape", "unknown"])
-        assert kept == ["office", "landscape"]
+        assert kept == ["office", "landscape", "unknown"]
+
+    def test_unregistered_id_fails_open(self, office, landscape):
+        # Regression: an image id with no registered signature used to be
+        # rejected outright, silently dropping the image from every result.
+        # The filter is an optimisation, so unknown ids must be admitted
+        # (scored) even under an aggressive threshold.
+        filters = SignatureFilter(minimum_overlap_ratio=0.9)
+        filters.add_picture("landscape", landscape)
+        signature = label_signature(office)
+        assert filters.admits(signature, "never-registered") is True
+        assert filters.filter(office, ["landscape", "never-registered"]) == [
+            "never-registered"
+        ]
 
     def test_positive_threshold_prunes_unrelated(self, office, landscape):
         filters = SignatureFilter(minimum_overlap_ratio=0.5)

@@ -85,3 +85,51 @@ class TestQueries:
         region_index.add_picture(landscape.name, landscape)
         trees = region_index.icons_in_region(QUADRANTS["everywhere"], label="tree")
         assert {entry.identifier for entry in trees} == {"tree", "tree#1"}
+
+
+class TestBoundaryClamping:
+    """Normalised MBRs touching 1.0 and degenerate MBRs must land in valid
+    cells — never be silently lost from the grid."""
+
+    def _index_single(self, mbr, resolution=8):
+        picture = SymbolicPicture.build(
+            width=10, height=10, objects=[("probe", mbr)], name="probe-scene"
+        )
+        region_index = RegionIndex(resolution=resolution)
+        region_index.add_picture(picture.name, picture)
+        return region_index
+
+    def test_cells_for_clamps_at_exactly_one(self):
+        region_index = RegionIndex(resolution=8)
+        cells = list(region_index._cells_for(Rectangle(0.9, 0.9, 1.0, 1.0)))
+        assert cells == [(7, 7)]
+
+    def test_icon_touching_the_far_corner_is_found(self):
+        region_index = self._index_single(Rectangle(9.0, 9.0, 10.0, 10.0))
+        found = region_index.icons_in_region(Rectangle(0.75, 0.75, 1.0, 1.0))
+        assert [entry.identifier for entry in found] == ["probe"]
+
+    @pytest.mark.parametrize("coordinate", [0.0, 0.5, 0.625, 1.0])
+    def test_degenerate_point_mbr_lands_in_a_valid_cell(self, coordinate):
+        # Regression: a zero-area MBR sitting exactly on a grid line produced
+        # an empty cell range (end cell before begin cell) and vanished from
+        # the index.
+        region_index = RegionIndex(resolution=8)
+        point = Rectangle(coordinate, coordinate, coordinate, coordinate)
+        cells = list(region_index._cells_for(point))
+        assert len(cells) == 1
+        column, row = cells[0]
+        assert 0 <= column < 8 and 0 <= row < 8
+
+    def test_degenerate_zero_area_icon_is_queryable(self):
+        # A zero-width, zero-height icon at the centre (a grid-line point).
+        region_index = self._index_single(Rectangle(5.0, 5.0, 5.0, 5.0))
+        assert region_index.icon_count == 1
+        found = region_index.icons_in_region(Rectangle(0.0, 0.0, 1.0, 1.0))
+        assert [entry.identifier for entry in found] == ["probe"]
+
+    def test_degenerate_vertical_line_icon_is_queryable(self):
+        # Zero width, full height: every row of one column.
+        region_index = self._index_single(Rectangle(5.0, 0.0, 5.0, 10.0))
+        found = region_index.icons_in_region(Rectangle(0.25, 0.0, 0.75, 1.0))
+        assert [entry.identifier for entry in found] == ["probe"]

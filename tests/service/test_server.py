@@ -314,3 +314,60 @@ class TestWireEdgeCases:
             status, body, _ = service.dispatch("DELETE", path, None)
             assert status == 400
             assert "image id is required" in body["error"]
+
+
+class TestPercentile:
+    """Exact nearest-rank values at small window sizes (regression for the
+    banker's-rounding off-by-one at even window sizes)."""
+
+    @pytest.mark.parametrize(
+        ("values", "fraction", "expected"),
+        [
+            ([10.0], 0.5, 10.0),
+            ([10.0], 0.95, 10.0),
+            ([10.0, 20.0], 0.5, 10.0),
+            ([10.0, 20.0], 0.95, 20.0),
+            ([10.0, 20.0, 30.0], 0.5, 20.0),
+            ([10.0, 20.0, 30.0], 0.95, 30.0),
+            # Four samples: round(0.5 * 3) == 2 under banker's rounding used
+            # to report the *third* value as the median.
+            ([10.0, 20.0, 30.0, 40.0], 0.5, 20.0),
+            ([10.0, 20.0, 30.0, 40.0], 0.95, 40.0),
+            ([10.0, 20.0], 0.0, 10.0),
+            ([10.0, 20.0], 1.0, 20.0),
+        ],
+    )
+    def test_nearest_rank(self, values, fraction, expected):
+        from repro.service.server import _percentile
+
+        assert _percentile(values, fraction) == expected
+
+    def test_stats_latency_summary_uses_nearest_rank(self, tmp_path):
+        system = RetrievalSystem.from_pictures(collection())
+        service = RetrievalService(system)
+        # Inject a deterministic latency window (seconds) behind the lock.
+        with service._stats_lock:
+            service._latencies.extend([0.010, 0.020, 0.030, 0.040])
+        latency = service.stats()["latency_ms"]
+        assert latency["count"] == 4
+        assert latency["p50"] == pytest.approx(20.0)
+        assert latency["p95"] == pytest.approx(40.0)
+        assert latency["max"] == pytest.approx(40.0)
+
+    def test_stats_reports_shortlist_counters(self, tmp_path):
+        system = RetrievalSystem.from_pictures(collection())
+        service = RetrievalService(system)
+        status, _, _ = service.dispatch(
+            "POST",
+            "/search",
+            {"scene": office_scene(0).to_dict(), "min_score": 0.6},
+        )
+        assert status == 200
+        shortlist = service.stats()["shortlist"]
+        assert shortlist["queries"] >= 1
+        assert shortlist["candidates"] == (
+            shortlist["admitted"]
+            + shortlist["bitmap_rejected"]
+            + shortlist["relation_rejected"]
+        )
+        assert 0.0 <= shortlist["pruned_fraction"] <= 1.0
