@@ -6,7 +6,7 @@ again.  This experiment builds a 1000-image synthetic database (the E9 wide
 vocabulary, so the candidate filters have real pruning power) and replays a
 stream of 100 queries drawn from 25 distinct pictures, comparing
 
-* ``serial``    -- one ``system.query(...).cached(False).execute()`` call per
+* ``serial``    -- one ``system.query(...).execution(cache=False).execute()`` call per
   query (the score cache bypassed, i.e. the pre-batch serial cost model),
 * ``batch cold`` -- :meth:`RetrievalSystem.query_batch` on an empty score
   cache (4 workers), where deduplication alone collapses the stream to 25
@@ -75,7 +75,7 @@ def test_batch_throughput_report(benchmark, write_report, workload):
 
     started = time.perf_counter()
     serial = [
-        system.query(query).limit(10).cached(False).execute() for query in queries
+        system.query(query).limit(10).execution(cache=False).execute() for query in queries
     ]
     serial_seconds = time.perf_counter() - started
 
@@ -158,7 +158,7 @@ def test_executors_agree(benchmark, workload):
     system, queries = workload
     sample = queries[: min(len(queries), 10)]
     expected = _result_lines(
-        system.query(query).limit(10).cached(False).execute() for query in sample
+        system.query(query).limit(10).execution(cache=False).execute() for query in sample
     )
     for executor in ("serial", "thread", "process"):
         system._engine.score_cache.clear()

@@ -51,7 +51,7 @@ def test_query_latency_with_filters(benchmark, largest_system):
     system, pictures = largest_system
     query = pictures[17]
     results = benchmark(
-        lambda: system.query(query).limit(10).cached(False).execute()
+        lambda: system.query(query).limit(10).execution(cache=False).execute()
     )
     assert results[0].image_id == query.name
 
@@ -61,7 +61,7 @@ def test_query_latency_without_filters(benchmark, largest_system):
     system, pictures = largest_system
     query = pictures[17]
     results = benchmark(
-        lambda: system.query(query).limit(10).no_filters().cached(False).execute()
+        lambda: system.query(query).limit(10).execution(shortlist=False).execution(cache=False).execute()
     )
     assert results[0].image_id == query.name
 
@@ -79,11 +79,11 @@ def test_database_scale_report(benchmark, write_report):
 
         query = pictures[size // 3]
         started = time.perf_counter()
-        filtered = system.query(query).limit(10).cached(False).execute()
+        filtered = system.query(query).limit(10).execution(cache=False).execute()
         filtered_ms = (time.perf_counter() - started) * 1000
 
         started = time.perf_counter()
-        unfiltered = system.query(query).limit(10).no_filters().cached(False).execute()
+        unfiltered = system.query(query).limit(10).execution(shortlist=False).execution(cache=False).execute()
         unfiltered_ms = (time.perf_counter() - started) * 1000
 
         clique_ms = None
@@ -138,4 +138,4 @@ def test_database_scale_report(benchmark, write_report):
     pictures = _database(DATABASE_SIZES[1])
     system = RetrievalSystem.from_pictures(pictures)
     query = pictures[11]
-    benchmark(lambda: system.query(query).limit(10).cached(False).execute())
+    benchmark(lambda: system.query(query).limit(10).execution(cache=False).execute())

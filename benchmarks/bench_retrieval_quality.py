@@ -82,6 +82,6 @@ def test_single_query_latency(benchmark, corpus):
     system = RetrievalSystem.from_pictures(corpus.database_pictures)
     query = corpus.queries[0]
     results = benchmark(
-        lambda: system.query(query).limit(10).cached(False).execute()
+        lambda: system.query(query).limit(10).execution(cache=False).execute()
     )
     assert results

@@ -8,6 +8,7 @@ report with the rows/series the experiment compares into
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 
@@ -43,6 +44,28 @@ def write_report(results_dir):
         path = results_dir / f"{experiment_id}.txt"
         path.write_text(text, encoding="utf-8")
         print(f"\n[{experiment_id}] report written to {path}\n{text}")
+        return path
+
+    return _write
+
+
+@pytest.fixture(scope="session")
+def write_json_report(results_dir):
+    """Write one machine-readable ``BENCH_<id>.json`` result file.
+
+    The payload is stamped with the run mode so a smoke-sized CI artifact is
+    never mistaken for a full experiment; full runs worth keeping are copied
+    into ``benchmarks/baselines/`` and committed (``benchmarks/results/`` is
+    gitignored scratch space).
+    """
+
+    def _write(experiment_id: str, payload: dict) -> Path:
+        document = {"experiment": experiment_id, "smoke": SMOKE, **payload}
+        path = results_dir / f"BENCH_{experiment_id}.json"
+        path.write_text(
+            json.dumps(document, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        print(f"\n[{experiment_id}] JSON result written to {path}")
         return path
 
     return _write

@@ -30,7 +30,7 @@ def main() -> None:
 
     for keep in range(len(base), 1, -2):
         query = partial_variant(base, keep=keep, seed=keep, name=f"query-keep{keep}")
-        results = system.query(query).limit(None).no_filters().execute()
+        results = system.query(query).limit(None).execution(shortlist=False).execute()
         ranked_ids = [result.image_id for result in results]
         ap = average_precision(ranked_ids, relevant)
         print(f"=== Query keeps {keep}/{len(base)} icons "

@@ -38,12 +38,12 @@ def main() -> None:
     print()
 
     print("=== Plain query (no transformation invariance) ===")
-    for result in system.query(base).limit(5).no_filters().execute():
+    for result in system.query(base).limit(5).execution(shortlist=False).execute():
         print(" ", result.describe())
     print()
 
     print("=== Transformation-invariant query (string reversal only) ===")
-    for result in system.query(base).invariant().limit(5).no_filters().execute():
+    for result in system.query(base).invariant().limit(5).execution(shortlist=False).execute():
         print(" ", result.describe())
     print()
 

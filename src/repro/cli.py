@@ -13,7 +13,10 @@ system would script:
 ``python -m repro.cli search <database.json> <query-scene.json> [--invariant] [--top K]``
     Run a similarity query against a stored database.  ``--where`` adds a
     relation-predicate filter, ``--min-score`` a score cut-off and ``--jsonl``
-    machine-readable output (one JSON object per result).
+    machine-readable output (one JSON object per result).  ``--kernel
+    bitparallel`` scores with the bit-parallel LCS kernel and ``--strategy
+    anytime`` enables branch-and-bound early termination (see
+    ``docs/kernels.md``); both default to the historical reference behaviour.
 
 ``python -m repro.cli explain <database.json> <query-scene.json> [--where ...]``
     Run a query like ``search`` but print the execution trace: the shortlist
@@ -84,6 +87,7 @@ from repro.index.backends import (
     save_database_to,
 )
 from repro.index.database import ImageDatabase
+from repro.index.execution import ExecutionOptions, KERNELS, STRATEGIES
 from repro.index.spec import QuerySpec, QuerySpecError
 from repro.index.storage import StorageError, picture_from_json_text
 from repro.retrieval.predicates import PredicateError
@@ -121,13 +125,13 @@ def _load_database(path: str, backend=None) -> ImageDatabase:
         raise CliError(f"malformed database {path}: {error}") from error
 
 
-def _load_system(path: str, backend=None) -> RetrievalSystem:
+def _load_system(path: str, backend=None, execution=None) -> RetrievalSystem:
     # from_file is the warm-start path: it indexes the loaded records in
     # place (no re-encoding) and keeps their persisted shortlist signatures,
     # tuned bitmap width included — re-adding picture by picture would drop
     # both and leave every image dirty for the first incremental save.
     try:
-        return RetrievalSystem.from_file(path, backend=backend)
+        return RetrievalSystem.from_file(path, backend=backend, execution=execution)
     except FileNotFoundError:
         raise CliError(f"database not found: {path}") from None
     except StorageError as error:
@@ -247,7 +251,11 @@ def _build_query(system: RetrievalSystem, arguments: argparse.Namespace):
     if getattr(arguments, "query", None):
         builder.similar_to(_load_picture(arguments.query))
     builder.invariant(arguments.invariant).limit(arguments.top)
-    builder.filters(not arguments.no_filters)
+    builder.execution(
+        shortlist=not arguments.no_filters,
+        kernel=getattr(arguments, "kernel", None),
+        strategy=getattr(arguments, "strategy", None),
+    )
     builder.min_score(getattr(arguments, "min_score", 0.0))
     where = getattr(arguments, "where", None)
     if where:
@@ -398,7 +406,12 @@ def _command_serve(arguments: argparse.Namespace) -> int:
     from repro.service.server import create_server
 
     backend = _backend_argument(arguments)
-    system = _load_system(arguments.database, backend=backend)
+    execution = None
+    if arguments.kernel is not None or arguments.strategy is not None:
+        execution = ExecutionOptions(
+            kernel=arguments.kernel, strategy=arguments.strategy
+        )
+    system = _load_system(arguments.database, backend=backend, execution=execution)
     persist_path = None if arguments.no_persist else arguments.database
     try:
         server = create_server(
@@ -579,6 +592,15 @@ def build_parser() -> argparse.ArgumentParser:
         subparser.add_argument(
             "--min-score", type=float, default=0.0, help="drop results below this score"
         )
+        subparser.add_argument(
+            "--kernel", choices=KERNELS, default=None,
+            help="LCS implementation for scoring (default: reference DP)",
+        )
+        subparser.add_argument(
+            "--strategy", choices=STRATEGIES, default=None,
+            help="candidate processing: anytime branch-and-bound or exhaustive "
+                 "(default: exhaustive)",
+        )
         _add_format_flag(subparser)
 
     search = subparsers.add_parser("search", help="similarity query against a database")
@@ -649,6 +671,14 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--backlog", type=int, default=16,
         help="max requests waiting beyond the workers before 503s (default 16)",
+    )
+    serve.add_argument(
+        "--kernel", choices=KERNELS, default=None,
+        help="engine-default LCS implementation for every served query",
+    )
+    serve.add_argument(
+        "--strategy", choices=STRATEGIES, default=None,
+        help="engine-default candidate-processing strategy for every served query",
     )
     serve.add_argument(
         "--no-persist", action="store_true",

@@ -60,9 +60,36 @@ def be_lcs_table(query: AxisBEString, database: AxisBEString) -> LCSTable:
 
 
 def be_lcs_length(query: AxisBEString, database: AxisBEString) -> int:
-    """Length of the modified LCS of two axis BE-strings."""
-    table = be_lcs_table(query, database)
-    return abs(table[len(query)][len(database)])
+    """Length of the modified LCS of two axis BE-strings.
+
+    Runs the Algorithm 2 recurrence with two rolling rows instead of the full
+    ``(m + 1) x (n + 1)`` table -- the length only ever looks one row back, so
+    length-only scoring needs ``O(n)`` memory, not ``O(m * n)``.  Use
+    :func:`be_lcs_table` when the traceback is required.
+    """
+    q: Sequence[Symbol] = query.symbols
+    d: Sequence[Symbol] = database.symbols
+    m = len(q)
+    n = len(d)
+    if m == 0 or n == 0:
+        return 0
+    above = [0] * (n + 1)
+    row = [0] * (n + 1)
+    for i in range(1, m + 1):
+        q_symbol = q[i - 1]
+        q_is_dummy = q_symbol.is_dummy
+        row[0] = 0
+        for j in range(1, n + 1):
+            up = above[j]
+            left = row[j - 1]
+            cell = up if abs(up) >= abs(left) else left
+            if q_symbol == d[j - 1] and (not q_is_dummy or above[j - 1] >= 0):
+                diagonal = abs(above[j - 1]) + 1
+                if diagonal > abs(cell):
+                    cell = -diagonal if q_is_dummy else diagonal
+            row[j] = cell
+        above, row = row, above
+    return abs(above[n])
 
 
 def print_2d_be_lcs(

@@ -19,15 +19,18 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import FrozenSet, Iterable, Optional, Set
+from typing import Callable, FrozenSet, Iterable, Optional, Set, Tuple
 
 from repro.core.bestring import AxisBEString, BEString2D
 from repro.core.construct import encode_picture
 from repro.core.errors import SimilarityError
-from repro.core.lcs import be_lcs_length_and_string
+from repro.core.lcs import be_lcs_length, be_lcs_length_and_string
 from repro.core.symbols import BoundaryKind
 from repro.core.transforms import Transformation, transform
 from repro.iconic.picture import SymbolicPicture
+
+#: Signature of a length-only LCS kernel usable by :func:`similarity_score`.
+LengthFunction = Callable[[AxisBEString, AxisBEString], int]
 
 
 class Normalization(Enum):
@@ -255,6 +258,72 @@ def similarity(
         policy=policy,
         transformation=transformation,
     )
+
+
+def similarity_score(
+    query: BEString2D,
+    database: BEString2D,
+    policy: SimilarityPolicy = DEFAULT_POLICY,
+    transformation: Transformation = Transformation.IDENTITY,
+    length_function: LengthFunction = be_lcs_length,
+) -> float:
+    """Score only -- the exact float :attr:`SimilarityResult.score` would yield.
+
+    Uses a length-only LCS kernel (no traceback, no table), so it supports
+    pluggable implementations such as
+    :func:`repro.core.lcskernel.be_lcs_length_bitparallel`.  The arithmetic is
+    the same :func:`normalized_value` / :func:`combined_value` chain the full
+    evaluation runs, guaranteeing bit-identical floats.
+
+    Only valid for policies with ``count_boundaries_only=False`` -- counting
+    boundary symbols requires the LCS string itself.
+    """
+    if policy.count_boundaries_only:
+        raise SimilarityError(
+            "similarity_score is length-only; "
+            "count_boundaries_only policies need the full evaluation"
+        )
+    if len(query.x) == 0 or len(query.y) == 0:
+        raise SimilarityError("the query BE-string must not be empty")
+    transformed = transform(query, transformation)
+    x_value = normalized_value(
+        float(length_function(transformed.x, database.x)),
+        float(len(transformed.x)),
+        float(len(database.x)),
+        policy.normalization,
+    )
+    y_value = normalized_value(
+        float(length_function(transformed.y, database.y)),
+        float(len(transformed.y)),
+        float(len(database.y)),
+        policy.normalization,
+    )
+    return combined_value(x_value, y_value, policy.combination)
+
+
+def invariant_similarity_score(
+    query: BEString2D,
+    database: BEString2D,
+    policy: SimilarityPolicy = DEFAULT_POLICY,
+    transformations: Iterable[Transformation] = tuple(Transformation),
+    length_function: LengthFunction = be_lcs_length,
+) -> Tuple[float, Transformation]:
+    """Best length-only score over query transformations, with its winner.
+
+    Mirrors :func:`invariant_similarity` exactly: strict ``>`` keeps the
+    earliest transformation on ties, so the winning ``(score, transformation)``
+    pair matches the full evaluation's result symbol-for-symbol.
+    """
+    best: Optional[float] = None
+    best_transformation: Optional[Transformation] = None
+    for transformation in transformations:
+        score = similarity_score(query, database, policy, transformation, length_function)
+        if best is None or score > best:
+            best = score
+            best_transformation = transformation
+    if best is None or best_transformation is None:
+        raise SimilarityError("at least one transformation must be supplied")
+    return best, best_transformation
 
 
 def similarity_between_pictures(

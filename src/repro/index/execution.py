@@ -1,0 +1,207 @@
+"""One coherent execution-configuration surface for the query engine.
+
+Historically each execution knob lived wherever it was invented: shortlist
+toggles as ``use_filters`` kwargs, caching as ``use_cache``, thread-pool
+choices inside :class:`repro.index.batch.BatchOptions`.  This module gathers
+them — together with the new kernel and search-strategy switches — into one
+:class:`ExecutionOptions` value that travels from engine construction
+(``QueryEngine.build(execution=...)``) through :class:`~repro.index.spec.QuerySpec`,
+the fluent builder, the CLI flags, and the service ``/search`` payload.
+
+Every field is optional: ``None`` means "inherit" — from the per-query
+options to the engine default to the documented defaults
+(:data:`DEFAULT_EXECUTION`).  Resolution is a simple two-step overlay::
+
+    effective = engine.execution.overlaid(query.execution).resolved()
+
+``docs/query-api.md`` carries the migration table from the deprecated
+scattered knobs; ``docs/kernels.md`` documents what the ``kernel`` and
+``strategy`` values actually run.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, fields, replace
+from typing import Any, Dict, Mapping, Optional
+
+#: Length-only bit-parallel LCS kernel (``repro.core.lcskernel``).
+KERNEL_BITPARALLEL = "bitparallel"
+#: The reference dynamic program (``repro.core.lcs``).
+KERNEL_REFERENCE = "reference"
+KERNELS = (KERNEL_BITPARALLEL, KERNEL_REFERENCE)
+
+#: Branch-and-bound top-k: score in descending-bound order, stop early.
+STRATEGY_ANYTIME = "anytime"
+#: Score every shortlist survivor (the historical behaviour).
+STRATEGY_EXHAUSTIVE = "exhaustive"
+STRATEGIES = (STRATEGY_ANYTIME, STRATEGY_EXHAUSTIVE)
+
+#: Batch pool flavours (mirrors :class:`repro.index.batch.BatchOptions`).
+EXECUTORS = ("thread", "process", "serial", "auto")
+
+
+@dataclass(frozen=True)
+class ExecutionOptions:
+    """How a query (or every query of an engine) should be executed.
+
+    ``None`` fields inherit from the next layer down; see the module
+    docstring for the overlay order.  Instances are immutable — derive
+    variants with :meth:`overlaid` or :func:`dataclasses.replace`.
+    """
+
+    #: LCS implementation for scoring: ``bitparallel`` or ``reference``.
+    kernel: Optional[str] = None
+    #: Candidate-processing strategy: ``anytime`` or ``exhaustive``.
+    strategy: Optional[str] = None
+    #: Run the signature shortlist before scoring (``Query.use_filters``).
+    shortlist: Optional[bool] = None
+    #: Consult and populate the engine's score cache (``Query.use_cache``).
+    cache: Optional[bool] = None
+    #: Batch pool flavour: ``thread`` or ``process``.
+    executor: Optional[str] = None
+    #: Batch pool size.
+    workers: Optional[int] = None
+    #: Queries per batch task (``None`` lets the batch engine choose).
+    chunk_size: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        """Reject values outside the documented vocabulary."""
+        if self.kernel is not None and self.kernel not in KERNELS:
+            raise ValueError(f"kernel must be one of {KERNELS}, got {self.kernel!r}")
+        if self.strategy is not None and self.strategy not in STRATEGIES:
+            raise ValueError(
+                f"strategy must be one of {STRATEGIES}, got {self.strategy!r}"
+            )
+        if self.executor is not None and self.executor not in EXECUTORS:
+            raise ValueError(
+                f"executor must be one of {EXECUTORS}, got {self.executor!r}"
+            )
+        if self.workers is not None and self.workers < 1:
+            raise ValueError("workers must be positive")
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise ValueError("chunk_size must be positive")
+
+    def overlaid(self, overrides: Optional["ExecutionOptions"]) -> "ExecutionOptions":
+        """These options with every non-``None`` field of ``overrides`` applied."""
+        if overrides is None:
+            return self
+        changed = {
+            field.name: value
+            for field in fields(overrides)
+            if (value := getattr(overrides, field.name)) is not None
+        }
+        return replace(self, **changed) if changed else self
+
+    def resolved(self) -> "ExecutionOptions":
+        """Fill the remaining ``None`` fields with the documented defaults."""
+        return DEFAULT_EXECUTION.overlaid(self)
+
+    @property
+    def is_default_scoring(self) -> bool:
+        """True when kernel/strategy match the historical implicit behaviour."""
+        return self.kernel in (None, KERNEL_REFERENCE) and self.strategy in (
+            None,
+            STRATEGY_EXHAUSTIVE,
+        )
+
+    def describe(self) -> str:
+        """Compact ``key=value`` summary of the explicitly set fields."""
+        parts = [
+            f"{field.name}={value}"
+            for field in fields(self)
+            if (value := getattr(self, field.name)) is not None
+        ]
+        return " ".join(parts) if parts else "inherit-all"
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-friendly mapping of the explicitly set fields."""
+        return {
+            field.name: value
+            for field in fields(self)
+            if (value := getattr(self, field.name)) is not None
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ExecutionOptions":
+        """Inverse of :meth:`to_dict`; rejects unknown keys."""
+        known = {field.name for field in fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(f"unknown execution option(s): {sorted(unknown)}")
+        return cls(**dict(payload))
+
+
+#: The documented defaults: the exact behaviour queries had before
+#: ExecutionOptions existed.
+DEFAULT_EXECUTION = ExecutionOptions(
+    kernel=KERNEL_REFERENCE,
+    strategy=STRATEGY_EXHAUSTIVE,
+    shortlist=True,
+    cache=True,
+    executor="thread",
+    workers=4,
+    chunk_size=None,
+)
+
+
+@dataclass(frozen=True)
+class ExecutionStatistics:
+    """Cumulative branch-and-bound counters (surfaced by the service ``/stats``)."""
+
+    queries: int
+    anytime_queries: int
+    admitted: int
+    examined: int
+    skipped: int
+
+    @property
+    def examined_fraction(self) -> float:
+        """Fraction of admitted candidates that actually reached a scoring DP."""
+        if not self.admitted:
+            return 0.0
+        return self.examined / self.admitted
+
+
+class ExecutionCounters:
+    """Thread-safe cumulative counters across every scored query."""
+
+    def __init__(self) -> None:
+        """Start all counters at zero."""
+        self._lock = threading.Lock()
+        self._queries = 0
+        self._anytime_queries = 0
+        self._admitted = 0
+        self._examined = 0
+        self._skipped = 0
+
+    def record(self, admitted: int, examined: int, anytime: bool) -> None:
+        """Fold one scored query into the running totals."""
+        with self._lock:
+            self._queries += 1
+            if anytime:
+                self._anytime_queries += 1
+            self._admitted += admitted
+            self._examined += examined
+            self._skipped += admitted - examined
+
+    @property
+    def statistics(self) -> ExecutionStatistics:
+        """A consistent snapshot of the counters."""
+        with self._lock:
+            return ExecutionStatistics(
+                queries=self._queries,
+                anytime_queries=self._anytime_queries,
+                admitted=self._admitted,
+                examined=self._examined,
+                skipped=self._skipped,
+            )
+
+    def reset(self) -> None:
+        """Zero every counter (tests and benchmarks)."""
+        with self._lock:
+            self._queries = 0
+            self._anytime_queries = 0
+            self._admitted = 0
+            self._examined = 0
+            self._skipped = 0

@@ -23,24 +23,36 @@ Since the query-API redesign every entry point converges here:
 
 from __future__ import annotations
 
+from bisect import insort
 from contextlib import contextmanager
 from dataclasses import dataclass, field, replace
-from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.core.bestring import BEString2D
 from repro.core.construct import encode_picture
+from repro.core.lcskernel import be_lcs_length_bitparallel
 from repro.core.similarity import (
     DEFAULT_POLICY,
     SimilarityPolicy,
     SimilarityResult,
     invariant_similarity,
+    invariant_similarity_score,
     similarity,
+    similarity_score,
 )
 from repro.core.transforms import Transformation, canonical_transformations
 from repro.geometry.rectangle import Rectangle
 from repro.iconic.picture import SymbolicPicture
-from repro.index.cache import ScoreCache, query_score_key
+from repro.index.cache import QueryKey, ScoreCache, query_score_key
 from repro.index.database import ImageDatabase, ImageRecord
+from repro.index.execution import (
+    KERNEL_BITPARALLEL,
+    KERNEL_REFERENCE,
+    STRATEGY_ANYTIME,
+    STRATEGY_EXHAUSTIVE,
+    ExecutionCounters,
+    ExecutionOptions,
+)
 from repro.index.inverted import InvertedSymbolIndex
 from repro.index.ranking import RankedResult, rank_results
 from repro.index.shortlist import (
@@ -54,6 +66,7 @@ from repro.index.shortlist import (
 from repro.index.signature import SignatureFilter
 from repro.index.spec import (
     STAGE_BITMAP_PRUNED,
+    STAGE_BOUND_SKIPPED,
     STAGE_FULL_SCAN,
     STAGE_PREDICATE_EVALUATED,
     STAGE_PREDICATE_PRUNED,
@@ -120,11 +133,22 @@ class Query:
     minimum_shared_labels: int = 1
     use_filters: bool = True
     use_cache: bool = True
+    #: Execution overrides (kernel, strategy, ...); ``None`` fields inherit
+    #: the engine's defaults.  ``execution.shortlist`` / ``execution.cache``
+    #: take precedence over the legacy ``use_filters`` / ``use_cache`` fields
+    #: (which they overwrite on construction, keeping every legacy reader —
+    #: including the batch scheduler's dedup key — consistent).
+    execution: Optional[ExecutionOptions] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(
             self, "transformations", canonical_transformations(self.transformations)
         )
+        if self.execution is not None:
+            if self.execution.shortlist is not None:
+                object.__setattr__(self, "use_filters", self.execution.shortlist)
+            if self.execution.cache is not None:
+                object.__setattr__(self, "use_cache", self.execution.cache)
 
     @classmethod
     def exact(cls, picture: SymbolicPicture, **kwargs) -> "Query":
@@ -158,6 +182,13 @@ class QueryEngine:
     #: Cumulative two-stage shortlist counters (surfaced by the service
     #: ``/stats`` endpoint).
     shortlist_counters: ShortlistCounters = field(default_factory=ShortlistCounters)
+    #: Engine-wide execution defaults; per-query
+    #: :attr:`Query.execution` overrides overlay these, and unset fields fall
+    #: back to :data:`repro.index.execution.DEFAULT_EXECUTION`.
+    execution: ExecutionOptions = field(default_factory=ExecutionOptions)
+    #: Cumulative branch-and-bound counters (surfaced by the service
+    #: ``/stats`` endpoint alongside :attr:`shortlist_counters`).
+    execution_counters: ExecutionCounters = field(default_factory=ExecutionCounters)
     #: Readers-writer lock bracketing every query (shared grant) and mutation
     #: (exclusive grant).  A no-op by default; the retrieval service swaps in
     #: a real :class:`repro.service.rwlock.ReadWriteLock` so concurrent
@@ -176,6 +207,7 @@ class QueryEngine:
         database: ImageDatabase,
         minimum_overlap_ratio: float = 0.0,
         bitmap_width: Optional[int] = None,
+        execution: Optional[ExecutionOptions] = None,
     ) -> "QueryEngine":
         """Build the auxiliary indexes for every image already in the database.
 
@@ -184,7 +216,8 @@ class QueryEngine:
         width of the database's persisted signatures (so a database tuned
         with ``repro convert --bitmap-width`` warm-starts without any
         recomputation), falling back to :data:`DEFAULT_BITMAP_WIDTH` when no
-        signature is stored.
+        signature is stored.  ``execution`` sets the engine-wide execution
+        defaults (kernel, strategy, ...) every query inherits.
         """
         if bitmap_width is None:
             bitmap_width = next(
@@ -199,6 +232,7 @@ class QueryEngine:
             database=database,
             signature_filter=SignatureFilter(minimum_overlap_ratio=minimum_overlap_ratio),
             bitmap_width=bitmap_width,
+            execution=execution if execution is not None else ExecutionOptions(),
         )
         for record in database:
             engine.signature_filter.add_picture(record.image_id, record.picture)
@@ -309,9 +343,20 @@ class QueryEngine:
             return self._shortlist(query, query_bestring)
 
     def _shortlist(
-        self, query: Query, query_bestring: Optional[BEString2D] = None
+        self,
+        query: Query,
+        query_bestring: Optional[BEString2D] = None,
+        collect_bounds: bool = False,
     ) -> ShortlistOutcome:
-        """Shortlist implementation (callers hold the shared grant)."""
+        """Shortlist implementation (callers hold the shared grant).
+
+        ``collect_bounds`` additionally records the stage-2 score upper bound
+        of every *admitted* candidate in :attr:`ShortlistOutcome.bounds` (the
+        anytime strategy orders candidates and terminates on them).  The
+        admitted set is identical either way; full-scan passes (filters off or
+        a label-less query) have no signatures to bound with and leave
+        ``bounds`` as ``None``.
+        """
         if not query.use_filters:
             return ShortlistOutcome(self.database.image_ids, STAGE_FULL_SCAN)
         labels = set(query.picture.labels)
@@ -323,7 +368,7 @@ class QueryEngine:
         ordered = sorted(candidates)
         threshold = self.signature_filter.minimum_overlap_ratio
         minimum_score = query.minimum_score
-        if threshold <= 0.0 and minimum_score <= 0.0:
+        if threshold <= 0.0 and minimum_score <= 0.0 and not collect_bounds:
             # Nothing to bound against: every label-sharer is worth scoring.
             outcome = ShortlistOutcome(ordered, STAGE_SHORTLIST, len(candidates))
             self.shortlist_counters.record(outcome)
@@ -334,14 +379,18 @@ class QueryEngine:
             query_bestring,
             query.picture.labels,
             # The per-transformation variants feed only the score bounds; on
-            # a threshold-only pass (minimum_score == 0) skip building them.
+            # a threshold-only pass (minimum_score == 0) skip building them —
+            # unless the caller wants per-candidate bounds, which must
+            # dominate the best score over *every* transformation.
             query.transformations
-            if minimum_score > 0.0
+            if minimum_score > 0.0 or collect_bounds
             else (Transformation.IDENTITY,),
             self.bitmap_width,
         )
         total = query_signature.total_labels
         outcome = ShortlistOutcome([], STAGE_SHORTLIST, len(candidates))
+        if collect_bounds:
+            outcome.bounds = {}
 
         def reject(image_id: str, stage: str, bound: float) -> None:
             if stage == STAGE_BITMAP_PRUNED:
@@ -375,13 +424,15 @@ class QueryEngine:
                 reject(image_id, STAGE_BITMAP_PRUNED, overlap / total)
                 continue
             # Stage 2: the relation-pair conflict bound on the exact overlap.
-            if minimum_score > 0.0:
+            if minimum_score > 0.0 or collect_bounds:
                 bound = query_signature.score_upper_bound(
                     candidate, overlap, query.policy, with_conflicts=True
                 )
-                if bound < minimum_score:
+                if minimum_score > 0.0 and bound < minimum_score:
                     reject(image_id, STAGE_RELATION_PRUNED, bound)
                     continue
+                if outcome.bounds is not None:
+                    outcome.bounds[image_id] = bound
             outcome.candidates.append(image_id)
         self.shortlist_counters.record(outcome)
         return outcome
@@ -395,32 +446,136 @@ class QueryEngine:
             query_bestring, candidate, query.policy, query.transformations
         )
 
-    def _score_candidates(
-        self, query: Query, trace: QueryTrace
-    ) -> List[Tuple[str, SimilarityResult]]:
-        """Score every shortlisted candidate, consulting the score cache.
+    def resolve_execution(self, query: Query) -> ExecutionOptions:
+        """The fully-resolved execution options governing ``query``.
 
-        This is the single scoring loop both :meth:`execute` and
-        :meth:`execute_spec` share.  Hits and misses are recorded in
-        ``trace``; misses are written back to the cache (unless
-        ``query.use_cache`` is off), which is what makes an identical
-        repeated serial query free after the first call.
+        The engine's defaults, overlaid with the query's per-query overrides,
+        with any remaining unset field filled from
+        :data:`repro.index.execution.DEFAULT_EXECUTION`.
         """
-        query_bestring = encode_picture(query.picture)
+        return self.execution.overlaid(query.execution).resolved()
+
+    @staticmethod
+    def _kernel_for(execution: ExecutionOptions, policy: SimilarityPolicy) -> str:
+        """The kernel that will actually run.
+
+        Boundary-counting policies need the LCS string itself, which the
+        length-only bit-parallel kernel cannot produce — they silently fall
+        back to the reference evaluation (and the trace reports that).
+        """
+        if execution.kernel == KERNEL_BITPARALLEL and not policy.count_boundaries_only:
+            return KERNEL_BITPARALLEL
+        return KERNEL_REFERENCE
+
+    def _kernel_score(
+        self, query_bestring: BEString2D, candidate: BEString2D, query: Query
+    ) -> float:
+        """Length-only score via the bit-parallel kernel.
+
+        Bit-identical to ``self._score(...).score`` — both run the same
+        normalise/combine arithmetic on the same LCS lengths.
+        """
+        if len(query.transformations) == 1:
+            return similarity_score(
+                query_bestring,
+                candidate,
+                query.policy,
+                query.transformations[0],
+                be_lcs_length_bitparallel,
+            )
+        score, _ = invariant_similarity_score(
+            query_bestring,
+            candidate,
+            query.policy,
+            query.transformations,
+            be_lcs_length_bitparallel,
+        )
+        return score
+
+    def _score_candidates(
+        self,
+        query: Query,
+        trace: QueryTrace,
+        allowed: Optional[Set[str]] = None,
+        prepared: Optional[Tuple[BEString2D, ShortlistOutcome]] = None,
+    ) -> List[Tuple[str, SimilarityResult]]:
+        """Score the shortlisted candidates, consulting the score cache.
+
+        This is the single scoring entry point both :meth:`execute` and
+        :meth:`execute_spec` share.  The query's resolved
+        :class:`~repro.index.execution.ExecutionOptions` pick the scan
+        (exhaustive or anytime branch-and-bound) and the LCS kernel; every
+        combination returns pairs that rank byte-identically to the
+        historical exhaustive/reference loop.  Hits and misses are recorded
+        in ``trace``; computed full results are written back to the cache
+        (unless ``query.use_cache`` is off).
+
+        ``allowed`` (combined mode) restricts scoring to a pre-filtered id
+        set; ``prepared`` passes an already-computed ``(query BE-string,
+        shortlist outcome)`` pair so combined mode does not shortlist twice.
+        """
+        execution = self.resolve_execution(query)
+        kernel = self._kernel_for(execution, query.policy)
+        if prepared is None:
+            query_bestring = encode_picture(query.picture)
+            outcome = self._shortlist(
+                query,
+                query_bestring,
+                collect_bounds=execution.strategy == STRATEGY_ANYTIME,
+            )
+        else:
+            query_bestring, outcome = prepared
         cache_key = query_score_key(query_bestring, query.policy, query.transformations)
-        outcome = self._shortlist(query, query_bestring)
         candidates, stage = outcome.candidates, outcome.stage
+        if allowed is not None:
+            candidates = [image_id for image_id in candidates if image_id in allowed]
         trace.database_size = len(self.database)
         trace.inverted_candidates = outcome.inverted_candidates
         trace.shortlisted = len(candidates)
         trace.bitmap_pruned = outcome.bitmap_rejected
         trace.relation_pruned = outcome.relation_rejected
+        trace.kernel = kernel
         for image_id, rejecting_stage in outcome.rejections.items():
             trace.candidates[image_id] = CandidateTrace(
                 image_id=image_id,
                 stage=rejecting_stage,
                 score_bound=outcome.rejection_bounds.get(image_id),
             )
+        # A full-scan pass has no signatures, hence no bounds to order by:
+        # the anytime strategy degrades to the exhaustive scan (and the trace
+        # reports what actually ran).
+        anytime = execution.strategy == STRATEGY_ANYTIME and outcome.bounds is not None
+        trace.strategy = STRATEGY_ANYTIME if anytime else STRATEGY_EXHAUSTIVE
+        if anytime:
+            scored = self._score_anytime(
+                query, trace, query_bestring, cache_key, candidates, stage,
+                outcome.bounds, kernel,
+            )
+        elif kernel == KERNEL_BITPARALLEL:
+            scored = self._score_exhaustive_kernel(
+                query, trace, query_bestring, cache_key, candidates, stage
+            )
+        else:
+            scored = self._score_exhaustive(
+                query, trace, query_bestring, cache_key, candidates, stage
+            )
+        self.execution_counters.record(
+            admitted=len(candidates),
+            examined=trace.candidates_examined,
+            anytime=anytime,
+        )
+        return scored
+
+    def _score_exhaustive(
+        self,
+        query: Query,
+        trace: QueryTrace,
+        query_bestring: BEString2D,
+        cache_key: QueryKey,
+        candidates: List[str],
+        stage: str,
+    ) -> List[Tuple[str, SimilarityResult]]:
+        """The historical scoring loop: full evaluation of every candidate."""
         scored: List[Tuple[str, SimilarityResult]] = []
         for image_id in candidates:
             cached = self.score_cache.get(cache_key, image_id) if query.use_cache else None
@@ -438,6 +593,156 @@ class QueryEngine:
                 stage=stage,
                 cache_hit=(cached is not None) if query.use_cache else None,
             )
+            scored.append((image_id, result))
+        trace.candidates_examined = len(scored)
+        return scored
+
+    def _score_exhaustive_kernel(
+        self,
+        query: Query,
+        trace: QueryTrace,
+        query_bestring: BEString2D,
+        cache_key: QueryKey,
+        candidates: List[str],
+        stage: str,
+    ) -> List[Tuple[str, SimilarityResult]]:
+        """Exhaustive scan scored with the length-only bit-parallel kernel.
+
+        Every candidate's score is confirmed, but only the final survivors of
+        the limit/minimum-score cut pay the reference DP that materialises a
+        full :class:`SimilarityResult` (see :meth:`_materialize`).
+        """
+        confirmed: List[Tuple[str, float]] = []
+        materialized: Dict[str, SimilarityResult] = {}
+        for image_id in candidates:
+            cached = self.score_cache.get(cache_key, image_id) if query.use_cache else None
+            if cached is not None:
+                materialized[image_id] = cached
+                score = cached.score
+                trace.cache_hits += 1
+            else:
+                record = self.database.get(image_id)
+                score = self._kernel_score(query_bestring, record.bestring, query)
+                trace.cache_misses += 1
+            trace.candidates[image_id] = CandidateTrace(
+                image_id=image_id,
+                stage=stage,
+                cache_hit=(cached is not None) if query.use_cache else None,
+            )
+            confirmed.append((image_id, score))
+        trace.candidates_examined = len(confirmed)
+        return self._materialize(query, query_bestring, cache_key, confirmed, materialized)
+
+    def _score_anytime(
+        self,
+        query: Query,
+        trace: QueryTrace,
+        query_bestring: BEString2D,
+        cache_key: QueryKey,
+        candidates: List[str],
+        stage: str,
+        bounds: Dict[str, float],
+        kernel: str,
+    ) -> List[Tuple[str, SimilarityResult]]:
+        """Branch-and-bound top-k: descending-bound order, early termination.
+
+        Candidates are visited in ``(-bound, image_id)`` order and the final
+        ranking sorts by ``(-score, image_id)``.  Since ``score <= bound``, a
+        candidate's ranking key can never sort before its bound key — so the
+        moment the k-th best *confirmed* ranking key sorts at-or-before the
+        next candidate's bound key, no unvisited candidate can enter the
+        top-k or change its internal order, and the scan stops.  Ties are
+        safe because both keys carry the (distinct) image id.  Confirmed
+        scores below ``minimum_score`` never occupy one of the k slots.
+        """
+        minimum_score = query.minimum_score
+        limit = query.limit
+        order = sorted(candidates, key=lambda image_id: (-bounds[image_id], image_id))
+        confirmed_keys: List[Tuple[float, str]] = []
+        confirmed: List[Tuple[str, float]] = []
+        materialized: Dict[str, SimilarityResult] = {}
+        examined = 0
+        for position, image_id in enumerate(order):
+            bound = bounds[image_id]
+            if limit is not None and len(confirmed_keys) >= limit:
+                if limit == 0 or (-bound, image_id) >= confirmed_keys[limit - 1]:
+                    trace.bound_cutoff = bound
+                    self._record_bound_skips(trace, order[position:], bounds)
+                    break
+            cached = self.score_cache.get(cache_key, image_id) if query.use_cache else None
+            if cached is not None:
+                materialized[image_id] = cached
+                score = cached.score
+                trace.cache_hits += 1
+            else:
+                record = self.database.get(image_id)
+                if kernel == KERNEL_BITPARALLEL:
+                    score = self._kernel_score(query_bestring, record.bestring, query)
+                else:
+                    result = self._score(query_bestring, record.bestring, query)
+                    materialized[image_id] = result
+                    if query.use_cache:
+                        self.score_cache.put(cache_key, image_id, result)
+                    score = result.score
+                trace.cache_misses += 1
+            trace.candidates[image_id] = CandidateTrace(
+                image_id=image_id,
+                stage=stage,
+                cache_hit=(cached is not None) if query.use_cache else None,
+            )
+            examined += 1
+            confirmed.append((image_id, score))
+            if score >= minimum_score:
+                insort(confirmed_keys, (-score, image_id))
+        trace.candidates_examined = examined
+        trace.bound_skipped = len(order) - examined
+        return self._materialize(query, query_bestring, cache_key, confirmed, materialized)
+
+    def _record_bound_skips(
+        self, trace: QueryTrace, skipped: List[str], bounds: Dict[str, float]
+    ) -> None:
+        """Sample bound-skipped candidates into the trace for ``explain``."""
+        for image_id in skipped[:REJECTION_SAMPLE_LIMIT]:
+            trace.candidates[image_id] = CandidateTrace(
+                image_id=image_id,
+                stage=STAGE_BOUND_SKIPPED,
+                score_bound=bounds[image_id],
+            )
+
+    def _materialize(
+        self,
+        query: Query,
+        query_bestring: BEString2D,
+        cache_key: QueryKey,
+        confirmed: List[Tuple[str, float]],
+        materialized: Dict[str, SimilarityResult],
+    ) -> List[Tuple[str, SimilarityResult]]:
+        """Full :class:`SimilarityResult` pairs for the ranking's survivors.
+
+        ``confirmed`` holds length-only ``(image_id, score)`` pairs.  Only
+        the survivors of the query's minimum-score/limit cut are materialised
+        with the reference evaluation — the kernel's floats are bit-identical
+        to ``SimilarityResult.score``, so selecting survivors here yields the
+        same set and order :func:`~repro.index.ranking.rank_results` would
+        pick from full results.  Freshly materialised results are written to
+        the score cache exactly like exhaustively-computed ones.
+        """
+        survivors = [
+            (image_id, score)
+            for image_id, score in confirmed
+            if score >= query.minimum_score
+        ]
+        survivors.sort(key=lambda pair: (-pair[1], pair[0]))
+        if query.limit is not None:
+            survivors = survivors[: query.limit]
+        scored: List[Tuple[str, SimilarityResult]] = []
+        for image_id, _ in survivors:
+            result = materialized.get(image_id)
+            if result is None:
+                record = self.database.get(image_id)
+                result = self._score(query_bestring, record.bestring, query)
+                if query.use_cache:
+                    self.score_cache.put(cache_key, image_id, result)
             scored.append((image_id, result))
         return scored
 
@@ -563,16 +868,44 @@ class QueryEngine:
         """Similarity ranking post-filtered to full predicate matches."""
         trace = QueryTrace(mode="combined")
         query = spec.to_query()
-        scored = self._score_candidates(query, trace)
-        matches = self._evaluate_predicates(
-            spec, trace, restrict_to=[image_id for image_id, _ in scored]
+        execution = self.resolve_execution(query)
+        if execution.is_default_scoring:
+            # The historical order — score everything, then filter — kept
+            # verbatim for the default execution.
+            scored = self._score_candidates(query, trace)
+            matches = self._evaluate_predicates(
+                spec, trace, restrict_to=[image_id for image_id, _ in scored]
+            )
+            surviving = [
+                (image_id, result)
+                for image_id, result in scored
+                if matches[image_id].is_full_match
+            ]
+            ranked = rank_results(
+                surviving, limit=spec.limit, minimum_score=spec.minimum_score
+            )
+            return SpecOutcome(
+                spec=spec, results=ranked, trace=trace, predicate_matches=matches
+            )
+        # Non-default execution: evaluate the predicates over the shortlist
+        # *first*, so the anytime bound cut-off (and the kernel's deferred
+        # materialisation) see only images that can appear in the ranking.
+        # Same candidate universe, same full-match filter, same final cut —
+        # the ranking is identical to the historical order.
+        query_bestring = encode_picture(query.picture)
+        outcome = self._shortlist(
+            query,
+            query_bestring,
+            collect_bounds=execution.strategy == STRATEGY_ANYTIME,
         )
-        surviving = [
-            (image_id, result)
-            for image_id, result in scored
-            if matches[image_id].is_full_match
-        ]
-        ranked = rank_results(surviving, limit=spec.limit, minimum_score=spec.minimum_score)
+        matches = self._evaluate_predicates(spec, trace, restrict_to=outcome.candidates)
+        allowed = {
+            image_id for image_id, match in matches.items() if match.is_full_match
+        }
+        scored = self._score_candidates(
+            query, trace, allowed=allowed, prepared=(query_bestring, outcome)
+        )
+        ranked = rank_results(scored, limit=spec.limit, minimum_score=spec.minimum_score)
         return SpecOutcome(spec=spec, results=ranked, trace=trace, predicate_matches=matches)
 
     def run_batch(

@@ -456,6 +456,10 @@ class ShortlistOutcome:
     rejections: Dict[str, str] = field(default_factory=dict)
     #: Score bound of each sampled rejection (image id -> bound).
     rejection_bounds: Dict[str, float] = field(default_factory=dict)
+    #: Sound score upper bound of every *admitted* candidate (image id ->
+    #: bound), populated only when the caller asks for bounds (the anytime
+    #: strategy orders and terminates on them); ``None`` otherwise.
+    bounds: Optional[Dict[str, float]] = None
 
 
 @dataclass(frozen=True)

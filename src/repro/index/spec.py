@@ -23,6 +23,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Tuple, Union
 from repro.core.similarity import DEFAULT_POLICY, SimilarityPolicy
 from repro.core.transforms import Transformation
 from repro.iconic.picture import SymbolicPicture
+from repro.index.execution import ExecutionOptions
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a layering cycle
     from repro.index.query import Query
@@ -44,6 +45,9 @@ STAGE_PREDICATE_EVALUATED = "predicate-evaluated"
 #: and the relation-pair score bound (stage 2).
 STAGE_BITMAP_PRUNED = "bitmap-bound-pruned"
 STAGE_RELATION_PRUNED = "relation-bound-pruned"
+#: Anytime strategy: admitted by the shortlist but never scored because the
+#: k-th confirmed score already met or beat this candidate's upper bound.
+STAGE_BOUND_SKIPPED = "anytime-bound-skipped"
 
 
 @dataclass(frozen=True)
@@ -76,6 +80,9 @@ class QuerySpec:
     use_filters: bool = True
     use_cache: bool = True
     policy: Optional[SimilarityPolicy] = None
+    #: Per-query execution overrides (kernel, strategy, ...); ``None`` fields
+    #: inherit the engine's defaults.  See :mod:`repro.index.execution`.
+    execution: Optional[ExecutionOptions] = None
 
     # ------------------------------------------------------------------
     # Validation and derived views
@@ -149,6 +156,7 @@ class QuerySpec:
             minimum_shared_labels=self.minimum_shared_labels,
             use_filters=self.use_filters,
             use_cache=self.use_cache,
+            execution=self.execution,
         )
 
     def with_overrides(self, **changes) -> "QuerySpec":
@@ -174,6 +182,8 @@ class QuerySpec:
             knobs.append("no_filters")
         if not self.use_cache:
             knobs.append("no_cache")
+        if self.execution is not None:
+            knobs.append(f"execution({self.execution.describe()})")
         return " . ".join(clauses) + " [" + ", ".join(knobs) + "]"
 
 
@@ -223,6 +233,18 @@ class QueryTrace:
     #: to a known-zero match by the label postings.
     predicate_evaluated: int = 0
     predicate_pruned: int = 0
+    #: Which LCS kernel scored the candidates (``bitparallel``/``reference``).
+    kernel: str = "reference"
+    #: Which candidate-processing strategy ran (``anytime``/``exhaustive``).
+    strategy: str = "exhaustive"
+    #: Admitted candidates whose score was actually confirmed (anytime mode
+    #: stops early; exhaustive mode examines every admitted candidate).
+    candidates_examined: int = 0
+    #: Admitted candidates skipped by the anytime bound cut-off.
+    bound_skipped: int = 0
+    #: The upper bound of the first skipped candidate (``None`` when the
+    #: strategy ran to exhaustion).
+    bound_cutoff: Optional[float] = None
     candidates: Dict[str, CandidateTrace] = field(default_factory=dict)
 
     def describe(self) -> str:
@@ -240,6 +262,16 @@ class QueryTrace:
                 f"{self.shortlisted} scored "
                 f"({self.cache_hits} cached, {self.cache_misses} computed)"
             )
+            if self.bound_skipped:
+                cutoff = (
+                    f" at bound {self.bound_cutoff:.3f}"
+                    if self.bound_cutoff is not None
+                    else ""
+                )
+                parts.append(
+                    f"{self.candidates_examined} examined, "
+                    f"{self.bound_skipped} bound-skipped{cutoff}"
+                )
         if self.mode in ("predicate", "combined"):
             parts.append(
                 f"{self.predicate_evaluated} predicate-evaluated, "

@@ -84,7 +84,7 @@ def be_string_method(
         """Rank the database for one query with the BE-string system."""
         system = RetrievalSystem.from_pictures(database, policy=policy)
         results = (
-            system.query(query).invariant(invariant).limit(None).no_filters().execute()
+            system.query(query).invariant(invariant).limit(None).execution(shortlist=False).execute()
         )
         return [result.image_id for result in results]
 

@@ -35,6 +35,7 @@ from typing import TYPE_CHECKING, Iterator, List, Optional, Sequence, Union
 from repro.core.similarity import SimilarityPolicy
 from repro.core.transforms import Transformation
 from repro.iconic.picture import SymbolicPicture
+from repro.index.execution import ExecutionOptions
 from repro.index.ranking import RankedResult
 from repro.index.spec import QuerySpec, QuerySpecError, QueryTrace, SpecOutcome
 from repro.retrieval.predicates import PredicateMatch, RelationPredicate, parse_query
@@ -243,20 +244,38 @@ class ResultSet(Sequence):
         When the two-stage signature shortlist pruned candidates, a sampled
         ``pruned`` section names each rejected image's rejecting stage and
         the score bound that failed to clear the query's minimum score.
+        Non-default executions add an ``exec`` line (kernel, strategy,
+        ``candidates_examined``, ``bound_skipped``, ``bound_cutoff``) and a
+        sampled ``skipped`` section for anytime bound cut-offs.
         """
-        from repro.index.spec import STAGE_BITMAP_PRUNED, STAGE_RELATION_PRUNED
+        from repro.index.spec import (
+            STAGE_BITMAP_PRUNED,
+            STAGE_BOUND_SKIPPED,
+            STAGE_RELATION_PRUNED,
+        )
 
         lines: List[str] = []
         if self.spec is not None:
             lines.append(f"query: {self.spec.describe()}")
-        if self.trace is not None:
-            lines.append(f"plan:  {self.trace.describe()}")
+        trace = self.trace
+        if trace is not None:
+            lines.append(f"plan:  {trace.describe()}")
+            if trace.kernel != "reference" or trace.strategy != "exhaustive":
+                exec_parts = [
+                    f"kernel={trace.kernel}",
+                    f"strategy={trace.strategy}",
+                    f"candidates_examined={trace.candidates_examined}",
+                    f"bound_skipped={trace.bound_skipped}",
+                ]
+                if trace.bound_cutoff is not None:
+                    exec_parts.append(f"bound_cutoff={trace.bound_cutoff:.3f}")
+                lines.append("exec:  " + " ".join(exec_parts))
         if not self._results:
             lines.append("no matching images")
         for explanation in self.explain():
             lines.append(explanation.describe())
-        if self.trace is not None:
-            for candidate in self.trace.candidates.values():
+        if trace is not None:
+            for candidate in trace.candidates.values():
                 if candidate.stage in (STAGE_BITMAP_PRUNED, STAGE_RELATION_PRUNED):
                     bound = (
                         f" bound={candidate.score_bound:.3f}"
@@ -265,6 +284,15 @@ class ResultSet(Sequence):
                     )
                     lines.append(
                         f"pruned {candidate.image_id}: {candidate.stage}{bound}"
+                    )
+                elif candidate.stage == STAGE_BOUND_SKIPPED:
+                    bound = (
+                        f" bound={candidate.score_bound:.3f}"
+                        if candidate.score_bound is not None
+                        else ""
+                    )
+                    lines.append(
+                        f"skipped {candidate.image_id}: {candidate.stage}{bound}"
                     )
         return "\n".join(lines)
 
@@ -330,6 +358,7 @@ class QueryBuilder:
         self._use_filters: bool = True
         self._use_cache: bool = True
         self._policy: Optional[SimilarityPolicy] = None
+        self._execution: Optional[ExecutionOptions] = None
 
     # ------------------------------------------------------------------
     # Clauses
@@ -396,19 +425,59 @@ class QueryBuilder:
         self._minimum_shared_labels = count
         return self
 
-    def filters(self, enabled: bool = True) -> "QueryBuilder":
-        """Toggle the inverted-index + signature candidate shortlist."""
-        self._use_filters = enabled
+    def execution(
+        self, options: Optional[ExecutionOptions] = None, **overrides
+    ) -> "QueryBuilder":
+        """Set per-query execution options (kernel, strategy, shortlist, ...).
+
+        Accepts a full :class:`~repro.index.execution.ExecutionOptions` or
+        individual fields as keywords (``kernel="bitparallel"``,
+        ``strategy="anytime"``, ``shortlist=False``, ``cache=False``, ...).
+        Repeated calls accumulate: later non-``None`` fields win.  Fields
+        left unset inherit the engine's defaults.
+
+        Raises:
+            ValueError: on an unknown field or an out-of-vocabulary value.
+        """
+        addition = options if options is not None else ExecutionOptions()
+        if overrides:
+            addition = addition.overlaid(ExecutionOptions(**overrides))
+        base = self._execution if self._execution is not None else ExecutionOptions()
+        self._execution = base.overlaid(addition)
         return self
+
+    def filters(self, enabled: bool = True) -> "QueryBuilder":
+        """Toggle the inverted-index + signature candidate shortlist.
+
+        .. deprecated:: 1.2
+            Use ``execution(shortlist=...)`` instead; see ``docs/query-api.md``.
+        """
+        self._system._warn_deprecated(
+            "query().filters(...)", "query().execution(shortlist=...)"
+        )
+        return self.execution(shortlist=enabled)
 
     def no_filters(self) -> "QueryBuilder":
-        """Score every stored image (ablation mode; skips the shortlist)."""
-        return self.filters(False)
+        """Score every stored image (ablation mode; skips the shortlist).
+
+        .. deprecated:: 1.2
+            Use ``execution(shortlist=False)`` instead; see ``docs/query-api.md``.
+        """
+        self._system._warn_deprecated(
+            "query().no_filters()", "query().execution(shortlist=False)"
+        )
+        return self.execution(shortlist=False)
 
     def cached(self, enabled: bool = True) -> "QueryBuilder":
-        """Toggle the score cache for this query (on by default)."""
-        self._use_cache = enabled
-        return self
+        """Toggle the score cache for this query (on by default).
+
+        .. deprecated:: 1.2
+            Use ``execution(cache=...)`` instead; see ``docs/query-api.md``.
+        """
+        self._system._warn_deprecated(
+            "query().cached(...)", "query().execution(cache=...)"
+        )
+        return self.execution(cache=enabled)
 
     def policy(self, policy: SimilarityPolicy) -> "QueryBuilder":
         """Override the similarity policy for this query."""
@@ -428,6 +497,15 @@ class QueryBuilder:
             repro.index.spec.QuerySpecError: if the accumulated clauses do
                 not form a runnable query.
         """
+        use_filters = self._use_filters
+        use_cache = self._use_cache
+        if self._execution is not None:
+            # Keep the legacy spec fields consistent with the execution
+            # options so pre-ExecutionOptions readers see the same query.
+            if self._execution.shortlist is not None:
+                use_filters = self._execution.shortlist
+            if self._execution.cache is not None:
+                use_cache = self._execution.cache
         spec = QuerySpec(
             picture=self._picture,
             identifiers=self._identifiers,
@@ -436,9 +514,10 @@ class QueryBuilder:
             limit=self._limit,
             minimum_score=self._minimum_score,
             minimum_shared_labels=self._minimum_shared_labels,
-            use_filters=self._use_filters,
-            use_cache=self._use_cache,
+            use_filters=use_filters,
+            use_cache=use_cache,
             policy=self._policy if self._policy is not None else self._system.policy,
+            execution=self._execution,
         )
         spec.validate()
         return spec

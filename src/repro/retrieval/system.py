@@ -41,7 +41,7 @@ thin deprecated shims over the builder with byte-identical rankings; see
 from __future__ import annotations
 
 import warnings
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Iterable, List, Optional, Sequence, Union
 
@@ -53,6 +53,7 @@ from repro.index.backends import StorageBackend, load_database_from, save_databa
 from repro.index.batch import BatchOptions, BatchReport
 from repro.index.cache import CacheStatistics
 from repro.index.database import ImageDatabase, ImageRecord
+from repro.index.execution import ExecutionOptions, ExecutionStatistics
 from repro.index.query import Query, QueryEngine
 from repro.index.ranking import RankedResult
 from repro.index.shortlist import ShortlistStatistics
@@ -66,12 +67,18 @@ class RetrievalSystem:
 
     policy: SimilarityPolicy = DEFAULT_POLICY
     minimum_signature_overlap: float = 0.0
+    #: Engine-wide execution defaults (kernel, strategy, pool, ...); every
+    #: query inherits them unless overridden per query via
+    #: ``query().execution(...)``.  See :mod:`repro.index.execution`.
+    execution: Optional[ExecutionOptions] = None
     _engine: QueryEngine = field(init=False)
 
     def __post_init__(self) -> None:
         database = ImageDatabase()
         self._engine = QueryEngine.build(
-            database, minimum_overlap_ratio=self.minimum_signature_overlap
+            database,
+            minimum_overlap_ratio=self.minimum_signature_overlap,
+            execution=self.execution,
         )
 
     def enable_concurrent_access(self) -> "RetrievalSystem":
@@ -106,9 +113,14 @@ class RetrievalSystem:
         pictures: Iterable[SymbolicPicture],
         policy: SimilarityPolicy = DEFAULT_POLICY,
         minimum_signature_overlap: float = 0.0,
+        execution: Optional[ExecutionOptions] = None,
     ) -> "RetrievalSystem":
         """Build a system pre-loaded with a collection of pictures."""
-        system = cls(policy=policy, minimum_signature_overlap=minimum_signature_overlap)
+        system = cls(
+            policy=policy,
+            minimum_signature_overlap=minimum_signature_overlap,
+            execution=execution,
+        )
         for picture in pictures:
             system.add_picture(picture)
         return system
@@ -119,13 +131,15 @@ class RetrievalSystem:
         path: Union[str, Path],
         policy: SimilarityPolicy = DEFAULT_POLICY,
         backend: Union[None, str, StorageBackend] = None,
+        execution: Optional[ExecutionOptions] = None,
     ) -> "RetrievalSystem":
         """Load a system from a database written by :meth:`save`.
 
         ``backend`` selects the storage format by name (``"json"``,
         ``"sqlite"``, ``"sharded"``) or instance; by default the format is
         inferred from the file/directory content (see
-        :mod:`repro.index.backends`).
+        :mod:`repro.index.backends`).  ``execution`` sets the engine-wide
+        execution defaults (kernel, strategy, ...) every query inherits.
 
         Warm starts are cheap: the loaded records (pictures, validated
         BE-strings, and persisted shortlist signatures) are indexed in place
@@ -143,9 +157,11 @@ class RetrievalSystem:
             FileNotFoundError: if ``path`` does not exist.
         """
         database = load_database_from(path, backend=backend)
-        system = cls(policy=policy)
+        system = cls(policy=policy, execution=execution)
         system._engine = QueryEngine.build(
-            database, minimum_overlap_ratio=system.minimum_signature_overlap
+            database,
+            minimum_overlap_ratio=system.minimum_signature_overlap,
+            execution=execution,
         )
         # Loading is not a mutation: the engine's database matches the file.
         system._engine.database.clear_dirty()
@@ -251,6 +267,7 @@ class RetrievalSystem:
         self,
         queries: Sequence[Union[QuerySpec, QueryBuilder, Query]],
         options: Optional[BatchOptions] = None,
+        execution: Optional[ExecutionOptions] = None,
         **overrides,
     ) -> List[ResultSet]:
         """Run many queries as one scheduled batch.
@@ -260,10 +277,19 @@ class RetrievalSystem:
         engine-level :class:`~repro.index.query.Query` objects; each keeps
         its own limit, score threshold and transformation set.  The batch
         scheduler deduplicates identical queries, serves repeat scores from
-        the shared LRU cache, and evaluates misses on a worker pool
-        (``workers=8``, ``executor="process"``, ... adjust the
-        :class:`~repro.index.batch.BatchOptions`).  Rankings are identical --
-        including tie-break ordering -- to executing each query serially.
+        the shared LRU cache, and evaluates misses on a worker pool.  Pool
+        knobs come from ``execution``
+        (:class:`~repro.index.execution.ExecutionOptions` — ``workers``,
+        ``executor``, ``chunk_size``, ``cache``) or the equivalent keyword
+        overrides (``workers=8``, ``executor="process"``, ...); the engine's
+        execution defaults seed both.  Rankings are identical -- including
+        tie-break ordering -- to executing each query serially; per-query
+        ``kernel``/``strategy`` selections are ignored in batch mode, which
+        always runs the reference exhaustive evaluation.
+
+        .. deprecated:: 1.2
+            Passing ``options=BatchOptions(...)``; use
+            ``execution=ExecutionOptions(...)`` (or the keyword overrides).
 
         Returns:
             One :class:`~repro.retrieval.querybuilder.ResultSet` per input
@@ -274,6 +300,32 @@ class RetrievalSystem:
                 clause (predicates are not batchable yet) or is malformed.
             ValueError: on bad scheduler knobs.
         """
+        if options is not None:
+            self._warn_deprecated(
+                "query_batch(options=BatchOptions(...))",
+                "query_batch(execution=ExecutionOptions(...))",
+            )
+            base = options
+        else:
+            engine_execution = self._engine.execution.resolved()
+            base = BatchOptions(
+                workers=engine_execution.workers,
+                executor=engine_execution.executor,
+                chunk_size=engine_execution.chunk_size,
+                use_cache=engine_execution.cache,
+            )
+        if execution is not None:
+            pool_changes = {}
+            if execution.workers is not None:
+                pool_changes["workers"] = execution.workers
+            if execution.executor is not None:
+                pool_changes["executor"] = execution.executor
+            if execution.chunk_size is not None:
+                pool_changes["chunk_size"] = execution.chunk_size
+            if execution.cache is not None:
+                pool_changes["use_cache"] = execution.cache
+            if pool_changes:
+                base = replace(base, **pool_changes)
         compiled: List[Query] = []
         specs: List[Optional[QuerySpec]] = []
         for item in queries:
@@ -301,7 +353,7 @@ class RetrievalSystem:
                     "query_batch() accepts QuerySpec, QueryBuilder or Query items, "
                     f"got {type(item).__name__}"
                 )
-        batches = self._engine.run_batch(compiled, options=options, **overrides)
+        batches = self._engine.run_batch(compiled, options=base, **overrides)
         return [
             ResultSet(results, spec=spec) for results, spec in zip(batches, specs)
         ]
@@ -318,6 +370,10 @@ class RetrievalSystem:
     def shortlist_statistics(self) -> "ShortlistStatistics":
         """Cumulative two-stage shortlist counters (see :mod:`repro.index.shortlist`)."""
         return self._engine.shortlist_counters.statistics
+
+    def execution_statistics(self) -> "ExecutionStatistics":
+        """Cumulative branch-and-bound counters (see :mod:`repro.index.execution`)."""
+        return self._engine.execution_counters.statistics
 
     # ------------------------------------------------------------------
     # Deprecated search surface (thin shims over the builder)
@@ -344,7 +400,7 @@ class RetrievalSystem:
             .invariant(invariant)
             .limit(limit)
             .min_score(minimum_score)
-            .filters(use_filters)
+            .execution(shortlist=use_filters)
         )
 
     def search(
@@ -395,11 +451,11 @@ class RetrievalSystem:
             invariant,
             minimum_score,
             use_filters,
-            BatchOptions(
+            ExecutionOptions(
                 workers=workers,
                 executor=executor,
                 chunk_size=chunk_size,
-                use_cache=use_cache,
+                cache=use_cache,
             ),
         )
 
@@ -427,11 +483,11 @@ class RetrievalSystem:
             invariant,
             minimum_score,
             use_filters,
-            BatchOptions(
+            ExecutionOptions(
                 workers=workers,
                 executor=executor,
                 chunk_size=chunk_size,
-                use_cache=use_cache,
+                cache=use_cache,
             ),
         )
 
@@ -442,7 +498,7 @@ class RetrievalSystem:
         invariant: bool,
         minimum_score: float,
         use_filters: bool,
-        options: BatchOptions,
+        execution: ExecutionOptions,
     ) -> List[List[RankedResult]]:
         """Shared body of the deprecated picture-batch shims."""
         specs = [
@@ -451,7 +507,9 @@ class RetrievalSystem:
             ).spec()
             for picture in query_pictures
         ]
-        return [list(results) for results in self.query_batch(specs, options=options)]
+        return [
+            list(results) for results in self.query_batch(specs, execution=execution)
+        ]
 
     def run_batch(
         self,

@@ -139,10 +139,16 @@ class ServiceClient:
         min_score: float = 0.0,
         limit: Optional[int] = 10,
         no_filters: bool = False,
+        execution: Any = None,
         page: Optional[int] = None,
         page_size: Optional[int] = None,
     ) -> Dict[str, Any]:
         """``POST /search`` with the full QuerySpec surface.
+
+        ``execution`` carries per-query execution options — an
+        ``ExecutionOptions`` value or a plain dict of its fields (e.g.
+        ``{"kernel": "bitparallel", "strategy": "anytime"}``); explicit
+        fields win over the legacy ``no_filters`` flag.
 
         Returns:
             The response body: ``results`` (the library's ``to_dicts()``
@@ -155,6 +161,10 @@ class ServiceClient:
             "limit": limit,
             "no_filters": no_filters,
         }
+        if execution is not None:
+            payload["execution"] = (
+                execution.to_dict() if hasattr(execution, "to_dict") else dict(execution)
+            )
         if scene is not None:
             payload["scene"] = _scene_payload(scene)
         if identifiers is not None:

@@ -53,6 +53,7 @@ from urllib.parse import unquote
 
 from repro.iconic.picture import SymbolicPicture
 from repro.index.database import DatabaseError
+from repro.index.execution import ExecutionOptions
 from repro.index.spec import QuerySpecError
 from repro.index.storage import StorageError
 from repro.retrieval.predicates import PredicateError
@@ -295,7 +296,15 @@ class RetrievalService:
                 raise ApiError(400, str(error)) from error
         builder.limit(_get_limit(payload))
         builder.min_score(_get_number(payload, "min_score"))
-        builder.filters(not _get_bool(payload, "no_filters"))
+        builder.execution(shortlist=not _get_bool(payload, "no_filters"))
+        execution = payload.get("execution")
+        if execution is not None:
+            if not isinstance(execution, dict):
+                raise ApiError(400, "'execution' must be a JSON object")
+            try:
+                builder.execution(ExecutionOptions.from_dict(execution))
+            except (TypeError, ValueError) as error:
+                raise ApiError(400, f"malformed 'execution': {error}") from error
         return builder
 
     def _execute_query(self, payload: Dict[str, Any]) -> Dict[str, Any]:
@@ -442,8 +451,10 @@ class RetrievalService:
             Counters since start-up; ``latency_ms`` summarises the most
             recent requests (bounded window), ``cache`` reports the shared
             score cache, ``shortlist`` the two-stage signature shortlist
-            (per-stage rejection counts and pruned fraction), ``lock`` the
-            readers-writer grant counters.
+            (per-stage rejection counts and pruned fraction), ``execution``
+            the branch-and-bound counters (anytime queries, candidates
+            examined vs admitted), ``lock`` the readers-writer grant
+            counters.
         """
         with self._stats_lock:
             counts = dict(sorted(self._request_counts.items()))
@@ -459,6 +470,7 @@ class RetrievalService:
             )
         cache = self.system.cache_statistics()
         shortlist = self.system.shortlist_statistics()
+        execution = self.system.execution_statistics()
         body: Dict[str, Any] = {
             "uptime_seconds": round(time.monotonic() - self._started_monotonic, 3),
             "images": len(self.system),
@@ -483,6 +495,14 @@ class RetrievalService:
                 "relation_rejected": shortlist.relation_rejected,
                 "admitted": shortlist.admitted,
                 "pruned_fraction": round(shortlist.pruned_fraction, 4),
+            },
+            "execution": {
+                "queries": execution.queries,
+                "anytime_queries": execution.anytime_queries,
+                "admitted": execution.admitted,
+                "examined": execution.examined,
+                "skipped": execution.skipped,
+                "examined_fraction": round(execution.examined_fraction, 4),
             },
         }
         lock = self.system._engine.lock

@@ -1,0 +1,164 @@
+"""The bit-parallel LCS kernel agrees with the reference DP — always.
+
+``be_lcs_length_bitparallel`` re-derives the paper's dummy-suppression rule
+from two bit planes (an increment plane and a sign plane), so the one thing
+that matters is exact agreement with :func:`repro.core.lcs.be_lcs_table` on
+every input — valid BE-strings *and* adversarial symbol sequences (long
+dummy runs, unbalanced boundaries) the encoder would never produce.  The
+fuzz classes sweep both, plus the two-row :func:`be_lcs_length` against the
+full table it replaced.  See ``docs/kernels.md`` for the encoding.
+"""
+
+import random
+
+import pytest
+
+from repro.core.bestring import AxisBEString
+from repro.core.construct import encode_picture
+from repro.core.lcs import be_lcs_length, be_lcs_table
+from repro.core.lcskernel import be_lcs_length_bitparallel
+from repro.core.symbols import BoundaryKind, Symbol
+from repro.datasets.synthetic import SceneParameters, random_pictures
+
+DUMMY = Symbol()
+
+
+def axis(text: str) -> AxisBEString:
+    return AxisBEString.from_text(text)
+
+
+class RawAxis:
+    """AxisBEString stand-in that skips validation (adversarial strings)."""
+
+    def __init__(self, symbols):
+        self.symbols = tuple(symbols)
+
+    def __len__(self):
+        return len(self.symbols)
+
+
+def table_length(query, database) -> int:
+    """The constrained LCS length straight off the signed reference table."""
+    return abs(be_lcs_table(query, database)[len(query)][len(database)])
+
+
+def random_axis(rng, length, labels, dummy_bias):
+    kinds = list(BoundaryKind)
+    symbols = [
+        DUMMY
+        if rng.random() < dummy_bias
+        else Symbol(rng.choice(labels), rng.choice(kinds))
+        for _ in range(length)
+    ]
+    return RawAxis(symbols)
+
+
+class TestKnownValues:
+    def test_empty_inputs(self):
+        assert be_lcs_length_bitparallel(axis(""), axis("")) == 0
+        assert be_lcs_length_bitparallel(axis(""), axis("A.b A.e")) == 0
+        assert be_lcs_length_bitparallel(axis("A.b A.e"), axis("")) == 0
+
+    def test_identical_string_is_full_length(self):
+        string = axis("A.b E B.b A.e E B.e")
+        assert be_lcs_length_bitparallel(string, string) == len(string)
+
+    def test_lone_dummy_matches(self):
+        assert be_lcs_length_bitparallel(axis("E"), axis("E")) == 1
+
+    def test_dummy_suppression_blocks_adjacent_dummies(self):
+        # A naive LCS aligns two of the separated dummies back to back; the
+        # modified LCS must not, leaving a single-dummy LCS.
+        query = axis("E A.b E A.e E")
+        database = axis("E B.b E B.e E")
+        assert be_lcs_length_bitparallel(query, database) == 1
+
+    def test_dummy_between_matched_boundaries_counts(self):
+        query = axis("A.b E A.e")
+        assert be_lcs_length_bitparallel(query, query) == 3
+
+    def test_disjoint_alphabets_share_only_dummies(self):
+        query = axis("A.b A.e E B.b B.e")
+        database = axis("C.b C.e E D.b D.e")
+        assert be_lcs_length_bitparallel(query, database) == table_length(
+            query, database
+        )
+
+    def test_matches_reference_on_encoded_scenes(self, scene_collection):
+        encoded = [encode_picture(picture) for picture in scene_collection]
+        query = encoded[0]
+        for candidate in encoded:
+            for query_axis, database_axis in (
+                (query.x, candidate.x),
+                (query.y, candidate.y),
+            ):
+                assert be_lcs_length_bitparallel(
+                    query_axis, database_axis
+                ) == table_length(query_axis, database_axis)
+
+
+class TestFuzzAgainstReferenceTable:
+    """Randomized agreement with the signed DP, per adversarial regime."""
+
+    @pytest.mark.parametrize(
+        ("seed", "trials", "max_len", "labels", "dummy_bias"),
+        [
+            pytest.param(1, 300, 12, ("A",), 0.6, id="small-dense"),
+            pytest.param(2, 200, 25, ("A", "B", "C"), 0.5, id="medium"),
+            pytest.param(3, 80, 60, ("A", "B", "C", "D", "E2", "F"), 0.45, id="large"),
+            pytest.param(4, 200, 30, ("A", "B"), 0.85, id="dummy-runs"),
+            pytest.param(5, 200, 30, ("A",), 0.95, id="nearly-all-dummies"),
+            pytest.param(6, 200, 30, ("A", "B", "C"), 0.0, id="no-dummies"),
+        ],
+    )
+    def test_adversarial_symbol_sequences(
+        self, seed, trials, max_len, labels, dummy_bias
+    ):
+        rng = random.Random(seed)
+        for _ in range(trials):
+            query = random_axis(rng, rng.randrange(0, max_len), labels, dummy_bias)
+            database = random_axis(rng, rng.randrange(0, max_len), labels, dummy_bias)
+            assert be_lcs_length_bitparallel(query, database) == table_length(
+                query, database
+            ), (
+                f"kernel diverged on q={[s.to_text() for s in query.symbols]} "
+                f"d={[s.to_text() for s in database.symbols]}"
+            )
+
+    def test_random_scenes(self):
+        # Valid BE-strings from the synthetic generator: the realistic regime.
+        parameters = SceneParameters(
+            object_count=8,
+            labels=tuple(f"label{index:02d}" for index in range(10)),
+            label_choice="random",
+        )
+        pictures = random_pictures(20, seed=77, parameters=parameters)
+        encoded = [encode_picture(picture) for picture in pictures]
+        for query in encoded[:6]:
+            for candidate in encoded:
+                for query_axis, database_axis in (
+                    (query.x, candidate.x),
+                    (query.y, candidate.y),
+                ):
+                    assert be_lcs_length_bitparallel(
+                        query_axis, database_axis
+                    ) == table_length(query_axis, database_axis)
+
+
+class TestTwoRowReferenceLength:
+    """The O(n)-memory ``be_lcs_length`` still equals the full table."""
+
+    def test_adversarial_fuzz(self):
+        rng = random.Random(11)
+        for _ in range(300):
+            query = random_axis(rng, rng.randrange(0, 25), ("A", "B"), 0.5)
+            database = random_axis(rng, rng.randrange(0, 25), ("A", "B"), 0.5)
+            assert be_lcs_length(query, database) == table_length(query, database)
+
+    def test_encoded_scenes(self, scene_collection):
+        encoded = [encode_picture(picture) for picture in scene_collection]
+        for query in encoded[:3]:
+            for candidate in encoded:
+                assert be_lcs_length(query.x, candidate.x) == table_length(
+                    query.x, candidate.x
+                )

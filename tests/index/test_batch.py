@@ -171,7 +171,7 @@ class TestScoreCache:
         system = RetrievalSystem.from_pictures([office, traffic, landscape])
         engine = system._engine
         engine.score_cache = ScoreCache(capacity=2)
-        system.query_batch([system.query(office).no_filters()])  # 3 candidates > capacity 2
+        system.query_batch([system.query(office).execution(shortlist=False)])  # 3 candidates > capacity 2
         stats = engine.score_cache.statistics
         assert stats.size == 2
         assert stats.evictions >= 1

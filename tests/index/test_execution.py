@@ -1,0 +1,269 @@
+"""ExecutionOptions semantics and kernel/strategy ranking equivalence.
+
+Two halves.  The unit half pins the options value object: vocabulary
+validation, ``None``-means-inherit overlay order, dict round-trips, and the
+cumulative counters the service ``/stats`` endpoint surfaces.  The
+equivalence half is the load-bearing one: every combination of kernel
+(``bitparallel``/``reference``) and strategy (``anytime``/``exhaustive``)
+must produce rankings byte-identical — tie-breaks, transformations and all —
+to the historical reference/exhaustive path, across exact, invariant,
+partial, predicate-combined and min-score query modes.  A single divergence
+means either the kernel mis-scored or the branch-and-bound cut off a
+candidate it had no right to drop (see ``docs/kernels.md``).
+"""
+
+import pytest
+
+from repro.datasets.synthetic import SceneParameters, random_pictures
+from repro.index.execution import (
+    DEFAULT_EXECUTION,
+    ExecutionCounters,
+    ExecutionOptions,
+    KERNEL_BITPARALLEL,
+    KERNEL_REFERENCE,
+    STRATEGY_ANYTIME,
+    STRATEGY_EXHAUSTIVE,
+)
+from repro.retrieval.system import RetrievalSystem
+
+_PARAMETERS = SceneParameters(
+    object_count=6,
+    labels=tuple(f"label{index:02d}" for index in range(10)),
+    label_choice="random",
+)
+
+#: Every non-default scoring configuration under test.
+_CONFIGS = [
+    pytest.param(ExecutionOptions(kernel=KERNEL_BITPARALLEL), id="kernel"),
+    pytest.param(ExecutionOptions(strategy=STRATEGY_ANYTIME), id="anytime"),
+    pytest.param(
+        ExecutionOptions(kernel=KERNEL_BITPARALLEL, strategy=STRATEGY_ANYTIME),
+        id="kernel+anytime",
+    ),
+]
+
+
+def result_key(results):
+    """Everything a ranking is judged on, including tie-break order."""
+    return [
+        (r.rank, r.image_id, r.score, r.similarity.transformation)
+        for r in results
+    ]
+
+
+class TestOptionsValidation:
+    def test_rejects_unknown_kernel(self):
+        with pytest.raises(ValueError, match="kernel"):
+            ExecutionOptions(kernel="simd")
+
+    def test_rejects_unknown_strategy(self):
+        with pytest.raises(ValueError, match="strategy"):
+            ExecutionOptions(strategy="eventually")
+
+    def test_rejects_unknown_executor(self):
+        with pytest.raises(ValueError, match="executor"):
+            ExecutionOptions(executor="fork")
+
+    @pytest.mark.parametrize("field", ["workers", "chunk_size"])
+    def test_rejects_non_positive_pool_sizes(self, field):
+        with pytest.raises(ValueError, match=field):
+            ExecutionOptions(**{field: 0})
+
+    def test_default_is_all_inherit(self):
+        options = ExecutionOptions()
+        assert options.describe() == "inherit-all"
+        assert options.to_dict() == {}
+
+
+class TestOverlayAndResolve:
+    def test_non_none_fields_win(self):
+        base = ExecutionOptions(kernel=KERNEL_REFERENCE, workers=2)
+        override = ExecutionOptions(kernel=KERNEL_BITPARALLEL, cache=False)
+        merged = base.overlaid(override)
+        assert merged.kernel == KERNEL_BITPARALLEL  # overridden
+        assert merged.workers == 2  # inherited
+        assert merged.cache is False  # newly set
+
+    def test_overlaid_none_is_identity(self):
+        options = ExecutionOptions(strategy=STRATEGY_ANYTIME)
+        assert options.overlaid(None) is options
+
+    def test_resolved_fills_documented_defaults(self):
+        resolved = ExecutionOptions(strategy=STRATEGY_ANYTIME).resolved()
+        assert resolved.strategy == STRATEGY_ANYTIME
+        assert resolved.kernel == DEFAULT_EXECUTION.kernel
+        assert resolved.shortlist is True
+        assert resolved.cache is True
+
+    def test_is_default_scoring(self):
+        assert ExecutionOptions().is_default_scoring
+        assert ExecutionOptions(kernel=KERNEL_REFERENCE).is_default_scoring
+        assert not ExecutionOptions(kernel=KERNEL_BITPARALLEL).is_default_scoring
+        assert not ExecutionOptions(strategy=STRATEGY_ANYTIME).is_default_scoring
+
+
+class TestDictRoundTrip:
+    def test_round_trip_preserves_set_fields(self):
+        options = ExecutionOptions(
+            kernel=KERNEL_BITPARALLEL, strategy=STRATEGY_ANYTIME, workers=3
+        )
+        assert ExecutionOptions.from_dict(options.to_dict()) == options
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ValueError, match="turbo"):
+            ExecutionOptions.from_dict({"turbo": True})
+
+    def test_from_dict_validates_values(self):
+        with pytest.raises(ValueError, match="kernel"):
+            ExecutionOptions.from_dict({"kernel": "simd"})
+
+
+class TestCounters:
+    def test_record_and_snapshot(self):
+        counters = ExecutionCounters()
+        counters.record(admitted=10, examined=4, anytime=True)
+        counters.record(admitted=5, examined=5, anytime=False)
+        statistics = counters.statistics
+        assert statistics.queries == 2
+        assert statistics.anytime_queries == 1
+        assert statistics.admitted == 15
+        assert statistics.examined == 9
+        assert statistics.skipped == 6
+        assert statistics.examined_fraction == pytest.approx(9 / 15)
+
+    def test_reset_zeroes_everything(self):
+        counters = ExecutionCounters()
+        counters.record(admitted=3, examined=3, anytime=False)
+        counters.reset()
+        statistics = counters.statistics
+        assert statistics.queries == 0
+        assert statistics.examined_fraction == 0.0
+
+
+class TestRankingEquivalence:
+    """Every kernel × strategy combination ranks like the reference path."""
+
+    @pytest.fixture(scope="class")
+    def system(self):
+        pictures = random_pictures(60, seed=91, parameters=_PARAMETERS)
+        return RetrievalSystem.from_pictures(pictures)
+
+    @pytest.fixture(scope="class")
+    def queries(self):
+        return random_pictures(5, seed=17, parameters=_PARAMETERS)
+
+    def _compare(self, system, configure):
+        """Assert a builder recipe ranks identically under every config."""
+        reference = result_key(
+            configure(system).execution(cache=False).execute()
+        )
+        for config in (
+            ExecutionOptions(kernel=KERNEL_BITPARALLEL),
+            ExecutionOptions(strategy=STRATEGY_ANYTIME),
+            ExecutionOptions(kernel=KERNEL_BITPARALLEL, strategy=STRATEGY_ANYTIME),
+        ):
+            variant = result_key(
+                configure(system).execution(config).execution(cache=False).execute()
+            )
+            assert variant == reference, f"diverged under {config.describe()}"
+
+    def test_exact_mode(self, system, queries):
+        for picture in queries:
+            self._compare(system, lambda s: s.query(picture).limit(10))
+
+    def test_invariant_mode(self, system, queries):
+        for picture in queries[:3]:
+            self._compare(system, lambda s: s.query(picture).invariant().limit(10))
+
+    def test_partial_mode(self, system, queries):
+        for picture in queries[:3]:
+            identifiers = [icon.identifier for icon in list(picture)[:3]]
+            self._compare(
+                system, lambda s: s.query(picture).partial(identifiers).limit(10)
+            )
+
+    def test_predicate_combined_mode(self, system, queries):
+        labels = sorted(queries[0].labels)
+        predicate = f"{labels[0]} left-of {labels[1]}"
+        for picture in queries[:3]:
+            self._compare(
+                system, lambda s: s.query(picture).where(predicate).limit(10)
+            )
+
+    def test_min_score_and_unlimited(self, system, queries):
+        for picture in queries[:3]:
+            self._compare(
+                system, lambda s: s.query(picture).limit(None).min_score(0.3)
+            )
+
+
+class TestAnytimeObservability:
+    @pytest.fixture(scope="class")
+    def system(self):
+        pictures = random_pictures(80, seed=23, parameters=_PARAMETERS)
+        return RetrievalSystem.from_pictures(pictures)
+
+    def test_anytime_skips_candidates_and_traces_cutoff(self, system):
+        query = random_pictures(1, seed=5, parameters=_PARAMETERS)[0]
+        results = (
+            system.query(query)
+            .limit(5)
+            .execution(strategy=STRATEGY_ANYTIME, cache=False)
+            .execute()
+        )
+        trace = results.trace
+        assert trace.strategy == STRATEGY_ANYTIME
+        assert trace.candidates_examined >= len(results)
+        assert trace.bound_skipped > 0
+        assert trace.bound_cutoff is not None
+        assert trace.candidates_examined + trace.bound_skipped == trace.shortlisted
+
+    def test_exhaustive_trace_examines_everything(self, system):
+        query = random_pictures(1, seed=5, parameters=_PARAMETERS)[0]
+        results = (
+            system.query(query).limit(5).execution(cache=False).execute()
+        )
+        trace = results.trace
+        assert trace.strategy == STRATEGY_EXHAUSTIVE
+        assert trace.kernel == KERNEL_REFERENCE
+        assert trace.bound_skipped == 0
+        assert trace.bound_cutoff is None
+
+    def test_explain_report_names_the_execution(self, system):
+        query = random_pictures(1, seed=6, parameters=_PARAMETERS)[0]
+        report = (
+            system.query(query)
+            .limit(5)
+            .execution(kernel=KERNEL_BITPARALLEL, strategy=STRATEGY_ANYTIME)
+            .execution(cache=False)
+            .explain()
+        )
+        assert "kernel=bitparallel" in report
+        assert "strategy=anytime" in report
+        assert "candidates_examined=" in report
+
+    def test_engine_counters_accumulate(self, system):
+        system._engine.execution_counters.reset()
+        query = random_pictures(1, seed=7, parameters=_PARAMETERS)[0]
+        system.query(query).limit(5).execution(
+            strategy=STRATEGY_ANYTIME, cache=False
+        ).execute()
+        statistics = system.execution_statistics()
+        assert statistics.queries == 1
+        assert statistics.anytime_queries == 1
+        assert statistics.examined <= statistics.admitted
+
+    def test_full_scan_degrades_to_exhaustive(self, system):
+        # Without the shortlist there are no bounds to order by, so the
+        # anytime request must fall back (and say so in the trace).
+        query = random_pictures(1, seed=8, parameters=_PARAMETERS)[0]
+        results = (
+            system.query(query)
+            .limit(5)
+            .execution(strategy=STRATEGY_ANYTIME, shortlist=False, cache=False)
+            .execute()
+        )
+        assert result_key(results) == result_key(
+            system.query(query).limit(5).execution(cache=False).execute()
+        )
+        assert results.trace.strategy == STRATEGY_EXHAUSTIVE

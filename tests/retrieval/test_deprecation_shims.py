@@ -11,6 +11,7 @@ purpose, hence the targeted ignore.
 
 import pytest
 
+from repro.index.batch import BatchOptions
 from repro.index.query import Query
 from repro.retrieval.system import RetrievalSystem
 
@@ -145,3 +146,60 @@ class TestByteIdenticalEquivalence:
         new = system.query_batch(queries, workers=2, executor="thread")
         assert [result_key(r) for r in old] == [result_key(r) for r in new]
         assert all(isinstance(results, list) for results in old)
+
+
+class TestBuilderKnobShims:
+    """The old builder knobs: warn, and behave like execution(...)."""
+
+    def test_filters_warns(self, system, office):
+        with pytest.warns(DeprecationWarning, match=r"execution\(shortlist"):
+            system.query(office).filters(False)
+
+    def test_no_filters_warns(self, system, office):
+        with pytest.warns(DeprecationWarning, match=r"execution\(shortlist=False\)"):
+            system.query(office).no_filters()
+
+    def test_cached_warns(self, system, office):
+        with pytest.warns(DeprecationWarning, match=r"execution\(cache"):
+            system.query(office).cached(False)
+
+    def test_no_filters_matches_execution_shortlist_false(self, system, office):
+        old = system.query(office).limit(None).no_filters().execute()
+        new = (
+            system.query(office).limit(None).execution(shortlist=False).execute()
+        )
+        assert result_key(old) == result_key(new)
+        assert len(old) == len(system)  # every stored image was scored
+
+    def test_cached_false_matches_execution_cache_false(self, system, office):
+        old = system.query(office).limit(None).cached(False).execute()
+        new = system.query(office).limit(None).execution(cache=False).execute()
+        assert result_key(old) == result_key(new)
+
+    def test_deprecated_knob_reflected_in_spec(self, system, office):
+        spec = system.query(office).no_filters().cached(False).spec()
+        assert spec.use_filters is False
+        assert spec.use_cache is False
+        assert spec.execution.shortlist is False
+        assert spec.execution.cache is False
+
+
+class TestQueryBatchOptionsShim:
+    """``query_batch(options=BatchOptions(...))`` warns and still works."""
+
+    def test_options_warns(self, system, office):
+        with pytest.warns(DeprecationWarning, match=r"execution=ExecutionOptions"):
+            system.query_batch(
+                [system.query(office).limit(3)],
+                options=BatchOptions(workers=2, executor="thread"),
+            )
+
+    def test_options_matches_execution(self, system, scene_collection):
+        pictures = [scene_collection[0], scene_collection[3]]
+        specs = [system.query(picture).limit(4) for picture in pictures]
+        old = system.query_batch(
+            [system.query(picture).limit(4) for picture in pictures],
+            options=BatchOptions(workers=2, executor="thread"),
+        )
+        new = system.query_batch(specs, workers=2, executor="thread")
+        assert [result_key(r) for r in old] == [result_key(r) for r in new]

@@ -26,8 +26,8 @@ class TestSpecCompilation:
             .where("phone right-of monitor")
             .min_score(0.3)
             .limit(7)
-            .no_filters()
-            .cached(False)
+            .execution(shortlist=False)
+            .execution(cache=False)
             .spec()
         )
         assert spec.picture is office
@@ -151,7 +151,7 @@ class TestExecutionEquivalence:
 
     def test_cached_false_bypasses_the_cache(self, system, office):
         system.query(office).limit(None).execute()
-        results = system.query(office).limit(None).cached(False).execute()
+        results = system.query(office).limit(None).execution(cache=False).execute()
         assert results.trace.cache_hits == 0
         assert results.trace.cache_misses == len(results)
 
@@ -196,13 +196,13 @@ class TestResultSet:
         assert all(e.cache_hit is True for e in second.explain())
 
     def test_explain_full_scan_stage(self, system, office):
-        results = system.query(office).no_filters().limit(3).execute()
+        results = system.query(office).execution(shortlist=False).limit(3).execute()
         assert all(e.stage == "full-scan" for e in results.explain())
 
     def test_explain_reports_winning_transformation(self, system, office):
         rotated = office.rotate90().renamed("office-rotated")
         system.add_picture(rotated)
-        results = system.query(office).invariant().limit(None).no_filters().execute()
+        results = system.query(office).invariant().limit(None).execution(shortlist=False).execute()
         by_id = {e.image_id: e for e in results.explain()}
         assert by_id["office-rotated"].transformation == "rotate90"
 
@@ -266,7 +266,7 @@ class TestQueryBatchSurface:
     def test_batch_honours_per_query_cache_toggle(self, system, office):
         system.query(office).limit(None).execute()  # warm the cache
         before = len(system._engine.score_cache)
-        system.query_batch([system.query(office).limit(None).cached(False)])
+        system.query_batch([system.query(office).limit(None).execution(cache=False)])
         report = system.last_batch_report
         # The bypassing query neither read nor wrote the warm cache.
         assert report.cache_hits == 0
@@ -276,7 +276,7 @@ class TestQueryBatchSurface:
     def test_batch_matches_serial_builder(self, system, scene_collection):
         pictures = [scene_collection[0], scene_collection[3], scene_collection[0]]
         serial = [
-            [r.describe() for r in system.query(p).limit(4).cached(False).execute()]
+            [r.describe() for r in system.query(p).limit(4).execution(cache=False).execute()]
             for p in pictures
         ]
         system._engine.score_cache.clear()

@@ -83,9 +83,9 @@ class TestQuerySurface:
     def test_invariant_search_finds_reflected_image(self, system, office):
         reflected = office.reflect_y().renamed("office-mirrored")
         system.add_picture(reflected)
-        plain = system.query(office).limit(None).no_filters().execute()
+        plain = system.query(office).limit(None).execution(shortlist=False).execute()
         invariant = (
-            system.query(office).invariant().limit(None).no_filters().execute()
+            system.query(office).invariant().limit(None).execution(shortlist=False).execute()
         )
         plain_score = {r.image_id: r.score for r in plain}["office-mirrored"]
         invariant_score = {r.image_id: r.score for r in invariant}["office-mirrored"]

@@ -62,7 +62,7 @@ class TestSearch:
             builder.invariant(kwargs.get("invariant", False))
             builder.min_score(kwargs.get("min_score", 0.0))
             builder.limit(kwargs.get("limit", 10))
-            builder.filters(not kwargs.get("no_filters", False))
+            builder.execution(shortlist=not kwargs.get("no_filters", False))
             expected = builder.execute()
             assert served["results"] == expected.to_dicts()
             assert (
@@ -90,7 +90,7 @@ class TestSearch:
 
     def test_pagination_windows_the_full_ranking(self, client, reference):
         scene = office_scene(0)
-        full = reference.query(scene).limit(None).no_filters().execute()
+        full = reference.query(scene).limit(None).execution(shortlist=False).execute()
         pages = []
         page_number = 1
         while True:
@@ -108,6 +108,36 @@ class TestSearch:
         served = client.search(office_scene(0))
         assert "scored" in served["plan"]
         assert "similar_to" in served["spec"]
+
+    def test_execution_payload_rankings_match_reference(self, client, reference):
+        scene = office_scene(0)
+        expected = reference.query(scene).limit(5).execute()
+        for execution in [
+            {"kernel": "bitparallel"},
+            {"strategy": "anytime"},
+            {"kernel": "bitparallel", "strategy": "anytime"},
+        ]:
+            served = client.search(scene, limit=5, execution=execution)
+            assert served["results"] == expected.to_dicts(), execution
+
+    def test_explicit_execution_wins_over_no_filters(self, client, reference):
+        scene = office_scene(0)
+        served = client.search(
+            scene, limit=None, no_filters=True, execution={"shortlist": True}
+        )
+        expected = reference.query(scene).limit(None).execute()
+        assert served["results"] == expected.to_dicts()
+
+    def test_malformed_execution_is_a_400(self, client):
+        for execution in [{"kernel": "simd"}, {"turbo": True}, "anytime"]:
+            with pytest.raises(ServiceError) as excinfo:
+                client.request(
+                    "POST",
+                    "/search",
+                    {"scene": office_scene(0).to_dict(), "execution": execution},
+                )
+            assert excinfo.value.status == 400
+            assert "execution" in str(excinfo.value)
 
     def test_empty_spec_is_a_400(self, client):
         with pytest.raises(ServiceError) as excinfo:
@@ -371,3 +401,22 @@ class TestPercentile:
             + shortlist["relation_rejected"]
         )
         assert 0.0 <= shortlist["pruned_fraction"] <= 1.0
+
+    def test_stats_reports_execution_counters(self, tmp_path):
+        system = RetrievalSystem.from_pictures(collection())
+        service = RetrievalService(system)
+        status, _, _ = service.dispatch(
+            "POST",
+            "/search",
+            {
+                "scene": office_scene(0).to_dict(),
+                "limit": 3,
+                "execution": {"strategy": "anytime"},
+            },
+        )
+        assert status == 200
+        execution = service.stats()["execution"]
+        assert execution["queries"] >= 1
+        assert execution["anytime_queries"] >= 1
+        assert execution["admitted"] == execution["examined"] + execution["skipped"]
+        assert 0.0 <= execution["examined_fraction"] <= 1.0

@@ -67,6 +67,47 @@ class TestBuildAndSearch:
         office_path = next(iter(scene_files.values()))
         assert main(["search", str(tmp_path / "none.json"), str(office_path)]) == 2
 
+    def test_search_kernel_and_strategy_flags_match_default(
+        self, database_file, scene_files, capsys
+    ):
+        office_path = next(path for name, path in scene_files.items() if "office" in name)
+        assert main(["search", str(database_file), str(office_path), "--jsonl"]) == 0
+        expected = capsys.readouterr().out
+        assert main(
+            [
+                "search",
+                str(database_file),
+                str(office_path),
+                "--jsonl",
+                "--kernel",
+                "bitparallel",
+                "--strategy",
+                "anytime",
+            ]
+        ) == 0
+        assert capsys.readouterr().out == expected
+
+    def test_explain_reports_execution_plan(self, database_file, scene_files, capsys):
+        office_path = next(path for name, path in scene_files.items() if "office" in name)
+        assert main(
+            [
+                "explain",
+                str(database_file),
+                str(office_path),
+                "--kernel",
+                "bitparallel",
+                "--strategy",
+                "anytime",
+            ]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "kernel=bitparallel" in output
+
+    def test_search_rejects_unknown_kernel(self, database_file, scene_files, capsys):
+        office_path = next(iter(scene_files.values()))
+        with pytest.raises(SystemExit):
+            main(["search", str(database_file), str(office_path), "--kernel", "simd"])
+
 
 class TestBatchSearch:
     @pytest.fixture
