@@ -69,7 +69,7 @@ def _batch(system, queries, workers=WORKERS, executor="thread"):
 
 
 @pytest.mark.benchmark(group="E10-batch-query")
-def test_batch_throughput_report(benchmark, write_report, workload):
+def test_batch_throughput_report(benchmark, write_report, write_json_report, workload):
     system, queries = workload
     system._engine.score_cache.clear()
 
@@ -128,6 +128,21 @@ def test_batch_throughput_report(benchmark, write_report, workload):
             "cache misses on a worker pool, and serves repeat batches from the LRU",
             "score cache -- with ranked results byte-identical to the serial loop.",
         ],
+    )
+    write_json_report(
+        "E10_batch_query",
+        {
+            "database_size": DATABASE_SIZE,
+            "queries": len(queries),
+            "unique_queries": UNIQUE_QUERIES,
+            "workers": WORKERS,
+            "serial_seconds": round(serial_seconds, 6),
+            "cold_seconds": round(cold_seconds, 6),
+            "warm_seconds": round(warm_seconds, 6),
+            "cold_speedup": round(cold_speedup, 3),
+            "warm_speedup": round(warm_speedup, 3),
+            "warm_cache_hit_rate": warm_report.cache_hit_rate,
+        },
     )
 
     assert cold_report.unique_evaluations == UNIQUE_QUERIES

@@ -1,0 +1,186 @@
+"""E16: recovery time is O(WAL delta), not O(database).
+
+PR 7 made the sharded backend crash-safe (``docs/durability.md``): mutations
+are fsync'd to a write-ahead log before they are acknowledged, and opening a
+durable directory replays only the log records past the manifest's snapshot
+LSN.  The promised cost model: recovering from a crash adds work
+proportional to the *write delta* since the last compaction — never to the
+database size.
+
+This experiment measures, at 600 and 2400 synthetic images (smoke: 40/80)
+with a fixed pending delta of 64 WAL records (smoke: 8):
+
+* the clean warm-start load time (snapshot only, empty log),
+* the crash-recovery load time (snapshot + replay of the pending delta),
+* their difference — the replay overhead the crash added.
+
+Assertions (full runs, largest size):
+
+* replay overhead stays under **50%** of the clean load time — replaying 64
+  records must not cost anything like re-reading 2400 images,
+* replay overhead grows sublinearly across database sizes: the overhead at
+  4x the images stays within a generous constant factor of the overhead at
+  1x (an O(database) recovery would scale with the size ratio),
+* compaction folds the delta and drops recovery back to the clean baseline.
+
+Results are persisted as ``benchmarks/results/BENCH_E16_durability_<size>.json``
+(the CI bench-smoke job uploads them as artifacts); full-run snapshots live
+in ``benchmarks/baselines/``.
+"""
+
+import statistics
+import time
+
+import pytest
+
+from benchmarks.conftest import SMOKE, format_table, smoke_scaled
+from repro.datasets.synthetic import random_pictures
+from repro.index.backends import DurableShardedStore
+from repro.retrieval.system import RetrievalSystem
+
+DATABASE_SIZES = smoke_scaled((600, 2400), (40, 80))
+#: Pending WAL records ("the crash delta") replayed by the recovery load.
+DELTA_RECORDS = smoke_scaled(64, 8)
+#: Timed load repetitions per measurement (median reported).
+REPEATS = 3
+#: Ceiling on replay overhead as a fraction of the clean load (largest size).
+MAX_OVERHEAD_FRACTION = 0.50
+#: Ceiling on how much the same-delta replay overhead may grow across the
+#: 4x database-size step (O(database) recovery would grow ~4x; the replay
+#: is delta-bound, so a generous constant factor suffices).
+MAX_OVERHEAD_GROWTH = 3.0
+#: Absolute overhead floor (seconds) below which growth ratios are noise.
+OVERHEAD_NOISE_FLOOR = 0.030
+
+
+def _median_load_seconds(target) -> float:
+    samples = []
+    for _ in range(REPEATS):
+        started = time.perf_counter()
+        RetrievalSystem.from_file(target, durable=True)
+        samples.append(time.perf_counter() - started)
+    return statistics.median(samples)
+
+
+def _build_durable(tmp_path, size: int):
+    target = tmp_path / f"db-{size}.shards"
+    pictures = random_pictures(size, seed=23, name_prefix="img")
+    RetrievalSystem.from_pictures(pictures).save(target, durable=True)
+    return target
+
+
+def _append_delta(target, count: int) -> None:
+    """Log ``count`` acknowledged-but-uncompacted upserts (the crash delta)."""
+    system = RetrievalSystem.from_file(target, durable=True)
+    store = DurableShardedStore(system._engine.database, target)
+    for picture in random_pictures(count, seed=97, name_prefix="delta"):
+        system.add_picture(picture, picture.name)
+        store.log_upsert(system.record(picture.name))
+    store.close()
+
+
+@pytest.mark.benchmark(group="E16-durability")
+def test_recovery_is_delta_bound(
+    tmp_path, write_report, write_json_report, benchmark
+):
+    """Replay overhead tracks the WAL delta, not the database size."""
+    measurements = []
+    for size in DATABASE_SIZES:
+        target = _build_durable(tmp_path, size)
+        clean_seconds = _median_load_seconds(target)
+        _append_delta(target, DELTA_RECORDS)
+        recovery_seconds = _median_load_seconds(target)
+        overhead = max(recovery_seconds - clean_seconds, 0.0)
+
+        # Compaction folds the delta; recovery returns to the clean baseline.
+        system = RetrievalSystem.from_file(target, durable=True)
+        store = DurableShardedStore(system._engine.database, target)
+        pending_before = store.pending_records
+        store.compact()
+        pending_after = store.pending_records
+        store.close()
+        compacted_seconds = _median_load_seconds(target)
+
+        assert pending_before == DELTA_RECORDS
+        assert pending_after == 0
+        measurements.append(
+            {
+                "database_size": size,
+                "delta_records": DELTA_RECORDS,
+                "clean_load_seconds": round(clean_seconds, 6),
+                "recovery_load_seconds": round(recovery_seconds, 6),
+                "replay_overhead_seconds": round(overhead, 6),
+                "compacted_load_seconds": round(compacted_seconds, 6),
+            }
+        )
+
+    rows = [
+        [
+            str(entry["database_size"]),
+            f"{entry['clean_load_seconds'] * 1000:.1f}",
+            f"{entry['recovery_load_seconds'] * 1000:.1f}",
+            f"{entry['replay_overhead_seconds'] * 1000:.1f}",
+            f"{entry['compacted_load_seconds'] * 1000:.1f}",
+        ]
+        for entry in measurements
+    ]
+    write_report(
+        f"E16_durability_{max(DATABASE_SIZES)}",
+        [
+            f"E16 -- crash recovery cost at a fixed {DELTA_RECORDS}-record WAL delta",
+            "",
+            *format_table(
+                ["images", "clean ms", "recovery ms", "overhead ms", "post-compaction ms"],
+                rows,
+            ),
+            "",
+            f"overhead ceiling: {MAX_OVERHEAD_FRACTION:.0%} of the clean load "
+            f"at the largest size; growth ceiling across sizes: "
+            f"{MAX_OVERHEAD_GROWTH}x (O(database) would scale with the size ratio)",
+        ],
+    )
+    for entry in measurements:
+        write_json_report(
+            f"E16_durability_{entry['database_size']}",
+            {
+                **entry,
+                "max_overhead_fraction": MAX_OVERHEAD_FRACTION,
+                "max_overhead_growth": MAX_OVERHEAD_GROWTH,
+            },
+        )
+
+    if not SMOKE:
+        largest = measurements[-1]
+        smallest = measurements[0]
+        assert (
+            largest["replay_overhead_seconds"]
+            <= MAX_OVERHEAD_FRACTION * largest["clean_load_seconds"]
+        ), (
+            f"replaying {DELTA_RECORDS} records cost "
+            f"{largest['replay_overhead_seconds'] * 1000:.1f}ms on top of a "
+            f"{largest['clean_load_seconds'] * 1000:.1f}ms clean load "
+            f"(ceiling: {MAX_OVERHEAD_FRACTION:.0%})"
+        )
+        grown = largest["replay_overhead_seconds"]
+        base = max(smallest["replay_overhead_seconds"], OVERHEAD_NOISE_FLOOR)
+        assert grown <= MAX_OVERHEAD_GROWTH * base, (
+            f"same-delta replay overhead grew from "
+            f"{smallest['replay_overhead_seconds'] * 1000:.1f}ms to "
+            f"{grown * 1000:.1f}ms across a "
+            f"{max(DATABASE_SIZES) / min(DATABASE_SIZES):.0f}x size step "
+            f"(ceiling: {MAX_OVERHEAD_GROWTH}x -- recovery must be delta-bound)"
+        )
+        # Compaction folded the delta logically (pending_after == 0 above);
+        # the compacted snapshot-only load must stay in the same ballpark as
+        # the recovery load of the same image count (generous factor: the
+        # two runs are seconds apart and share the machine with the suite).
+        assert (
+            largest["compacted_load_seconds"]
+            <= 1.5 * largest["recovery_load_seconds"] + OVERHEAD_NOISE_FLOOR
+        ), "compaction failed to fold the delta back into the snapshot"
+
+    # pytest-benchmark timing: one recovery load at the smallest size.
+    small_target = tmp_path / f"db-{DATABASE_SIZES[0]}.shards"
+    benchmark.pedantic(
+        lambda: RetrievalSystem.from_file(small_target, durable=True), rounds=3
+    )

@@ -91,7 +91,9 @@ def _best_of(repeats, run):
 
 
 @pytest.mark.benchmark(group="E12-query-api")
-def test_unified_pipeline_overhead_and_warm_speedup(benchmark, write_report, workload):
+def test_unified_pipeline_overhead_and_warm_speedup(
+    benchmark, write_report, write_json_report, workload
+):
     system, queries = workload
     engine = system._engine
     specs = [system.query(query).limit(10).spec() for query in queries]
@@ -158,6 +160,20 @@ def test_unified_pipeline_overhead_and_warm_speedup(benchmark, write_report, wor
             "answered from the shared LRU score cache with zero LCS evaluations and",
             "byte-identical rankings.",
         ],
+    )
+    write_json_report(
+        "E12_query_api",
+        {
+            "database_size": DATABASE_SIZE,
+            "queries": len(queries),
+            "repeats": REPEATS,
+            "baseline_seconds": round(baseline_seconds, 6),
+            "cold_seconds": round(cold_seconds, 6),
+            "warm_seconds": round(warm_seconds, 6),
+            "cold_overhead_fraction": round(overhead, 4),
+            "warm_speedup": round(warm_speedup, 3),
+            "overhead_ceiling": OVERHEAD_CEILING,
+        },
     )
 
     if not SMOKE:  # tiny smoke sizes are all fixed overhead, no signal

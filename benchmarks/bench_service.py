@@ -96,7 +96,7 @@ def _one_shot_cli_seconds(database_path, query_path):
 
 
 @pytest.mark.benchmark(group="E13-service")
-def test_warm_server_vs_one_shot_cli(benchmark, write_report, workload):
+def test_warm_server_vs_one_shot_cli(benchmark, write_report, write_json_report, workload):
     system, database_path, query_path, queries = workload
 
     cli_seconds = _one_shot_cli_seconds(database_path, query_path)
@@ -176,6 +176,23 @@ def test_warm_server_vs_one_shot_cli(benchmark, write_report, workload):
             "in-process engine; the daemon amortises interpreter start-up, database",
             "load and index construction across the whole request stream.",
         ],
+    )
+    write_json_report(
+        "E13_service",
+        {
+            "database_size": DATABASE_SIZE,
+            "cli_runs": CLI_QUERIES,
+            "server_requests": SERVER_REQUESTS,
+            "clients": CLIENTS,
+            "requests_per_client": REQUESTS_PER_CLIENT,
+            "cli_seconds_per_query": round(cli_seconds, 6),
+            "warm_seconds_per_query": round(single_seconds, 6),
+            "warm_speedup": round(speedup, 3),
+            "concurrent_requests_per_second": round(concurrent_throughput, 2),
+            "server_p50_ms": stats["latency_ms"].get("p50", 0),
+            "server_p95_ms": stats["latency_ms"].get("p95", 0),
+            "score_cache_hit_rate": stats["cache"]["hit_rate"],
+        },
     )
 
     assert speedup >= REQUIRED_SPEEDUP, (

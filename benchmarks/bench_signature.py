@@ -100,7 +100,7 @@ def sized_engine(request):
 
 
 @pytest.mark.benchmark(group="E14-signature-shortlist")
-def test_shortlist_speedup_report(sized_engine, write_report, benchmark):
+def test_shortlist_speedup_report(sized_engine, write_report, write_json_report, benchmark):
     size, engine = sized_engine
 
     filtered_seconds, filtered_rankings = _run_serial(
@@ -160,6 +160,21 @@ def test_shortlist_speedup_report(sized_engine, write_report, benchmark):
             "*admitted counts are from the strict pass; the unfiltered row",
             " scores every stored image for every query by construction.",
         ],
+    )
+    write_json_report(
+        f"E14_signature_shortlist_{size}",
+        {
+            "database_size": database_size,
+            "queries": len(filtered_rankings),
+            "moderate_min_score": MODERATE_MIN_SCORE,
+            "strict_min_score": STRICT_MIN_SCORE,
+            "unfiltered_seconds": round(unfiltered_seconds, 6),
+            "filtered_seconds": round(filtered_seconds, 6),
+            "speedup": round(speedup, 3),
+            "strict_bitmap_rejected": statistics.bitmap_rejected,
+            "strict_relation_rejected": statistics.relation_rejected,
+            "strict_admitted": statistics.admitted,
+        },
     )
 
     if not SMOKE and size == max(DATABASE_SIZES):

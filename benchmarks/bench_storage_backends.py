@@ -74,8 +74,12 @@ def _dirty_some(database: ImageDatabase, fraction: float):
     count = max(1, int(len(database) * fraction))
     added = []
     for image_id in database.image_ids[:count]:
+        before = {icon.identifier for icon in database.get(image_id).picture.icons}
         record = database.add_object(image_id, "bench-box", Rectangle(0.5, 0.5, 2.5, 2.5))
-        added.append((image_id, record.picture.icons[-1].identifier))
+        # Icons are kept in canonical order, so the new icon is not
+        # necessarily last: diff the identifier sets to find it.
+        (identifier,) = {icon.identifier for icon in record.picture.icons} - before
+        added.append((image_id, identifier))
     return added
 
 
@@ -92,7 +96,9 @@ def sized_database(request):
 
 
 @pytest.mark.benchmark(group="E11-storage-backends")
-def test_backend_latency_report(sized_database, tmp_path_factory, write_report, benchmark):
+def test_backend_latency_report(
+    sized_database, tmp_path_factory, write_report, write_json_report, benchmark
+):
     size, database = sized_database
     root = tmp_path_factory.mktemp(f"bench-storage-{size}")
     rows = []
@@ -161,6 +167,23 @@ def test_backend_latency_report(sized_database, tmp_path_factory, write_report, 
             f"{SHARD_COUNT} binary shard files and rewrites only the shards",
             "holding dirty images; JSON must always rewrite the whole blob.",
         ],
+    )
+    write_json_report(
+        f"E11_storage_backends_{size}",
+        {
+            "database_size": size,
+            "dirty_fraction": DIRTY_FRACTION,
+            "shard_count": SHARD_COUNT,
+            "incremental_vs_full_json_speedup": round(speedup, 3),
+            "backends": {
+                name: {
+                    "full_save_seconds": round(timing[0], 6),
+                    "incremental_save_seconds": round(timing[1], 6),
+                    "load_seconds": round(timing[2], 6),
+                }
+                for name, timing in timings.items()
+            },
+        },
     )
 
     if not SMOKE and size == max(DATABASE_SIZES):

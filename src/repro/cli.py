@@ -60,6 +60,14 @@ unified pipeline and score cache.
     write-back persistence, ``/healthz`` and ``/stats`` (see
     ``docs/service.md``).  ``--port 0`` binds an ephemeral port (printed on
     start-up); ``--no-persist`` serves the database read-write in memory only.
+    ``--wal`` turns on the crash-safe durable mode for sharded databases:
+    every mutation is fsync'd to a write-ahead log before it is acknowledged
+    and a background thread compacts the log into the shards (``docs/durability.md``).
+
+``python -m repro.cli recover <database> [--check]``
+    Inspect a durable database's write-ahead log (pending records, torn
+    tail) and fold any acknowledged-but-uncompacted records back into the
+    shards.  ``--check`` reports without modifying anything.
 
 ``python -m repro.cli ping <url>``
     Health-check a running daemon and print its image count, uptime and the
@@ -125,15 +133,19 @@ def _load_database(path: str, backend=None) -> ImageDatabase:
         raise CliError(f"malformed database {path}: {error}") from error
 
 
-def _load_system(path: str, backend=None, execution=None) -> RetrievalSystem:
+def _load_system(path: str, backend=None, execution=None, durable: bool = False) -> RetrievalSystem:
     # from_file is the warm-start path: it indexes the loaded records in
     # place (no re-encoding) and keeps their persisted shortlist signatures,
     # tuned bitmap width included — re-adding picture by picture would drop
     # both and leave every image dirty for the first incremental save.
     try:
-        return RetrievalSystem.from_file(path, backend=backend, execution=execution)
+        return RetrievalSystem.from_file(
+            path, backend=backend, execution=execution, durable=durable
+        )
     except FileNotFoundError:
         raise CliError(f"database not found: {path}") from None
+    except ValueError as error:
+        raise CliError(str(error)) from error
     except StorageError as error:
         raise CliError(f"malformed database {path}: {error}") from error
 
@@ -237,6 +249,13 @@ def _command_info(arguments: argparse.Namespace) -> int:
     ):
         if key in summary:
             print(f"{key}: {summary[key]}")
+    wal = summary.get("wal")
+    if wal is not None:
+        print(
+            f"wal: {wal['file']} (snapshot_lsn {wal['snapshot_lsn']}, "
+            f"last_lsn {wal['last_lsn']}, {wal['pending_records']} pending, "
+            f"{'clean' if wal['clean'] else 'torn tail'})"
+        )
     return 0
 
 
@@ -411,7 +430,13 @@ def _command_serve(arguments: argparse.Namespace) -> int:
         execution = ExecutionOptions(
             kernel=arguments.kernel, strategy=arguments.strategy
         )
-    system = _load_system(arguments.database, backend=backend, execution=execution)
+    if arguments.wal and arguments.no_persist:
+        raise CliError("--wal writes a write-ahead log; it cannot combine with --no-persist")
+    if arguments.wal_compact_every < 1:
+        raise CliError("--wal-compact-every must be at least 1")
+    system = _load_system(
+        arguments.database, backend=backend, execution=execution, durable=arguments.wal
+    )
     persist_path = None if arguments.no_persist else arguments.database
     try:
         server = create_server(
@@ -422,10 +447,20 @@ def _command_serve(arguments: argparse.Namespace) -> int:
             backlog=arguments.backlog,
             database_path=persist_path,
             backend=backend,
+            durable=arguments.wal,
+            compact_threshold=arguments.wal_compact_every,
         )
-    except (OSError, ValueError) as error:
+    except (OSError, ValueError, StorageError) as error:
         raise CliError(f"cannot start the service: {error}") from error
-    persistence = "persisting incrementally" if persist_path else "in-memory only"
+    if arguments.wal:
+        persistence = (
+            "write-ahead logging (ack-after-fsync, "
+            f"compacting every {arguments.wal_compact_every} records)"
+        )
+    elif persist_path:
+        persistence = "persisting incrementally"
+    else:
+        persistence = "in-memory only"
     print(
         f"serving {arguments.database} ({len(system)} images) on {server.url} "
         f"(workers={arguments.workers}, backlog={arguments.backlog}, {persistence})",
@@ -440,6 +475,41 @@ def _command_serve(arguments: argparse.Namespace) -> int:
         pass
     finally:
         server.close()
+    return 0
+
+
+def _command_recover(arguments: argparse.Namespace) -> int:
+    from repro.index.backends import DurableShardedStore
+
+    try:
+        summary = describe_database(arguments.database)
+    except FileNotFoundError:
+        raise CliError(f"database not found: {arguments.database}") from None
+    except StorageError as error:
+        raise CliError(f"malformed database {arguments.database}: {error}") from error
+    wal = summary.get("wal")
+    if wal is None:
+        raise CliError(
+            f"{arguments.database} has no write-ahead log "
+            "(serve it with --wal to make it durable)"
+        )
+    print(f"database: {arguments.database} ({summary['images']} images in shards)")
+    print(f"log: {wal['file']} ({'clean' if wal['clean'] else 'torn tail dropped'})")
+    print(f"snapshot_lsn: {wal['snapshot_lsn']}  last_lsn: {wal['last_lsn']}")
+    print(f"pending records to replay: {wal['pending_records']}")
+    if arguments.check:
+        return 0
+    database = _load_database(arguments.database)
+    try:
+        store = DurableShardedStore(database, arguments.database)
+        store.compact()
+        store.close()
+    except (StorageError, ValueError) as error:
+        raise CliError(f"recovery failed: {error}") from error
+    print(
+        f"recovered: {len(database)} images, log compacted through "
+        f"LSN {store.snapshot_lsn}"
+    )
     return 0
 
 
@@ -685,11 +755,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="keep mutations in memory instead of writing back to the database",
     )
     serve.add_argument(
+        "--wal", action="store_true",
+        help="durable mode (sharded databases): fsync every mutation to a "
+             "write-ahead log before acknowledging, compact in the background "
+             "(see docs/durability.md)",
+    )
+    serve.add_argument(
+        "--wal-compact-every", type=int, default=256, metavar="N",
+        help="pending log records that trigger a background compaction "
+             "(default 256)",
+    )
+    serve.add_argument(
         "--check", action="store_true",
         help="bind, print the address and exit without serving (smoke tests)",
     )
     _add_format_flag(serve)
     serve.set_defaults(handler=_command_serve)
+
+    recover = subparsers.add_parser(
+        "recover",
+        help="inspect and recover a durable (write-ahead-logged) database",
+    )
+    recover.add_argument("database", help="durable sharded database directory")
+    recover.add_argument(
+        "--check", action="store_true",
+        help="report the log state (pending records, torn tail) without recovering",
+    )
+    recover.set_defaults(handler=_command_recover)
 
     ping = subparsers.add_parser("ping", help="health-check a running retrieval daemon")
     ping.add_argument("url", help="service base URL, e.g. http://127.0.0.1:8765")

@@ -34,6 +34,8 @@ database a downstream user would actually store BE-strings in:
 
 from repro.index.backends import (
     BACKENDS,
+    DurableShardedBackend,
+    DurableShardedStore,
     JsonBackend,
     LazySqliteImageDatabase,
     ShardedBackend,
@@ -79,8 +81,15 @@ from repro.index.storage import (
     save_database,
 )
 
+from repro.index.wal import WalRecord, WriteAheadLog, read_wal
+
 __all__ = [
     "BACKENDS",
+    "DurableShardedBackend",
+    "DurableShardedStore",
+    "WalRecord",
+    "WriteAheadLog",
+    "read_wal",
     "JsonBackend",
     "LazySqliteImageDatabase",
     "ShardedBackend",

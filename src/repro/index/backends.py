@@ -33,6 +33,17 @@ sniffed by content (SQLite magic header, shard-manifest directory, otherwise
 JSON) and new save targets by suffix (``.sqlite``/``.sqlite3``/``.db`` →
 SQLite, ``.shards`` or an existing directory → sharded, anything else → JSON).
 See ``docs/storage-formats.md`` for the on-disk format specifications.
+
+The sharded backend additionally supports **crash-safe durability**: a
+manifest may carry a ``wal`` block naming an append-only write-ahead log
+(:mod:`repro.index.wal`) and the log sequence number (LSN) its shard
+snapshot covers.  Loading such a directory replays only the log records past
+that LSN, so recovery cost scales with the write delta since the last
+compaction.  :class:`DurableShardedBackend` writes those directories, and
+:class:`DurableShardedStore` is the live handle a long-running service uses:
+fsync'd per-mutation log appends plus threshold-triggered compaction that
+rewrites the dirty shards and truncates the log behind an atomic manifest
+swap.  See ``docs/durability.md`` for the crash-ordering argument.
 """
 
 from __future__ import annotations
@@ -43,6 +54,7 @@ import json
 import os
 import sqlite3
 import struct
+import threading
 import zlib
 from pathlib import Path
 from typing import Any, Dict, FrozenSet, Iterator, List, Optional, Union
@@ -57,6 +69,7 @@ from repro.index.storage import (
     load_database as _load_json_database,
     save_database as _save_json_database,
 )
+from repro.index.wal import WAL_NAME, WalRecord, WriteAheadLog, read_wal
 
 PathLike = Union[str, Path]
 
@@ -651,6 +664,12 @@ class ShardedBackend(StorageBackend):
 
     name = "sharded"
 
+    #: The ``wal`` manifest block the next save should carry (``None`` writes
+    #: a plain, non-durable manifest).  :class:`DurableShardedBackend` sets it
+    #: around its snapshot saves; plain saves clear any previous block, which
+    #: also retires a now-redundant log file (the snapshot covers everything).
+    wal_block: Optional[Dict[str, Any]] = None
+
     def __init__(self, shard_count: int = DEFAULT_SHARD_COUNT) -> None:
         """Configure the number of shard files used on a full save.
 
@@ -683,6 +702,18 @@ class ShardedBackend(StorageBackend):
             self._save_incremental(database, target, manifest)
         else:
             self._save_full(database, target)
+        if self.wal_block is None:
+            # A plain snapshot covers the whole database, so any leftover
+            # write-ahead log is redundant — drop it rather than leaving a
+            # stale file the manifest no longer references.
+            stale_wal = target / WAL_NAME
+            if stale_wal.exists():
+                try:
+                    stale_wal.unlink()
+                except OSError as error:
+                    raise StorageError(
+                        f"{stale_wal} cannot be removed: {error}"
+                    ) from error
         database.clear_dirty()
         return target
 
@@ -765,8 +796,11 @@ class ShardedBackend(StorageBackend):
             chunks.append(struct.pack("<I", len(blob)))
             chunks.append(blob)
         temporary = path.with_suffix(".bin.tmp")
-        temporary.write_bytes(b"".join(chunks))
-        os.replace(temporary, path)
+        try:
+            temporary.write_bytes(b"".join(chunks))
+            os.replace(temporary, path)
+        except OSError as error:
+            raise StorageError(f"{path} cannot be written: {error}") from error
 
     def _write_manifest(
         self,
@@ -784,15 +818,29 @@ class ShardedBackend(StorageBackend):
             "signatures": self.persist_signatures if signatures is None else signatures,
             "shards": {key: shards[key] for key in sorted(shards)},
         }
+        if self.wal_block is not None:
+            payload["wal"] = dict(self.wal_block)
+        manifest_path = target / MANIFEST_NAME
         temporary = target / (MANIFEST_NAME + ".tmp")
-        temporary.write_text(
-            json.dumps(payload, indent=2, sort_keys=True), encoding="utf-8"
-        )
-        os.replace(temporary, target / MANIFEST_NAME)
+        try:
+            with open(temporary, "w", encoding="utf-8") as handle:
+                handle.write(json.dumps(payload, indent=2, sort_keys=True))
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(temporary, manifest_path)
+        except OSError as error:
+            raise StorageError(f"{manifest_path} cannot be written: {error}") from error
 
     # -- loading --------------------------------------------------------
     def load(self, path: PathLike) -> ImageDatabase:
         """Read every shard of a shard directory, validating BE-strings.
+
+        When the manifest carries a ``wal`` block, the write-ahead log's
+        records *past* the snapshot LSN are replayed on top of the shard
+        contents (upserts replace, deletes remove), so acknowledged writes
+        that never reached a shard still load.  A torn log tail — the
+        signature of a crash mid-append — silently ends the replay at the
+        last intact record; it never fails the load.
 
         Returns:
             The reconstructed database with a clean dirty set.
@@ -817,8 +865,49 @@ class ShardedBackend(StorageBackend):
                 image_entry_to_record(database, entry)
             except StorageError as error:
                 raise StorageError(f"{source}: {error}") from error
+        self._replay_wal(source, manifest, database)
         database.clear_dirty()
         return database
+
+    @staticmethod
+    def pending_wal_records(source: Path, manifest: Dict[str, Any]) -> List[WalRecord]:
+        """The intact log records past the manifest's snapshot LSN.
+
+        Returns:
+            An empty list when the manifest has no ``wal`` block or the log
+            file is missing; a torn tail bounds the list at the last intact
+            record.
+
+        Raises:
+            StorageError: if the log file exists but is unreadable or is not
+                a write-ahead log at all.
+        """
+        wal_info = manifest.get("wal")
+        if not wal_info:
+            return []
+        records, _, _ = read_wal(source / wal_info["file"])
+        snapshot_lsn = wal_info["snapshot_lsn"]
+        return [record for record in records if record.lsn > snapshot_lsn]
+
+    def _replay_wal(
+        self, source: Path, manifest: Dict[str, Any], database: ImageDatabase
+    ) -> int:
+        """Apply the pending log records to ``database``; returns the count."""
+        pending = self.pending_wal_records(source, manifest)
+        for record in pending:
+            if record.image_id in database:
+                database.remove_picture(record.image_id)
+            if record.op == "upsert":
+                entry = dict(record.entry or {})
+                entry["image_id"] = record.image_id
+                try:
+                    image_entry_to_record(database, entry)
+                except StorageError as error:
+                    raise StorageError(
+                        f"{source}: write-ahead log record {record.lsn} "
+                        f"({record.image_id!r}): {error}"
+                    ) from error
+        return len(pending)
 
     def describe(self, path: PathLike) -> Dict[str, Any]:
         """Summarise a shard directory from its manifest alone.
@@ -838,7 +927,7 @@ class ShardedBackend(StorageBackend):
             for entry in manifest["shards"].values()
             if (source / entry["file"]).exists()
         )
-        return {
+        summary = {
             "format": self.name,
             "path": str(source),
             "schema_version": manifest.get("schema_version"),
@@ -848,6 +937,24 @@ class ShardedBackend(StorageBackend):
             "signatures": bool(manifest.get("signatures", False)),
             "size_bytes": size + (source / MANIFEST_NAME).stat().st_size,
         }
+        wal_info = manifest.get("wal")
+        if wal_info:
+            wal_path = source / wal_info["file"]
+            records, _, clean = read_wal(wal_path)
+            snapshot_lsn = wal_info["snapshot_lsn"]
+            summary["wal"] = {
+                "file": wal_info["file"],
+                "snapshot_lsn": snapshot_lsn,
+                "last_lsn": max(
+                    snapshot_lsn, records[-1].lsn if records else 0
+                ),
+                "pending_records": sum(
+                    1 for record in records if record.lsn > snapshot_lsn
+                ),
+                "clean": clean,
+                "size_bytes": wal_path.stat().st_size if wal_path.exists() else 0,
+            }
+        return summary
 
     def _try_manifest(self, source: Path) -> Optional[Dict[str, Any]]:
         try:
@@ -864,6 +971,8 @@ class ShardedBackend(StorageBackend):
             manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
         except (json.JSONDecodeError, UnicodeDecodeError) as error:
             raise StorageError(f"{manifest_path} is not valid JSON: {error}") from error
+        except OSError as error:
+            raise StorageError(f"{manifest_path} cannot be read: {error}") from error
         if not isinstance(manifest, dict) or manifest.get("format") != MANIFEST_FORMAT:
             raise StorageError(
                 f"{manifest_path}: unsupported manifest format "
@@ -887,13 +996,25 @@ class ShardedBackend(StorageBackend):
             )
         ):
             raise StorageError(f"{manifest_path}: malformed shard table")
+        wal_info = manifest.get("wal")
+        if wal_info is not None and (
+            not isinstance(wal_info, dict)
+            or not isinstance(wal_info.get("file"), str)
+            or isinstance(wal_info.get("snapshot_lsn"), bool)
+            or not isinstance(wal_info.get("snapshot_lsn"), int)
+            or wal_info["snapshot_lsn"] < 0
+        ):
+            raise StorageError(f"{manifest_path}: malformed wal block")
         return manifest
 
     @staticmethod
     def _read_shard(shard_path: Path) -> List[Dict[str, Any]]:
         if not shard_path.exists():
             raise StorageError(f"missing shard file: {shard_path}")
-        data = shard_path.read_bytes()
+        try:
+            data = shard_path.read_bytes()
+        except OSError as error:
+            raise StorageError(f"{shard_path} cannot be read: {error}") from error
         if data[:4] != SHARD_MAGIC:
             raise StorageError(f"{shard_path} is not a shard file (bad magic)")
         try:
@@ -925,6 +1046,239 @@ class ShardedBackend(StorageBackend):
 
 
 # ----------------------------------------------------------------------
+# Durable sharded backend (snapshot + write-ahead log)
+# ----------------------------------------------------------------------
+class DurableShardedBackend(ShardedBackend):
+    """A sharded directory whose manifest anchors a write-ahead log.
+
+    A save is a *compaction*: it snapshots the database into the shard files
+    (full or dirty-shards incremental), swaps in a manifest whose ``wal``
+    block records the LSN that snapshot covers, and truncates the log.  The
+    crash-ordering argument (any prefix of these steps recovers to the same
+    acknowledged state) lives in ``docs/durability.md``.
+
+    Loading is inherited from :class:`ShardedBackend`, which already replays
+    pending log records past the manifest's snapshot LSN — a plain reader
+    and a durable writer always agree on the database contents.
+    """
+
+    name = "durable"
+
+    def save(
+        self, database: ImageDatabase, path: PathLike, *, incremental: bool = False
+    ) -> Path:
+        """Snapshot ``database``, anchor the log at the covered LSN, truncate.
+
+        Returns:
+            The directory written.
+
+        Raises:
+            StorageError: if the target exists in an incompatible format or
+                any shard/manifest/log write fails (message names the path).
+        """
+        target = Path(path)
+        if target.exists() and not target.is_dir():
+            raise StorageError(f"{target} is a file, not a shard directory")
+        covered = self.current_lsn(target)
+        self.save_snapshot(database, target, snapshot_lsn=covered, incremental=incremental)
+        # Everything at or below ``covered`` is now in the shards; an empty
+        # log (with LSNs resuming past the floor) replaces the old one.
+        with WriteAheadLog(target / WAL_NAME, floor_lsn=covered) as log:
+            log.truncate_through(covered)
+        return target
+
+    def save_snapshot(
+        self,
+        database: ImageDatabase,
+        path: PathLike,
+        *,
+        snapshot_lsn: int,
+        incremental: bool = False,
+    ) -> Path:
+        """Write the shard snapshot + manifest only (the log is left alone).
+
+        :class:`DurableShardedStore` calls this during compaction and
+        truncates the log itself once the manifest swap has landed; crash in
+        between and the untrimmed records are simply skipped on replay.
+
+        Returns:
+            The directory written.
+        """
+        self.wal_block = {"file": WAL_NAME, "snapshot_lsn": snapshot_lsn}
+        try:
+            return super().save(database, path, incremental=incremental)
+        finally:
+            self.wal_block = None
+
+    def current_lsn(self, path: PathLike) -> int:
+        """The highest LSN the directory knows (snapshot floor or log tail).
+
+        Returns:
+            0 for a fresh or non-durable target.
+        """
+        target = Path(path)
+        manifest = self._try_manifest(target)
+        if manifest is None or not manifest.get("wal"):
+            return 0
+        wal_info = manifest["wal"]
+        records, _, _ = read_wal(target / wal_info["file"])
+        return max(wal_info["snapshot_lsn"], records[-1].lsn if records else 0)
+
+
+class DurableShardedStore:
+    """The live durability handle of a long-running service.
+
+    Binds an in-memory :class:`~repro.index.database.ImageDatabase` to a
+    durable shard directory: every acknowledged mutation is first applied in
+    memory, then appended to the write-ahead log (fsync'd before the caller
+    may ack), while the dirty-id set accumulates until :meth:`compact`
+    rewrites the dirty shards and truncates the log behind an atomic
+    manifest swap.  Opening a store against a directory with pending log
+    records re-marks those ids dirty, so the *next* compaction still rewrites
+    exactly the delta — recovery work never exceeds the write delta.
+
+    Thread safety: appends and compaction serialise on an internal lock; the
+    service additionally brackets both in its mutation lock so a compaction
+    snapshot never interleaves with a half-applied mutation.
+    """
+
+    def __init__(
+        self,
+        database: ImageDatabase,
+        path: PathLike,
+        *,
+        shard_count: Optional[int] = None,
+        compact_threshold: int = 256,
+        fsync: bool = True,
+    ) -> None:
+        """Bind ``database`` to the durable directory at ``path``.
+
+        A fresh or non-durable target gets a full durable snapshot first; an
+        existing durable directory is adopted as-is (the caller is expected
+        to have loaded ``database`` from it, which replayed the log).
+
+        Raises:
+            StorageError: if the target exists in an incompatible format or
+                the snapshot/log cannot be written.
+            ValueError: on a non-positive ``compact_threshold``.
+        """
+        if compact_threshold < 1:
+            raise ValueError(f"compact_threshold must be >= 1, got {compact_threshold}")
+        self.database = database
+        self.path = Path(path)
+        self.compact_threshold = compact_threshold
+        manifest = DurableShardedBackend()._try_manifest(self.path)
+        if shard_count is None and manifest is not None:
+            # Upgrading an existing sharded directory keeps its layout.
+            shard_count = manifest.get("shard_count")
+        self.backend = DurableShardedBackend(
+            shard_count=shard_count or DEFAULT_SHARD_COUNT
+        )
+        self.compactions = 0
+        self._lock = threading.Lock()
+        if manifest is None or not manifest.get("wal"):
+            # Initialise: full durable snapshot of the current database.
+            self.backend.save(self.database, self.path)
+            manifest = self.backend._read_manifest(self.path)
+        wal_info = manifest["wal"]
+        self.snapshot_lsn = wal_info["snapshot_lsn"]
+        self.wal = WriteAheadLog(
+            self.path / wal_info["file"], floor_lsn=self.snapshot_lsn, fsync=fsync
+        )
+        # Records past the snapshot are in memory (replayed on load) but not
+        # yet in a shard: their shards are what the next compaction rewrites.
+        for record in self.wal.records:
+            if record.lsn > self.snapshot_lsn:
+                self.database.mark_dirty(record.image_id)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def last_lsn(self) -> int:
+        """The LSN of the most recent acknowledged mutation."""
+        return self.wal.last_lsn
+
+    @property
+    def pending_records(self) -> int:
+        """Log records not yet covered by the shard snapshot."""
+        return self.wal.pending_past(self.snapshot_lsn)
+
+    def should_compact(self) -> bool:
+        """Whether the pending delta has reached the compaction threshold."""
+        return self.pending_records >= self.compact_threshold
+
+    # ------------------------------------------------------------------
+    # Logging (call after applying the mutation in memory; ack on return)
+    # ------------------------------------------------------------------
+    def log_upsert(self, record: ImageRecord) -> int:
+        """Durably log an added/replaced image; returns its LSN once fsync'd."""
+        entry = image_record_to_json(
+            record, include_signature=self.backend.persist_signatures
+        )
+        with self._lock:
+            return self.wal.append("upsert", record.image_id, entry)
+
+    def log_delete(self, image_id: str) -> int:
+        """Durably log a removal; returns its LSN once fsync'd."""
+        with self._lock:
+            return self.wal.append("delete", image_id)
+
+    # ------------------------------------------------------------------
+    # Compaction
+    # ------------------------------------------------------------------
+    def compact(self) -> int:
+        """Fold the pending delta into the shards and truncate the log.
+
+        Steps, in crash-safe order: rewrite the dirty shards (each behind a
+        temp-file + atomic rename), swap in a manifest whose snapshot LSN is
+        the current log tail, then truncate the log.  A crash after any
+        prefix recovers identically: shard rewrites without the manifest are
+        reconciled by replay, and an untrimmed log behind a new manifest is
+        skipped by the snapshot-LSN check.
+
+        Returns:
+            The new snapshot LSN.
+
+        Raises:
+            StorageError: if any write fails; the on-disk state stays
+                recoverable (the old manifest + full log still replay).
+        """
+        with self._lock:
+            covered = self.wal.last_lsn
+            self.backend.save_snapshot(
+                self.database, self.path, snapshot_lsn=covered, incremental=True
+            )
+            self.snapshot_lsn = covered
+            self.wal.truncate_through(covered)
+            self.compactions += 1
+            return covered
+
+    def rebind(self, database: ImageDatabase) -> None:
+        """Point the store at a replacement in-memory database (hot reload).
+
+        The replacement is expected to reflect the on-disk state (snapshot +
+        replayed log); pending log records are re-marked dirty on it so the
+        next compaction still rewrites the delta.
+        """
+        with self._lock:
+            self.database = database
+            for record in self.wal.records:
+                if record.lsn > self.snapshot_lsn:
+                    database.mark_dirty(record.image_id)
+
+    def close(self) -> None:
+        """Close the log file handle (idempotent; no implicit compaction)."""
+        self.wal.close()
+
+    def __enter__(self) -> "DurableShardedStore":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
 # Registry, inference and dispatch
 # ----------------------------------------------------------------------
 #: Backend registry, keyed by the names accepted everywhere a ``backend``
@@ -933,6 +1287,7 @@ BACKENDS = {
     JsonBackend.name: JsonBackend,
     SqliteBackend.name: SqliteBackend,
     ShardedBackend.name: ShardedBackend,
+    DurableShardedBackend.name: DurableShardedBackend,
 }
 
 
@@ -963,8 +1318,8 @@ def get_backend(
         raise ValueError(
             f"unknown storage backend {backend!r} (expected one of {sorted(BACKENDS)})"
         ) from None
-    if factory is ShardedBackend and shard_count is not None:
-        return ShardedBackend(shard_count=shard_count)
+    if issubclass(factory, ShardedBackend) and shard_count is not None:
+        return factory(shard_count=shard_count)
     return factory()
 
 
@@ -1006,21 +1361,35 @@ def save_database_to(
     incremental: bool = False,
     shard_count: Optional[int] = None,
     persist_signatures: Optional[bool] = None,
+    durable: bool = False,
 ) -> Path:
     """Persist ``database`` with an explicit or path-inferred backend.
 
     ``persist_signatures`` overrides the backend's signature-persistence
     toggle for this save (``None`` keeps the backend's default of writing
-    the shortlist signatures).
+    the shortlist signatures).  ``durable=True`` upgrades a sharded save to
+    :class:`DurableShardedBackend` — the directory gains a write-ahead log
+    anchored at the snapshot — and rejects non-sharded backends.
 
     Returns:
         The path written.
 
     Raises:
-        ValueError: on an unknown backend name.
+        ValueError: on an unknown backend name, or ``durable=True`` with a
+            backend that has no write-ahead log support.
         StorageError: if the target exists in an incompatible format.
     """
     resolved = get_backend(backend, path, shard_count=shard_count)
+    if durable:
+        if not isinstance(resolved, ShardedBackend):
+            raise ValueError(
+                "durable persistence requires the sharded backend, "
+                f"not {resolved.name!r} (target: {path})"
+            )
+        if not isinstance(resolved, DurableShardedBackend):
+            durable_backend = DurableShardedBackend(shard_count=resolved.shard_count)
+            durable_backend.persist_signatures = resolved.persist_signatures
+            resolved = durable_backend
     if persist_signatures is not None and persist_signatures != resolved.persist_signatures:
         # Shallow-copy so a one-shot override never leaks into a caller's
         # backend instance (backends hold only configuration state).
@@ -1030,9 +1399,18 @@ def save_database_to(
 
 
 def load_database_from(
-    path: PathLike, backend: Union[None, str, StorageBackend] = None
+    path: PathLike,
+    backend: Union[None, str, StorageBackend] = None,
+    *,
+    durable: bool = False,
 ) -> ImageDatabase:
     """Load a database with an explicit or content-inferred backend.
+
+    A sharded directory whose manifest anchors a write-ahead log replays
+    the pending log records automatically, whatever ``durable`` says;
+    ``durable=True`` merely *requires* the target to be sharded, so a caller
+    about to attach a :class:`DurableShardedStore` fails fast on a format
+    that cannot carry one.
 
     Returns:
         The reconstructed database with a clean dirty set.
@@ -1040,12 +1418,18 @@ def load_database_from(
     Raises:
         StorageError: if the target is corrupt or fails validation (the
             message names the offending path).
+        ValueError: on ``durable=True`` against a non-sharded database.
         FileNotFoundError: if ``path`` does not exist.
     """
     source = Path(path)
     if not source.exists():
         raise FileNotFoundError(f"no such database: {source}")
     resolved = get_backend(backend, source)
+    if durable and not isinstance(resolved, ShardedBackend):
+        raise ValueError(
+            "durable persistence requires a sharded database directory, "
+            f"not {resolved.name!r} (target: {source})"
+        )
     return resolved.load(source)
 
 

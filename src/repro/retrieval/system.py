@@ -132,6 +132,7 @@ class RetrievalSystem:
         policy: SimilarityPolicy = DEFAULT_POLICY,
         backend: Union[None, str, StorageBackend] = None,
         execution: Optional[ExecutionOptions] = None,
+        durable: bool = False,
     ) -> "RetrievalSystem":
         """Load a system from a database written by :meth:`save`.
 
@@ -140,6 +141,10 @@ class RetrievalSystem:
         inferred from the file/directory content (see
         :mod:`repro.index.backends`).  ``execution`` sets the engine-wide
         execution defaults (kernel, strategy, ...) every query inherits.
+        ``durable=True`` requires a sharded directory (the only format with
+        a write-ahead log); any acknowledged-but-uncompacted log records are
+        replayed on top of the shard snapshot either way, so a durable
+        directory always loads to its full acknowledged state.
 
         Warm starts are cheap: the loaded records (pictures, validated
         BE-strings, and persisted shortlist signatures) are indexed in place
@@ -154,9 +159,10 @@ class RetrievalSystem:
         Raises:
             repro.index.storage.StorageError: if the database is corrupt or
                 truncated; the message names the offending path.
+            ValueError: if ``durable=True`` and the target is not sharded.
             FileNotFoundError: if ``path`` does not exist.
         """
-        database = load_database_from(path, backend=backend)
+        database = load_database_from(path, backend=backend, durable=durable)
         system = cls(policy=policy, execution=execution)
         system._engine = QueryEngine.build(
             database,
@@ -166,6 +172,22 @@ class RetrievalSystem:
         # Loading is not a mutation: the engine's database matches the file.
         system._engine.database.clear_dirty()
         return system
+
+    def hot_swap(self, replacement: "RetrievalSystem") -> None:
+        """Atomically replace this system's engine with ``replacement``'s.
+
+        The zero-downtime reload primitive of the retrieval service: build a
+        fresh system off to the side (e.g. re-loading the on-disk database),
+        then swap its fully-indexed engine under *this* system's lock.  The
+        existing lock object stays installed — in-flight readers holding a
+        shared grant finish against the old engine, the swap itself takes
+        the exclusive grant, and every later reader sees only the new
+        engine.  No reader ever observes a mix of the two states.
+        """
+        lock = self._engine.lock
+        replacement._engine.lock = lock
+        with lock.write_locked():
+            self._engine = replacement._engine
 
     # ------------------------------------------------------------------
     # Database maintenance
@@ -193,6 +215,7 @@ class RetrievalSystem:
         *,
         incremental: bool = False,
         shard_count: Optional[int] = None,
+        durable: bool = False,
     ) -> Path:
         """Persist the database.
 
@@ -202,12 +225,15 @@ class RetrievalSystem:
         ``incremental=True`` lets the SQLite and sharded backends rewrite only
         the rows/shards touched since the last save or load;
         ``shard_count`` sizes a newly created sharded directory.
+        ``durable=True`` writes a sharded directory with a write-ahead-log
+        anchor (see ``docs/durability.md``), ready for ``repro serve --wal``.
 
         Returns:
             The path written.
 
         Raises:
-            ValueError: on an unknown backend name.
+            ValueError: on an unknown backend name, or ``durable=True`` with
+                a non-sharded backend.
             repro.index.storage.StorageError: if the target exists in an
                 incompatible format.
         """
@@ -217,6 +243,7 @@ class RetrievalSystem:
             backend=backend,
             incremental=incremental,
             shard_count=shard_count,
+            durable=durable,
         )
 
     # ------------------------------------------------------------------

@@ -1,7 +1,7 @@
 """The ``repro serve`` daemon: JSON-over-HTTP retrieval on a thread-safe core.
 
 The server is pure standard library (:class:`http.server.ThreadingHTTPServer`)
-and exposes the whole unified query pipeline over six endpoints:
+and exposes the whole unified query pipeline over eight endpoints:
 
 ==========  =================  ===================================================
 method      path               what it does
@@ -10,11 +10,24 @@ method      path               what it does
                                (exact / invariant / partial / predicate clauses,
                                ``min_score``, ``limit``, pagination)
 ``POST``    ``/batch``         many similarity queries as one scheduled batch
-``POST``    ``/images``        insert a scene (incremental persistence)
-``DELETE``  ``/images/{id}``   remove a stored image (incremental persistence)
+``POST``    ``/images``        insert a scene (incremental persistence; in
+                               durable mode acked only after the WAL fsync)
+``DELETE``  ``/images/{id}``   remove a stored image (same durability contract)
+``POST``    ``/reload``        zero-downtime reload: rebuild the engine from
+                               disk, swap it in under the readers-writer lock
+``POST``    ``/compact``       fold the WAL delta into the shards now
+                               (409 unless serving with ``--wal``)
 ``GET``     ``/healthz``       liveness: status, image count, uptime
 ``GET``     ``/stats``         request counts, p50/p95 latency, cache hit rate
 ==========  =================  ===================================================
+
+Durable mode (``repro serve --wal``, a sharded directory only) adds the
+crash-safety contract of ``docs/durability.md``: a mutation response is the
+durability acknowledgement (the WAL record is fsync'd before the status line
+is written), a background thread compacts the log into the shards past a
+pending-record threshold, and ``repro recover`` / plain loading replays the
+log so no acknowledged write is ever lost — kill -9 included, as the
+fault-injection harness (``tools/faultinject.py``) asserts.
 
 Every request thread runs against one shared
 :class:`~repro.retrieval.system.RetrievalSystem` whose engine carries a
@@ -52,6 +65,7 @@ from typing import Any, Deque, Dict, Iterator, List, Optional, Tuple, Union
 from urllib.parse import unquote
 
 from repro.iconic.picture import SymbolicPicture
+from repro.index.backends import DurableShardedStore
 from repro.index.database import DatabaseError
 from repro.index.execution import ExecutionOptions
 from repro.index.spec import QuerySpecError
@@ -163,11 +177,15 @@ class RetrievalService:
         backend: Optional[str] = None,
         retry_after: float = 1.0,
         latency_window: int = 2048,
+        durable: bool = False,
+        compact_threshold: int = 256,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be at least 1")
         if backlog < 0:
             raise ValueError("backlog must be non-negative")
+        if durable and database_path is None:
+            raise ValueError("durable mode requires a database_path")
         self.system = system.enable_concurrent_access()
         self.workers = workers
         self.backlog = backlog
@@ -186,6 +204,24 @@ class RetrievalService:
         self._rejected = 0
         self._error_count = 0
         self._latencies: Deque[float] = deque(maxlen=latency_window)
+        self._reloads = 0
+        #: Durable mode: a live WAL handle; every acked mutation is fsync'd
+        #: to the log first, a background thread folds the delta into the
+        #: shards when it crosses ``compact_threshold`` (see docs/durability.md).
+        self.store: Optional[DurableShardedStore] = None
+        self._compact_wanted = threading.Event()
+        self._closed = threading.Event()
+        self._compactor: Optional[threading.Thread] = None
+        if durable:
+            self.store = DurableShardedStore(
+                self.system._engine.database,
+                self.database_path,
+                compact_threshold=compact_threshold,
+            )
+            self._compactor = threading.Thread(
+                target=self._compaction_loop, name="repro-compactor", daemon=True
+            )
+            self._compactor.start()
 
     # ------------------------------------------------------------------
     # Admission control
@@ -239,7 +275,15 @@ class RetrievalService:
         path = path.split("?", 1)[0].rstrip("/") or "/"
         if path.startswith("/images/"):
             return "/images/{id}"
-        if path in ("/healthz", "/stats", "/search", "/batch", "/images"):
+        if path in (
+            "/healthz",
+            "/stats",
+            "/search",
+            "/batch",
+            "/images",
+            "/reload",
+            "/compact",
+        ):
             return path
         return "<unknown>"
 
@@ -257,6 +301,10 @@ class RetrievalService:
             return 200, self.batch(_as_object(payload)), {}
         if method == "POST" and path == "/images":
             return 201, self.add_image(_as_object(payload)), {}
+        if method == "POST" and path == "/reload":
+            return 200, self.reload(), {}
+        if method == "POST" and path == "/compact":
+            return 200, self.compact(), {}
         if method == "DELETE" and path.startswith("/images/"):
             return 200, self.delete_image(unquote(path[len("/images/"):])), {}
         if method == "DELETE" and path == "/images":
@@ -389,8 +437,13 @@ class RetrievalService:
     # Mutation endpoints
     # ------------------------------------------------------------------
     def _persist(self) -> None:
-        """Write the database back to disk incrementally (if configured)."""
-        if self.database_path is None:
+        """Write the database back to disk incrementally (if configured).
+
+        In durable mode this is a no-op: the mutation endpoints append to
+        the write-ahead log instead (ack-after-fsync) and the background
+        compactor folds the delta into the shards.
+        """
+        if self.database_path is None or self.store is not None:
             return
         try:
             self.system.save(self.database_path, backend=self.backend, incremental=True)
@@ -400,8 +453,14 @@ class RetrievalService:
     def add_image(self, payload: Dict[str, Any]) -> Dict[str, Any]:
         """``POST /images``: store one scene and persist incrementally.
 
+        In durable mode the 201 response is the durability acknowledgement:
+        it is sent only after the upsert record is fsync'd to the
+        write-ahead log; a logging failure rolls the in-memory insert back
+        and answers 500, so the client's view and the log never diverge.
+
         Returns:
-            The stored ``image_id`` and the new database size (HTTP 201).
+            The stored ``image_id`` and the new database size (HTTP 201);
+            in durable mode also the record's ``lsn``.
         """
         with self._admitted():
             picture = _parse_scene(payload.get("scene"))
@@ -413,11 +472,25 @@ class RetrievalService:
                     stored = self.system.add_picture(picture, image_id)
                 except DatabaseError as error:
                     raise ApiError(409, str(error)) from error
-                self._persist()
-            return {"image_id": stored, "images": len(self.system)}
+                body: Dict[str, Any] = {"image_id": stored}
+                if self.store is not None:
+                    try:
+                        body["lsn"] = self.store.log_upsert(self.system.record(stored))
+                    except StorageError as error:
+                        self.system.remove_picture(stored)
+                        raise ApiError(500, f"durable log failed: {error}") from error
+                else:
+                    self._persist()
+                body["images"] = len(self.system)
+            self._maybe_compact()
+            return body
 
     def delete_image(self, image_id: str) -> Dict[str, Any]:
         """``DELETE /images/{id}``: remove one image and persist incrementally.
+
+        In durable mode the 200 response is sent only after the delete
+        record is fsync'd to the write-ahead log; a logging failure restores
+        the removed image and answers 500.
 
         Returns:
             The removed id and the new database size; 404 on an unknown id.
@@ -427,11 +500,112 @@ class RetrievalService:
                 raise ApiError(400, "an image id is required: DELETE /images/{id}")
             with self._mutation_lock:
                 try:
+                    record = self.system.record(image_id)
                     self.system.remove_picture(image_id)
                 except DatabaseError as error:
                     raise ApiError(404, str(error)) from error
-                self._persist()
-            return {"removed": image_id, "images": len(self.system)}
+                body = {"removed": image_id}
+                if self.store is not None:
+                    try:
+                        body["lsn"] = self.store.log_delete(image_id)
+                    except StorageError as error:
+                        self.system.add_picture(record.picture, image_id)
+                        raise ApiError(500, f"durable log failed: {error}") from error
+                else:
+                    self._persist()
+                body["images"] = len(self.system)
+            self._maybe_compact()
+            return body
+
+    # ------------------------------------------------------------------
+    # Durability: background compaction and zero-downtime reload
+    # ------------------------------------------------------------------
+    def _maybe_compact(self) -> None:
+        """Nudge the background compactor once the pending delta is large."""
+        if self.store is not None and self.store.should_compact():
+            self._compact_wanted.set()
+
+    def _compaction_loop(self) -> None:
+        """Background thread: fold the WAL delta into the shards on demand."""
+        while not self._closed.is_set():
+            self._compact_wanted.wait(timeout=0.5)
+            if self._closed.is_set():
+                return
+            if not self._compact_wanted.is_set():
+                continue
+            self._compact_wanted.clear()
+            try:
+                with self._mutation_lock:
+                    if self.store is not None and self.store.should_compact():
+                        self.store.compact()
+            except StorageError:
+                # The on-disk state stays recoverable (old manifest + full
+                # log); the next nudge retries.  Never kill the thread.
+                continue
+
+    def compact(self) -> Dict[str, Any]:
+        """``POST /compact``: synchronously fold the WAL delta into the shards.
+
+        Returns:
+            The new snapshot LSN and remaining pending-record count;
+            409 when the service is not running in durable mode.
+        """
+        with self._admitted():
+            if self.store is None:
+                raise ApiError(409, "service is not running in durable (--wal) mode")
+            with self._mutation_lock:
+                try:
+                    snapshot_lsn = self.store.compact()
+                except StorageError as error:
+                    raise ApiError(500, f"compaction failed: {error}") from error
+            return {
+                "snapshot_lsn": snapshot_lsn,
+                "pending_records": self.store.pending_records,
+                "compactions": self.store.compactions,
+            }
+
+    def reload(self) -> Dict[str, Any]:
+        """``POST /reload``: zero-downtime reload of the on-disk database.
+
+        Builds a fresh engine from ``database_path`` (replaying any pending
+        WAL records) off to the side, then swaps it in under the engine's
+        readers-writer lock via :meth:`RetrievalSystem.hot_swap`: in-flight
+        queries finish against the old engine, later ones see only the new
+        one, and no reader ever observes a mix.
+
+        Returns:
+            The reloaded image count; 409 without a ``database_path``.
+        """
+        with self._admitted():
+            if self.database_path is None:
+                raise ApiError(409, "service has no database_path to reload from")
+            with self._mutation_lock:
+                try:
+                    replacement = RetrievalSystem.from_file(
+                        self.database_path,
+                        policy=self.system.policy,
+                        backend=self.backend,
+                        execution=self.system.execution,
+                        durable=self.store is not None,
+                    )
+                except (StorageError, ValueError, FileNotFoundError) as error:
+                    raise ApiError(500, f"reload failed: {error}") from error
+                self.system.hot_swap(replacement)
+                if self.store is not None:
+                    self.store.rebind(self.system._engine.database)
+                with self._stats_lock:
+                    self._reloads += 1
+            return {"images": len(self.system), "reloads": self._reloads}
+
+    def close(self) -> None:
+        """Stop the background compactor and close the WAL handle (idempotent)."""
+        self._closed.set()
+        self._compact_wanted.set()
+        if self._compactor is not None:
+            self._compactor.join(timeout=5)
+            self._compactor = None
+        if self.store is not None:
+            self.store.close()
 
     # ------------------------------------------------------------------
     # Observability endpoints
@@ -508,6 +682,18 @@ class RetrievalService:
         lock = self.system._engine.lock
         if hasattr(lock, "statistics"):
             body["lock"] = lock.statistics()
+        body["reloads"] = self._reloads
+        if self.store is not None:
+            body["durability"] = {
+                "enabled": True,
+                "last_lsn": self.store.last_lsn,
+                "snapshot_lsn": self.store.snapshot_lsn,
+                "pending_records": self.store.pending_records,
+                "compact_threshold": self.store.compact_threshold,
+                "compactions": self.store.compactions,
+            }
+        else:
+            body["durability"] = {"enabled": False}
         return body
 
     def _observe(self, endpoint: str, started: float, status: int) -> None:
@@ -647,9 +833,10 @@ class RetrievalServer:
             self._thread = None
 
     def close(self) -> None:
-        """Stop serving and release the socket."""
+        """Stop serving, release the socket, and close the service's WAL."""
         self.shutdown()
         self._http.server_close()
+        self.service.close()
 
     def __enter__(self) -> "RetrievalServer":
         return self
@@ -667,6 +854,8 @@ def create_server(
     backlog: int = 16,
     database_path: Union[None, str, Path] = None,
     backend: Optional[str] = None,
+    durable: bool = False,
+    compact_threshold: int = 256,
 ) -> RetrievalServer:
     """Build a bound :class:`RetrievalServer` over ``system``.
 
@@ -674,13 +863,18 @@ def create_server(
     ``database_path`` enables write-through persistence: every mutation
     endpoint saves incrementally to that path with ``backend`` (``None``
     infers the format from the path, exactly like :meth:`RetrievalSystem.save`).
+    ``durable=True`` (the ``repro serve --wal`` path) switches persistence to
+    the write-ahead log instead: mutations are acknowledged only after their
+    log record is fsync'd, and a background thread compacts the log into the
+    shards every ``compact_threshold`` pending records (``docs/durability.md``).
 
     Returns:
         A server with the socket bound; call ``serve_forever()`` or
         ``start_background()`` to begin answering requests.
 
     Raises:
-        ValueError: on a non-positive ``workers`` or negative ``backlog``.
+        ValueError: on a non-positive ``workers``, negative ``backlog``, or
+            ``durable=True`` without a ``database_path``.
         OSError: if the address cannot be bound.
     """
     service = RetrievalService(
@@ -689,5 +883,7 @@ def create_server(
         backlog=backlog,
         database_path=database_path,
         backend=backend,
+        durable=durable,
+        compact_threshold=compact_threshold,
     )
     return RetrievalServer(service, host=host, port=port)

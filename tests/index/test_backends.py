@@ -15,6 +15,7 @@ import pytest
 from repro.index.backends import (
     DEFAULT_SHARD_COUNT,
     MANIFEST_NAME,
+    DurableShardedStore,
     JsonBackend,
     ShardedBackend,
     SqliteBackend,
@@ -664,3 +665,161 @@ class TestSignaturePersistence:
         assert backend.persist_signatures is True
         full = save_database_to(populated_database, tmp_path / "full.sqlite", backend)
         assert describe_database(full)["signatures"] is True
+
+
+# ----------------------------------------------------------------------
+# Durable backend: WAL-backed sharded directories
+# ----------------------------------------------------------------------
+class TestDurableBackend:
+    def test_durable_round_trip(self, populated_database, tmp_path):
+        path = save_database_to(
+            populated_database, tmp_path / "db.shards", "sharded", durable=True
+        )
+        restored = load_database_from(path, durable=True)
+        assert restored.image_ids == populated_database.image_ids
+        for image_id in restored.image_ids:
+            assert restored.get(image_id).bestring == populated_database.get(image_id).bestring
+
+    def test_describe_reports_wal_block(self, populated_database, tmp_path):
+        path = save_database_to(
+            populated_database, tmp_path / "db.shards", "sharded", durable=True
+        )
+        wal = describe_database(path)["wal"]
+        assert wal["file"] == "wal.log"
+        assert wal["snapshot_lsn"] == 0
+        assert wal["last_lsn"] == 0
+        assert wal["pending_records"] == 0
+        assert wal["clean"] is True
+        # Plain sharded directories have no wal block at all.
+        plain = save_database_to(populated_database, tmp_path / "plain.shards", "sharded")
+        assert "wal" not in describe_database(plain)
+
+    def test_pending_log_records_replay_on_load(self, populated_database, tmp_path, office):
+        path = save_database_to(
+            populated_database, tmp_path / "db.shards", "sharded", durable=True
+        )
+        victim = populated_database.image_ids[0]
+        with DurableShardedStore(populated_database, path) as store:
+            populated_database.add_picture(office.renamed("walled-in"))
+            store.log_upsert(populated_database.get("walled-in"))
+            populated_database.remove_picture(victim)
+            store.log_delete(victim)
+            assert store.pending_records == 2
+        # No compaction happened: the snapshot on disk predates both
+        # mutations, so the load must replay them from the log.
+        restored = load_database_from(path)
+        assert "walled-in" in restored
+        assert victim not in restored
+        assert restored.image_ids == populated_database.image_ids
+
+    def test_compaction_folds_log_into_snapshot(
+        self, populated_database, tmp_path, office
+    ):
+        path = save_database_to(
+            populated_database, tmp_path / "db.shards", "sharded", durable=True
+        )
+        with DurableShardedStore(populated_database, path) as store:
+            populated_database.add_picture(office.renamed("compact-me"))
+            store.log_upsert(populated_database.get("compact-me"))
+            assert store.pending_records == 1
+            store.compact()
+            assert store.pending_records == 0
+            assert store.compactions == 1
+        wal = describe_database(path)["wal"]
+        assert wal["pending_records"] == 0
+        assert wal["snapshot_lsn"] == wal["last_lsn"] == 1
+        assert "compact-me" in load_database_from(path)
+
+    def test_crash_window_untrimmed_log_replays_idempotently(
+        self, populated_database, tmp_path, office
+    ):
+        # Simulate a crash after the manifest swap but before the log
+        # truncation: the manifest's snapshot_lsn already covers the
+        # records still sitting in the log, so replay must skip them.
+        path = save_database_to(
+            populated_database, tmp_path / "db.shards", "sharded", durable=True
+        )
+        with DurableShardedStore(populated_database, path) as store:
+            populated_database.add_picture(office.renamed("twice-applied"))
+            store.log_upsert(populated_database.get("twice-applied"))
+            store.compact()
+        log_bytes = (path / "wal.log").read_bytes()
+        clean = load_database_from(path)
+
+        # Rebuild the pre-truncation log next to the post-compaction manifest.
+        fresh = save_database_to(
+            populated_database, tmp_path / "crashed.shards", "sharded", durable=True
+        )
+        with DurableShardedStore(populated_database, fresh) as store:
+            store.log_upsert(populated_database.get("twice-applied"))
+            store.compact()
+        (fresh / "wal.log").write_bytes(log_bytes)
+        recovered = load_database_from(fresh)
+        assert recovered.image_ids == clean.image_ids
+        for image_id in recovered.image_ids:
+            assert recovered.get(image_id).bestring == clean.get(image_id).bestring
+
+    def test_crash_window_shards_written_manifest_not_swapped(
+        self, populated_database, tmp_path, office
+    ):
+        # A crash between the shard rewrite and the manifest swap leaves the
+        # old manifest pointing at a log that still holds the delta: the
+        # next load must replay it and see the mutation exactly once.
+        path = save_database_to(
+            populated_database, tmp_path / "db.shards", "sharded", durable=True
+        )
+        manifest_bytes = (path / MANIFEST_NAME).read_bytes()
+        with DurableShardedStore(populated_database, path) as store:
+            populated_database.add_picture(office.renamed("mid-compaction"))
+            store.log_upsert(populated_database.get("mid-compaction"))
+            log_bytes = (path / "wal.log").read_bytes()
+            store.compact()
+        # Roll the manifest and log back to their pre-compaction state; the
+        # rewritten shards stay (they are a superset keyed by the manifest).
+        (path / MANIFEST_NAME).write_bytes(manifest_bytes)
+        (path / "wal.log").write_bytes(log_bytes)
+        recovered = load_database_from(path)
+        assert "mid-compaction" in recovered
+        assert recovered.image_ids == populated_database.image_ids
+
+    def test_durable_save_requires_sharded_backend(self, populated_database, tmp_path):
+        with pytest.raises(ValueError, match="sharded"):
+            save_database_to(
+                populated_database, tmp_path / "db.json", "json", durable=True
+            )
+
+    def test_durable_load_requires_sharded_database(self, populated_database, tmp_path):
+        path = save_database_to(populated_database, tmp_path / "db.sqlite", "sqlite")
+        with pytest.raises(ValueError, match="sharded"):
+            load_database_from(path, durable=True)
+
+    def test_torn_log_tail_recovers_to_acked_prefix(
+        self, populated_database, tmp_path, office
+    ):
+        path = save_database_to(
+            populated_database, tmp_path / "db.shards", "sharded", durable=True
+        )
+        with DurableShardedStore(populated_database, path) as store:
+            populated_database.add_picture(office.renamed("survives"))
+            store.log_upsert(populated_database.get("survives"))
+            populated_database.add_picture(office.renamed("torn-away"))
+            store.log_upsert(populated_database.get("torn-away"))
+        log_path = path / "wal.log"
+        log_path.write_bytes(log_path.read_bytes()[:-7])  # tear the last record
+        recovered = load_database_from(path)
+        assert "survives" in recovered
+        assert "torn-away" not in recovered
+
+    def test_store_lsns_resume_across_reopen(self, populated_database, tmp_path, office):
+        path = save_database_to(
+            populated_database, tmp_path / "db.shards", "sharded", durable=True
+        )
+        with DurableShardedStore(populated_database, path) as store:
+            populated_database.add_picture(office.renamed("first"))
+            assert store.log_upsert(populated_database.get("first")) == 1
+            store.compact()
+        reloaded = load_database_from(path, durable=True)
+        with DurableShardedStore(reloaded, path) as store:
+            assert store.last_lsn == 1
+            reloaded.add_picture(office.renamed("second"))
+            assert store.log_upsert(reloaded.get("second")) == 2

@@ -1,0 +1,257 @@
+"""Property/fuzz tests of the write-ahead log (``repro.index.wal``).
+
+Two contracts from ``docs/durability.md``:
+
+* **Round-trip**: any sequence of valid upsert/delete records appended to a
+  log reads back identically (LSNs, ops, entries), across random payload
+  shapes and log sizes.
+* **Fail-closed tail recovery**: whatever a crash does to the file's tail —
+  truncation at any byte, a flipped CRC/payload byte, a partial final
+  record, framed garbage — reading recovers exactly the longest valid
+  prefix, reopening truncates the damage away, and nothing ever escapes as
+  an exception other than :class:`~repro.index.storage.StorageError` (and
+  that only for a file that is not a log at all).
+"""
+
+import json
+import struct
+import zlib
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.index.storage import StorageError
+from repro.index.wal import (
+    WAL_FORMAT_VERSION,
+    WAL_MAGIC,
+    WalRecord,
+    WriteAheadLog,
+    read_wal,
+)
+
+_HEADER = WAL_MAGIC + bytes([WAL_FORMAT_VERSION])
+
+
+def _entry(image_id: str, payload: dict) -> dict:
+    return {"image_id": image_id, "picture": payload, "bestring": {"x": [], "y": []}}
+
+
+#: Random mutation streams: (op, image_id, entry-payload-shape) triples.
+_operations = st.lists(
+    st.tuples(
+        st.sampled_from(["upsert", "delete"]),
+        st.text(
+            alphabet=st.characters(min_codepoint=33, max_codepoint=0x2FF),
+            min_size=1,
+            max_size=12,
+        ),
+        st.dictionaries(
+            st.text(min_size=1, max_size=6),
+            st.one_of(st.integers(), st.floats(allow_nan=False), st.text(max_size=8)),
+            max_size=4,
+        ),
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+
+class TestRoundTrip:
+    @settings(max_examples=60, deadline=None)
+    @given(operations=_operations)
+    def test_random_streams_read_back_identically(self, tmp_path_factory, operations):
+        path = tmp_path_factory.mktemp("wal") / "wal.log"
+        expected = []
+        with WriteAheadLog(path) as log:
+            for op, image_id, payload in operations:
+                entry = _entry(image_id, payload) if op == "upsert" else None
+                lsn = log.append(op, image_id, entry)
+                expected.append(WalRecord(lsn=lsn, op=op, image_id=image_id, entry=entry))
+        records, _, clean = read_wal(path)
+        assert clean
+        assert records == expected
+        assert [record.lsn for record in records] == list(
+            range(1, len(operations) + 1)
+        )
+
+    def test_record_payload_round_trip(self):
+        record = WalRecord(
+            lsn=7, op="upsert", image_id="img-7", entry=_entry("img-7", {"k": 1})
+        )
+        assert WalRecord.from_payload(record.to_payload()) == record
+        delete = WalRecord(lsn=8, op="delete", image_id="img-7")
+        assert WalRecord.from_payload(delete.to_payload()) == delete
+
+    def test_lsns_resume_after_reopen(self, tmp_path):
+        path = tmp_path / "wal.log"
+        with WriteAheadLog(path) as log:
+            log.append("delete", "a")
+            log.append("delete", "b")
+        with WriteAheadLog(path) as log:
+            assert log.last_lsn == 2
+            assert log.append("delete", "c") == 3
+
+    def test_floor_lsn_survives_truncation(self, tmp_path):
+        path = tmp_path / "wal.log"
+        with WriteAheadLog(path) as log:
+            log.append("delete", "a")
+            log.append("delete", "b")
+            log.truncate_through(2)
+            assert len(log) == 0
+            # LSNs never move backwards across a compaction.
+            assert log.append("delete", "c") == 3
+        records, _, clean = read_wal(path)
+        assert clean and [record.lsn for record in records] == [3]
+
+
+def _build_log(path, count=4):
+    """A clean log of ``count`` delete records; returns its records."""
+    with WriteAheadLog(path) as log:
+        for index in range(count):
+            log.append("delete", f"img-{index}")
+    records, _, clean = read_wal(path)
+    assert clean and len(records) == count
+    return records
+
+
+class TestCorruptionMatrix:
+    """Every damage mode recovers fail-closed to the last valid LSN."""
+
+    def test_truncated_tail_at_every_byte(self, tmp_path):
+        path = tmp_path / "wal.log"
+        records = _build_log(path)
+        data = path.read_bytes()
+        boundaries = self._frame_boundaries(data)
+        for cut in range(len(_HEADER), len(data)):
+            path.write_bytes(data[:cut])
+            recovered, valid_bytes, clean = read_wal(path)
+            survivors = sum(1 for boundary in boundaries if boundary <= cut)
+            assert len(recovered) == survivors
+            assert recovered == records[:survivors]
+            assert valid_bytes <= cut
+            assert clean == (cut == len(_HEADER) or cut in boundaries)
+
+    @staticmethod
+    def _frame_boundaries(data):
+        offsets = []
+        offset = len(_HEADER)
+        while offset < len(data):
+            length, _ = struct.unpack_from("<II", data, offset)
+            offset += 8 + length
+            offsets.append(offset)
+        return offsets
+
+    def test_flipped_byte_anywhere_in_final_record(self, tmp_path):
+        path = tmp_path / "wal.log"
+        records = _build_log(path)
+        data = path.read_bytes()
+        boundaries = self._frame_boundaries(data)
+        final_start = boundaries[-2]
+        for position in range(final_start, len(data)):
+            corrupted = bytearray(data)
+            corrupted[position] ^= 0x40
+            path.write_bytes(bytes(corrupted))
+            recovered, _, clean = read_wal(path)
+            assert not clean
+            # The damaged final record is dropped; the prefix survives.  A
+            # flipped length byte may also swallow the record into a torn
+            # frame — either way nothing past the prefix is trusted.
+            assert recovered == records[:-1]
+
+    def test_partial_final_record_then_append_resumes(self, tmp_path):
+        path = tmp_path / "wal.log"
+        records = _build_log(path)
+        data = path.read_bytes()
+        path.write_bytes(data[:-5])  # tear the final record mid-payload
+        with WriteAheadLog(path) as log:
+            assert not log.recovered_clean
+            assert log.records == records[:-1]
+            assert log.last_lsn == records[-2].lsn
+            new_lsn = log.append("delete", "resumed")
+        assert new_lsn == records[-2].lsn + 1
+        recovered, _, clean = read_wal(path)
+        assert clean
+        assert [record.image_id for record in recovered][-1] == "resumed"
+
+    def test_framed_garbage_payload_fails_closed(self, tmp_path):
+        path = tmp_path / "wal.log"
+        records = _build_log(path, count=2)
+        garbage = b'["not", "a", "record"]'
+        frame = struct.pack("<II", len(garbage), zlib.crc32(garbage)) + garbage
+        with open(path, "ab") as handle:
+            handle.write(frame)
+        recovered, _, clean = read_wal(path)
+        assert not clean
+        assert recovered == records
+
+    def test_non_monotonic_lsn_fails_closed(self, tmp_path):
+        path = tmp_path / "wal.log"
+        records = _build_log(path, count=2)
+        stale = json.dumps(
+            {"lsn": 1, "op": "delete", "image_id": "replayed"}
+        ).encode("utf-8")
+        frame = struct.pack("<II", len(stale), zlib.crc32(stale)) + stale
+        with open(path, "ab") as handle:
+            handle.write(frame)
+        recovered, _, clean = read_wal(path)
+        assert not clean
+        assert recovered == records
+
+    @settings(max_examples=60, deadline=None)
+    @given(data=st.data())
+    def test_fuzzed_damage_never_raises_past_storage_error(
+        self, tmp_path_factory, data
+    ):
+        """Arbitrary tail damage: recover a prefix or raise StorageError only."""
+        path = tmp_path_factory.mktemp("fuzz") / "wal.log"
+        records = _build_log(path, count=3)
+        blob = bytearray(path.read_bytes())
+        for _ in range(data.draw(st.integers(min_value=1, max_value=6))):
+            position = data.draw(st.integers(min_value=0, max_value=len(blob) - 1))
+            blob[position] = data.draw(st.integers(min_value=0, max_value=255))
+        cut = data.draw(st.integers(min_value=0, max_value=len(blob)))
+        path.write_bytes(bytes(blob[:cut]))
+        try:
+            recovered, valid_bytes, clean = read_wal(path)
+        except StorageError:
+            return  # damaged magic/version: not a log, clearly reported
+        assert valid_bytes <= cut
+        assert len(recovered) <= len(records)
+        for position, record in enumerate(recovered):
+            assert record.lsn >= position + 1
+        # Reopening for append must accept whatever read_wal accepted.
+        with WriteAheadLog(path) as log:
+            assert log.records == recovered
+
+
+class TestErrorContract:
+    def test_not_a_log_names_the_path(self, tmp_path):
+        path = tmp_path / "wal.log"
+        path.write_bytes(b"PK\x03\x04 definitely a zip file")
+        with pytest.raises(StorageError, match="wal.log"):
+            read_wal(path)
+        with pytest.raises(StorageError, match="wal.log"):
+            WriteAheadLog(path)
+
+    def test_unsupported_version_names_the_path(self, tmp_path):
+        path = tmp_path / "wal.log"
+        path.write_bytes(WAL_MAGIC + bytes([99]))
+        with pytest.raises(StorageError, match="wal.log"):
+            read_wal(path)
+
+    def test_unreadable_file_names_the_path(self, tmp_path):
+        path = tmp_path / "wal.log"
+        path.mkdir()  # a directory is unreadable as a file
+        with pytest.raises(StorageError, match="wal.log"):
+            read_wal(path)
+
+    def test_missing_file_reads_as_empty_clean_log(self, tmp_path):
+        records, valid_bytes, clean = read_wal(tmp_path / "absent.log")
+        assert records == [] and valid_bytes == 0 and clean
+
+    def test_append_validates_op_and_entry(self, tmp_path):
+        with WriteAheadLog(tmp_path / "wal.log") as log:
+            with pytest.raises(ValueError):
+                log.append("rename", "a")
+            with pytest.raises(ValueError):
+                log.append("upsert", "a")  # an upsert requires the entry

@@ -1,0 +1,103 @@
+"""Crash-safety acceptance tests: kill -9 a live durable service.
+
+Thin pytest wrapper over the fault-injection harness in
+``tools/faultinject.py``: each test boots a real ``repro serve --wal``
+subprocess, SIGKILLs it at a chosen point — mid-POST or mid-compaction —
+restarts it, and asserts that every acknowledged write survived and the
+post-recovery rankings are byte-identical to an uninterrupted run.  The CI
+``fault-injection`` job runs the full 20-trial sweep; these slow-marked
+tests keep a smaller deterministic slice in the regular suite.
+"""
+
+import importlib.util
+import random
+import sys
+from pathlib import Path
+
+import pytest
+
+pytestmark = pytest.mark.slow
+
+_HARNESS_PATH = Path(__file__).resolve().parents[2] / "tools" / "faultinject.py"
+
+
+def _load_harness():
+    spec = importlib.util.spec_from_file_location("faultinject", _HARNESS_PATH)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("faultinject", module)
+    spec.loader.exec_module(module)
+    return module
+
+
+faultinject = _load_harness()
+
+
+@pytest.fixture(scope="module")
+def seed_dir(tmp_path_factory):
+    """One durable seed database shared by every trial in this module."""
+    scratch = tmp_path_factory.mktemp("faultinject-seed")
+    return faultinject.build_seed(scratch)
+
+
+def _assert_all_passed(results):
+    failures = [
+        f"trial {result.trial} ({result.kill_mode}): {'; '.join(result.failures)}"
+        for result in results
+        if not result.passed
+    ]
+    assert not failures, "\n".join(failures)
+    # Every trial must have recovered a state covering all its acked writes.
+    for result in results:
+        assert result.survived >= result.acked
+
+
+def test_kill_mid_post_loses_no_acked_write(tmp_path, seed_dir):
+    """SIGKILL lands right after a randomly chosen acknowledgement."""
+    rng = random.Random(101)
+    results = [
+        faultinject.run_trial(
+            trial,
+            tmp_path,
+            seed_dir,
+            rng=rng,
+            compact_every=4,
+            kill_mode="after-ack",
+        )
+        for trial in range(3)
+    ]
+    _assert_all_passed(results)
+    assert sum(result.acked for result in results) > 0
+
+
+def test_kill_during_compaction_recovers_identically(tmp_path, seed_dir):
+    """SIGKILL lands while the background compactor is rewriting shards."""
+    rng = random.Random(202)
+    results = [
+        faultinject.run_trial(
+            trial,
+            tmp_path,
+            seed_dir,
+            rng=rng,
+            compact_every=3,
+            kill_mode="during-compaction",
+        )
+        for trial in range(3)
+    ]
+    _assert_all_passed(results)
+
+
+def test_randomized_kill_points(tmp_path, seed_dir):
+    """A timer SIGKILL at a random offset — can land mid-POST or mid-fsync."""
+    rng = random.Random(303)
+    results = [
+        faultinject.run_trial(
+            trial,
+            tmp_path,
+            seed_dir,
+            rng=rng,
+            compact_every=4,
+            kill_mode="random",
+        )
+        for trial in range(3)
+    ]
+    _assert_all_passed(results)

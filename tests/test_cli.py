@@ -445,6 +445,86 @@ class TestServeAndPing:
         assert "http" in capsys.readouterr().err
 
 
+class TestDurableServeAndRecover:
+    @pytest.fixture
+    def sharded_database(self, database_file, tmp_path):
+        target = tmp_path / "db.shards"
+        assert main(["convert", str(database_file), str(target)]) == 0
+        return target
+
+    def test_serve_wal_check_reports_durable_mode(self, sharded_database, capsys):
+        assert main(
+            ["serve", str(sharded_database), "--port", "0", "--wal", "--check"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "write-ahead logging" in output
+        assert "ack-after-fsync" in output
+        assert "compacting every 256 records" in output
+
+    def test_serve_wal_conflicts_with_no_persist(self, sharded_database, capsys):
+        assert main(
+            ["serve", str(sharded_database), "--port", "0", "--check",
+             "--wal", "--no-persist"]
+        ) == 2
+        assert "cannot combine with --no-persist" in capsys.readouterr().err
+
+    def test_serve_wal_rejects_bad_compact_interval(self, sharded_database, capsys):
+        assert main(
+            ["serve", str(sharded_database), "--port", "0", "--check",
+             "--wal", "--wal-compact-every", "0"]
+        ) == 2
+        assert "--wal-compact-every must be at least 1" in capsys.readouterr().err
+
+    def test_recover_check_reports_log_state(self, sharded_database, capsys):
+        # serve --wal --check upgrades the plain sharded directory in place.
+        assert main(
+            ["serve", str(sharded_database), "--port", "0", "--wal", "--check"]
+        ) == 0
+        capsys.readouterr()
+        assert main(["recover", str(sharded_database), "--check"]) == 0
+        output = capsys.readouterr().out
+        assert "log: wal.log (clean)" in output
+        assert "pending records to replay: 0" in output
+
+    def test_recover_replays_and_compacts(self, sharded_database, capsys):
+        from repro.index.backends import (
+            DurableShardedStore,
+            describe_database,
+            load_database_from,
+        )
+        from repro.retrieval.system import RetrievalSystem
+
+        system = RetrievalSystem.from_file(sharded_database)
+        system.save(sharded_database, durable=True)
+        database = system._engine.database
+        with DurableShardedStore(database, sharded_database) as store:
+            replica = database.get(database.image_ids[0])
+            database.add_picture(replica.picture.renamed("logged-only"), "logged-only")
+            store.log_upsert(database.get("logged-only"))
+            assert store.pending_records == 1
+
+        assert main(["recover", str(sharded_database)]) == 0
+        output = capsys.readouterr().out
+        assert "pending records to replay: 1" in output
+        assert "recovered: 4 images" in output
+        recovered = load_database_from(sharded_database)
+        assert "logged-only" in recovered
+        assert describe_database(sharded_database)["wal"]["pending_records"] == 0
+
+    def test_recover_on_non_durable_database(self, database_file, capsys):
+        assert main(["recover", str(database_file)]) == 2
+        assert "has no write-ahead log" in capsys.readouterr().err
+
+    def test_info_shows_wal_line(self, sharded_database, capsys):
+        assert main(
+            ["serve", str(sharded_database), "--port", "0", "--wal", "--check"]
+        ) == 0
+        capsys.readouterr()
+        assert main(["info", str(sharded_database)]) == 0
+        output = capsys.readouterr().out
+        assert "wal: wal.log (snapshot_lsn 0, last_lsn 0, 0 pending, clean)" in output
+
+
 class TestConvertBitmapWidthValidation:
     def test_zero_bitmap_width_is_rejected(self, database_file, tmp_path, capsys):
         # Regression: `or DEFAULT` treated 0 as falsy and silently wrote

@@ -1,0 +1,426 @@
+#!/usr/bin/env python3
+"""Fault-injection harness: kill -9 a live ``repro serve --wal`` daemon.
+
+The crash-safety proof of the durability layer (``docs/durability.md``) is
+empirical: this driver repeatedly boots a real ``repro serve --wal``
+subprocess on a copy of a seed database, streams mutations at it over HTTP,
+and SIGKILLs the process at a randomized point mid-stream — mid-POST,
+between requests, or mid-compaction (a small ``--wal-compact-every`` keeps
+the background compactor busy).  After every kill it asserts the two
+durability guarantees:
+
+1. **No acknowledged write is lost.**  The recovered directory (snapshot +
+   write-ahead-log replay) contains every mutation the daemon acknowledged
+   with a 2xx before dying.  The recovered state must be exactly the seed
+   plus a *prefix* of the mutation schedule — the acknowledged prefix, plus
+   at most the single in-flight mutation whose log record hit the disk
+   before its response hit the socket.
+2. **Rankings are byte-identical to an uninterrupted run.**  A restarted
+   daemon serving the recovered directory must answer probe queries with
+   exactly the JSON an in-process engine produces after applying the same
+   surviving prefix without any crash.
+
+Usable as a library (``tests/service/test_fault_injection.py``) and as the
+CI ``fault-injection`` job's entry point::
+
+    python tools/faultinject.py --trials 20 [--seed 7] [--compact-every 4]
+
+Standard library only; exits non-zero if any trial violates a guarantee.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import random
+import re
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+if (REPO_ROOT / "src" / "repro").is_dir():  # checkout fallback; no-op when installed
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.datasets.synthetic import random_pictures  # noqa: E402
+from repro.iconic.picture import SymbolicPicture  # noqa: E402
+from repro.retrieval.system import RetrievalSystem  # noqa: E402
+from repro.service.client import ServiceClient, ServiceError  # noqa: E402
+
+#: Images in the seed database every trial starts from.
+SEED_IMAGES = 18
+#: Mutations the driver streams per trial (adds and deletes).
+MUTATIONS_PER_TRIAL = 10
+#: Probe queries whose post-recovery rankings must be byte-identical.
+PROBE_QUERIES = 3
+
+
+@dataclass
+class Mutation:
+    """One scheduled mutation: an add (with its scene) or a delete."""
+
+    op: str  # "add" | "delete"
+    image_id: str
+    picture: Optional[SymbolicPicture] = None
+
+
+@dataclass
+class TrialResult:
+    """Outcome of one kill -9 trial."""
+
+    trial: int
+    kill_mode: str
+    acked: int
+    survived: int
+    recovery_seconds: float
+    failures: List[str] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        """Whether both durability guarantees held."""
+        return not self.failures
+
+
+def subprocess_environment() -> dict:
+    """The child environment: prepend the checkout's src/ when present."""
+    environment = dict(os.environ)
+    source = REPO_ROOT / "src"
+    if (source / "repro").is_dir():
+        existing = environment.get("PYTHONPATH")
+        environment["PYTHONPATH"] = (
+            f"{source}{os.pathsep}{existing}" if existing else str(source)
+        )
+    return environment
+
+
+def build_seed(directory: Path, *, images: int = SEED_IMAGES, seed: int = 11) -> Path:
+    """Write the durable seed database every trial copies.
+
+    Returns:
+        The durable sharded directory created under ``directory``.
+    """
+    target = directory / "seed.shards"
+    system = RetrievalSystem.from_pictures(
+        random_pictures(images, seed=seed, name_prefix="seed")
+    )
+    system.save(target, durable=True, shard_count=8)
+    return target
+
+
+def mutation_schedule(rng: random.Random, *, trial: int) -> List[Mutation]:
+    """The per-trial mutation stream: fresh adds mixed with seed deletes.
+
+    Every mutation changes database membership (adds use fresh ids, deletes
+    target distinct existing ids), so any on-disk state maps back to exactly
+    one schedule prefix.
+    """
+    adds = random_pictures(
+        MUTATIONS_PER_TRIAL, seed=1000 + trial, name_prefix=f"t{trial}-new"
+    )
+    deletable = [f"seed-{index:04d}" for index in range(SEED_IMAGES)]
+    rng.shuffle(deletable)
+    schedule: List[Mutation] = []
+    for index in range(MUTATIONS_PER_TRIAL):
+        if deletable and rng.random() < 0.3:
+            schedule.append(Mutation("delete", deletable.pop()))
+        else:
+            picture = adds[index]
+            schedule.append(Mutation("add", picture.name, picture))
+    return schedule
+
+
+class ServerProcess:
+    """A live ``repro serve --wal`` subprocess bound to an ephemeral port."""
+
+    def __init__(self, database: Path, *, compact_every: int) -> None:
+        self.process = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.cli",
+                "serve",
+                str(database),
+                "--port",
+                "0",
+                "--wal",
+                "--wal-compact-every",
+                str(compact_every),
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            env=subprocess_environment(),
+        )
+        assert self.process.stdout is not None
+        line = self.process.stdout.readline()
+        match = re.search(r"http://127\.0\.0\.1:(\d+)", line)
+        if not match:
+            self.kill9()
+            stderr = self.process.stderr.read() if self.process.stderr else ""
+            raise RuntimeError(f"serve did not report its address: {line!r} {stderr.strip()}")
+        self.client = ServiceClient(port=int(match.group(1)))
+        self.client.wait_until_healthy(timeout=20)
+
+    def kill9(self) -> None:
+        """SIGKILL the daemon — no shutdown hooks, no flushes, no goodbyes."""
+        try:
+            self.process.send_signal(signal.SIGKILL)
+        except ProcessLookupError:
+            pass
+        self.process.wait(timeout=10)
+
+    def terminate(self) -> None:
+        """Graceful stop (reference runs and restarted-verification servers)."""
+        self.process.terminate()
+        try:
+            self.process.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            self.process.kill()
+            self.process.wait(timeout=10)
+
+
+def _apply(system: RetrievalSystem, mutation: Mutation) -> None:
+    if mutation.op == "add":
+        assert mutation.picture is not None
+        system.add_picture(mutation.picture, mutation.image_id)
+    else:
+        system.remove_picture(mutation.image_id)
+
+
+def _probe_payloads(trial: int) -> List[Dict[str, object]]:
+    """The probe queries of one trial (seed scenes re-derived, not stored)."""
+    probes = random_pictures(PROBE_QUERIES, seed=11, name_prefix="seed")
+    return [{"scene": picture.to_dict(), "limit": 10} for picture in probes]
+
+
+def _reference_results(
+    seed_dir: Path, schedule: Sequence[Mutation], prefix: int, trial: int
+) -> List[List[dict]]:
+    """Rankings of an uninterrupted in-process run of the surviving prefix."""
+    reference = RetrievalSystem.from_file(seed_dir, durable=True)
+    for mutation in schedule[:prefix]:
+        _apply(reference, mutation)
+    results = []
+    for payload in _probe_payloads(trial):
+        scene = SymbolicPicture.from_dict(payload["scene"])
+        results.append(reference.query(scene).limit(10).execute().to_dicts())
+    return results
+
+
+def _surviving_prefix(
+    seed_dir: Path, schedule: Sequence[Mutation], recovered_ids: set
+) -> Optional[int]:
+    """Which schedule prefix the recovered id set corresponds to (or ``None``)."""
+    state = {f"seed-{index:04d}" for index in range(SEED_IMAGES)}
+    if recovered_ids == state:
+        return 0
+    for length, mutation in enumerate(schedule, start=1):
+        if mutation.op == "add":
+            state.add(mutation.image_id)
+        else:
+            state.discard(mutation.image_id)
+        if recovered_ids == state:
+            return length
+    return None
+
+
+def run_trial(
+    trial: int,
+    scratch: Path,
+    seed_dir: Path,
+    *,
+    rng: random.Random,
+    compact_every: int,
+    kill_mode: str = "random",
+) -> TrialResult:
+    """One kill -9 trial: stream mutations, kill, recover, verify.
+
+    ``kill_mode`` picks when the SIGKILL lands: ``"random"`` arms a timer at
+    a random offset inside the mutation stream (so it can land mid-POST,
+    mid-fsync or mid-compaction), ``"after-ack"`` kills synchronously right
+    after a random acknowledgement, and ``"during-compaction"`` kills right
+    after the acknowledgement that crosses the compaction threshold — while
+    the background compactor is rewriting shards and truncating the log.
+    """
+    database = scratch / f"trial-{trial:03d}.shards"
+    shutil.copytree(seed_dir, database)
+    schedule = mutation_schedule(rng, trial=trial)
+    failures: List[str] = []
+
+    server = ServerProcess(database, compact_every=compact_every)
+    acked = 0
+    killer: Optional[threading.Timer] = None
+    if kill_mode == "random":
+        # A detached killer: the SIGKILL lands at a uniformly random point
+        # inside the stream — mid-POST, mid-fsync, or between requests.
+        killer = threading.Timer(rng.uniform(0.0, 0.08), server.kill9)
+        killer.start()
+    kill_after = rng.randrange(1, len(schedule)) if kill_mode != "random" else None
+    try:
+        for index, mutation in enumerate(schedule):
+            try:
+                if mutation.op == "add":
+                    server.client.add_image(mutation.picture, mutation.image_id)
+                else:
+                    server.client.delete_image(mutation.image_id)
+                acked += 1
+            except (ServiceError, OSError) as error:
+                status = getattr(error, "status", None)
+                if status is not None and status < 500:
+                    failures.append(f"mutation {index} rejected with {status}: {error}")
+                # A transport error means the kill landed mid-request: the
+                # mutation is unacknowledged and the stream ends here.
+                break
+            if kill_mode == "during-compaction" and acked == compact_every:
+                time.sleep(rng.uniform(0.0, 0.01))  # land inside the rewrite
+                server.kill9()
+                break
+            if kill_mode == "after-ack" and acked == kill_after:
+                server.kill9()
+                break
+        else:
+            # Stream completed before the timer fired; kill at its end.
+            server.kill9()
+    finally:
+        if killer is not None:
+            killer.cancel()
+        if server.process.poll() is None:
+            server.kill9()
+
+    # ------------------------------------------------------------------
+    # Recovery: load the crashed directory (snapshot + WAL replay).
+    # ------------------------------------------------------------------
+    recovery_started = time.perf_counter()
+    recovered = RetrievalSystem.from_file(database, durable=True)
+    recovery_seconds = time.perf_counter() - recovery_started
+    recovered_ids = set(recovered.image_ids)
+
+    prefix = _surviving_prefix(seed_dir, schedule, recovered_ids)
+    if prefix is None:
+        failures.append(
+            f"recovered state matches no schedule prefix "
+            f"(acked={acked}, {len(recovered_ids)} images)"
+        )
+        prefix = acked  # best effort so the ranking check still reports
+    elif prefix < acked:
+        failures.append(
+            f"acknowledged write lost: {acked} acked but only the "
+            f"first {prefix} mutations survived"
+        )
+    elif prefix > acked + 1:
+        failures.append(
+            f"impossible recovery: {prefix} mutations survived with only "
+            f"{acked} acked (at most one in-flight record may land)"
+        )
+
+    # ------------------------------------------------------------------
+    # Restart a real daemon on the recovered directory; rankings must be
+    # byte-identical to an uninterrupted in-process run of the same prefix.
+    # ------------------------------------------------------------------
+    expected = _reference_results(seed_dir, schedule, prefix, trial)
+    restarted = ServerProcess(database, compact_every=compact_every)
+    try:
+        for number, (payload, reference) in enumerate(zip(_probe_payloads(trial), expected)):
+            served = restarted.client.request("POST", "/search", payload)["results"]
+            if json.dumps(served, sort_keys=True) != json.dumps(reference, sort_keys=True):
+                failures.append(f"probe {number} ranking diverged after recovery")
+        health = restarted.client.healthz()
+        if health.get("images") != len(recovered_ids):
+            failures.append(
+                f"restarted daemon serves {health.get('images')} images, "
+                f"recovery loaded {len(recovered_ids)}"
+            )
+    except (ServiceError, OSError, RuntimeError) as error:
+        failures.append(f"restarted daemon failed: {error}")
+    finally:
+        restarted.terminate()
+
+    return TrialResult(
+        trial=trial,
+        kill_mode=kill_mode,
+        acked=acked,
+        survived=prefix,
+        recovery_seconds=recovery_seconds,
+        failures=failures,
+    )
+
+
+def run_trials(
+    trials: int = 20,
+    *,
+    seed: int = 7,
+    compact_every: int = 4,
+    kill_modes: Sequence[str] = ("random", "after-ack", "during-compaction"),
+    scratch: Optional[Path] = None,
+    verbose: bool = True,
+) -> List[TrialResult]:
+    """Run the full harness; returns one :class:`TrialResult` per trial."""
+    rng = random.Random(seed)
+    owns_scratch = scratch is None
+    scratch = scratch or Path(tempfile.mkdtemp(prefix="repro-faultinject-"))
+    results: List[TrialResult] = []
+    try:
+        seed_dir = build_seed(scratch)
+        for trial in range(trials):
+            kill_mode = kill_modes[trial % len(kill_modes)]
+            result = run_trial(
+                trial,
+                scratch,
+                seed_dir,
+                rng=rng,
+                compact_every=compact_every,
+                kill_mode=kill_mode,
+            )
+            results.append(result)
+            if verbose:
+                status = "ok " if result.passed else "FAIL"
+                print(
+                    f"[{status}] trial {trial:02d} ({kill_mode}): "
+                    f"{result.acked} acked, {result.survived} survived, "
+                    f"recovery {result.recovery_seconds * 1000:.1f}ms"
+                    + ("" if result.passed else f" -- {'; '.join(result.failures)}"),
+                    flush=True,
+                )
+    finally:
+        if owns_scratch:
+            shutil.rmtree(scratch, ignore_errors=True)
+    return results
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--trials", type=int, default=20, help="kill -9 trials (default 20)")
+    parser.add_argument("--seed", type=int, default=7, help="randomization seed (default 7)")
+    parser.add_argument(
+        "--compact-every",
+        type=int,
+        default=4,
+        help="WAL compaction threshold served with (small keeps the compactor busy)",
+    )
+    arguments = parser.parse_args(argv)
+    results = run_trials(
+        arguments.trials, seed=arguments.seed, compact_every=arguments.compact_every
+    )
+    failed = [result for result in results if not result.passed]
+    total_acked = sum(result.acked for result in results)
+    print(
+        f"\nfault injection: {len(results) - len(failed)}/{len(results)} trials passed "
+        f"({total_acked} acknowledged writes, zero lost)"
+        if not failed
+        else f"\nfault injection: {len(failed)}/{len(results)} trials FAILED",
+        flush=True,
+    )
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
