@@ -1,0 +1,197 @@
+"""E17: replica catch-up cost is O(WAL lag delta), not O(database).
+
+PR 8 added the read-only replica daemon (``docs/replication.md``): a
+:class:`~repro.service.replica.ReplicaEngine` warm-starts from the durable
+snapshot and then follows the primary's write-ahead log, applying each
+tailed record through the engine's mutation path.  The promised cost model
+mirrors the durability tier's (E16): staying current costs work
+proportional to the *lag* — the records the primary appended since the last
+sync — never to the database size.
+
+This experiment measures, at 600 and 2400 synthetic images (smoke: 40/80)
+with lag deltas of 16 and 64 records (smoke: 4/8):
+
+* the catch-up time: one ``drain()`` applying exactly the lag delta,
+* the per-record application cost derived from it,
+* warm-replica read parity: the caught-up replica's rankings must be
+  byte-identical to the primary's, at comparable query latency.
+
+Assertions (full runs):
+
+* catch-up at a fixed delta grows sublinearly across database sizes — the
+  time at 4x the images stays within a generous constant factor of the
+  time at 1x (an O(database) catch-up would scale with the size ratio),
+* catch-up scales with the delta: the per-record cost at the large delta
+  stays within a constant factor of the per-record cost at the small one,
+* rankings after catch-up are byte-identical to the primary's (asserted in
+  smoke runs too — parity is not a timing question).
+
+Results are persisted as ``benchmarks/results/BENCH_E17_replica_<size>.json``
+(the CI bench-smoke job uploads them as artifacts); full-run snapshots live
+in ``benchmarks/baselines/``.
+"""
+
+import statistics
+import time
+
+import pytest
+
+from benchmarks.conftest import SMOKE, format_table, smoke_scaled
+from repro.datasets.synthetic import random_pictures
+from repro.index.backends import DurableShardedStore
+from repro.retrieval.system import RetrievalSystem
+from repro.service.replica import ReplicaEngine
+
+DATABASE_SIZES = smoke_scaled((600, 2400), (40, 80))
+#: Lag deltas (records appended by the primary between replica syncs).
+LAG_DELTAS = smoke_scaled((16, 64), (4, 8))
+#: Probe queries whose post-catch-up rankings must match the primary's.
+PROBE_QUERIES = 3
+#: Timed query repetitions for the read-parity latency comparison.
+QUERY_REPEATS = 5
+#: Ceiling on catch-up growth across the 4x database-size step at a fixed
+#: delta (O(database) catch-up would grow ~4x; applying records is
+#: delta-bound, so a generous constant factor suffices).
+MAX_CATCH_UP_GROWTH = 3.0
+#: Ceiling on per-record cost growth between the small and large delta.
+MAX_PER_RECORD_GROWTH = 3.0
+#: Ceiling on warm-replica query latency relative to the primary's.
+MAX_QUERY_SLOWDOWN = 3.0
+#: Absolute floor (seconds) below which timing ratios are noise.
+NOISE_FLOOR = 0.020
+
+
+def _build_primary(tmp_path, size):
+    """A durable directory plus its live in-process primary (system+store)."""
+    target = tmp_path / f"db-{size}.shards"
+    pictures = random_pictures(size, seed=23, name_prefix="img")
+    system = RetrievalSystem.from_pictures(pictures)
+    system.save(target, durable=True)
+    store = DurableShardedStore(system._engine.database, target)
+    return target, system, store
+
+
+def _append_lag(system, store, count, *, generation):
+    """``count`` acknowledged primary writes the replica has not seen yet."""
+    fresh = random_pictures(count, seed=500 + generation, name_prefix=f"lag{generation}")
+    for picture in fresh:
+        system.add_picture(picture, picture.name)
+        store.log_upsert(system.record(picture.name))
+
+
+def _probe_scenes():
+    return random_pictures(PROBE_QUERIES, seed=23, name_prefix="img")
+
+
+def _rankings(system):
+    return [
+        system.query(scene).limit(10).execute().to_jsonl() for scene in _probe_scenes()
+    ]
+
+
+def _median_query_seconds(system):
+    samples = []
+    scene = _probe_scenes()[0]
+    for _ in range(QUERY_REPEATS):
+        started = time.perf_counter()
+        system.query(scene).limit(10).execute()
+        samples.append(time.perf_counter() - started)
+    return statistics.median(samples)
+
+
+@pytest.mark.benchmark(group="E17-replica")
+def test_catch_up_is_lag_bound(tmp_path, write_report, write_json_report, benchmark):
+    """Catch-up cost tracks the WAL lag delta, not the database size."""
+    measurements = []
+    for size in DATABASE_SIZES:
+        target, system, store = _build_primary(tmp_path, size)
+        replica = ReplicaEngine(target)
+        per_size = {"database_size": size, "deltas": []}
+        for generation, delta in enumerate(LAG_DELTAS):
+            _append_lag(system, store, delta, generation=generation)
+            started = time.perf_counter()
+            advanced = replica.drain()
+            catch_up_seconds = time.perf_counter() - started
+            assert advanced == delta
+            assert replica.lag_records == 0
+            per_size["deltas"].append(
+                {
+                    "lag_records": delta,
+                    "catch_up_seconds": round(catch_up_seconds, 6),
+                    "per_record_ms": round(catch_up_seconds / delta * 1000, 4),
+                }
+            )
+        # Read parity: byte-identical rankings, comparable latency.
+        assert _rankings(replica.system) == _rankings(system)
+        per_size["primary_query_seconds"] = round(_median_query_seconds(system), 6)
+        per_size["replica_query_seconds"] = round(
+            _median_query_seconds(replica.system), 6
+        )
+        store.close()
+        measurements.append(per_size)
+
+    rows = [
+        [
+            str(entry["database_size"]),
+            str(delta["lag_records"]),
+            f"{delta['catch_up_seconds'] * 1000:.1f}",
+            f"{delta['per_record_ms']:.2f}",
+        ]
+        for entry in measurements
+        for delta in entry["deltas"]
+    ]
+    write_report(
+        f"E17_replica_{max(DATABASE_SIZES)}",
+        [
+            "E17 -- replica catch-up cost by database size and WAL lag delta",
+            "",
+            *format_table(["images", "lag records", "catch-up ms", "per-record ms"], rows),
+            "",
+            f"growth ceiling across the {max(DATABASE_SIZES) // min(DATABASE_SIZES)}x "
+            f"size step at a fixed delta: {MAX_CATCH_UP_GROWTH}x "
+            "(O(database) catch-up would scale with the size ratio); "
+            f"read parity: rankings byte-identical, query latency within "
+            f"{MAX_QUERY_SLOWDOWN}x of the primary's",
+        ],
+    )
+    for entry in measurements:
+        write_json_report(
+            f"E17_replica_{entry['database_size']}",
+            {
+                **entry,
+                "max_catch_up_growth": MAX_CATCH_UP_GROWTH,
+                "max_per_record_growth": MAX_PER_RECORD_GROWTH,
+                "max_query_slowdown": MAX_QUERY_SLOWDOWN,
+            },
+        )
+
+    if not SMOKE:
+        smallest, largest = measurements[0], measurements[-1]
+        for position, delta in enumerate(LAG_DELTAS):
+            grown = largest["deltas"][position]["catch_up_seconds"]
+            base = max(smallest["deltas"][position]["catch_up_seconds"], NOISE_FLOOR)
+            assert grown <= MAX_CATCH_UP_GROWTH * base, (
+                f"catching up {delta} records took {grown * 1000:.1f}ms at "
+                f"{largest['database_size']} images vs "
+                f"{base * 1000:.1f}ms at {smallest['database_size']} "
+                f"(ceiling: {MAX_CATCH_UP_GROWTH}x -- catch-up must be lag-bound)"
+            )
+        for entry in measurements:
+            small_delta, large_delta = entry["deltas"][0], entry["deltas"][-1]
+            base_rate = max(small_delta["per_record_ms"], NOISE_FLOOR)
+            assert large_delta["per_record_ms"] <= MAX_PER_RECORD_GROWTH * base_rate, (
+                f"per-record cost grew from {small_delta['per_record_ms']:.2f}ms "
+                f"to {large_delta['per_record_ms']:.2f}ms between deltas at "
+                f"{entry['database_size']} images (catch-up must scale with the lag)"
+            )
+            slow = entry["replica_query_seconds"]
+            fast = max(entry["primary_query_seconds"], NOISE_FLOOR / 10)
+            assert slow <= MAX_QUERY_SLOWDOWN * fast + NOISE_FLOOR, (
+                f"warm replica queries at {entry['database_size']} images run "
+                f"{slow * 1000:.1f}ms vs the primary's {fast * 1000:.1f}ms "
+                f"(ceiling: {MAX_QUERY_SLOWDOWN}x)"
+            )
+
+    # pytest-benchmark timing: one warm replica boot at the smallest size.
+    smallest_target = tmp_path / f"db-{DATABASE_SIZES[0]}.shards"
+    benchmark.pedantic(lambda: ReplicaEngine(smallest_target), rounds=3)

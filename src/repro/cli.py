@@ -69,6 +69,14 @@ unified pipeline and score cache.
     tail) and fold any acknowledged-but-uncompacted records back into the
     shards.  ``--check`` reports without modifying anything.
 
+``python -m repro.cli replica <database> [--follow-interval S] [--primary URL]``
+    Run a read-only replica daemon over a durable database directory: it
+    warm-starts from the shard snapshot, tails the primary's write-ahead
+    log to stay current, serves the full read surface (``/search``,
+    ``/batch``, ``/healthz``, ``/stats`` with a ``replication`` lag block)
+    and rejects writes with 403 naming the primary.  ``POST /promote``
+    detaches it into a writable primary (see ``docs/replication.md``).
+
 ``python -m repro.cli ping <url>``
     Health-check a running daemon and print its image count, uptime and the
     measured round-trip time.
@@ -254,6 +262,7 @@ def _command_info(arguments: argparse.Namespace) -> int:
         print(
             f"wal: {wal['file']} (snapshot_lsn {wal['snapshot_lsn']}, "
             f"last_lsn {wal['last_lsn']}, {wal['pending_records']} pending, "
+            f"{wal['size_bytes']} bytes, "
             f"{'clean' if wal['clean'] else 'torn tail'})"
         )
     return 0
@@ -464,6 +473,51 @@ def _command_serve(arguments: argparse.Namespace) -> int:
     print(
         f"serving {arguments.database} ({len(system)} images) on {server.url} "
         f"(workers={arguments.workers}, backlog={arguments.backlog}, {persistence})",
+        flush=True,
+    )
+    if arguments.check:
+        server.close()
+        return 0
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
+    return 0
+
+
+def _command_replica(arguments: argparse.Namespace) -> int:
+    from repro.service.replica import create_replica_server
+
+    execution = None
+    if arguments.kernel is not None or arguments.strategy is not None:
+        execution = ExecutionOptions(
+            kernel=arguments.kernel, strategy=arguments.strategy
+        )
+    if arguments.follow_interval <= 0:
+        raise CliError("--follow-interval must be positive")
+    try:
+        server = create_replica_server(
+            arguments.database,
+            host=arguments.host,
+            port=arguments.port,
+            workers=arguments.workers,
+            backlog=arguments.backlog,
+            follow_interval=arguments.follow_interval,
+            primary_url=arguments.primary,
+            execution=execution,
+        )
+    except FileNotFoundError:
+        raise CliError(f"database not found: {arguments.database}") from None
+    except (OSError, ValueError, StorageError) as error:
+        raise CliError(f"cannot start the replica: {error}") from error
+    service = server.service
+    print(
+        f"replica of {arguments.database} ({len(service.system)} images) on "
+        f"{server.url} (workers={arguments.workers}, "
+        f"follow-interval={arguments.follow_interval:g}s, "
+        f"applied_lsn={service.replica.applied_lsn})",
         flush=True,
     )
     if arguments.check:
@@ -771,6 +825,48 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_format_flag(serve)
     serve.set_defaults(handler=_command_serve)
+
+    replica = subparsers.add_parser(
+        "replica",
+        help="run a read-only replica daemon that tails a durable database's WAL",
+    )
+    replica.add_argument("database", help="durable sharded database directory (the primary's)")
+    replica.add_argument(
+        "--host", default="127.0.0.1", help="interface to bind (default 127.0.0.1)"
+    )
+    replica.add_argument(
+        "--port", type=int, default=8766,
+        help="port to bind; 0 picks an ephemeral port (default 8766)",
+    )
+    replica.add_argument(
+        "--workers", type=int, default=4,
+        help="max requests executing concurrently (default 4)",
+    )
+    replica.add_argument(
+        "--backlog", type=int, default=16,
+        help="max requests waiting beyond the workers before 503s (default 16)",
+    )
+    replica.add_argument(
+        "--follow-interval", type=float, default=0.25, metavar="S",
+        help="seconds between write-ahead-log polls (default 0.25)",
+    )
+    replica.add_argument(
+        "--primary", default=None, metavar="URL",
+        help="the primary's base URL, advertised in 403 write rejections",
+    )
+    replica.add_argument(
+        "--kernel", choices=KERNELS, default=None,
+        help="engine-default LCS implementation for every served query",
+    )
+    replica.add_argument(
+        "--strategy", choices=STRATEGIES, default=None,
+        help="engine-default candidate-processing strategy for every served query",
+    )
+    replica.add_argument(
+        "--check", action="store_true",
+        help="bind, print the address and exit without serving (smoke tests)",
+    )
+    replica.set_defaults(handler=_command_replica)
 
     recover = subparsers.add_parser(
         "recover",

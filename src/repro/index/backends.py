@@ -1204,6 +1204,14 @@ class DurableShardedStore:
         """Log records not yet covered by the shard snapshot."""
         return self.wal.pending_past(self.snapshot_lsn)
 
+    @property
+    def wal_size_bytes(self) -> int:
+        """Current on-disk size of the write-ahead log file (0 if missing)."""
+        try:
+            return self.wal.path.stat().st_size
+        except OSError:
+            return 0
+
     def should_compact(self) -> bool:
         """Whether the pending delta has reached the compaction threshold."""
         return self.pending_records >= self.compact_threshold
@@ -1450,3 +1458,35 @@ def describe_database(
         raise FileNotFoundError(f"no such database: {source}")
     resolved = get_backend(backend, source)
     return resolved.describe(source)
+
+
+def durable_wal_state(path: PathLike) -> Optional[Dict[str, int]]:
+    """The log position of a durable directory, read without loading it.
+
+    The replica's polling primitive: one manifest read plus one log scan,
+    cheap enough to call every follow interval.  Both reads are of
+    atomically-replaced files, so the answer is always a state the primary
+    actually committed (possibly one compaction behind the very latest).
+
+    Returns:
+        ``{"snapshot_lsn", "last_lsn", "pending_records"}`` -- the LSN the
+        shard snapshot covers, the highest LSN the directory knows (snapshot
+        floor or log tail, whichever is greater), and the count of intact
+        log records past the snapshot; ``None`` when the directory is not a
+        durable sharded database (no manifest or no ``wal`` block).
+
+    Raises:
+        StorageError: if the manifest or log exists but is unreadable.
+    """
+    source = Path(path)
+    manifest = ShardedBackend()._try_manifest(source)
+    if manifest is None or not manifest.get("wal"):
+        return None
+    wal_info = manifest["wal"]
+    records, _, _ = read_wal(source / wal_info["file"])
+    snapshot_lsn = wal_info["snapshot_lsn"]
+    return {
+        "snapshot_lsn": snapshot_lsn,
+        "last_lsn": max(snapshot_lsn, records[-1].lsn if records else 0),
+        "pending_records": sum(1 for record in records if record.lsn > snapshot_lsn),
+    }

@@ -37,6 +37,16 @@ tail away so new records extend a valid prefix.  Genuine I/O and format
 errors (unreadable file, wrong magic) surface as
 :class:`~repro.index.storage.StorageError` naming the offending path --
 the same contract the shard and manifest readers obey.
+
+The LSN-ordered, CRC-framed stream is also safe to *follow* from another
+process: :class:`WalTailer` incrementally reads new records past a cursor
+LSN, tolerating in-progress appends (a torn tail just ends the batch; the
+next poll picks the record up once its fsync lands) and
+truncation-after-compaction (the log file is atomically replaced, which the
+tailer detects and resyncs from; records dropped past the cursor surface as
+:class:`WalTruncatedError` so the follower can reload from the shard
+snapshot instead).  This is the transport of the replica daemon
+(``docs/replication.md``).
 """
 
 from __future__ import annotations
@@ -319,3 +329,161 @@ class WriteAheadLog:
         self._handle.flush()
         if self.fsync:
             os.fsync(self._handle.fileno())
+
+
+class WalTruncatedError(Exception):
+    """The log no longer reaches back to the tailer's cursor.
+
+    Raised by :meth:`WalTailer.poll` when records between the cursor and the
+    log's first stored record have been dropped (a compaction truncated the
+    log past the follower).  Not a corruption: the missing records are in
+    the shard snapshot, so the follower recovers by reloading from it and
+    resuming the tail at the snapshot's LSN.
+    """
+
+
+class WalTailer:
+    """Incrementally follow a write-ahead log from a given LSN.
+
+    The tailer is a read-only peer of a live :class:`WriteAheadLog` writer
+    in another process.  Each :meth:`poll` returns the intact records past
+    the cursor, in LSN order, advancing the cursor as it goes.  Three
+    concurrent hazards are handled without coordination:
+
+    * **in-progress appends** -- a frame whose bytes are only partially
+      visible (length short, CRC mismatch, unparsable payload) ends the
+      batch; the byte offset stays put and the next poll retries the frame,
+      so a record is never yielded torn and never skipped.
+    * **truncation after compaction** -- the writer atomically replaces the
+      log file (:meth:`WriteAheadLog.truncate_through`), which the tailer
+      detects via the inode change, a file shrinking below its offset, or
+      the last-consumed frame header no longer matching its remembered
+      length+CRC (a replacement that landed on a recycled inode at the same
+      size), and resyncs from the top, skipping records at or below the
+      cursor.
+    * **records dropped past the cursor** -- if the resynced log starts
+      *after* ``position + 1``, the gap is unrecoverable from the log alone
+      and :meth:`poll` raises :class:`WalTruncatedError`; the follower
+      reloads from the shard snapshot (whose manifest LSN covers the gap)
+      and resumes with a fresh tailer.
+
+    Polls are O(new bytes), not O(log): the tailer remembers the byte
+    offset of the last intact frame and reads only past it.
+    """
+
+    def __init__(self, path: PathLike, *, from_lsn: int = 0) -> None:
+        """Follow the log at ``path``, yielding records with LSN > ``from_lsn``."""
+        self.path = Path(path)
+        #: The cursor: LSN of the last record handed to the caller.
+        self.position = from_lsn
+        self._offset = 0
+        self._inode: Optional[int] = None
+        #: (absolute offset, length, crc) of the last intact frame consumed;
+        #: re-verified each poll so a replacement file that reuses the inode
+        #: at the same size cannot masquerade as "no new bytes".
+        self._last_frame: Optional[Tuple[int, int, int]] = None
+
+    def poll(self) -> List[WalRecord]:
+        """New intact records past the cursor (empty when caught up).
+
+        Returns:
+            The fresh records in strictly increasing, gap-free LSN order;
+            the cursor advances past everything returned.
+
+        Raises:
+            WalTruncatedError: when the log has been truncated past the
+                cursor (reload from the snapshot and re-tail).
+            StorageError: if the file is unreadable or not a write-ahead
+                log at all.
+        """
+        fresh: List[WalRecord] = []
+        for record in self._read_new_frames():
+            if record.lsn <= self.position:
+                continue  # resync overlap: already handed out
+            if record.lsn != self.position + 1:
+                raise WalTruncatedError(
+                    f"{self.path}: log starts at LSN {record.lsn} but the "
+                    f"tail cursor is at {self.position} -- records were "
+                    "compacted away; reload from the snapshot"
+                )
+            fresh.append(record)
+            self.position = record.lsn
+        return fresh
+
+    def _read_new_frames(self) -> List[WalRecord]:
+        """Parse every intact frame past the remembered byte offset.
+
+        Detects file replacement (new inode after an atomic truncation) and
+        shrinkage (torn-tail trim below the offset) and restarts from the
+        header; damage mid-read just ends the batch with the offset parked
+        at the last intact frame.
+        """
+        try:
+            status = os.stat(self.path)
+        except FileNotFoundError:
+            # Not created yet, or mid-replacement: nothing new this poll.
+            self._offset = 0
+            self._inode = None
+            self._last_frame = None
+            return []
+        except OSError as error:
+            raise StorageError(f"{self.path} cannot be read: {error}") from error
+        if self._inode != status.st_ino or status.st_size < self._offset:
+            self._offset = 0
+            self._inode = status.st_ino
+            self._last_frame = None
+        try:
+            with open(self.path, "rb") as handle:
+                if self._offset and self._last_frame is not None:
+                    # Guard against a replacement that recycled the inode at
+                    # exactly our offset: the frame we consumed last must
+                    # still be there, byte for byte.
+                    start, length, crc = self._last_frame
+                    handle.seek(start)
+                    head = handle.read(_FRAME_SIZE)
+                    if (
+                        len(head) < _FRAME_SIZE
+                        or struct.unpack("<II", head) != (length, crc)
+                    ):
+                        self._offset = 0
+                        self._last_frame = None
+                        handle.seek(0)
+                if self._offset == 0:
+                    header = handle.read(_HEADER_SIZE)
+                    if len(header) < _HEADER_SIZE:
+                        return []  # header still being initialised
+                    if header[: len(WAL_MAGIC)] != WAL_MAGIC:
+                        raise StorageError(
+                            f"{self.path} is not a write-ahead log (bad magic)"
+                        )
+                    if header[len(WAL_MAGIC)] != WAL_FORMAT_VERSION:
+                        raise StorageError(
+                            f"{self.path}: unsupported write-ahead log version "
+                            f"{header[len(WAL_MAGIC)]} (expected {WAL_FORMAT_VERSION})"
+                        )
+                    self._offset = _HEADER_SIZE
+                handle.seek(self._offset)
+                data = handle.read()
+        except OSError as error:
+            raise StorageError(f"{self.path} cannot be read: {error}") from error
+        records: List[WalRecord] = []
+        offset = 0
+        while offset < len(data):
+            if offset + _FRAME_SIZE > len(data):
+                break  # torn frame prefix: retry next poll
+            length, crc = struct.unpack_from("<II", data, offset)
+            start = offset + _FRAME_SIZE
+            payload = data[start : start + length]
+            if len(payload) != length:
+                break  # short payload: the append is still in flight
+            if zlib.crc32(payload) != crc:
+                break  # torn or damaged: never yield it
+            try:
+                record = WalRecord.from_payload(payload)
+            except (ValueError, UnicodeDecodeError):
+                break  # framed garbage
+            records.append(record)
+            self._last_frame = (self._offset + offset, length, crc)
+            offset = start + length
+        self._offset += offset
+        return records

@@ -17,6 +17,15 @@ server's ``{"error": ...}`` payload, and -- for 503 rejections -- the parsed
     except ServiceError as error:
         if error.retry_after is not None:
             time.sleep(error.retry_after)  # the server asked us to back off
+
+Connection-level flakiness (a daemon mid-restart, a replica briefly
+unreachable) can additionally be absorbed by the client itself:
+``ServiceClient(..., retries=3)`` retries *transport* failures -- connect
+refused, reset, timeout before a status line -- with exponential backoff
+(``backoff * 2**attempt``, capped at ``backoff_cap``).  HTTP-level errors
+(4xx/5xx, including 503) are **never** retried automatically: the server
+answered, and only the caller knows whether re-sending a mutation is safe.
+The default is ``retries=0`` -- fail fast, exactly as before.
 """
 
 from __future__ import annotations
@@ -58,13 +67,40 @@ def _scene_payload(scene: Any) -> Dict[str, Any]:
 class ServiceClient:
     """Typed access to every endpoint of one running retrieval daemon."""
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 8765, timeout: float = 10.0) -> None:
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8765,
+        timeout: float = 10.0,
+        *,
+        retries: int = 0,
+        backoff: float = 0.1,
+        backoff_cap: float = 2.0,
+    ) -> None:
+        """Target one daemon; optionally absorb transport flakiness.
+
+        ``timeout`` bounds every socket operation of a request.  ``retries``
+        re-attempts *connection* failures (never HTTP error statuses) up to
+        that many extra times, sleeping ``min(backoff * 2**attempt,
+        backoff_cap)`` seconds between attempts.
+
+        Raises:
+            ValueError: on a negative ``retries`` or non-positive backoff
+                parameters.
+        """
+        if retries < 0:
+            raise ValueError("retries must be non-negative")
+        if backoff <= 0 or backoff_cap <= 0:
+            raise ValueError("backoff and backoff_cap must be positive")
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+        self.backoff_cap = backoff_cap
 
     @classmethod
-    def from_url(cls, url: str, timeout: float = 10.0) -> "ServiceClient":
+    def from_url(cls, url: str, timeout: float = 10.0, *, retries: int = 0) -> "ServiceClient":
         """Build a client from a base URL like ``http://127.0.0.1:8765``.
 
         Raises:
@@ -76,7 +112,9 @@ class ServiceClient:
             raise ValueError(f"only http:// service URLs are supported, got {url!r}")
         if not parsed.hostname:
             raise ValueError(f"service URL has no host: {url!r}")
-        return cls(host=parsed.hostname, port=parsed.port or 80, timeout=timeout)
+        return cls(
+            host=parsed.hostname, port=parsed.port or 80, timeout=timeout, retries=retries
+        )
 
     @property
     def url(self) -> str:
@@ -89,13 +127,36 @@ class ServiceClient:
     def request(self, method: str, path: str, payload: Any = None) -> Dict[str, Any]:
         """One JSON round-trip; returns the parsed response body.
 
+        Connection failures (refused, reset, timed out before a status
+        line) are retried up to ``self.retries`` extra times with capped
+        exponential backoff; a response -- any response -- is final.
+
         Raises:
-            ServiceError: on connection failure, a non-JSON response, or any
-                non-2xx status (the server's error message and a parsed
-                ``Retry-After`` ride along).
+            ServiceError: on connection failure (after the retry budget),
+                a non-JSON response, or any non-2xx status (the server's
+                error message and a parsed ``Retry-After`` ride along).
         """
         body = None if payload is None else json.dumps(payload).encode("utf-8")
         headers = {"Content-Type": "application/json"} if body is not None else {}
+        for attempt in range(self.retries + 1):
+            try:
+                return self._roundtrip(method, path, body, headers)
+            except ServiceError as error:
+                # Only pure transport failures (no status) are retryable;
+                # the server never saw -- or never answered -- the request.
+                if error.status is not None or attempt == self.retries:
+                    raise
+                time.sleep(min(self.backoff * (2 ** attempt), self.backoff_cap))
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _roundtrip(
+        self,
+        method: str,
+        path: str,
+        body: Optional[bytes],
+        headers: Dict[str, str],
+    ) -> Dict[str, Any]:
+        """One attempt of :meth:`request` on a fresh connection."""
         connection = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
         try:
             try:
@@ -220,6 +281,16 @@ class ServiceClient:
         non-ASCII characters round-trip (the server decodes symmetrically).
         """
         return self.request("DELETE", f"/images/{quote(image_id, safe='')}")
+
+    def promote(self) -> Dict[str, Any]:
+        """``POST /promote``: detach a replica daemon into a writable primary.
+
+        Returns:
+            The promotion summary (new role, drained records, log position);
+            a 409 :class:`ServiceError` when the target is not a replica or
+            is already promoted.
+        """
+        return self.request("POST", "/promote")
 
     # ------------------------------------------------------------------
     # Observability

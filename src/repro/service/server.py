@@ -1,7 +1,7 @@
 """The ``repro serve`` daemon: JSON-over-HTTP retrieval on a thread-safe core.
 
 The server is pure standard library (:class:`http.server.ThreadingHTTPServer`)
-and exposes the whole unified query pipeline over eight endpoints:
+and exposes the whole unified query pipeline over nine endpoints:
 
 ==========  =================  ===================================================
 method      path               what it does
@@ -17,6 +17,8 @@ method      path               what it does
                                disk, swap it in under the readers-writer lock
 ``POST``    ``/compact``       fold the WAL delta into the shards now
                                (409 unless serving with ``--wal``)
+``POST``    ``/promote``       replica only: detach into a writable primary
+                               (409 here; see :mod:`repro.service.replica`)
 ``GET``     ``/healthz``       liveness: status, image count, uptime
 ``GET``     ``/stats``         request counts, p50/p95 latency, cache hit rate
 ==========  =================  ===================================================
@@ -283,6 +285,7 @@ class RetrievalService:
             "/images",
             "/reload",
             "/compact",
+            "/promote",
         ):
             return path
         return "<unknown>"
@@ -305,6 +308,8 @@ class RetrievalService:
             return 200, self.reload(), {}
         if method == "POST" and path == "/compact":
             return 200, self.compact(), {}
+        if method == "POST" and path == "/promote":
+            return 200, self.promote(), {}
         if method == "DELETE" and path.startswith("/images/"):
             return 200, self.delete_image(unquote(path[len("/images/"):])), {}
         if method == "DELETE" and path == "/images":
@@ -564,6 +569,19 @@ class RetrievalService:
                 "compactions": self.store.compactions,
             }
 
+    def promote(self) -> Dict[str, Any]:
+        """``POST /promote``: detach a replica into a writable primary.
+
+        Only meaningful on a replica daemon
+        (:class:`repro.service.replica.ReplicaService` overrides this); a
+        plain service has nothing to promote.
+
+        Returns:
+            Never -- always 409 here; see the replica subclass.
+        """
+        with self._admitted():
+            raise ApiError(409, "service is not a replica (nothing to promote)")
+
     def reload(self) -> Dict[str, Any]:
         """``POST /reload``: zero-downtime reload of the on-disk database.
 
@@ -689,6 +707,7 @@ class RetrievalService:
                 "last_lsn": self.store.last_lsn,
                 "snapshot_lsn": self.store.snapshot_lsn,
                 "pending_records": self.store.pending_records,
+                "wal_size_bytes": self.store.wal_size_bytes,
                 "compact_threshold": self.store.compact_threshold,
                 "compactions": self.store.compactions,
             }

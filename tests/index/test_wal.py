@@ -25,6 +25,8 @@ from repro.index.wal import (
     WAL_FORMAT_VERSION,
     WAL_MAGIC,
     WalRecord,
+    WalTailer,
+    WalTruncatedError,
     WriteAheadLog,
     read_wal,
 )
@@ -255,3 +257,136 @@ class TestErrorContract:
                 log.append("rename", "a")
             with pytest.raises(ValueError):
                 log.append("upsert", "a")  # an upsert requires the entry
+
+
+class TestWalTailer:
+    """The follower protocol: incremental, torn-tolerant, truncation-aware."""
+
+    def test_polls_yield_records_past_the_cursor_in_order(self, tmp_path):
+        path = tmp_path / "wal.log"
+        with WriteAheadLog(path) as log:
+            tailer = WalTailer(path)
+            assert tailer.poll() == []
+            log.append("delete", "a")
+            log.append("delete", "b")
+            first = tailer.poll()
+            assert [record.lsn for record in first] == [1, 2]
+            assert tailer.poll() == []  # caught up
+            log.append("upsert", "c", _entry("c", {}))
+            second = tailer.poll()
+            assert [record.lsn for record in second] == [3]
+            assert second[0].op == "upsert" and second[0].entry is not None
+
+    def test_from_lsn_skips_already_applied_records(self, tmp_path):
+        path = tmp_path / "wal.log"
+        _build_log(path, count=5)
+        tailer = WalTailer(path, from_lsn=3)
+        assert [record.lsn for record in tailer.poll()] == [4, 5]
+
+    def test_missing_file_polls_empty_until_created(self, tmp_path):
+        path = tmp_path / "wal.log"
+        tailer = WalTailer(path)
+        assert tailer.poll() == []
+        with WriteAheadLog(path) as log:
+            log.append("delete", "a")
+        assert [record.lsn for record in tailer.poll()] == [1]
+
+    def test_torn_tail_ends_the_batch_and_retries(self, tmp_path):
+        path = tmp_path / "wal.log"
+        with WriteAheadLog(path) as log:
+            log.append("delete", "a")
+        tailer = WalTailer(path)
+        assert len(tailer.poll()) == 1
+        # Simulate a half-written append: frame prefix only.
+        whole = path.read_bytes()
+        with open(path, "ab") as handle:
+            handle.write(struct.pack("<II", 999, 0))
+        assert tailer.poll() == []  # never yields the torn frame
+        # The append completes (writer rewrites the tail properly).
+        record = WalRecord(lsn=2, op="delete", image_id="b")
+        payload = record.to_payload()
+        path.write_bytes(
+            whole + struct.pack("<II", len(payload), zlib.crc32(payload)) + payload
+        )
+        polled = tailer.poll()
+        assert [item.lsn for item in polled] == [2]
+
+    def test_resumes_across_truncation_when_cursor_is_covered(self, tmp_path):
+        path = tmp_path / "wal.log"
+        with WriteAheadLog(path) as log:
+            for index in range(4):
+                log.append("delete", f"img-{index}")
+            tailer = WalTailer(path)
+            assert len(tailer.poll()) == 4
+            # Compaction: drop everything the tailer has already applied.
+            log.truncate_through(4)
+            assert tailer.poll() == []
+            log.append("delete", "later")
+            assert [record.lsn for record in tailer.poll()] == [5]
+
+    def test_truncation_past_the_cursor_raises(self, tmp_path):
+        path = tmp_path / "wal.log"
+        with WriteAheadLog(path) as log:
+            log.append("delete", "a")
+            log.append("delete", "b")
+            tailer = WalTailer(path)
+            assert len(tailer.poll()) == 1 + 1
+            behind = WalTailer(path, from_lsn=0)
+            log.truncate_through(1)  # drops LSN 1; `behind` never saw it
+            log.append("delete", "c")
+            with pytest.raises(WalTruncatedError):
+                behind.poll()
+            # The up-to-date tailer keeps following the replaced file.
+            assert [record.lsn for record in tailer.poll()] == [3]
+
+    def test_file_shrinking_below_offset_resyncs(self, tmp_path):
+        path = tmp_path / "wal.log"
+        _build_log(path, count=3)
+        tailer = WalTailer(path)
+        assert len(tailer.poll()) == 3
+        # Bytes vanish *behind* the tailer (post-fsync loss: outside the
+        # crash contract, but the tailer must still never double-yield).
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) - 10])
+        recovered, valid_bytes, clean = read_wal(path)
+        assert not clean and len(recovered) == 2
+        # The tailer resyncs from the top and does not re-yield old records.
+        assert tailer.poll() == []
+        with WriteAheadLog(path) as log:
+            log.append("delete", "reused-lsn")  # resumes at the trimmed tail
+            log.append("delete", "fresh")
+        # LSNs at or below the cursor were already handed out under their
+        # original content and are skipped; only genuinely new LSNs flow.
+        polled = tailer.poll()
+        assert [record.lsn for record in polled] == [4]
+        assert polled[0].image_id == "fresh"
+
+    def test_same_size_replacement_on_a_recycled_inode_resyncs(self, tmp_path):
+        # Two back-to-back truncations can land the replacement file on the
+        # tailer's remembered inode at exactly its remembered offset (the
+        # frames are the same length).  The in-place rewrite below simulates
+        # that ABA case deterministically: same inode, same size, different
+        # final record -- only the frame fingerprint can tell them apart.
+        path = tmp_path / "wal.log"
+        with WriteAheadLog(path, fsync=False) as log:
+            log.append("delete", "img-1")
+        tailer = WalTailer(path)
+        assert [record.lsn for record in tailer.poll()] == [1]
+        # A log holding only LSN 2 -- byte-for-byte the same length.
+        with WriteAheadLog(tmp_path / "other.log", fsync=False) as other:
+            other.append("delete", "img-1")  # placeholder for LSN 1
+            other.append("delete", "img-2")
+            other.truncate_through(1)
+        replacement = (tmp_path / "other.log").read_bytes()
+        assert len(replacement) == path.stat().st_size
+        with open(path, "r+b") as handle:  # in-place: inode and size keep
+            handle.write(replacement)
+        polled = tailer.poll()
+        assert [record.lsn for record in polled] == [2]
+        assert polled[0].image_id == "img-2"
+
+    def test_not_a_log_surfaces_storage_error(self, tmp_path):
+        path = tmp_path / "wal.log"
+        path.write_bytes(b"PK\x03\x04 definitely a zip file")
+        with pytest.raises(StorageError, match="wal.log"):
+            WalTailer(path).poll()

@@ -1,0 +1,171 @@
+"""Client retry tests against a deliberately flaky stub server.
+
+The stub accepts real TCP connections and slams the first N shut before
+sending a status line -- exactly the transport failure mode
+``ServiceClient(..., retries=...)`` is meant to absorb.  HTTP-level errors
+(the server *answered*) must never be retried, so the stub can also answer
+every connection with a fixed error status and prove the attempt count
+stays at one.
+"""
+
+import socket
+import threading
+
+import pytest
+
+from repro.service import client as client_module
+from repro.service.client import ServiceClient, ServiceError
+
+
+class FlakyServer:
+    """A TCP stub: drop the first ``failures`` connections, then answer."""
+
+    def __init__(self, failures=0, status=200, body=b'{"status": "ok"}', headers=""):
+        self.failures = failures
+        self.status = status
+        self.body = body
+        self.headers = headers
+        self.attempts = 0
+        self._closed = False
+        self._socket = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._socket.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._socket.bind(("127.0.0.1", 0))
+        self._socket.listen(16)
+        self.port = self._socket.getsockname()[1]
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _serve(self):
+        while True:
+            try:
+                connection, _ = self._socket.accept()
+            except OSError:
+                return  # listening socket closed
+            if self._closed:
+                connection.close()
+                return
+            self.attempts += 1
+            if self.attempts <= self.failures:
+                # Shut the connection before any status line: the client
+                # sees a transport failure, not an HTTP response.
+                connection.close()
+                continue
+            try:
+                connection.recv(65536)
+                reason = {200: "OK", 503: "Service Unavailable"}.get(self.status, "Error")
+                connection.sendall(
+                    (
+                        f"HTTP/1.1 {self.status} {reason}\r\n"
+                        "Content-Type: application/json\r\n"
+                        f"Content-Length: {len(self.body)}\r\n"
+                        f"{self.headers}"
+                        "Connection: close\r\n\r\n"
+                    ).encode("ascii")
+                    + self.body
+                )
+            except OSError:
+                pass
+            finally:
+                connection.close()
+
+    def close(self):
+        self._closed = True
+        # accept() does not reliably wake when the listening socket closes
+        # under it; poke one throwaway connection through to unblock it.
+        try:
+            socket.create_connection(("127.0.0.1", self.port), timeout=1).close()
+        except OSError:
+            pass
+        try:
+            self._socket.close()
+        finally:
+            self._thread.join(timeout=5)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+
+
+def make_client(server, **kwargs):
+    kwargs.setdefault("backoff", 0.01)
+    return ServiceClient(port=server.port, timeout=5, **kwargs)
+
+
+class TestTransportRetries:
+    def test_retries_absorb_dropped_connections(self):
+        with FlakyServer(failures=2) as server:
+            body = make_client(server, retries=2).healthz()
+            assert body == {"status": "ok"}
+            assert server.attempts == 3
+
+    def test_budget_exhausted_surfaces_the_transport_error(self):
+        with FlakyServer(failures=3) as server:
+            with pytest.raises(ServiceError) as excinfo:
+                make_client(server, retries=1).healthz()
+            assert excinfo.value.status is None
+            assert server.attempts == 2
+
+    def test_default_is_fail_fast(self):
+        with FlakyServer(failures=1) as server:
+            with pytest.raises(ServiceError) as excinfo:
+                make_client(server).healthz()
+            assert excinfo.value.status is None
+            assert server.attempts == 1
+
+    def test_connection_refused_is_retried_until_the_budget_runs_out(self):
+        # Reserve a port with no listener at all: every attempt is refused.
+        placeholder = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        placeholder.bind(("127.0.0.1", 0))
+        port = placeholder.getsockname()[1]
+        placeholder.close()
+        client = ServiceClient(port=port, timeout=1, retries=2, backoff=0.01)
+        with pytest.raises(ServiceError) as excinfo:
+            client.healthz()
+        assert excinfo.value.status is None
+
+
+class TestHttpErrorsAreFinal:
+    def test_5xx_is_never_retried(self):
+        with FlakyServer(
+            status=503,
+            body=b'{"error": "overloaded"}',
+            headers="Retry-After: 1.5\r\n",
+        ) as server:
+            with pytest.raises(ServiceError) as excinfo:
+                make_client(server, retries=5).healthz()
+            assert excinfo.value.status == 503
+            assert excinfo.value.retry_after == 1.5
+            assert server.attempts == 1
+
+    def test_success_after_flaky_start_keeps_error_semantics(self):
+        # One drop, then a clean 200: the retry path returns the parsed body
+        # without masking later HTTP errors behind extra attempts.
+        with FlakyServer(failures=1) as server:
+            client = make_client(server, retries=3)
+            assert client.healthz() == {"status": "ok"}
+            assert server.attempts == 2
+
+
+class TestBackoffSchedule:
+    def test_sleeps_double_and_cap(self, monkeypatch):
+        recorded = []
+        monkeypatch.setattr(client_module.time, "sleep", recorded.append)
+        with FlakyServer(failures=3) as server:
+            client = make_client(server, retries=3, backoff=0.5, backoff_cap=1.2)
+            assert client.healthz() == {"status": "ok"}
+        assert recorded == [0.5, 1.0, 1.2]
+
+    def test_parameters_are_validated(self):
+        with pytest.raises(ValueError, match="retries"):
+            ServiceClient(retries=-1)
+        with pytest.raises(ValueError, match="backoff"):
+            ServiceClient(backoff=0)
+        with pytest.raises(ValueError, match="backoff"):
+            ServiceClient(backoff_cap=-1)
+
+    def test_from_url_threads_retries_through(self):
+        client = ServiceClient.from_url("http://127.0.0.1:8123", retries=4)
+        assert client.retries == 4
+        assert client.port == 8123

@@ -101,3 +101,24 @@ def test_randomized_kill_points(tmp_path, seed_dir):
         for trial in range(3)
     ]
     _assert_all_passed(results)
+
+
+@pytest.mark.parametrize("kill_mode", ["kill-replica", "kill-primary", "kill-both"])
+def test_replica_pair_survives_kill(tmp_path, seed_dir, kill_mode):
+    """SIGKILL one (or both) of a primary+replica pair; they must reconverge.
+
+    After recovery the replica's rankings must be byte-identical to the
+    surviving primary state — or, when the primary died, to a reference run
+    of the surviving acknowledged prefix.  The CI ``fault-injection`` job
+    runs the full 20-trial replica sweep; this is the deterministic slice.
+    """
+    rng = random.Random(404)
+    result = faultinject.run_replica_trial(
+        0,
+        tmp_path,
+        seed_dir,
+        rng=rng,
+        compact_every=4,
+        kill_mode=kill_mode,
+    )
+    _assert_all_passed([result])

@@ -522,7 +522,7 @@ class TestDurableServeAndRecover:
         capsys.readouterr()
         assert main(["info", str(sharded_database)]) == 0
         output = capsys.readouterr().out
-        assert "wal: wal.log (snapshot_lsn 0, last_lsn 0, 0 pending, clean)" in output
+        assert "wal: wal.log (snapshot_lsn 0, last_lsn 0, 0 pending, 5 bytes, clean)" in output
 
 
 class TestConvertBitmapWidthValidation:

@@ -20,10 +20,19 @@ durability guarantees:
    exactly the JSON an in-process engine produces after applying the same
    surviving prefix without any crash.
 
+With ``--replica`` the harness instead drives a *primary + replica* pair on
+the same durable directory (``docs/replication.md``) and SIGKILLs the
+primary, the replica, or both at random points — mid-append, mid-compaction
+or mid-catch-up.  After recovery the (restarted) replica must converge to
+the surviving acknowledged prefix and answer probe queries **byte-identical**
+to the primary's own post-recovery rankings, with zero acknowledged writes
+lost.
+
 Usable as a library (``tests/service/test_fault_injection.py``) and as the
 CI ``fault-injection`` job's entry point::
 
     python tools/faultinject.py --trials 20 [--seed 7] [--compact-every 4]
+    python tools/faultinject.py --trials 20 --replica
 
 Standard library only; exits non-zero if any trial violates a guarantee.
 """
@@ -51,6 +60,7 @@ if (REPO_ROOT / "src" / "repro").is_dir():  # checkout fallback; no-op when inst
     sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.datasets.synthetic import random_pictures  # noqa: E402
+from repro.index.backends import durable_wal_state  # noqa: E402
 from repro.iconic.picture import SymbolicPicture  # noqa: E402
 from repro.retrieval.system import RetrievalSystem  # noqa: E402
 from repro.service.client import ServiceClient, ServiceError  # noqa: E402
@@ -137,23 +147,12 @@ def mutation_schedule(rng: random.Random, *, trial: int) -> List[Mutation]:
     return schedule
 
 
-class ServerProcess:
-    """A live ``repro serve --wal`` subprocess bound to an ephemeral port."""
+class DaemonProcess:
+    """A live ``repro`` daemon subprocess bound to an ephemeral port."""
 
-    def __init__(self, database: Path, *, compact_every: int) -> None:
+    def __init__(self, argv: Sequence[str]) -> None:
         self.process = subprocess.Popen(
-            [
-                sys.executable,
-                "-m",
-                "repro.cli",
-                "serve",
-                str(database),
-                "--port",
-                "0",
-                "--wal",
-                "--wal-compact-every",
-                str(compact_every),
-            ],
+            [sys.executable, "-m", "repro.cli", *argv],
             stdout=subprocess.PIPE,
             stderr=subprocess.PIPE,
             text=True,
@@ -165,7 +164,9 @@ class ServerProcess:
         if not match:
             self.kill9()
             stderr = self.process.stderr.read() if self.process.stderr else ""
-            raise RuntimeError(f"serve did not report its address: {line!r} {stderr.strip()}")
+            raise RuntimeError(
+                f"{argv[0]} did not report its address: {line!r} {stderr.strip()}"
+            )
         self.client = ServiceClient(port=int(match.group(1)))
         self.client.wait_until_healthy(timeout=20)
 
@@ -185,6 +186,44 @@ class ServerProcess:
         except subprocess.TimeoutExpired:
             self.process.kill()
             self.process.wait(timeout=10)
+
+    @property
+    def alive(self) -> bool:
+        """Whether the subprocess is still running."""
+        return self.process.poll() is None
+
+
+class ServerProcess(DaemonProcess):
+    """A live ``repro serve --wal`` primary on an ephemeral port."""
+
+    def __init__(self, database: Path, *, compact_every: int) -> None:
+        super().__init__(
+            [
+                "serve",
+                str(database),
+                "--port",
+                "0",
+                "--wal",
+                "--wal-compact-every",
+                str(compact_every),
+            ]
+        )
+
+
+class ReplicaProcess(DaemonProcess):
+    """A live ``repro replica`` follower on an ephemeral port."""
+
+    def __init__(self, database: Path, *, follow_interval: float = 0.02) -> None:
+        super().__init__(
+            [
+                "replica",
+                str(database),
+                "--port",
+                "0",
+                "--follow-interval",
+                str(follow_interval),
+            ]
+        )
 
 
 def _apply(system: RetrievalSystem, mutation: Mutation) -> None:
@@ -353,6 +392,221 @@ def run_trial(
     )
 
 
+def _wait_for_catch_up(
+    client: ServiceClient, target_lsn: int, *, timeout: float = 30.0
+) -> Optional[Dict[str, object]]:
+    """Poll a replica's ``/stats`` until ``applied_lsn`` reaches ``target_lsn``.
+
+    Returns:
+        The converged ``/stats`` body, or ``None`` on timeout.
+    """
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        try:
+            stats = client.stats()
+        except (ServiceError, OSError):
+            time.sleep(0.05)
+            continue
+        if stats["replication"]["applied_lsn"] >= target_lsn:
+            return stats
+        time.sleep(0.02)
+    return None
+
+
+def run_replica_trial(
+    trial: int,
+    scratch: Path,
+    seed_dir: Path,
+    *,
+    rng: random.Random,
+    compact_every: int,
+    kill_mode: str = "kill-replica",
+) -> TrialResult:
+    """One primary+replica kill -9 trial: stream, kill, recover, converge.
+
+    ``kill_mode`` picks the victim(s): ``"kill-replica"`` SIGKILLs the
+    follower mid-catch-up (the primary finishes the stream, and a restarted
+    replica must converge to rankings byte-identical to the live primary's);
+    ``"kill-primary"`` SIGKILLs the primary mid-append/mid-compaction (the
+    surviving replica must converge to exactly the acknowledged prefix on
+    disk); ``"kill-both"`` SIGKILLs both at independent random points and
+    restarts the replica over the crashed directory.
+    """
+    database = scratch / f"replica-trial-{trial:03d}.shards"
+    shutil.copytree(seed_dir, database)
+    schedule = mutation_schedule(rng, trial=trial)
+    failures: List[str] = []
+
+    primary = ServerProcess(database, compact_every=compact_every)
+    replica = ReplicaProcess(database)
+    acked = 0
+    killers: List[threading.Timer] = []
+    if kill_mode in ("kill-replica", "kill-both"):
+        killers.append(threading.Timer(rng.uniform(0.0, 0.08), replica.kill9))
+    if kill_mode in ("kill-primary", "kill-both"):
+        killers.append(threading.Timer(rng.uniform(0.0, 0.08), primary.kill9))
+    for killer in killers:
+        killer.start()
+    try:
+        for index, mutation in enumerate(schedule):
+            try:
+                if mutation.op == "add":
+                    primary.client.add_image(mutation.picture, mutation.image_id)
+                else:
+                    primary.client.delete_image(mutation.image_id)
+                acked += 1
+            except (ServiceError, OSError) as error:
+                status = getattr(error, "status", None)
+                if status is not None and status < 500:
+                    failures.append(f"mutation {index} rejected with {status}: {error}")
+                break
+    finally:
+        for killer in killers:
+            killer.cancel()
+    # Land any kill the timer did not get to: the victim set is the mode's.
+    if kill_mode in ("kill-replica", "kill-both") and replica.alive:
+        replica.kill9()
+    if kill_mode in ("kill-primary", "kill-both") and primary.alive:
+        primary.kill9()
+
+    try:
+        if kill_mode == "kill-replica":
+            # The primary survived the whole stream: a restarted replica
+            # must catch up and mirror the *live* primary byte-for-byte.
+            recovery_started = time.perf_counter()
+            replica = ReplicaProcess(database)
+            recovery_seconds = time.perf_counter() - recovery_started
+            target_lsn = primary.client.stats()["durability"]["last_lsn"]
+            prefix = acked
+            stats = _wait_for_catch_up(replica.client, target_lsn)
+            if stats is None:
+                failures.append(f"replica never caught up to LSN {target_lsn}")
+            else:
+                for number, payload in enumerate(_probe_payloads(trial)):
+                    served_primary = primary.client.request("POST", "/search", payload)
+                    served_replica = replica.client.request("POST", "/search", payload)
+                    if json.dumps(served_primary["results"], sort_keys=True) != json.dumps(
+                        served_replica["results"], sort_keys=True
+                    ):
+                        failures.append(f"probe {number} differs between primary and replica")
+                primary_images = primary.client.healthz()["images"]
+                replica_images = replica.client.healthz()["images"]
+                if primary_images != replica_images:
+                    failures.append(
+                        f"replica serves {replica_images} images, primary {primary_images}"
+                    )
+        else:
+            # The primary is dead.  The directory holds the acknowledged
+            # prefix; the (restarted, for kill-both) replica must converge
+            # to exactly that state and rank like an uninterrupted run.
+            recovery_started = time.perf_counter()
+            if kill_mode == "kill-both":
+                replica = ReplicaProcess(database)
+            recovered = RetrievalSystem.from_file(database, durable=True)
+            recovery_seconds = time.perf_counter() - recovery_started
+            recovered_ids = set(recovered.image_ids)
+            prefix = _surviving_prefix(seed_dir, schedule, recovered_ids)
+            if prefix is None:
+                failures.append(
+                    f"recovered state matches no schedule prefix "
+                    f"(acked={acked}, {len(recovered_ids)} images)"
+                )
+                prefix = acked
+            elif prefix < acked:
+                failures.append(
+                    f"acknowledged write lost: {acked} acked but only the "
+                    f"first {prefix} mutations survived"
+                )
+            elif prefix > acked + 1:
+                failures.append(
+                    f"impossible recovery: {prefix} mutations survived with only "
+                    f"{acked} acked (at most one in-flight record may land)"
+                )
+            state = durable_wal_state(database)
+            target_lsn = state["last_lsn"] if state else 0
+            stats = _wait_for_catch_up(replica.client, target_lsn)
+            if stats is None:
+                failures.append(f"replica never caught up to LSN {target_lsn}")
+            else:
+                expected = _reference_results(seed_dir, schedule, prefix, trial)
+                for number, (payload, reference) in enumerate(
+                    zip(_probe_payloads(trial), expected)
+                ):
+                    served = replica.client.request("POST", "/search", payload)["results"]
+                    if json.dumps(served, sort_keys=True) != json.dumps(
+                        reference, sort_keys=True
+                    ):
+                        failures.append(
+                            f"probe {number} ranking diverged from the recovered primary state"
+                        )
+                health = replica.client.healthz()
+                if health.get("images") != len(recovered_ids):
+                    failures.append(
+                        f"replica serves {health.get('images')} images, "
+                        f"recovery holds {len(recovered_ids)}"
+                    )
+    except (ServiceError, OSError, RuntimeError) as error:
+        failures.append(f"replica verification failed: {error}")
+        recovery_seconds = 0.0
+        prefix = acked
+    finally:
+        if replica.alive:
+            replica.terminate()
+        if primary.alive:
+            primary.terminate()
+
+    return TrialResult(
+        trial=trial,
+        kill_mode=kill_mode,
+        acked=acked,
+        survived=prefix,
+        recovery_seconds=recovery_seconds,
+        failures=failures,
+    )
+
+
+def run_replica_trials(
+    trials: int = 20,
+    *,
+    seed: int = 7,
+    compact_every: int = 4,
+    kill_modes: Sequence[str] = ("kill-replica", "kill-primary", "kill-both"),
+    scratch: Optional[Path] = None,
+    verbose: bool = True,
+) -> List[TrialResult]:
+    """Run the replica sweep; returns one :class:`TrialResult` per trial."""
+    rng = random.Random(seed)
+    owns_scratch = scratch is None
+    scratch = scratch or Path(tempfile.mkdtemp(prefix="repro-faultinject-replica-"))
+    results: List[TrialResult] = []
+    try:
+        seed_dir = build_seed(scratch)
+        for trial in range(trials):
+            kill_mode = kill_modes[trial % len(kill_modes)]
+            result = run_replica_trial(
+                trial,
+                scratch,
+                seed_dir,
+                rng=rng,
+                compact_every=compact_every,
+                kill_mode=kill_mode,
+            )
+            results.append(result)
+            if verbose:
+                status = "ok " if result.passed else "FAIL"
+                print(
+                    f"[{status}] trial {trial:02d} ({kill_mode}): "
+                    f"{result.acked} acked, {result.survived} survived, "
+                    f"recovery {result.recovery_seconds * 1000:.1f}ms"
+                    + ("" if result.passed else f" -- {'; '.join(result.failures)}"),
+                    flush=True,
+                )
+    finally:
+        if owns_scratch:
+            shutil.rmtree(scratch, ignore_errors=True)
+    return results
+
+
 def run_trials(
     trials: int = 20,
     *,
@@ -406,17 +660,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         default=4,
         help="WAL compaction threshold served with (small keeps the compactor busy)",
     )
+    parser.add_argument(
+        "--replica",
+        action="store_true",
+        help="drive a primary+replica pair and kill either/both instead",
+    )
     arguments = parser.parse_args(argv)
-    results = run_trials(
+    runner = run_replica_trials if arguments.replica else run_trials
+    results = runner(
         arguments.trials, seed=arguments.seed, compact_every=arguments.compact_every
     )
+    sweep = "replica fault injection" if arguments.replica else "fault injection"
     failed = [result for result in results if not result.passed]
     total_acked = sum(result.acked for result in results)
     print(
-        f"\nfault injection: {len(results) - len(failed)}/{len(results)} trials passed "
+        f"\n{sweep}: {len(results) - len(failed)}/{len(results)} trials passed "
         f"({total_acked} acknowledged writes, zero lost)"
         if not failed
-        else f"\nfault injection: {len(failed)}/{len(results)} trials FAILED",
+        else f"\n{sweep}: {len(failed)}/{len(results)} trials FAILED",
         flush=True,
     )
     return 1 if failed else 0

@@ -1,0 +1,321 @@
+#!/usr/bin/env python3
+"""End-to-end smoke test of a primary + replica pair (the CI replica job).
+
+Boots a real ``repro serve --wal`` primary and a real ``repro replica``
+follower as subprocesses over the same durable directory, then walks the
+whole replication story (``docs/replication.md``):
+
+1. the replica warm-starts serving the seed and mirrors the primary's
+   rankings byte-for-byte;
+2. writes acknowledged by the primary appear on the replica within the
+   follow interval (convergence is polled via the ``/stats`` replication
+   block, not slept for);
+3. mutations sent to the replica are refused with **403** naming the
+   primary's address;
+4. after the primary is stopped, ``POST /promote`` turns the replica into
+   a writable durable primary that acknowledges writes with WAL LSNs.
+
+Standard library only; exits non-zero on any failed check.
+
+Usage::
+
+    python tools/replica_smoke.py [--keep-temp]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+if (REPO_ROOT / "src" / "repro").is_dir():  # checkout fallback; no-op when installed
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.datasets.scenes import landscape_scene, office_scene, traffic_scene  # noqa: E402
+from repro.retrieval.system import RetrievalSystem  # noqa: E402
+from repro.service.client import ServiceClient, ServiceError  # noqa: E402
+
+_CHECKS: list = []
+
+
+def check(name: str, condition: bool, detail: str = "") -> None:
+    """Record one smoke assertion and echo its outcome."""
+    _CHECKS.append((name, condition))
+    status = "ok" if condition else "FAIL"
+    suffix = f" -- {detail}" if detail and not condition else ""
+    print(f"[{status}] {name}{suffix}", flush=True)
+
+
+def pictures():
+    return (
+        [office_scene(variant) for variant in range(3)]
+        + [traffic_scene(variant) for variant in range(3)]
+        + [landscape_scene(variant) for variant in range(3)]
+    )
+
+
+def subprocess_environment() -> dict:
+    """The child environment: prepend the checkout's src/ when present."""
+    environment = dict(os.environ)
+    source = REPO_ROOT / "src"
+    if (source / "repro").is_dir():
+        existing = environment.get("PYTHONPATH")
+        environment["PYTHONPATH"] = (
+            f"{source}{os.pathsep}{existing}" if existing else str(source)
+        )
+    return environment
+
+
+def start_daemon(argv: list) -> "tuple[subprocess.Popen, ServiceClient]":
+    """Launch one ``repro`` daemon on an ephemeral port and wait for health."""
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", *argv],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=subprocess_environment(),
+    )
+    assert process.stdout is not None
+    line = process.stdout.readline()
+    match = re.search(r"http://127\.0\.0\.1:(\d+)", line)
+    if not match:
+        process.kill()
+        stderr = process.stderr.read() if process.stderr is not None else ""
+        raise RuntimeError(f"{argv[0]} did not report its address: {line!r} {stderr.strip()}")
+    client = ServiceClient(port=int(match.group(1)))
+    client.wait_until_healthy(timeout=15)
+    return process, client
+
+
+def stop(process: "subprocess.Popen | None", label: str) -> None:
+    """Terminate one daemon, echoing any stderr it left behind."""
+    if process is None:
+        return
+    process.terminate()
+    try:
+        process.wait(timeout=10)
+    except subprocess.TimeoutExpired:
+        process.kill()
+    if process.stderr is not None:
+        stderr = process.stderr.read().strip()
+        if stderr:
+            print(f"--- {label} stderr ---\n{stderr}", flush=True)
+
+
+def wait_for_catch_up(client: ServiceClient, target_lsn: int, timeout: float = 20.0) -> bool:
+    """Poll the replica's ``/stats`` until ``applied_lsn`` reaches the target."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        try:
+            stats = client.stats()
+        except (ServiceError, OSError):
+            time.sleep(0.05)
+            continue
+        if stats["replication"]["applied_lsn"] >= target_lsn:
+            return True
+        time.sleep(0.02)
+    return False
+
+
+def same_rankings(primary: ServiceClient, replica: ServiceClient, scenes) -> bool:
+    """Whether both daemons answer every probe byte-identically."""
+    for scene in scenes:
+        payload = {"scene": scene.to_dict(), "limit": None}
+        first = primary.request("POST", "/search", payload)["results"]
+        second = replica.request("POST", "/search", payload)["results"]
+        if json.dumps(first, sort_keys=True) != json.dumps(second, sort_keys=True):
+            return False
+    return True
+
+
+def drive(
+    primary: ServiceClient, replica: ServiceClient, database: Path
+) -> None:
+    """The replication story up to (but not including) promotion."""
+    scenes = pictures()
+    probes = [scenes[0], scenes[4], scenes[7]]
+
+    # --- roles and warm start -----------------------------------------
+    check("primary reports itself healthy", primary.healthz().get("status") == "ok")
+    replica_health = replica.healthz()
+    check(
+        "replica is healthy and self-identifies",
+        replica_health.get("status") == "ok" and replica_health.get("role") == "replica",
+    )
+    check(
+        "warm-started replica serves the full seed",
+        replica_health.get("images") == len(scenes),
+    )
+    check("seed rankings are byte-identical", same_rankings(primary, replica, probes))
+
+    # --- write on the primary, converge on the replica ----------------
+    fresh = office_scene(9).renamed("smoke-replicated")
+    created = primary.add_image(fresh)
+    lsn = created.get("lsn")
+    check("primary acknowledges the write with an LSN", lsn == 1, detail=str(created))
+    check("replica catches up to the write", wait_for_catch_up(replica, lsn or 1))
+    check(
+        "replicated image is served by the replica",
+        replica.healthz().get("images") == len(scenes) + 1,
+    )
+    check(
+        "post-write rankings are byte-identical",
+        same_rankings(primary, replica, probes + [fresh]),
+    )
+
+    deleted = primary.delete_image("smoke-replicated")
+    check("primary acknowledges the delete", deleted.get("removed") == "smoke-replicated")
+    check("replica catches up to the delete", wait_for_catch_up(replica, deleted.get("lsn", 2)))
+    check(
+        "post-delete rankings are byte-identical",
+        same_rankings(primary, replica, probes),
+    )
+
+    # --- the write fence ----------------------------------------------
+    try:
+        replica.add_image(office_scene(8).renamed("fenced"))
+        check("replica refuses writes with 403", False)
+    except ServiceError as error:
+        check(
+            "replica refuses writes with 403",
+            error.status == 403 and "primary" in str(error),
+            detail=str(error),
+        )
+    try:
+        replica.delete_image("office-000")
+        check("replica refuses deletes with 403", False)
+    except ServiceError as error:
+        check("replica refuses deletes with 403", error.status == 403)
+
+    # --- observability -------------------------------------------------
+    stats = replica.stats()
+    replication = stats.get("replication", {})
+    check(
+        "replica stats carry the replication block",
+        stats.get("role") == "replica"
+        and replication.get("applied_lsn") == replication.get("primary_lsn")
+        and replication.get("lag_records") == 0
+        and replication.get("records_applied", 0) >= 2,
+        detail=json.dumps(replication),
+    )
+    primary_stats = primary.stats()
+    check(
+        "primary stats report WAL durability state",
+        primary_stats["durability"].get("enabled") is True
+        and primary_stats["durability"].get("last_lsn") == 2
+        and primary_stats["durability"].get("wal_size_bytes", 0) > 0,
+        detail=json.dumps(primary_stats.get("durability", {})),
+    )
+
+
+def drive_promotion(replica: ServiceClient, database: Path) -> None:
+    """Fence the primary (already stopped by the caller), then promote."""
+    summary = replica.promote()
+    check(
+        "promote reports the new primary role",
+        summary.get("role") == "primary",
+        detail=json.dumps(summary),
+    )
+    check("promoted daemon self-identifies as primary", replica.healthz().get("role") == "primary")
+
+    promoted_write = replica.add_image(traffic_scene(7).renamed("post-promote"))
+    check(
+        "promoted daemon acknowledges durable writes",
+        promoted_write.get("lsn", 0) >= 3,
+        detail=json.dumps(promoted_write),
+    )
+    served = replica.search(scene=traffic_scene(7), limit=3)
+    check(
+        "promoted daemon serves its own writes",
+        any(row.get("image_id") == "post-promote" for row in served["results"]),
+    )
+    try:
+        replica.promote()
+        check("second promote conflicts with 409", False)
+    except ServiceError as error:
+        check("second promote conflicts with 409", error.status == 409)
+
+
+def verify_persistence(database: Path) -> None:
+    """The promoted daemon's write must be on disk (snapshot + log replay)."""
+    reloaded = RetrievalSystem.from_file(database, durable=True)
+    check(
+        "promoted write persisted durably",
+        "post-promote" in reloaded.image_ids and "smoke-replicated" not in reloaded.image_ids,
+    )
+
+
+def main() -> int:
+    """Run the smoke sequence; returns the process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--keep-temp", action="store_true", help="keep the temp database")
+    arguments = parser.parse_args()
+
+    scratch = Path(tempfile.mkdtemp(prefix="repro-replica-smoke-"))
+    database = scratch / "smoke-db.shards"
+    system = RetrievalSystem.from_pictures(pictures())
+    system.save(database, durable=True)
+    print(f"database: {database} ({len(system)} images)", flush=True)
+
+    primary_process = None
+    replica_process = None
+    try:
+        primary_process, primary = start_daemon(
+            ["serve", str(database), "--port", "0", "--wal"]
+        )
+        print(f"primary: pid {primary_process.pid} at {primary.url}", flush=True)
+        replica_process, replica = start_daemon(
+            [
+                "replica",
+                str(database),
+                "--port",
+                "0",
+                "--follow-interval",
+                "0.05",
+                "--primary",
+                primary.url,
+            ]
+        )
+        print(f"replica: pid {replica_process.pid} at {replica.url}", flush=True)
+
+        drive(primary, replica, database)
+
+        # Hand over: stop the primary first (exactly one writer at a time),
+        # then promote the replica and prove it is a full durable primary.
+        stop(primary_process, "primary")
+        primary_process = None
+        drive_promotion(replica, database)
+
+        stop(replica_process, "replica (promoted)")
+        replica_process = None
+        verify_persistence(database)
+    except (ServiceError, RuntimeError, OSError) as error:
+        check("smoke sequence completed", False, detail=str(error))
+    finally:
+        stop(primary_process, "primary")
+        stop(replica_process, "replica")
+        if not arguments.keep_temp:
+            for path in sorted(scratch.rglob("*"), reverse=True):
+                path.unlink() if path.is_file() else path.rmdir()
+            scratch.rmdir()
+
+    failed = [name for name, passed in _CHECKS if not passed]
+    print(
+        f"\nreplica smoke: {len(_CHECKS) - len(failed)}/{len(_CHECKS)} checks passed",
+        flush=True,
+    )
+    if failed:
+        print("failed: " + "; ".join(failed), file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
