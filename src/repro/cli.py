@@ -54,7 +54,7 @@ unified pipeline and score cache.
     Build a small synthetic database in a temporary directory and run an
     example query end to end (no input files needed).
 
-``python -m repro.cli serve <database> [--port N] [--workers N] [--backlog N]``
+``python -m repro.cli serve <database> [--port N] [--workers N] [--backlog N] [--shard-workers N]``
     Run the JSON-over-HTTP retrieval daemon over a stored database: concurrent
     ``/search`` + ``/batch`` queries, mutation endpoints with incremental
     write-back persistence, ``/healthz`` and ``/stats`` (see
@@ -458,6 +458,7 @@ def _command_serve(arguments: argparse.Namespace) -> int:
             backend=backend,
             durable=arguments.wal,
             compact_threshold=arguments.wal_compact_every,
+            shard_workers=arguments.shard_workers,
         )
     except (OSError, ValueError, StorageError) as error:
         raise CliError(f"cannot start the service: {error}") from error
@@ -470,9 +471,13 @@ def _command_serve(arguments: argparse.Namespace) -> int:
         persistence = "persisting incrementally"
     else:
         persistence = "in-memory only"
+    sharding = (
+        f", shard-workers={arguments.shard_workers}" if arguments.shard_workers else ""
+    )
     print(
         f"serving {arguments.database} ({len(system)} images) on {server.url} "
-        f"(workers={arguments.workers}, backlog={arguments.backlog}, {persistence})",
+        f"(workers={arguments.workers}, backlog={arguments.backlog}{sharding}, "
+        f"{persistence})",
         flush=True,
     )
     if arguments.check:
@@ -795,6 +800,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--backlog", type=int, default=16,
         help="max requests waiting beyond the workers before 503s (default 16)",
+    )
+    serve.add_argument(
+        "--shard-workers", type=int, default=None, metavar="N",
+        help="scatter-gather every search across N forked shard-worker "
+             "processes (byte-identical rankings; see docs/parallelism.md)",
     )
     serve.add_argument(
         "--kernel", choices=KERNELS, default=None,

@@ -57,8 +57,11 @@ class BatchOptions:
     ``executor`` selects how cache-miss scoring work runs: ``"thread"`` (a
     ``ThreadPoolExecutor``; the default), ``"process"`` (a
     ``ProcessPoolExecutor``; higher fixed cost, true CPU parallelism),
-    ``"serial"`` (inline, no pool -- still deduplicates and caches), or
-    ``"auto"`` (serial for small workloads, threads otherwise).  ``workers``
+    ``"serial"`` (inline, no pool -- still deduplicates and caches),
+    ``"auto"`` (serial for small workloads, threads otherwise), or
+    ``"shard_process"`` (the whole batch is pipelined through the
+    process-parallel shard workers of :mod:`repro.index.workers`; the batch
+    engine itself never sees those queries).  ``workers``
     bounds the pool size; ``chunk_size`` overrides the automatic chunking of
     (query, image) scoring tasks; ``use_cache=False`` bypasses the score cache
     entirely (every candidate is re-scored).
@@ -76,10 +79,10 @@ class BatchOptions:
     def __post_init__(self) -> None:
         if self.workers < 1:
             raise ValueError("workers must be at least 1")
-        if self.executor not in ("thread", "process", "serial", "auto"):
+        if self.executor not in ("thread", "process", "serial", "auto", "shard_process"):
             raise ValueError(
                 f"unknown executor {self.executor!r} "
-                "(expected 'thread', 'process', 'serial' or 'auto')"
+                "(expected 'thread', 'process', 'serial', 'auto' or 'shard_process')"
             )
         if self.chunk_size is not None and self.chunk_size < 1:
             raise ValueError("chunk_size must be at least 1")

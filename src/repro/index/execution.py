@@ -37,8 +37,14 @@ STRATEGY_ANYTIME = "anytime"
 STRATEGY_EXHAUSTIVE = "exhaustive"
 STRATEGIES = (STRATEGY_ANYTIME, STRATEGY_EXHAUSTIVE)
 
-#: Batch pool flavours (mirrors :class:`repro.index.batch.BatchOptions`).
-EXECUTORS = ("thread", "process", "serial", "auto")
+#: Scatter-gather over the process-parallel shard workers
+#: (:mod:`repro.index.workers`): each worker owns a disjoint slice of the
+#: CRC-32 shard space and scores locally; merged rankings are byte-identical
+#: to the serial engine.
+EXECUTOR_SHARD_PROCESS = "shard_process"
+#: Batch pool flavours (mirrors :class:`repro.index.batch.BatchOptions`)
+#: plus the shard-worker scatter-gather executor.
+EXECUTORS = ("thread", "process", "serial", "auto", EXECUTOR_SHARD_PROCESS)
 
 
 @dataclass(frozen=True)
@@ -58,7 +64,9 @@ class ExecutionOptions:
     shortlist: Optional[bool] = None
     #: Consult and populate the engine's score cache (``Query.use_cache``).
     cache: Optional[bool] = None
-    #: Batch pool flavour: ``thread`` or ``process``.
+    #: Concurrency flavour: ``thread``/``process``/``serial``/``auto`` pick
+    #: the batch pool; ``shard_process`` scatter-gathers every query across
+    #: the process-parallel shard workers (:mod:`repro.index.workers`).
     executor: Optional[str] = None
     #: Batch pool size.
     workers: Optional[int] = None

@@ -23,9 +23,11 @@ Since the query-API redesign every entry point converges here:
 
 from __future__ import annotations
 
+import threading
 from bisect import insort
 from contextlib import contextmanager
 from dataclasses import dataclass, field, replace
+from pathlib import Path
 from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.core.bestring import BEString2D
@@ -46,6 +48,7 @@ from repro.iconic.picture import SymbolicPicture
 from repro.index.cache import QueryKey, ScoreCache, query_score_key
 from repro.index.database import ImageDatabase, ImageRecord
 from repro.index.execution import (
+    EXECUTOR_SHARD_PROCESS,
     KERNEL_BITPARALLEL,
     KERNEL_REFERENCE,
     STRATEGY_ANYTIME,
@@ -80,6 +83,7 @@ from repro.index.spec import (
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.index.batch import BatchOptions, BatchReport
+    from repro.index.workers import GatherOutcome, ShardWorkerPool
     from repro.retrieval.predicates import PredicateMatch
 
 
@@ -197,6 +201,21 @@ class QueryEngine:
     lock: NullRWLock = field(default_factory=NullRWLock)
     #: Scheduler report of the most recent :meth:`run_batch` call.
     last_batch_report: Optional["BatchReport"] = field(default=None, init=False)
+    #: Sharded-directory path the shard workers may lazy-load their slices
+    #: from (O(shard-slice) warm starts); set by loaders that know the
+    #: database's on-disk layout.  Cleared internally after the first
+    #: mutation, since disk may then lag the in-memory state.
+    shard_source: Optional[Path] = field(default=None, repr=False)
+    #: The live :class:`~repro.index.workers.ShardWorkerPool` (created
+    #: lazily by the first ``executor="shard_process"`` query, torn down on
+    #: every mutation so workers never serve a stale slice).
+    _shard_pool: Optional["ShardWorkerPool"] = field(default=None, init=False, repr=False)
+    _shard_pool_guard: threading.Lock = field(
+        default_factory=threading.Lock, init=False, repr=False
+    )
+    #: Whether :attr:`shard_source` still matches the in-memory database
+    #: (no mutations since the load that set it).
+    _shard_source_clean: bool = field(default=True, init=False, repr=False)
 
     # ------------------------------------------------------------------
     # Index maintenance
@@ -259,6 +278,7 @@ class QueryEngine:
             # a width different from the rest of the database.
             signature_for(record, self.bitmap_width)
             self.score_cache.invalidate_image(record.image_id)
+            self._invalidate_shard_pool()
             return record.image_id
 
     def remove_picture(self, image_id: str) -> None:
@@ -273,6 +293,7 @@ class QueryEngine:
             self.signature_filter.remove_picture(image_id)
             self.inverted_index.remove_picture(image_id)
             self.score_cache.invalidate_image(image_id)
+            self._invalidate_shard_pool()
 
     def add_object(self, image_id: str, label: str, mbr: Rectangle) -> ImageRecord:
         """Dynamically add one icon to a stored image, refreshing all indexes.
@@ -288,6 +309,7 @@ class QueryEngine:
             self.inverted_index.update_picture(image_id, record.picture)
             signature_for(record, self.bitmap_width)
             self.score_cache.invalidate_image(image_id)
+            self._invalidate_shard_pool()
             return record
 
     def remove_object(self, image_id: str, identifier: str) -> ImageRecord:
@@ -301,6 +323,7 @@ class QueryEngine:
             self.inverted_index.update_picture(image_id, record.picture)
             signature_for(record, self.bitmap_width)
             self.score_cache.invalidate_image(image_id)
+            self._invalidate_shard_pool()
             return record
 
     # ------------------------------------------------------------------
@@ -791,6 +814,14 @@ class QueryEngine:
             repro.index.spec.QuerySpecError: on a malformed spec.
         """
         spec.validate()
+        execution = self.execution.overlaid(spec.execution).resolved()
+        if execution.executor == EXECUTOR_SHARD_PROCESS:
+            # Scatter-gather: the read grant freezes the snapshot the
+            # workers' slices were built from (mutations invalidate the
+            # pool under the write lock, so a pool obtained here is
+            # guaranteed to mirror the current in-memory database).
+            with self.lock.read_locked():
+                return self._execute_sharded(spec, execution)
         # One shared grant spans the whole spec (similarity scoring plus any
         # predicate evaluation): concurrent mutations cannot interleave
         # between the clauses, so the outcome always reflects one snapshot.
@@ -908,6 +939,96 @@ class QueryEngine:
         ranked = rank_results(scored, limit=spec.limit, minimum_score=spec.minimum_score)
         return SpecOutcome(spec=spec, results=ranked, trace=trace, predicate_matches=matches)
 
+    # ------------------------------------------------------------------
+    # Scatter-gather execution over the shard-worker pool
+    # ------------------------------------------------------------------
+    def _execute_sharded(self, spec: QuerySpec, execution: ExecutionOptions) -> SpecOutcome:
+        """Scatter ``spec`` across the shard workers and fold the gather.
+
+        Callers hold a read grant: the pool (invalidated under the write
+        lock on every mutation) is therefore guaranteed to mirror the
+        snapshot this grant observes.
+        """
+        pool = self._shard_pool_for(execution)
+        return self._fold_gather(spec, pool.execute_spec(spec))
+
+    def _fold_gather(self, spec: QuerySpec, gathered: "GatherOutcome") -> SpecOutcome:
+        """Turn one merged gather into a :class:`SpecOutcome`, folding the
+        workers' execution/shortlist deltas into this engine's counters so
+        ``explain()`` and the service ``/stats`` stay truthful under
+        ``executor="shard_process"``."""
+        if gathered.execution["queries"]:
+            self.execution_counters.record(
+                admitted=gathered.execution["admitted"],
+                examined=gathered.execution["examined"],
+                anytime=bool(gathered.execution["anytime_queries"]),
+            )
+        if gathered.shortlist["queries"]:
+            self.shortlist_counters.absorb(
+                admitted=gathered.shortlist["admitted"],
+                bitmap_rejected=gathered.shortlist["bitmap_rejected"],
+                relation_rejected=gathered.shortlist["relation_rejected"],
+            )
+        return SpecOutcome(
+            spec=spec,
+            results=gathered.results,
+            trace=gathered.trace,
+            predicate_matches=gathered.predicate_matches,
+        )
+
+    def _shard_pool_for(self, execution: ExecutionOptions) -> "ShardWorkerPool":
+        """The live shard-worker pool, (re)built lazily for ``execution``.
+
+        The pool is reused across queries while the requested worker count
+        is stable; asking for a different count tears the old pool down and
+        forks a fresh one.  Disk warm starts (:attr:`shard_source`) are only
+        offered while no mutation has run, since the on-disk shards may
+        otherwise lag the in-memory database.
+        """
+        from repro.index.workers import ShardWorkerPool, sanitized_execution
+
+        workers = execution.workers or 1
+        stale: Optional["ShardWorkerPool"] = None
+        with self._shard_pool_guard:
+            pool = self._shard_pool
+            if pool is not None and pool.worker_count != workers:
+                stale, pool = pool, None
+                self._shard_pool = None
+            if pool is None:
+                pool = ShardWorkerPool(
+                    workers,
+                    self.database,
+                    shard_source=self.shard_source if self._shard_source_clean else None,
+                    execution=sanitized_execution(self.execution),
+                    bitmap_width=self.bitmap_width,
+                    minimum_overlap_ratio=self.signature_filter.minimum_overlap_ratio,
+                )
+                self._shard_pool = pool
+        if stale is not None:
+            stale.close()
+        return pool
+
+    def _invalidate_shard_pool(self) -> None:
+        """Tear down the pool after a mutation (workers hold a stale slice)."""
+        with self._shard_pool_guard:
+            stale, self._shard_pool = self._shard_pool, None
+            self._shard_source_clean = False
+        if stale is not None:
+            stale.close()
+
+    def close_shard_pool(self) -> None:
+        """Terminate the shard workers (idempotent; service shutdown path)."""
+        with self._shard_pool_guard:
+            pool, self._shard_pool = self._shard_pool, None
+        if pool is not None:
+            pool.close()
+
+    def shard_pool_stats(self) -> Optional[Dict[str, object]]:
+        """The live pool's stats block, or ``None`` when no pool is up."""
+        with self._shard_pool_guard:
+            pool = self._shard_pool
+        return pool.stats() if pool is not None else None
+
     def run_batch(
         self,
         queries: Sequence[Query],
@@ -928,6 +1049,8 @@ class QueryEngine:
         base = options or BatchOptions()
         if overrides:
             base = replace(base, **overrides)
+        if base.executor == EXECUTOR_SHARD_PROCESS:
+            return self._run_batch_sharded(queries, base)
         batch = BatchQueryEngine(engine=self, options=base)
         # The scheduling thread holds one shared grant for the whole batch;
         # worker threads only touch BE-strings prefetched under it (plus the
@@ -936,6 +1059,71 @@ class QueryEngine:
             results = batch.run(queries)
         self.last_batch_report = batch.last_report
         return results
+
+    def _run_batch_sharded(
+        self, queries: Sequence[Query], options: "BatchOptions"
+    ) -> List[List[RankedResult]]:
+        """Pipeline a whole batch through the shard-worker pool.
+
+        Identical queries are deduplicated before the scatter (mirroring the
+        thread-pool batch engine), every unique spec rides one pipelined
+        scatter-gather, and a :class:`~repro.index.batch.BatchReport` is
+        synthesised from the merged traces so ``last_batch_report`` keeps
+        its contract.
+        """
+        from repro.index.batch import BatchReport
+
+        specs = [
+            QuerySpec(
+                picture=query.picture,
+                transformations=query.transformations,
+                limit=query.limit,
+                minimum_score=query.minimum_score,
+                minimum_shared_labels=query.minimum_shared_labels,
+                use_filters=query.use_filters,
+                use_cache=query.use_cache,
+                policy=query.policy,
+                execution=query.execution,
+            )
+            for query in queries
+        ]
+        # Dedup identical queries so each unique spec is scattered once.
+        # Falls back to no dedup if a picture ever turns unhashable.
+        positions: List[int] = []
+        unique_specs: List[QuerySpec] = []
+        try:
+            seen: Dict[Query, int] = {}
+            for query, spec in zip(queries, specs):
+                index = seen.get(query)
+                if index is None:
+                    index = seen[query] = len(unique_specs)
+                    unique_specs.append(spec)
+                positions.append(index)
+        except TypeError:
+            positions = list(range(len(specs)))
+            unique_specs = specs
+        execution = self.execution.overlaid(
+            ExecutionOptions(executor=options.executor, workers=options.workers)
+        ).resolved()
+        with self.lock.read_locked():
+            pool = self._shard_pool_for(execution)
+            gathered = pool.execute_many(unique_specs) if unique_specs else []
+        for spec, outcome in zip(unique_specs, gathered):
+            self._fold_gather(spec, outcome)
+        traces = [outcome.trace for outcome in gathered]
+        self.last_batch_report = BatchReport(
+            total_queries=len(queries),
+            unique_evaluations=len(unique_specs),
+            candidates_considered=sum(trace.shortlisted for trace in traces),
+            scored=sum(trace.candidates_examined for trace in traces),
+            cache_hits=sum(trace.cache_hits for trace in traces),
+            chunks=1 if unique_specs else 0,
+            executor=EXECUTOR_SHARD_PROCESS,
+            workers=pool.worker_count if unique_specs else (execution.workers or 1),
+            shortlist_bitmap_pruned=sum(trace.bitmap_pruned for trace in traces),
+            shortlist_relation_pruned=sum(trace.relation_pruned for trace in traces),
+        )
+        return [gathered[index].results for index in positions]
 
     def search(
         self,

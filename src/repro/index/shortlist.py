@@ -505,6 +505,24 @@ class ShortlistCounters:
             self._relation_rejected += outcome.relation_rejected
             self._admitted += len(outcome.candidates)
 
+    def absorb(
+        self, admitted: int, bitmap_rejected: int, relation_rejected: int
+    ) -> None:
+        """Fold one externally-aggregated shortlist pass into the totals.
+
+        The scatter-gather path (:mod:`repro.index.workers`) runs the
+        shortlist inside worker processes whose counters the parent cannot
+        see; the gather response carries the summed per-worker deltas and the
+        parent folds them here as **one** logical query, keeping the service
+        ``/stats`` shortlist block truthful under ``executor="shard_process"``.
+        """
+        with self._lock:
+            self._queries += 1
+            self._candidates += admitted + bitmap_rejected + relation_rejected
+            self._bitmap_rejected += bitmap_rejected
+            self._relation_rejected += relation_rejected
+            self._admitted += admitted
+
     @property
     def statistics(self) -> ShortlistStatistics:
         """A consistent snapshot of the counters."""

@@ -1,0 +1,624 @@
+"""Process-parallel shard workers: scatter-gather query execution.
+
+Everything upstream of this module is GIL-bound: the batch scheduler's
+thread pool and the service daemon both serialize on the Python bytecode of
+the scoring loop, so the shortlist/kernel speedups stop at one core.  This
+module partitions the database along the existing CRC-32 shard scheme
+(:func:`repro.index.backends.shard_index_for`) into worker *processes*:
+
+* :class:`ShardWorkerPool` forks N workers, each owning a disjoint,
+  contiguous slice of the shard space.  A worker builds its own
+  :class:`~repro.index.query.QueryEngine` — signature shortlist, inverted
+  index and score cache included — over just its slice, **lazily on the
+  first query it receives**, warm-starting either from the fork-inherited
+  in-memory records or (when the database lives in a sharded directory)
+  by reading only its own ``shard-NNNN.bin`` files plus the pending
+  write-ahead-log records, so a worker restart costs O(shard slice), not
+  O(database).
+* A query is *scattered*: the :class:`~repro.index.spec.QuerySpec` is
+  serialized to every worker, each scores its slice locally under the
+  resolved execution options (kernel, strategy, shortlist, cache), and the
+  per-worker rankings are *gathered* and merged with the exact serial
+  tie-break order ``(-score, image_id)``.  Because admission, scoring and
+  predicate evaluation are all per-image decisions, the global top-k is a
+  subset of the union of per-worker top-k lists — the merged ranking is
+  byte-identical to the single-process engine (asserted by the E18
+  benchmark and the cross-process equivalence suite).
+* Worker-side counter deltas (execution, shortlist, cache) ride back in
+  every gather response, so ``explain()`` traces and the service ``/stats``
+  blocks stay truthful under ``executor="shard_process"``.
+
+A crashed worker is detected by the broken pipe, restarted from its
+generation's source, and the in-flight requests are replayed against the
+fresh process; the pool counts restarts per worker.  See
+``docs/parallelism.md`` for the protocol and failure semantics.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+import time
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.index.backends import (
+    DEFAULT_SHARD_COUNT,
+    ShardedBackend,
+    shard_index_for,
+)
+from repro.index.cache import CacheStatistics
+from repro.index.database import ImageDatabase
+from repro.index.execution import EXECUTOR_SHARD_PROCESS, ExecutionOptions
+from repro.index.spec import QuerySpec, QueryTrace
+from repro.index.storage import StorageError, image_entry_to_record
+
+#: Executor value workers run internally (anything but ``shard_process``,
+#: which would recurse).
+_WORKER_EXECUTOR = "serial"
+
+#: Restarts the pool will attempt per worker within one scatter before
+#: giving up on the gather.
+DEFAULT_MAX_RESTARTS = 3
+
+
+class ShardWorkerError(RuntimeError):
+    """A shard worker failed permanently (crash-restart budget exhausted)."""
+
+
+def sanitized_execution(execution: Optional[ExecutionOptions]) -> ExecutionOptions:
+    """``execution`` with the scatter-gather executor replaced by a serial one.
+
+    Workers must never resolve to ``shard_process`` themselves; every other
+    field (kernel, strategy, shortlist, cache) passes through untouched so a
+    worker scores exactly like the serial engine would.
+    """
+    if execution is None:
+        return ExecutionOptions(executor=_WORKER_EXECUTOR)
+    if execution.executor == EXECUTOR_SHARD_PROCESS:
+        return replace(execution, executor=_WORKER_EXECUTOR)
+    return execution
+
+
+def spec_for_worker(spec: QuerySpec) -> QuerySpec:
+    """The spec a worker should execute: same plan, serial executor."""
+    if spec.execution is not None and spec.execution.executor == EXECUTOR_SHARD_PROCESS:
+        return spec.with_overrides(
+            execution=replace(spec.execution, executor=_WORKER_EXECUTOR)
+        )
+    return spec
+
+
+# ----------------------------------------------------------------------
+# Worker-process side
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class _WorkerConfig:
+    """Everything one worker process needs to build its slice engine."""
+
+    worker_id: int
+    shard_count: int
+    owned: Tuple[int, ...]
+    #: Sharded-directory path to lazy-load the owned shards from; ``None``
+    #: filters the fork-inherited in-memory database instead.
+    shard_source: Optional[str]
+    #: The parent engine's database (fork-shared, read-only in the child).
+    database: Optional[ImageDatabase]
+    execution: ExecutionOptions
+    bitmap_width: int
+    minimum_overlap_ratio: float
+
+
+def _load_owned_shards(
+    source: Path, shard_count: int, owned: frozenset
+) -> ImageDatabase:
+    """Read only the owned ``shard-NNNN.bin`` files (plus pending WAL records).
+
+    This is the O(shard slice) warm start: a restarted worker re-reads its
+    own shard files and replays just the acknowledged log records that hash
+    into its slice, never touching the rest of the database.
+    """
+    manifest = ShardedBackend._read_manifest(source)
+    database = ImageDatabase(name=manifest.get("name", "image-database"))
+    entries: List[Dict[str, Any]] = []
+    for key in sorted(manifest["shards"]):
+        if int(key) not in owned:
+            continue
+        shard_path = source / manifest["shards"][key]["file"]
+        entries.extend(ShardedBackend._read_shard(shard_path))
+    entries.sort(key=lambda entry: str(entry.get("image_id", "")))
+    for entry in entries:
+        image_entry_to_record(database, entry)
+    for record in ShardedBackend.pending_wal_records(source, manifest):
+        if shard_index_for(record.image_id, shard_count) not in owned:
+            continue
+        if record.image_id in database:
+            database.remove_picture(record.image_id)
+        if record.op == "upsert":
+            entry = dict(record.entry or {})
+            entry["image_id"] = record.image_id
+            image_entry_to_record(database, entry)
+    database.clear_dirty()
+    return database
+
+
+def _build_worker_database(config: _WorkerConfig) -> ImageDatabase:
+    """The worker's slice of the database, from disk shards or fork memory."""
+    owned = frozenset(config.owned)
+    if config.shard_source is not None:
+        return _load_owned_shards(Path(config.shard_source), config.shard_count, owned)
+    if config.database is None:  # pragma: no cover - constructor guarantees one
+        raise ShardWorkerError("worker has neither a shard source nor a database")
+    database = ImageDatabase(name=config.database.name)
+    for record in config.database:
+        if shard_index_for(record.image_id, config.shard_count) in owned:
+            # Adopt the existing record object: BE-string and signature are
+            # already materialised, so the slice costs no re-encoding.
+            database._records[record.image_id] = record
+    database.clear_dirty()
+    return database
+
+
+def _statistics_delta(after: Any, before: Any, names: Sequence[str]) -> Dict[str, int]:
+    """Per-field difference of two frozen statistics snapshots."""
+    return {name: getattr(after, name) - getattr(before, name) for name in names}
+
+
+_EXECUTION_FIELDS = ("queries", "anytime_queries", "admitted", "examined", "skipped")
+_SHORTLIST_FIELDS = ("queries", "admitted", "bitmap_rejected", "relation_rejected")
+
+
+def _worker_main(config: _WorkerConfig, connection) -> None:
+    """The worker-process request loop.
+
+    The engine is built lazily on the first ``spec`` message (the lazy warm
+    start); every response carries the ranking for the worker's slice, the
+    execution trace, and the counter deltas the parent folds into its own
+    aggregates.  The loop exits on a ``stop`` message or a closed pipe.
+    """
+    from repro.index.query import QueryEngine
+
+    engine = None
+    while True:
+        try:
+            message = connection.recv()
+        except (EOFError, OSError):
+            break
+        kind = message[0]
+        if kind == "stop":
+            break
+        if kind != "spec":  # pragma: no cover - protocol guard
+            continue
+        _, request_id, spec = message
+        try:
+            if engine is None:
+                engine = QueryEngine.build(
+                    _build_worker_database(config),
+                    minimum_overlap_ratio=config.minimum_overlap_ratio,
+                    bitmap_width=config.bitmap_width,
+                    execution=config.execution,
+                )
+            execution_before = engine.execution_counters.statistics
+            shortlist_before = engine.shortlist_counters.statistics
+            outcome = engine.execute_spec(spec)
+            payload = {
+                "results": outcome.results,
+                "predicate_matches": outcome.predicate_matches,
+                "trace": outcome.trace,
+                "images": len(engine.database),
+                "execution": _statistics_delta(
+                    engine.execution_counters.statistics,
+                    execution_before,
+                    _EXECUTION_FIELDS,
+                ),
+                "shortlist": _statistics_delta(
+                    engine.shortlist_counters.statistics,
+                    shortlist_before,
+                    _SHORTLIST_FIELDS,
+                ),
+                "cache": engine.score_cache.statistics,
+            }
+            connection.send(("ok", request_id, payload))
+        except Exception as error:  # noqa: BLE001 - forwarded to the parent
+            try:
+                connection.send(
+                    ("error", request_id, f"{type(error).__name__}: {error}")
+                )
+            except (OSError, ValueError):  # pragma: no cover - parent gone
+                break
+
+
+# ----------------------------------------------------------------------
+# Merge (the deterministic gather)
+# ----------------------------------------------------------------------
+@dataclass
+class GatherOutcome:
+    """One scattered query's merged result plus the counter deltas to fold."""
+
+    results: List[Any]
+    trace: QueryTrace
+    predicate_matches: Optional[Dict[str, Any]]
+    #: Summed per-worker :class:`ExecutionCounters` deltas.
+    execution: Dict[str, int]
+    #: Summed per-worker :class:`ShortlistCounters` deltas.
+    shortlist: Dict[str, int]
+
+
+def _merge_ranked(spec: QuerySpec, payloads: List[Dict[str, Any]]) -> List[Any]:
+    """Merge per-worker rankings with the exact serial tie-break order.
+
+    Each worker already applied ``minimum_score`` and cut to ``limit`` on
+    its slice; since the global top-k is a subset of the union of per-worker
+    top-k lists, re-sorting the union by ``(-score, image_id)`` — the same
+    key :func:`repro.index.ranking.rank_results` uses — and cutting/
+    renumbering reproduces the serial ranking byte for byte.
+    """
+    pooled = [result for payload in payloads for result in payload["results"]]
+    pooled.sort(key=lambda result: (-result.score, result.image_id))
+    if spec.limit is not None:
+        pooled = pooled[: spec.limit]
+    if spec.has_similarity_clause:
+        return [
+            replace(result, rank=position)
+            for position, result in enumerate(pooled, start=1)
+        ]
+    return pooled
+
+
+def _merge_traces(payloads: List[Dict[str, Any]]) -> QueryTrace:
+    """One truthful trace for the whole scatter: summed funnel counters."""
+    traces = [payload["trace"] for payload in payloads]
+    merged = QueryTrace(mode=traces[0].mode if traces else "similarity")
+    inverted = [t.inverted_candidates for t in traces if t.inverted_candidates is not None]
+    merged.inverted_candidates = sum(inverted) if inverted else None
+    bound_cutoffs = [t.bound_cutoff for t in traces if t.bound_cutoff is not None]
+    merged.bound_cutoff = max(bound_cutoffs) if bound_cutoffs else None
+    for trace in traces:
+        merged.database_size += trace.database_size
+        merged.shortlisted += trace.shortlisted
+        merged.bitmap_pruned += trace.bitmap_pruned
+        merged.relation_pruned += trace.relation_pruned
+        merged.cache_hits += trace.cache_hits
+        merged.cache_misses += trace.cache_misses
+        merged.predicate_evaluated += trace.predicate_evaluated
+        merged.predicate_pruned += trace.predicate_pruned
+        merged.candidates_examined += trace.candidates_examined
+        merged.bound_skipped += trace.bound_skipped
+        merged.candidates.update(trace.candidates)
+    if traces:
+        merged.kernel = traces[0].kernel
+        merged.strategy = (
+            "anytime"
+            if any(trace.strategy == "anytime" for trace in traces)
+            else traces[0].strategy
+        )
+    return merged
+
+
+def merge_gather(spec: QuerySpec, payloads: List[Dict[str, Any]]) -> GatherOutcome:
+    """Merge every worker's response for one spec into a single outcome."""
+    matches: Optional[Dict[str, Any]] = None
+    if any(payload["predicate_matches"] is not None for payload in payloads):
+        matches = {}
+        for payload in payloads:
+            if payload["predicate_matches"]:
+                matches.update(payload["predicate_matches"])
+    execution = {name: 0 for name in _EXECUTION_FIELDS}
+    shortlist = {name: 0 for name in _SHORTLIST_FIELDS}
+    for payload in payloads:
+        for name in _EXECUTION_FIELDS:
+            execution[name] += payload["execution"][name]
+        for name in _SHORTLIST_FIELDS:
+            shortlist[name] += payload["shortlist"][name]
+    return GatherOutcome(
+        results=_merge_ranked(spec, payloads),
+        trace=_merge_traces(payloads),
+        predicate_matches=matches,
+        execution=execution,
+        shortlist=shortlist,
+    )
+
+
+# ----------------------------------------------------------------------
+# Parent-process pool
+# ----------------------------------------------------------------------
+@dataclass
+class _Worker:
+    """Parent-side bookkeeping for one worker process."""
+
+    worker_id: int
+    owned: Tuple[int, ...]
+    process: Any
+    connection: Any
+    images: int = 0
+    restarts: int = 0
+    requests: int = 0
+    queue_depth: int = 0
+    cache: Optional[CacheStatistics] = None
+
+
+class ShardWorkerPool:
+    """N forked workers over disjoint CRC-32 shard slices, scatter-gathered.
+
+    The pool is created eagerly (cheap: a fork and a pipe per worker) but
+    each worker builds its slice engine lazily on its first query.  All
+    scatter/gather traffic is serialized by an internal mutex — concurrent
+    service threads queue at the pool while each query runs parallel across
+    every worker underneath.
+    """
+
+    def __init__(
+        self,
+        worker_count: int,
+        database: ImageDatabase,
+        *,
+        shard_count: Optional[int] = None,
+        shard_source: Optional[Path] = None,
+        execution: Optional[ExecutionOptions] = None,
+        bitmap_width: int = 128,
+        minimum_overlap_ratio: float = 0.0,
+        max_restarts: int = DEFAULT_MAX_RESTARTS,
+    ) -> None:
+        """Fork ``worker_count`` workers over ``database``'s shard space.
+
+        ``shard_source`` (a sharded-directory path) switches warm starts to
+        the O(shard-slice) disk path; an unreadable source silently falls
+        back to fork inheritance.  ``shard_count`` defaults to the source
+        manifest's count, else :data:`~repro.index.backends.DEFAULT_SHARD_COUNT`.
+
+        Raises:
+            ValueError: if ``worker_count`` is not positive.
+        """
+        if worker_count < 1:
+            raise ValueError(f"worker_count must be >= 1, got {worker_count}")
+        self._database = database
+        self._execution = sanitized_execution(execution)
+        self._bitmap_width = bitmap_width
+        self._minimum_overlap_ratio = minimum_overlap_ratio
+        self._max_restarts = max_restarts
+        self._shard_source: Optional[str] = None
+        if shard_source is not None:
+            try:
+                manifest = ShardedBackend._read_manifest(Path(shard_source))
+                shard_count = int(manifest["shard_count"])
+                self._shard_source = str(shard_source)
+            except (StorageError, FileNotFoundError, OSError):
+                self._shard_source = None
+        if shard_count is None:
+            shard_count = DEFAULT_SHARD_COUNT
+        self.shard_count = max(int(shard_count), 1)
+        self.worker_count = worker_count
+        methods = multiprocessing.get_all_start_methods()
+        self._context = multiprocessing.get_context(
+            "fork" if "fork" in methods else None
+        )
+        self._lock = threading.Lock()
+        self._closed = False
+        self._scatters = 0
+        self._latency_total = 0.0
+        self._latency_last = 0.0
+        self._max_queue_depth = 0
+        image_counts = [0] * worker_count
+        for record in database:
+            shard = shard_index_for(record.image_id, self.shard_count)
+            image_counts[self._owner_of(shard)] += 1
+        self._workers: List[_Worker] = []
+        for worker_id in range(worker_count):
+            owned = tuple(
+                shard
+                for shard in range(self.shard_count)
+                if self._owner_of(shard) == worker_id
+            )
+            process, connection = self._spawn(worker_id, owned)
+            self._workers.append(
+                _Worker(
+                    worker_id=worker_id,
+                    owned=owned,
+                    process=process,
+                    connection=connection,
+                    images=image_counts[worker_id],
+                )
+            )
+
+    def _owner_of(self, shard: int) -> int:
+        """The worker owning ``shard`` (contiguous, balanced slices)."""
+        return shard * self.worker_count // self.shard_count
+
+    def _spawn(self, worker_id: int, owned: Tuple[int, ...]):
+        """Fork one worker process; returns ``(process, parent connection)``."""
+        parent_connection, child_connection = self._context.Pipe()
+        config = _WorkerConfig(
+            worker_id=worker_id,
+            shard_count=self.shard_count,
+            owned=owned,
+            shard_source=self._shard_source,
+            database=self._database,
+            execution=self._execution,
+            bitmap_width=self._bitmap_width,
+            minimum_overlap_ratio=self._minimum_overlap_ratio,
+        )
+        process = self._context.Process(
+            target=_worker_main,
+            args=(config, child_connection),
+            daemon=True,
+            name=f"repro-shard-worker-{worker_id}",
+        )
+        process.start()
+        # The parent must not hold the child's pipe end, or a worker crash
+        # would never surface as EOF on the gather side.
+        child_connection.close()
+        return process, parent_connection
+
+    def _restart(self, worker: _Worker) -> None:
+        """Replace a dead worker with a fresh fork of the same slice."""
+        try:
+            worker.connection.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+        if worker.process.is_alive():
+            worker.process.terminate()
+        worker.process.join(timeout=5)
+        worker.process, worker.connection = self._spawn(worker.worker_id, worker.owned)
+        worker.restarts += 1
+
+    # ------------------------------------------------------------------
+    # Scatter-gather
+    # ------------------------------------------------------------------
+    def execute_spec(self, spec: QuerySpec) -> GatherOutcome:
+        """Scatter one spec to every worker and merge the gathered rankings."""
+        return self.execute_many([spec])[0]
+
+    def execute_many(self, specs: Sequence[QuerySpec]) -> List[GatherOutcome]:
+        """Pipeline many specs through every worker, preserving input order.
+
+        All specs are sent to all workers before any response is collected,
+        so worker queues stay full (the per-worker queue depth the ``/stats``
+        block reports peaks at ``len(specs)``).
+        """
+        if self._closed:
+            raise ShardWorkerError("the shard worker pool is closed")
+        prepared = [spec_for_worker(spec) for spec in specs]
+        if not prepared:
+            return []
+        with self._lock:
+            started = time.perf_counter()
+            responses = self._scatter_gather(prepared)
+            elapsed = time.perf_counter() - started
+            self._scatters += 1
+            self._latency_total += elapsed
+            self._latency_last = elapsed
+            self._max_queue_depth = max(self._max_queue_depth, len(prepared))
+        return [
+            merge_gather(
+                specs[index],
+                [responses[worker][index] for worker in range(len(self._workers))],
+            )
+            for index in range(len(prepared))
+        ]
+
+    def _scatter_gather(
+        self, prepared: List[QuerySpec]
+    ) -> List[List[Dict[str, Any]]]:
+        """Send every spec to every worker, then gather with crash recovery."""
+        items = list(enumerate(prepared))
+        for worker in self._workers:
+            self._send(worker, items)
+            worker.queue_depth = len(items)
+            worker.requests += len(items)
+        responses: List[List[Optional[Dict[str, Any]]]] = [
+            [None] * len(prepared) for _ in self._workers
+        ]
+        for index, worker in enumerate(self._workers):
+            pending = set(range(len(prepared)))
+            restarts = 0
+            while pending:
+                try:
+                    kind, request_id, payload = worker.connection.recv()
+                except (EOFError, OSError):
+                    restarts += 1
+                    if restarts > self._max_restarts:
+                        raise ShardWorkerError(
+                            f"shard worker {worker.worker_id} kept crashing "
+                            f"({restarts - 1} restarts); giving up"
+                        )
+                    self._restart(worker)
+                    self._send(
+                        worker, [(request_id, prepared[request_id]) for request_id in sorted(pending)]
+                    )
+                    continue
+                if kind == "error":
+                    worker.queue_depth = 0
+                    raise ShardWorkerError(
+                        f"shard worker {worker.worker_id} failed: {payload}"
+                    )
+                responses[index][request_id] = payload
+                pending.discard(request_id)
+                worker.queue_depth = len(pending)
+                worker.images = payload["images"]
+                worker.cache = payload["cache"]
+        return responses  # type: ignore[return-value]
+
+    def _send(self, worker: _Worker, items: List[Tuple[int, QuerySpec]]) -> None:
+        """Send requests to one worker, restarting it on a broken pipe."""
+        attempts = 0
+        while True:
+            try:
+                for request_id, spec in items:
+                    worker.connection.send(("spec", request_id, spec))
+                return
+            except (OSError, ValueError):
+                attempts += 1
+                if attempts > self._max_restarts:
+                    raise ShardWorkerError(
+                        f"shard worker {worker.worker_id} cannot be reached "
+                        f"after {attempts - 1} restarts"
+                    )
+                self._restart(worker)
+
+    # ------------------------------------------------------------------
+    # Observability and lifecycle
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        """The ``/stats`` ``workers`` block: per-worker and scatter counters."""
+        with self._lock:
+            workers = [
+                {
+                    "worker": worker.worker_id,
+                    "shards": len(worker.owned),
+                    "images": worker.images,
+                    "alive": worker.process.is_alive(),
+                    "restarts": worker.restarts,
+                    "requests": worker.requests,
+                    "queue_depth": worker.queue_depth,
+                }
+                for worker in self._workers
+            ]
+            caches = [worker.cache for worker in self._workers if worker.cache]
+            mean_ms = (
+                self._latency_total / self._scatters * 1000.0 if self._scatters else 0.0
+            )
+            return {
+                "count": self.worker_count,
+                "shard_count": self.shard_count,
+                "warm_start": "shards" if self._shard_source else "fork",
+                "scatters": self._scatters,
+                "max_queue_depth": self._max_queue_depth,
+                "scatter_latency_ms": {
+                    "last": round(self._latency_last * 1000.0, 3),
+                    "mean": round(mean_ms, 3),
+                },
+                "restarts": sum(worker.restarts for worker in self._workers),
+                "workers": workers,
+                "cache": {
+                    "hits": sum(cache.hits for cache in caches),
+                    "misses": sum(cache.misses for cache in caches),
+                    "size": sum(cache.size for cache in caches),
+                },
+            }
+
+    def close(self) -> None:
+        """Stop every worker: polite ``stop`` message, then terminate."""
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self._workers:
+            try:
+                worker.connection.send(("stop",))
+            except (OSError, ValueError):
+                pass
+            try:
+                worker.connection.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+        for worker in self._workers:
+            worker.process.join(timeout=2)
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(timeout=2)
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter-shutdown path
+        try:
+            self.close()
+        except Exception:  # noqa: BLE001 - never raise from a finalizer
+            pass

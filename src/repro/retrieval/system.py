@@ -471,7 +471,7 @@ class RetrievalSystem:
         .. deprecated:: 1.1
             Use :meth:`query_batch` with builder specs instead.
         """
-        self._warn_deprecated("search_many", "query_batch([...])")
+        self._warn_deprecated("search_many", "query_batch([...], executor=..., workers=...)")
         return self._batch_pictures(
             query_pictures,
             limit,
@@ -503,7 +503,9 @@ class RetrievalSystem:
         .. deprecated:: 1.1
             Use :meth:`query_batch` with ``workers=...`` instead.
         """
-        self._warn_deprecated("search_parallel", "query_batch([...], workers=4)")
+        self._warn_deprecated(
+            "search_parallel", "query_batch([...], executor=\"thread\", workers=4)"
+        )
         return self._batch_pictures(
             query_pictures,
             limit,

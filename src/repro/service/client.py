@@ -1,9 +1,26 @@
 """A thin stdlib HTTP client for the retrieval service.
 
 Everything the daemon exposes is one JSON request away; this module wraps the
-wire protocol behind typed helpers so the CLI (``repro ping``), the CI
-``service-smoke`` job and the E13 benchmark never hand-build HTTP.  The
-client is dependency-free (``http.client`` only) and *thread-safe by
+wire protocol behind a typed, resource-oriented surface so the CLI
+(``repro ping``), the CI ``service-smoke`` job and the E13 benchmark never
+hand-build HTTP::
+
+    client = ServiceClient.from_url("http://127.0.0.1:8765")
+    client.search(spec)               # a QuerySpec, or the /search kwargs
+    client.batch([spec, spec2])       # many specs/scenes as one batch
+    client.images.add(scene, "id-1")  # mutations live on .images
+    client.images.delete("id-1")
+    client.admin.reload()             # operations live on .admin
+    client.admin.compact()
+    client.admin.promote()
+    client.health(); client.stats()   # observability
+
+The flat legacy methods (``add_image``, ``delete_image``, ``promote``,
+``healthz``) still work but emit :class:`DeprecationWarning` and delegate to
+the resources above — byte-identical requests, so existing scripts keep
+running while they migrate (``docs/query-api.md`` carries the table).
+
+The client is dependency-free (``http.client`` only) and *thread-safe by
 construction*: each request opens its own connection, so closed-loop load
 generators can share one client across worker threads.
 
@@ -33,8 +50,19 @@ from __future__ import annotations
 import http.client
 import json
 import time
+import warnings
 from typing import Any, Dict, List, Optional, Sequence, Union
 from urllib.parse import quote, urlparse
+
+
+def _warn_deprecated(old: str, replacement: str) -> None:
+    """Emit the deprecation warning for one legacy flat-surface method."""
+    warnings.warn(
+        f"ServiceClient.{old} is deprecated; use {replacement} instead "
+        "(see docs/query-api.md for the migration table)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 class ServiceError(RuntimeError):
@@ -62,6 +90,110 @@ def _scene_payload(scene: Any) -> Dict[str, Any]:
     raise TypeError(
         f"scene must be a SymbolicPicture or a scene dict, got {type(scene).__name__}"
     )
+
+
+def _is_query_spec(value: Any) -> bool:
+    """Duck-typed QuerySpec detection (the client never imports the library)."""
+    return (
+        hasattr(value, "predicates")
+        and hasattr(value, "transformations")
+        and hasattr(value, "validate")
+    )
+
+
+def _spec_payload(spec: Any) -> Dict[str, Any]:
+    """Compile a :class:`~repro.index.spec.QuerySpec` to the ``/search`` schema.
+
+    Raises:
+        ValueError: when the spec uses a knob the wire schema cannot carry
+            (a partial transformation set, ``use_cache=False``, a non-default
+            ``minimum_shared_labels`` or similarity policy).
+    """
+    transformations = tuple(spec.transformations)
+    invariant = False
+    if transformations:
+        universe = set(type(transformations[0]))
+        chosen = set(transformations)
+        if chosen == universe:
+            invariant = True
+        elif not (len(chosen) == 1 and next(iter(chosen)).value == "identity"):
+            raise ValueError(
+                "the /search payload carries transformations as an 'invariant' "
+                "flag: use the identity only or the full transformation set"
+            )
+    if not spec.use_cache:
+        raise ValueError("the /search payload cannot disable the server's score cache")
+    if spec.minimum_shared_labels != 1:
+        raise ValueError("the /search payload has no 'minimum_shared_labels' knob")
+    payload: Dict[str, Any] = {
+        "invariant": invariant,
+        "min_score": spec.minimum_score,
+        "limit": spec.limit,
+        "no_filters": not spec.use_filters,
+    }
+    if spec.picture is not None:
+        payload["scene"] = _scene_payload(spec.picture)
+    if spec.identifiers:
+        payload["identifiers"] = list(spec.identifiers)
+    if spec.predicates:
+        payload["where"] = " and ".join(
+            predicate.to_text() for predicate in spec.predicates
+        )
+    if spec.execution is not None:
+        payload["execution"] = spec.execution.to_dict()
+    return payload
+
+
+class _ImagesResource:
+    """``client.images``: the stored-image collection (mutations)."""
+
+    def __init__(self, client: "ServiceClient") -> None:
+        self._client = client
+
+    def add(self, scene: Any, image_id: Optional[str] = None) -> Dict[str, Any]:
+        """``POST /images``: store one scene (the daemon persists it)."""
+        payload: Dict[str, Any] = {"scene": _scene_payload(scene)}
+        if image_id is not None:
+            payload["image_id"] = image_id
+        return self._client.request("POST", "/images", payload)
+
+    def delete(self, image_id: str) -> Dict[str, Any]:
+        """``DELETE /images/{id}``: remove one stored image.
+
+        The id is URL-encoded, so ids containing spaces, slashes or
+        non-ASCII characters round-trip (the server decodes symmetrically).
+        """
+        return self._client.request("DELETE", f"/images/{quote(image_id, safe='')}")
+
+
+class _AdminResource:
+    """``client.admin``: operational endpoints (reload, compact, promote)."""
+
+    def __init__(self, client: "ServiceClient") -> None:
+        self._client = client
+
+    def reload(self) -> Dict[str, Any]:
+        """``POST /reload``: zero-downtime reload of the on-disk database."""
+        return self._client.request("POST", "/reload")
+
+    def compact(self) -> Dict[str, Any]:
+        """``POST /compact``: fold the WAL delta into the shards now.
+
+        Returns:
+            The new snapshot LSN and pending-record count; a 409
+            :class:`ServiceError` when the daemon is not in ``--wal`` mode.
+        """
+        return self._client.request("POST", "/compact")
+
+    def promote(self) -> Dict[str, Any]:
+        """``POST /promote``: detach a replica daemon into a writable primary.
+
+        Returns:
+            The promotion summary (new role, drained records, log position);
+            a 409 :class:`ServiceError` when the target is not a replica or
+            is already promoted.
+        """
+        return self._client.request("POST", "/promote")
 
 
 class ServiceClient:
@@ -98,6 +230,11 @@ class ServiceClient:
         self.retries = retries
         self.backoff = backoff
         self.backoff_cap = backoff_cap
+        #: The stored-image collection: ``client.images.add`` / ``.delete``.
+        self.images = _ImagesResource(self)
+        #: Operational endpoints: ``client.admin.reload`` / ``.compact`` /
+        #: ``.promote``.
+        self.admin = _AdminResource(self)
 
     @classmethod
     def from_url(cls, url: str, timeout: float = 10.0, *, retries: int = 0) -> "ServiceClient":
@@ -206,16 +343,28 @@ class ServiceClient:
     ) -> Dict[str, Any]:
         """``POST /search`` with the full QuerySpec surface.
 
-        ``execution`` carries per-query execution options — an
-        ``ExecutionOptions`` value or a plain dict of its fields (e.g.
-        ``{"kernel": "bitparallel", "strategy": "anytime"}``); explicit
-        fields win over the legacy ``no_filters`` flag.
+        The positional argument accepts a
+        :class:`~repro.index.spec.QuerySpec` directly — the spec is compiled
+        to the wire schema (scene, predicates as ``where`` text, invariance,
+        execution options) and every keyword except ``page``/``page_size``
+        must be left at its default.  Alternatively pass a scene plus the
+        explicit keywords.  ``execution`` carries per-query execution
+        options — an ``ExecutionOptions`` value or a plain dict of its
+        fields (e.g. ``{"kernel": "bitparallel", "strategy": "anytime"}``);
+        explicit fields win over the legacy ``no_filters`` flag.
 
         Returns:
             The response body: ``results`` (the library's ``to_dicts()``
             rows), ``count``, ``total``, ``spec``, ``plan`` and -- when
             paginating -- ``page`` / ``page_size`` / ``pages``.
         """
+        if _is_query_spec(scene):
+            payload = _spec_payload(scene)
+            if page is not None:
+                payload["page"] = page
+            if page_size is not None:
+                payload["page_size"] = page_size
+            return self.request("POST", "/search", payload)
         payload: Dict[str, Any] = {
             "invariant": invariant,
             "min_score": min_score,
@@ -245,7 +394,11 @@ class ServiceClient:
         workers: Optional[int] = None,
         executor: Optional[str] = None,
     ) -> Dict[str, Any]:
-        """``POST /batch``: each query is a ``/search``-style dict or a scene.
+        """``POST /batch``: each query is a spec, a ``/search`` dict or a scene.
+
+        Entries may mix :class:`~repro.index.spec.QuerySpec` values
+        (compiled like :meth:`search`), ``/search``-style payload dicts, and
+        bare scenes.
 
         Returns:
             The response body with one ``results`` ranking per input query
@@ -253,7 +406,9 @@ class ServiceClient:
         """
         entries: List[Dict[str, Any]] = []
         for query in queries:
-            if isinstance(query, dict) and "scene" in query:
+            if _is_query_spec(query):
+                entries.append(_spec_payload(query))
+            elif isinstance(query, dict) and "scene" in query:
                 entries.append(query)
             else:
                 entries.append({"scene": _scene_payload(query)})
@@ -265,43 +420,38 @@ class ServiceClient:
         return self.request("POST", "/batch", payload)
 
     # ------------------------------------------------------------------
-    # Mutation endpoints
-    # ------------------------------------------------------------------
-    def add_image(self, scene: Any, image_id: Optional[str] = None) -> Dict[str, Any]:
-        """``POST /images``: store one scene (the daemon persists it)."""
-        payload: Dict[str, Any] = {"scene": _scene_payload(scene)}
-        if image_id is not None:
-            payload["image_id"] = image_id
-        return self.request("POST", "/images", payload)
-
-    def delete_image(self, image_id: str) -> Dict[str, Any]:
-        """``DELETE /images/{id}``: remove one stored image.
-
-        The id is URL-encoded, so ids containing spaces, slashes or
-        non-ASCII characters round-trip (the server decodes symmetrically).
-        """
-        return self.request("DELETE", f"/images/{quote(image_id, safe='')}")
-
-    def promote(self) -> Dict[str, Any]:
-        """``POST /promote``: detach a replica daemon into a writable primary.
-
-        Returns:
-            The promotion summary (new role, drained records, log position);
-            a 409 :class:`ServiceError` when the target is not a replica or
-            is already promoted.
-        """
-        return self.request("POST", "/promote")
-
-    # ------------------------------------------------------------------
     # Observability
     # ------------------------------------------------------------------
-    def healthz(self) -> Dict[str, Any]:
+    def health(self) -> Dict[str, Any]:
         """``GET /healthz``: the liveness payload."""
         return self.request("GET", "/healthz")
 
     def stats(self) -> Dict[str, Any]:
         """``GET /stats``: counters, latency percentiles, cache hit rate."""
         return self.request("GET", "/stats")
+
+    # ------------------------------------------------------------------
+    # Deprecated flat surface (thin shims over the resources above)
+    # ------------------------------------------------------------------
+    def add_image(self, scene: Any, image_id: Optional[str] = None) -> Dict[str, Any]:
+        """Deprecated alias of :meth:`_ImagesResource.add` (``client.images.add``)."""
+        _warn_deprecated("add_image", "client.images.add")
+        return self.images.add(scene, image_id)
+
+    def delete_image(self, image_id: str) -> Dict[str, Any]:
+        """Deprecated alias of :meth:`_ImagesResource.delete` (``client.images.delete``)."""
+        _warn_deprecated("delete_image", "client.images.delete")
+        return self.images.delete(image_id)
+
+    def promote(self) -> Dict[str, Any]:
+        """Deprecated alias of :meth:`_AdminResource.promote` (``client.admin.promote``)."""
+        _warn_deprecated("promote", "client.admin.promote")
+        return self.admin.promote()
+
+    def healthz(self) -> Dict[str, Any]:
+        """Deprecated alias of :meth:`health`."""
+        _warn_deprecated("healthz", "client.health")
+        return self.health()
 
     def ping(self) -> Dict[str, Any]:
         """Health check plus measured round-trip time.
@@ -313,7 +463,7 @@ class ServiceClient:
             ServiceError: if the daemon is unreachable or unhealthy.
         """
         started = time.perf_counter()
-        body = self.healthz()
+        body = self.health()
         body["round_trip_ms"] = round((time.perf_counter() - started) * 1000, 3)
         return body
 
@@ -330,7 +480,7 @@ class ServiceClient:
         last_error: Optional[ServiceError] = None
         while time.monotonic() < deadline:
             try:
-                return self.healthz()
+                return self.health()
             except ServiceError as error:
                 last_error = error
                 time.sleep(interval)

@@ -67,7 +67,7 @@ from typing import Any, Deque, Dict, Iterator, List, Optional, Tuple, Union
 from urllib.parse import unquote
 
 from repro.iconic.picture import SymbolicPicture
-from repro.index.backends import DurableShardedStore
+from repro.index.backends import MANIFEST_NAME, DurableShardedStore
 from repro.index.database import DatabaseError
 from repro.index.execution import ExecutionOptions
 from repro.index.spec import QuerySpecError
@@ -77,7 +77,7 @@ from repro.retrieval.querybuilder import QueryBuilder, ResultSet
 from repro.retrieval.system import RetrievalSystem
 
 #: Executor choices accepted by the ``/batch`` endpoint's ``executor`` key.
-_BATCH_EXECUTORS = ("thread", "process", "serial", "auto")
+_BATCH_EXECUTORS = ("thread", "process", "serial", "auto", "shard_process")
 
 
 class ApiError(Exception):
@@ -181,6 +181,7 @@ class RetrievalService:
         latency_window: int = 2048,
         durable: bool = False,
         compact_threshold: int = 256,
+        shard_workers: Optional[int] = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be at least 1")
@@ -188,11 +189,18 @@ class RetrievalService:
             raise ValueError("backlog must be non-negative")
         if durable and database_path is None:
             raise ValueError("durable mode requires a database_path")
+        if shard_workers is not None and shard_workers < 1:
+            raise ValueError("shard_workers must be at least 1")
         self.system = system.enable_concurrent_access()
         self.workers = workers
         self.backlog = backlog
         self.database_path = Path(database_path) if database_path is not None else None
         self.backend = backend
+        #: ``repro serve --shard-workers N``: every search scatter-gathers
+        #: across N forked shard workers (:mod:`repro.index.workers`) instead
+        #: of scoring on the request thread.  Rankings stay byte-identical.
+        self.shard_workers = shard_workers
+        self._configure_shard_workers()
         self.retry_after = retry_after
         #: Admission gate: ``workers`` running + ``backlog`` waiting, rest 503.
         self._admission = threading.BoundedSemaphore(workers + backlog)
@@ -224,6 +232,30 @@ class RetrievalService:
                 target=self._compaction_loop, name="repro-compactor", daemon=True
             )
             self._compactor.start()
+
+    # ------------------------------------------------------------------
+    # Shard workers (scatter-gather execution)
+    # ------------------------------------------------------------------
+    def _configure_shard_workers(self) -> None:
+        """Point the engine at the shard-worker pool (idempotent, reload-safe).
+
+        Overlays the engine's execution defaults with
+        ``executor="shard_process", workers=N`` so every search and batch
+        scatter-gathers, and hands the engine the sharded directory path
+        (when serving one) so worker warm starts read only their own shards
+        — O(shard slice), not O(database).
+        """
+        if self.shard_workers is None:
+            return
+        engine = self.system._engine
+        engine.execution = engine.execution.overlaid(
+            ExecutionOptions(executor="shard_process", workers=self.shard_workers)
+        )
+        if (
+            self.database_path is not None
+            and (self.database_path / MANIFEST_NAME).is_file()
+        ):
+            engine.shard_source = self.database_path
 
     # ------------------------------------------------------------------
     # Admission control
@@ -608,7 +640,10 @@ class RetrievalService:
                     )
                 except (StorageError, ValueError, FileNotFoundError) as error:
                     raise ApiError(500, f"reload failed: {error}") from error
+                retired = self.system._engine
                 self.system.hot_swap(replacement)
+                retired.close_shard_pool()
+                self._configure_shard_workers()
                 if self.store is not None:
                     self.store.rebind(self.system._engine.database)
                 with self._stats_lock:
@@ -616,12 +651,13 @@ class RetrievalService:
             return {"images": len(self.system), "reloads": self._reloads}
 
     def close(self) -> None:
-        """Stop the background compactor and close the WAL handle (idempotent)."""
+        """Stop the compactor, shard workers, and WAL handle (idempotent)."""
         self._closed.set()
         self._compact_wanted.set()
         if self._compactor is not None:
             self._compactor.join(timeout=5)
             self._compactor = None
+        self.system._engine.close_shard_pool()
         if self.store is not None:
             self.store.close()
 
@@ -646,7 +682,11 @@ class RetrievalService:
             (per-stage rejection counts and pruned fraction), ``execution``
             the branch-and-bound counters (anytime queries, candidates
             examined vs admitted), ``lock`` the readers-writer grant
-            counters.
+            counters.  When serving with ``--shard-workers`` the ``workers``
+            key becomes a block describing the scatter-gather pool:
+            per-worker shard/image counts, restarts, queue depth, and
+            scatter latency (``admission`` inside it carries the plain
+            request-concurrency integer the key otherwise holds).
         """
         with self._stats_lock:
             counts = dict(sorted(self._request_counts.items()))
@@ -700,6 +740,14 @@ class RetrievalService:
         lock = self.system._engine.lock
         if hasattr(lock, "statistics"):
             body["lock"] = lock.statistics()
+        if self.shard_workers is not None:
+            pool = self.system._engine.shard_pool_stats()
+            body["workers"] = {
+                "mode": "shard_process",
+                "configured": self.shard_workers,
+                "admission": self.workers,
+                "pool": pool,  # None until the first scatter forks the pool
+            }
         body["reloads"] = self._reloads
         if self.store is not None:
             body["durability"] = {
@@ -875,6 +923,7 @@ def create_server(
     backend: Optional[str] = None,
     durable: bool = False,
     compact_threshold: int = 256,
+    shard_workers: Optional[int] = None,
 ) -> RetrievalServer:
     """Build a bound :class:`RetrievalServer` over ``system``.
 
@@ -886,6 +935,10 @@ def create_server(
     the write-ahead log instead: mutations are acknowledged only after their
     log record is fsync'd, and a background thread compacts the log into the
     shards every ``compact_threshold`` pending records (``docs/durability.md``).
+    ``shard_workers=N`` (the ``repro serve --shard-workers N`` path) forks N
+    shard-worker processes and scatter-gathers every search across them
+    behind the readers-writer lock (``docs/parallelism.md``); rankings stay
+    byte-identical to serial execution.
 
     Returns:
         A server with the socket bound; call ``serve_forever()`` or
@@ -904,5 +957,6 @@ def create_server(
         backend=backend,
         durable=durable,
         compact_threshold=compact_threshold,
+        shard_workers=shard_workers,
     )
     return RetrievalServer(service, host=host, port=port)

@@ -1,0 +1,393 @@
+"""Tests for the process-parallel shard workers (scatter-gather execution).
+
+The headline property is byte-identical equivalence: for every query shape
+and every worker count, ``executor="shard_process"`` must reproduce the
+serial engine's rankings exactly — scores, ranks, winning transformations,
+and tie-break order included.  The CI ``shard-workers`` matrix leg re-runs
+this module with ``REPRO_SHARD_WORKERS`` pinned to 2 and 4.
+"""
+
+import os
+
+import pytest
+
+from repro.core.transforms import Transformation
+from repro.datasets.scenes import office_scene, traffic_scene
+from repro.datasets.synthetic import random_picture
+from repro.index.backends import ShardedBackend, shard_index_for
+from repro.index.database import ImageDatabase
+from repro.index.execution import ExecutionOptions
+from repro.index.query import Query, QueryEngine
+from repro.index.spec import QuerySpec
+from repro.index.workers import (
+    ShardWorkerError,
+    ShardWorkerPool,
+    sanitized_execution,
+    spec_for_worker,
+)
+from repro.retrieval.predicates import parse_predicate
+
+_FORCED = os.environ.get("REPRO_SHARD_WORKERS")
+#: The CI matrix leg pins one count; the default run sweeps the matrix.
+WORKER_COUNTS = [int(_FORCED)] if _FORCED else [1, 2, 4]
+
+DATABASE_SIZE = 36
+
+
+def result_key(results):
+    """Everything a ranked result list is judged on, including tie-breaks."""
+    return [
+        (r.rank, r.image_id, r.score, r.similarity.transformation, r.similarity.common_objects)
+        for r in results
+    ]
+
+
+def predicate_key(results):
+    """Identity of a predicate-only ranking (matches carry no rank)."""
+    return [(match.image_id, match.score, match.satisfied) for match in results]
+
+
+@pytest.fixture(scope="module")
+def pictures():
+    """A mixed collection: random scenes plus near-duplicates that force ties."""
+    collection = [random_picture(seed=index) for index in range(DATABASE_SIZE - 4)]
+    collection += [office_scene(0), office_scene(0), traffic_scene(1), traffic_scene(1)]
+    return collection
+
+
+@pytest.fixture
+def engine(pictures):
+    database = ImageDatabase()
+    for index, picture in enumerate(pictures):
+        database.add_picture(picture, f"img-{index:03d}")
+    built = QueryEngine.build(database)
+    yield built
+    built.close_shard_pool()
+
+
+def sharded(workers):
+    return ExecutionOptions(executor="shard_process", workers=workers)
+
+
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+class TestEquivalenceMatrix:
+    """Serial vs scatter-gather, byte for byte, across the query shapes."""
+
+    def test_exact(self, engine, pictures, workers):
+        spec = QuerySpec(picture=pictures[3], limit=8)
+        serial = engine.execute_spec(spec)
+        gathered = engine.execute_spec(spec.with_overrides(execution=sharded(workers)))
+        assert result_key(serial.results) == result_key(gathered.results)
+
+    def test_tie_break_order(self, engine, pictures, workers):
+        # The duplicated scenes tie exactly; order must match the serial
+        # (-score, image_id) sort, not arrival order from the workers.
+        spec = QuerySpec(picture=office_scene(0), limit=None)
+        serial = engine.execute_spec(spec)
+        gathered = engine.execute_spec(spec.with_overrides(execution=sharded(workers)))
+        assert result_key(serial.results) == result_key(gathered.results)
+
+    def test_invariant(self, engine, pictures, workers):
+        spec = QuerySpec(
+            picture=pictures[7], transformations=tuple(Transformation), limit=6
+        )
+        serial = engine.execute_spec(spec)
+        gathered = engine.execute_spec(spec.with_overrides(execution=sharded(workers)))
+        assert result_key(serial.results) == result_key(gathered.results)
+
+    def test_partial(self, engine, pictures, workers):
+        picture = office_scene(0)
+        identifiers = tuple(picture.identifiers[:2])
+        spec = QuerySpec(picture=picture, identifiers=identifiers, limit=6)
+        serial = engine.execute_spec(spec)
+        gathered = engine.execute_spec(spec.with_overrides(execution=sharded(workers)))
+        assert result_key(serial.results) == result_key(gathered.results)
+
+    def test_predicate_only(self, engine, pictures, workers):
+        labels = sorted(set(pictures[0].labels))
+        predicate = parse_predicate(f"{labels[0]} left_of {labels[1]}")
+        spec = QuerySpec(predicates=(predicate,), limit=None)
+        serial = engine.execute_spec(spec)
+        gathered = engine.execute_spec(spec.with_overrides(execution=sharded(workers)))
+        assert predicate_key(serial.results) == predicate_key(gathered.results)
+        assert serial.predicate_matches.keys() == gathered.predicate_matches.keys()
+
+    def test_combined(self, engine, pictures, workers):
+        labels = sorted(set(pictures[0].labels))
+        predicate = parse_predicate(f"{labels[0]} left_of {labels[1]}")
+        spec = QuerySpec(picture=pictures[2], predicates=(predicate,), limit=8)
+        serial = engine.execute_spec(spec)
+        gathered = engine.execute_spec(spec.with_overrides(execution=sharded(workers)))
+        assert result_key(serial.results) == result_key(gathered.results)
+
+    def test_anytime_bitparallel(self, engine, pictures, workers):
+        options = ExecutionOptions(kernel="bitparallel", strategy="anytime")
+        spec = QuerySpec(picture=pictures[5], limit=5, execution=options)
+        serial = engine.execute_spec(spec)
+        gathered = engine.execute_spec(
+            spec.with_overrides(
+                execution=ExecutionOptions(
+                    kernel="bitparallel",
+                    strategy="anytime",
+                    executor="shard_process",
+                    workers=workers,
+                )
+            )
+        )
+        assert result_key(serial.results) == result_key(gathered.results)
+
+    def test_batch(self, engine, pictures, workers):
+        queries = [
+            Query(picture=pictures[1], limit=5),
+            Query(picture=pictures[4], limit=5),
+            Query(picture=pictures[1], limit=5),  # duplicate: must deduplicate
+        ]
+        serial = engine.run_batch(queries, executor="serial")
+        gathered = engine.run_batch(queries, executor="shard_process", workers=workers)
+        assert [result_key(r) for r in serial] == [result_key(r) for r in gathered]
+        report = engine.last_batch_report
+        assert report.executor == "shard_process"
+        assert report.total_queries == 3
+        assert report.unique_evaluations == 2
+
+
+class TestCountersAndStats:
+    def test_execution_counters_flow_back(self, engine, pictures):
+        before = engine.execution_counters.statistics
+        engine.execute_spec(
+            QuerySpec(picture=pictures[0], limit=5, execution=sharded(2))
+        )
+        after = engine.execution_counters.statistics
+        assert after.queries == before.queries + 1
+        assert after.admitted > before.admitted
+        assert after.examined > before.examined
+
+    def test_shortlist_counters_flow_back(self, engine, pictures):
+        before = engine.shortlist_counters.statistics
+        engine.execute_spec(
+            QuerySpec(picture=pictures[0], limit=5, execution=sharded(2))
+        )
+        after = engine.shortlist_counters.statistics
+        assert after.queries == before.queries + 1
+        assert after.admitted > before.admitted
+
+    def test_trace_is_merged(self, engine, pictures):
+        outcome = engine.execute_spec(
+            QuerySpec(picture=pictures[0], limit=5, execution=sharded(2))
+        )
+        assert outcome.trace.database_size == DATABASE_SIZE
+        assert outcome.trace.shortlisted > 0
+        assert outcome.trace.candidates
+
+    def test_pool_stats_block(self, engine, pictures):
+        assert engine.shard_pool_stats() is None
+        engine.execute_spec(
+            QuerySpec(picture=pictures[0], limit=5, execution=sharded(2))
+        )
+        stats = engine.shard_pool_stats()
+        assert stats["count"] == 2
+        assert stats["scatters"] == 1
+        assert stats["restarts"] == 0
+        assert stats["scatter_latency_ms"]["mean"] > 0
+        assert len(stats["workers"]) == 2
+        assert sum(entry["images"] for entry in stats["workers"]) == DATABASE_SIZE
+        assert all(entry["alive"] for entry in stats["workers"])
+
+
+class TestLifecycle:
+    def test_mutation_invalidates_pool(self, engine, pictures):
+        spec = QuerySpec(picture=pictures[0], limit=5, execution=sharded(2))
+        engine.execute_spec(spec)
+        assert engine.shard_pool_stats() is not None
+        engine.remove_picture("img-001")
+        assert engine.shard_pool_stats() is None
+        serial = engine.execute_spec(QuerySpec(picture=pictures[0], limit=5))
+        gathered = engine.execute_spec(spec)
+        assert result_key(serial.results) == result_key(gathered.results)
+        assert all(r.image_id != "img-001" for r in gathered.results)
+
+    def test_worker_count_change_rebuilds_pool(self, engine, pictures):
+        engine.execute_spec(QuerySpec(picture=pictures[0], limit=5, execution=sharded(2)))
+        assert engine.shard_pool_stats()["count"] == 2
+        engine.execute_spec(QuerySpec(picture=pictures[0], limit=5, execution=sharded(3)))
+        assert engine.shard_pool_stats()["count"] == 3
+
+    def test_close_is_idempotent(self, engine, pictures):
+        engine.execute_spec(QuerySpec(picture=pictures[0], limit=5, execution=sharded(2)))
+        engine.close_shard_pool()
+        engine.close_shard_pool()
+        assert engine.shard_pool_stats() is None
+
+    def test_closed_pool_refuses_queries(self, pictures):
+        database = ImageDatabase()
+        for index, picture in enumerate(pictures[:8]):
+            database.add_picture(picture, f"img-{index:03d}")
+        pool = ShardWorkerPool(2, database)
+        pool.close()
+        with pytest.raises(ShardWorkerError):
+            pool.execute_spec(QuerySpec(picture=pictures[0], limit=3))
+
+
+class TestCrashRecovery:
+    def test_worker_crash_between_queries_restarts(self, engine, pictures):
+        spec = QuerySpec(picture=pictures[0], limit=5, execution=sharded(2))
+        serial_key = result_key(engine.execute_spec(QuerySpec(picture=pictures[0], limit=5)).results)
+        engine.execute_spec(spec)
+        pool = engine._shard_pool
+        victim = pool._workers[0]
+        victim.process.kill()
+        victim.process.join(timeout=5)
+        recovered = engine.execute_spec(spec)
+        assert result_key(recovered.results) == serial_key
+        stats = engine.shard_pool_stats()
+        assert stats["restarts"] >= 1
+        assert all(entry["alive"] for entry in stats["workers"])
+
+    def test_worker_crash_mid_query_recovers(self, pictures):
+        import threading
+        import time
+
+        database = ImageDatabase()
+        for index, picture in enumerate(pictures):
+            database.add_picture(picture, f"img-{index:03d}")
+        engine = QueryEngine.build(database)
+        specs = [
+            QuerySpec(
+                picture=pictures[index], transformations=tuple(Transformation), limit=5
+            )
+            for index in range(10)
+        ]
+        serial = [result_key(engine.execute_spec(spec).results) for spec in specs]
+        pool = ShardWorkerPool(2, database)
+        try:
+            # The scatter below takes a while (10 invariant queries); kill a
+            # worker shortly after it starts so the death lands mid-query.
+            # Whichever way the pool notices (EOF on gather, broken pipe on
+            # a resend), it must restart the worker and finish correctly.
+            for _ in range(3):
+                victim = pool._workers[1]
+                killer = threading.Timer(0.05, victim.process.kill)
+                killer.start()
+                gathered = pool.execute_many(specs)
+                killer.cancel()
+                assert [result_key(outcome.results) for outcome in gathered] == serial
+                if sum(worker.restarts for worker in pool._workers) >= 1:
+                    break
+                time.sleep(0.01)
+            assert sum(worker.restarts for worker in pool._workers) >= 1
+            assert all(worker.process.is_alive() for worker in pool._workers)
+        finally:
+            pool.close()
+            engine.close_shard_pool()
+
+    def test_restart_budget_exhaustion_raises(self, pictures):
+        database = ImageDatabase()
+        for index, picture in enumerate(pictures[:8]):
+            database.add_picture(picture, f"img-{index:03d}")
+        pool = ShardWorkerPool(1, database, max_restarts=0)
+        pool._workers[0].process.kill()
+        pool._workers[0].process.join(timeout=5)
+        with pytest.raises(ShardWorkerError):
+            pool.execute_spec(QuerySpec(picture=pictures[0], limit=3))
+        pool.close()
+
+
+class TestWarmStart:
+    def test_disk_warm_start_loads_only_owned_shards(self, pictures, tmp_path):
+        database = ImageDatabase()
+        for index, picture in enumerate(pictures):
+            database.add_picture(picture, f"img-{index:03d}")
+        source = tmp_path / "shards"
+        ShardedBackend(shard_count=8).save(database, source)
+        engine = QueryEngine.build(database)
+        engine.shard_source = source
+        serial = engine.execute_spec(QuerySpec(picture=pictures[0], limit=6))
+        gathered = engine.execute_spec(
+            QuerySpec(picture=pictures[0], limit=6, execution=sharded(2))
+        )
+        assert result_key(serial.results) == result_key(gathered.results)
+        stats = engine.shard_pool_stats()
+        assert stats["warm_start"] == "shards"
+        assert stats["shard_count"] == 8
+        assert sum(entry["images"] for entry in stats["workers"]) == DATABASE_SIZE
+        engine.close_shard_pool()
+
+    def test_mutation_disables_stale_disk_source(self, pictures, tmp_path):
+        database = ImageDatabase()
+        for index, picture in enumerate(pictures):
+            database.add_picture(picture, f"img-{index:03d}")
+        source = tmp_path / "shards"
+        ShardedBackend(shard_count=8).save(database, source)
+        engine = QueryEngine.build(database)
+        engine.shard_source = source
+        engine.remove_picture("img-000")  # disk now lags memory
+        gathered = engine.execute_spec(
+            QuerySpec(picture=pictures[1], limit=6, execution=sharded(2))
+        )
+        assert all(r.image_id != "img-000" for r in gathered.results)
+        assert engine.shard_pool_stats()["warm_start"] == "fork"
+        engine.close_shard_pool()
+
+    def test_unreadable_source_falls_back_to_fork(self, pictures, tmp_path):
+        database = ImageDatabase()
+        for index, picture in enumerate(pictures[:8]):
+            database.add_picture(picture, f"img-{index:03d}")
+        pool = ShardWorkerPool(2, database, shard_source=tmp_path / "missing")
+        outcome = pool.execute_spec(QuerySpec(picture=pictures[0], limit=3))
+        assert outcome.results
+        assert pool.stats()["warm_start"] == "fork"
+        pool.close()
+
+
+class TestShardOwnership:
+    def test_every_shard_has_exactly_one_owner(self, pictures):
+        database = ImageDatabase()
+        for index, picture in enumerate(pictures[:8]):
+            database.add_picture(picture, f"img-{index:03d}")
+        for workers in (1, 2, 3, 4, 7):
+            pool = ShardWorkerPool(workers, database)
+            owners = [pool._owner_of(shard) for shard in range(pool.shard_count)]
+            assert set(owners) <= set(range(workers))
+            seen = {}
+            for worker in pool._workers:
+                for shard in worker.owned:
+                    assert shard not in seen
+                    seen[shard] = worker.worker_id
+            assert len(seen) == pool.shard_count
+            pool.close()
+
+    def test_owned_slices_respect_crc32_mapping(self, pictures):
+        database = ImageDatabase()
+        for index, picture in enumerate(pictures[:12]):
+            database.add_picture(picture, f"img-{index:03d}")
+        pool = ShardWorkerPool(3, database)
+        for worker in pool._workers:
+            owned = set(worker.owned)
+            expected = sum(
+                1
+                for image_id in database.image_ids
+                if shard_index_for(image_id, pool.shard_count) in owned
+            )
+            assert worker.images == expected
+        pool.close()
+
+
+class TestSanitisation:
+    def test_sanitized_execution_strips_shard_executor(self):
+        options = ExecutionOptions(executor="shard_process", workers=4)
+        cleaned = sanitized_execution(options)
+        assert cleaned.executor == "serial"
+        assert sanitized_execution(None).executor == "serial"
+
+    def test_spec_for_worker_strips_shard_executor(self, pictures):
+        spec = QuerySpec(picture=pictures[0], execution=sharded(2))
+        prepared = spec_for_worker(spec)
+        assert prepared.execution.executor == "serial"
+        plain = QuerySpec(picture=pictures[0])
+        assert spec_for_worker(plain) is plain
+
+    def test_invalid_worker_count_rejected(self, pictures):
+        database = ImageDatabase()
+        database.add_picture(pictures[0], "img-000")
+        with pytest.raises(ValueError):
+            ShardWorkerPool(0, database)

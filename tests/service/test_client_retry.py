@@ -96,21 +96,21 @@ def make_client(server, **kwargs):
 class TestTransportRetries:
     def test_retries_absorb_dropped_connections(self):
         with FlakyServer(failures=2) as server:
-            body = make_client(server, retries=2).healthz()
+            body = make_client(server, retries=2).health()
             assert body == {"status": "ok"}
             assert server.attempts == 3
 
     def test_budget_exhausted_surfaces_the_transport_error(self):
         with FlakyServer(failures=3) as server:
             with pytest.raises(ServiceError) as excinfo:
-                make_client(server, retries=1).healthz()
+                make_client(server, retries=1).health()
             assert excinfo.value.status is None
             assert server.attempts == 2
 
     def test_default_is_fail_fast(self):
         with FlakyServer(failures=1) as server:
             with pytest.raises(ServiceError) as excinfo:
-                make_client(server).healthz()
+                make_client(server).health()
             assert excinfo.value.status is None
             assert server.attempts == 1
 
@@ -122,7 +122,7 @@ class TestTransportRetries:
         placeholder.close()
         client = ServiceClient(port=port, timeout=1, retries=2, backoff=0.01)
         with pytest.raises(ServiceError) as excinfo:
-            client.healthz()
+            client.health()
         assert excinfo.value.status is None
 
 
@@ -134,7 +134,7 @@ class TestHttpErrorsAreFinal:
             headers="Retry-After: 1.5\r\n",
         ) as server:
             with pytest.raises(ServiceError) as excinfo:
-                make_client(server, retries=5).healthz()
+                make_client(server, retries=5).health()
             assert excinfo.value.status == 503
             assert excinfo.value.retry_after == 1.5
             assert server.attempts == 1
@@ -144,7 +144,7 @@ class TestHttpErrorsAreFinal:
         # without masking later HTTP errors behind extra attempts.
         with FlakyServer(failures=1) as server:
             client = make_client(server, retries=3)
-            assert client.healthz() == {"status": "ok"}
+            assert client.health() == {"status": "ok"}
             assert server.attempts == 2
 
 
@@ -154,7 +154,7 @@ class TestBackoffSchedule:
         monkeypatch.setattr(client_module.time, "sleep", recorded.append)
         with FlakyServer(failures=3) as server:
             client = make_client(server, retries=3, backoff=0.5, backoff_cap=1.2)
-            assert client.healthz() == {"status": "ok"}
+            assert client.health() == {"status": "ok"}
         assert recorded == [0.5, 1.0, 1.2]
 
     def test_parameters_are_validated(self):

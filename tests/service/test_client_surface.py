@@ -1,0 +1,212 @@
+"""The redesigned :class:`ServiceClient` surface, end to end.
+
+Covers the three pieces of the client redesign:
+
+* ``client.search(spec)`` / ``client.batch(specs)`` accept ``QuerySpec``
+  values directly and compile them to the wire schema — byte-identical to
+  the equivalent keyword calls;
+* mutations and operations live on typed resources (``client.images``,
+  ``client.admin``) and observability on ``client.stats()`` /
+  ``client.health()``;
+* the old flat methods (``add_image``, ``delete_image``, ``promote``,
+  ``healthz``) are deprecation shims that delegate byte-identically.
+
+The shim assertions need the warnings to *fire*, so this module opts out of
+the suite-wide ``error::DeprecationWarning`` promotion and catches them
+explicitly with ``pytest.warns``.
+"""
+
+import pytest
+
+from repro.core.transforms import Transformation
+from repro.datasets.scenes import landscape_scene, office_scene, traffic_scene
+from repro.index.execution import ExecutionOptions
+from repro.index.spec import QuerySpec
+from repro.retrieval.predicates import parse_query
+from repro.retrieval.system import RetrievalSystem
+from repro.service.client import ServiceClient, _spec_payload
+from repro.service.server import create_server
+
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
+
+def collection():
+    return (
+        [office_scene(variant) for variant in range(3)]
+        + [traffic_scene(variant) for variant in range(3)]
+        + [landscape_scene(variant) for variant in range(2)]
+    )
+
+
+@pytest.fixture(scope="module")
+def server(tmp_path_factory):
+    database_path = tmp_path_factory.mktemp("surface") / "served.json"
+    system = RetrievalSystem.from_pictures(collection())
+    system.save(database_path)
+    server = create_server(
+        system, port=0, workers=4, backlog=8, database_path=database_path
+    )
+    with server:
+        yield server.start_background()
+
+
+@pytest.fixture(scope="module")
+def client(server):
+    client = ServiceClient(port=server.port)
+    client.wait_until_healthy(timeout=10)
+    return client
+
+
+class TestSpecSearch:
+    """``client.search(QuerySpec)`` equals the explicit keyword call."""
+
+    def test_similarity_spec_matches_keyword_call(self, client):
+        spec = QuerySpec(picture=office_scene(0), limit=5, minimum_score=0.1)
+        via_spec = client.search(spec)
+        via_kwargs = client.search(office_scene(0), limit=5, min_score=0.1)
+        assert via_spec["results"] == via_kwargs["results"]
+        assert via_spec["total"] == via_kwargs["total"]
+
+    def test_invariant_spec_sets_the_flag(self, client):
+        spec = QuerySpec(
+            picture=traffic_scene(1), transformations=tuple(Transformation), limit=4
+        )
+        via_spec = client.search(spec)
+        via_kwargs = client.search(traffic_scene(1), invariant=True, limit=4)
+        assert via_spec["results"] == via_kwargs["results"]
+        assert "invariant" in via_spec["spec"]
+
+    def test_predicate_spec_compiles_to_where_text(self, client):
+        picture = office_scene(0)
+        first, second = sorted(set(picture.labels))[:2]
+        predicates = tuple(parse_query(f"{first} left-of {second}"))
+        spec = QuerySpec(predicates=predicates, limit=None)
+        via_spec = client.search(spec)
+        via_kwargs = client.search(where=f"{first} left-of {second}", limit=None)
+        assert via_spec["results"] == via_kwargs["results"]
+
+    def test_execution_options_travel_the_wire(self, client):
+        spec = QuerySpec(
+            picture=office_scene(2),
+            execution=ExecutionOptions(kernel="bitparallel", strategy="anytime"),
+            limit=3,
+        )
+        via_spec = client.search(spec)
+        plain = client.search(office_scene(2), limit=3)
+        assert via_spec["results"] == plain["results"]
+
+    def test_spec_search_paginates(self, client):
+        spec = QuerySpec(picture=office_scene(0), limit=None)
+        page = client.search(spec, page=1, page_size=2)
+        assert page["page"] == 1
+        assert page["page_size"] == 2
+        assert len(page["results"]) == 2
+
+    def test_batch_accepts_specs_scenes_and_dicts(self, client):
+        specs = [
+            QuerySpec(picture=office_scene(0), limit=3),
+            QuerySpec(picture=traffic_scene(0), limit=3),
+        ]
+        batched = client.batch(specs)
+        singles = [client.search(spec) for spec in specs]
+        assert batched["results"] == [single["results"] for single in singles]
+        mixed = client.batch(
+            [specs[0], office_scene(1), {"scene": office_scene(2).to_dict()}]
+        )
+        assert len(mixed["results"]) == 3
+
+
+class TestSpecPayloadCompilation:
+    """Specs that the wire schema cannot carry fail loudly, client-side."""
+
+    def test_partial_transformation_set_is_rejected(self):
+        spec = QuerySpec(
+            picture=office_scene(0),
+            transformations=(Transformation.IDENTITY, Transformation.ROTATE_90),
+        )
+        with pytest.raises(ValueError, match="invariant"):
+            _spec_payload(spec)
+
+    def test_disabled_cache_is_rejected(self):
+        spec = QuerySpec(picture=office_scene(0), use_cache=False)
+        with pytest.raises(ValueError, match="score cache"):
+            _spec_payload(spec)
+
+    def test_non_default_shortlist_threshold_is_rejected(self):
+        spec = QuerySpec(picture=office_scene(0), minimum_shared_labels=2)
+        with pytest.raises(ValueError, match="minimum_shared_labels"):
+            _spec_payload(spec)
+
+    def test_identity_only_compiles_to_non_invariant(self):
+        payload = _spec_payload(QuerySpec(picture=office_scene(0)))
+        assert payload["invariant"] is False
+
+    def test_full_set_compiles_to_invariant(self):
+        payload = _spec_payload(
+            QuerySpec(picture=office_scene(0), transformations=tuple(Transformation))
+        )
+        assert payload["invariant"] is True
+
+
+class TestResources:
+    def test_images_add_and_delete_roundtrip(self, client):
+        added = client.images.add(landscape_scene(1), "surface-resource")
+        assert added["image_id"] == "surface-resource"
+        ranking = client.search(landscape_scene(1), limit=2)
+        assert "surface-resource" in [row["image_id"] for row in ranking["results"]]
+        removed = client.images.delete("surface-resource")
+        assert removed["removed"] == "surface-resource"
+
+    def test_admin_reload_succeeds_with_database_path(self, client):
+        body = client.admin.reload()
+        assert body["images"] == len(collection())
+
+    def test_admin_compact_requires_wal_mode(self, client):
+        from repro.service.client import ServiceError
+
+        with pytest.raises(ServiceError) as excinfo:
+            client.admin.compact()
+        assert excinfo.value.status == 409
+
+    def test_admin_promote_requires_a_replica(self, client):
+        from repro.service.client import ServiceError
+
+        with pytest.raises(ServiceError) as excinfo:
+            client.admin.promote()
+        assert excinfo.value.status == 409
+
+    def test_health_and_stats(self, client):
+        health = client.health()
+        assert health["status"] == "ok"
+        stats = client.stats()
+        assert stats["images"] == len(collection())
+
+
+class TestDeprecatedShims:
+    """Each flat method warns (pointing at the migration table) and delegates."""
+
+    def test_add_image_and_delete_image_shims(self, client):
+        with pytest.warns(DeprecationWarning, match=r"client\.images\.add"):
+            added = client.add_image(landscape_scene(0), "surface-shim")
+        assert added["image_id"] == "surface-shim"
+        with pytest.warns(DeprecationWarning, match=r"client\.images\.delete"):
+            removed = client.delete_image("surface-shim")
+        assert removed["removed"] == "surface-shim"
+
+    def test_promote_shim(self, client):
+        from repro.service.client import ServiceError
+
+        with pytest.warns(DeprecationWarning, match=r"client\.admin\.promote"):
+            with pytest.raises(ServiceError) as excinfo:
+                client.promote()
+        assert excinfo.value.status == 409
+
+    def test_healthz_shim_matches_health(self, client):
+        with pytest.warns(DeprecationWarning, match=r"client\.health"):
+            legacy = client.healthz()
+        assert legacy["status"] == client.health()["status"]
+        assert set(legacy) == set(client.health())
+
+    def test_every_shim_cites_the_migration_table(self, client):
+        with pytest.warns(DeprecationWarning, match=r"docs/query-api\.md"):
+            client.healthz()

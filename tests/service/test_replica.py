@@ -283,11 +283,11 @@ class TestReplicaOverHttp:
     def test_mutations_rejected_with_403_and_primary_address(self, client, primary):
         path, _, _ = primary
         with pytest.raises(ServiceError) as excinfo:
-            client.add_image(office_scene(0), image_id="nope")
+            client.images.add(office_scene(0), image_id="nope")
         assert excinfo.value.status == 403
         assert str(path) in str(excinfo.value)
         with pytest.raises(ServiceError) as excinfo:
-            client.delete_image("office-0")
+            client.images.delete("office-0")
         assert excinfo.value.status == 403
 
     def test_stats_carry_the_replication_block(self, client):
@@ -300,12 +300,12 @@ class TestReplicaOverHttp:
         _, system, store = primary
         upsert(system, store, office_scene(6).renamed("handover"), "handover")
         store.close()
-        summary = client.promote()
+        summary = client.admin.promote()
         assert summary["role"] == "primary"
         assert summary["applied_lsn"] == 1
-        body = client.add_image(traffic_scene(4), image_id="after-promote")
+        body = client.images.add(traffic_scene(4), image_id="after-promote")
         assert body["lsn"] == 2
-        assert client.healthz()["role"] == "primary"
+        assert client.health()["role"] == "primary"
         with pytest.raises(ServiceError) as excinfo:
-            client.promote()
+            client.admin.promote()
         assert excinfo.value.status == 409

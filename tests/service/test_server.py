@@ -190,7 +190,7 @@ class TestMutations:
         self, client, server, tmp_path
     ):
         fresh = office_scene(7).renamed("fresh-image")
-        created = client.add_image(fresh)
+        created = client.images.add(fresh)
         assert created["image_id"] == "fresh-image"
 
         served = client.search(fresh, limit=1)
@@ -201,19 +201,19 @@ class TestMutations:
         reloaded = RetrievalSystem.from_file(server.service.database_path)
         assert "fresh-image" in reloaded.image_ids
 
-        removed = client.delete_image("fresh-image")
+        removed = client.images.delete("fresh-image")
         assert removed["removed"] == "fresh-image"
         reloaded = RetrievalSystem.from_file(server.service.database_path)
         assert "fresh-image" not in reloaded.image_ids
 
     def test_duplicate_insert_is_409(self, client):
         with pytest.raises(ServiceError) as excinfo:
-            client.add_image(office_scene(0))  # office-000 already stored
+            client.images.add(office_scene(0))  # office-000 already stored
         assert excinfo.value.status == 409
 
     def test_unknown_delete_is_404(self, client):
         with pytest.raises(ServiceError) as excinfo:
-            client.delete_image("never-stored")
+            client.images.delete("never-stored")
         assert excinfo.value.status == 404
 
     def test_mutation_invalidates_served_rankings(self, client):
@@ -221,18 +221,18 @@ class TestMutations:
         probe = office_scene(2)
         before = client.search(probe, limit=1)
         clone = probe.renamed("office-clone")
-        client.add_image(clone)
+        client.images.add(clone)
         after = client.search(probe, limit=2)
         ids = [row["image_id"] for row in after["results"]]
         assert "office-clone" in ids
-        client.delete_image("office-clone")
+        client.images.delete("office-clone")
         again = client.search(probe, limit=1)
         assert again["results"] == before["results"]
 
 
 class TestObservability:
     def test_healthz_reports_image_count_and_uptime(self, client, server):
-        body = client.healthz()
+        body = client.health()
         assert body["status"] == "ok"
         assert body["images"] == len(server.service.system)
         assert body["uptime_seconds"] >= 0
@@ -267,7 +267,7 @@ class TestObservability:
     def test_unreachable_service_raises(self):
         client = ServiceClient(port=1, timeout=0.2)  # nothing listens there
         with pytest.raises(ServiceError, match="unreachable"):
-            client.healthz()
+            client.health()
 
 
 class TestBackpressure:
@@ -309,9 +309,9 @@ class TestWireEdgeCases:
 
     def test_image_ids_with_unsafe_characters_roundtrip(self, client):
         for image_id in ("has space", "slash/inside", "café", "q?a#b"):
-            created = client.add_image(office_scene(7), image_id=image_id)
+            created = client.images.add(office_scene(7), image_id=image_id)
             assert created["image_id"] == image_id
-            removed = client.delete_image(image_id)
+            removed = client.images.delete(image_id)
             assert removed["removed"] == image_id
 
     def test_batch_with_unknown_identifier_is_400_not_500(self, client):

@@ -307,9 +307,9 @@ def run_trial(
         for index, mutation in enumerate(schedule):
             try:
                 if mutation.op == "add":
-                    server.client.add_image(mutation.picture, mutation.image_id)
+                    server.client.images.add(mutation.picture, mutation.image_id)
                 else:
-                    server.client.delete_image(mutation.image_id)
+                    server.client.images.delete(mutation.image_id)
                 acked += 1
             except (ServiceError, OSError) as error:
                 status = getattr(error, "status", None)
@@ -371,7 +371,7 @@ def run_trial(
             served = restarted.client.request("POST", "/search", payload)["results"]
             if json.dumps(served, sort_keys=True) != json.dumps(reference, sort_keys=True):
                 failures.append(f"probe {number} ranking diverged after recovery")
-        health = restarted.client.healthz()
+        health = restarted.client.health()
         if health.get("images") != len(recovered_ids):
             failures.append(
                 f"restarted daemon serves {health.get('images')} images, "
@@ -451,9 +451,9 @@ def run_replica_trial(
         for index, mutation in enumerate(schedule):
             try:
                 if mutation.op == "add":
-                    primary.client.add_image(mutation.picture, mutation.image_id)
+                    primary.client.images.add(mutation.picture, mutation.image_id)
                 else:
-                    primary.client.delete_image(mutation.image_id)
+                    primary.client.images.delete(mutation.image_id)
                 acked += 1
             except (ServiceError, OSError) as error:
                 status = getattr(error, "status", None)
@@ -489,8 +489,8 @@ def run_replica_trial(
                         served_replica["results"], sort_keys=True
                     ):
                         failures.append(f"probe {number} differs between primary and replica")
-                primary_images = primary.client.healthz()["images"]
-                replica_images = replica.client.healthz()["images"]
+                primary_images = primary.client.health()["images"]
+                replica_images = replica.client.health()["images"]
                 if primary_images != replica_images:
                     failures.append(
                         f"replica serves {replica_images} images, primary {primary_images}"
@@ -539,7 +539,7 @@ def run_replica_trial(
                         failures.append(
                             f"probe {number} ranking diverged from the recovered primary state"
                         )
-                health = replica.client.healthz()
+                health = replica.client.health()
                 if health.get("images") != len(recovered_ids):
                     failures.append(
                         f"replica serves {health.get('images')} images, "

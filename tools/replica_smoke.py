@@ -143,8 +143,8 @@ def drive(
     probes = [scenes[0], scenes[4], scenes[7]]
 
     # --- roles and warm start -----------------------------------------
-    check("primary reports itself healthy", primary.healthz().get("status") == "ok")
-    replica_health = replica.healthz()
+    check("primary reports itself healthy", primary.health().get("status") == "ok")
+    replica_health = replica.health()
     check(
         "replica is healthy and self-identifies",
         replica_health.get("status") == "ok" and replica_health.get("role") == "replica",
@@ -157,20 +157,20 @@ def drive(
 
     # --- write on the primary, converge on the replica ----------------
     fresh = office_scene(9).renamed("smoke-replicated")
-    created = primary.add_image(fresh)
+    created = primary.images.add(fresh)
     lsn = created.get("lsn")
     check("primary acknowledges the write with an LSN", lsn == 1, detail=str(created))
     check("replica catches up to the write", wait_for_catch_up(replica, lsn or 1))
     check(
         "replicated image is served by the replica",
-        replica.healthz().get("images") == len(scenes) + 1,
+        replica.health().get("images") == len(scenes) + 1,
     )
     check(
         "post-write rankings are byte-identical",
         same_rankings(primary, replica, probes + [fresh]),
     )
 
-    deleted = primary.delete_image("smoke-replicated")
+    deleted = primary.images.delete("smoke-replicated")
     check("primary acknowledges the delete", deleted.get("removed") == "smoke-replicated")
     check("replica catches up to the delete", wait_for_catch_up(replica, deleted.get("lsn", 2)))
     check(
@@ -180,7 +180,7 @@ def drive(
 
     # --- the write fence ----------------------------------------------
     try:
-        replica.add_image(office_scene(8).renamed("fenced"))
+        replica.images.add(office_scene(8).renamed("fenced"))
         check("replica refuses writes with 403", False)
     except ServiceError as error:
         check(
@@ -189,7 +189,7 @@ def drive(
             detail=str(error),
         )
     try:
-        replica.delete_image("office-000")
+        replica.images.delete("office-000")
         check("replica refuses deletes with 403", False)
     except ServiceError as error:
         check("replica refuses deletes with 403", error.status == 403)
@@ -217,15 +217,15 @@ def drive(
 
 def drive_promotion(replica: ServiceClient, database: Path) -> None:
     """Fence the primary (already stopped by the caller), then promote."""
-    summary = replica.promote()
+    summary = replica.admin.promote()
     check(
         "promote reports the new primary role",
         summary.get("role") == "primary",
         detail=json.dumps(summary),
     )
-    check("promoted daemon self-identifies as primary", replica.healthz().get("role") == "primary")
+    check("promoted daemon self-identifies as primary", replica.health().get("role") == "primary")
 
-    promoted_write = replica.add_image(traffic_scene(7).renamed("post-promote"))
+    promoted_write = replica.images.add(traffic_scene(7).renamed("post-promote"))
     check(
         "promoted daemon acknowledges durable writes",
         promoted_write.get("lsn", 0) >= 3,
@@ -237,7 +237,7 @@ def drive_promotion(replica: ServiceClient, database: Path) -> None:
         any(row.get("image_id") == "post-promote" for row in served["results"]),
     )
     try:
-        replica.promote()
+        replica.admin.promote()
         check("second promote conflicts with 409", False)
     except ServiceError as error:
         check("second promote conflicts with 409", error.status == 409)

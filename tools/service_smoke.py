@@ -100,7 +100,7 @@ def drive(client: ServiceClient, reference: RetrievalSystem, database: Path) -> 
     """Exercise every endpoint, comparing against the in-process engine."""
     scenes = pictures()
 
-    body = client.healthz()
+    body = client.health()
     check("healthz answers ok", body.get("status") == "ok" and body.get("images") == len(scenes))
 
     # --- /search across the whole QuerySpec surface -------------------
@@ -132,7 +132,7 @@ def drive(client: ServiceClient, reference: RetrievalSystem, database: Path) -> 
 
     # --- mutations with write-back persistence ------------------------
     fresh = office_scene(9).renamed("smoke-fresh")
-    created = client.add_image(fresh)
+    created = client.images.add(fresh)
     reference.add_picture(fresh)
     check("insert returns the stored id", created.get("image_id") == "smoke-fresh")
     served = client.search(scene=fresh, limit=3)
@@ -143,14 +143,14 @@ def drive(client: ServiceClient, reference: RetrievalSystem, database: Path) -> 
     reloaded = RetrievalSystem.from_file(database)
     check("insert persisted to disk", "smoke-fresh" in reloaded.image_ids)
 
-    removed = client.delete_image("smoke-fresh")
+    removed = client.images.delete("smoke-fresh")
     reference.remove_picture("smoke-fresh")
     check("delete returns the removed id", removed.get("removed") == "smoke-fresh")
     reloaded = RetrievalSystem.from_file(database)
     check("delete persisted to disk", "smoke-fresh" not in reloaded.image_ids)
 
     try:
-        client.delete_image("smoke-fresh")
+        client.images.delete("smoke-fresh")
         check("deleting a missing image is a 404", False)
     except ServiceError as error:
         check("deleting a missing image is a 404", error.status == 404)
