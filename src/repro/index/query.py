@@ -1005,16 +1005,34 @@ class QueryEngine:
                 )
                 self._shard_pool = pool
         if stale is not None:
-            stale.close()
+            self._close_pool_async(stale)
         return pool
 
+    @staticmethod
+    def _close_pool_async(pool: "ShardWorkerPool") -> None:
+        """Close a stale, already-unregistered pool on a background thread.
+
+        A close joins every worker (seconds in the worst case); callers hold
+        the engine write lock or sit on a query path, and neither should
+        stall on worker teardown.  The pool is unregistered before this runs,
+        so no query can reach it while it winds down.
+        """
+        threading.Thread(
+            target=pool.close, name="repro-shard-pool-close", daemon=True
+        ).start()
+
     def _invalidate_shard_pool(self) -> None:
-        """Tear down the pool after a mutation (workers hold a stale slice)."""
+        """Tear down the pool after a mutation (workers hold a stale slice).
+
+        The teardown itself runs asynchronously: this is called under the
+        engine write lock, and joining worker processes there would stall
+        every mutation (and every reader queued behind it) on process exit.
+        """
         with self._shard_pool_guard:
             stale, self._shard_pool = self._shard_pool, None
             self._shard_source_clean = False
         if stale is not None:
-            stale.close()
+            self._close_pool_async(stale)
 
     def close_shard_pool(self) -> None:
         """Terminate the shard workers (idempotent; service shutdown path)."""

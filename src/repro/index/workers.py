@@ -30,8 +30,12 @@ module partitions the database along the existing CRC-32 shard scheme
 
 A crashed worker is detected by the broken pipe, restarted from its
 generation's source, and the in-flight requests are replayed against the
-fresh process; the pool counts restarts per worker.  See
-``docs/parallelism.md`` for the protocol and failure semantics.
+fresh process; the pool counts restarts per worker.  A scatter that fails
+*permanently* (a worker's error response, or a restart budget exhausted)
+restarts **every** worker before the error propagates, so queued requests
+and buffered responses from the aborted batch can never be attributed to
+a later query's request ids.  See ``docs/parallelism.md`` for the
+protocol and failure semantics.
 """
 
 from __future__ import annotations
@@ -39,7 +43,8 @@ from __future__ import annotations
 import multiprocessing
 import threading
 import time
-from dataclasses import dataclass, replace
+from multiprocessing.connection import wait as connection_wait
+from dataclasses import dataclass, field as dataclass_field, replace
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
@@ -336,6 +341,9 @@ class _Worker:
     requests: int = 0
     queue_depth: int = 0
     cache: Optional[CacheStatistics] = None
+    #: Live sender threads bound to :attr:`connection`; joined before the
+    #: connection may be closed (see :meth:`ShardWorkerPool._restart`).
+    senders: List[Any] = dataclass_field(default_factory=list)
 
 
 class ShardWorkerPool:
@@ -394,6 +402,9 @@ class ShardWorkerPool:
             "fork" if "fork" in methods else None
         )
         self._lock = threading.Lock()
+        #: Guards the scalar scatter counters only, so :meth:`stats` never
+        #: has to queue behind an in-flight scatter on :attr:`_lock`.
+        self._stats_lock = threading.Lock()
         self._closed = False
         self._scatters = 0
         self._latency_total = 0.0
@@ -451,14 +462,30 @@ class ShardWorkerPool:
         return process, parent_connection
 
     def _restart(self, worker: _Worker) -> None:
-        """Replace a dead worker with a fresh fork of the same slice."""
-        try:
-            worker.connection.close()
-        except OSError:  # pragma: no cover - already closed
-            pass
+        """Replace a dead worker with a fresh fork of the same slice.
+
+        The ordering is load-bearing.  The process is terminated *first*,
+        which breaks the pipe and releases any sender thread still inside a
+        ``send`` with ``EPIPE``; only once those threads have exited is the
+        parent connection closed.  Closing earlier would free the file
+        descriptor while a sender may still be about to write through it —
+        the freed number can be reused by the replacement pipe (or any other
+        worker's), delivering a stale request of the aborted batch into a
+        fresh worker's inbox.
+        """
         if worker.process.is_alive():
             worker.process.terminate()
         worker.process.join(timeout=5)
+        for thread in worker.senders:
+            thread.join(timeout=5)
+        worker.senders = [t for t in worker.senders if t.is_alive()]
+        if not worker.senders:
+            try:
+                worker.connection.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+        # else: abandon the connection unclosed — leaking one descriptor is
+        # safer than letting a wedged sender write into a reused one.
         worker.process, worker.connection = self._spawn(worker.worker_id, worker.owned)
         worker.restarts += 1
 
@@ -472,9 +499,13 @@ class ShardWorkerPool:
     def execute_many(self, specs: Sequence[QuerySpec]) -> List[GatherOutcome]:
         """Pipeline many specs through every worker, preserving input order.
 
-        All specs are sent to all workers before any response is collected,
-        so worker queues stay full (the per-worker queue depth the ``/stats``
-        block reports peaks at ``len(specs)``).
+        Specs stream to the workers while responses are drained, so worker
+        queues stay full (the per-worker queue depth the ``/stats`` block
+        reports peaks at ``len(specs)``).  A scatter that fails permanently
+        restarts every worker before the :class:`ShardWorkerError`
+        propagates: the pool is always in a clean protocol state for the
+        next query, never holding another batch's queued requests or
+        buffered responses.
         """
         if self._closed:
             raise ShardWorkerError("the shard worker pool is closed")
@@ -483,12 +514,17 @@ class ShardWorkerPool:
             return []
         with self._lock:
             started = time.perf_counter()
-            responses = self._scatter_gather(prepared)
+            try:
+                responses = self._scatter_gather(prepared)
+            except BaseException:
+                self._recover_after_failure()
+                raise
             elapsed = time.perf_counter() - started
-            self._scatters += 1
-            self._latency_total += elapsed
-            self._latency_last = elapsed
-            self._max_queue_depth = max(self._max_queue_depth, len(prepared))
+            with self._stats_lock:
+                self._scatters += 1
+                self._latency_total += elapsed
+                self._latency_last = elapsed
+                self._max_queue_depth = max(self._max_queue_depth, len(prepared))
         return [
             merge_gather(
                 specs[index],
@@ -500,105 +536,174 @@ class ShardWorkerPool:
     def _scatter_gather(
         self, prepared: List[QuerySpec]
     ) -> List[List[Dict[str, Any]]]:
-        """Send every spec to every worker, then gather with crash recovery."""
+        """Stream every spec to every worker while draining their responses.
+
+        Sends run on one thread per worker (:meth:`_start_sender`) while
+        this loop waits on *all* worker pipes at once
+        (:func:`multiprocessing.connection.wait`).  The parent is therefore
+        always ready to ``recv``, so a worker blocked writing a large
+        response is drained even while its inbound pipe is still filling —
+        the bounded OS pipe buffer (~64KiB each way) can never wedge both
+        directions into a deadlock, no matter how large the batch or the
+        ``QueryTrace`` payloads grow.
+
+        A crashed worker (EOF/broken pipe) is restarted — budgeted by
+        ``max_restarts`` — and its still-pending requests are replayed to
+        the fresh process on a fresh pipe.
+        """
+        total = len(prepared)
         items = list(enumerate(prepared))
-        for worker in self._workers:
-            self._send(worker, items)
-            worker.queue_depth = len(items)
-            worker.requests += len(items)
         responses: List[List[Optional[Dict[str, Any]]]] = [
-            [None] * len(prepared) for _ in self._workers
+            [None] * total for _ in self._workers
         ]
-        for index, worker in enumerate(self._workers):
-            pending = set(range(len(prepared)))
-            restarts = 0
-            while pending:
+        pending = [set(range(total)) for _ in self._workers]
+        restarts = [0] * len(self._workers)
+        for worker in self._workers:
+            worker.queue_depth = total
+            worker.requests += total
+            self._start_sender(worker, items)
+        while True:
+            waitable = {
+                worker.connection: index
+                for index, worker in enumerate(self._workers)
+                if pending[index]
+            }
+            if not waitable:
+                break
+            for connection in connection_wait(list(waitable)):
+                index = waitable[connection]
+                worker = self._workers[index]
                 try:
-                    kind, request_id, payload = worker.connection.recv()
+                    kind, request_id, payload = connection.recv()
                 except (EOFError, OSError):
-                    restarts += 1
-                    if restarts > self._max_restarts:
+                    restarts[index] += 1
+                    if restarts[index] > self._max_restarts:
                         raise ShardWorkerError(
                             f"shard worker {worker.worker_id} kept crashing "
-                            f"({restarts - 1} restarts); giving up"
+                            f"({restarts[index] - 1} restarts); giving up"
                         )
                     self._restart(worker)
-                    self._send(
-                        worker, [(request_id, prepared[request_id]) for request_id in sorted(pending)]
+                    self._start_sender(
+                        worker,
+                        [(request_id, prepared[request_id]) for request_id in sorted(pending[index])],
                     )
                     continue
                 if kind == "error":
-                    worker.queue_depth = 0
                     raise ShardWorkerError(
                         f"shard worker {worker.worker_id} failed: {payload}"
                     )
+                if kind != "ok" or request_id not in pending[index]:
+                    # Protocol guard: a malformed or duplicate response must
+                    # never be attributed to another request id.
+                    continue
                 responses[index][request_id] = payload
-                pending.discard(request_id)
-                worker.queue_depth = len(pending)
+                pending[index].discard(request_id)
+                worker.queue_depth = len(pending[index])
                 worker.images = payload["images"]
                 worker.cache = payload["cache"]
         return responses  # type: ignore[return-value]
 
-    def _send(self, worker: _Worker, items: List[Tuple[int, QuerySpec]]) -> None:
-        """Send requests to one worker, restarting it on a broken pipe."""
-        attempts = 0
-        while True:
+    def _start_sender(self, worker: _Worker, items: List[Tuple[int, QuerySpec]]) -> None:
+        """Stream ``items`` to ``worker`` from a dedicated daemon thread.
+
+        A broken pipe simply ends the thread: the gather loop observes the
+        same break as EOF on its side and drives the restart (the fresh
+        connection gets a fresh sender).  The thread is registered on the
+        worker so :meth:`_restart` can join it before closing — never
+        while it might still write through — the connection it holds.
+        """
+        connection = worker.connection
+
+        def _run() -> None:
             try:
                 for request_id, spec in items:
-                    worker.connection.send(("spec", request_id, spec))
-                return
+                    connection.send(("spec", request_id, spec))
             except (OSError, ValueError):
-                attempts += 1
-                if attempts > self._max_restarts:
-                    raise ShardWorkerError(
-                        f"shard worker {worker.worker_id} cannot be reached "
-                        f"after {attempts - 1} restarts"
-                    )
+                pass
+
+        thread = threading.Thread(
+            target=_run, name="repro-shard-sender", daemon=True
+        )
+        worker.senders = [t for t in worker.senders if t.is_alive()]
+        worker.senders.append(thread)
+        thread.start()
+
+    def _recover_after_failure(self) -> None:
+        """Reset every worker to a clean protocol state after an aborted scatter.
+
+        When a gather raises, requests are still queued in worker inboxes and
+        completed responses sit buffered in the parent-side pipes; left
+        alone, the next scatter would consume responses whose request ids
+        index a *different* spec list — silently wrong results.  Restarting
+        every worker discards both pipe directions wholesale; the fresh
+        processes rebuild their slice engines lazily (O(shard slice)) on the
+        next query.
+        """
+        for worker in self._workers:
+            try:
                 self._restart(worker)
+            except Exception:  # noqa: BLE001 - recovery must not mask the cause
+                pass
+            worker.queue_depth = 0
 
     # ------------------------------------------------------------------
     # Observability and lifecycle
     # ------------------------------------------------------------------
     def stats(self) -> Dict[str, Any]:
-        """The ``/stats`` ``workers`` block: per-worker and scatter counters."""
-        with self._lock:
-            workers = [
-                {
-                    "worker": worker.worker_id,
-                    "shards": len(worker.owned),
-                    "images": worker.images,
-                    "alive": worker.process.is_alive(),
-                    "restarts": worker.restarts,
-                    "requests": worker.requests,
-                    "queue_depth": worker.queue_depth,
-                }
-                for worker in self._workers
-            ]
-            caches = [worker.cache for worker in self._workers if worker.cache]
-            mean_ms = (
-                self._latency_total / self._scatters * 1000.0 if self._scatters else 0.0
-            )
-            return {
-                "count": self.worker_count,
-                "shard_count": self.shard_count,
-                "warm_start": "shards" if self._shard_source else "fork",
-                "scatters": self._scatters,
-                "max_queue_depth": self._max_queue_depth,
-                "scatter_latency_ms": {
-                    "last": round(self._latency_last * 1000.0, 3),
-                    "mean": round(mean_ms, 3),
-                },
-                "restarts": sum(worker.restarts for worker in self._workers),
-                "workers": workers,
-                "cache": {
-                    "hits": sum(cache.hits for cache in caches),
-                    "misses": sum(cache.misses for cache in caches),
-                    "size": sum(cache.size for cache in caches),
-                },
+        """The ``/stats`` ``workers`` block: per-worker and scatter counters.
+
+        Deliberately does **not** take the scatter mutex: a long in-flight
+        batch must not stall the service ``/stats`` endpoint.  The scalar
+        counters are read under their own lock; the per-worker fields are a
+        best-effort point-in-time snapshot (each read is atomic under the
+        GIL, so values are individually consistent, merely racy against an
+        in-flight scatter).
+        """
+        with self._stats_lock:
+            scatters = self._scatters
+            latency_total = self._latency_total
+            latency_last = self._latency_last
+            max_queue_depth = self._max_queue_depth
+        workers = [
+            {
+                "worker": worker.worker_id,
+                "shards": len(worker.owned),
+                "images": worker.images,
+                "alive": worker.process.is_alive(),
+                "restarts": worker.restarts,
+                "requests": worker.requests,
+                "queue_depth": worker.queue_depth,
             }
+            for worker in self._workers
+        ]
+        caches = [worker.cache for worker in self._workers if worker.cache]
+        mean_ms = latency_total / scatters * 1000.0 if scatters else 0.0
+        return {
+            "count": self.worker_count,
+            "shard_count": self.shard_count,
+            "warm_start": "shards" if self._shard_source else "fork",
+            "scatters": scatters,
+            "max_queue_depth": max_queue_depth,
+            "scatter_latency_ms": {
+                "last": round(latency_last * 1000.0, 3),
+                "mean": round(mean_ms, 3),
+            },
+            "restarts": sum(worker.restarts for worker in self._workers),
+            "workers": workers,
+            "cache": {
+                "hits": sum(cache.hits for cache in caches),
+                "misses": sum(cache.misses for cache in caches),
+                "size": sum(cache.size for cache in caches),
+            },
+        }
 
     def close(self) -> None:
-        """Stop every worker: polite ``stop`` message, then terminate."""
+        """Stop every worker: polite ``stop`` message, then terminate.
+
+        Connections are closed only after the processes are down and the
+        sender threads joined — the same fd-reuse discipline as
+        :meth:`_restart`.
+        """
         if self._closed:
             return
         self._closed = True
@@ -607,15 +712,22 @@ class ShardWorkerPool:
                 worker.connection.send(("stop",))
             except (OSError, ValueError):
                 pass
-            try:
-                worker.connection.close()
-            except OSError:  # pragma: no cover - already closed
-                pass
         for worker in self._workers:
             worker.process.join(timeout=2)
             if worker.process.is_alive():
                 worker.process.terminate()
                 worker.process.join(timeout=2)
+        # Dead workers have broken every pipe, so any sender still blocked
+        # in a send has been released with EPIPE by now.
+        for worker in self._workers:
+            for thread in worker.senders:
+                thread.join(timeout=2)
+            worker.senders = [t for t in worker.senders if t.is_alive()]
+            if not worker.senders:
+                try:
+                    worker.connection.close()
+                except OSError:  # pragma: no cover - already closed
+                    pass
 
     def __del__(self) -> None:  # pragma: no cover - interpreter-shutdown path
         try:

@@ -125,6 +125,11 @@ def _spec_payload(spec: Any) -> Dict[str, Any]:
         raise ValueError("the /search payload cannot disable the server's score cache")
     if spec.minimum_shared_labels != 1:
         raise ValueError("the /search payload has no 'minimum_shared_labels' knob")
+    if spec.policy is not None:
+        raise ValueError(
+            "the /search payload cannot carry a custom similarity policy; "
+            "the server scores under its default policy"
+        )
     payload: Dict[str, Any] = {
         "invariant": invariant,
         "min_score": spec.minimum_score,

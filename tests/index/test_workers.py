@@ -291,6 +291,102 @@ class TestCrashRecovery:
             pool.execute_spec(QuerySpec(picture=pictures[0], limit=3))
         pool.close()
 
+    def test_failed_scatter_does_not_poison_the_next_query(self, pictures):
+        # An aborted gather (here: worker 0 dead with the budget exhausted)
+        # leaves the *surviving* worker with queued requests and buffered
+        # 'ok' responses for the old batch.  The pool must discard all of
+        # that before serving another query — otherwise the next gather
+        # attributes the stale responses to its own request ids and returns
+        # the wrong query's results.
+        database = ImageDatabase()
+        for index, picture in enumerate(pictures[:12]):
+            database.add_picture(picture, f"img-{index:03d}")
+        engine = QueryEngine.build(database)
+        pool = ShardWorkerPool(2, database, max_restarts=0)
+        try:
+            pool._workers[0].process.kill()
+            pool._workers[0].process.join(timeout=5)
+            specs = [QuerySpec(picture=pictures[index], limit=3) for index in range(4)]
+            with pytest.raises(ShardWorkerError):
+                pool.execute_many(specs)
+            probe = QuerySpec(picture=pictures[5], limit=3)
+            outcome = pool.execute_spec(probe)
+            expected = engine.execute_spec(probe)
+            assert result_key(outcome.results) == result_key(expected.results)
+            assert all(worker.process.is_alive() for worker in pool._workers)
+        finally:
+            pool.close()
+            engine.close_shard_pool()
+
+    def test_worker_error_response_does_not_poison_the_pool(self, pictures):
+        # An empty spec passes the parent (the pool never validates) but is
+        # rejected by every worker's engine — an 'error' response.  The
+        # surviving workers' buffered answers for the same batch must not
+        # leak into the next scatter, and the pool must stay usable.
+        database = ImageDatabase()
+        for index, picture in enumerate(pictures[:12]):
+            database.add_picture(picture, f"img-{index:03d}")
+        engine = QueryEngine.build(database)
+        pool = ShardWorkerPool(2, database)
+        try:
+            good = [QuerySpec(picture=pictures[index], limit=3) for index in range(3)]
+            with pytest.raises(ShardWorkerError):
+                pool.execute_many(good + [QuerySpec()])
+            probe = QuerySpec(picture=pictures[4], limit=3)
+            outcome = pool.execute_spec(probe)
+            expected = engine.execute_spec(probe)
+            assert result_key(outcome.results) == result_key(expected.results)
+        finally:
+            pool.close()
+            engine.close_shard_pool()
+
+
+class TestPipePressure:
+    def test_large_batch_with_unbounded_limits_completes(self, engine, pictures):
+        # Both pipe directions well past the ~64KiB OS buffer: dozens of
+        # specs outbound, and unbounded rankings plus full per-candidate
+        # traces inbound.  A scatter that wrote every request before reading
+        # any response would deadlock here (worker blocked writing, parent
+        # blocked sending); the streaming sender/gather must complete and
+        # stay byte-identical to the serial engine.
+        specs = [
+            QuerySpec(picture=pictures[index % len(pictures)], limit=None)
+            for index in range(48)
+        ]
+        serial = [result_key(engine.execute_spec(spec).results) for spec in specs]
+        pool = ShardWorkerPool(2, engine.database)
+        try:
+            gathered = pool.execute_many(specs)
+            assert [result_key(outcome.results) for outcome in gathered] == serial
+        finally:
+            pool.close()
+
+
+class TestStatsUnderLoad:
+    def test_stats_does_not_queue_behind_an_inflight_scatter(self, pictures):
+        import threading
+
+        database = ImageDatabase()
+        for index, picture in enumerate(pictures[:8]):
+            database.add_picture(picture, f"img-{index:03d}")
+        pool = ShardWorkerPool(2, database)
+        try:
+            collected = {}
+
+            def snapshot():
+                collected["stats"] = pool.stats()
+
+            # Holding the scatter mutex models a long in-flight batch; the
+            # /stats path must answer anyway.
+            with pool._lock:
+                thread = threading.Thread(target=snapshot, daemon=True)
+                thread.start()
+                thread.join(timeout=5)
+            assert "stats" in collected, "stats() blocked on the scatter mutex"
+            assert collected["stats"]["count"] == 2
+        finally:
+            pool.close()
+
 
 class TestWarmStart:
     def test_disk_warm_start_loads_only_owned_shards(self, pictures, tmp_path):

@@ -137,6 +137,19 @@ class TestSpecPayloadCompilation:
         with pytest.raises(ValueError, match="minimum_shared_labels"):
             _spec_payload(spec)
 
+    def test_custom_similarity_policy_is_rejected(self):
+        # The wire schema has no policy field: compiling silently would make
+        # the server score under its default policy, returning differently
+        # ranked results than the caller's spec asked for.
+        from repro.core.similarity import SimilarityPolicy
+
+        spec = QuerySpec(
+            picture=office_scene(0),
+            policy=SimilarityPolicy(count_boundaries_only=True),
+        )
+        with pytest.raises(ValueError, match="policy"):
+            _spec_payload(spec)
+
     def test_identity_only_compiles_to_non_invariant(self):
         payload = _spec_payload(QuerySpec(picture=office_scene(0)))
         assert payload["invariant"] is False
