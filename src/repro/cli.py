@@ -12,7 +12,10 @@ system would script:
 
 ``python -m repro.cli search <database.json> <query-scene.json> [--invariant] [--top K]``
     Run a similarity query against a stored database.  ``--where`` adds a
-    relation-predicate filter, ``--min-score`` a score cut-off and ``--jsonl``
+    relation-predicate clause (full grammar: ``not``/``or``/parentheses and
+    per-leaf ``[w=2 fuzzy]`` annotations, see ``docs/predicates.md``),
+    ``--fuzzy`` grades every relation by boundary distance,
+    ``--min-score`` a score cut-off and ``--jsonl``
     machine-readable output (one JSON object per result).  ``--kernel
     bitparallel`` scores with the bit-parallel LCS kernel and ``--strategy
     anytime`` enables branch-and-bound early termination (see
@@ -22,7 +25,8 @@ system would script:
     Run a query like ``search`` but print the execution trace: the shortlist
     funnel, per-result admission stage, score-cache hit/miss, winning
     transformation and LCS lengths.  With ``--where`` and no scene it
-    explains a predicate-only query.
+    explains a predicate-only query; graded clauses additionally print
+    per-leaf satisfaction degrees and the predicate-stage counters.
 
 ``python -m repro.cli batch-search <database.json> <queries.jsonl> [--workers N]``
     Run many similarity queries as one batch.  Each line of the JSONL file is
@@ -288,9 +292,11 @@ def _build_query(system: RetrievalSystem, arguments: argparse.Namespace):
     where = getattr(arguments, "where", None)
     if where:
         try:
-            builder.where(where)
+            builder.where(where, fuzzy=getattr(arguments, "fuzzy", False))
         except PredicateError as error:
             raise CliError(str(error)) from error
+    elif getattr(arguments, "fuzzy", False):
+        raise CliError("--fuzzy requires a --where clause")
     try:
         builder.spec()
     except QuerySpecError as error:
@@ -716,7 +722,13 @@ def build_parser() -> argparse.ArgumentParser:
         )
         subparser.add_argument(
             "--where", default=None,
-            help='relation-predicate clause, e.g. "phone right-of monitor"',
+            help='relation-predicate clause, e.g. '
+                 '"not (phone right-of monitor) or phone above desk [w=2]"',
+        )
+        subparser.add_argument(
+            "--fuzzy", action="store_true",
+            help="grade every --where relation by boundary distance instead "
+                 "of matching it crisply",
         )
         subparser.add_argument(
             "--min-score", type=float, default=0.0, help="drop results below this score"

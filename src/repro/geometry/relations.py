@@ -19,6 +19,7 @@ from repro.geometry.allen import (
     inverse_relation,
     shares_point,
 )
+from repro.geometry.interval import Interval
 from repro.geometry.rectangle import Rectangle
 
 
@@ -134,3 +135,70 @@ def directional_relation_between(a: Rectangle, b: Rectangle, axis: str) -> Direc
     if axis == "y":
         return directional_relation(a.y_begin, a.y_end, b.y_begin, b.y_end)
     raise ValueError(f"axis must be 'x' or 'y', got {axis!r}")
+
+
+# ----------------------------------------------------------------------
+# Graded (fuzzy) relation degrees
+# ----------------------------------------------------------------------
+#
+# Each ``degree_*`` function returns a satisfaction degree in [0, 1] for the
+# 1-D relation its boolean counterpart decides: exactly 1.0 when the crisp
+# relation holds, and otherwise a value strictly below 1.0 that decays
+# linearly with the boundary distance by which the relation is violated,
+# normalised by the longer of the two interval lengths (so the degree is
+# scale-free; a unit fallback keeps degenerate point intervals finite).
+# 2-D predicates compose the per-axis degrees with ``min`` (the Gödel
+# t-norm), which preserves "exact 1.0 iff crisp" because every axis degree
+# does.
+
+
+def _violation_scale(a: Interval, b: Interval) -> float:
+    """Normalisation length for boundary-distance violations."""
+    return max(a.length, b.length, 1.0)
+
+
+def _soft(violation: float, scale: float) -> float:
+    """Map a positive boundary-distance violation to a degree in [0, 1)."""
+    return max(0.0, 1.0 - violation / scale)
+
+
+def degree_before(a: Interval, b: Interval) -> float:
+    """Degree to which ``a`` lies entirely before ``b`` (crisp: ``a.end <= b.begin``)."""
+    violation = a.end - b.begin
+    if violation <= 0:
+        return 1.0
+    return _soft(violation, _violation_scale(a, b))
+
+
+def degree_after(a: Interval, b: Interval) -> float:
+    """Degree to which ``a`` lies entirely after ``b``."""
+    return degree_before(b, a)
+
+
+def degree_shares(a: Interval, b: Interval) -> float:
+    """Degree to which the closed intervals share at least one point."""
+    gap = max(b.begin - a.end, a.begin - b.end)
+    if gap <= 0:
+        return 1.0
+    return _soft(gap, _violation_scale(a, b))
+
+
+def degree_covers(a: Interval, b: Interval) -> float:
+    """Degree to which ``a`` covers ``b`` (crisp: ``a.begin <= b.begin <= b.end <= a.end``)."""
+    violation = max(0.0, a.begin - b.begin) + max(0.0, b.end - a.end)
+    if violation <= 0:
+        return 1.0
+    return _soft(violation, _violation_scale(a, b))
+
+
+def degree_within(a: Interval, b: Interval) -> float:
+    """Degree to which ``a`` lies within ``b``."""
+    return degree_covers(b, a)
+
+
+def degree_meets(a: Interval, b: Interval) -> float:
+    """Degree to which the intervals adjoin at a boundary point on either side."""
+    distance = min(abs(a.end - b.begin), abs(b.end - a.begin))
+    if distance <= 0:
+        return 1.0
+    return _soft(distance, _violation_scale(a, b))

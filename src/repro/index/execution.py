@@ -213,3 +213,70 @@ class ExecutionCounters:
             self._admitted = 0
             self._examined = 0
             self._skipped = 0
+
+
+@dataclass(frozen=True)
+class PredicateStatistics:
+    """Cumulative predicate-stage counters (surfaced by the service ``/stats``).
+
+    ``evaluated`` counts images whose predicate clause was actually walked;
+    ``pruned`` counts images admitted to the universe but settled at degree
+    0 (or an all-unsatisfied crisp match) by the label-absence bound without
+    any evaluation.
+    """
+
+    queries: int
+    graded_queries: int
+    evaluated: int
+    pruned: int
+
+    @property
+    def pruned_fraction(self) -> float:
+        """Fraction of considered images the label bound settled for free."""
+        considered = self.evaluated + self.pruned
+        if not considered:
+            return 0.0
+        return self.pruned / considered
+
+
+class PredicateCounters:
+    """Thread-safe cumulative counters across every predicate-bearing query."""
+
+    def __init__(self) -> None:
+        """Start all counters at zero."""
+        self._lock = threading.Lock()
+        self._queries = 0
+        self._graded_queries = 0
+        self._evaluated = 0
+        self._pruned = 0
+
+    def record(self, evaluated: int, pruned: int, graded: bool) -> None:
+        """Fold one predicate-bearing query into the running totals."""
+        self.absorb(1, 1 if graded else 0, evaluated, pruned)
+
+    def absorb(self, queries: int, graded_queries: int, evaluated: int, pruned: int) -> None:
+        """Fold pre-aggregated deltas (e.g. gathered from shard workers)."""
+        with self._lock:
+            self._queries += queries
+            self._graded_queries += graded_queries
+            self._evaluated += evaluated
+            self._pruned += pruned
+
+    @property
+    def statistics(self) -> PredicateStatistics:
+        """A consistent snapshot of the counters."""
+        with self._lock:
+            return PredicateStatistics(
+                queries=self._queries,
+                graded_queries=self._graded_queries,
+                evaluated=self._evaluated,
+                pruned=self._pruned,
+            )
+
+    def reset(self) -> None:
+        """Zero every counter (tests and benchmarks)."""
+        with self._lock:
+            self._queries = 0
+            self._graded_queries = 0
+            self._evaluated = 0
+            self._pruned = 0

@@ -55,6 +55,7 @@ from repro.index.execution import (
     STRATEGY_EXHAUSTIVE,
     ExecutionCounters,
     ExecutionOptions,
+    PredicateCounters,
 )
 from repro.index.inverted import InvertedSymbolIndex
 from repro.index.ranking import RankedResult, rank_results
@@ -84,7 +85,7 @@ from repro.index.spec import (
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.index.batch import BatchOptions, BatchReport
     from repro.index.workers import GatherOutcome, ShardWorkerPool
-    from repro.retrieval.predicates import PredicateMatch
+    from repro.retrieval.predicates import GradedMatch, PredicateMatch
 
 
 class NullRWLock:
@@ -193,6 +194,9 @@ class QueryEngine:
     #: Cumulative branch-and-bound counters (surfaced by the service
     #: ``/stats`` endpoint alongside :attr:`shortlist_counters`).
     execution_counters: ExecutionCounters = field(default_factory=ExecutionCounters)
+    #: Cumulative predicate-stage counters (evaluated vs label-pruned images;
+    #: surfaced by the service ``/stats`` ``predicates`` block).
+    predicate_counters: PredicateCounters = field(default_factory=PredicateCounters)
     #: Readers-writer lock bracketing every query (shared grant) and mutation
     #: (exclusive grant).  A no-op by default; the retrieval service swaps in
     #: a real :class:`repro.service.rwlock.ReadWriteLock` so concurrent
@@ -831,6 +835,8 @@ class QueryEngine:
             if not spec.has_predicate_clause:
                 ranked, trace = self.execute_traced(spec.to_query())
                 return SpecOutcome(spec=spec, results=ranked, trace=trace)
+            if spec.has_graded_predicates:
+                return self._execute_graded_combined_spec(spec)
             return self._execute_combined_spec(spec)
 
     def _evaluate_predicates(
@@ -881,12 +887,76 @@ class QueryEngine:
             existing = trace.candidates.get(image_id)
             if existing is None:
                 trace.candidates[image_id] = CandidateTrace(image_id=image_id, stage=stage)
+        self.predicate_counters.record(
+            evaluated=trace.predicate_evaluated,
+            pruned=trace.predicate_pruned,
+            graded=False,
+        )
+        return matches
+
+    def _evaluate_tree(
+        self,
+        spec: QuerySpec,
+        trace: QueryTrace,
+        restrict_to: Optional[List[str]] = None,
+    ) -> Dict[str, "GradedMatch"]:
+        """Evaluate the graded predicate tree, pruning by the label bound.
+
+        The tree counterpart of :meth:`_evaluate_predicates`: for each image
+        the sound degree upper bound derived from the inverted index's label
+        postings (:func:`repro.index.shortlist.tree_degree_bound`) is checked
+        first.  A bound of 0 proves every leaf degree is exactly 0 (crisp
+        leaves over absent labels, no fail-open ``not``/``fuzzy`` on the
+        path), so the image is settled with a synthesised zero match at
+        postings-lookup cost — byte-identical to full evaluation.
+        """
+        from repro.index.shortlist import tree_degree_bound
+        from repro.retrieval.predicates import evaluate_tree, zero_graded_match
+
+        tree = spec.predicate_tree
+        postings: Dict[str, Set[str]] = {}
+        for leaf in tree.leaves():
+            for label in (leaf.predicate.subject, leaf.predicate.target):
+                if label not in postings:
+                    postings[label] = self.inverted_index.images_with_label(label)
+        trace.database_size = len(self.database)
+        universe = self.database.image_ids if restrict_to is None else restrict_to
+        matches: Dict[str, GradedMatch] = {}
+        evaluated = pruned = 0
+        for image_id in universe:
+            bound = tree_degree_bound(
+                tree, lambda label, _id=image_id: _id in postings[label]
+            )
+            if bound <= 0.0:
+                matches[image_id] = zero_graded_match(tree, image_id)
+                pruned += 1
+                stage = STAGE_PREDICATE_PRUNED
+            else:
+                record = self.database.get(image_id)
+                matches[image_id] = evaluate_tree(
+                    record.bestring, tree, image_id=image_id
+                )
+                evaluated += 1
+                stage = STAGE_PREDICATE_EVALUATED
+            if image_id not in trace.candidates:
+                trace.candidates[image_id] = CandidateTrace(image_id=image_id, stage=stage)
+        trace.predicate_evaluated += evaluated
+        trace.predicate_pruned += pruned
+        self.predicate_counters.record(evaluated=evaluated, pruned=pruned, graded=True)
         return matches
 
     def _execute_predicate_spec(self, spec: QuerySpec) -> SpecOutcome:
-        """Predicate-only execution: rank by fraction of predicates satisfied."""
+        """Predicate-only execution: rank by satisfaction (fraction or degree).
+
+        Crisp specs rank by the historical fraction-of-predicates-satisfied
+        score; graded trees rank by the tree's satisfaction degree.  Both use
+        the same ``(-score, image_id)`` order and minimum-score/limit cut.
+        """
         trace = QueryTrace(mode="predicate")
-        matches = self._evaluate_predicates(spec, trace)
+        if spec.has_graded_predicates:
+            matches = self._evaluate_tree(spec, trace)
+        else:
+            matches = self._evaluate_predicates(spec, trace)
         ranked = [
             match for match in matches.values() if match.score >= spec.minimum_score
         ]
@@ -940,6 +1010,236 @@ class QueryEngine:
         return SpecOutcome(spec=spec, results=ranked, trace=trace, predicate_matches=matches)
 
     # ------------------------------------------------------------------
+    # Graded predicate composition with the similarity score
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _compose(spec: QuerySpec, similarity_score: float, degree: float) -> float:
+        """The spec's composition of a similarity score and a tree degree."""
+        if spec.predicate_composition == "sum":
+            blend = spec.predicate_blend
+            return blend * similarity_score + (1.0 - blend) * degree
+        return similarity_score * degree
+
+    def _execute_graded_combined_spec(self, spec: QuerySpec) -> SpecOutcome:
+        """Similarity composed with the graded predicate degree.
+
+        The composed score — ``similarity * degree`` (product) or
+        ``blend * similarity + (1 - blend) * degree`` (sum) — decides the
+        minimum-score and limit cuts, so the similarity side runs uncut: the
+        shortlist must not reject on the raw similarity bound (the ``sum``
+        composition can rank a low-similarity image above a high-similarity
+        one) and the ranking cut is applied to composed scores at the end.
+        Every shortlist survivor's tree degree is evaluated *before* scoring
+        (tree degrees cost boundary-rank lookups, the LCS evaluation costs a
+        dynamic program), which also lets the anytime strategy order and
+        terminate on composed bounds: ``compose`` is monotone in the
+        similarity for a fixed degree, so ``compose(sim_bound, degree)``
+        soundly bounds the composed score.
+        """
+        trace = QueryTrace(mode="combined")
+        query = replace(spec.to_query(), minimum_score=0.0, limit=None)
+        execution = self.resolve_execution(query)
+        kernel = self._kernel_for(execution, query.policy)
+        query_bestring = encode_picture(query.picture)
+        outcome = self._shortlist(
+            query,
+            query_bestring,
+            collect_bounds=execution.strategy == STRATEGY_ANYTIME,
+        )
+        matches = self._evaluate_tree(spec, trace, restrict_to=outcome.candidates)
+        cache_key = query_score_key(query_bestring, query.policy, query.transformations)
+        candidates, stage = outcome.candidates, outcome.stage
+        trace.inverted_candidates = outcome.inverted_candidates
+        trace.shortlisted = len(candidates)
+        trace.bitmap_pruned = outcome.bitmap_rejected
+        trace.relation_pruned = outcome.relation_rejected
+        trace.kernel = kernel
+        for image_id, rejecting_stage in outcome.rejections.items():
+            trace.candidates[image_id] = CandidateTrace(
+                image_id=image_id,
+                stage=rejecting_stage,
+                score_bound=outcome.rejection_bounds.get(image_id),
+            )
+        anytime = execution.strategy == STRATEGY_ANYTIME and outcome.bounds is not None
+        trace.strategy = STRATEGY_ANYTIME if anytime else STRATEGY_EXHAUSTIVE
+        if anytime:
+            entries, materialized = self._score_graded_anytime(
+                spec, query, trace, query_bestring, cache_key, candidates, stage,
+                outcome.bounds, matches, kernel,
+            )
+        else:
+            entries, materialized = self._score_graded_exhaustive(
+                spec, query, trace, query_bestring, cache_key, candidates, stage,
+                matches, kernel,
+            )
+        self.execution_counters.record(
+            admitted=len(candidates),
+            examined=trace.candidates_examined,
+            anytime=anytime,
+        )
+        results = self._rank_graded(
+            spec, query, query_bestring, cache_key, entries, materialized
+        )
+        return SpecOutcome(spec=spec, results=results, trace=trace, predicate_matches=matches)
+
+    def _score_graded_exhaustive(
+        self,
+        spec: QuerySpec,
+        query: Query,
+        trace: QueryTrace,
+        query_bestring: BEString2D,
+        cache_key: QueryKey,
+        candidates: List[str],
+        stage: str,
+        matches: Dict[str, "GradedMatch"],
+        kernel: str,
+    ) -> Tuple[List[Tuple[str, float]], Dict[str, SimilarityResult]]:
+        """Confirm every candidate's composed score (both kernels).
+
+        Returns ``(image_id, composed_score)`` pairs plus the full
+        :class:`SimilarityResult` objects materialised along the way (all of
+        them for the reference kernel; with the bit-parallel kernel only the
+        final survivors are materialised later by :meth:`_rank_graded`).
+        """
+        entries: List[Tuple[str, float]] = []
+        materialized: Dict[str, SimilarityResult] = {}
+        for image_id in candidates:
+            cached = self.score_cache.get(cache_key, image_id) if query.use_cache else None
+            if cached is not None:
+                materialized[image_id] = cached
+                score = cached.score
+                trace.cache_hits += 1
+            else:
+                record = self.database.get(image_id)
+                if kernel == KERNEL_BITPARALLEL:
+                    score = self._kernel_score(query_bestring, record.bestring, query)
+                else:
+                    result = self._score(query_bestring, record.bestring, query)
+                    materialized[image_id] = result
+                    if query.use_cache:
+                        self.score_cache.put(cache_key, image_id, result)
+                    score = result.score
+                trace.cache_misses += 1
+            trace.candidates[image_id] = CandidateTrace(
+                image_id=image_id,
+                stage=stage,
+                cache_hit=(cached is not None) if query.use_cache else None,
+            )
+            entries.append((image_id, self._compose(spec, score, matches[image_id].degree)))
+        trace.candidates_examined = len(entries)
+        return entries, materialized
+
+    def _score_graded_anytime(
+        self,
+        spec: QuerySpec,
+        query: Query,
+        trace: QueryTrace,
+        query_bestring: BEString2D,
+        cache_key: QueryKey,
+        candidates: List[str],
+        stage: str,
+        bounds: Dict[str, float],
+        matches: Dict[str, "GradedMatch"],
+        kernel: str,
+    ) -> Tuple[List[Tuple[str, float]], Dict[str, SimilarityResult]]:
+        """Branch-and-bound over *composed* bounds (the graded analogue of
+        :meth:`_score_anytime`).
+
+        Each candidate's exact tree degree is already known, so
+        ``compose(similarity_bound, degree)`` dominates its composed score
+        (``compose`` is monotone in the similarity argument for both
+        compositions).  The visit order, termination test and tie-break
+        safety argument are exactly those of :meth:`_score_anytime`, with
+        composed scores and composed bounds in place of raw similarity.
+        """
+        minimum_score = spec.minimum_score
+        limit = spec.limit
+        composed_bounds = {
+            image_id: self._compose(spec, bounds[image_id], matches[image_id].degree)
+            for image_id in candidates
+        }
+        order = sorted(candidates, key=lambda image_id: (-composed_bounds[image_id], image_id))
+        confirmed_keys: List[Tuple[float, str]] = []
+        entries: List[Tuple[str, float]] = []
+        materialized: Dict[str, SimilarityResult] = {}
+        examined = 0
+        for position, image_id in enumerate(order):
+            bound = composed_bounds[image_id]
+            if limit is not None and len(confirmed_keys) >= limit:
+                if limit == 0 or (-bound, image_id) >= confirmed_keys[limit - 1]:
+                    trace.bound_cutoff = bound
+                    self._record_bound_skips(trace, order[position:], composed_bounds)
+                    break
+            cached = self.score_cache.get(cache_key, image_id) if query.use_cache else None
+            if cached is not None:
+                materialized[image_id] = cached
+                score = cached.score
+                trace.cache_hits += 1
+            else:
+                record = self.database.get(image_id)
+                if kernel == KERNEL_BITPARALLEL:
+                    score = self._kernel_score(query_bestring, record.bestring, query)
+                else:
+                    result = self._score(query_bestring, record.bestring, query)
+                    materialized[image_id] = result
+                    if query.use_cache:
+                        self.score_cache.put(cache_key, image_id, result)
+                    score = result.score
+                trace.cache_misses += 1
+            trace.candidates[image_id] = CandidateTrace(
+                image_id=image_id,
+                stage=stage,
+                cache_hit=(cached is not None) if query.use_cache else None,
+            )
+            examined += 1
+            composed = self._compose(spec, score, matches[image_id].degree)
+            entries.append((image_id, composed))
+            if composed >= minimum_score:
+                insort(confirmed_keys, (-composed, image_id))
+        trace.candidates_examined = examined
+        trace.bound_skipped = len(order) - examined
+        return entries, materialized
+
+    def _rank_graded(
+        self,
+        spec: QuerySpec,
+        query: Query,
+        query_bestring: BEString2D,
+        cache_key: QueryKey,
+        entries: List[Tuple[str, float]],
+        materialized: Dict[str, SimilarityResult],
+    ) -> List[RankedResult]:
+        """Final composed ranking; materialise survivors lacking a full result.
+
+        ``RankedResult.score`` carries the *composed* score (the ranking and
+        merge key everywhere downstream, including the shard-worker gather);
+        ``RankedResult.similarity`` keeps the full LCS evaluation for
+        ``explain`` output.
+        """
+        survivors = [
+            (image_id, composed)
+            for image_id, composed in entries
+            if composed >= spec.minimum_score
+        ]
+        survivors.sort(key=lambda pair: (-pair[1], pair[0]))
+        if spec.limit is not None:
+            survivors = survivors[: spec.limit]
+        results: List[RankedResult] = []
+        for rank, (image_id, composed) in enumerate(survivors, start=1):
+            result = materialized.get(image_id)
+            if result is None:
+                record = self.database.get(image_id)
+                result = self._score(query_bestring, record.bestring, query)
+                if query.use_cache:
+                    self.score_cache.put(cache_key, image_id, result)
+            results.append(
+                RankedResult(
+                    rank=rank, image_id=image_id, score=composed, similarity=result
+                )
+            )
+        return results
+
+    # ------------------------------------------------------------------
     # Scatter-gather execution over the shard-worker pool
     # ------------------------------------------------------------------
     def _execute_sharded(self, spec: QuerySpec, execution: ExecutionOptions) -> SpecOutcome:
@@ -968,6 +1268,15 @@ class QueryEngine:
                 admitted=gathered.shortlist["admitted"],
                 bitmap_rejected=gathered.shortlist["bitmap_rejected"],
                 relation_rejected=gathered.shortlist["relation_rejected"],
+            )
+        if gathered.predicates["queries"]:
+            # One user-visible query regardless of fan-out: worker-side
+            # per-image work is summed, the query count is not.
+            self.predicate_counters.absorb(
+                queries=1,
+                graded_queries=1 if gathered.predicates["graded_queries"] else 0,
+                evaluated=gathered.predicates["evaluated"],
+                pruned=gathered.predicates["pruned"],
             )
         return SpecOutcome(
             spec=spec,

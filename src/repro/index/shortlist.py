@@ -543,3 +543,64 @@ class ShortlistCounters:
             self._bitmap_rejected = 0
             self._relation_rejected = 0
             self._admitted = 0
+
+
+# ----------------------------------------------------------------------
+# Graded predicate-tree degree bound
+# ----------------------------------------------------------------------
+def tree_degree_bound(tree: Any, has_label) -> float:
+    """A sound upper bound on a predicate tree's degree for one image.
+
+    ``has_label(label) -> bool`` is any label-presence oracle that never
+    returns ``False`` for a label the image actually contains — both the
+    exact inverted-index postings and the stage-1 hashed CRC-32 label
+    bitmaps satisfy this (a clear bitmap bit proves absence; a set bit may
+    be a hash collision, which only *weakens* the bound, never unsounds it).
+
+    Proof sketch (structural induction over the AST):
+
+    * **Crisp leaf** — its degree is 1 only if some subject/target instance
+      pair satisfies the relation, which requires both labels to be present;
+      if either is reported absent the true degree is exactly 0, so 0 is a
+      (tight) upper bound.  Present (or colliding) labels bound at 1, the
+      trivial top.
+    * **Fuzzy leaf** — the boundary-distance degree can be arbitrarily close
+      to 1 for *any* present pair, and the oracle cannot see geometry, so
+      fuzzy leaves fail open at 1 (per the spec in ``docs/predicates.md``).
+    * **``not``** — the child bound upper-bounds the child's degree, but
+      ``1 - child`` needs a *lower* bound on the child to stay sound; the
+      oracle only proves absences, so negation admits all (bound 1).
+    * **``or``** — degree is ``max`` over children; ``max`` of sound child
+      bounds upper-bounds the ``max`` of true degrees (monotone).
+    * **``and``** — degree is the weighted mean of the children; the
+      weighted mean is monotone in every argument, so the mean of sound
+      child bounds upper-bounds the mean of true degrees.
+
+    Corollary used by the engine: a total bound of 0 is only reachable when
+    every leaf in the tree is crisp with an absent label (``not`` bounds at
+    1 and fuzzy leaves at 1, so neither can appear on a 0-bound path), hence
+    the true degree — and every true leaf degree — is exactly 0 and a
+    synthesized zero match is byte-exact, never lossy.
+    """
+    from repro.retrieval.predicates import And, Leaf, Not, Or
+
+    if isinstance(tree, Leaf):
+        if tree.fuzzy:
+            return 1.0
+        predicate = tree.predicate
+        if has_label(predicate.subject) and has_label(predicate.target):
+            return 1.0
+        return 0.0
+    if isinstance(tree, Not):
+        return 1.0
+    if isinstance(tree, Or):
+        return max(tree_degree_bound(child, has_label) for child in tree.children)
+    if isinstance(tree, And):
+        total = 0.0
+        bounded = 0.0
+        for child in tree.children:
+            weight = child.weight if isinstance(child, Leaf) else 1.0
+            total += weight
+            bounded += weight * tree_degree_bound(child, has_label)
+        return bounded / total if total else 1.0
+    raise TypeError(f"not a predicate tree node: {type(tree).__name__}")

@@ -28,7 +28,12 @@ from repro.index.execution import ExecutionOptions
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a layering cycle
     from repro.index.query import Query
     from repro.index.ranking import RankedResult
-    from repro.retrieval.predicates import PredicateMatch, RelationPredicate
+    from repro.retrieval.predicates import (
+        GradedMatch,
+        PredicateMatch,
+        PredicateNode,
+        RelationPredicate,
+    )
 
 
 class QuerySpecError(ValueError):
@@ -60,20 +65,34 @@ class QuerySpec:
       ``identifiers`` for partial queries and expanded over
       ``transformations`` for invariant ones), scored with the modified-LCS
       evaluation under ``policy``;
-    * a *predicate* clause -- ``predicates``, a conjunction of relation
-      predicates evaluated against stored BE-strings.
+    * a *predicate* clause -- either ``predicates`` (a crisp conjunction of
+      relation predicates, the historical fast path) or ``predicate_tree``
+      (a graded boolean AST with ``not``/``or`` and per-leaf weight/fuzzy
+      annotations) evaluated against stored BE-strings.
 
-    With both clauses present the predicates act as a post-filter: only
-    images satisfying **every** predicate survive, ranked by similarity.
-    ``limit`` / ``minimum_score`` cut the final ranking; ``use_filters``
-    toggles the inverted-index + signature shortlist; ``use_cache`` toggles
-    the score cache for this query only.
+    With a crisp conjunction and a picture the predicates act as a
+    post-filter: only images satisfying **every** predicate survive, ranked
+    by similarity.  With a graded ``predicate_tree`` the tree's satisfaction
+    degree *composes* with the similarity score instead —
+    ``predicate_composition`` picks the operator (``"product"``:
+    ``similarity * degree``; ``"sum"``: ``blend * similarity + (1 - blend) *
+    degree`` with ``blend = predicate_blend``).  ``limit`` /
+    ``minimum_score`` cut the final ranking; ``use_filters`` toggles the
+    inverted-index + signature shortlist; ``use_cache`` toggles the score
+    cache for this query only.
     """
 
     picture: Optional[SymbolicPicture] = None
     identifiers: Optional[Tuple[str, ...]] = None
     transformations: Tuple[Transformation, ...] = (Transformation.IDENTITY,)
     predicates: Tuple["RelationPredicate", ...] = ()
+    #: Graded predicate AST (``None`` for crisp conjunctions, which stay on
+    #: the historical ``predicates`` tuple and its byte-identical fast path).
+    predicate_tree: Optional["PredicateNode"] = None
+    #: How a graded predicate degree composes with the similarity score.
+    predicate_composition: str = "product"
+    #: Similarity share of the ``"sum"`` composition (ignored for product).
+    predicate_blend: float = 0.5
     limit: Optional[int] = 10
     minimum_score: float = 0.0
     minimum_shared_labels: int = 1
@@ -95,9 +114,22 @@ class QuerySpec:
                 are given without a picture, or if numeric knobs are out of
                 range.
         """
-        if self.picture is None and not self.predicates:
+        if self.picture is None and not self.has_predicate_clause:
             raise QuerySpecError(
                 "a query needs at least one clause: similar_to(picture) or where(predicate)"
+            )
+        if self.predicates and self.predicate_tree is not None:
+            raise QuerySpecError(
+                "a spec carries either flat crisp predicates or a predicate tree, not both"
+            )
+        if self.predicate_composition not in ("product", "sum"):
+            raise QuerySpecError(
+                f"predicate_composition must be 'product' or 'sum', "
+                f"got {self.predicate_composition!r}"
+            )
+        if not (0.0 <= self.predicate_blend <= 1.0):
+            raise QuerySpecError(
+                f"predicate_blend must lie in [0, 1], got {self.predicate_blend!r}"
             )
         if self.identifiers is not None and self.picture is None:
             raise QuerySpecError("partial(identifiers) requires similar_to(picture)")
@@ -116,7 +148,12 @@ class QuerySpec:
     @property
     def has_predicate_clause(self) -> bool:
         """True when the spec constrains images by relation predicates."""
-        return bool(self.predicates)
+        return bool(self.predicates) or self.predicate_tree is not None
+
+    @property
+    def has_graded_predicates(self) -> bool:
+        """True when the predicate clause is a graded tree (not a crisp list)."""
+        return self.predicate_tree is not None
 
     def effective_picture(self) -> SymbolicPicture:
         """The query picture with the partial-icon subset applied.
@@ -175,7 +212,14 @@ class QuerySpec:
                 clauses.append("invariant")
         for predicate in self.predicates:
             clauses.append(f"where({predicate.to_text()})")
+        if self.predicate_tree is not None:
+            clauses.append(f"where({self.predicate_tree.to_text()})")
         knobs = [f"limit={self.limit}"]
+        if self.predicate_tree is not None and self.picture is not None:
+            composition = self.predicate_composition
+            if composition == "sum":
+                composition += f" blend={self.predicate_blend:g}"
+            knobs.append(f"compose={composition}")
         if self.minimum_score:
             knobs.append(f"min_score={self.minimum_score:g}")
         if not self.use_filters:
@@ -286,12 +330,14 @@ class SpecOutcome:
 
     ``results`` is the final ranking: :class:`~repro.index.ranking.RankedResult`
     entries when the spec has a similarity clause, otherwise
-    :class:`~repro.retrieval.predicates.PredicateMatch` entries.  In combined
-    mode ``predicate_matches`` additionally carries the per-image predicate
-    evaluation used for filtering (keyed by image id).
+    :class:`~repro.retrieval.predicates.PredicateMatch` (crisp) or
+    :class:`~repro.retrieval.predicates.GradedMatch` (graded tree) entries.
+    In combined mode ``predicate_matches`` additionally carries the
+    per-image predicate evaluation used for filtering or composition (keyed
+    by image id).
     """
 
     spec: QuerySpec
-    results: List[Union["RankedResult", "PredicateMatch"]]
+    results: List[Union["RankedResult", "PredicateMatch", "GradedMatch"]]
     trace: QueryTrace
-    predicate_matches: Optional[Dict[str, "PredicateMatch"]] = None
+    predicate_matches: Optional[Dict[str, Union["PredicateMatch", "GradedMatch"]]] = None

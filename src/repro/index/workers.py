@@ -172,6 +172,7 @@ def _statistics_delta(after: Any, before: Any, names: Sequence[str]) -> Dict[str
 
 _EXECUTION_FIELDS = ("queries", "anytime_queries", "admitted", "examined", "skipped")
 _SHORTLIST_FIELDS = ("queries", "admitted", "bitmap_rejected", "relation_rejected")
+_PREDICATE_FIELDS = ("queries", "graded_queries", "evaluated", "pruned")
 
 
 def _worker_main(config: _WorkerConfig, connection) -> None:
@@ -206,6 +207,7 @@ def _worker_main(config: _WorkerConfig, connection) -> None:
                 )
             execution_before = engine.execution_counters.statistics
             shortlist_before = engine.shortlist_counters.statistics
+            predicate_before = engine.predicate_counters.statistics
             outcome = engine.execute_spec(spec)
             payload = {
                 "results": outcome.results,
@@ -221,6 +223,11 @@ def _worker_main(config: _WorkerConfig, connection) -> None:
                     engine.shortlist_counters.statistics,
                     shortlist_before,
                     _SHORTLIST_FIELDS,
+                ),
+                "predicates": _statistics_delta(
+                    engine.predicate_counters.statistics,
+                    predicate_before,
+                    _PREDICATE_FIELDS,
                 ),
                 "cache": engine.score_cache.statistics,
             }
@@ -248,6 +255,8 @@ class GatherOutcome:
     execution: Dict[str, int]
     #: Summed per-worker :class:`ShortlistCounters` deltas.
     shortlist: Dict[str, int]
+    #: Summed per-worker :class:`PredicateCounters` deltas.
+    predicates: Dict[str, int]
 
 
 def _merge_ranked(spec: QuerySpec, payloads: List[Dict[str, Any]]) -> List[Any]:
@@ -311,17 +320,21 @@ def merge_gather(spec: QuerySpec, payloads: List[Dict[str, Any]]) -> GatherOutco
                 matches.update(payload["predicate_matches"])
     execution = {name: 0 for name in _EXECUTION_FIELDS}
     shortlist = {name: 0 for name in _SHORTLIST_FIELDS}
+    predicates = {name: 0 for name in _PREDICATE_FIELDS}
     for payload in payloads:
         for name in _EXECUTION_FIELDS:
             execution[name] += payload["execution"][name]
         for name in _SHORTLIST_FIELDS:
             shortlist[name] += payload["shortlist"][name]
+        for name in _PREDICATE_FIELDS:
+            predicates[name] += payload["predicates"][name]
     return GatherOutcome(
         results=_merge_ranked(spec, payloads),
         trace=_merge_traces(payloads),
         predicate_matches=matches,
         execution=execution,
         shortlist=shortlist,
+        predicates=predicates,
     )
 
 

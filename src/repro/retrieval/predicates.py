@@ -11,19 +11,33 @@ fraction of predicates an image satisfies.
 The predicate vocabulary is deliberately coarse -- it names directional and
 topological relations, not the full 169 Allen-pair categories -- because that
 is the granularity a user query works at.
+
+Beyond the original flat conjunctions, the language has a full boolean
+grammar (``not`` / ``or`` / parentheses) with per-leaf ``[fuzzy]`` and
+``[w=N]`` annotations, parsed by :func:`parse_tree` into a small AST
+(:class:`Leaf` / :class:`Not` / :class:`And` / :class:`Or`) whose
+satisfaction is a *degree* in [0, 1] rather than a boolean — see
+``docs/predicates.md`` for the grammar and the degree semantics.
 """
 
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.core.bestring import BEString2D
 from repro.core.reasoning import boundary_ranks
 from repro.geometry.allen import AllenRelation, allen_relation
 from repro.geometry.interval import Interval
+from repro.geometry.relations import (
+    degree_before,
+    degree_covers,
+    degree_meets,
+    degree_shares,
+    degree_within,
+)
 
 
 class PredicateError(ValueError):
@@ -147,6 +161,57 @@ class RelationPredicate:
             return y in _SHARING
         raise PredicateError(f"unhandled relation keyword {keyword!r}")
 
+    def degree_between(self, subject_x: Interval, subject_y: Interval,
+                       target_x: Interval, target_y: Interval) -> float:
+        """Graded satisfaction degree of the predicate on two objects' intervals.
+
+        Returns exactly ``1.0`` when :meth:`holds_between` is true, and
+        otherwise a degree in ``[0, 1)`` that decays with the boundary
+        distance by which the relation is violated (axis degrees composed
+        with ``min``; see :mod:`repro.geometry.relations`).
+        """
+        if self.holds_between(subject_x, subject_y, target_x, target_y):
+            return 1.0
+        keyword = self.relation
+        if keyword is RelationKeyword.LEFT_OF:
+            degree = degree_before(subject_x, target_x)
+        elif keyword is RelationKeyword.RIGHT_OF:
+            degree = degree_before(target_x, subject_x)
+        elif keyword is RelationKeyword.ABOVE:
+            degree = degree_before(target_y, subject_y)
+        elif keyword is RelationKeyword.BELOW:
+            degree = degree_before(subject_y, target_y)
+        elif keyword is RelationKeyword.OVERLAPS:
+            degree = min(
+                degree_shares(subject_x, target_x), degree_shares(subject_y, target_y)
+            )
+        elif keyword is RelationKeyword.CONTAINS:
+            degree = min(
+                degree_covers(subject_x, target_x), degree_covers(subject_y, target_y)
+            )
+        elif keyword is RelationKeyword.INSIDE:
+            degree = min(
+                degree_within(subject_x, target_x), degree_within(subject_y, target_y)
+            )
+        elif keyword is RelationKeyword.TOUCHES:
+            degree = min(
+                degree_shares(subject_x, target_x),
+                degree_shares(subject_y, target_y),
+                max(
+                    degree_meets(subject_x, target_x),
+                    degree_meets(subject_y, target_y),
+                ),
+            )
+        elif keyword is RelationKeyword.SAME_COLUMN:
+            degree = degree_shares(subject_x, target_x)
+        elif keyword is RelationKeyword.SAME_ROW:
+            degree = degree_shares(subject_y, target_y)
+        else:  # pragma: no cover - the keyword enum is closed
+            raise PredicateError(f"unhandled relation keyword {keyword!r}")
+        # The crisp check above already returned 1.0; a near-miss must rank
+        # strictly below every crisp match even in degenerate corners.
+        return min(degree, 1.0 - 1e-9)
+
 
 def parse_predicate(text: str) -> RelationPredicate:
     """Parse one predicate of the form ``"<label> <relation> <label>"``.
@@ -186,6 +251,503 @@ def parse_query(text: str) -> List[RelationPredicate]:
     if not parts:
         raise PredicateError("the predicate query is empty")
     return [parse_predicate(part) for part in parts]
+
+
+# ----------------------------------------------------------------------
+# Predicate AST: graded boolean combinations of relation predicates
+# ----------------------------------------------------------------------
+#: Words the grammar reserves; they can never be subject/target labels.
+RESERVED_WORDS = frozenset({"and", "or", "not", "fuzzy"})
+
+#: Composition modes for blending a predicate degree with LCS similarity.
+COMPOSITIONS = ("product", "sum")
+
+
+def _format_weight(weight: float) -> str:
+    return f"{weight:g}"
+
+
+@dataclass(frozen=True)
+class Leaf:
+    """One annotated atomic predicate of the AST.
+
+    ``weight`` biases the leaf inside an ``and`` (weighted mean); ``fuzzy``
+    switches the leaf from a 0/1 indicator to the graded boundary-distance
+    degree of :meth:`RelationPredicate.degree_between`.
+    """
+
+    predicate: RelationPredicate
+    weight: float = 1.0
+    fuzzy: bool = False
+
+    def __post_init__(self) -> None:
+        if not (self.weight > 0.0):
+            raise PredicateError(
+                f"predicate weight must be positive, got {self.weight!r}"
+            )
+
+    def to_text(self) -> str:
+        """Canonical text form, annotations included (round-trips via parsing)."""
+        annotations = []
+        if self.fuzzy:
+            annotations.append("fuzzy")
+        if self.weight != 1.0:
+            annotations.append(f"w={_format_weight(self.weight)}")
+        suffix = f" [{' '.join(annotations)}]" if annotations else ""
+        return f"{self.predicate.to_text()}{suffix}"
+
+    def normalized(self) -> "Leaf":
+        """Leaves are already canonical."""
+        return self
+
+    def leaves(self) -> Iterator["Leaf"]:
+        """Yield this leaf."""
+        yield self
+
+    def degree(self, leaf_degree: Callable[["Leaf"], float]) -> float:
+        """Satisfaction degree of the leaf under ``leaf_degree``."""
+        return leaf_degree(self)
+
+    def to_dict(self) -> dict:
+        """JSON-compatible wire form (see ``docs/predicates.md``)."""
+        payload = {
+            "subject": self.predicate.subject,
+            "relation": self.predicate.relation.value,
+            "target": self.predicate.target,
+        }
+        if self.weight != 1.0:
+            payload["weight"] = self.weight
+        if self.fuzzy:
+            payload["fuzzy"] = True
+        return payload
+
+
+@dataclass(frozen=True)
+class Not:
+    """Negation: degree ``1 - child``."""
+
+    child: "PredicateNode"
+
+    def to_text(self) -> str:
+        """Canonical text form (parenthesises ``and``/``or`` children)."""
+        inner = self.child.to_text()
+        if isinstance(self.child, (And, Or)):
+            inner = f"({inner})"
+        return f"not {inner}"
+
+    def normalized(self) -> "PredicateNode":
+        """Eliminate double negation; normalise the child."""
+        child = self.child.normalized()
+        if isinstance(child, Not):
+            return child.child
+        return Not(child)
+
+    def leaves(self) -> Iterator[Leaf]:
+        """Yield the leaves of the subtree."""
+        yield from self.child.leaves()
+
+    def degree(self, leaf_degree: Callable[[Leaf], float]) -> float:
+        """Satisfaction degree: the complement of the child's degree."""
+        return 1.0 - self.child.degree(leaf_degree)
+
+    def to_dict(self) -> dict:
+        """JSON-compatible wire form."""
+        return {"op": "not", "child": self.child.to_dict()}
+
+
+def _child_weight(node: "PredicateNode") -> float:
+    """Weight a child contributes to a weighted mean (1.0 for non-leaves)."""
+    return node.weight if isinstance(node, Leaf) else 1.0
+
+
+@dataclass(frozen=True)
+class And:
+    """Conjunction: the weighted mean of the children's degrees.
+
+    With unit weights and crisp leaves this is exactly the historical
+    "fraction of predicates satisfied" ranking of
+    :class:`PredicateMatch`.
+    """
+
+    children: Tuple["PredicateNode", ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if not self.children:
+            raise PredicateError("'and' needs at least one operand")
+
+    def to_text(self) -> str:
+        """Canonical text form (parenthesises nested ``and``/``or``)."""
+        parts = []
+        for child in self.children:
+            text = child.to_text()
+            if isinstance(child, (And, Or)):
+                text = f"({text})"
+            parts.append(text)
+        return " and ".join(parts)
+
+    def normalized(self) -> "PredicateNode":
+        """Flatten nested conjunctions and sort children canonically.
+
+        Duplicate children are *kept*: the weighted mean counts a repeated
+        conjunct twice, exactly like the historical flat list did.
+        """
+        flattened: List[PredicateNode] = []
+        for child in self.children:
+            child = child.normalized()
+            if isinstance(child, And):
+                flattened.extend(child.children)
+            else:
+                flattened.append(child)
+        if len(flattened) == 1:
+            return flattened[0]
+        flattened.sort(key=lambda node: node.to_text())
+        return And(tuple(flattened))
+
+    def leaves(self) -> Iterator[Leaf]:
+        """Yield the leaves of the subtree, left to right."""
+        for child in self.children:
+            yield from child.leaves()
+
+    def degree(self, leaf_degree: Callable[[Leaf], float]) -> float:
+        """Weighted mean of the children's degrees."""
+        total = sum(_child_weight(child) for child in self.children)
+        return (
+            sum(
+                _child_weight(child) * child.degree(leaf_degree)
+                for child in self.children
+            )
+            / total
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-compatible wire form."""
+        return {"op": "and", "children": [child.to_dict() for child in self.children]}
+
+
+@dataclass(frozen=True)
+class Or:
+    """Disjunction: the maximum of the children's degrees."""
+
+    children: Tuple["PredicateNode", ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if not self.children:
+            raise PredicateError("'or' needs at least one operand")
+
+    def to_text(self) -> str:
+        """Canonical text form (``or`` binds loosest, so children rarely need parens)."""
+        parts = []
+        for child in self.children:
+            text = child.to_text()
+            if isinstance(child, Or):
+                text = f"({text})"
+            parts.append(text)
+        return " or ".join(parts)
+
+    def normalized(self) -> "PredicateNode":
+        """Flatten nested disjunctions and sort children canonically."""
+        flattened: List[PredicateNode] = []
+        for child in self.children:
+            child = child.normalized()
+            if isinstance(child, Or):
+                flattened.extend(child.children)
+            else:
+                flattened.append(child)
+        if len(flattened) == 1:
+            return flattened[0]
+        flattened.sort(key=lambda node: node.to_text())
+        return Or(tuple(flattened))
+
+    def leaves(self) -> Iterator[Leaf]:
+        """Yield the leaves of the subtree, left to right."""
+        for child in self.children:
+            yield from child.leaves()
+
+    def degree(self, leaf_degree: Callable[[Leaf], float]) -> float:
+        """Maximum of the children's degrees."""
+        return max(child.degree(leaf_degree) for child in self.children)
+
+    def to_dict(self) -> dict:
+        """JSON-compatible wire form."""
+        return {"op": "or", "children": [child.to_dict() for child in self.children]}
+
+
+#: Any node of the predicate AST.
+PredicateNode = Union[Leaf, Not, And, Or]
+
+
+def tree_from_dict(payload: object) -> PredicateNode:
+    """Build a predicate AST from its nested JSON wire form.
+
+    Raises:
+        PredicateError: on an unknown ``op``, missing keys, or bad types —
+            the message names the offending token.
+    """
+    if not isinstance(payload, dict):
+        raise PredicateError(
+            f"a predicate node must be a JSON object, got {type(payload).__name__!r}"
+        )
+    operator = payload.get("op")
+    if operator is None:
+        subject = payload.get("subject")
+        relation = payload.get("relation")
+        target = payload.get("target")
+        if not isinstance(subject, str) or not isinstance(target, str):
+            raise PredicateError(
+                "a predicate leaf needs string 'subject' and 'target' labels"
+            )
+        if not isinstance(relation, str):
+            raise PredicateError("a predicate leaf needs a string 'relation'")
+        keyword = _ALIASES.get(relation.lower())
+        if keyword is None:
+            raise PredicateError(
+                f"unknown relation {relation!r}; valid relations: "
+                f"{sorted(alias for alias in _ALIASES)}"
+            )
+        weight = payload.get("weight", 1.0)
+        if isinstance(weight, bool) or not isinstance(weight, (int, float)):
+            raise PredicateError(f"predicate 'weight' must be a number, got {weight!r}")
+        fuzzy = payload.get("fuzzy", False)
+        if not isinstance(fuzzy, bool):
+            raise PredicateError(f"predicate 'fuzzy' must be a boolean, got {fuzzy!r}")
+        return Leaf(
+            predicate=RelationPredicate(subject=subject, relation=keyword, target=target),
+            weight=float(weight),
+            fuzzy=fuzzy,
+        )
+    if operator == "not":
+        if "child" not in payload:
+            raise PredicateError("'not' needs a 'child' node")
+        return Not(tree_from_dict(payload["child"]))
+    if operator in ("and", "or"):
+        children = payload.get("children")
+        if not isinstance(children, list) or not children:
+            raise PredicateError(f"{operator!r} needs a non-empty 'children' list")
+        nodes = tuple(tree_from_dict(child) for child in children)
+        return And(nodes) if operator == "and" else Or(nodes)
+    raise PredicateError(
+        f"unknown predicate operator {operator!r}; expected 'and', 'or' or 'not'"
+    )
+
+
+# ----------------------------------------------------------------------
+# Tokenizer + recursive-descent parser for the boolean grammar
+# ----------------------------------------------------------------------
+#
+# expr  := or
+# or    := and ("or" and)*
+# and   := not (("and" | "," | ";") not)*
+# not   := "not" not | atom
+# atom  := "(" expr ")" | leaf
+# leaf  := LABEL RELATION LABEL ["[" ("fuzzy" | "w" "=" NUMBER)* "]"]
+
+_TOKEN_PATTERN = re.compile(r"[()\[\],;=]|[^\s()\[\],;=]+")
+
+#: Single-character punctuation tokens (never labels or relations).
+_PUNCTUATION = frozenset("()[],;=")
+
+
+@dataclass(frozen=True)
+class _Token:
+    text: str
+    position: int
+
+
+def _tokenize(text: str) -> List[_Token]:
+    return [
+        _Token(match.group(), match.start())
+        for match in _TOKEN_PATTERN.finditer(text)
+    ]
+
+
+class _Parser:
+    """Recursive-descent parser over the token stream.
+
+    Every failure raises :class:`PredicateError` naming the offending token
+    and its character position in the original query text.
+    """
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.tokens = _tokenize(text)
+        self.index = 0
+
+    # -- token helpers -------------------------------------------------
+    def _peek(self) -> Optional[_Token]:
+        if self.index < len(self.tokens):
+            return self.tokens[self.index]
+        return None
+
+    def _next(self) -> Optional[_Token]:
+        token = self._peek()
+        if token is not None:
+            self.index += 1
+        return token
+
+    def _fail(self, message: str, token: Optional[_Token]) -> "PredicateError":
+        if token is None:
+            position = len(self.text)
+            found = "end of query"
+        else:
+            position = token.position
+            found = repr(token.text)
+        return PredicateError(f"{message} at position {position}: {found}")
+
+    def _expect(self, text: str, context: str) -> _Token:
+        token = self._next()
+        if token is None or token.text != text:
+            raise self._fail(f"expected {text!r} {context}", token)
+        return token
+
+    # -- grammar -------------------------------------------------------
+    def parse(self) -> PredicateNode:
+        if not self.tokens:
+            raise PredicateError("the predicate query is empty")
+        node = self._parse_or()
+        trailing = self._peek()
+        if trailing is not None:
+            raise self._fail("unexpected trailing token", trailing)
+        return node
+
+    def _parse_or(self) -> PredicateNode:
+        children = [self._parse_and()]
+        while True:
+            token = self._peek()
+            if token is not None and token.text.lower() == "or":
+                self._next()
+                children.append(self._parse_and())
+            else:
+                break
+        if len(children) == 1:
+            return children[0]
+        return Or(tuple(children))
+
+    def _parse_and(self) -> PredicateNode:
+        children = [self._parse_not()]
+        while True:
+            token = self._peek()
+            if token is None:
+                break
+            word = token.text.lower()
+            if word == "and" or token.text in (",", ";"):
+                self._next()
+                children.append(self._parse_not())
+            else:
+                break
+        if len(children) == 1:
+            return children[0]
+        return And(tuple(children))
+
+    def _parse_not(self) -> PredicateNode:
+        token = self._peek()
+        if token is not None and token.text.lower() == "not":
+            self._next()
+            return Not(self._parse_not())
+        return self._parse_atom()
+
+    def _parse_atom(self) -> PredicateNode:
+        token = self._peek()
+        if token is None:
+            raise self._fail("expected a predicate or '('", token)
+        if token.text == "(":
+            self._next()
+            node = self._parse_or()
+            self._expect(")", "to close the parenthesised group")
+            return node
+        return self._parse_leaf()
+
+    def _parse_label(self, role: str) -> str:
+        token = self._next()
+        if token is None or token.text in _PUNCTUATION:
+            raise self._fail(f"expected a {role} label", token)
+        if token.text.lower() in RESERVED_WORDS:
+            raise self._fail(
+                f"the reserved word cannot be a {role} label", token
+            )
+        return token.text
+
+    def _parse_leaf(self) -> Leaf:
+        subject = self._parse_label("subject")
+        relation_token = self._next()
+        if relation_token is None or relation_token.text in _PUNCTUATION:
+            raise self._fail("expected a relation keyword", relation_token)
+        keyword = _ALIASES.get(relation_token.text.lower())
+        if keyword is None:
+            raise self._fail("unknown relation", relation_token)
+        target = self._parse_label("target")
+        weight, fuzzy = self._parse_annotations()
+        predicate = RelationPredicate(subject=subject, relation=keyword, target=target)
+        return Leaf(predicate=predicate, weight=weight, fuzzy=fuzzy)
+
+    def _parse_annotations(self) -> Tuple[float, bool]:
+        weight, fuzzy = 1.0, False
+        token = self._peek()
+        if token is None or token.text != "[":
+            return weight, fuzzy
+        self._next()
+        while True:
+            token = self._next()
+            if token is None:
+                raise self._fail("expected ']' to close the annotation", token)
+            if token.text == "]":
+                break
+            word = token.text.lower()
+            if word == "fuzzy":
+                fuzzy = True
+            elif word == "w" or word == "weight":
+                self._expect("=", "after the weight annotation")
+                value = self._next()
+                if value is None:
+                    raise self._fail("expected a weight value", value)
+                try:
+                    weight = float(value.text)
+                except ValueError:
+                    raise self._fail("weight must be a number", value) from None
+                if not (weight > 0.0):
+                    raise self._fail("weight must be positive", value)
+            else:
+                raise self._fail(
+                    "unknown annotation (expected 'fuzzy' or 'w=N')", token
+                )
+        return weight, fuzzy
+
+
+def parse_tree(text: str) -> PredicateNode:
+    """Parse the full boolean predicate grammar into an AST.
+
+    The historical flat conjunctions (``"a left-of b and c above d"``) parse
+    unchanged; the grammar adds ``not``, ``or``, parentheses and per-leaf
+    ``[fuzzy]`` / ``[w=N]`` annotations.
+
+    Returns:
+        The root :data:`PredicateNode` of the parse (not normalised).
+
+    Raises:
+        PredicateError: on malformed text; the message names the offending
+            token and its character position.
+    """
+    return _Parser(text).parse()
+
+
+def is_crisp_conjunction(tree: PredicateNode) -> bool:
+    """True when the tree is a plain conjunction of unannotated leaves.
+
+    Such trees carry no graded semantics and compile to the historical flat
+    predicate tuple (the byte-identical fast path).
+    """
+    if isinstance(tree, Leaf):
+        return not tree.fuzzy and tree.weight == 1.0
+    if isinstance(tree, And):
+        return all(
+            isinstance(child, Leaf) and not child.fuzzy and child.weight == 1.0
+            for child in tree.children
+        )
+    return False
+
+
+def flat_predicates(tree: PredicateNode) -> Tuple[RelationPredicate, ...]:
+    """The predicates of a crisp conjunction, in query order."""
+    return tuple(leaf.predicate for leaf in tree.leaves())
 
 
 @dataclass(frozen=True)
@@ -285,3 +847,114 @@ def search_by_predicates(
     matches = [match for match in matches if match.score >= minimum_score]
     matches.sort(key=lambda match: (-match.score, match.image_id))
     return matches
+
+
+# ----------------------------------------------------------------------
+# Graded evaluation of a predicate tree against one image
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class GradedMatch:
+    """Graded evaluation outcome of a predicate tree for one image.
+
+    ``degree`` is the tree's satisfaction in [0, 1]; ``leaf_degrees`` maps
+    each distinct leaf (by its annotated text) to its own degree, surfaced
+    by ``explain()`` and the service wire format.
+    """
+
+    image_id: str
+    degree: float
+    leaf_degrees: Tuple[Tuple[str, float], ...]
+
+    @property
+    def score(self) -> float:
+        """The tree degree (the ranking key, mirroring ``PredicateMatch.score``)."""
+        return self.degree
+
+    @property
+    def is_full_match(self) -> bool:
+        """True when the tree is fully satisfied."""
+        return self.degree >= 1.0
+
+    def describe(self) -> str:
+        """One-line summary used by the examples and the CLI."""
+        parts = ", ".join(f"{text}={value:.3f}" for text, value in self.leaf_degrees)
+        return f"{self.image_id}: degree {self.degree:.3f} ({parts})"
+
+
+def leaf_degree_on(
+    leaf: Leaf,
+    x_ranks: Dict[str, Interval],
+    y_ranks: Dict[str, Interval],
+    instances: Dict[str, List[str]],
+) -> float:
+    """Degree of one leaf over an image's instance pairs (max over pairs).
+
+    A crisp leaf is a 0/1 indicator of :meth:`RelationPredicate.holds_between`
+    on *some* subject/target instance pair; a fuzzy leaf takes the best
+    graded degree over the same pairs.  Absent labels yield 0.0 either way.
+    """
+    predicate = leaf.predicate
+    subjects = instances.get(predicate.subject, [])
+    targets = instances.get(predicate.target, [])
+    best = 0.0
+    for subject in subjects:
+        for target in targets:
+            if subject == target:
+                continue
+            if leaf.fuzzy:
+                degree = predicate.degree_between(
+                    x_ranks[subject], y_ranks[subject], x_ranks[target], y_ranks[target]
+                )
+            else:
+                degree = (
+                    1.0
+                    if predicate.holds_between(
+                        x_ranks[subject], y_ranks[subject],
+                        x_ranks[target], y_ranks[target],
+                    )
+                    else 0.0
+                )
+            if degree > best:
+                best = degree
+                if best >= 1.0:
+                    return best
+    return best
+
+
+def evaluate_tree(
+    bestring: BEString2D, tree: PredicateNode, image_id: str = ""
+) -> GradedMatch:
+    """Evaluate a predicate tree against one image's BE-string.
+
+    Like :func:`evaluate_predicates`, all relations are derived from the
+    BE-string alone via ordinal boundary ranks; each leaf is graded by its
+    best instance pair, and the tree folds the leaf degrees (``and`` =
+    weighted mean, ``or`` = max, ``not`` = complement).
+    """
+    x_ranks = boundary_ranks(bestring.x)
+    y_ranks = boundary_ranks(bestring.y)
+    instances = _instances_by_label(bestring)
+    degrees: Dict[Leaf, float] = {}
+    for leaf in tree.leaves():
+        if leaf not in degrees:
+            degrees[leaf] = leaf_degree_on(leaf, x_ranks, y_ranks, instances)
+    return GradedMatch(
+        image_id=image_id or bestring.name,
+        degree=tree.degree(lambda leaf: degrees[leaf]),
+        leaf_degrees=tuple((leaf.to_text(), degrees[leaf]) for leaf in degrees),
+    )
+
+
+def zero_graded_match(tree: PredicateNode, image_id: str) -> GradedMatch:
+    """A synthesized degree-0 match for an image pruned without evaluation.
+
+    Only valid when the tree's degree upper bound for the image is 0 — which
+    (see ``tree_degree_bound`` in :mod:`repro.index.shortlist`) implies every
+    leaf degree is 0, so the synthesized per-leaf degrees are exact.
+    """
+    seen: Dict[str, float] = {}
+    for leaf in tree.leaves():
+        seen.setdefault(leaf.to_text(), 0.0)
+    return GradedMatch(
+        image_id=image_id, degree=0.0, leaf_degrees=tuple(seen.items())
+    )

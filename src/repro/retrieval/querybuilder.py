@@ -38,7 +38,18 @@ from repro.iconic.picture import SymbolicPicture
 from repro.index.execution import ExecutionOptions
 from repro.index.ranking import RankedResult
 from repro.index.spec import QuerySpec, QuerySpecError, QueryTrace, SpecOutcome
-from repro.retrieval.predicates import PredicateMatch, RelationPredicate, parse_query
+from repro.retrieval.predicates import (
+    And,
+    GradedMatch,
+    Leaf,
+    Not,
+    Or,
+    PredicateMatch,
+    PredicateNode,
+    RelationPredicate,
+    is_crisp_conjunction,
+    parse_tree,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.retrieval.system import RetrievalSystem
@@ -51,8 +62,29 @@ __all__ = [
     "ResultSet",
 ]
 
-#: One entry of a result set: similarity or predicate ranking.
-ResultEntry = Union[RankedResult, PredicateMatch]
+#: One entry of a result set: similarity, predicate, or graded ranking.
+ResultEntry = Union[RankedResult, PredicateMatch, GradedMatch]
+
+
+def _apply_annotations(node: PredicateNode, fuzzy: bool, weight: float) -> PredicateNode:
+    """Apply ``where()``-level ``fuzzy``/``weight`` defaults to a clause's leaves.
+
+    Explicit per-leaf ``[...]`` annotations in the query text win: ``fuzzy``
+    only switches leaves on (never off), and ``weight`` only replaces the
+    default weight of 1.0.
+    """
+    if isinstance(node, Leaf):
+        return Leaf(
+            predicate=node.predicate,
+            weight=node.weight if node.weight != 1.0 else weight,
+            fuzzy=node.fuzzy or fuzzy,
+        )
+    if isinstance(node, Not):
+        return Not(_apply_annotations(node.child, fuzzy, weight))
+    children = tuple(
+        _apply_annotations(child, fuzzy, weight) for child in node.children
+    )
+    return And(children) if isinstance(node, And) else Or(children)
 
 
 @dataclass(frozen=True)
@@ -76,6 +108,10 @@ class ResultExplanation:
     common_objects: Optional[List[str]] = None
     satisfied: Optional[List[str]] = None
     unsatisfied: Optional[List[str]] = None
+    #: Graded queries: the tree's overall satisfaction degree.
+    degree: Optional[float] = None
+    #: Graded queries: each leaf's annotated text and satisfaction degree.
+    leaf_degrees: Optional[List[tuple]] = None
 
     def describe(self) -> str:
         """One-line rendering used by the CLI ``explain`` command."""
@@ -90,6 +126,11 @@ class ResultExplanation:
             parts.append(f"lcs={self.lcs_x}/{self.lcs_y}")
         if self.common_objects:
             parts.append(f"objects=[{', '.join(self.common_objects)}]")
+        if self.degree is not None:
+            parts.append(f"degree={self.degree:.3f}")
+        if self.leaf_degrees:
+            rendered = "; ".join(f"{text}={value:.3f}" for text, value in self.leaf_degrees)
+            parts.append(f"degrees=[{rendered}]")
         if self.satisfied is not None:
             parts.append(f"holds=[{'; '.join(self.satisfied) or '-'}]")
         if self.unsatisfied:
@@ -206,6 +247,7 @@ class ResultSet(Sequence):
             cache_hit = candidate.cache_hit if candidate is not None else None
             if isinstance(entry, RankedResult):
                 match = matches.get(entry.image_id) if matches else None
+                graded = isinstance(match, GradedMatch)
                 explanations.append(
                     ResultExplanation(
                         rank=entry.rank,
@@ -219,9 +261,23 @@ class ResultSet(Sequence):
                         common_objects=sorted(entry.similarity.common_objects),
                         satisfied=(
                             [predicate.to_text() for predicate in match.satisfied]
-                            if match is not None
+                            if match is not None and not graded
                             else None
                         ),
+                        degree=match.degree if graded else None,
+                        leaf_degrees=list(match.leaf_degrees) if graded else None,
+                    )
+                )
+            elif isinstance(entry, GradedMatch):
+                explanations.append(
+                    ResultExplanation(
+                        rank=self._ranks[position],
+                        image_id=entry.image_id,
+                        score=entry.score,
+                        stage=stage,
+                        cache_hit=None,
+                        degree=entry.degree,
+                        leaf_degrees=list(entry.leaf_degrees),
                     )
                 )
             else:
@@ -301,18 +357,32 @@ class ResultSet(Sequence):
     # ------------------------------------------------------------------
     def to_dicts(self) -> List[dict]:
         """The ranking as JSON-serialisable dicts (one per result)."""
+        matches = self.outcome.predicate_matches if self.outcome is not None else None
         dicts: List[dict] = []
         for position, entry in enumerate(self._results):
             if isinstance(entry, RankedResult):
+                payload = {
+                    "rank": entry.rank,
+                    "image_id": entry.image_id,
+                    "score": entry.score,
+                    "transformation": entry.similarity.transformation.value,
+                    "lcs_x": entry.similarity.x.lcs_length,
+                    "lcs_y": entry.similarity.y.lcs_length,
+                    "common_objects": sorted(entry.similarity.common_objects),
+                }
+                match = matches.get(entry.image_id) if matches else None
+                if isinstance(match, GradedMatch):
+                    payload["degree"] = match.degree
+                    payload["leaf_degrees"] = dict(match.leaf_degrees)
+                dicts.append(payload)
+            elif isinstance(entry, GradedMatch):
                 dicts.append(
                     {
-                        "rank": entry.rank,
+                        "rank": self._ranks[position],
                         "image_id": entry.image_id,
                         "score": entry.score,
-                        "transformation": entry.similarity.transformation.value,
-                        "lcs_x": entry.similarity.x.lcs_length,
-                        "lcs_y": entry.similarity.y.lcs_length,
-                        "common_objects": sorted(entry.similarity.common_objects),
+                        "degree": entry.degree,
+                        "leaf_degrees": dict(entry.leaf_degrees),
                     }
                 )
             else:
@@ -351,7 +421,9 @@ class QueryBuilder:
         self._picture = picture
         self._identifiers: Optional[tuple] = None
         self._transformations: tuple = (Transformation.IDENTITY,)
-        self._predicates: List[RelationPredicate] = []
+        self._where_clauses: List[PredicateNode] = []
+        self._composition: str = "product"
+        self._blend: float = 0.5
         self._limit: Optional[int] = 10
         self._minimum_score: float = 0.0
         self._minimum_shared_labels: int = 1
@@ -389,22 +461,62 @@ class QueryBuilder:
         self._transformations = tuple(transformations)
         return self
 
-    def where(self, predicates: Union[str, RelationPredicate]) -> "QueryBuilder":
-        """Require relation predicates, e.g. ``"phone right-of monitor"``.
+    def where(
+        self,
+        predicates: Union[str, RelationPredicate, PredicateNode],
+        *,
+        fuzzy: bool = False,
+        weight: float = 1.0,
+    ) -> "QueryBuilder":
+        """Constrain images by relation predicates.
 
-        Accepts predicate text (conjunctions with ``and`` / ``,`` / ``;``) or
-        a pre-parsed :class:`~repro.retrieval.predicates.RelationPredicate`;
-        repeated calls accumulate conjuncts.  Alone, predicates rank images
-        by the fraction satisfied; combined with :meth:`similar_to` they act
-        as a filter requiring every predicate to hold.
+        Accepts predicate text in the full boolean grammar — flat
+        conjunctions (``"phone right-of monitor and lamp above desk"``) parse
+        exactly as before, and the grammar adds ``not`` / ``or`` /
+        parentheses and per-leaf ``[fuzzy]`` / ``[w=N]`` annotations (see
+        ``docs/predicates.md``).  A pre-parsed
+        :class:`~repro.retrieval.predicates.RelationPredicate` or a
+        :data:`~repro.retrieval.predicates.PredicateNode` is accepted too.
+        Repeated calls combine with ``and``.
+
+        ``fuzzy=True`` / ``weight=N`` apply to every leaf of *this* clause
+        (explicit ``[...]`` annotations in the text win).  A plain
+        conjunction with default annotations compiles to the historical
+        crisp fast path: alone it ranks by the fraction of predicates
+        satisfied, with :meth:`similar_to` it filters to full matches.
+        Anything graded — ``not``, ``or``, ``fuzzy``, non-unit weights —
+        ranks by the tree's satisfaction *degree*; combined with a picture
+        the degree composes with the similarity score (see :meth:`compose`).
 
         Raises:
             repro.retrieval.predicates.PredicateError: on malformed text.
         """
         if isinstance(predicates, RelationPredicate):
-            self._predicates.append(predicates)
+            clause: PredicateNode = Leaf(predicate=predicates)
+        elif isinstance(predicates, str):
+            clause = parse_tree(predicates)
         else:
-            self._predicates.extend(parse_query(predicates))
+            clause = predicates
+        if fuzzy or weight != 1.0:
+            clause = _apply_annotations(clause, fuzzy, weight)
+        self._where_clauses.append(clause)
+        return self
+
+    def compose(self, mode: str = "product", blend: Optional[float] = None) -> "QueryBuilder":
+        """Pick how a graded predicate degree composes with similarity.
+
+        ``"product"`` (the default) multiplies: ``similarity * degree``.
+        ``"sum"`` blends: ``blend * similarity + (1 - blend) * degree``
+        (``blend`` defaults to 0.5).  Ignored for crisp conjunctions and
+        predicate-only queries.
+
+        Raises:
+            repro.index.spec.QuerySpecError: on an unknown mode or a blend
+                outside [0, 1] (raised when the spec is compiled).
+        """
+        self._composition = mode
+        if blend is not None:
+            self._blend = blend
         return self
 
     # ------------------------------------------------------------------
@@ -506,11 +618,34 @@ class QueryBuilder:
                 use_filters = self._execution.shortlist
             if self._execution.cache is not None:
                 use_cache = self._execution.cache
+        # A plain conjunction of unannotated leaves compiles to the
+        # historical flat predicate tuple in query order (the byte-identical
+        # crisp fast path); anything graded ships the normalised tree, whose
+        # canonical child order makes logically-equal queries cache-key equal.
+        predicates: tuple = ()
+        predicate_tree = None
+        if self._where_clauses:
+            if all(is_crisp_conjunction(clause) for clause in self._where_clauses):
+                predicates = tuple(
+                    leaf.predicate
+                    for clause in self._where_clauses
+                    for leaf in clause.leaves()
+                )
+            else:
+                combined = (
+                    self._where_clauses[0]
+                    if len(self._where_clauses) == 1
+                    else And(tuple(self._where_clauses))
+                )
+                predicate_tree = combined.normalized()
         spec = QuerySpec(
             picture=self._picture,
             identifiers=self._identifiers,
             transformations=self._transformations,
-            predicates=tuple(self._predicates),
+            predicates=predicates,
+            predicate_tree=predicate_tree,
+            predicate_composition=self._composition,
+            predicate_blend=self._blend,
             limit=self._limit,
             minimum_score=self._minimum_score,
             minimum_shared_labels=self._minimum_shared_labels,

@@ -53,7 +53,11 @@ from repro.index.backends import StorageBackend, load_database_from, save_databa
 from repro.index.batch import BatchOptions, BatchReport
 from repro.index.cache import CacheStatistics
 from repro.index.database import ImageDatabase, ImageRecord
-from repro.index.execution import ExecutionOptions, ExecutionStatistics
+from repro.index.execution import (
+    ExecutionOptions,
+    ExecutionStatistics,
+    PredicateStatistics,
+)
 from repro.index.query import Query, QueryEngine
 from repro.index.ranking import RankedResult
 from repro.index.shortlist import ShortlistStatistics
@@ -401,6 +405,10 @@ class RetrievalSystem:
     def execution_statistics(self) -> "ExecutionStatistics":
         """Cumulative branch-and-bound counters (see :mod:`repro.index.execution`)."""
         return self._engine.execution_counters.statistics
+
+    def predicate_statistics(self) -> "PredicateStatistics":
+        """Cumulative predicate-stage counters (see :mod:`repro.index.execution`)."""
+        return self._engine.predicate_counters.statistics
 
     # ------------------------------------------------------------------
     # Deprecated search surface (thin shims over the builder)

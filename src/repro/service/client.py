@@ -144,6 +144,14 @@ def _spec_payload(spec: Any) -> Dict[str, Any]:
         payload["where"] = " and ".join(
             predicate.to_text() for predicate in spec.predicates
         )
+    tree = getattr(spec, "predicate_tree", None)
+    if tree is not None:
+        # Graded trees ship as the nested wire form (lossless: per-leaf
+        # weight/fuzzy annotations survive, unlike flattened text).
+        payload["where"] = tree.to_dict()
+        payload["compose"] = spec.predicate_composition
+        if spec.predicate_composition == "sum":
+            payload["blend"] = spec.predicate_blend
     if spec.execution is not None:
         payload["execution"] = spec.execution.to_dict()
     return payload
@@ -338,7 +346,10 @@ class ServiceClient:
         *,
         identifiers: Optional[Sequence[str]] = None,
         invariant: bool = False,
-        where: Optional[str] = None,
+        where: Union[None, str, Dict[str, Any]] = None,
+        fuzzy: bool = False,
+        compose: Optional[str] = None,
+        blend: Optional[float] = None,
         min_score: float = 0.0,
         limit: Optional[int] = 10,
         no_filters: bool = False,
@@ -353,7 +364,12 @@ class ServiceClient:
         to the wire schema (scene, predicates as ``where`` text, invariance,
         execution options) and every keyword except ``page``/``page_size``
         must be left at its default.  Alternatively pass a scene plus the
-        explicit keywords.  ``execution`` carries per-query execution
+        explicit keywords.  ``where`` carries the predicate clause as
+        grammar text (``"not (a above b) or a overlaps b [w=2]"``) or as a
+        nested predicate-tree JSON object (``PredicateNode.to_dict()``
+        form); ``fuzzy`` grades every leaf, and ``compose``/``blend`` pick
+        how the degree combines with the similarity score
+        (see ``docs/predicates.md``).  ``execution`` carries per-query execution
         options — an ``ExecutionOptions`` value or a plain dict of its
         fields (e.g. ``{"kernel": "bitparallel", "strategy": "anytime"}``);
         explicit fields win over the legacy ``no_filters`` flag.
@@ -386,6 +402,12 @@ class ServiceClient:
             payload["identifiers"] = list(identifiers)
         if where is not None:
             payload["where"] = where
+            if fuzzy:
+                payload["fuzzy"] = True
+        if compose is not None:
+            payload["compose"] = compose
+            if blend is not None:
+                payload["blend"] = blend
         if page is not None:
             payload["page"] = page
         if page_size is not None:

@@ -72,7 +72,7 @@ from repro.index.database import DatabaseError
 from repro.index.execution import ExecutionOptions
 from repro.index.spec import QuerySpecError
 from repro.index.storage import StorageError
-from repro.retrieval.predicates import PredicateError
+from repro.retrieval.predicates import PredicateError, tree_from_dict
 from repro.retrieval.querybuilder import QueryBuilder, ResultSet
 from repro.retrieval.system import RetrievalSystem
 
@@ -373,12 +373,34 @@ class RetrievalService:
         builder.invariant(_get_bool(payload, "invariant"))
         where = payload.get("where")
         if where is not None:
-            if not isinstance(where, str):
-                raise ApiError(400, "'where' must be a predicate string")
+            fuzzy = _get_bool(payload, "fuzzy")
             try:
-                builder.where(where)
+                if isinstance(where, str):
+                    builder.where(where, fuzzy=fuzzy)
+                elif isinstance(where, dict):
+                    # The nested wire form: a predicate-tree JSON object as
+                    # produced by PredicateNode.to_dict() (docs/predicates.md).
+                    builder.where(tree_from_dict(where), fuzzy=fuzzy)
+                else:
+                    raise ApiError(
+                        400,
+                        "'where' must be a predicate string or a "
+                        "predicate-tree JSON object",
+                    )
             except PredicateError as error:
                 raise ApiError(400, str(error)) from error
+        elif "fuzzy" in payload:
+            raise ApiError(400, "'fuzzy' requires a 'where' clause")
+        compose = payload.get("compose")
+        if compose is not None:
+            if not isinstance(compose, str):
+                raise ApiError(400, "'compose' must be a JSON string")
+            blend = (
+                _get_number(payload, "blend") if "blend" in payload else None
+            )
+            builder.compose(compose, blend)
+        elif "blend" in payload:
+            raise ApiError(400, "'blend' requires a 'compose' mode")
         builder.limit(_get_limit(payload))
         builder.min_score(_get_number(payload, "min_score"))
         builder.execution(shortlist=not _get_bool(payload, "no_filters"))
@@ -681,7 +703,9 @@ class RetrievalService:
             score cache, ``shortlist`` the two-stage signature shortlist
             (per-stage rejection counts and pruned fraction), ``execution``
             the branch-and-bound counters (anytime queries, candidates
-            examined vs admitted), ``lock`` the readers-writer grant
+            examined vs admitted), ``predicates`` the predicate-stage
+            counters (graded queries, images evaluated vs settled by the
+            label bound), ``lock`` the readers-writer grant
             counters.  When serving with ``--shard-workers`` the ``workers``
             key becomes a block describing the scatter-gather pool:
             per-worker shard/image counts, restarts, queue depth, and
@@ -703,6 +727,7 @@ class RetrievalService:
         cache = self.system.cache_statistics()
         shortlist = self.system.shortlist_statistics()
         execution = self.system.execution_statistics()
+        predicates = self.system.predicate_statistics()
         body: Dict[str, Any] = {
             "uptime_seconds": round(time.monotonic() - self._started_monotonic, 3),
             "images": len(self.system),
@@ -735,6 +760,13 @@ class RetrievalService:
                 "examined": execution.examined,
                 "skipped": execution.skipped,
                 "examined_fraction": round(execution.examined_fraction, 4),
+            },
+            "predicates": {
+                "queries": predicates.queries,
+                "graded_queries": predicates.graded_queries,
+                "evaluated": predicates.evaluated,
+                "pruned": predicates.pruned,
+                "pruned_fraction": round(predicates.pruned_fraction, 4),
             },
         }
         lock = self.system._engine.lock

@@ -25,7 +25,7 @@ from repro.index.workers import (
     sanitized_execution,
     spec_for_worker,
 )
-from repro.retrieval.predicates import parse_predicate
+from repro.retrieval.predicates import parse_predicate, parse_tree
 
 _FORCED = os.environ.get("REPRO_SHARD_WORKERS")
 #: The CI matrix leg pins one count; the default run sweeps the matrix.
@@ -45,6 +45,14 @@ def result_key(results):
 def predicate_key(results):
     """Identity of a predicate-only ranking (matches carry no rank)."""
     return [(match.image_id, match.score, match.satisfied) for match in results]
+
+
+def graded_key(results):
+    """Identity of a graded predicate ranking, per-leaf degrees included."""
+    return [
+        (match.image_id, match.score, tuple(sorted(match.leaf_degrees)))
+        for match in results
+    ]
 
 
 @pytest.fixture(scope="module")
@@ -136,6 +144,76 @@ class TestEquivalenceMatrix:
         )
         assert result_key(serial.results) == result_key(gathered.results)
 
+    def test_graded_predicate_only(self, engine, pictures, workers):
+        labels = sorted(set(pictures[0].labels))
+        tree = parse_tree(
+            f"{labels[0]} left_of {labels[1]} [fuzzy] and "
+            f"{labels[0]} above {labels[1]} [fuzzy w=2]"
+        )
+        spec = QuerySpec(predicate_tree=tree, limit=None)
+        serial = engine.execute_spec(spec)
+        gathered = engine.execute_spec(spec.with_overrides(execution=sharded(workers)))
+        assert graded_key(serial.results) == graded_key(gathered.results)
+        assert serial.predicate_matches.keys() == gathered.predicate_matches.keys()
+
+    def test_not_or_tree(self, engine, pictures, workers):
+        labels = sorted(set(pictures[0].labels))
+        tree = parse_tree(
+            f"not ({labels[0]} left_of {labels[1]}) or "
+            f"{labels[1]} above {labels[0]} [fuzzy]"
+        )
+        spec = QuerySpec(predicate_tree=tree, limit=None)
+        serial = engine.execute_spec(spec)
+        gathered = engine.execute_spec(spec.with_overrides(execution=sharded(workers)))
+        assert graded_key(serial.results) == graded_key(gathered.results)
+
+    def test_graded_combined_product(self, engine, pictures, workers):
+        labels = sorted(set(pictures[2].labels))
+        tree = parse_tree(f"{labels[0]} left_of {labels[1]} [fuzzy]")
+        spec = QuerySpec(picture=pictures[2], predicate_tree=tree, limit=8)
+        serial = engine.execute_spec(spec)
+        gathered = engine.execute_spec(spec.with_overrides(execution=sharded(workers)))
+        assert result_key(serial.results) == result_key(gathered.results)
+
+    def test_graded_combined_sum(self, engine, pictures, workers):
+        labels = sorted(set(pictures[2].labels))
+        tree = parse_tree(
+            f"not {labels[0]} left_of {labels[1]} or "
+            f"{labels[0]} same-row {labels[1]} [fuzzy w=3]"
+        )
+        spec = QuerySpec(
+            picture=pictures[2],
+            predicate_tree=tree,
+            predicate_composition="sum",
+            predicate_blend=0.3,
+            limit=8,
+        )
+        serial = engine.execute_spec(spec)
+        gathered = engine.execute_spec(spec.with_overrides(execution=sharded(workers)))
+        assert result_key(serial.results) == result_key(gathered.results)
+
+    def test_graded_anytime_bitparallel(self, engine, pictures, workers):
+        labels = sorted(set(pictures[5].labels))
+        tree = parse_tree(f"{labels[0]} same-column {labels[1]} [fuzzy]")
+        spec = QuerySpec(
+            picture=pictures[5],
+            predicate_tree=tree,
+            limit=5,
+            execution=ExecutionOptions(kernel="bitparallel", strategy="anytime"),
+        )
+        serial = engine.execute_spec(spec)
+        gathered = engine.execute_spec(
+            spec.with_overrides(
+                execution=ExecutionOptions(
+                    kernel="bitparallel",
+                    strategy="anytime",
+                    executor="shard_process",
+                    workers=workers,
+                )
+            )
+        )
+        assert result_key(serial.results) == result_key(gathered.results)
+
     def test_batch(self, engine, pictures, workers):
         queries = [
             Query(picture=pictures[1], limit=5),
@@ -149,6 +227,100 @@ class TestEquivalenceMatrix:
         assert report.executor == "shard_process"
         assert report.total_queries == 3
         assert report.unique_evaluations == 2
+
+
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+class TestAbsentVocabulary:
+    """Symbols outside the indexed vocabulary behave identically everywhere.
+
+    Pinned behaviour (the regression contract): a crisp predicate naming an
+    absent label fails on every image — with the default ``minimum_score`` of
+    0.0 every image is still *returned*, at score 0.0.  A graded leaf over
+    absent labels has degree 0.0, so ``not`` over it fails open to 1.0.  The
+    serial engine and the shard_process scatter must agree byte for byte.
+    """
+
+    def test_crisp_absent_symbol(self, engine, pictures, workers):
+        predicate = parse_predicate("ghost left-of phantom")
+        spec = QuerySpec(predicates=(predicate,), limit=None)
+        serial = engine.execute_spec(spec)
+        gathered = engine.execute_spec(spec.with_overrides(execution=sharded(workers)))
+        assert predicate_key(serial.results) == predicate_key(gathered.results)
+        assert len(serial.results) == DATABASE_SIZE
+        assert all(match.score == 0.0 for match in serial.results)
+
+    def test_crisp_minimum_score_drops_absent(self, engine, pictures, workers):
+        predicate = parse_predicate("ghost left-of phantom")
+        spec = QuerySpec(predicates=(predicate,), limit=None, minimum_score=0.5)
+        serial = engine.execute_spec(spec)
+        gathered = engine.execute_spec(spec.with_overrides(execution=sharded(workers)))
+        assert predicate_key(serial.results) == predicate_key(gathered.results)
+        assert serial.results == []
+
+    def test_graded_absent_symbol(self, engine, pictures, workers):
+        tree = parse_tree("ghost left-of phantom [fuzzy]")
+        spec = QuerySpec(predicate_tree=tree, limit=None)
+        serial = engine.execute_spec(spec)
+        gathered = engine.execute_spec(spec.with_overrides(execution=sharded(workers)))
+        assert graded_key(serial.results) == graded_key(gathered.results)
+        assert len(serial.results) == DATABASE_SIZE
+        assert all(match.degree == 0.0 for match in serial.results)
+
+    def test_negated_absent_symbol_fails_open(self, engine, pictures, workers):
+        tree = parse_tree("not ghost left-of phantom")
+        spec = QuerySpec(predicate_tree=tree, limit=None)
+        serial = engine.execute_spec(spec)
+        gathered = engine.execute_spec(spec.with_overrides(execution=sharded(workers)))
+        assert graded_key(serial.results) == graded_key(gathered.results)
+        assert all(match.degree == 1.0 for match in serial.results)
+
+    def test_combined_with_absent_symbol(self, engine, pictures, workers):
+        labels = sorted(set(pictures[3].labels))
+        tree = parse_tree(f"ghost left-of phantom [fuzzy] or {labels[0]} same-row {labels[1]}")
+        spec = QuerySpec(picture=pictures[3], predicate_tree=tree, limit=None)
+        serial = engine.execute_spec(spec)
+        gathered = engine.execute_spec(spec.with_overrides(execution=sharded(workers)))
+        assert result_key(serial.results) == result_key(gathered.results)
+
+
+class TestGradedShortlistSoundness:
+    """The graded label bound never costs a result the full scan returns."""
+
+    def _trees(self, pictures):
+        labels = sorted({label for picture in pictures[:6] for label in picture.labels})
+        a, b, c = labels[0], labels[1], labels[-1]
+        return [
+            parse_tree(f"{a} left_of {b} [fuzzy]"),
+            parse_tree(f"not {a} left_of {b} or {b} above {c} [fuzzy w=2]"),
+            parse_tree(f"{a} same-column {b} [fuzzy] and {c} overlaps {b} [fuzzy]"),
+            parse_tree(f"ghost inside {a} [fuzzy] or {b} below {c}"),
+        ]
+
+    @pytest.mark.parametrize("minimum_score", [0.0, 0.3, 0.7])
+    def test_predicate_only_matches_unfiltered_scan(self, engine, pictures, minimum_score):
+        for tree in self._trees(pictures):
+            spec = QuerySpec(predicate_tree=tree, limit=None, minimum_score=minimum_score)
+            filtered = engine.execute_spec(spec)
+            full = engine.execute_spec(spec.with_overrides(use_filters=False))
+            assert graded_key(filtered.results) == graded_key(full.results)
+            assert {m.image_id for m in full.results} <= {
+                m.image_id for m in filtered.results
+            }
+
+    @pytest.mark.parametrize("strategy", ["exhaustive", "anytime"])
+    def test_combined_matches_unfiltered_scan(self, engine, pictures, strategy):
+        options = ExecutionOptions(strategy=strategy)
+        for index, tree in enumerate(self._trees(pictures)):
+            spec = QuerySpec(
+                picture=pictures[index],
+                predicate_tree=tree,
+                limit=None,
+                minimum_score=0.2,
+                execution=options,
+            )
+            filtered = engine.execute_spec(spec)
+            full = engine.execute_spec(spec.with_overrides(use_filters=False))
+            assert result_key(filtered.results) == result_key(full.results)
 
 
 class TestCountersAndStats:

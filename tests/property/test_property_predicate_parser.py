@@ -1,0 +1,131 @@
+"""Property-based tests for the boolean predicate grammar and its AST.
+
+Three invariants carry the wire format and the CLI/service error paths:
+the canonical text form round-trips through the parser, normalisation is
+idempotent (a fixpoint), and *any* input text either parses or raises
+:class:`PredicateError` naming a position — never an internal exception.
+The nested JSON wire form must round-trip losslessly too, since the
+client ships trees as ``to_dict()`` payloads.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.retrieval.predicates import (
+    And,
+    Leaf,
+    Not,
+    Or,
+    PredicateError,
+    RelationKeyword,
+    RelationPredicate,
+    parse_tree,
+    tree_from_dict,
+)
+
+LABELS = ("car", "tree", "house", "bird")
+
+#: Tokens a garbage query is assembled from: every grammar element plus junk.
+GARBAGE_TOKENS = (
+    "car", "tree", "left-of", "above", "not", "and", "or",
+    "(", ")", "[", "]", "fuzzy", "w", "=", "2", ",", ";", "banana", "%%",
+)
+
+
+@st.composite
+def leaves(draw):
+    subject = draw(st.sampled_from(LABELS))
+    target = draw(st.sampled_from([label for label in LABELS if label != subject]))
+    relation = draw(st.sampled_from(list(RelationKeyword)))
+    weight = draw(st.sampled_from([1.0, 0.5, 2.0, 3.0]))
+    fuzzy = draw(st.booleans())
+    return Leaf(
+        predicate=RelationPredicate(subject=subject, relation=relation, target=target),
+        weight=weight,
+        fuzzy=fuzzy,
+    )
+
+
+@st.composite
+def trees(draw, depth=3):
+    if depth == 0:
+        return draw(leaves())
+    kind = draw(st.sampled_from(["leaf", "not", "and", "or"]))
+    if kind == "leaf":
+        return draw(leaves())
+    if kind == "not":
+        return Not(draw(trees(depth=depth - 1)))
+    # A 1-ary and/or is legal in the AST but has no distinct text form (it
+    # prints as its child), so the strict round-trip needs arity >= 2.
+    children = tuple(
+        draw(trees(depth=depth - 1))
+        for _ in range(draw(st.integers(min_value=2, max_value=3)))
+    )
+    return And(children) if kind == "and" else Or(children)
+
+
+@settings(max_examples=80, deadline=None)
+@given(trees())
+def test_to_text_round_trips_through_the_parser(tree):
+    parsed = parse_tree(tree.to_text())
+    assert parsed == tree
+    # The text form itself is a fixpoint of parse . to_text.
+    assert parse_tree(parsed.to_text()).to_text() == parsed.to_text()
+
+
+@settings(max_examples=80, deadline=None)
+@given(trees())
+def test_normalization_is_idempotent(tree):
+    normalized = tree.normalized()
+    assert normalized.normalized() == normalized
+    # Normalisation preserves the leaf multiset (only structure canonicalises).
+    assert sorted(leaf.to_text() for leaf in normalized.leaves()) == sorted(
+        leaf.to_text() for leaf in tree.leaves()
+    )
+
+
+@settings(max_examples=80, deadline=None)
+@given(trees())
+def test_normalized_form_round_trips_too(tree):
+    normalized = tree.normalized()
+    assert parse_tree(normalized.to_text()).normalized() == normalized
+
+
+@settings(max_examples=80, deadline=None)
+@given(trees())
+def test_wire_dict_round_trips(tree):
+    assert tree_from_dict(tree.to_dict()) == tree
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(st.sampled_from(GARBAGE_TOKENS), min_size=0, max_size=12))
+def test_garbage_never_escapes_predicate_error(tokens):
+    text = " ".join(tokens)
+    try:
+        tree = parse_tree(text)
+    except PredicateError as error:
+        message = str(error)
+        # Every parse failure names the offending token's position (or says
+        # the query is empty) — the service surfaces this verbatim as a 400.
+        assert "position" in message or "empty" in message
+    else:
+        # Whatever parsed must round-trip like any well-formed query.
+        assert parse_tree(tree.to_text()) == tree
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.text(max_size=40))
+def test_arbitrary_text_never_escapes_predicate_error(text):
+    try:
+        parse_tree(text)
+    except PredicateError:
+        pass
+
+
+def test_error_messages_name_token_and_position():
+    with pytest.raises(PredicateError, match=r"position 4: 'banana'"):
+        parse_tree("car banana tree")
+    with pytest.raises(PredicateError, match=r"position 21: end of query"):
+        parse_tree("(car left-of tree and")
+    with pytest.raises(PredicateError, match="empty"):
+        parse_tree("   ")

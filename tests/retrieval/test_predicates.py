@@ -6,13 +6,23 @@ from repro.core.construct import encode_picture
 from repro.geometry.rectangle import Rectangle
 from repro.iconic.picture import SymbolicPicture
 from repro.retrieval.predicates import (
+    And,
+    Leaf,
+    Not,
+    Or,
     PredicateError,
     RelationKeyword,
     RelationPredicate,
     evaluate_predicates,
+    evaluate_tree,
+    flat_predicates,
+    is_crisp_conjunction,
     parse_predicate,
     parse_query,
+    parse_tree,
     search_by_predicates,
+    tree_from_dict,
+    zero_graded_match,
 )
 from repro.retrieval.system import RetrievalSystem
 
@@ -113,6 +123,164 @@ class TestEvaluation:
         bestring = encode_picture(landscape)
         match = evaluate_predicates(bestring, parse_query("tree left-of mountain"))
         assert match.is_full_match
+
+
+class TestTreeParsing:
+    def test_flat_conjunction_parses_as_before(self):
+        tree = parse_tree("car left-of tree and cloud above car")
+        assert isinstance(tree, And)
+        assert flat_predicates(tree) == tuple(
+            parse_query("car left-of tree and cloud above car")
+        )
+        assert is_crisp_conjunction(tree)
+
+    def test_precedence_not_binds_tightest_or_loosest(self):
+        tree = parse_tree("not a left-of b and b above c or c inside d")
+        assert isinstance(tree, Or)
+        left, right = tree.children
+        assert isinstance(left, And)
+        assert isinstance(left.children[0], Not)
+        assert isinstance(right, Leaf)
+
+    def test_parentheses_override_precedence(self):
+        tree = parse_tree("not (a left-of b or b above c)")
+        assert isinstance(tree, Not)
+        assert isinstance(tree.child, Or)
+
+    def test_annotations(self):
+        leaf = parse_tree("car left-of tree [fuzzy w=2.5]")
+        assert isinstance(leaf, Leaf)
+        assert leaf.fuzzy and leaf.weight == 2.5
+        assert leaf.to_text() == "car left-of tree [fuzzy w=2.5]"
+
+    def test_reserved_words_cannot_be_labels(self):
+        with pytest.raises(PredicateError, match="reserved word"):
+            parse_tree("car left-of and")
+
+    def test_errors_name_token_and_position(self):
+        with pytest.raises(PredicateError, match="position 4: 'banana'"):
+            parse_tree("car banana tree")
+        with pytest.raises(PredicateError, match="trailing token"):
+            parse_tree("car left-of tree )")
+        with pytest.raises(PredicateError, match="weight must be positive"):
+            parse_tree("car left-of tree [w=0]")
+
+    def test_normalization_flattens_and_sorts(self):
+        tree = parse_tree("(b above c and a left-of b) and a left-of b")
+        normalized = tree.normalized()
+        assert isinstance(normalized, And)
+        # Flattened, sorted, duplicates kept (they weigh in the mean twice).
+        assert [child.to_text() for child in normalized.children] == [
+            "a left-of b",
+            "a left-of b",
+            "b above c",
+        ]
+        assert Not(Not(parse_tree("a inside b"))).normalized() == parse_tree("a inside b")
+
+    def test_graded_features_defeat_the_crisp_fast_path(self):
+        assert not is_crisp_conjunction(parse_tree("a left-of b [fuzzy]"))
+        assert not is_crisp_conjunction(parse_tree("a left-of b [w=2]"))
+        assert not is_crisp_conjunction(parse_tree("not a left-of b"))
+        assert not is_crisp_conjunction(parse_tree("a left-of b or c above d"))
+
+
+class TestGradedEvaluation:
+    def test_crisp_leaf_is_a_boolean_indicator(self, street):
+        bestring = encode_picture(street)
+        assert evaluate_tree(bestring, parse_tree("car left-of tree")).degree == 1.0
+        assert evaluate_tree(bestring, parse_tree("tree left-of car")).degree == 0.0
+
+    def test_fuzzy_near_miss_scores_below_any_crisp_match(self, street):
+        bestring = encode_picture(street)
+        # The bird sits *inside* the tree's vertical span, so "bird below
+        # tree" fails crisply -- but only by a small boundary distance, so
+        # graded it lands strictly inside (0, 1).  A hopeless miss (the
+        # cloud far above the car) still bottoms out at 0.
+        near = evaluate_tree(bestring, parse_tree("bird below tree [fuzzy]")).degree
+        assert 0.0 < near < 1.0
+        far = evaluate_tree(bestring, parse_tree("cloud below car [fuzzy]")).degree
+        assert far == 0.0
+
+    def test_fuzzy_exact_when_crisp_holds(self, street):
+        bestring = encode_picture(street)
+        assert evaluate_tree(bestring, parse_tree("car left-of tree [fuzzy]")).degree == 1.0
+
+    def test_not_is_the_complement(self, street):
+        bestring = encode_picture(street)
+        inner = evaluate_tree(bestring, parse_tree("cloud below car [fuzzy]")).degree
+        outer = evaluate_tree(bestring, parse_tree("not cloud below car [fuzzy]")).degree
+        assert outer == pytest.approx(1.0 - inner)
+
+    def test_or_is_the_maximum(self, street):
+        bestring = encode_picture(street)
+        tree = parse_tree("tree left-of car or car left-of tree")
+        assert evaluate_tree(bestring, tree).degree == 1.0
+
+    def test_and_is_the_weighted_mean(self, street):
+        bestring = encode_picture(street)
+        # One holds (1.0), one fails (0.0); weight 3 on the failing leaf.
+        tree = parse_tree("car left-of tree and tree left-of car [w=3]")
+        assert evaluate_tree(bestring, tree).degree == pytest.approx(0.25)
+
+    def test_crisp_conjunction_degree_matches_flat_score(self, street):
+        bestring = encode_picture(street)
+        text = "car left-of tree and tree left-of car and cloud above car"
+        graded = evaluate_tree(bestring, parse_tree(text))
+        flat = evaluate_predicates(bestring, parse_query(text))
+        assert graded.degree == pytest.approx(flat.score)
+
+    def test_absent_labels_grade_zero_and_not_fails_open(self, street):
+        bestring = encode_picture(street)
+        assert evaluate_tree(bestring, parse_tree("ghost inside car [fuzzy]")).degree == 0.0
+        assert evaluate_tree(bestring, parse_tree("not ghost inside car")).degree == 1.0
+
+    def test_leaf_degrees_are_surfaced(self, street):
+        bestring = encode_picture(street)
+        match = evaluate_tree(
+            bestring, parse_tree("car left-of tree [fuzzy] and ghost inside car")
+        )
+        degrees = dict(match.leaf_degrees)
+        assert degrees["car left-of tree [fuzzy]"] == 1.0
+        assert degrees["ghost inside car"] == 0.0
+        assert "degree" in match.describe()
+
+    def test_zero_graded_match_synthesis(self):
+        tree = parse_tree("a left-of b [fuzzy] or not a above b")
+        match = zero_graded_match(tree, "img-x")
+        assert match.image_id == "img-x"
+        assert match.degree == 0.0
+        assert dict(match.leaf_degrees) == {
+            "a left-of b [fuzzy]": 0.0,
+            "a above b": 0.0,
+        }
+
+
+class TestWireForms:
+    def test_round_trip(self):
+        tree = parse_tree("not (a left-of b [fuzzy w=2] or c inside d) and a above c")
+        assert tree_from_dict(tree.to_dict()) == tree
+
+    def test_leaf_defaults_are_omitted(self):
+        payload = parse_tree("a left-of b").to_dict()
+        assert payload == {"subject": "a", "relation": "left-of", "target": "b"}
+
+    def test_rejects_malformed_payloads(self):
+        with pytest.raises(PredicateError, match="unknown predicate operator 'nand'"):
+            tree_from_dict({"op": "nand", "children": []})
+        with pytest.raises(PredicateError, match="'child'"):
+            tree_from_dict({"op": "not"})
+        with pytest.raises(PredicateError, match="non-empty 'children'"):
+            tree_from_dict({"op": "or", "children": []})
+        with pytest.raises(PredicateError, match="string 'subject' and 'target'"):
+            tree_from_dict({"subject": 3, "relation": "left-of", "target": "b"})
+        with pytest.raises(PredicateError, match="unknown relation 'near'"):
+            tree_from_dict({"subject": "a", "relation": "near", "target": "b"})
+        with pytest.raises(PredicateError, match="'weight' must be a number"):
+            tree_from_dict(
+                {"subject": "a", "relation": "left-of", "target": "b", "weight": "2"}
+            )
+        with pytest.raises(PredicateError, match="must be a JSON object"):
+            tree_from_dict(["op"])
 
 
 class TestSearch:

@@ -7,7 +7,12 @@ import pytest
 from repro.core.similarity import Normalization, SimilarityPolicy
 from repro.core.transforms import Transformation
 from repro.index.spec import QuerySpec, QuerySpecError
-from repro.retrieval.predicates import PredicateError, search_by_predicates
+from repro.retrieval.predicates import (
+    PredicateError,
+    evaluate_tree,
+    parse_tree,
+    search_by_predicates,
+)
 from repro.retrieval.querybuilder import ResultSet
 from repro.retrieval.system import RetrievalSystem
 
@@ -154,6 +159,154 @@ class TestExecutionEquivalence:
         results = system.query(office).limit(None).execution(cache=False).execute()
         assert results.trace.cache_hits == 0
         assert results.trace.cache_misses == len(results)
+
+
+class TestGradedQueries:
+    def test_crisp_where_compiles_to_the_legacy_fast_path(self, system):
+        # Order preserved, no tree: byte-identical to the historical plan.
+        spec = (
+            system.query()
+            .where("phone right-of monitor and monitor above desk")
+            .spec()
+        )
+        assert spec.predicate_tree is None
+        assert [predicate.to_text() for predicate in spec.predicates] == [
+            "phone right-of monitor",
+            "monitor above desk",
+        ]
+
+    def test_graded_where_compiles_to_a_tree(self, system):
+        spec = system.query().where("monitor above desk", fuzzy=True).spec()
+        assert spec.predicates == ()
+        assert spec.predicate_tree is not None
+        assert spec.predicate_tree.to_text() == "monitor above desk [fuzzy]"
+        spec = system.query().where("not monitor above desk or phone inside desk").spec()
+        assert spec.predicate_tree is not None
+
+    def test_compose_knobs_reach_the_spec(self, system, office):
+        spec = (
+            system.query(office)
+            .where("monitor above desk", fuzzy=True)
+            .compose("sum", 0.3)
+            .spec()
+        )
+        assert spec.predicate_composition == "sum"
+        assert spec.predicate_blend == 0.3
+        with pytest.raises(QuerySpecError):
+            system.query(office).where("monitor above desk", fuzzy=True).compose(
+                "max"
+            ).spec().validate()
+
+    def test_fuzzy_results_superset_crisp_with_crisp_on_top(self, system, office):
+        # The graded acceptance contract: fuzzifying a where-clause never
+        # loses a crisp result, crisp matches keep degree exactly 1.0, and
+        # every near-miss grades strictly below them.
+        text = "monitor above desk and phone right-of monitor"
+        crisp = system.query().where(text).limit(None).execute()
+        graded = system.query().where(text, fuzzy=True).limit(None).execute()
+        crisp_scores = {m.image_id: m.score for m in crisp}
+        graded_scores = {m.image_id: m.score for m in graded}
+        assert set(crisp_scores) <= set(graded_scores)
+        full = {image_id for image_id, score in crisp_scores.items() if score == 1.0}
+        assert full
+        assert all(graded_scores[image_id] == 1.0 for image_id in full)
+        assert all(
+            graded_scores[image_id] < 1.0
+            for image_id in graded_scores
+            if image_id not in full
+        )
+        # Grading can only raise a score: the crisp indicator lower-bounds it.
+        assert all(
+            graded_scores[image_id] >= score
+            for image_id, score in crisp_scores.items()
+        )
+
+    def test_combined_fuzzy_superset_of_crisp_filter(self, system, office):
+        crisp = system.query(office).where("monitor above desk").limit(None).execute()
+        graded = (
+            system.query(office)
+            .where("monitor above desk", fuzzy=True)
+            .limit(None)
+            .execute()
+        )
+        assert {r.image_id for r in crisp} <= {r.image_id for r in graded}
+        assert [r.rank for r in graded] == list(range(1, len(graded) + 1))
+
+    def test_product_composition_multiplies_similarity_by_degree(self, system, office):
+        tree = parse_tree("monitor above desk [fuzzy]")
+        similarities = {
+            r.image_id: r.score for r in system.query(office).limit(None).execute()
+        }
+        graded = (
+            system.query(office)
+            .where("monitor above desk", fuzzy=True)
+            .limit(None)
+            .execute()
+        )
+        assert graded
+        for result in graded:
+            record = system._engine.database.get(result.image_id)
+            degree = evaluate_tree(record.bestring, tree).degree
+            assert result.score == pytest.approx(similarities[result.image_id] * degree)
+
+    def test_sum_composition_blends(self, system, office):
+        tree = parse_tree("monitor above desk [fuzzy]")
+        similarities = {
+            r.image_id: r.score for r in system.query(office).limit(None).execute()
+        }
+        graded = (
+            system.query(office)
+            .where("monitor above desk", fuzzy=True)
+            .compose("sum", 0.3)
+            .limit(None)
+            .execute()
+        )
+        for result in graded:
+            record = system._engine.database.get(result.image_id)
+            degree = evaluate_tree(record.bestring, tree).degree
+            expected = 0.3 * similarities[result.image_id] + 0.7 * degree
+            assert result.score == pytest.approx(expected)
+
+    def test_explain_surfaces_leaf_degrees(self, system):
+        results = (
+            system.query()
+            .where("monitor above desk", fuzzy=True)
+            .limit(None)
+            .execute()
+        )
+        top = results.explain()[0]
+        assert top.degree == 1.0
+        assert dict(top.leaf_degrees)["monitor above desk [fuzzy]"] == 1.0
+        assert "degree=" in top.describe() and "degrees=[" in top.describe()
+        payload = results.to_dicts()[0]
+        assert payload["degree"] == 1.0
+        assert payload["leaf_degrees"] == {"monitor above desk [fuzzy]": 1.0}
+
+    def test_graded_trace_counts_stages(self, system):
+        results = (
+            system.query()
+            .where("monitor above desk", fuzzy=True)
+            .limit(None)
+            .execute()
+        )
+        trace = results.trace
+        assert trace.predicate_evaluated + trace.predicate_pruned == len(system)
+        assert "predicate-evaluated" in results.explain_report()
+
+    def test_predicate_statistics_accumulate(self, system):
+        before = system.predicate_statistics()
+        system.query().where("monitor above desk").limit(None).execute()
+        system.query().where("monitor above desk", fuzzy=True).limit(None).execute()
+        after = system.predicate_statistics()
+        assert after.queries == before.queries + 2
+        assert after.graded_queries == before.graded_queries + 1
+        assert after.evaluated > before.evaluated
+
+    def test_query_batch_rejects_graded_specs(self, system):
+        with pytest.raises(QuerySpecError):
+            system.query_batch(
+                [system.query().where("monitor above desk", fuzzy=True)]
+            )
 
 
 class TestResultSet:

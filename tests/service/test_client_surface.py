@@ -85,6 +85,38 @@ class TestSpecSearch:
         via_kwargs = client.search(where=f"{first} left-of {second}", limit=None)
         assert via_spec["results"] == via_kwargs["results"]
 
+    def test_graded_spec_compiles_to_nested_wire_form(self, client):
+        from repro.retrieval.predicates import parse_tree
+
+        tree = parse_tree("monitor above desk [fuzzy] or not phone inside desk")
+        spec = QuerySpec(
+            picture=office_scene(0),
+            predicate_tree=tree,
+            predicate_composition="sum",
+            predicate_blend=0.4,
+            limit=None,
+        )
+        payload = _spec_payload(spec)
+        assert payload["where"] == tree.to_dict()
+        assert payload["compose"] == "sum"
+        assert payload["blend"] == 0.4
+        via_spec = client.search(spec)
+        via_kwargs = client.search(
+            office_scene(0), where=tree.to_dict(), compose="sum", blend=0.4, limit=None
+        )
+        assert via_spec["results"] == via_kwargs["results"]
+        assert via_spec["results"]  # the graded ranking is non-empty
+
+    def test_product_composition_omits_blend(self):
+        from repro.retrieval.predicates import parse_tree
+
+        spec = QuerySpec(
+            predicate_tree=parse_tree("monitor above desk [fuzzy]"), limit=None
+        )
+        payload = _spec_payload(spec)
+        assert payload["compose"] == "product"
+        assert "blend" not in payload
+
     def test_execution_options_travel_the_wire(self, client):
         spec = QuerySpec(
             picture=office_scene(2),

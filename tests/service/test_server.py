@@ -160,6 +160,94 @@ class TestSearch:
             assert excinfo.value.status == 400
 
 
+class TestGradedWire:
+    """The graded predicate surface over the wire: strings, trees, knobs."""
+
+    def test_fuzzy_string_where_matches_reference(self, client, reference):
+        served = client.search(where="monitor above desk", fuzzy=True, limit=None)
+        expected = (
+            reference.query().where("monitor above desk", fuzzy=True).limit(None).execute()
+        )
+        assert served["results"] == expected.to_dicts()
+        assert served["results"][0]["degree"] == 1.0
+        assert "leaf_degrees" in served["results"][0]
+
+    def test_boolean_grammar_over_the_wire(self, client, reference):
+        text = "not (phone right-of monitor) or monitor above desk [fuzzy w=2]"
+        served = client.search(where=text, limit=None)
+        expected = reference.query().where(text).limit(None).execute()
+        assert served["results"] == expected.to_dicts()
+
+    def test_nested_tree_payload_matches_string_form(self, client, reference):
+        text = "monitor above desk [fuzzy] or not phone inside desk"
+        from repro.retrieval.predicates import parse_tree
+
+        tree = parse_tree(text)
+        served = client.search(where=tree.to_dict(), limit=None)
+        expected = reference.query().where(text).limit(None).execute()
+        assert served["results"] == expected.to_dicts()
+
+    def test_combined_compose_knobs(self, client, reference):
+        scene = office_scene(0)
+        served = client.search(
+            scene, where="monitor above desk", fuzzy=True,
+            compose="sum", blend=0.3, limit=None,
+        )
+        expected = (
+            reference.query(scene)
+            .where("monitor above desk", fuzzy=True)
+            .compose("sum", 0.3)
+            .limit(None)
+            .execute()
+        )
+        assert served["results"] == expected.to_dicts()
+
+    def test_malformed_graded_payloads_are_400s(self, client):
+        cases = [
+            ({"where": "car banana tree"}, "banana"),
+            ({"where": "(car left-of tree"}, "position"),
+            ({"where": {"op": "nand", "children": []}}, "nand"),
+            ({"where": 7}, "where"),
+            ({"fuzzy": True}, "fuzzy"),
+            ({"where": "monitor above desk", "fuzzy": "yes"}, "fuzzy"),
+            ({"where": "monitor above desk", "compose": "max"}, "'max'"),
+            ({"where": "monitor above desk", "compose": 1}, "compose"),
+            ({"where": "monitor above desk", "blend": 0.5}, "blend"),
+            (
+                {"where": "monitor above desk", "compose": "sum", "blend": 2.0},
+                "blend",
+            ),
+        ]
+        for payload, token in cases:
+            with pytest.raises(ServiceError) as excinfo:
+                client.request("POST", "/search", payload)
+            assert excinfo.value.status == 400, payload
+            assert token in str(excinfo.value), payload
+
+    def test_stats_reports_predicate_counters(self, reference):
+        service = RetrievalService(reference)
+        for payload in [
+            {"where": "monitor above desk"},
+            {"where": "monitor above desk", "fuzzy": True},
+        ]:
+            status, _, _ = service.dispatch("POST", "/search", payload)
+            assert status == 200
+        predicates = service.stats()["predicates"]
+        assert predicates["queries"] == 2
+        assert predicates["graded_queries"] == 1
+        assert predicates["evaluated"] > 0
+        assert 0.0 <= predicates["pruned_fraction"] <= 1.0
+
+    def test_batch_rejects_graded_queries(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client.request(
+                "POST",
+                "/batch",
+                {"queries": [{"where": "monitor above desk", "fuzzy": True}]},
+            )
+        assert excinfo.value.status == 400
+
+
 class TestBatch:
     def test_batch_matches_serial_searches(self, client, reference):
         scenes = [office_scene(0), traffic_scene(1), office_scene(0)]

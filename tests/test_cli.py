@@ -216,6 +216,37 @@ class TestSearchExtensions:
         assert "office-000" in output
         assert "traffic" not in output and "landscape" not in output
 
+    def test_search_fuzzy_where_grades_every_image(self, database_file, capsys):
+        assert main(
+            [
+                "search", str(database_file),
+                "--where", "monitor above desk", "--fuzzy",
+            ]
+        ) == 0
+        output = capsys.readouterr().out
+        # Graded mode keeps the near-misses: every stored image is ranked.
+        assert "office-000" in output
+        assert "traffic-000" in output and "landscape-000" in output
+
+    def test_search_boolean_grammar(self, database_file, capsys):
+        assert main(
+            [
+                "search", str(database_file),
+                "--where", "not (monitor above desk) or car left-of tree",
+            ]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "traffic-000" in output
+
+    def test_search_fuzzy_without_where_fails(self, database_file, scene_files, capsys):
+        office_path = next(path for name, path in scene_files.items() if "office" in name)
+        assert main(["search", str(database_file), str(office_path), "--fuzzy"]) == 2
+        assert "--fuzzy requires" in capsys.readouterr().err
+
+    def test_search_malformed_where_names_the_token(self, database_file, capsys):
+        assert main(["search", str(database_file), "--where", "car banana tree"]) == 2
+        assert "banana" in capsys.readouterr().err
+
     def test_search_min_score(self, database_file, scene_files, capsys):
         office_path = next(path for name, path in scene_files.items() if "office" in name)
         assert main(
